@@ -1,0 +1,52 @@
+// Fig 13(b): recognition accuracy vs synchronization delay error, with
+// and without the CDFA fine-grained adjustment.
+//
+// Without CDFA (plain training) accuracy collapses within ~1 symbol of
+// offset; with the Gamma-matched error injector the model stays usable
+// across the coarse detector's whole error range and declines only once
+// the offset leaves the trained distribution (~4+ us).
+#include "bench_util.h"
+
+#include "common/table.h"
+
+namespace metaai::bench {
+namespace {
+
+void Run() {
+  const data::Dataset ds = data::MakeMnistLike();
+  Rng rng_plain(13);
+  const auto plain = core::TrainModel(ds.train, {}, rng_plain);
+  Rng rng_cdfa(13);
+  core::TrainingOptions cdfa_options;
+  cdfa_options.sync_error_injection = true;  // full-scale Gamma(2, 1.85)
+  const auto cdfa = core::TrainModel(ds.train, cdfa_options, rng_cdfa);
+
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const core::Deployment dep_plain(plain, surface, DefaultLinkConfig());
+  const core::Deployment dep_cdfa(cdfa, surface, DefaultLinkConfig());
+
+  Table table("Fig 13b: Accuracy (%) vs sync delay error",
+              {"Error (us)", "w/o CDFA", "with CDFA"});
+  Rng rng(131);
+  for (const double offset : {0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0,
+                              8.0}) {
+    const double without = dep_plain.EvaluateAccuracyAtOffset(
+        ds.test, offset, rng, 150);
+    const double with = dep_cdfa.EvaluateAccuracyAtOffset(
+        ds.test, offset, rng, 150);
+    table.AddRow({FormatDouble(offset, 1), FormatPercent(without),
+                  FormatPercent(with)});
+  }
+  table.Print(std::cout);
+  std::cout << "(Shape check: w/o CDFA collapses within ~1 symbol; CDFA\n"
+               " holds through the trained error range and declines beyond"
+               " ~4-5 us.)\n";
+}
+
+}  // namespace
+}  // namespace metaai::bench
+
+int main() {
+  metaai::bench::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig 6: distribution of resultant (reachable) weights on the complex
+// plane for increasing meta-atom counts. More atoms -> denser coverage of
+// the normalized weight disk -> better approximation of arbitrary desired
+// weights. We report the lattice size and how far random in-disk targets
+// are from the nearest reachable weight.
+#include "bench_util.h"
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "mts/wdd.h"
+
+namespace metaai::bench {
+namespace {
+
+void Run() {
+  Table table("Fig 6: Distribution of resultant weights vs meta-atoms",
+              {"Meta-atoms", "Reachable weights", "Mean nearest dist",
+               "95th pct nearest dist"});
+  Rng rng(6);
+  for (const std::size_t atoms : {16u, 64u, 256u, 1024u}) {
+    const auto weights = mts::ReachableNormalizedWeights(atoms);
+    std::vector<double> distances;
+    distances.reserve(2000);
+    for (int i = 0; i < 2000; ++i) {
+      std::complex<double> target;
+      do {
+        target = {rng.Uniform(-0.707, 0.707), rng.Uniform(-0.707, 0.707)};
+      } while (std::abs(target) > 0.7071);
+      distances.push_back(mts::NearestWeightDistance(target, atoms));
+    }
+    table.AddRow({std::to_string(atoms), std::to_string(weights.size()),
+                  FormatDouble(Mean(distances), 5),
+                  FormatDouble(Percentile(distances, 95.0), 5)});
+  }
+  table.Print(std::cout);
+  std::cout << "(Shape check: nearest-distance shrinks ~1/M; by M = 256 the\n"
+               " lattice pitch is far below the weight tolerance.)\n";
+}
+
+}  // namespace
+}  // namespace metaai::bench
+
+int main() {
+  metaai::bench::Run();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark) for the heavy kernels: digital LNN
+// inference, CNN inference, the metasurface configuration solver and one
+// over-the-air symbol-sequence transmission. These ground the energy
+// model's server-compute assumptions in measured numbers on this machine.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "data/encoding.h"
+#include "nn/conv_net.h"
+
+namespace metaai::bench {
+namespace {
+
+const data::Dataset& SharedDataset() {
+  static const data::Dataset ds =
+      data::MakeMnistLike({.train_per_class = 20, .test_per_class = 5});
+  return ds;
+}
+
+void BM_LnnInference(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  Rng rng(1);
+  nn::ComplexLinearModel model(ds.train.dim, ds.num_classes);
+  model.Initialize(rng);
+  const auto x = data::EncodeSample(ds.train.features[0],
+                                    rf::Modulation::kQam256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(x));
+  }
+}
+BENCHMARK(BM_LnnInference);
+
+void BM_CnnInference(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  Rng rng(2);
+  nn::ConvNet cnn({.height = 16,
+                   .width = 16,
+                   .conv1_channels = 8,
+                   .conv2_channels = 16,
+                   .hidden = 64,
+                   .num_classes = ds.num_classes});
+  cnn.Initialize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cnn.Predict(ds.train.features[0]));
+  }
+}
+BENCHMARK(BM_CnnInference);
+
+void BM_ConfigSolverSingleTarget(benchmark::State& state) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const sim::OtaLink link(surface, DefaultLinkConfig());
+  const auto steering = link.SteeringVector(0);
+  Rng rng(3);
+  const sim::Complex target = rng.UnitPhasor() * 100.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mts::SolveSingleTarget(steering, target));
+  }
+}
+BENCHMARK(BM_ConfigSolverSingleTarget);
+
+void BM_OtaTransmitSequence(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  Rng rng(4);
+  const auto model = core::TrainModel(
+      ds.train, core::TrainingOptions{.epochs = 1}, rng);
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const sim::OtaLink link(surface, DefaultLinkConfig());
+  const auto mapped = core::MapSequential(model.network.weights(), link);
+  const auto symbols = data::EncodeSample(ds.train.features[0],
+                                          rf::Modulation::kQam256);
+  Rng noise_rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        link.TransmitSequence(symbols, mapped.rounds[0], 0.0, noise_rng));
+  }
+}
+BENCHMARK(BM_OtaTransmitSequence);
+
+void BM_WeightMappingPerSymbol(benchmark::State& state) {
+  const auto& ds = SharedDataset();
+  Rng rng(6);
+  const auto model = core::TrainModel(
+      ds.train, core::TrainingOptions{.epochs = 1}, rng);
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  for (auto _ : state) {
+    const sim::OtaLink link(surface, DefaultLinkConfig());
+    benchmark::DoNotOptimize(
+        core::MapSequential(model.network.weights(), link));
+  }
+}
+BENCHMARK(BM_WeightMappingPerSymbol);
+
+}  // namespace
+}  // namespace metaai::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Tables 2-3 (Appendix A.4): end-to-end energy and latency.
+//
+// Reproduces the paper's comparison between "transmit raw data then
+// compute on a server" pipelines (CPU / 4080 GPU running ResNet-18 or the
+// software LNN) and MetaAI, where the matrix multiplications happen during
+// propagation. The cost model's constants are fitted to the paper's
+// measured rows (see sim/energy_model.h); accuracy columns come from this
+// repo's Table 1 bands.
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "sim/energy_model.h"
+
+namespace metaai::bench {
+namespace {
+
+void PrintDataset(const std::string& title, std::size_t pixels,
+                  std::size_t classes, std::size_t parallel_width,
+                  const std::vector<std::pair<std::string, double>>& acc) {
+  const sim::EnergyModel model;
+  Table table(title, {"System", "Model", "Accuracy", "Tx (ms)",
+                      "Server (ms)", "Total (ms)", "Tx (mJ)", "Server (mJ)",
+                      "MTS (mJ)", "Total (mJ)"});
+  auto add = [&](const sim::EnergyLatencyRow& row, double accuracy) {
+    table.AddRow({row.system, row.model, FormatPercent(accuracy),
+                  FormatDouble(row.transmission_ms, 3),
+                  FormatDouble(row.server_compute_ms, 3),
+                  FormatDouble(row.total_ms, 3),
+                  FormatDouble(row.transmission_mj, 3),
+                  FormatDouble(row.server_compute_mj, 2),
+                  row.mts_mj > 0.0 ? FormatDouble(row.mts_mj, 3) : "-",
+                  FormatDouble(row.total_mj, 2)});
+  };
+  add(model.DigitalRow("CPU", "ResNet-18", pixels), acc[0].second);
+  add(model.DigitalRow("CPU", "LNN", pixels), acc[1].second);
+  add(model.DigitalRow("4080 GPU", "ResNet-18", pixels), acc[0].second);
+  add(model.DigitalRow("4080 GPU", "LNN", pixels), acc[1].second);
+  add(model.MetaAiRow(pixels, classes, parallel_width), acc[2].second);
+  table.Print(std::cout);
+
+  const auto metaai = model.MetaAiRow(pixels, classes, parallel_width);
+  const auto cpu_lnn = model.DigitalRow("CPU", "LNN", pixels);
+  const auto gpu_resnet = model.DigitalRow("4080 GPU", "ResNet-18", pixels);
+  std::cout << "MetaAI energy advantage: " << FormatDouble(
+                   cpu_lnn.total_mj / metaai.total_mj, 1)
+            << "x vs CPU LNN, "
+            << FormatDouble(gpu_resnet.total_mj / metaai.total_mj, 1)
+            << "x vs GPU ResNet-18; total latency "
+            << FormatDouble(metaai.total_ms, 3) << " ms vs CPU LNN "
+            << FormatDouble(cpu_lnn.total_ms, 3) << " ms\n\n";
+}
+
+void Run() {
+  // Accuracy columns from this repo's runs (deep CNN / software LNN sim /
+  // MetaAI prototype) — see bench_table1_overall.
+  PrintDataset(
+      "Table 2: End-to-end energy & latency, MNIST geometry (784 px)", 784,
+      10, 5,
+      {{"deep", 0.992}, {"lnn", 0.946}, {"metaai", 0.905}});
+  PrintDataset(
+      "Table 3: End-to-end energy & latency, AFHQ geometry (2704 px)", 2704,
+      3, 3,
+      {{"deep", 0.947}, {"lnn", 0.853}, {"metaai", 0.845}});
+  std::cout << "(Shape check: MetaAI's server compute is negligible, its"
+               " total energy ~5.8x below the\n best digital baseline and"
+               " ~16.7x below GPU ResNet-18, and its total latency beats"
+               " the CPU LNN pipeline.)\n";
+}
+
+}  // namespace
+}  // namespace metaai::bench
+
+int main() {
+  metaai::bench::Run();
+  return 0;
+}

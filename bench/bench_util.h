@@ -1,0 +1,76 @@
+// Shared setup for the per-figure/per-table benchmark harnesses.
+//
+// Every bench uses the paper's default experimental setup (§4) unless the
+// experiment sweeps it: 5.25 GHz carrier, 256-QAM, 1 Msym/s, Tx-MTS 1 m at
+// 30 deg, MTS-Rx 3 m at 40 deg, directional antennas, office multipath,
+// 16x16 2-bit metasurface. Sync errors follow the coarse detector's Gamma
+// distribution scaled to this repo's 256-symbol streams (see
+// sim::PaperEquivalentLatencyScale and EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/metaai.h"
+#include "data/datasets.h"
+#include "rf/geometry.h"
+
+namespace metaai::bench {
+
+inline constexpr std::size_t kStreamSymbols = 256;  // 16x16 pixels
+
+inline mts::LinkGeometry DefaultGeometry() {
+  return {.tx_distance_m = 1.0,
+          .tx_angle_rad = rf::DegToRad(30.0),
+          .rx_distance_m = 3.0,
+          .rx_angle_rad = rf::DegToRad(40.0),
+          .frequency_hz = 5.25e9};
+}
+
+inline sim::OtaLinkConfig DefaultLinkConfig(std::uint64_t channel_seed = 1) {
+  sim::OtaLinkConfig config;
+  config.geometry = DefaultGeometry();
+  config.environment.profile = rf::OfficeProfile();
+  config.mts_phase_noise_std = 0.05;
+  config.channel_seed = channel_seed;
+  return config;
+}
+
+/// Sync-error scale holding the paper's error-to-stream-length ratio.
+inline double DeploymentLatencyScale() {
+  return sim::PaperEquivalentLatencyScale(kStreamSymbols);
+}
+
+/// Training options for a prototype deployment: CDFA injector matched to
+/// the scaled coarse-detection distribution plus mild noise-aware
+/// training.
+inline core::TrainingOptions RobustTrainingOptions(
+    rf::Modulation modulation = rf::Modulation::kQam256) {
+  core::TrainingOptions options;
+  options.modulation = modulation;
+  options.sync_error_injection = true;
+  options.sync_gamma_scale_us = 1.85 * DeploymentLatencyScale();
+  options.input_noise_variance = 0.02;
+  return options;
+}
+
+/// The CDFA sync model at the deployment operating point.
+inline sim::SyncModel DeploymentSyncModel() {
+  sim::SyncModelConfig config;
+  config.latency_scale = DeploymentLatencyScale();
+  return sim::SyncModel(sim::SyncMode::kCdfa, config);
+}
+
+/// Prototype accuracy of a robust-trained model over a configured link.
+inline double PrototypeAccuracy(const core::TrainedModel& model,
+                                const mts::Metasurface& surface,
+                                const sim::OtaLinkConfig& link_config,
+                                const nn::RealDataset& test, Rng& rng,
+                                std::size_t max_samples = 200,
+                                const core::DeploymentOptions& options = {}) {
+  core::Deployment deployment(model, surface, link_config, options);
+  const sim::SyncModel sync = DeploymentSyncModel();
+  return deployment.EvaluateAccuracy(test, sync, rng, max_samples);
+}
+
+}  // namespace metaai::bench

@@ -1,0 +1,44 @@
+// Lightweight runtime-check helpers used across the MetaAI libraries.
+//
+// We prefer throwing a descriptive exception over asserting: the library is
+// used from long-running benchmark harnesses where a silent abort would lose
+// the context of which experiment failed.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace metaai {
+
+/// Error type thrown on violated preconditions / invariants.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Throws CheckError with file:line context when `condition` is false.
+inline void Check(bool condition, std::string_view message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": check failed: " +
+                     std::string(message));
+  }
+}
+
+/// Variant for index/size validation with the offending value in the message.
+inline void CheckIndex(std::size_t index, std::size_t size,
+                       std::string_view what,
+                       std::source_location loc =
+                           std::source_location::current()) {
+  if (index >= size) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": " + std::string(what) +
+                     " index " + std::to_string(index) +
+                     " out of range (size " + std::to_string(size) + ")");
+  }
+}
+
+}  // namespace metaai

@@ -1,0 +1,99 @@
+// Minimal dense row-major matrix used by the NN substrate and the
+// metasurface solver. Deliberately small: the heaviest kernels in this
+// repository are hand-written loops in the NN layers, so this class only
+// needs storage, element access and a few whole-matrix operations.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace metaai {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    CheckIndex(r, rows_, "matrix row");
+    CheckIndex(c, cols_, "matrix col");
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    CheckIndex(r, rows_, "matrix row");
+    CheckIndex(c, cols_, "matrix col");
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked flat access for hot loops.
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Pointer to the start of row r (unchecked beyond the row bound).
+  T* row(std::size_t r) {
+    CheckIndex(r, rows_, "matrix row");
+    return data_.data() + r * cols_;
+  }
+  const T* row(std::size_t r) const {
+    CheckIndex(r, rows_, "matrix row");
+    return data_.data() + r * cols_;
+  }
+
+  void Fill(T value) { data_.assign(data_.size(), value); }
+
+  /// y = this * x (matrix-vector product). x.size() must equal cols().
+  std::vector<T> Multiply(const std::vector<T>& x) const {
+    Check(x.size() == cols_, "Multiply: dimension mismatch");
+    std::vector<T> y(rows_, T{});
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const T* row_ptr = data_.data() + r * cols_;
+      T acc{};
+      for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
+
+  /// C = this * other. Requires cols() == other.rows().
+  Matrix<T> Multiply(const Matrix<T>& other) const {
+    Check(cols_ == other.rows_, "Multiply: dimension mismatch");
+    Matrix<T> out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const T a = data_[r * cols_ + k];
+        const T* other_row = other.data_.data() + k * other.cols_;
+        T* out_row = out.data_.data() + r * other.cols_;
+        for (std::size_t c = 0; c < other.cols_; ++c) {
+          out_row[c] += a * other_row[c];
+        }
+      }
+    }
+    return out;
+  }
+
+  bool operator==(const Matrix<T>& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using RealMatrix = Matrix<double>;
+using ComplexMatrix = Matrix<std::complex<double>>;
+
+}  // namespace metaai

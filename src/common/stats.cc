@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace metaai {
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double Variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double sum_sq = 0.0;
+  for (const double v : values) sum_sq += (v - mean) * (v - mean);
+  return sum_sq / static_cast<double>(values.size() - 1);
+}
+
+double Stddev(std::span<const double> values) {
+  return std::sqrt(Variance(values));
+}
+
+double Percentile(std::span<const double> values, double p) {
+  Check(!values.empty(), "Percentile requires non-empty input");
+  Check(p >= 0.0 && p <= 100.0, "Percentile requires p in [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(std::floor(rank));
+  const auto upper = static_cast<std::size_t>(std::ceil(rank));
+  const double weight = rank - static_cast<double>(lower);
+  return sorted[lower] * (1.0 - weight) + sorted[upper] * weight;
+}
+
+double Min(std::span<const double> values) {
+  Check(!values.empty(), "Min requires non-empty input");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  Check(!values.empty(), "Max requires non-empty input");
+  return *std::max_element(values.begin(), values.end());
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.push_back({sorted[i], static_cast<double>(i + 1) /
+                                  static_cast<double>(sorted.size())});
+  }
+  return cdf;
+}
+
+double FractionAbove(std::span<const double> values, double threshold) {
+  if (values.empty()) return 0.0;
+  const auto count = std::count_if(values.begin(), values.end(),
+                                   [&](double v) { return v > threshold; });
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+std::vector<std::size_t> Histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins) {
+  Check(bins > 0, "Histogram requires at least one bin");
+  Check(hi > lo, "Histogram requires hi > lo");
+  std::vector<std::size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double v : values) {
+    const double offset = (v - lo) / width;
+    auto bin = offset <= 0.0 ? std::size_t{0}
+                             : static_cast<std::size_t>(offset);
+    bin = std::min(bin, bins - 1);
+    ++counts[bin];
+  }
+  return counts;
+}
+
+}  // namespace metaai

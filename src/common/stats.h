@@ -1,0 +1,43 @@
+// Descriptive statistics used by the evaluation harness (percentiles, CDFs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace metaai {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double Mean(std::span<const double> values);
+
+/// Unbiased sample variance; returns 0 for spans of size < 2.
+double Variance(std::span<const double> values);
+
+/// Square root of Variance().
+double Stddev(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double Percentile(std::span<const double> values, double p);
+
+/// Smallest / largest element. Require non-empty input.
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_probability = 0.0;
+};
+
+/// Empirical CDF: sorted values with cumulative probability i/n.
+std::vector<CdfPoint> EmpiricalCdf(std::span<const double> values);
+
+/// Fraction of values strictly greater than `threshold`.
+double FractionAbove(std::span<const double> values, double threshold);
+
+/// Histogram with `bins` equal-width buckets over [lo, hi]; values outside
+/// the range are clamped into the first/last bucket.
+std::vector<std::size_t> Histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace metaai

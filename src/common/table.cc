@@ -1,0 +1,117 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace metaai {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  Check(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  Check(cells.size() == headers_.size(),
+        "Table row width does not match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size()) {
+        out << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (const char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+std::string Slugify(const std::string& title) {
+  std::string slug;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '-') {
+      slug += '-';
+    }
+  }
+  while (!slug.empty() && slug.back() == '-') slug.pop_back();
+  return slug.empty() ? "table" : slug;
+}
+
+}  // namespace
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ',';
+      out << CsvEscape(cells[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void Table::Print(std::ostream& os) const {
+  os << ToString();
+  if (const char* dir = std::getenv("METAAI_CSV_DIR"); dir != nullptr) {
+    std::ofstream csv(std::string(dir) + "/" + Slugify(title_) + ".csv");
+    if (csv.good()) csv << ToCsv();
+  }
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  return FormatDouble(fraction * 100.0, decimals);
+}
+
+}  // namespace metaai

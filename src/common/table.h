@@ -1,0 +1,50 @@
+// Console table formatting for benchmark harnesses. Every bench binary in
+// this repository prints its results as one or more of these tables so the
+// output can be compared row-by-row with the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace metaai {
+
+/// A simple fixed-column text table with a title, printed with aligned
+/// columns. Numeric cells should be pre-formatted by the caller (see
+/// FormatDouble / FormatPercent below).
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  /// Appends one row; must have the same number of cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table with a title line, a header row, a separator and
+  /// one line per row.
+  std::string ToString() const;
+
+  /// RFC-4180-style CSV rendering (header row + data rows, quoted when a
+  /// cell contains a comma/quote/newline).
+  std::string ToCsv() const;
+
+  /// Streams ToString() to `os`. Additionally, when the METAAI_CSV_DIR
+  /// environment variable is set, writes ToCsv() to
+  /// "$METAAI_CSV_DIR/<slugified-title>.csv" so bench tables can be
+  /// collected for plotting without changing any bench.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `decimals` fractional digits.
+std::string FormatDouble(double value, int decimals = 2);
+
+/// Formats `fraction` (0..1) as a percentage string like "89.77".
+std::string FormatPercent(double fraction, int decimals = 2);
+
+}  // namespace metaai

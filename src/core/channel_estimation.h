@@ -1,0 +1,50 @@
+// Pilot-based environment-channel estimation for the Eqn 8 mapping.
+//
+// The paper's first multipath option solves Phi for (H_des - H_e), which
+// "requires disabling the metasurface to estimate H_e". A reflective
+// surface cannot be switched off, but it can be *nulled*: the solver can
+// find a configuration whose aggregate reflection is ~zero toward the
+// receiver. Transmitting known pilot symbols with the surface nulled and
+// cancellation disabled then exposes the environment path alone, and the
+// least-squares estimate H_e = E[z x*] / E[|x|^2] follows.
+//
+// The estimate is what MappingOptions::subtract_environment should use in
+// a real system; tests verify it converges to the true response and that
+// the estimate-driven Eqn 8 mapping matches the oracle one.
+#pragma once
+
+#include <complex>
+
+#include "common/rng.h"
+#include "mts/config_solver.h"
+#include "sim/link.h"
+
+namespace metaai::core {
+
+struct EnvironmentEstimateOptions {
+  std::size_t num_pilots = 64;
+  /// Solver budget for the nulling configuration.
+  mts::SolveOptions solver;
+};
+
+struct EnvironmentEstimate {
+  /// Estimated environment response (in the same units as
+  /// sim::OtaLink::EnvironmentResponse, i.e. including Tx amplitude).
+  std::complex<double> response;
+  /// Residual MTS reflection of the nulling configuration relative to the
+  /// panel's reachable magnitude (diagnostic; small = good null).
+  double null_quality = 0.0;
+  /// The nulling configuration itself.
+  std::vector<mts::PhaseCode> null_codes;
+};
+
+/// Estimates the Tx->Rx environment response of `link` by transmitting
+/// `num_pilots` known unit-power pilot symbols while the surface plays a
+/// nulled configuration. The link must have multipath cancellation
+/// DISABLED (the estimate needs to see the environment) and a single
+/// observation.
+EnvironmentEstimate EstimateEnvironment(
+    const sim::OtaLink& link, Rng& rng,
+    const EnvironmentEstimateOptions& options = {});
+
+}  // namespace metaai::core

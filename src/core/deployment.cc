@@ -1,0 +1,146 @@
+#include "core/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "data/encoding.h"
+#include "rf/geometry.h"
+
+namespace metaai::core {
+
+std::string ParallelismModeName(ParallelismMode mode) {
+  switch (mode) {
+    case ParallelismMode::kSequential:
+      return "sequential";
+    case ParallelismMode::kSubcarrier:
+      return "subcarrier";
+    case ParallelismMode::kAntenna:
+      return "antenna";
+  }
+  throw CheckError("unknown parallelism mode");
+}
+
+std::vector<sim::Observation> BuildObservations(
+    const sim::OtaLinkConfig& base, std::size_t num_classes,
+    const DeploymentOptions& options) {
+  std::size_t width = options.parallel_width > 0 ? options.parallel_width
+                                                 : num_classes;
+  width = std::min(width, num_classes);
+  std::vector<sim::Observation> observations;
+  switch (options.mode) {
+    case ParallelismMode::kSequential:
+      observations.push_back({});
+      break;
+    case ParallelismMode::kSubcarrier: {
+      // Subcarriers centred on the carrier, one per simultaneous output.
+      const double spacing = options.subcarrier_spacing_hz;
+      for (std::size_t k = 0; k < width; ++k) {
+        const double offset =
+            (static_cast<double>(k) -
+             (static_cast<double>(width) - 1.0) / 2.0) *
+            spacing;
+        observations.push_back(
+            {.freq_offset_hz = offset, .harmonic = static_cast<int>(k)});
+      }
+      break;
+    }
+    case ParallelismMode::kAntenna: {
+      // Antenna array fanned around the nominal receive direction.
+      const double spacing = rf::DegToRad(options.antenna_spacing_deg);
+      for (std::size_t l = 0; l < width; ++l) {
+        mts::LinkGeometry geometry = base.geometry;
+        geometry.rx_angle_rad +=
+            (static_cast<double>(l) -
+             (static_cast<double>(width) - 1.0) / 2.0) *
+            spacing;
+        observations.push_back({.geometry = geometry});
+      }
+      break;
+    }
+  }
+  return observations;
+}
+
+Deployment::Deployment(const TrainedModel& model,
+                       const mts::Metasurface& surface,
+                       sim::OtaLinkConfig link_config,
+                       DeploymentOptions options)
+    : modulation_(model.modulation),
+      num_classes_(model.num_classes()),
+      options_(options),
+      link_(surface, [&] {
+        link_config.observations =
+            BuildObservations(link_config, model.num_classes(), options);
+        return link_config;
+      }()),
+      schedules_(options.mode == ParallelismMode::kSequential
+                     ? MapSequential(model.network.weights(), link_,
+                                     options.mapping)
+                     : MapParallel(model.network.weights(), link_,
+                                   options.mapping)) {}
+
+std::vector<double> Deployment::ClassScores(const std::vector<double>& pixels,
+                                            double mts_clock_offset_us,
+                                            Rng& rng) const {
+  const std::vector<nn::Complex> symbols =
+      data::EncodeSample(pixels, modulation_);
+  Check(symbols.size() == schedules_.rounds.front().size(),
+        "sample length does not match the deployed schedule");
+
+  std::vector<double> scores(num_classes_, 0.0);
+  for (std::size_t round = 0; round < schedules_.rounds.size(); ++round) {
+    const ComplexMatrix z = link_.TransmitSequence(
+        symbols, schedules_.rounds[round], mts_clock_offset_us, rng);
+    const auto& outputs = schedules_.outputs[round];
+    for (std::size_t o = 0; o < outputs.size(); ++o) {
+      if (outputs[o] < 0) continue;
+      sim::Complex acc{0.0, 0.0};
+      for (std::size_t i = 0; i < z.cols(); ++i) acc += z(o, i);
+      scores[static_cast<std::size_t>(outputs[o])] = std::abs(acc);
+    }
+  }
+  return scores;
+}
+
+int Deployment::Classify(const std::vector<double>& pixels,
+                         double mts_clock_offset_us, Rng& rng) const {
+  const auto scores = ClassScores(pixels, mts_clock_offset_us, rng);
+  return static_cast<int>(std::distance(
+      scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+double Deployment::EvaluateAccuracy(const nn::RealDataset& test,
+                                    const sim::SyncModel& sync, Rng& rng,
+                                    std::size_t max_samples) const {
+  test.Validate();
+  const std::size_t n = max_samples > 0
+                            ? std::min(max_samples, test.size())
+                            : test.size();
+  Check(n > 0, "empty test set");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double offset = sync.SampleOffsetUs(rng);
+    correct += (Classify(test.features[i], offset, rng) == test.labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double Deployment::EvaluateAccuracyAtOffset(const nn::RealDataset& test,
+                                            double mts_clock_offset_us,
+                                            Rng& rng,
+                                            std::size_t max_samples) const {
+  test.Validate();
+  const std::size_t n = max_samples > 0
+                            ? std::min(max_samples, test.size())
+                            : test.size();
+  Check(n > 0, "empty test set");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    correct += (Classify(test.features[i], mts_clock_offset_us, rng) ==
+                test.labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace metaai::core

@@ -1,0 +1,50 @@
+#include "core/fusion.h"
+
+#include "common/check.h"
+
+namespace metaai::core {
+
+nn::RealDataset ConcatenateSensors(const data::MultiSensorDataset& dataset,
+                                   std::size_t num_sensors, bool use_train) {
+  dataset.Validate();
+  Check(num_sensors >= 1 && num_sensors <= dataset.num_sensors(),
+        "sensor count out of range");
+  const auto& sensors =
+      use_train ? dataset.train_sensors : dataset.test_sensors;
+
+  nn::RealDataset out;
+  out.num_classes = dataset.num_classes;
+  out.dim = 0;
+  for (std::size_t s = 0; s < num_sensors; ++s) out.dim += sensors[s].dim;
+  out.labels = sensors[0].labels;
+  out.features.reserve(sensors[0].size());
+  for (std::size_t i = 0; i < sensors[0].size(); ++i) {
+    std::vector<double> fused;
+    fused.reserve(out.dim);
+    for (std::size_t s = 0; s < num_sensors; ++s) {
+      const auto& f = sensors[s].features[i];
+      fused.insert(fused.end(), f.begin(), f.end());
+    }
+    out.features.push_back(std::move(fused));
+  }
+  out.Validate();
+  return out;
+}
+
+TrainedModel TrainFusedModel(const data::MultiSensorDataset& dataset,
+                             std::size_t num_sensors,
+                             const TrainingOptions& options, Rng& rng) {
+  const nn::RealDataset fused =
+      ConcatenateSensors(dataset, num_sensors, /*use_train=*/true);
+  return TrainModel(fused, options, rng);
+}
+
+double EvaluateFusedDigital(const TrainedModel& model,
+                            const data::MultiSensorDataset& dataset,
+                            std::size_t num_sensors) {
+  const nn::RealDataset fused =
+      ConcatenateSensors(dataset, num_sensors, /*use_train=*/false);
+  return EvaluateDigital(model, fused);
+}
+
+}  // namespace metaai::core

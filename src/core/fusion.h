@@ -1,0 +1,36 @@
+// Multi-sensor late-stage fusion (§3.4, Eqns 11-12).
+//
+// Linearity makes per-sensor weight blocks independent: transmitting each
+// sensor's data in a time-division round with its own weight sequence and
+// accumulating the complex partial sums y_r^s before the final magnitude
+// is exactly a single linear layer over the concatenated sensor inputs.
+// Training therefore happens on the concatenation; deployment reuses the
+// standard sequential pipeline with U = sum of the sensors' input sizes —
+// one shared metasurface serving all sensors.
+#pragma once
+
+#include <cstddef>
+
+#include "core/training.h"
+#include "data/multisensor.h"
+#include "nn/types.h"
+
+namespace metaai::core {
+
+/// Concatenates the first `num_sensors` sensors of each event into one
+/// feature vector (train split when `use_train`, else test).
+nn::RealDataset ConcatenateSensors(const data::MultiSensorDataset& dataset,
+                                   std::size_t num_sensors, bool use_train);
+
+/// Trains a fused MetaAI model over the first `num_sensors` sensors.
+TrainedModel TrainFusedModel(const data::MultiSensorDataset& dataset,
+                             std::size_t num_sensors,
+                             const TrainingOptions& options, Rng& rng);
+
+/// Digital accuracy of the fused model on the matching concatenated test
+/// split.
+double EvaluateFusedDigital(const TrainedModel& model,
+                            const data::MultiSensorDataset& dataset,
+                            std::size_t num_sensors);
+
+}  // namespace metaai::core

@@ -1,0 +1,28 @@
+// Umbrella header: the public MetaAI API.
+//
+// Typical usage (see examples/quickstart.cc):
+//
+//   auto dataset = metaai::data::MakeMnistLike();
+//   metaai::Rng rng(42);
+//   auto model = metaai::core::TrainModel(dataset.train, {}, rng);
+//
+//   metaai::mts::Metasurface surface{metaai::mts::MetasurfaceSpec{}};
+//   metaai::sim::OtaLinkConfig link;           // the paper's default setup
+//   link.geometry = {...};
+//   metaai::core::Deployment deployment(model, surface, link);
+//
+//   metaai::sim::SyncModel sync(metaai::sim::SyncMode::kCdfa);
+//   double accuracy = deployment.EvaluateAccuracy(dataset.test, sync, rng);
+#pragma once
+
+#include "core/channel_estimation.h"  // pilot-based H_e estimation (Eqn 8)
+#include "core/controller_service.h"  // RSS-feedback reconfiguration loop
+#include "core/deployment.h"    // over-the-air inference + parallelism
+#include "core/fusion.h"        // multi-sensor late fusion
+#include "core/hybrid.h"        // OTA linear layer + digital nonlinear head
+#include "core/pnn_baseline.h"  // stacked traditional PNN baseline
+#include "core/recalibration.h" // receiver mobility / beam-scan pipeline
+#include "core/scheduler.h"     // multi-device TDMA over one surface
+#include "core/serialization.h" // model + MTS pattern files
+#include "core/training.h"      // digital training + robustness schemes
+#include "core/weight_mapper.h" // weights -> MTS configurations

@@ -1,0 +1,66 @@
+#include "core/recalibration.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "mts/beam_scan.h"
+
+namespace metaai::core {
+
+RecalibrationReport EstimateReceiverAngle(
+    const mts::Metasurface& surface, const mts::LinkGeometry& geometry,
+    const PowerProbe& probe, std::size_t num_weights,
+    const mts::Controller& controller, const RecalibrationConfig& config) {
+  Check(config.scan_steps >= 2, "need at least two scan steps");
+  Check(static_cast<bool>(probe), "recalibration needs a power probe");
+
+  const auto scan = mts::ScanForReceiver(
+      surface, geometry, config.scan_min_angle_rad, config.scan_max_angle_rad,
+      config.scan_steps, probe);
+
+  RecalibrationReport report;
+  report.estimated_angle_rad = scan.angle_rad;
+  report.probes = scan.scanned_powers.size();
+  report.scan_latency_s =
+      static_cast<double>(report.probes) *
+      (controller.PatternLoadTime() + config.probe_dwell_s);
+  report.solve_latency_s =
+      static_cast<double>(num_weights) * config.solve_time_per_weight_s;
+  report.total_latency_s = report.scan_latency_s + report.solve_latency_s;
+
+  // Tracking budget: the receiver may move by at most one scan step
+  // between recalibrations.
+  const double step = (config.scan_max_angle_rad -
+                       config.scan_min_angle_rad) /
+                      static_cast<double>(config.scan_steps - 1);
+  report.max_trackable_angular_speed_rad_s =
+      step / report.total_latency_s;
+  return report;
+}
+
+RecalibratedDeployment RecalibrateForReceiver(
+    const TrainedModel& model, const mts::Metasurface& surface,
+    sim::OtaLinkConfig assumed_link, const sim::OtaLinkConfig& true_link,
+    const DeploymentOptions& options, const RecalibrationConfig& config) {
+  // The probe measures the power that would actually arrive at the (true)
+  // receiver position for a candidate focus configuration — on hardware
+  // this number comes back over the feedback channel.
+  mts::Metasurface probe_surface{surface.spec()};
+  const auto rss_probe = [&](std::span<const mts::PhaseCode> codes) {
+    std::vector<mts::PhaseCode> copy(codes.begin(), codes.end());
+    probe_surface.SetAllCodes(copy);
+    return std::norm(probe_surface.Response(true_link.geometry));
+  };
+
+  const std::size_t num_weights =
+      model.num_classes() * model.input_dim();
+  const mts::Controller controller;
+  const RecalibrationReport report = EstimateReceiverAngle(
+      surface, assumed_link.geometry, rss_probe, num_weights, controller,
+      config);
+
+  assumed_link.geometry.rx_angle_rad = report.estimated_angle_rad;
+  return {Deployment(model, surface, assumed_link, options), report};
+}
+
+}  // namespace metaai::core

@@ -1,0 +1,85 @@
+#include "core/scheduler.h"
+
+#include "common/check.h"
+
+namespace metaai::core {
+
+SharedSurfaceScheduler::SharedSurfaceScheduler(
+    const mts::Metasurface& surface, std::vector<DeviceSpec> devices,
+    SchedulerConfig config)
+    : config_(std::move(config)) {
+  Check(!devices.empty(), "scheduler needs at least one device");
+  Check(config_.symbol_rate_hz > 0.0, "symbol rate must be positive");
+  Check(config_.guard_interval_s >= 0.0, "negative guard interval");
+
+  // The controller streams 2 patterns per symbol (mid-symbol flip) for
+  // every device in turn; the frame is feasible iff the controller can
+  // sustain that rate at all (slots never overlap in TDMA).
+  const mts::Controller controller(config_.controller);
+  Check(controller.CanSustain(config_.symbol_rate_hz, 2),
+        "controller cannot sustain the mid-symbol flip at this symbol "
+        "rate");
+
+  const double symbol_period_s = 1.0 / config_.symbol_rate_hz;
+  double cursor_s = 0.0;
+  for (DeviceSpec& spec : devices) {
+    names_.push_back(spec.name);
+    spec.link.symbol_rate_hz = config_.symbol_rate_hz;
+    deployments_.push_back(std::make_unique<Deployment>(
+        spec.model, surface, spec.link, spec.options));
+    const Deployment& deployment = *deployments_.back();
+    const std::size_t rounds = deployment.RoundsPerInference();
+    const std::size_t symbols =
+        deployment.schedules().rounds.front().size();
+    const double duration =
+        static_cast<double>(rounds) * static_cast<double>(symbols) *
+        symbol_period_s;
+    frame_.push_back({.device = spec.name,
+                      .start_s = cursor_s,
+                      .duration_s = duration,
+                      .rounds = rounds,
+                      .symbols_per_round = symbols});
+    cursor_s += duration + config_.guard_interval_s;
+  }
+}
+
+const Deployment& SharedSurfaceScheduler::deployment(
+    std::size_t device) const {
+  CheckIndex(device, deployments_.size(), "device");
+  return *deployments_[device];
+}
+
+const std::string& SharedSurfaceScheduler::device_name(
+    std::size_t device) const {
+  CheckIndex(device, names_.size(), "device");
+  return names_[device];
+}
+
+double SharedSurfaceScheduler::FrameDuration() const {
+  const ScheduledSlot& last = frame_.back();
+  return last.start_s + last.duration_s + config_.guard_interval_s;
+}
+
+double SharedSurfaceScheduler::PerDeviceRate() const {
+  return 1.0 / FrameDuration();
+}
+
+int SharedSurfaceScheduler::Classify(std::size_t device,
+                                     const std::vector<double>& pixels,
+                                     double mts_clock_offset_us,
+                                     Rng& rng) const {
+  CheckIndex(device, deployments_.size(), "device");
+  return deployments_[device]->Classify(pixels, mts_clock_offset_us, rng);
+}
+
+double SharedSurfaceScheduler::EvaluateDevice(std::size_t device,
+                                              const nn::RealDataset& test,
+                                              const sim::SyncModel& sync,
+                                              Rng& rng,
+                                              std::size_t max_samples) const {
+  CheckIndex(device, deployments_.size(), "device");
+  return deployments_[device]->EvaluateAccuracy(test, sync, rng,
+                                                max_samples);
+}
+
+}  // namespace metaai::core

@@ -1,0 +1,85 @@
+// Multi-device time-division scheduling over one shared metasurface.
+//
+// The paper positions the single shared surface as serving many IoT
+// devices ("can be shared across multiple IoT devices", §6) — different
+// transmitters, different tasks, one panel. The scheduler owns one
+// deployment per device, interleaves their transmission rounds in TDMA
+// frames, and verifies the whole frame against the controller's pattern
+// throughput (a 2.56 MHz switching budget shared by everyone).
+//
+// Frame layout: round-robin over devices; each device's slot carries one
+// full inference (all of its transmission rounds back to back, plus a
+// guard interval for the energy detector to re-arm).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/deployment.h"
+#include "mts/controller.h"
+
+namespace metaai::core {
+
+struct DeviceSpec {
+  std::string name;
+  TrainedModel model;
+  /// Per-device link (geometry/environment may differ per device).
+  sim::OtaLinkConfig link;
+  DeploymentOptions options;
+};
+
+struct SchedulerConfig {
+  double symbol_rate_hz = 1e6;
+  /// Guard between device slots (detector re-arm + MCU turnaround).
+  double guard_interval_s = 20e-6;
+  mts::ControllerConfig controller;
+};
+
+/// One device's slot inside the TDMA frame.
+struct ScheduledSlot {
+  std::string device;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  std::size_t rounds = 0;
+  std::size_t symbols_per_round = 0;
+};
+
+class SharedSurfaceScheduler {
+ public:
+  /// Builds one deployment per device on the shared `surface`. Throws if
+  /// the combined schedule exceeds the controller's switching budget.
+  SharedSurfaceScheduler(const mts::Metasurface& surface,
+                         std::vector<DeviceSpec> devices,
+                         SchedulerConfig config = {});
+
+  std::size_t num_devices() const { return deployments_.size(); }
+  const Deployment& deployment(std::size_t device) const;
+  const std::string& device_name(std::size_t device) const;
+
+  /// The TDMA frame: one slot per device, in order.
+  const std::vector<ScheduledSlot>& frame() const { return frame_; }
+
+  /// Total frame duration: each device gets one inference per frame.
+  double FrameDuration() const;
+
+  /// Inferences per second each device receives.
+  double PerDeviceRate() const;
+
+  /// Classifies one sample for `device` (its slot of the frame).
+  int Classify(std::size_t device, const std::vector<double>& pixels,
+               double mts_clock_offset_us, Rng& rng) const;
+
+  /// Per-device accuracy over its test set.
+  double EvaluateDevice(std::size_t device, const nn::RealDataset& test,
+                        const sim::SyncModel& sync, Rng& rng,
+                        std::size_t max_samples = 0) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::unique_ptr<Deployment>> deployments_;
+  std::vector<ScheduledSlot> frame_;
+  SchedulerConfig config_;
+};
+
+}  // namespace metaai::core

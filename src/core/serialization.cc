@@ -1,0 +1,170 @@
+#include "core/serialization.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+
+namespace metaai::core {
+namespace {
+
+constexpr const char* kModelMagic = "metaai-model-v1";
+constexpr const char* kPatternMagic = "metaai-patterns-v1";
+
+rf::Modulation ModulationFromName(const std::string& name) {
+  for (const rf::Modulation scheme : rf::AllModulations()) {
+    if (rf::ModulationName(scheme) == name) return scheme;
+  }
+  throw CheckError("unknown modulation in model file: " + name);
+}
+
+char HexDigit(unsigned value) {
+  return value < 10 ? static_cast<char>('0' + value)
+                    : static_cast<char>('a' + value - 10);
+}
+
+unsigned HexValue(char digit) {
+  if (digit >= '0' && digit <= '9') return static_cast<unsigned>(digit - '0');
+  if (digit >= 'a' && digit <= 'f') {
+    return static_cast<unsigned>(digit - 'a' + 10);
+  }
+  throw CheckError("invalid hex digit in pattern file");
+}
+
+}  // namespace
+
+void SaveModel(const TrainedModel& model, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  Check(out.good(), "cannot open model file for writing: " + path.string());
+  out << kModelMagic << '\n';
+  out << rf::ModulationName(model.modulation) << '\n';
+  out << model.num_classes() << ' ' << model.input_dim() << '\n';
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  const ComplexMatrix& w = model.network.weights();
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      out << w(r, c).real() << ' ' << w(r, c).imag() << '\n';
+    }
+  }
+  out.flush();
+  Check(out.good(), "failed writing model file: " + path.string());
+}
+
+TrainedModel LoadModel(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  Check(in.good(), "cannot open model file: " + path.string());
+  std::string magic;
+  std::getline(in, magic);
+  Check(magic == kModelMagic, "not a metaai model file: " + path.string());
+  std::string modulation_name;
+  std::getline(in, modulation_name);
+  const rf::Modulation modulation = ModulationFromName(modulation_name);
+  std::size_t classes = 0;
+  std::size_t dim = 0;
+  in >> classes >> dim;
+  Check(in.good() && classes > 0 && dim > 0,
+        "malformed model dimensions in " + path.string());
+
+  TrainedModel model{.network = nn::ComplexLinearModel(dim, classes),
+                     .modulation = modulation};
+  ComplexMatrix& w = model.network.mutable_weights();
+  for (std::size_t r = 0; r < classes; ++r) {
+    for (std::size_t c = 0; c < dim; ++c) {
+      double re = 0.0;
+      double im = 0.0;
+      in >> re >> im;
+      Check(!in.fail(), "truncated model file: " + path.string());
+      w(r, c) = {re, im};
+    }
+  }
+  return model;
+}
+
+void SavePatterns(const MappedSchedules& schedules, std::size_t num_atoms,
+                  const std::filesystem::path& path) {
+  Check(!schedules.rounds.empty(), "no schedules to save");
+  Check(num_atoms % 2 == 0, "atom count must be even for hex packing");
+  std::ofstream out(path);
+  Check(out.good(),
+        "cannot open pattern file for writing: " + path.string());
+  out << kPatternMagic << '\n';
+  out << schedules.rounds.size() << ' ' << schedules.rounds[0].size() << ' '
+      << num_atoms << '\n';
+  out << std::setprecision(std::numeric_limits<double>::max_digits10)
+      << schedules.scale << ' ' << schedules.mean_relative_residual << '\n';
+  for (std::size_t round = 0; round < schedules.rounds.size(); ++round) {
+    // Outputs computed by this round (one per observation, -1 = idle).
+    const auto& outputs = schedules.outputs[round];
+    out << outputs.size();
+    for (const int o : outputs) out << ' ' << o;
+    out << '\n';
+    for (const auto& codes : schedules.rounds[round]) {
+      Check(codes.size() == num_atoms, "inconsistent config size");
+      // Two atoms (2 bits each) per hex digit, atom order preserved.
+      std::string line;
+      line.reserve(num_atoms / 2);
+      for (std::size_t m = 0; m < num_atoms; m += 2) {
+        const unsigned nibble = (static_cast<unsigned>(codes[m]) << 2) |
+                                static_cast<unsigned>(codes[m + 1]);
+        line.push_back(HexDigit(nibble));
+      }
+      out << line << '\n';
+    }
+  }
+  out.flush();
+  Check(out.good(), "failed writing pattern file: " + path.string());
+}
+
+MappedSchedules LoadPatterns(const std::filesystem::path& path,
+                             std::size_t expected_atoms) {
+  std::ifstream in(path);
+  Check(in.good(), "cannot open pattern file: " + path.string());
+  std::string magic;
+  std::getline(in, magic);
+  Check(magic == kPatternMagic,
+        "not a metaai pattern file: " + path.string());
+  std::size_t rounds = 0;
+  std::size_t symbols = 0;
+  std::size_t atoms = 0;
+  in >> rounds >> symbols >> atoms;
+  Check(in.good() && rounds > 0 && symbols > 0,
+        "malformed pattern header in " + path.string());
+  Check(atoms == expected_atoms,
+        "pattern file atom count does not match the surface");
+
+  MappedSchedules schedules;
+  in >> schedules.scale >> schedules.mean_relative_residual;
+  Check(!in.fail(), "malformed pattern scale in " + path.string());
+  for (std::size_t round = 0; round < rounds; ++round) {
+    std::size_t num_outputs = 0;
+    in >> num_outputs;
+    Check(!in.fail() && num_outputs > 0, "malformed round outputs");
+    std::vector<int> outputs(num_outputs);
+    for (int& o : outputs) in >> o;
+    Check(!in.fail(), "truncated round outputs");
+    in >> std::ws;
+    sim::MtsSchedule schedule;
+    schedule.reserve(symbols);
+    for (std::size_t i = 0; i < symbols; ++i) {
+      std::string line;
+      std::getline(in, line);
+      Check(!in.fail() && line.size() == atoms / 2,
+            "malformed pattern line in " + path.string());
+      std::vector<mts::PhaseCode> codes(atoms);
+      for (std::size_t d = 0; d < line.size(); ++d) {
+        const unsigned nibble = HexValue(line[d]);
+        codes[2 * d] = static_cast<mts::PhaseCode>(nibble >> 2);
+        codes[2 * d + 1] = static_cast<mts::PhaseCode>(nibble & 0x3u);
+      }
+      schedule.push_back(std::move(codes));
+    }
+    schedules.rounds.push_back(std::move(schedule));
+    schedules.outputs.push_back(std::move(outputs));
+  }
+  return schedules;
+}
+
+}  // namespace metaai::core

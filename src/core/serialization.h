@@ -1,0 +1,35 @@
+// Persistence for trained models and metasurface pattern schedules.
+//
+// Two artifact types a real deployment would ship around:
+//  * model files — the trained complex weights plus the modulation they
+//    expect, written by the training host and loaded by the controller
+//    service (versioned text format, locale-independent);
+//  * pattern files — the fully solved per-symbol 2-bit configuration
+//    schedules, i.e. exactly the byte stream the STM32-class controller
+//    clocks into its shift registers. One line per symbol, hex-packed
+//    (2 bits per atom), with the transmission-round structure preserved.
+#pragma once
+
+#include <filesystem>
+
+#include "core/training.h"
+#include "core/weight_mapper.h"
+
+namespace metaai::core {
+
+/// Writes `model` to `path`. Throws CheckError on I/O failure.
+void SaveModel(const TrainedModel& model, const std::filesystem::path& path);
+
+/// Reads a model previously written by SaveModel. Throws CheckError on
+/// I/O failure or malformed/unsupported content.
+TrainedModel LoadModel(const std::filesystem::path& path);
+
+/// Writes the solved schedules to a controller-consumable pattern file.
+void SavePatterns(const MappedSchedules& schedules, std::size_t num_atoms,
+                  const std::filesystem::path& path);
+
+/// Reads a pattern file back. Throws CheckError on malformed content.
+MappedSchedules LoadPatterns(const std::filesystem::path& path,
+                             std::size_t expected_atoms);
+
+}  // namespace metaai::core

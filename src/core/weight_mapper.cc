@@ -1,0 +1,162 @@
+#include "core/weight_mapper.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::core {
+namespace {
+
+// Largest magnitude the solver can reliably reach against `steering`:
+// the coherent sum of steering magnitudes times the 2-bit quantization
+// factor.
+double Reachable(std::span<const sim::Complex> steering) {
+  double sum = 0.0;
+  for (const auto& s : steering) sum += std::abs(s);
+  return 0.9 * sum;
+}
+
+double MaxWeightMagnitude(const ComplexMatrix& weights) {
+  double max_mag = 0.0;
+  for (std::size_t r = 0; r < weights.rows(); ++r) {
+    for (std::size_t c = 0; c < weights.cols(); ++c) {
+      max_mag = std::max(max_mag, std::abs(weights(r, c)));
+    }
+  }
+  return max_mag;
+}
+
+// Environment response expressed in solver units (the steering-sum
+// domain): z = tx * (alpha * B + env_raw) * x, so subtracting
+// env_raw / alpha from the target B absorbs the environment (Eqn 8).
+sim::Complex EnvironmentInSolverUnits(const sim::OtaLink& link,
+                                      std::size_t observation) {
+  return link.EnvironmentResponse(observation) /
+         (link.TxAmplitude() * link.MtsPathAmplitude(observation));
+}
+
+}  // namespace
+
+MappedSchedules MapSequential(const ComplexMatrix& weights,
+                              const sim::OtaLink& link,
+                              const MappingOptions& options) {
+  Check(weights.rows() > 0 && weights.cols() > 0, "empty weight matrix");
+  Check(link.num_observations() == 1,
+        "sequential mapping expects a single-observation link");
+  Check(options.target_fraction > 0.0 && options.target_fraction <= 1.0,
+        "target fraction must be in (0, 1]");
+
+  const auto steering = link.SteeringVector(0);
+  const double max_mag = MaxWeightMagnitude(weights);
+  Check(max_mag > 0.0, "all-zero weight matrix");
+  const double scale =
+      options.target_fraction * Reachable(steering) / max_mag;
+  const sim::Complex env_offset =
+      options.subtract_environment ? EnvironmentInSolverUnits(link, 0)
+                                   : sim::Complex{0.0, 0.0};
+
+  MappedSchedules result;
+  result.scale = scale;
+  double residual_sum = 0.0;
+  std::size_t residual_count = 0;
+  for (std::size_t r = 0; r < weights.rows(); ++r) {
+    sim::MtsSchedule schedule;
+    schedule.reserve(weights.cols());
+    for (std::size_t i = 0; i < weights.cols(); ++i) {
+      const sim::Complex target = scale * weights(r, i) - env_offset;
+      const auto solved =
+          mts::SolveSingleTarget(steering, target, options.solver);
+      schedule.push_back(solved.codes);
+      if (std::abs(target) > 1e-12) {
+        residual_sum += solved.residual / std::abs(target);
+        ++residual_count;
+      }
+    }
+    result.rounds.push_back(std::move(schedule));
+    result.outputs.push_back({static_cast<int>(r)});
+  }
+  result.mean_relative_residual =
+      residual_count > 0 ? residual_sum / static_cast<double>(residual_count)
+                         : 0.0;
+  return result;
+}
+
+MappedSchedules MapParallel(const ComplexMatrix& weights,
+                            const sim::OtaLink& link,
+                            const MappingOptions& options) {
+  Check(weights.rows() > 0 && weights.cols() > 0, "empty weight matrix");
+  const std::size_t width = link.num_observations();
+  Check(width >= 1, "parallel mapping needs observations");
+  Check(options.target_fraction > 0.0 && options.target_fraction <= 1.0,
+        "target fraction must be in (0, 1]");
+
+  // Steering matrix: one row per observation.
+  const std::size_t atoms = link.SteeringVector(0).size();
+  ComplexMatrix steering(width, atoms);
+  double min_reachable = 0.0;
+  for (std::size_t o = 0; o < width; ++o) {
+    const auto row = link.SteeringVector(o);
+    for (std::size_t m = 0; m < atoms; ++m) steering(o, m) = row[m];
+    const double reach = Reachable(row);
+    min_reachable = (o == 0) ? reach : std::min(min_reachable, reach);
+  }
+  const double max_mag = MaxWeightMagnitude(weights);
+  Check(max_mag > 0.0, "all-zero weight matrix");
+  // Serving K targets with one configuration splits the aperture; a
+  // conservative 1/width headroom keeps every target reachable.
+  const double scale = options.target_fraction * min_reachable /
+                       (max_mag * static_cast<double>(width));
+
+  std::vector<sim::Complex> env_offsets(width, sim::Complex{0.0, 0.0});
+  if (options.subtract_environment) {
+    for (std::size_t o = 0; o < width; ++o) {
+      env_offsets[o] = EnvironmentInSolverUnits(link, o);
+    }
+  }
+
+  MappedSchedules result;
+  result.scale = scale;
+  const std::size_t classes = weights.rows();
+  const std::size_t num_rounds = (classes + width - 1) / width;
+  double residual_sum = 0.0;
+  std::size_t residual_count = 0;
+
+  for (std::size_t round = 0; round < num_rounds; ++round) {
+    std::vector<int> outputs(width, -1);
+    for (std::size_t o = 0; o < width; ++o) {
+      const std::size_t cls = round * width + o;
+      if (cls < classes) outputs[o] = static_cast<int>(cls);
+    }
+    sim::MtsSchedule schedule;
+    schedule.reserve(weights.cols());
+    for (std::size_t i = 0; i < weights.cols(); ++i) {
+      std::vector<sim::Complex> targets(width);
+      for (std::size_t o = 0; o < width; ++o) {
+        targets[o] = outputs[o] >= 0
+                         ? scale * weights(static_cast<std::size_t>(
+                                               outputs[o]),
+                                           i) -
+                               env_offsets[o]
+                         : sim::Complex{0.0, 0.0};
+      }
+      const auto solved =
+          mts::SolveMultiTarget(steering, targets, options.solver);
+      schedule.push_back(solved.codes);
+      for (std::size_t o = 0; o < width; ++o) {
+        if (outputs[o] >= 0 && std::abs(targets[o]) > 1e-12) {
+          residual_sum += std::abs(solved.achieved[o] - targets[o]) /
+                          std::abs(targets[o]);
+          ++residual_count;
+        }
+      }
+    }
+    result.rounds.push_back(std::move(schedule));
+    result.outputs.push_back(std::move(outputs));
+  }
+  result.mean_relative_residual =
+      residual_count > 0 ? residual_sum / static_cast<double>(residual_count)
+                         : 0.0;
+  return result;
+}
+
+}  // namespace metaai::core

@@ -1,0 +1,60 @@
+// Desired-weights -> metasurface-configuration mapping (§3.2, Eqns 5-8).
+//
+// The trained network's weight row H_r(t_i) must be realized by the
+// surface at symbol time t_i. All weights are scaled by one common
+// positive factor (legal: Eqn 4's alpha_p argument — a common scale
+// preserves the class ordering) so the largest weight fits inside the
+// magnitude the discrete surface can reach, then each (output, symbol)
+// target is solved with the coordinate-descent solver. Parallel modes
+// (Eqns 9-10) solve all simultaneous targets of a symbol jointly against
+// the per-observation steering vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "mts/config_solver.h"
+#include "sim/link.h"
+
+namespace metaai::core {
+
+struct MappingOptions {
+  /// Fraction of the reachable magnitude the largest weight is scaled to.
+  double target_fraction = 0.85;
+  mts::SolveOptions solver;
+  /// Eqn 8: subtract the (known, static) environment response from every
+  /// target so the realized channel absorbs the multipath. Only
+  /// meaningful when multipath cancellation is off and the environment is
+  /// static; the zero-mean cancellation scheme (§3.2) is the robust
+  /// alternative and needs no estimation.
+  bool subtract_environment = false;
+};
+
+struct MappedSchedules {
+  /// One MTS schedule per transmission round. Sequential mode: round r
+  /// computes output r. Parallel modes: round j computes outputs
+  /// j*K .. j*K+K-1 on the link's K observations.
+  std::vector<sim::MtsSchedule> rounds;
+  /// Output index computed by (round, observation); -1 if that
+  /// observation is idle in that round (class count not divisible by K).
+  std::vector<std::vector<int>> outputs;
+  /// Common scale applied to all weights.
+  double scale = 0.0;
+  /// Mean solver residual relative to the scaled target magnitude.
+  double mean_relative_residual = 0.0;
+};
+
+/// Sequential mapping (one observation, R rounds of U symbols).
+MappedSchedules MapSequential(const ComplexMatrix& weights,
+                              const sim::OtaLink& link,
+                              const MappingOptions& options = {});
+
+/// Parallel mapping across the link's K observations (subcarriers or
+/// antennas): ceil(R / K) rounds; within a round, one shared configuration
+/// per symbol realizes K different weights jointly (Eqns 9-10).
+MappedSchedules MapParallel(const ComplexMatrix& weights,
+                            const sim::OtaLink& link,
+                            const MappingOptions& options = {});
+
+}  // namespace metaai::core

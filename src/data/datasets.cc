@@ -1,0 +1,422 @@
+#include "data/datasets.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/synth_image.h"
+
+namespace metaai::data {
+namespace {
+
+constexpr std::size_t kImageSide = 16;
+
+struct GeneratorConfig {
+  std::string name;
+  std::size_t num_classes;
+  std::size_t train_per_class;
+  std::size_t test_per_class;
+  std::uint64_t seed;
+  int prototype_blobs;
+  /// Fraction of a shared base field blended into every class prototype;
+  /// higher values make classes more confusable (0 = fully distinct).
+  double class_similarity = 0.0;
+  /// Radial Gaussian content window (sigma in pixels; 0 = none): class
+  /// content concentrates in the image center while the borders carry only
+  /// mid-gray + noise, mimicking MNIST-style empty margins. Uninformative
+  /// but noisy pixels are what separate the continuous model (which can
+  /// zero their weights) from DiscreteNN (whose weights have fixed
+  /// magnitude).
+  double content_window_sigma_px = 0.0;
+  /// When > 0, a fixed spatial noise-sigma map is generated: per-pixel
+  /// sigma = pixel_noise * exp(strength * (field - 0.5)), i.e. some pixels
+  /// are much noisier than others. See DistortionParams::per_pixel_noise.
+  double noise_heterogeneity = 0.0;
+  DistortionParams distortion;
+};
+
+Image BlendPrototype(const Image& shared, const Image& unique,
+                     double similarity) {
+  Image out = unique;
+  for (std::size_t i = 0; i < out.pixels.size(); ++i) {
+    out.pixels[i] =
+        similarity * shared.pixels[i] + (1.0 - similarity) * unique.pixels[i];
+  }
+  return out;
+}
+
+void ApplyContentWindow(Image& img, double sigma_px) {
+  if (sigma_px <= 0.0) return;
+  const double cy = (static_cast<double>(img.height) - 1.0) / 2.0;
+  const double cx = (static_cast<double>(img.width) - 1.0) / 2.0;
+  for (std::size_t y = 0; y < img.height; ++y) {
+    for (std::size_t x = 0; x < img.width; ++x) {
+      const double dy = (static_cast<double>(y) - cy) / sigma_px;
+      const double dx = (static_cast<double>(x) - cx) / sigma_px;
+      const double window = std::exp(-0.5 * (dy * dy + dx * dx));
+      img.at(y, x) = window * img.at(y, x) + (1.0 - window) * 0.5;
+    }
+  }
+}
+
+Dataset GenerateFromPrototypes(const GeneratorConfig& config,
+                               const DatasetOptions& options) {
+  const std::size_t train_n = options.train_per_class > 0
+                                  ? options.train_per_class
+                                  : config.train_per_class;
+  const std::size_t test_n = options.test_per_class > 0
+                                 ? options.test_per_class
+                                 : config.test_per_class;
+  const std::uint64_t seed = options.seed != 0 ? options.seed : config.seed;
+  Rng rng(seed);
+
+  DistortionParams distortion = config.distortion;
+  if (config.noise_heterogeneity > 0.0) {
+    const Image noise_field =
+        SmoothRandomField(kImageSide, kImageSide, 5, rng);
+    distortion.per_pixel_noise.resize(noise_field.pixels.size());
+    for (std::size_t i = 0; i < noise_field.pixels.size(); ++i) {
+      distortion.per_pixel_noise[i] =
+          config.distortion.pixel_noise *
+          std::exp(config.noise_heterogeneity *
+                   (noise_field.pixels[i] - 0.5));
+    }
+  }
+
+  const Image shared_base =
+      SmoothRandomField(kImageSide, kImageSide, config.prototype_blobs, rng);
+  std::vector<Image> prototypes;
+  prototypes.reserve(config.num_classes);
+  for (std::size_t c = 0; c < config.num_classes; ++c) {
+    const Image unique = SmoothRandomField(kImageSide, kImageSide,
+                                           config.prototype_blobs, rng);
+    Image prototype =
+        BlendPrototype(shared_base, unique, config.class_similarity);
+    ApplyContentWindow(prototype, config.content_window_sigma_px);
+    prototypes.push_back(std::move(prototype));
+  }
+
+  Dataset ds;
+  ds.name = config.name;
+  ds.num_classes = config.num_classes;
+  ds.height = kImageSide;
+  ds.width = kImageSide;
+  auto fill = [&](nn::RealDataset& out, std::size_t per_class) {
+    out.num_classes = config.num_classes;
+    out.dim = kImageSide * kImageSide;
+    for (std::size_t c = 0; c < config.num_classes; ++c) {
+      for (std::size_t s = 0; s < per_class; ++s) {
+        Image sample = RenderSample(prototypes[c], distortion, rng);
+        out.features.push_back(std::move(sample.pixels));
+        out.labels.push_back(static_cast<int>(c));
+      }
+    }
+  };
+  fill(ds.train, train_n);
+  fill(ds.test, test_n);
+  ds.train.Validate();
+  ds.test.Validate();
+  return ds;
+}
+
+// ---------------------------------------------------------------------
+// Widar-like gesture spectrograms: each class is a Doppler-frequency
+// trajectory shape rendered as a bright ridge in a 16 x 16 time-frequency
+// image, with per-sample speed/amplitude jitter and speckle noise.
+// ---------------------------------------------------------------------
+
+double ClassTrajectory(std::size_t cls, double t /* 0..1 */) {
+  switch (cls % 6) {
+    case 0:  // push-pull: one slow sinusoid
+      return 0.5 + 0.35 * std::sin(2.0 * M_PI * t);
+    case 1:  // sweep: linear chirp up
+      return 0.15 + 0.7 * t;
+    case 2:  // clap: fast double oscillation
+      return 0.5 + 0.3 * std::sin(4.0 * M_PI * t);
+    case 3:  // slide: chirp down
+      return 0.85 - 0.7 * t;
+    case 4:  // draw-circle: offset sinusoid
+      return 0.5 - 0.35 * std::cos(2.0 * M_PI * t);
+    default:  // draw-zigzag: triangle wave
+      return 0.2 + 0.6 * std::abs(2.0 * (t * 2.0 - std::floor(t * 2.0 + 0.5)));
+  }
+}
+
+Image RenderGesture(std::size_t cls, const DistortionParams& params,
+                    Rng& rng) {
+  Image img{kImageSide, kImageSide,
+            std::vector<double>(kImageSide * kImageSide, 0.0)};
+  const double speed = 1.0 + rng.Uniform(-0.2, 0.2);
+  const double offset = rng.Uniform(-0.17, 0.17);
+  const double ridge_width = rng.Uniform(1.0, 1.7);
+  const double amplitude = 1.0 + rng.Uniform(-0.25, 0.25);
+  for (std::size_t x = 0; x < kImageSide; ++x) {  // x = time
+    const double t =
+        std::fmin(1.0, speed * static_cast<double>(x) / (kImageSide - 1));
+    const double freq = ClassTrajectory(cls, t) + offset;  // 0..1
+    const double center = freq * (kImageSide - 1);
+    for (std::size_t y = 0; y < kImageSide; ++y) {  // y = Doppler bin
+      const double d = (static_cast<double>(y) - center) / ridge_width;
+      img.at(y, x) += amplitude * std::exp(-0.5 * d * d);
+    }
+  }
+  // Speckle + thermal noise typical of Wi-Fi Doppler spectrograms.
+  for (double& p : img.pixels) {
+    p *= 1.0 + rng.Normal(0.0, 0.40);
+    p += rng.Normal(0.0, params.pixel_noise);
+  }
+  ClampToUnit(img);
+  return img;
+}
+
+}  // namespace
+
+Dataset MakeMnistLike(const DatasetOptions& options) {
+  GeneratorConfig config{
+      .name = "MNIST-like",
+      .num_classes = 10,
+      .train_per_class = 200,
+      .test_per_class = 50,
+      .seed = 0xA11CE001,
+      .prototype_blobs = 4,
+      .class_similarity = 0.22,
+      .content_window_sigma_px = 4.5,
+      .distortion = {.max_rotation_rad = 0.15,
+                     .max_shift_px = 1.1,
+                     .scale_jitter = 0.08,
+                     .style_strength = 0.15,
+                     .pixel_noise = 0.08,
+                     .occlusion_prob = 0.0,
+                     .contrast_jitter = 0.10}};
+  return GenerateFromPrototypes(config, options);
+}
+
+Dataset MakeFashionLike(const DatasetOptions& options) {
+  GeneratorConfig config{
+      .name = "Fashion-like",
+      .num_classes = 10,
+      .train_per_class = 200,
+      .test_per_class = 50,
+      .seed = 0xA11CE002,
+      .prototype_blobs = 5,
+      .class_similarity = 0.19,
+      .content_window_sigma_px = 5.0,
+      .distortion = {.max_rotation_rad = 0.18,
+                     .max_shift_px = 1.3,
+                     .scale_jitter = 0.10,
+                     .style_strength = 0.18,
+                     .pixel_noise = 0.09,
+                     .occlusion_prob = 0.10,
+                     .occlusion_size = 5,
+                     .contrast_jitter = 0.14}};
+  return GenerateFromPrototypes(config, options);
+}
+
+Dataset MakeFruitsLike(const DatasetOptions& options) {
+  GeneratorConfig config{
+      .name = "Fruits-like",
+      .num_classes = 8,
+      .train_per_class = 200,
+      .test_per_class = 50,
+      .seed = 0xA11CE003,
+      .prototype_blobs = 3,
+      .class_similarity = 0.34,
+      .content_window_sigma_px = 5.0,
+      .distortion = {.max_rotation_rad = 0.22,
+                     .max_shift_px = 1.3,
+                     .scale_jitter = 0.10,
+                     .style_strength = 0.16,
+                     .pixel_noise = 0.08,
+                     .occlusion_prob = 0.0,
+                     .contrast_jitter = 0.20}};
+  return GenerateFromPrototypes(config, options);
+}
+
+Dataset MakeAfhqLike(const DatasetOptions& options) {
+  GeneratorConfig config{
+      .name = "AFHQ-like",
+      .num_classes = 3,
+      .train_per_class = 300,
+      .test_per_class = 100,
+      .seed = 0xA11CE004,
+      .prototype_blobs = 6,
+      .class_similarity = 0.36,
+      .content_window_sigma_px = 4.5,
+      .distortion = {.max_rotation_rad = 0.20,
+                     .max_shift_px = 1.5,
+                     .scale_jitter = 0.12,
+                     .style_strength = 0.24,
+                     .pixel_noise = 0.09,
+                     .occlusion_prob = 0.10,
+                     .occlusion_size = 4,
+                     .contrast_jitter = 0.16}};
+  return GenerateFromPrototypes(config, options);
+}
+
+Dataset MakeCelebaLike(const DatasetOptions& options) {
+  // The paper itself uses only 220 training / 80 test images for 10
+  // identities; the tiny training set is part of why faces score lowest.
+  GeneratorConfig config{
+      .name = "CelebA-like",
+      .num_classes = 10,
+      .train_per_class = 22,
+      .test_per_class = 8,
+      .seed = 0xA11CE005,
+      .prototype_blobs = 6,
+      .class_similarity = 0.08,
+      .content_window_sigma_px = 6.0,
+      .noise_heterogeneity = 2.8,
+      .distortion = {.max_rotation_rad = 0.10,
+                     .max_shift_px = 0.9,
+                     .scale_jitter = 0.07,
+                     .style_strength = 0.12,
+                     .pixel_noise = 0.09,
+                     .occlusion_prob = 0.03,
+                     .occlusion_size = 5,
+                     .contrast_jitter = 0.14}};
+  return GenerateFromPrototypes(config, options);
+}
+
+Dataset MakeWidarLike(const DatasetOptions& options) {
+  const std::size_t train_n =
+      options.train_per_class > 0 ? options.train_per_class : 100;
+  const std::size_t test_n =
+      options.test_per_class > 0 ? options.test_per_class : 50;
+  Rng rng(options.seed != 0 ? options.seed : 0xA11CE006);
+  DistortionParams params;
+  params.pixel_noise = 0.50;
+
+  Dataset ds;
+  ds.name = "Widar-like";
+  ds.num_classes = 6;
+  ds.height = kImageSide;
+  ds.width = kImageSide;
+  auto fill = [&](nn::RealDataset& out, std::size_t per_class) {
+    out.num_classes = 6;
+    out.dim = kImageSide * kImageSide;
+    for (std::size_t c = 0; c < 6; ++c) {
+      for (std::size_t s = 0; s < per_class; ++s) {
+        Image sample = RenderGesture(c, params, rng);
+        out.features.push_back(std::move(sample.pixels));
+        out.labels.push_back(static_cast<int>(c));
+      }
+    }
+  };
+  fill(ds.train, train_n);
+  fill(ds.test, test_n);
+  ds.train.Validate();
+  ds.test.Validate();
+  return ds;
+}
+
+Dataset MakeFaceStreamLike(const DatasetOptions& options) {
+  constexpr std::size_t kClasses = 10;
+  constexpr std::size_t kBackgrounds = 5;
+  const std::size_t frames_per_background =
+      options.train_per_class > 0 ? options.train_per_class / kBackgrounds
+                                  : 12;
+  const std::size_t supplements =
+      options.train_per_class > 0 ? options.train_per_class / 2 : 30;
+  const std::size_t captures_per_identity =
+      options.test_per_class > 0 ? options.test_per_class : 20;
+  Rng rng(options.seed != 0 ? options.seed : 0xA11CE007);
+
+  // Identity prototypes, center-windowed like the CelebA-like faces.
+  std::vector<Image> identities;
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    Image face = SmoothRandomField(kImageSide, kImageSide, 6, rng);
+    ApplyContentWindow(face, 5.0);
+    identities.push_back(std::move(face));
+  }
+  std::vector<Image> backgrounds;
+  for (std::size_t b = 0; b < kBackgrounds; ++b) {
+    backgrounds.push_back(SmoothRandomField(kImageSide, kImageSide, 3, rng));
+  }
+
+  const DistortionParams camera_params{.max_rotation_rad = 0.10,
+                                       .max_shift_px = 1.0,
+                                       .scale_jitter = 0.08,
+                                       .style_strength = 0.12,
+                                       .pixel_noise = 0.08,
+                                       .occlusion_prob = 0.05,
+                                       .occlusion_size = 4,
+                                       .contrast_jitter = 0.15};
+  DistortionParams live_params = camera_params;  // natural standing pose
+  live_params.max_rotation_rad = 0.16;
+  live_params.max_shift_px = 1.5;
+  live_params.pixel_noise = 0.10;
+
+  auto compose = [&](std::size_t identity, std::size_t background,
+                     const DistortionParams& params) {
+    Image sample = RenderSample(identities[identity], params, rng);
+    for (std::size_t i = 0; i < sample.pixels.size(); ++i) {
+      sample.pixels[i] = 0.72 * sample.pixels[i] +
+                         0.28 * backgrounds[background].pixels[i];
+    }
+    ClampToUnit(sample);
+    return sample;
+  };
+
+  Dataset ds;
+  ds.name = "FaceStream";
+  ds.num_classes = kClasses;
+  ds.height = kImageSide;
+  ds.width = kImageSide;
+  ds.train.num_classes = kClasses;
+  ds.train.dim = kImageSide * kImageSide;
+  ds.test.num_classes = kClasses;
+  ds.test.dim = kImageSide * kImageSide;
+
+  const DistortionParams supplement_params{.max_rotation_rad = 0.14,
+                                           .max_shift_px = 1.2,
+                                           .scale_jitter = 0.10,
+                                           .style_strength = 0.20,
+                                           .pixel_noise = 0.09,
+                                           .occlusion_prob = 0.08,
+                                           .occlusion_size = 5,
+                                           .contrast_jitter = 0.20};
+  for (std::size_t c = 0; c < kClasses; ++c) {
+    // IoT camera frames across the five monitored backgrounds.
+    for (std::size_t b = 0; b < kBackgrounds; ++b) {
+      for (std::size_t f = 0; f < frames_per_background; ++f) {
+        Image frame = compose(c, b, camera_params);
+        ds.train.features.push_back(std::move(frame.pixels));
+        ds.train.labels.push_back(static_cast<int>(c));
+      }
+    }
+    // CelebA-style supplements (no background composition).
+    for (std::size_t sup = 0; sup < supplements; ++sup) {
+      Image frame = RenderSample(identities[c], supplement_params, rng);
+      ds.train.features.push_back(std::move(frame.pixels));
+      ds.train.labels.push_back(static_cast<int>(c));
+    }
+    // Live test captures in random monitored areas.
+    for (std::size_t t = 0; t < captures_per_identity; ++t) {
+      const auto b = static_cast<std::size_t>(
+          rng.UniformInt(std::uint64_t{kBackgrounds}));
+      Image frame = compose(c, b, live_params);
+      ds.test.features.push_back(std::move(frame.pixels));
+      ds.test.labels.push_back(static_cast<int>(c));
+    }
+  }
+  ds.train.Validate();
+  ds.test.Validate();
+  return ds;
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"mnist", "fashion", "fruits", "afhq", "celeba", "widar"};
+}
+
+Dataset MakeByName(std::string_view name, const DatasetOptions& options) {
+  if (name == "mnist") return MakeMnistLike(options);
+  if (name == "fashion") return MakeFashionLike(options);
+  if (name == "fruits") return MakeFruitsLike(options);
+  if (name == "afhq") return MakeAfhqLike(options);
+  if (name == "celeba") return MakeCelebaLike(options);
+  if (name == "widar") return MakeWidarLike(options);
+  throw CheckError("unknown dataset name: " + std::string(name));
+}
+
+}  // namespace metaai::data

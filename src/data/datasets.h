@@ -1,0 +1,58 @@
+// Factories for the six evaluation datasets (Table 1).
+//
+// Each factory is a synthetic, deterministic stand-in for the paper's
+// dataset (see DESIGN.md "Hardware substitutions"): same class count and
+// task flavor, difficulty calibrated so a single-layer linear model and a
+// deep CNN land in the paper's relative accuracy bands. All pixels are in
+// [0, 1]; images are 16 x 16 (U = 256 symbols at one symbol per pixel).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nn/types.h"
+
+namespace metaai::data {
+
+/// A complete train/test image classification dataset.
+struct Dataset {
+  std::string name;
+  std::size_t num_classes = 0;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  nn::RealDataset train;
+  nn::RealDataset test;
+};
+
+/// Per-dataset sample-count overrides (0 = use the dataset's default).
+struct DatasetOptions {
+  std::size_t train_per_class = 0;
+  std::size_t test_per_class = 0;
+  std::uint64_t seed = 0;  // 0 = dataset default seed
+};
+
+Dataset MakeMnistLike(const DatasetOptions& options = {});
+Dataset MakeFashionLike(const DatasetOptions& options = {});
+Dataset MakeFruitsLike(const DatasetOptions& options = {});
+Dataset MakeAfhqLike(const DatasetOptions& options = {});
+Dataset MakeCelebaLike(const DatasetOptions& options = {});
+Dataset MakeWidarLike(const DatasetOptions& options = {});
+
+/// §5.4 real-time face-recognition case study: ten identities captured by
+/// IoT cameras against five backgrounds (12 clear frames per background =
+/// 60 per identity), supplemented by 30 CelebA-like images per identity;
+/// the test split holds 20 live captures per identity with natural pose
+/// variation. Returns a Dataset whose train split holds the camera frames
+/// plus supplements.
+Dataset MakeFaceStreamLike(const DatasetOptions& options = {});
+
+/// Names accepted by MakeByName, in Table 1 order.
+std::vector<std::string> AllDatasetNames();
+
+/// Factory by name ("mnist", "fashion", "fruits", "afhq", "celeba",
+/// "widar"). Throws CheckError for unknown names.
+Dataset MakeByName(std::string_view name, const DatasetOptions& options = {});
+
+}  // namespace metaai::data

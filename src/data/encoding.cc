@@ -1,0 +1,94 @@
+#include "data/encoding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::data {
+
+unsigned QuantizeIntensity(double intensity, int bits) {
+  Check(bits >= 1 && bits <= 16, "bits out of range");
+  const auto levels = 1u << bits;
+  const double clamped = std::clamp(intensity, 0.0, 1.0);
+  const auto level = static_cast<unsigned>(clamped * levels);
+  return std::min(level, levels - 1);
+}
+
+double DequantizeLevel(unsigned level, int bits) {
+  Check(bits >= 1 && bits <= 16, "bits out of range");
+  const auto levels = 1u << bits;
+  Check(level < levels, "level out of range");
+  return (static_cast<double>(level) + 0.5) / static_cast<double>(levels);
+}
+
+namespace {
+
+// Maps a quantized intensity level onto constellation *bits* so that
+// consecutive levels land on geometrically adjacent constellation points:
+// the high half of the level walks the I axis, the low half snakes up and
+// down the Q axis (boustrophedon), and each axis index is Gray-encoded to
+// match the modulator's Gray-mapped PAM.
+unsigned LevelToSymbolBits(unsigned level, int bits) {
+  if (bits == 1) return level;
+  const int half = bits / 2;
+  const unsigned axis_mask = (1u << half) - 1u;
+  const unsigned i_idx = level >> half;
+  const unsigned q_raw = level & axis_mask;
+  const unsigned q_idx = (i_idx & 1u) ? (axis_mask - q_raw) : q_raw;
+  return (rf::BinaryToGrayCode(i_idx) << half) | rf::BinaryToGrayCode(q_idx);
+}
+
+unsigned SymbolBitsToLevel(unsigned symbol_bits, int bits) {
+  if (bits == 1) return symbol_bits;
+  const int half = bits / 2;
+  const unsigned axis_mask = (1u << half) - 1u;
+  const unsigned i_idx = rf::GrayToBinaryCode(symbol_bits >> half);
+  const unsigned q_idx = rf::GrayToBinaryCode(symbol_bits & axis_mask);
+  const unsigned q_raw = (i_idx & 1u) ? (axis_mask - q_idx) : q_idx;
+  return (i_idx << half) | q_raw;
+}
+
+}  // namespace
+
+std::vector<nn::Complex> EncodeSample(const std::vector<double>& pixels,
+                                      rf::Modulation scheme) {
+  const int bits = rf::BitsPerSymbol(scheme);
+  std::vector<nn::Complex> symbols;
+  symbols.reserve(pixels.size());
+  for (const double p : pixels) {
+    const unsigned level = QuantizeIntensity(p, bits);
+    symbols.push_back(
+        rf::SymbolForLevel(LevelToSymbolBits(level, bits), scheme));
+  }
+  return symbols;
+}
+
+std::vector<double> DecodeSample(const std::vector<nn::Complex>& symbols,
+                                 rf::Modulation scheme) {
+  const int bits = rf::BitsPerSymbol(scheme);
+  std::vector<double> pixels;
+  pixels.reserve(symbols.size());
+  for (const nn::Complex& s : symbols) {
+    const unsigned level =
+        SymbolBitsToLevel(rf::LevelForSymbol(s, scheme), bits);
+    pixels.push_back(DequantizeLevel(level, bits));
+  }
+  return pixels;
+}
+
+nn::ComplexDataset EncodeDataset(const nn::RealDataset& dataset,
+                                 rf::Modulation scheme) {
+  dataset.Validate();
+  nn::ComplexDataset out;
+  out.num_classes = dataset.num_classes;
+  out.dim = dataset.dim;
+  out.labels = dataset.labels;
+  out.features.reserve(dataset.features.size());
+  for (const auto& pixels : dataset.features) {
+    out.features.push_back(EncodeSample(pixels, scheme));
+  }
+  return out;
+}
+
+}  // namespace metaai::data

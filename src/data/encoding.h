@@ -1,0 +1,36 @@
+// Pixel -> bits -> modulation symbols (§3.1 "encode each sample into data
+// bits, which are then modulated into symbols").
+//
+// Each pixel becomes exactly one symbol: the pixel's [0,1] intensity is
+// quantized to the modulation's bits-per-symbol depth and mapped onto the
+// constellation. The default 256-QAM setup therefore carries 8-bit pixels
+// one per symbol, while BPSK (Fig 23) carries binarized pixels — the input
+// length U stays equal to the pixel count for every scheme.
+#pragma once
+
+#include <vector>
+
+#include "nn/types.h"
+#include "rf/modulation.h"
+
+namespace metaai::data {
+
+/// Quantizes a [0,1] intensity to a level in [0, 2^bits).
+unsigned QuantizeIntensity(double intensity, int bits);
+
+/// Inverse of QuantizeIntensity: level -> bucket-center intensity.
+double DequantizeLevel(unsigned level, int bits);
+
+/// Encodes one pixel vector into modulation symbols (one per pixel).
+std::vector<nn::Complex> EncodeSample(const std::vector<double>& pixels,
+                                      rf::Modulation scheme);
+
+/// Hard-decision decode of a symbol vector back to intensities.
+std::vector<double> DecodeSample(const std::vector<nn::Complex>& symbols,
+                                 rf::Modulation scheme);
+
+/// Encodes a whole real dataset into the complex symbol domain.
+nn::ComplexDataset EncodeDataset(const nn::RealDataset& dataset,
+                                 rf::Modulation scheme);
+
+}  // namespace metaai::data

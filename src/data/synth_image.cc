@@ -1,0 +1,159 @@
+#include "data/synth_image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::data {
+
+Image SmoothRandomField(std::size_t height, std::size_t width, int num_blobs,
+                        Rng& rng) {
+  Check(height > 0 && width > 0, "field needs positive dimensions");
+  Check(num_blobs >= 0, "negative blob count");
+  Image img{height, width, std::vector<double>(height * width, 0.0)};
+
+  const auto h = static_cast<double>(height);
+  const auto w = static_cast<double>(width);
+
+  // Gaussian blobs with random centers, widths and signed amplitudes.
+  for (int b = 0; b < num_blobs; ++b) {
+    const double cy = rng.Uniform(0.15 * h, 0.85 * h);
+    const double cx = rng.Uniform(0.15 * w, 0.85 * w);
+    const double sigma = rng.Uniform(0.08, 0.25) * std::min(h, w);
+    const double amp = rng.Uniform(0.4, 1.0) * (rng.Bernoulli(0.5) ? 1 : -1);
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double dy = (static_cast<double>(y) - cy) / sigma;
+        const double dx = (static_cast<double>(x) - cx) / sigma;
+        img.at(y, x) += amp * std::exp(-0.5 * (dy * dy + dx * dx));
+      }
+    }
+  }
+
+  // Two low-frequency sinusoidal components for global structure.
+  for (int k = 0; k < 2; ++k) {
+    const double fy = rng.Uniform(0.5, 1.5) * 2.0 * M_PI / h;
+    const double fx = rng.Uniform(0.5, 1.5) * 2.0 * M_PI / w;
+    const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+    const double amp = rng.Uniform(0.2, 0.5);
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        img.at(y, x) += amp * std::sin(fy * static_cast<double>(y) +
+                                       fx * static_cast<double>(x) + phase);
+      }
+    }
+  }
+
+  // Normalize to [0, 1].
+  const auto [min_it, max_it] =
+      std::minmax_element(img.pixels.begin(), img.pixels.end());
+  const double lo = *min_it;
+  const double range = std::max(*max_it - lo, 1e-9);
+  for (double& p : img.pixels) p = (p - lo) / range;
+  return img;
+}
+
+double SampleBilinear(const Image& img, double y, double x) {
+  if (y <= -1.0 || x <= -1.0 || y >= static_cast<double>(img.height) ||
+      x >= static_cast<double>(img.width)) {
+    return 0.0;
+  }
+  const double fy = std::floor(y);
+  const double fx = std::floor(x);
+  const double wy = y - fy;
+  const double wx = x - fx;
+  auto pixel = [&](double py, double px) -> double {
+    if (py < 0.0 || px < 0.0 || py >= static_cast<double>(img.height) ||
+        px >= static_cast<double>(img.width)) {
+      return 0.0;
+    }
+    return img.at(static_cast<std::size_t>(py), static_cast<std::size_t>(px));
+  };
+  return (1.0 - wy) * (1.0 - wx) * pixel(fy, fx) +
+         (1.0 - wy) * wx * pixel(fy, fx + 1.0) +
+         wy * (1.0 - wx) * pixel(fy + 1.0, fx) +
+         wy * wx * pixel(fy + 1.0, fx + 1.0);
+}
+
+Image AffineWarp(const Image& img, double angle_rad, double scale, double dy,
+                 double dx) {
+  Check(scale > 0.0, "scale must be positive");
+  Image out{img.height, img.width,
+            std::vector<double>(img.height * img.width, 0.0)};
+  const double cy = (static_cast<double>(img.height) - 1.0) / 2.0;
+  const double cx = (static_cast<double>(img.width) - 1.0) / 2.0;
+  const double cos_a = std::cos(angle_rad);
+  const double sin_a = std::sin(angle_rad);
+  for (std::size_t y = 0; y < img.height; ++y) {
+    for (std::size_t x = 0; x < img.width; ++x) {
+      // Inverse map: output pixel -> source coordinates.
+      const double oy = static_cast<double>(y) - cy - dy;
+      const double ox = static_cast<double>(x) - cx - dx;
+      const double sy = (cos_a * oy + sin_a * ox) / scale + cy;
+      const double sx = (-sin_a * oy + cos_a * ox) / scale + cx;
+      out.at(y, x) = SampleBilinear(img, sy, sx);
+    }
+  }
+  return out;
+}
+
+void ClampToUnit(Image& img) {
+  for (double& p : img.pixels) p = std::clamp(p, 0.0, 1.0);
+}
+
+Image RenderSample(const Image& prototype, const DistortionParams& params,
+                   Rng& rng) {
+  const double angle =
+      rng.Uniform(-params.max_rotation_rad, params.max_rotation_rad);
+  const double scale =
+      1.0 + rng.Uniform(-params.scale_jitter, params.scale_jitter);
+  const double dy = rng.Uniform(-params.max_shift_px, params.max_shift_px);
+  const double dx = rng.Uniform(-params.max_shift_px, params.max_shift_px);
+  Image sample = AffineWarp(prototype, angle, scale, dy, dx);
+
+  // Per-sample smooth style field (illumination / texture variation).
+  if (params.style_strength > 0.0) {
+    const Image style =
+        SmoothRandomField(sample.height, sample.width, 2, rng);
+    for (std::size_t i = 0; i < sample.pixels.size(); ++i) {
+      sample.pixels[i] += params.style_strength * (style.pixels[i] - 0.5);
+    }
+  }
+
+  // Contrast jitter.
+  const double gain =
+      1.0 + rng.Uniform(-params.contrast_jitter, params.contrast_jitter);
+  for (double& p : sample.pixels) p *= gain;
+
+  // Occlusion.
+  if (params.occlusion_prob > 0.0 && rng.Bernoulli(params.occlusion_prob)) {
+    const std::size_t size =
+        std::min(params.occlusion_size, std::min(sample.height, sample.width));
+    const auto max_y = sample.height - size;
+    const auto max_x = sample.width - size;
+    const auto oy = static_cast<std::size_t>(rng.UniformInt(max_y + 1));
+    const auto ox = static_cast<std::size_t>(rng.UniformInt(max_x + 1));
+    for (std::size_t y = oy; y < oy + size; ++y) {
+      for (std::size_t x = ox; x < ox + size; ++x) {
+        sample.at(y, x) = 0.0;
+      }
+    }
+  }
+
+  // Pixel noise (optionally heterogeneous across pixels).
+  if (!params.per_pixel_noise.empty()) {
+    Check(params.per_pixel_noise.size() == sample.pixels.size(),
+          "per-pixel noise map size mismatch");
+    for (std::size_t i = 0; i < sample.pixels.size(); ++i) {
+      sample.pixels[i] += rng.Normal(0.0, params.per_pixel_noise[i]);
+    }
+  } else if (params.pixel_noise > 0.0) {
+    for (double& p : sample.pixels) p += rng.Normal(0.0, params.pixel_noise);
+  }
+
+  ClampToUnit(sample);
+  return sample;
+}
+
+}  // namespace metaai::data

@@ -1,0 +1,49 @@
+#include "mts/beam_scan.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::mts {
+
+std::vector<PhaseCode> FocusCodes(const Metasurface& surface,
+                                  const LinkGeometry& geometry) {
+  std::vector<PhaseCode> codes(surface.num_atoms());
+  for (std::size_t m = 0; m < codes.size(); ++m) {
+    // Cancel the propagation phase so all atoms add coherently at the
+    // receiver direction.
+    codes[m] = NearestCode(-std::arg(surface.PathPhasor(m, geometry)));
+  }
+  return codes;
+}
+
+BeamScanResult ScanForReceiver(
+    const Metasurface& surface, const LinkGeometry& geometry,
+    double min_angle_rad, double max_angle_rad, int steps,
+    const std::function<double(std::span<const PhaseCode>)>& measure_power) {
+  Check(steps >= 2, "beam scan needs at least two steps");
+  Check(max_angle_rad > min_angle_rad, "beam scan needs a non-empty range");
+  Check(static_cast<bool>(measure_power), "beam scan needs a measurement");
+
+  BeamScanResult result;
+  result.scanned_powers.reserve(static_cast<std::size_t>(steps));
+  bool first = true;
+  for (int i = 0; i < steps; ++i) {
+    const double angle = min_angle_rad + (max_angle_rad - min_angle_rad) *
+                                             static_cast<double>(i) /
+                                             static_cast<double>(steps - 1);
+    LinkGeometry candidate = geometry;
+    candidate.rx_angle_rad = angle;
+    const auto codes = FocusCodes(surface, candidate);
+    const double power = measure_power(codes);
+    result.scanned_powers.push_back(power);
+    if (first || power > result.peak_power) {
+      first = false;
+      result.peak_power = power;
+      result.angle_rad = angle;
+    }
+  }
+  return result;
+}
+
+}  // namespace metaai::mts

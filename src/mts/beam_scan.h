@@ -1,0 +1,38 @@
+// Beam scanning for receiver-direction estimation (§3.2).
+//
+// The weight-implementation step needs the emergence angle theta toward the
+// receiver. The paper estimates it with standard beam scanning: sweep focus
+// configurations over candidate angles and pick the one maximizing received
+// power. The scan consumes a power-measurement callback so it works against
+// both the simulator and (hypothetically) real hardware.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mts/metasurface.h"
+
+namespace metaai::mts {
+
+/// Phase codes that focus the reflection of a transmitter at
+/// `geometry.tx_*` toward the emergence angle `geometry.rx_angle_rad`:
+/// each atom's code cancels its propagation phase.
+std::vector<PhaseCode> FocusCodes(const Metasurface& surface,
+                                  const LinkGeometry& geometry);
+
+struct BeamScanResult {
+  double angle_rad = 0.0;
+  double peak_power = 0.0;
+  std::vector<double> scanned_powers;  // one per candidate angle
+};
+
+/// Sweeps candidate emergence angles in [min_angle, max_angle] with
+/// `steps` points. For each candidate it builds FocusCodes and calls
+/// `measure_power(codes)`; returns the angle with maximum power.
+BeamScanResult ScanForReceiver(
+    const Metasurface& surface, const LinkGeometry& geometry,
+    double min_angle_rad, double max_angle_rad, int steps,
+    const std::function<double(std::span<const PhaseCode>)>& measure_power);
+
+}  // namespace metaai::mts

@@ -1,0 +1,114 @@
+#include "mts/config_solver.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::mts {
+namespace {
+
+// Nearest-phase initialization for a single target: rotate each atom so
+// its contribution points toward the target.
+std::vector<PhaseCode> InitializeToward(std::span<const Complex> steering,
+                                        Complex target) {
+  const double target_phase = std::arg(target);
+  std::vector<PhaseCode> codes(steering.size());
+  for (std::size_t m = 0; m < steering.size(); ++m) {
+    codes[m] = NearestCode(target_phase - std::arg(steering[m]));
+  }
+  return codes;
+}
+
+}  // namespace
+
+double ReachableMagnitude(std::size_t num_atoms) {
+  // Mean projection of a uniformly distributed phase error in
+  // [-pi/4, pi/4]: sin(pi/4) / (pi/4).
+  constexpr double kQuantizationFactor = 0.9003163161571062;
+  return static_cast<double>(num_atoms) * kQuantizationFactor;
+}
+
+SolveResult SolveSingleTarget(std::span<const Complex> steering,
+                              Complex target, const SolveOptions& options) {
+  Check(!steering.empty(), "solver requires at least one atom");
+  ComplexMatrix matrix(1, steering.size());
+  for (std::size_t m = 0; m < steering.size(); ++m) matrix(0, m) = steering[m];
+  const Complex targets[] = {target};
+  // Seed the multi-target engine with the directional initialization by
+  // running it after setting codes; SolveMultiTarget handles the sweep.
+  return SolveMultiTarget(matrix, targets, options);
+}
+
+SolveResult SolveMultiTarget(const ComplexMatrix& steering,
+                             std::span<const Complex> targets,
+                             const SolveOptions& options) {
+  const std::size_t num_targets = steering.rows();
+  const std::size_t num_atoms = steering.cols();
+  Check(num_targets > 0 && num_atoms > 0, "solver requires targets and atoms");
+  Check(targets.size() == num_targets, "target count mismatch");
+  Check(options.max_sweeps > 0, "max_sweeps must be positive");
+
+  SolveResult result;
+  // Initialization: align toward the first target (arbitrary but stable);
+  // for the single-target case this is the classic nearest-phase beam.
+  {
+    std::vector<Complex> first_row(num_atoms);
+    for (std::size_t m = 0; m < num_atoms; ++m) first_row[m] = steering(0, m);
+    result.codes = InitializeToward(first_row, targets[0]);
+  }
+
+  // Running sums per target for the current configuration.
+  std::vector<Complex> sums(num_targets, Complex{0.0, 0.0});
+  for (std::size_t k = 0; k < num_targets; ++k) {
+    for (std::size_t m = 0; m < num_atoms; ++m) {
+      sums[k] += steering(k, m) * PhasorForCode(result.codes[m]);
+    }
+  }
+
+  auto total_error = [&]() {
+    double err = 0.0;
+    for (std::size_t k = 0; k < num_targets; ++k) {
+      err += std::norm(sums[k] - targets[k]);
+    }
+    return err;
+  };
+
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    bool changed = false;
+    for (std::size_t m = 0; m < num_atoms; ++m) {
+      const PhaseCode old_code = result.codes[m];
+      const Complex old_phasor = PhasorForCode(old_code);
+      PhaseCode best_code = old_code;
+      double best_error = 0.0;
+      bool first = true;
+      for (PhaseCode candidate = 0; candidate < kNumPhaseStates; ++candidate) {
+        const Complex delta = PhasorForCode(candidate) - old_phasor;
+        double err = 0.0;
+        for (std::size_t k = 0; k < num_targets; ++k) {
+          err += std::norm(sums[k] + steering(k, m) * delta - targets[k]);
+        }
+        if (first || err < best_error) {
+          first = false;
+          best_error = err;
+          best_code = candidate;
+        }
+      }
+      if (best_code != old_code) {
+        const Complex delta = PhasorForCode(best_code) - old_phasor;
+        for (std::size_t k = 0; k < num_targets; ++k) {
+          sums[k] += steering(k, m) * delta;
+        }
+        result.codes[m] = best_code;
+        changed = true;
+      }
+    }
+    result.sweeps_used = sweep + 1;
+    if (!changed) break;
+  }
+
+  result.achieved = sums;
+  result.residual = std::sqrt(total_error());
+  return result;
+}
+
+}  // namespace metaai::mts

@@ -1,0 +1,56 @@
+// Discrete phase-configuration solver (Eqns 7-10).
+//
+// Given the per-atom steering phasors of a link and a desired complex
+// weight H_des, the solver picks one of four phase states per atom to
+// minimize |H_mts(Phi) - H_des| (Eqn 7). Variants:
+//  * environment-aware: target (H_des - H_e) so the environmental channel
+//    is absorbed into the optimization (Eqn 8);
+//  * multi-target: one shared Phi must realize a different weight on each
+//    subcarrier (Eqn 9) or at each receive antenna (Eqn 10); the solver
+//    minimizes the summed squared error across targets.
+//
+// The optimizer is incremental coordinate descent: per sweep each atom
+// tries its four states against the running sums, which makes a sweep
+// O(M * states * targets). A nearest-phase initialization gives it a good
+// starting point; a handful of sweeps converge in practice.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "mts/meta_atom.h"
+
+namespace metaai::mts {
+
+struct SolveOptions {
+  int max_sweeps = 8;
+};
+
+struct SolveResult {
+  std::vector<PhaseCode> codes;
+  /// Achieved sum_m steering[m] e^{j phi_m} per target.
+  std::vector<Complex> achieved;
+  /// Root of the summed squared error across targets.
+  double residual = 0.0;
+  int sweeps_used = 0;
+};
+
+/// Single-target solve: min over codes of |sum_m steering[m] e^{j phi_m}
+/// - target|. `steering` has one phasor per atom.
+SolveResult SolveSingleTarget(std::span<const Complex> steering,
+                              Complex target, const SolveOptions& options = {});
+
+/// Multi-target solve with shared codes: `steering(k, m)` is the phasor of
+/// atom m toward target k; minimizes sum_k |sum_m steering(k,m) e^{j phi_m}
+/// - targets[k]|^2.
+SolveResult SolveMultiTarget(const ComplexMatrix& steering,
+                             std::span<const Complex> targets,
+                             const SolveOptions& options = {});
+
+/// Largest |target| magnitude reliably reachable with M atoms of 2-bit
+/// phase: aligning every atom to the nearest of 4 states loses the
+/// sinc-like quantization factor sin(pi/4)/(pi/4) ~= 0.9.
+double ReachableMagnitude(std::size_t num_atoms);
+
+}  // namespace metaai::mts

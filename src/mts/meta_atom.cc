@@ -1,0 +1,44 @@
+#include "mts/meta_atom.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::mts {
+
+double PhaseForCode(PhaseCode code) {
+  Check(code < kNumPhaseStates, "phase code out of range");
+  return static_cast<double>(code) * M_PI / 2.0;
+}
+
+Complex PhasorForCode(PhaseCode code) {
+  // Exact values avoid accumulating trig error over 256-atom sums.
+  switch (code) {
+    case 0:
+      return {1.0, 0.0};
+    case 1:
+      return {0.0, 1.0};
+    case 2:
+      return {-1.0, 0.0};
+    case 3:
+      return {0.0, -1.0};
+    default:
+      throw CheckError("phase code out of range");
+  }
+}
+
+PhaseCode OppositeCode(PhaseCode code) {
+  Check(code < kNumPhaseStates, "phase code out of range");
+  return static_cast<PhaseCode>((code + 2) % kNumPhaseStates);
+}
+
+PhaseCode NearestCode(double phase_rad) {
+  const double two_pi = 2.0 * M_PI;
+  double wrapped = std::fmod(phase_rad, two_pi);
+  if (wrapped < 0.0) wrapped += two_pi;
+  const int code = static_cast<int>(std::lround(wrapped / (M_PI / 2.0))) %
+                   kNumPhaseStates;
+  return static_cast<PhaseCode>(code);
+}
+
+}  // namespace metaai::mts

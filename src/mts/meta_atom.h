@@ -1,0 +1,35 @@
+// 2-bit programmable meta-atom model.
+//
+// The paper's prototype embeds two PIN diodes per meta-atom, giving four
+// discrete reflection phase states (0, pi/2, pi, 3pi/2) selected by a 2-bit
+// code; reflection amplitude is uniform across states (§2.2.2, Fig 14).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace metaai::mts {
+
+using Complex = std::complex<double>;
+
+inline constexpr int kPhaseBits = 2;
+inline constexpr int kNumPhaseStates = 1 << kPhaseBits;  // 4
+
+/// 2-bit phase code, 0..3 mapping to {0, pi/2, pi, 3pi/2}.
+using PhaseCode = std::uint8_t;
+
+/// Phase shift in radians for a code.
+double PhaseForCode(PhaseCode code);
+
+/// Unit phasor e^{j phase(code)}.
+Complex PhasorForCode(PhaseCode code);
+
+/// The code whose phase differs by exactly pi (used for the mid-symbol
+/// flip of the multipath-cancellation scheme: a 2-bit atom always has an
+/// exact antipodal state).
+PhaseCode OppositeCode(PhaseCode code);
+
+/// Nearest discrete code for an arbitrary phase in radians.
+PhaseCode NearestCode(double phase_rad);
+
+}  // namespace metaai::mts

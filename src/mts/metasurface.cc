@@ -1,0 +1,137 @@
+#include "mts/metasurface.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "rf/channel.h"
+
+namespace metaai::mts {
+
+MetasurfaceSpec DualBandSpec() {
+  MetasurfaceSpec spec;
+  spec.design_frequency_hz = 5.0e9;
+  spec.supported_bands_hz = {2.4e9, 5.0e9};
+  return spec;
+}
+
+MetasurfaceSpec SingleBandSpec() {
+  MetasurfaceSpec spec;
+  spec.design_frequency_hz = 3.5e9;
+  spec.supported_bands_hz = {3.5e9};
+  return spec;
+}
+
+Metasurface::Metasurface(MetasurfaceSpec spec)
+    : spec_(std::move(spec)),
+      spacing_m_(rf::Wavelength(spec_.design_frequency_hz) / 2.0),
+      codes_(spec_.rows * spec_.cols, PhaseCode{0}) {
+  Check(spec_.rows > 0 && spec_.cols > 0, "metasurface needs atoms");
+  Check(spec_.design_frequency_hz > 0.0, "invalid design frequency");
+  Check(!spec_.supported_bands_hz.empty(), "no supported bands");
+}
+
+PhaseCode Metasurface::code(std::size_t atom) const {
+  CheckIndex(atom, codes_.size(), "atom");
+  return codes_[atom];
+}
+
+void Metasurface::SetCode(std::size_t atom, PhaseCode code) {
+  CheckIndex(atom, codes_.size(), "atom");
+  Check(code < kNumPhaseStates, "phase code out of range");
+  codes_[atom] = code;
+}
+
+void Metasurface::SetAllCodes(std::span<const PhaseCode> codes) {
+  Check(codes.size() == codes_.size(), "code count mismatch");
+  for (const PhaseCode c : codes) Check(c < kNumPhaseStates, "bad code");
+  codes_.assign(codes.begin(), codes.end());
+}
+
+void Metasurface::FlipAllPi() {
+  for (PhaseCode& c : codes_) c = OppositeCode(c);
+}
+
+bool Metasurface::SupportsFrequency(double frequency_hz) const {
+  for (const double band : spec_.supported_bands_hz) {
+    if (std::abs(frequency_hz / band - 1.0) <= spec_.fractional_bandwidth) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Complex Metasurface::PathPhasor(std::size_t atom, const LinkGeometry& geometry,
+                                double freq_offset_hz) const {
+  CheckIndex(atom, codes_.size(), "atom");
+  const double k0 = rf::WaveNumber(geometry.frequency_hz + freq_offset_hz);
+  // Atom position along the azimuth axis of the panel; rows are at equal
+  // height with the endpoints (paper setup), so only columns create path
+  // differences under far field (Eqn 6).
+  const auto col = static_cast<double>(atom % spec_.cols);
+  const double offset =
+      col * spacing_m_ *
+      (std::sin(geometry.tx_angle_rad) + std::sin(geometry.rx_angle_rad));
+  const double common =
+      k0 * (geometry.tx_distance_m + geometry.rx_distance_m);
+  const double phase = common - k0 * offset;
+  return {std::cos(phase), std::sin(phase)};
+}
+
+double Metasurface::ElementPattern(double angle_rad) const {
+  const double angle = std::abs(angle_rad);
+  if (angle >= M_PI / 2.0) return 0.0;
+  // Broad cosine element factor inside the FoV...
+  double gain = std::sqrt(std::cos(angle));
+  // ...with a sharp additional rolloff beyond the FoV edge.
+  const double fov = rf::DegToRad(spec_.fov_deg);
+  if (angle > fov) {
+    const double excess = (angle - fov) / rf::DegToRad(13.0);
+    gain *= std::exp(-excess * excess);
+  }
+  return gain;
+}
+
+std::vector<Complex> Metasurface::SteeringVector(const LinkGeometry& geometry,
+                                                 double freq_offset_hz) const {
+  const double pattern = ElementPattern(geometry.tx_angle_rad) *
+                         ElementPattern(geometry.rx_angle_rad);
+  std::vector<Complex> steering(codes_.size());
+  for (std::size_t m = 0; m < codes_.size(); ++m) {
+    steering[m] = pattern * PathPhasor(m, geometry, freq_offset_hz);
+  }
+  return steering;
+}
+
+double Metasurface::PathAmplitude(const LinkGeometry& geometry) const {
+  if (!SupportsFrequency(geometry.frequency_hz)) return 0.0;
+  const double lambda = rf::Wavelength(geometry.frequency_hz);
+  return rf::FriisAmplitude(geometry.tx_distance_m, lambda) *
+         rf::FriisAmplitude(geometry.rx_distance_m, lambda) *
+         spec_.atom_reflection_amplitude;
+}
+
+Complex Metasurface::Response(const LinkGeometry& geometry,
+                              double freq_offset_hz) const {
+  const auto steering = SteeringVector(geometry, freq_offset_hz);
+  Complex sum{0.0, 0.0};
+  for (std::size_t m = 0; m < codes_.size(); ++m) {
+    sum += steering[m] * PhasorForCode(codes_[m]);
+  }
+  return PathAmplitude(geometry) * sum;
+}
+
+Complex Metasurface::NoisyResponse(const LinkGeometry& geometry,
+                                   double phase_noise_std, Rng& rng,
+                                   double freq_offset_hz) const {
+  const auto steering = SteeringVector(geometry, freq_offset_hz);
+  Complex sum{0.0, 0.0};
+  for (std::size_t m = 0; m < codes_.size(); ++m) {
+    const double jitter = rng.Normal(0.0, phase_noise_std);
+    const Complex noisy =
+        PhasorForCode(codes_[m]) * Complex{std::cos(jitter), std::sin(jitter)};
+    sum += steering[m] * noisy;
+  }
+  return PathAmplitude(geometry) * sum;
+}
+
+}  // namespace metaai::mts

@@ -1,0 +1,114 @@
+// Programmable metasurface: a grid of 2-bit meta-atoms with a far-field
+// reflection channel model following Eqns 4-6 of the paper.
+//
+// The channel through the metasurface path is
+//   H_mts = alpha_p * sum_m e^{j phi_m^p} e^{j phi_m}
+// where phi_m is the programmable phase of atom m and phi_m^p the
+// propagation phase k0 (d_Tx,m + d_m,Rx). Under far-field conditions the
+// per-atom path difference is linear in the atom's position projected on
+// the incidence/emergence directions (Eqn 6), which is the model used here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "mts/meta_atom.h"
+#include "rf/geometry.h"
+
+namespace metaai::mts {
+
+/// Static description of a metasurface panel.
+struct MetasurfaceSpec {
+  std::size_t rows = 16;
+  std::size_t cols = 16;
+  /// Frequency the element spacing is designed for; spacing = lambda/2.
+  double design_frequency_hz = 5.25e9;
+  /// Frequency bands (center Hz) the panel responds to. The prototype MTS 1
+  /// is dual-band (2.4 / 5 GHz), MTS 2 single-band (3.5 GHz).
+  std::vector<double> supported_bands_hz{5.25e9};
+  /// Fractional bandwidth around each supported band (|f/f0 - 1| limit).
+  double fractional_bandwidth = 0.12;
+  /// Field of view: beyond this angle off broadside the element response
+  /// rolls off sharply (Fig 25 observes the FoV edge at ~60 degrees).
+  double fov_deg = 60.0;
+  /// Per-atom reflection amplitude (uniform across phase states).
+  double atom_reflection_amplitude = 1.0;
+};
+
+/// Specs for the two prototype panels built in the paper (§4).
+MetasurfaceSpec DualBandSpec();    // MTS 1: 2.4 GHz + 5 GHz (16x16)
+MetasurfaceSpec SingleBandSpec();  // MTS 2: 3.5 GHz (16x16)
+
+/// Geometry of one Tx -> MTS -> Rx reflection link. Angles are measured
+/// from the panel broadside (normal), in the azimuth plane; all endpoints
+/// share the same height in the paper's setup so elevation is zero.
+struct LinkGeometry {
+  double tx_distance_m = 1.0;
+  double tx_angle_rad = 0.0;
+  double rx_distance_m = 3.0;
+  double rx_angle_rad = 0.0;
+  double frequency_hz = 5.25e9;
+};
+
+/// Programmable reflective metasurface.
+class Metasurface {
+ public:
+  explicit Metasurface(MetasurfaceSpec spec);
+
+  const MetasurfaceSpec& spec() const { return spec_; }
+  std::size_t num_atoms() const { return codes_.size(); }
+  double spacing_m() const { return spacing_m_; }
+
+  PhaseCode code(std::size_t atom) const;
+  void SetCode(std::size_t atom, PhaseCode code);
+  void SetAllCodes(std::span<const PhaseCode> codes);
+  std::span<const PhaseCode> codes() const { return codes_; }
+
+  /// Applies the exact pi flip to every atom (multipath cancellation's
+  /// second half-symbol configuration).
+  void FlipAllPi();
+
+  /// True if `frequency_hz` falls within a supported band.
+  bool SupportsFrequency(double frequency_hz) const;
+
+  /// Per-atom propagation phasor e^{j phi_m^p} for this geometry (Eqn 6),
+  /// including the common k0 (d_Tx + d_Rx) phase. `freq_offset_hz` shifts
+  /// the carrier (used by subcarrier parallelism).
+  Complex PathPhasor(std::size_t atom, const LinkGeometry& geometry,
+                     double freq_offset_hz = 0.0) const;
+
+  /// Full steering vector: PathPhasor for every atom, scaled by the
+  /// element pattern at the Tx/Rx angles. The aggregate MTS channel for a
+  /// configuration Phi is then
+  ///   H_mts = PathAmplitude(g) * sum_m steering[m] * e^{j phi_m}.
+  std::vector<Complex> SteeringVector(const LinkGeometry& geometry,
+                                      double freq_offset_hz = 0.0) const;
+
+  /// Deterministic amplitude alpha_p of the reflected path: the product of
+  /// the two Friis legs and the per-atom reflection amplitude. (Uniform
+  /// across atoms under far field; a pure common scale for classification.)
+  double PathAmplitude(const LinkGeometry& geometry) const;
+
+  /// Element-pattern amplitude at an angle off broadside, with the sharp
+  /// FoV rolloff beyond spec().fov_deg.
+  double ElementPattern(double angle_rad) const;
+
+  /// Channel through the MTS for the current configuration (Eqn 4).
+  Complex Response(const LinkGeometry& geometry,
+                   double freq_offset_hz = 0.0) const;
+
+  /// Response if per-atom phase noise (hardware noise N_d of Eqn 13) with
+  /// the given phase standard deviation (radians) is applied on top of the
+  /// programmed codes.
+  Complex NoisyResponse(const LinkGeometry& geometry, double phase_noise_std,
+                        Rng& rng, double freq_offset_hz = 0.0) const;
+
+ private:
+  MetasurfaceSpec spec_;
+  double spacing_m_;
+  std::vector<PhaseCode> codes_;
+};
+
+}  // namespace metaai::mts

@@ -1,0 +1,110 @@
+#include "mts/wdd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace metaai::mts {
+namespace {
+
+constexpr double kDiskRadius = 0.7071067811865476;  // sqrt(2)/2
+
+bool HasValidParity(long p, long q, long m) { return ((p + q) - m) % 2 == 0; }
+
+}  // namespace
+
+std::vector<std::complex<double>> ReachableNormalizedWeights(
+    std::size_t num_atoms) {
+  Check(num_atoms > 0, "need at least one atom");
+  const auto m = static_cast<long>(num_atoms);
+  std::vector<std::complex<double>> weights;
+  for (long p = -m; p <= m; ++p) {
+    const long q_span = m - std::labs(p);
+    for (long q = -q_span; q <= q_span; ++q) {
+      if (!HasValidParity(p, q, m)) continue;
+      weights.emplace_back(static_cast<double>(p) / static_cast<double>(m),
+                           static_cast<double>(q) / static_cast<double>(m));
+    }
+  }
+  return weights;
+}
+
+double WeightDistributionDensity(std::size_t num_atoms,
+                                 const WddOptions& options) {
+  Check(num_atoms > 0, "need at least one atom");
+  Check(options.epsilon > 0.0, "epsilon must be positive");
+  const double eps = options.epsilon;
+  const auto m = static_cast<long>(num_atoms);
+  const double md = static_cast<double>(m);
+
+  // Cell grid over the bounding square of the disk.
+  const auto cells_per_axis =
+      static_cast<std::size_t>(std::ceil(2.0 * kDiskRadius / eps));
+  std::vector<char> covered(cells_per_axis * cells_per_axis, 0);
+
+  auto cell_of = [&](double coord) {
+    const double offset = (coord + kDiskRadius) / eps;
+    const auto idx = static_cast<long>(std::floor(offset));
+    return std::clamp(idx, 0L, static_cast<long>(cells_per_axis) - 1);
+  };
+
+  // Mark the cell of every reachable weight inside the disk.
+  const long p_max = static_cast<long>(std::floor(kDiskRadius * md)) + 1;
+  for (long p = -p_max; p <= p_max; ++p) {
+    if (std::labs(p) > m) continue;
+    for (long q = -p_max; q <= p_max; ++q) {
+      if (std::labs(p) + std::labs(q) > m) continue;
+      if (!HasValidParity(p, q, m)) continue;
+      const double x = static_cast<double>(p) / md;
+      const double y = static_cast<double>(q) / md;
+      if (x * x + y * y > kDiskRadius * kDiskRadius) continue;
+      covered[static_cast<std::size_t>(cell_of(x)) * cells_per_axis +
+              static_cast<std::size_t>(cell_of(y))] = 1;
+    }
+  }
+
+  // Count cells whose center lies in the disk, and how many are covered.
+  std::size_t in_disk = 0;
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < cells_per_axis; ++i) {
+    const double cx = -kDiskRadius + (static_cast<double>(i) + 0.5) * eps;
+    for (std::size_t j = 0; j < cells_per_axis; ++j) {
+      const double cy = -kDiskRadius + (static_cast<double>(j) + 0.5) * eps;
+      if (cx * cx + cy * cy > kDiskRadius * kDiskRadius) continue;
+      ++in_disk;
+      hit += covered[i * cells_per_axis + j];
+    }
+  }
+  Check(in_disk > 0, "tolerance grid too coarse");
+  return static_cast<double>(hit) / static_cast<double>(in_disk);
+}
+
+double NearestWeightDistance(std::complex<double> target,
+                             std::size_t num_atoms) {
+  Check(num_atoms > 0, "need at least one atom");
+  const auto m = static_cast<long>(num_atoms);
+  const double md = static_cast<double>(m);
+  const long p0 = std::lround(target.real() * md);
+  const long q0 = std::lround(target.imag() * md);
+  double best = std::numeric_limits<double>::infinity();
+  // Search a small neighborhood around the rounded lattice point; parity
+  // and the diamond boundary make the true nearest point at most a couple
+  // of steps away.
+  for (long dp = -2; dp <= 2; ++dp) {
+    for (long dq = -2; dq <= 2; ++dq) {
+      long p = p0 + dp;
+      long q = q0 + dq;
+      if (!HasValidParity(p, q, m)) continue;
+      if (std::labs(p) + std::labs(q) > m) continue;
+      const std::complex<double> w(static_cast<double>(p) / md,
+                                   static_cast<double>(q) / md);
+      best = std::min(best, std::abs(w - target));
+    }
+  }
+  return best;
+}
+
+}  // namespace metaai::mts

@@ -1,0 +1,163 @@
+#include "nn/complex_linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace metaai::nn {
+
+ComplexLinearModel::ComplexLinearModel(std::size_t input_dim,
+                                       std::size_t num_classes)
+    : weights_(num_classes, input_dim) {
+  Check(input_dim > 0 && num_classes > 0, "model needs dimensions");
+}
+
+void ComplexLinearModel::Initialize(Rng& rng) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(input_dim()));
+  for (std::size_t r = 0; r < weights_.rows(); ++r) {
+    for (std::size_t c = 0; c < weights_.cols(); ++c) {
+      weights_(r, c) = rng.ComplexNormal(scale * scale);
+    }
+  }
+}
+
+std::vector<Complex> ComplexLinearModel::PreActivations(
+    const std::vector<Complex>& x) const {
+  Check(x.size() == input_dim(), "input dimension mismatch");
+  std::vector<Complex> z(num_classes());
+  for (std::size_t r = 0; r < num_classes(); ++r) {
+    const Complex* row = weights_.row(r);
+    Complex acc{0.0, 0.0};
+    for (std::size_t i = 0; i < x.size(); ++i) acc += row[i] * x[i];
+    z[r] = acc;
+  }
+  return z;
+}
+
+std::vector<double> ComplexLinearModel::ClassScores(
+    const std::vector<Complex>& x) const {
+  const auto z = PreActivations(x);
+  std::vector<double> scores(z.size());
+  for (std::size_t r = 0; r < z.size(); ++r) scores[r] = std::abs(z[r]);
+  return scores;
+}
+
+int ComplexLinearModel::Predict(const std::vector<Complex>& x) const {
+  const auto scores = ClassScores(x);
+  return static_cast<int>(std::distance(
+      scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+std::vector<double> SoftmaxScores(const std::vector<double>& scores) {
+  Check(!scores.empty(), "softmax of empty scores");
+  const double max_score = *std::max_element(scores.begin(), scores.end());
+  std::vector<double> probs(scores.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    probs[i] = std::exp(scores[i] - max_score);
+    total += probs[i];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+double ComplexLinearModel::Train(const ComplexDataset& train,
+                                 const ComplexTrainOptions& options,
+                                 Rng& rng) {
+  train.Validate();
+  Check(train.dim == input_dim(), "dataset dimension mismatch");
+  Check(train.num_classes == num_classes(), "dataset class count mismatch");
+  Check(options.epochs > 0 && options.batch_size > 0,
+        "invalid training options");
+  Check(options.learning_rate > 0.0, "learning rate must be positive");
+  Check(options.momentum >= 0.0 && options.momentum < 1.0,
+        "momentum must be in [0, 1)");
+
+  const std::size_t n = train.size();
+  Check(n > 0, "empty training set");
+  const std::size_t R = num_classes();
+  const std::size_t U = input_dim();
+
+  ComplexMatrix velocity(R, U);
+  ComplexMatrix gradient(R, U);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::vector<Complex> augmented;
+  double final_epoch_loss = 0.0;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(options.batch_size));
+      gradient.Fill(Complex{0.0, 0.0});
+      for (std::size_t b = start; b < end; ++b) {
+        const std::size_t idx = order[b];
+        const std::vector<Complex>* x = &train.features[idx];
+        if (options.input_augment) {
+          augmented = *x;
+          options.input_augment(augmented, rng);
+          x = &augmented;
+        }
+        // Forward.
+        std::vector<Complex> z = PreActivations(*x);
+        if (options.output_noise_variance > 0.0) {
+          for (Complex& v : z) {
+            v += rng.ComplexNormal(options.output_noise_variance);
+          }
+        }
+        std::vector<double> mags(R);
+        for (std::size_t r = 0; r < R; ++r) mags[r] = std::abs(z[r]);
+        const auto probs = SoftmaxScores(mags);
+        const int label = train.labels[idx];
+        epoch_loss += -std::log(std::max(probs[static_cast<std::size_t>(label)],
+                                         1e-12));
+        // Backward: dL/dm_r = p_r - 1{r==label}; the complex gradient of
+        // m = |z| w.r.t. W(r,i) is (z_r/|z_r|) * conj(x_i).
+        for (std::size_t r = 0; r < R; ++r) {
+          double g = probs[r];
+          if (static_cast<int>(r) == label) g -= 1.0;
+          if (mags[r] < 1e-12) continue;  // magnitude kink at 0
+          const Complex direction = z[r] / mags[r];
+          Complex* grad_row = gradient.row(r);
+          const Complex scaled = g * direction;
+          for (std::size_t i = 0; i < U; ++i) {
+            grad_row[i] += scaled * std::conj((*x)[i]);
+          }
+        }
+      }
+      // SGD with momentum on the batch-mean gradient.
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t r = 0; r < R; ++r) {
+        Complex* v_row = velocity.row(r);
+        Complex* g_row = gradient.row(r);
+        Complex* w_row = weights_.row(r);
+        for (std::size_t i = 0; i < U; ++i) {
+          v_row[i] = options.momentum * v_row[i] -
+                     options.learning_rate * g_row[i] * inv_batch;
+          w_row[i] += v_row[i];
+        }
+      }
+    }
+    final_epoch_loss = epoch_loss / static_cast<double>(n);
+  }
+  return final_epoch_loss;
+}
+
+double ComplexLinearModel::Evaluate(const ComplexDataset& test) const {
+  test.Validate();
+  Check(test.dim == input_dim(), "dataset dimension mismatch");
+  if (test.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += (Predict(test.features[i]) == test.labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace metaai::nn

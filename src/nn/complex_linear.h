@@ -1,0 +1,78 @@
+// Complex-valued single-fully-connected-layer network (§3.1).
+//
+// This is the exact network MetaAI trains digitally and then realizes over
+// the air: a U x R complex weight matrix applied to the modulated symbol
+// vector, with class scores taken as output magnitudes (Eqn 3's |.|) and a
+// softmax cross-entropy loss on those magnitudes. Training is
+// complex-valued backpropagation with SGD + momentum, using the paper's
+// hyperparameters by default (lr 8e-3, momentum 0.95, batch 64, 60 epochs).
+//
+// Robustness training hooks implement §3.5: an input augmentation callback
+// is applied to each sample before the forward pass, which is how the CDFA
+// sync-error injector (cyclic shifts ~ Gamma) and the noise-aware training
+// scheme (Eqn 14's x + N_d, plus output noise N_e) plug in.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "nn/types.h"
+
+namespace metaai::nn {
+
+struct ComplexTrainOptions {
+  int epochs = 60;
+  int batch_size = 64;
+  double learning_rate = 8e-3;
+  double momentum = 0.95;
+  /// Applied to a copy of each training sample before the forward pass
+  /// (sync-error injection, noise injection). May be empty.
+  std::function<void(std::vector<Complex>&, Rng&)> input_augment;
+  /// Complex noise variance added to each pre-magnitude output during
+  /// training (environmental noise N_e of Eqn 13). 0 disables.
+  double output_noise_variance = 0.0;
+};
+
+class ComplexLinearModel {
+ public:
+  /// `input_dim` = U (symbols per sample), `num_classes` = R.
+  ComplexLinearModel(std::size_t input_dim, std::size_t num_classes);
+
+  std::size_t input_dim() const { return weights_.cols(); }
+  std::size_t num_classes() const { return weights_.rows(); }
+
+  /// Weight matrix W (R x U); row r holds the weight sequence H_r(t_i)
+  /// that the metasurface must realize for output r.
+  const ComplexMatrix& weights() const { return weights_; }
+  ComplexMatrix& mutable_weights() { return weights_; }
+
+  /// Random complex-Gaussian initialization scaled by 1/sqrt(U).
+  void Initialize(Rng& rng);
+
+  /// Pre-magnitude outputs z_r = sum_i W(r,i) x_i.
+  std::vector<Complex> PreActivations(const std::vector<Complex>& x) const;
+
+  /// Class scores y_r = |z_r| (Eqn 3).
+  std::vector<double> ClassScores(const std::vector<Complex>& x) const;
+
+  /// Argmax class.
+  int Predict(const std::vector<Complex>& x) const;
+
+  /// Trains with complex backprop; returns the final-epoch mean training
+  /// loss. The model must be Initialize()d (or pre-seeded) first.
+  double Train(const ComplexDataset& train, const ComplexTrainOptions& options,
+               Rng& rng);
+
+  /// Fraction of correctly classified samples.
+  double Evaluate(const ComplexDataset& test) const;
+
+ private:
+  ComplexMatrix weights_;  // R x U
+};
+
+/// Softmax of magnitudes with max-subtraction for stability.
+std::vector<double> SoftmaxScores(const std::vector<double>& scores);
+
+}  // namespace metaai::nn

@@ -1,0 +1,432 @@
+#include "nn/conv_net.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace metaai::nn {
+namespace {
+
+// 3x3 same-padding correlation: out[oc] = sum_ic w[oc][ic] * in[ic] + b.
+void ConvForward(const float* in, std::size_t in_ch, std::size_t h,
+                 std::size_t w, const float* weights, const float* bias,
+                 std::size_t out_ch, float* out) {
+  const std::size_t plane = h * w;
+  for (std::size_t oc = 0; oc < out_ch; ++oc) {
+    float* out_plane = out + oc * plane;
+    std::fill(out_plane, out_plane + plane, bias[oc]);
+    for (std::size_t ic = 0; ic < in_ch; ++ic) {
+      const float* in_plane = in + ic * plane;
+      const float* kernel = weights + (oc * in_ch + ic) * 9;
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          float acc = 0.0f;
+          for (int ky = -1; ky <= 1; ++ky) {
+            const auto yy = static_cast<std::ptrdiff_t>(y) + ky;
+            if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (int kx = -1; kx <= 1; ++kx) {
+              const auto xx = static_cast<std::ptrdiff_t>(x) + kx;
+              if (xx < 0 || xx >= static_cast<std::ptrdiff_t>(w)) continue;
+              acc += kernel[(ky + 1) * 3 + (kx + 1)] *
+                     in_plane[static_cast<std::size_t>(yy) * w +
+                              static_cast<std::size_t>(xx)];
+            }
+          }
+          out_plane[y * w + x] += acc;
+        }
+      }
+    }
+  }
+}
+
+// Gradient of ConvForward w.r.t. weights, bias and input.
+void ConvBackward(const float* in, std::size_t in_ch, std::size_t h,
+                  std::size_t w, const float* weights, std::size_t out_ch,
+                  const float* grad_out, float* grad_w, float* grad_b,
+                  float* grad_in) {
+  const std::size_t plane = h * w;
+  if (grad_in != nullptr) {
+    std::fill(grad_in, grad_in + in_ch * plane, 0.0f);
+  }
+  for (std::size_t oc = 0; oc < out_ch; ++oc) {
+    const float* go_plane = grad_out + oc * plane;
+    for (std::size_t i = 0; i < plane; ++i) grad_b[oc] += go_plane[i];
+    for (std::size_t ic = 0; ic < in_ch; ++ic) {
+      const float* in_plane = in + ic * plane;
+      const float* kernel = weights + (oc * in_ch + ic) * 9;
+      float* gw = grad_w + (oc * in_ch + ic) * 9;
+      float* gi_plane = grad_in != nullptr ? grad_in + ic * plane : nullptr;
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          const float go = go_plane[y * w + x];
+          if (go == 0.0f) continue;
+          for (int ky = -1; ky <= 1; ++ky) {
+            const auto yy = static_cast<std::ptrdiff_t>(y) + ky;
+            if (yy < 0 || yy >= static_cast<std::ptrdiff_t>(h)) continue;
+            for (int kx = -1; kx <= 1; ++kx) {
+              const auto xx = static_cast<std::ptrdiff_t>(x) + kx;
+              if (xx < 0 || xx >= static_cast<std::ptrdiff_t>(w)) continue;
+              const std::size_t in_idx =
+                  static_cast<std::size_t>(yy) * w +
+                  static_cast<std::size_t>(xx);
+              const std::size_t k_idx =
+                  static_cast<std::size_t>((ky + 1) * 3 + (kx + 1));
+              gw[k_idx] += go * in_plane[in_idx];
+              if (gi_plane != nullptr) {
+                gi_plane[in_idx] += go * kernel[k_idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void ReluForward(float* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) data[i] = std::max(data[i], 0.0f);
+}
+
+void ReluBackward(const float* activated, float* grad, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (activated[i] <= 0.0f) grad[i] = 0.0f;
+  }
+}
+
+// 2x2 max pool; records the argmax index for the backward pass.
+void PoolForward(const float* in, std::size_t ch, std::size_t h,
+                 std::size_t w, float* out, std::uint32_t* argmax) {
+  const std::size_t oh = h / 2;
+  const std::size_t ow = w / 2;
+  for (std::size_t c = 0; c < ch; ++c) {
+    const float* in_plane = in + c * h * w;
+    float* out_plane = out + c * oh * ow;
+    std::uint32_t* arg_plane = argmax + c * oh * ow;
+    for (std::size_t y = 0; y < oh; ++y) {
+      for (std::size_t x = 0; x < ow; ++x) {
+        std::size_t best_idx = (2 * y) * w + 2 * x;
+        float best = in_plane[best_idx];
+        for (int dy = 0; dy < 2; ++dy) {
+          for (int dx = 0; dx < 2; ++dx) {
+            const std::size_t idx =
+                (2 * y + static_cast<std::size_t>(dy)) * w + 2 * x +
+                static_cast<std::size_t>(dx);
+            if (in_plane[idx] > best) {
+              best = in_plane[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        out_plane[y * ow + x] = best;
+        arg_plane[y * ow + x] = static_cast<std::uint32_t>(best_idx);
+      }
+    }
+  }
+}
+
+void PoolBackward(const float* grad_out, const std::uint32_t* argmax,
+                  std::size_t ch, std::size_t h, std::size_t w,
+                  float* grad_in) {
+  const std::size_t oh = h / 2;
+  const std::size_t ow = w / 2;
+  std::fill(grad_in, grad_in + ch * h * w, 0.0f);
+  for (std::size_t c = 0; c < ch; ++c) {
+    const float* go_plane = grad_out + c * oh * ow;
+    const std::uint32_t* arg_plane = argmax + c * oh * ow;
+    float* gi_plane = grad_in + c * h * w;
+    for (std::size_t i = 0; i < oh * ow; ++i) {
+      gi_plane[arg_plane[i]] += go_plane[i];
+    }
+  }
+}
+
+void FcForward(const float* in, std::size_t in_dim, const float* weights,
+               const float* bias, std::size_t out_dim, float* out) {
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    const float* row = weights + o * in_dim;
+    float acc = bias[o];
+    for (std::size_t i = 0; i < in_dim; ++i) acc += row[i] * in[i];
+    out[o] = acc;
+  }
+}
+
+void FcBackward(const float* in, std::size_t in_dim, const float* weights,
+                std::size_t out_dim, const float* grad_out, float* grad_w,
+                float* grad_b, float* grad_in) {
+  if (grad_in != nullptr) std::fill(grad_in, grad_in + in_dim, 0.0f);
+  for (std::size_t o = 0; o < out_dim; ++o) {
+    const float go = grad_out[o];
+    grad_b[o] += go;
+    const float* row = weights + o * in_dim;
+    float* gw_row = grad_w + o * in_dim;
+    for (std::size_t i = 0; i < in_dim; ++i) {
+      gw_row[i] += go * in[i];
+      if (grad_in != nullptr) grad_in[i] += go * row[i];
+    }
+  }
+}
+
+void HeInit(std::vector<float>& weights, std::size_t fan_in, Rng& rng) {
+  const double std = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& w : weights) {
+    w = static_cast<float>(rng.Normal(0.0, std));
+  }
+}
+
+}  // namespace
+
+struct ConvNet::Activations {
+  std::vector<float> input;
+  std::vector<float> conv1, pool1, conv2, pool2, fc1, logits;
+  std::vector<std::uint32_t> arg1, arg2;
+};
+
+ConvNet::ConvNet(ConvNetConfig config) : config_(config) {
+  Check(config_.height % 4 == 0 && config_.width % 4 == 0,
+        "input dimensions must be divisible by 4 (two 2x2 pools)");
+  Check(config_.num_classes > 0, "need at least one class");
+  Check(config_.conv1_channels > 0 && config_.conv2_channels > 0 &&
+            config_.hidden > 0,
+        "layer sizes must be positive");
+  conv1_w_.resize(config_.conv1_channels * 1 * 9);
+  conv1_b_.resize(config_.conv1_channels);
+  conv2_w_.resize(config_.conv2_channels * config_.conv1_channels * 9);
+  conv2_b_.resize(config_.conv2_channels);
+  const std::size_t flat =
+      config_.conv2_channels * (config_.height / 4) * (config_.width / 4);
+  fc1_w_.resize(config_.hidden * flat);
+  fc1_b_.resize(config_.hidden);
+  fc2_w_.resize(config_.num_classes * config_.hidden);
+  fc2_b_.resize(config_.num_classes);
+}
+
+void ConvNet::Initialize(Rng& rng) {
+  HeInit(conv1_w_, 9, rng);
+  HeInit(conv2_w_, 9 * config_.conv1_channels, rng);
+  const std::size_t flat =
+      config_.conv2_channels * (config_.height / 4) * (config_.width / 4);
+  HeInit(fc1_w_, flat, rng);
+  HeInit(fc2_w_, config_.hidden, rng);
+  std::fill(conv1_b_.begin(), conv1_b_.end(), 0.0f);
+  std::fill(conv2_b_.begin(), conv2_b_.end(), 0.0f);
+  std::fill(fc1_b_.begin(), fc1_b_.end(), 0.0f);
+  std::fill(fc2_b_.begin(), fc2_b_.end(), 0.0f);
+}
+
+void ConvNet::Forward(const float* image, Activations& acts) const {
+  const std::size_t h = config_.height;
+  const std::size_t w = config_.width;
+  const std::size_t c1 = config_.conv1_channels;
+  const std::size_t c2 = config_.conv2_channels;
+  acts.conv1.resize(c1 * h * w);
+  acts.pool1.resize(c1 * (h / 2) * (w / 2));
+  acts.arg1.resize(acts.pool1.size());
+  acts.conv2.resize(c2 * (h / 2) * (w / 2));
+  acts.pool2.resize(c2 * (h / 4) * (w / 4));
+  acts.arg2.resize(acts.pool2.size());
+  acts.fc1.resize(config_.hidden);
+  acts.logits.resize(config_.num_classes);
+
+  ConvForward(image, 1, h, w, conv1_w_.data(), conv1_b_.data(), c1,
+              acts.conv1.data());
+  ReluForward(acts.conv1.data(), acts.conv1.size());
+  PoolForward(acts.conv1.data(), c1, h, w, acts.pool1.data(),
+              acts.arg1.data());
+  ConvForward(acts.pool1.data(), c1, h / 2, w / 2, conv2_w_.data(),
+              conv2_b_.data(), c2, acts.conv2.data());
+  ReluForward(acts.conv2.data(), acts.conv2.size());
+  PoolForward(acts.conv2.data(), c2, h / 2, w / 2, acts.pool2.data(),
+              acts.arg2.data());
+  FcForward(acts.pool2.data(), acts.pool2.size(), fc1_w_.data(),
+            fc1_b_.data(), config_.hidden, acts.fc1.data());
+  ReluForward(acts.fc1.data(), acts.fc1.size());
+  FcForward(acts.fc1.data(), config_.hidden, fc2_w_.data(), fc2_b_.data(),
+            config_.num_classes, acts.logits.data());
+}
+
+std::vector<float> ConvNet::Logits(const std::vector<double>& image) const {
+  Check(image.size() == config_.height * config_.width,
+        "image dimension mismatch");
+  std::vector<float> input(image.begin(), image.end());
+  Activations acts;
+  Forward(input.data(), acts);
+  return acts.logits;
+}
+
+int ConvNet::Predict(const std::vector<double>& image) const {
+  const auto logits = Logits(image);
+  return static_cast<int>(std::distance(
+      logits.begin(), std::max_element(logits.begin(), logits.end())));
+}
+
+double ConvNet::Train(const RealDataset& train, const ConvTrainOptions& options,
+                      Rng& rng) {
+  train.Validate();
+  Check(train.dim == config_.height * config_.width,
+        "dataset dimension mismatch");
+  Check(train.num_classes == config_.num_classes,
+        "dataset class count mismatch");
+  Check(options.epochs > 0 && options.batch_size > 0,
+        "invalid training options");
+
+  const std::size_t n = train.size();
+  Check(n > 0, "empty training set");
+
+  // Pre-convert features to float once.
+  std::vector<std::vector<float>> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs[i].assign(train.features[i].begin(), train.features[i].end());
+  }
+
+  // Gradient and momentum buffers mirror the parameter layout.
+  auto zeros_like = [](const std::vector<float>& v) {
+    return std::vector<float>(v.size(), 0.0f);
+  };
+  auto g_c1w = zeros_like(conv1_w_), g_c1b = zeros_like(conv1_b_);
+  auto g_c2w = zeros_like(conv2_w_), g_c2b = zeros_like(conv2_b_);
+  auto g_f1w = zeros_like(fc1_w_), g_f1b = zeros_like(fc1_b_);
+  auto g_f2w = zeros_like(fc2_w_), g_f2b = zeros_like(fc2_b_);
+  auto v_c1w = zeros_like(conv1_w_), v_c1b = zeros_like(conv1_b_);
+  auto v_c2w = zeros_like(conv2_w_), v_c2b = zeros_like(conv2_b_);
+  auto v_f1w = zeros_like(fc1_w_), v_f1b = zeros_like(fc1_b_);
+  auto v_f2w = zeros_like(fc2_w_), v_f2b = zeros_like(fc2_b_);
+
+  Activations acts;
+  std::vector<float> d_logits(config_.num_classes);
+  std::vector<float> d_fc1(config_.hidden);
+  std::vector<float> d_pool2;
+  std::vector<float> d_conv2;
+  std::vector<float> d_pool1;
+  std::vector<float> d_conv1;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  const std::size_t h = config_.height;
+  const std::size_t w = config_.width;
+  double final_epoch_loss = 0.0;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(options.batch_size));
+      auto clear = [](std::vector<float>& v) {
+        std::fill(v.begin(), v.end(), 0.0f);
+      };
+      clear(g_c1w);
+      clear(g_c1b);
+      clear(g_c2w);
+      clear(g_c2b);
+      clear(g_f1w);
+      clear(g_f1b);
+      clear(g_f2w);
+      clear(g_f2b);
+
+      for (std::size_t b = start; b < end; ++b) {
+        const std::size_t idx = order[b];
+        Forward(inputs[idx].data(), acts);
+
+        // Softmax cross-entropy on logits.
+        const float max_logit =
+            *std::max_element(acts.logits.begin(), acts.logits.end());
+        float total = 0.0f;
+        for (std::size_t r = 0; r < d_logits.size(); ++r) {
+          d_logits[r] = std::exp(acts.logits[r] - max_logit);
+          total += d_logits[r];
+        }
+        const int label = train.labels[idx];
+        for (std::size_t r = 0; r < d_logits.size(); ++r) {
+          d_logits[r] /= total;
+        }
+        epoch_loss += -std::log(
+            std::max(d_logits[static_cast<std::size_t>(label)], 1e-12f));
+        d_logits[static_cast<std::size_t>(label)] -= 1.0f;
+
+        // Backward chain.
+        FcBackward(acts.fc1.data(), config_.hidden, fc2_w_.data(),
+                   config_.num_classes, d_logits.data(), g_f2w.data(),
+                   g_f2b.data(), d_fc1.data());
+        ReluBackward(acts.fc1.data(), d_fc1.data(), d_fc1.size());
+        d_pool2.resize(acts.pool2.size());
+        FcBackward(acts.pool2.data(), acts.pool2.size(), fc1_w_.data(),
+                   config_.hidden, d_fc1.data(), g_f1w.data(), g_f1b.data(),
+                   d_pool2.data());
+        d_conv2.resize(acts.conv2.size());
+        PoolBackward(d_pool2.data(), acts.arg2.data(),
+                     config_.conv2_channels, h / 2, w / 2, d_conv2.data());
+        ReluBackward(acts.conv2.data(), d_conv2.data(), d_conv2.size());
+        d_pool1.resize(acts.pool1.size());
+        ConvBackward(acts.pool1.data(), config_.conv1_channels, h / 2, w / 2,
+                     conv2_w_.data(), config_.conv2_channels, d_conv2.data(),
+                     g_c2w.data(), g_c2b.data(), d_pool1.data());
+        d_conv1.resize(acts.conv1.size());
+        PoolBackward(d_pool1.data(), acts.arg1.data(),
+                     config_.conv1_channels, h, w, d_conv1.data());
+        ReluBackward(acts.conv1.data(), d_conv1.data(), d_conv1.size());
+        ConvBackward(inputs[idx].data(), 1, h, w, conv1_w_.data(),
+                     config_.conv1_channels, d_conv1.data(), g_c1w.data(),
+                     g_c1b.data(), /*grad_in=*/nullptr);
+      }
+
+      const auto batch = static_cast<float>(end - start);
+      const auto lr = static_cast<float>(options.learning_rate);
+      const auto mu = static_cast<float>(options.momentum);
+      auto apply = [&](std::vector<float>& param, std::vector<float>& grad,
+                       std::vector<float>& vel) {
+        for (std::size_t i = 0; i < param.size(); ++i) {
+          vel[i] = mu * vel[i] - lr * grad[i] / batch;
+          param[i] += vel[i];
+        }
+      };
+      apply(conv1_w_, g_c1w, v_c1w);
+      apply(conv1_b_, g_c1b, v_c1b);
+      apply(conv2_w_, g_c2w, v_c2w);
+      apply(conv2_b_, g_c2b, v_c2b);
+      apply(fc1_w_, g_f1w, v_f1w);
+      apply(fc1_b_, g_f1b, v_f1b);
+      apply(fc2_w_, g_f2w, v_f2w);
+      apply(fc2_b_, g_f2b, v_f2b);
+    }
+    final_epoch_loss = epoch_loss / static_cast<double>(n);
+  }
+  return final_epoch_loss;
+}
+
+double ConvNet::Evaluate(const RealDataset& test) const {
+  test.Validate();
+  Check(test.dim == config_.height * config_.width,
+        "dataset dimension mismatch");
+  if (test.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += (Predict(test.features[i]) == test.labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+std::size_t ConvNet::ParameterCount() const {
+  return conv1_w_.size() + conv1_b_.size() + conv2_w_.size() +
+         conv2_b_.size() + fc1_w_.size() + fc1_b_.size() + fc2_w_.size() +
+         fc2_b_.size();
+}
+
+std::size_t ConvNet::ForwardMacs() const {
+  const std::size_t h = config_.height;
+  const std::size_t w = config_.width;
+  const std::size_t conv1 = config_.conv1_channels * h * w * 9;
+  const std::size_t conv2 = config_.conv2_channels * (h / 2) * (w / 2) * 9 *
+                            config_.conv1_channels;
+  const std::size_t flat =
+      config_.conv2_channels * (h / 4) * (w / 4);
+  const std::size_t fc = config_.hidden * flat +
+                         config_.num_classes * config_.hidden;
+  return conv1 + conv2 + fc;
+}
+
+}  // namespace metaai::nn

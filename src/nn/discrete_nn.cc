@@ -1,0 +1,167 @@
+#include "nn/discrete_nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "mts/meta_atom.h"
+
+namespace metaai::nn {
+
+Complex QuantizePhase(Complex weight, double magnitude) {
+  if (std::abs(weight) < 1e-15) return {magnitude, 0.0};
+  const auto code = mts::NearestCode(std::arg(weight));
+  return magnitude * mts::PhasorForCode(code);
+}
+
+DiscreteNnModel::DiscreteNnModel(std::size_t input_dim,
+                                 std::size_t num_classes)
+    : latent_(num_classes, input_dim), row_scale_(num_classes, 0.0) {
+  Check(input_dim > 0 && num_classes > 0, "model needs dimensions");
+}
+
+void DiscreteNnModel::Initialize(Rng& rng) {
+  const double scale = 1.0 / std::sqrt(static_cast<double>(input_dim()));
+  for (std::size_t r = 0; r < latent_.rows(); ++r) {
+    row_scale_[r] = scale;
+    for (std::size_t c = 0; c < latent_.cols(); ++c) {
+      latent_(r, c) = rng.ComplexNormal(scale * scale);
+    }
+  }
+}
+
+ComplexMatrix DiscreteNnModel::QuantizedWeights() const {
+  ComplexMatrix quantized(latent_.rows(), latent_.cols());
+  for (std::size_t r = 0; r < latent_.rows(); ++r) {
+    for (std::size_t c = 0; c < latent_.cols(); ++c) {
+      quantized(r, c) = QuantizePhase(latent_(r, c), row_scale_[r]);
+    }
+  }
+  return quantized;
+}
+
+std::vector<double> DiscreteNnModel::ClassScores(
+    const std::vector<Complex>& x) const {
+  Check(x.size() == input_dim(), "input dimension mismatch");
+  std::vector<double> scores(num_classes());
+  for (std::size_t r = 0; r < num_classes(); ++r) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      acc += QuantizePhase(latent_(r, i), row_scale_[r]) * x[i];
+    }
+    scores[r] = std::abs(acc);
+  }
+  return scores;
+}
+
+int DiscreteNnModel::Predict(const std::vector<Complex>& x) const {
+  const auto scores = ClassScores(x);
+  return static_cast<int>(std::distance(
+      scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+double DiscreteNnModel::Train(const ComplexDataset& train,
+                              const DiscreteTrainOptions& options, Rng& rng) {
+  train.Validate();
+  Check(train.dim == input_dim(), "dataset dimension mismatch");
+  Check(train.num_classes == num_classes(), "dataset class count mismatch");
+  Check(options.epochs > 0 && options.batch_size > 0,
+        "invalid training options");
+
+  const std::size_t n = train.size();
+  Check(n > 0, "empty training set");
+  const std::size_t R = num_classes();
+  const std::size_t U = input_dim();
+
+  ComplexMatrix velocity(R, U);
+  ComplexMatrix gradient(R, U);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  double final_epoch_loss = 0.0;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    for (std::size_t start = 0; start < n;
+         start += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t end =
+          std::min(n, start + static_cast<std::size_t>(options.batch_size));
+      gradient.Fill(Complex{0.0, 0.0});
+      // Quantize once per batch: the latent weights only change at the
+      // batch boundary, so the projection is constant within it.
+      const ComplexMatrix quantized = QuantizedWeights();
+      for (std::size_t b = start; b < end; ++b) {
+        const std::size_t idx = order[b];
+        const auto& x = train.features[idx];
+        // Forward with quantized weights (straight-through estimator).
+        std::vector<Complex> z(R, Complex{0.0, 0.0});
+        for (std::size_t r = 0; r < R; ++r) {
+          const Complex* row = quantized.row(r);
+          Complex acc{0.0, 0.0};
+          for (std::size_t i = 0; i < U; ++i) {
+            acc += row[i] * x[i];
+          }
+          z[r] = acc;
+        }
+        std::vector<double> mags(R);
+        for (std::size_t r = 0; r < R; ++r) mags[r] = std::abs(z[r]);
+        const auto probs = SoftmaxScores(mags);
+        const int label = train.labels[idx];
+        epoch_loss += -std::log(std::max(probs[static_cast<std::size_t>(label)],
+                                         1e-12));
+        // Backward as if the quantizer were identity.
+        for (std::size_t r = 0; r < R; ++r) {
+          double g = probs[r];
+          if (static_cast<int>(r) == label) g -= 1.0;
+          if (mags[r] < 1e-12) continue;
+          const Complex scaled = g * (z[r] / mags[r]);
+          Complex* grad_row = gradient.row(r);
+          for (std::size_t i = 0; i < U; ++i) {
+            grad_row[i] += scaled * std::conj(x[i]);
+          }
+        }
+      }
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t r = 0; r < R; ++r) {
+        Complex* v_row = velocity.row(r);
+        Complex* g_row = gradient.row(r);
+        Complex* w_row = latent_.row(r);
+        for (std::size_t i = 0; i < U; ++i) {
+          v_row[i] = options.momentum * v_row[i] -
+                     options.learning_rate * g_row[i] * inv_batch;
+          w_row[i] += v_row[i];
+        }
+      }
+    }
+    final_epoch_loss = epoch_loss / static_cast<double>(n);
+  }
+  return final_epoch_loss;
+}
+
+double DiscreteNnModel::Evaluate(const ComplexDataset& test) const {
+  test.Validate();
+  Check(test.dim == input_dim(), "dataset dimension mismatch");
+  if (test.size() == 0) return 0.0;
+  const ComplexMatrix quantized = QuantizedWeights();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const auto& x = test.features[i];
+    int best = 0;
+    double best_mag = -1.0;
+    for (std::size_t r = 0; r < num_classes(); ++r) {
+      const Complex* row = quantized.row(r);
+      Complex acc{0.0, 0.0};
+      for (std::size_t u = 0; u < x.size(); ++u) acc += row[u] * x[u];
+      const double mag = std::abs(acc);
+      if (mag > best_mag) {
+        best_mag = mag;
+        best = static_cast<int>(r);
+      }
+    }
+    correct += (best == test.labels[i]);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace metaai::nn

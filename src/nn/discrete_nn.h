@@ -1,0 +1,63 @@
+// DiscreteNN baseline (§5.1, Table 1).
+//
+// The paper compares MetaAI's continuous-train-then-quantize strategy
+// against a network whose weights are constrained to the hardware's
+// discrete domain from the start [Hubara et al., Binarized NNs]: each
+// weight is a single 2-bit phase state e^{j k pi/2} times a per-output
+// positive scale. Training uses the straight-through estimator: latent
+// continuous weights carry the gradient, the forward pass sees their
+// quantized projection. Table 1 shows this is consistently 10-20 points
+// below MetaAI — the motivation for the continuous-to-discrete strategy.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "nn/complex_linear.h"
+#include "nn/types.h"
+
+namespace metaai::nn {
+
+struct DiscreteTrainOptions {
+  int epochs = 60;
+  int batch_size = 64;
+  double learning_rate = 8e-3;
+  double momentum = 0.95;
+};
+
+class DiscreteNnModel {
+ public:
+  DiscreteNnModel(std::size_t input_dim, std::size_t num_classes);
+
+  std::size_t input_dim() const { return latent_.cols(); }
+  std::size_t num_classes() const { return latent_.rows(); }
+
+  void Initialize(Rng& rng);
+
+  /// The quantized weights used in the forward pass: phase snapped to the
+  /// nearest of {0, pi/2, pi, 3pi/2}, magnitude fixed to the per-output
+  /// scale.
+  ComplexMatrix QuantizedWeights() const;
+
+  /// Class scores |sum_i Wq(r,i) x_i| using the quantized weights.
+  std::vector<double> ClassScores(const std::vector<Complex>& x) const;
+
+  int Predict(const std::vector<Complex>& x) const;
+
+  /// Straight-through-estimator training; returns final-epoch mean loss.
+  double Train(const ComplexDataset& train, const DiscreteTrainOptions& options,
+               Rng& rng);
+
+  double Evaluate(const ComplexDataset& test) const;
+
+ private:
+  ComplexMatrix latent_;          // continuous latent weights (R x U)
+  std::vector<double> row_scale_; // per-output quantized magnitude
+};
+
+/// Projects a complex weight to the nearest discrete phase state with the
+/// given magnitude.
+Complex QuantizePhase(Complex weight, double magnitude);
+
+}  // namespace metaai::nn

@@ -1,0 +1,53 @@
+#include "nn/metrics.h"
+
+#include "common/check.h"
+
+namespace metaai::nn {
+
+double Accuracy(std::span<const int> predictions,
+                std::span<const int> labels) {
+  Check(predictions.size() == labels.size(),
+        "prediction/label count mismatch");
+  if (predictions.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    correct += (predictions[i] == labels[i]);
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(predictions.size());
+}
+
+Matrix<std::size_t> ConfusionMatrix(std::span<const int> predictions,
+                                    std::span<const int> labels,
+                                    std::size_t num_classes) {
+  Check(predictions.size() == labels.size(),
+        "prediction/label count mismatch");
+  Matrix<std::size_t> confusion(num_classes, num_classes, 0);
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const auto truth = static_cast<std::size_t>(labels[i]);
+    const auto pred = static_cast<std::size_t>(predictions[i]);
+    CheckIndex(truth, num_classes, "label");
+    CheckIndex(pred, num_classes, "prediction");
+    ++confusion(truth, pred);
+  }
+  return confusion;
+}
+
+std::vector<double> PerClassRecall(const Matrix<std::size_t>& confusion) {
+  Check(confusion.rows() == confusion.cols(),
+        "confusion matrix must be square");
+  std::vector<double> recall(confusion.rows(), 0.0);
+  for (std::size_t r = 0; r < confusion.rows(); ++r) {
+    std::size_t row_total = 0;
+    for (std::size_t c = 0; c < confusion.cols(); ++c) {
+      row_total += confusion(r, c);
+    }
+    if (row_total > 0) {
+      recall[r] = static_cast<double>(confusion(r, r)) /
+                  static_cast<double>(row_total);
+    }
+  }
+  return recall;
+}
+
+}  // namespace metaai::nn

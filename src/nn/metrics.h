@@ -1,0 +1,24 @@
+// Classification metrics: accuracy from prediction lists and confusion
+// matrices, used by every evaluation harness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace metaai::nn {
+
+/// Fraction of positions where predictions[i] == labels[i].
+double Accuracy(std::span<const int> predictions, std::span<const int> labels);
+
+/// Confusion matrix C where C(true_label, predicted) counts occurrences.
+Matrix<std::size_t> ConfusionMatrix(std::span<const int> predictions,
+                                    std::span<const int> labels,
+                                    std::size_t num_classes);
+
+/// Per-class recall (diagonal over row sums); rows with no samples get 0.
+std::vector<double> PerClassRecall(const Matrix<std::size_t>& confusion);
+
+}  // namespace metaai::nn

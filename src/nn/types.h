@@ -1,0 +1,61 @@
+// Dataset containers shared by the neural-network substrate and the
+// dataset generators. Real-valued sets feed the digital CNN baseline;
+// complex-valued sets (modulated symbol vectors) feed the complex LNN that
+// MetaAI deploys over the air.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace metaai::nn {
+
+using Complex = std::complex<double>;
+
+/// Real-feature classification dataset (row-per-sample).
+struct RealDataset {
+  std::size_t num_classes = 0;
+  std::size_t dim = 0;
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;
+
+  std::size_t size() const { return features.size(); }
+
+  void Validate() const {
+    Check(num_classes > 0, "dataset needs classes");
+    Check(features.size() == labels.size(), "feature/label count mismatch");
+    for (const auto& f : features) {
+      Check(f.size() == dim, "feature dimension mismatch");
+    }
+    for (const int label : labels) {
+      Check(label >= 0 && static_cast<std::size_t>(label) < num_classes,
+            "label out of range");
+    }
+  }
+};
+
+/// Complex-feature classification dataset (modulated symbol vectors).
+struct ComplexDataset {
+  std::size_t num_classes = 0;
+  std::size_t dim = 0;
+  std::vector<std::vector<Complex>> features;
+  std::vector<int> labels;
+
+  std::size_t size() const { return features.size(); }
+
+  void Validate() const {
+    Check(num_classes > 0, "dataset needs classes");
+    Check(features.size() == labels.size(), "feature/label count mismatch");
+    for (const auto& f : features) {
+      Check(f.size() == dim, "feature dimension mismatch");
+    }
+    for (const int label : labels) {
+      Check(label >= 0 && static_cast<std::size_t>(label) < num_classes,
+            "label out of range");
+    }
+  }
+};
+
+}  // namespace metaai::nn

@@ -1,0 +1,47 @@
+#include "rf/antenna.h"
+
+#include <cmath>
+
+#include "rf/geometry.h"
+
+namespace metaai::rf {
+
+std::string AntennaName(AntennaType type) {
+  return type == AntennaType::kOmni ? "Omni" : "Dire";
+}
+
+Antenna::Antenna(AntennaType type, double beamwidth_deg, double peak_gain,
+                 double sidelobe_gain)
+    : type_(type),
+      beamwidth_rad_(DegToRad(beamwidth_deg)),
+      peak_gain_(peak_gain),
+      sidelobe_gain_(sidelobe_gain) {}
+
+double Antenna::Gain(double angle_off_boresight_rad) const {
+  if (type_ == AntennaType::kOmni) return 1.0;
+  // Gaussian main lobe: -3 dB (half power) at half the beamwidth.
+  const double half_bw = beamwidth_rad_ / 2.0;
+  const double sigma_sq = half_bw * half_bw / (2.0 * std::log(2.0));
+  const double lobe = peak_gain_ * std::exp(-angle_off_boresight_rad *
+                                            angle_off_boresight_rad /
+                                            (2.0 * sigma_sq));
+  return std::max(lobe, sidelobe_gain_);
+}
+
+double Antenna::DiffuseGain() const {
+  if (type_ == AntennaType::kOmni) return 1.0;
+  // Integrate the pattern over arrival angle (0..pi) with a sin weight
+  // (solid angle) to get the mean gain seen by diffuse scatter.
+  constexpr int kSteps = 180;
+  double num = 0.0;
+  double den = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    const double theta = (static_cast<double>(i) + 0.5) * M_PI / kSteps;
+    const double w = std::sin(theta);
+    num += Gain(theta) * w;
+    den += w;
+  }
+  return num / den;
+}
+
+}  // namespace metaai::rf

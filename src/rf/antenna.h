@@ -1,0 +1,37 @@
+// Antenna gain patterns. Fig 17 compares directional vs omni-directional
+// antennas at the Tx/Rx: directional antennas suppress off-boresight
+// multipath, which matters for the no-cancellation baseline.
+#pragma once
+
+#include <string>
+
+namespace metaai::rf {
+
+enum class AntennaType { kOmni, kDirectional };
+
+std::string AntennaName(AntennaType type);
+
+/// Simple rotationally-symmetric gain model. Omni: unity everywhere.
+/// Directional: Gaussian main lobe with a side-lobe floor.
+class Antenna {
+ public:
+  explicit Antenna(AntennaType type, double beamwidth_deg = 40.0,
+                   double peak_gain = 4.0, double sidelobe_gain = 0.05);
+
+  AntennaType type() const { return type_; }
+
+  /// Amplitude gain at `angle_off_boresight_rad` (linear, not dB).
+  double Gain(double angle_off_boresight_rad) const;
+
+  /// Average gain over the sphere of scattered arrival directions; used to
+  /// scale diffuse multipath power relative to the boresight path.
+  double DiffuseGain() const;
+
+ private:
+  AntennaType type_;
+  double beamwidth_rad_;
+  double peak_gain_;
+  double sidelobe_gain_;
+};
+
+}  // namespace metaai::rf

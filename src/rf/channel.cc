@@ -1,0 +1,103 @@
+#include "rf/channel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::rf {
+
+double FriisAmplitude(double distance_m, double wavelength_m) {
+  Check(distance_m > 0.0, "FriisAmplitude requires positive distance");
+  return wavelength_m / (4.0 * M_PI * distance_m);
+}
+
+MultipathProfile CorridorProfile() {
+  return {.name = "Corridor",
+          .num_scatter_paths = 4,
+          .k_factor_db = 15.0,
+          .delay_spread_s = 60e-9};
+}
+
+MultipathProfile OfficeProfile() {
+  return {.name = "Office",
+          .num_scatter_paths = 8,
+          .k_factor_db = 6.0,
+          .delay_spread_s = 120e-9};
+}
+
+MultipathProfile LaboratoryProfile() {
+  return {.name = "Laboratory",
+          .num_scatter_paths = 14,
+          .k_factor_db = 0.0,
+          .delay_spread_s = 180e-9};
+}
+
+MultipathChannel::MultipathChannel(const MultipathProfile& profile,
+                                   double direct_amplitude,
+                                   double diffuse_gain, Rng& rng,
+                                   double nlos_reference_amplitude) {
+  Check(profile.num_scatter_paths >= 0, "negative scatter path count");
+  const bool line_of_sight = direct_amplitude > 0.0;
+  taps_.push_back({Complex{direct_amplitude, 0.0}, 0.0});
+
+  // Total scattered power relative to the direct path via the K-factor;
+  // for NLoS links the caller supplies a reference amplitude instead.
+  const double reference_power =
+      line_of_sight ? direct_amplitude * direct_amplitude
+                    : nlos_reference_amplitude * nlos_reference_amplitude;
+  const double scatter_power =
+      reference_power / DbToLinear(profile.k_factor_db) * diffuse_gain;
+  if (profile.num_scatter_paths == 0 || scatter_power <= 0.0) return;
+
+  // Exponentially decaying power-delay profile, random uniform phases.
+  std::vector<double> weights(
+      static_cast<std::size_t>(profile.num_scatter_paths));
+  std::vector<double> delays(weights.size());
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    delays[i] = rng.Exponential(1.0 / profile.delay_spread_s);
+    weights[i] = std::exp(-delays[i] / profile.delay_spread_s);
+    weight_sum += weights[i];
+  }
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double power = scatter_power * weights[i] / weight_sum;
+    taps_.push_back({rng.UnitPhasor() * std::sqrt(power), delays[i]});
+  }
+}
+
+Complex MultipathChannel::Response() const { return Response(0.0); }
+
+Complex MultipathChannel::Response(double freq_offset_hz) const {
+  Complex h = taps_[0].gain;  // direct path has zero excess delay
+  return h + ScatterResponse(freq_offset_hz);
+}
+
+Complex MultipathChannel::ScatterResponse(double freq_offset_hz) const {
+  Complex h{0.0, 0.0};
+  for (std::size_t i = 1; i < taps_.size(); ++i) {
+    const double phase = -2.0 * M_PI * freq_offset_hz * taps_[i].delay_s;
+    h += taps_[i].gain * Complex{std::cos(phase), std::sin(phase)};
+  }
+  if (has_dynamic_tap_) {
+    const double phase = -2.0 * M_PI * freq_offset_hz * dynamic_tap_.delay_s;
+    h += dynamic_tap_.gain * Complex{std::cos(phase), std::sin(phase)};
+  }
+  return h;
+}
+
+double MultipathChannel::MaxExcessDelay() const {
+  double max_delay = 0.0;
+  for (const PathTap& tap : taps_) max_delay = std::max(max_delay, tap.delay_s);
+  if (has_dynamic_tap_) max_delay = std::max(max_delay, dynamic_tap_.delay_s);
+  return max_delay;
+}
+
+void MultipathChannel::SetDynamicTap(PathTap tap) {
+  dynamic_tap_ = tap;
+  has_dynamic_tap_ = true;
+}
+
+void MultipathChannel::ClearDynamicTap() { has_dynamic_tap_ = false; }
+
+}  // namespace metaai::rf

@@ -1,0 +1,85 @@
+// Wireless channel models: free-space path loss and tapped-delay-line
+// multipath with per-environment presets (corridor / office / laboratory),
+// matching the three indoor test environments of §5.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "rf/signal.h"
+
+namespace metaai::rf {
+
+/// Friis free-space *amplitude* gain lambda / (4 pi d).
+double FriisAmplitude(double distance_m, double wavelength_m);
+
+/// Statistical description of an indoor environment's scatter.
+struct MultipathProfile {
+  std::string name;
+  int num_scatter_paths = 6;
+  /// Ratio of direct-path power to total scattered power, in dB. Higher
+  /// K means a cleaner (less multipath) environment.
+  double k_factor_db = 10.0;
+  /// RMS delay spread of the scattered taps, in seconds.
+  double delay_spread_s = 100e-9;
+};
+
+/// Presets matching the paper's three environments. The corridor is the
+/// low-multipath case (Fig 17), the laboratory the richest.
+MultipathProfile CorridorProfile();
+MultipathProfile OfficeProfile();
+MultipathProfile LaboratoryProfile();
+
+/// One propagation path: complex gain and excess delay relative to the
+/// first arrival.
+struct PathTap {
+  Complex gain;
+  double delay_s = 0.0;
+};
+
+/// A static multipath channel realization between two endpoints: a direct
+/// tap plus exponentially-decaying scattered taps with random phases.
+///
+/// The narrowband response at a given frequency offset is
+///   H(f) = sum_taps gain_i * e^{-j 2 pi f tau_i}.
+class MultipathChannel {
+ public:
+  /// Draws a realization. `direct_amplitude` is the deterministic gain of
+  /// the direct path (from Friis + antennas); scattered power is set from
+  /// the K-factor and scaled by `diffuse_gain` (antenna suppression).
+  /// Set `direct_amplitude` to 0 for NLoS links (scatter only, power set
+  /// by `nlos_reference_amplitude`).
+  MultipathChannel(const MultipathProfile& profile, double direct_amplitude,
+                   double diffuse_gain, Rng& rng,
+                   double nlos_reference_amplitude = 0.0);
+
+  /// Frequency-flat response (all taps at f = 0 ... i.e. sum of gains).
+  Complex Response() const;
+
+  /// Frequency-selective response at `freq_offset_hz` from the carrier.
+  Complex Response(double freq_offset_hz) const;
+
+  /// Response of the scattered taps only (no direct path); the MetaAI link
+  /// model uses this as the "environment channel" H_e that bypasses the
+  /// metasurface.
+  Complex ScatterResponse(double freq_offset_hz = 0.0) const;
+
+  const std::vector<PathTap>& taps() const { return taps_; }
+
+  /// Largest excess delay across taps; must stay inside the cyclic prefix
+  /// for the multipath-cancellation argument to hold.
+  double MaxExcessDelay() const;
+
+  /// Adds an extra time-varying tap (used for the walking interferer in
+  /// Fig 26). Replaces any previously injected dynamic tap.
+  void SetDynamicTap(PathTap tap);
+  void ClearDynamicTap();
+
+ private:
+  std::vector<PathTap> taps_;      // taps_[0] is the direct path (may be 0)
+  bool has_dynamic_tap_ = false;
+  PathTap dynamic_tap_;
+};
+
+}  // namespace metaai::rf

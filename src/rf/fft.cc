@@ -1,0 +1,58 @@
+#include "rf/fft.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace metaai::rf {
+namespace {
+
+void BitReversePermute(std::span<Complex> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (i < j) std::swap(data[i], data[j]);
+    std::size_t mask = n >> 1;
+    while (j & mask) {
+      j ^= mask;
+      mask >>= 1;
+    }
+    j |= mask;
+  }
+}
+
+void Transform(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  Check(IsPowerOfTwo(n), "FFT length must be a power of two");
+  BitReversePermute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI /
+                         static_cast<double>(len);
+    const Complex step(std::cos(angle), std::sin(angle));
+    for (std::size_t block = 0; block < n; block += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex even = data[block + k];
+        const Complex odd = data[block + k + len / 2] * w;
+        data[block + k] = even + odd;
+        data[block + k + len / 2] = even - odd;
+        w *= step;
+      }
+    }
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Complex& value : data) value *= scale;
+  }
+}
+
+}  // namespace
+
+bool IsPowerOfTwo(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void Fft(std::span<Complex> data) { Transform(data, /*inverse=*/false); }
+
+void Ifft(std::span<Complex> data) { Transform(data, /*inverse=*/true); }
+
+}  // namespace metaai::rf

@@ -1,0 +1,22 @@
+// Radix-2 iterative FFT. Self-contained so the OFDM path has no external
+// dependencies; sizes are restricted to powers of two, which is all OFDM
+// needs.
+#pragma once
+
+#include <span>
+
+#include "rf/signal.h"
+
+namespace metaai::rf {
+
+/// Returns true if n is a power of two (and > 0).
+bool IsPowerOfTwo(std::size_t n);
+
+/// In-place forward DFT: X[k] = sum_n x[n] e^{-j 2 pi k n / N}.
+/// Requires a power-of-two length.
+void Fft(std::span<Complex> data);
+
+/// In-place inverse DFT with 1/N normalization (Ifft(Fft(x)) == x).
+void Ifft(std::span<Complex> data);
+
+}  // namespace metaai::rf

@@ -1,0 +1,63 @@
+// 3-D geometry and wave-propagation constants shared by the RF and
+// metasurface substrates. All distances are in meters, frequencies in Hz,
+// angles in radians unless a name says otherwise.
+#pragma once
+
+#include <cmath>
+
+namespace metaai::rf {
+
+inline constexpr double kSpeedOfLight = 299'792'458.0;  // m/s
+
+/// Free-space wavelength at `frequency_hz`.
+inline double Wavelength(double frequency_hz) {
+  return kSpeedOfLight / frequency_hz;
+}
+
+/// Wave number k0 = 2*pi / lambda.
+inline double WaveNumber(double frequency_hz) {
+  return 2.0 * M_PI / Wavelength(frequency_hz);
+}
+
+inline double DegToRad(double degrees) { return degrees * M_PI / 180.0; }
+inline double RadToDeg(double radians) { return radians * 180.0 / M_PI; }
+
+/// Cartesian point/vector.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  double Dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double Norm() const { return std::sqrt(Dot(*this)); }
+
+  Vec3 Normalized() const {
+    const double n = Norm();
+    return n > 0.0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+  }
+};
+
+/// Euclidean distance.
+inline double Distance(const Vec3& a, const Vec3& b) { return (a - b).Norm(); }
+
+/// Angle between two direction vectors, in [0, pi].
+inline double AngleBetween(const Vec3& a, const Vec3& b) {
+  const double na = a.Norm();
+  const double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  double c = a.Dot(b) / (na * nb);
+  c = std::fmin(1.0, std::fmax(-1.0, c));
+  return std::acos(c);
+}
+
+/// Places a point at `distance` from the origin in the x-y plane at `angle`
+/// from the +x axis, at height z. Used to lay out Tx/Rx around the MTS.
+inline Vec3 Polar(double distance, double angle, double z = 0.0) {
+  return {distance * std::cos(angle), distance * std::sin(angle), z};
+}
+
+}  // namespace metaai::rf

@@ -1,0 +1,177 @@
+#include "rf/modulation.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::rf {
+namespace {
+
+// Per-axis level count for square QAM (and degenerate cases).
+int LevelsPerAxis(Modulation scheme) {
+  switch (scheme) {
+    case Modulation::kBpsk:
+      return 2;  // real axis only
+    case Modulation::kQpsk:
+      return 2;
+    case Modulation::kQam16:
+      return 4;
+    case Modulation::kQam64:
+      return 8;
+    case Modulation::kQam256:
+      return 16;
+  }
+  throw CheckError("unknown modulation scheme");
+}
+
+bool IsComplexScheme(Modulation scheme) {
+  return scheme != Modulation::kBpsk;
+}
+
+unsigned BinaryToGray(unsigned b) { return BinaryToGrayCode(b); }
+
+unsigned GrayToBinary(unsigned g) { return GrayToBinaryCode(g); }
+
+// Amplitude of binary level b in an L-level Gray-coded PAM: odd integers
+// centred on zero, ordered so adjacent Gray codes are adjacent amplitudes.
+double PamAmplitude(unsigned gray_bits, int levels) {
+  const unsigned b = GrayToBinary(gray_bits);
+  return 2.0 * static_cast<double>(b) - static_cast<double>(levels - 1);
+}
+
+// Nearest PAM binary level for a received amplitude.
+unsigned PamDecide(double amplitude, int levels) {
+  double idx = (amplitude + static_cast<double>(levels - 1)) / 2.0;
+  idx = std::round(idx);
+  if (idx < 0.0) idx = 0.0;
+  if (idx > levels - 1) idx = levels - 1;
+  return BinaryToGray(static_cast<unsigned>(idx));
+}
+
+// Normalization so every constellation has unit average power.
+double NormFactor(Modulation scheme) {
+  const double levels = LevelsPerAxis(scheme);
+  const double per_axis = (levels * levels - 1.0) / 3.0;
+  const double power = IsComplexScheme(scheme) ? 2.0 * per_axis : per_axis;
+  return std::sqrt(power);
+}
+
+Complex MapBits(unsigned value, Modulation scheme) {
+  const int bits = BitsPerSymbol(scheme);
+  const int levels = LevelsPerAxis(scheme);
+  const double norm = NormFactor(scheme);
+  if (!IsComplexScheme(scheme)) {
+    return {PamAmplitude(value & 1u, levels) / norm, 0.0};
+  }
+  const int half = bits / 2;
+  const unsigned i_bits = value >> half;
+  const unsigned q_bits = value & ((1u << half) - 1u);
+  return {PamAmplitude(i_bits, levels) / norm,
+          PamAmplitude(q_bits, levels) / norm};
+}
+
+unsigned UnmapSymbol(Complex symbol, Modulation scheme) {
+  const int bits = BitsPerSymbol(scheme);
+  const int levels = LevelsPerAxis(scheme);
+  const double norm = NormFactor(scheme);
+  if (!IsComplexScheme(scheme)) {
+    return PamDecide(symbol.real() * norm, levels) & 1u;
+  }
+  const int half = bits / 2;
+  const unsigned i_bits = PamDecide(symbol.real() * norm, levels);
+  const unsigned q_bits = PamDecide(symbol.imag() * norm, levels);
+  return (i_bits << half) | q_bits;
+}
+
+}  // namespace
+
+int BitsPerSymbol(Modulation scheme) {
+  switch (scheme) {
+    case Modulation::kBpsk:
+      return 1;
+    case Modulation::kQpsk:
+      return 2;
+    case Modulation::kQam16:
+      return 4;
+    case Modulation::kQam64:
+      return 6;
+    case Modulation::kQam256:
+      return 8;
+  }
+  throw CheckError("unknown modulation scheme");
+}
+
+std::string ModulationName(Modulation scheme) {
+  switch (scheme) {
+    case Modulation::kBpsk:
+      return "BPSK";
+    case Modulation::kQpsk:
+      return "QPSK";
+    case Modulation::kQam16:
+      return "16-QAM";
+    case Modulation::kQam64:
+      return "64-QAM";
+    case Modulation::kQam256:
+      return "256-QAM";
+  }
+  throw CheckError("unknown modulation scheme");
+}
+
+std::span<const Modulation> AllModulations() {
+  static constexpr std::array<Modulation, 5> kAll = {
+      Modulation::kBpsk, Modulation::kQpsk, Modulation::kQam16,
+      Modulation::kQam64, Modulation::kQam256};
+  return kAll;
+}
+
+Signal ModulateBits(std::span<const std::uint8_t> bits, Modulation scheme) {
+  const int bps = BitsPerSymbol(scheme);
+  Check(bits.size() % static_cast<std::size_t>(bps) == 0,
+        "bit count must be a multiple of bits-per-symbol");
+  Signal symbols;
+  symbols.reserve(bits.size() / static_cast<std::size_t>(bps));
+  for (std::size_t i = 0; i < bits.size(); i += static_cast<std::size_t>(bps)) {
+    unsigned value = 0;
+    for (int b = 0; b < bps; ++b) {
+      Check(bits[i + static_cast<std::size_t>(b)] <= 1, "bits must be 0/1");
+      value = (value << 1) | bits[i + static_cast<std::size_t>(b)];
+    }
+    symbols.push_back(MapBits(value, scheme));
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> DemodulateSymbols(std::span<const Complex> symbols,
+                                            Modulation scheme) {
+  const int bps = BitsPerSymbol(scheme);
+  std::vector<std::uint8_t> bits;
+  bits.reserve(symbols.size() * static_cast<std::size_t>(bps));
+  for (const Complex& s : symbols) {
+    const unsigned value = UnmapSymbol(s, scheme);
+    for (int b = bps - 1; b >= 0; --b) {
+      bits.push_back(static_cast<std::uint8_t>((value >> b) & 1u));
+    }
+  }
+  return bits;
+}
+
+Complex SymbolForLevel(unsigned level, Modulation scheme) {
+  const unsigned max_level = 1u << BitsPerSymbol(scheme);
+  Check(level < max_level, "level out of range for scheme");
+  return MapBits(level, scheme);
+}
+
+unsigned LevelForSymbol(Complex symbol, Modulation scheme) {
+  return UnmapSymbol(symbol, scheme);
+}
+
+unsigned BinaryToGrayCode(unsigned value) { return value ^ (value >> 1); }
+
+unsigned GrayToBinaryCode(unsigned gray) {
+  unsigned b = 0;
+  for (; gray != 0; gray >>= 1) b ^= gray;
+  return b;
+}
+
+}  // namespace metaai::rf

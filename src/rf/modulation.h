@@ -1,0 +1,56 @@
+// Digital modulation schemes used by the MetaAI input-encoding pipeline.
+//
+// The paper encodes each sample into data bits and modulates them with a
+// configurable scheme (BPSK by default in the exposition, 256-QAM in the
+// default experimental setup, with Fig 23 sweeping BPSK..256-QAM). All
+// constellations here are Gray-mapped and normalized to unit average power
+// so that changing the scheme does not change the transmit power.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rf/signal.h"
+
+namespace metaai::rf {
+
+enum class Modulation : std::uint8_t {
+  kBpsk,
+  kQpsk,
+  kQam16,
+  kQam64,
+  kQam256,
+};
+
+/// Bits carried per symbol: 1, 2, 4, 6, 8.
+int BitsPerSymbol(Modulation scheme);
+
+/// Human-readable name ("BPSK", "256-QAM", ...).
+std::string ModulationName(Modulation scheme);
+
+/// All schemes in increasing order, for sweeps.
+std::span<const Modulation> AllModulations();
+
+/// Maps a bit string onto constellation symbols. The bit count must be a
+/// multiple of BitsPerSymbol(scheme). Bits are consumed MSB-first per symbol.
+Signal ModulateBits(std::span<const std::uint8_t> bits, Modulation scheme);
+
+/// Hard-decision demodulation back to bits (minimum-distance per axis).
+std::vector<std::uint8_t> DemodulateSymbols(std::span<const Complex> symbols,
+                                            Modulation scheme);
+
+/// Maps an integer level in [0, 2^bits) directly onto its constellation
+/// point; used by the dataset encoder which quantizes a pixel to one symbol.
+Complex SymbolForLevel(unsigned level, Modulation scheme);
+
+/// Inverse of SymbolForLevel via hard decision.
+unsigned LevelForSymbol(Complex symbol, Modulation scheme);
+
+/// Gray-code helpers (exposed for encoders that need to construct bit
+/// patterns whose constellation points are geometrically adjacent).
+unsigned BinaryToGrayCode(unsigned value);
+unsigned GrayToBinaryCode(unsigned gray);
+
+}  // namespace metaai::rf

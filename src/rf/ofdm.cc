@@ -1,0 +1,52 @@
+#include "rf/ofdm.h"
+
+#include "common/check.h"
+#include "rf/fft.h"
+
+namespace metaai::rf {
+
+Ofdm::Ofdm(OfdmConfig config) : config_(config) {
+  Check(IsPowerOfTwo(config_.num_subcarriers),
+        "OFDM subcarrier count must be a power of two");
+  Check(config_.cyclic_prefix_len < config_.num_subcarriers,
+        "cyclic prefix must be shorter than the FFT size");
+}
+
+std::size_t Ofdm::SymbolLength() const {
+  return config_.num_subcarriers + config_.cyclic_prefix_len;
+}
+
+Signal Ofdm::Modulate(const Signal& subcarrier_symbols) const {
+  Check(subcarrier_symbols.size() == config_.num_subcarriers,
+        "OFDM modulate: wrong subcarrier count");
+  Signal time = subcarrier_symbols;
+  Ifft(time);
+  Signal out;
+  out.reserve(SymbolLength());
+  // Cyclic prefix: the tail of the IFFT output prepended.
+  out.insert(out.end(),
+             time.end() - static_cast<std::ptrdiff_t>(config_.cyclic_prefix_len),
+             time.end());
+  out.insert(out.end(), time.begin(), time.end());
+  return out;
+}
+
+Signal Ofdm::Demodulate(const Signal& time_samples) const {
+  Check(time_samples.size() == SymbolLength(),
+        "OFDM demodulate: wrong sample count");
+  Signal freq(time_samples.begin() +
+                  static_cast<std::ptrdiff_t>(config_.cyclic_prefix_len),
+              time_samples.end());
+  Fft(freq);
+  return freq;
+}
+
+double Ofdm::SubcarrierOffsetHz(std::size_t k) const {
+  CheckIndex(k, config_.num_subcarriers, "subcarrier");
+  const auto n = static_cast<std::ptrdiff_t>(config_.num_subcarriers);
+  auto idx = static_cast<std::ptrdiff_t>(k);
+  if (idx >= n / 2) idx -= n;  // FFT bin ordering -> centred offsets
+  return static_cast<double>(idx) * config_.subcarrier_spacing_hz;
+}
+
+}  // namespace metaai::rf

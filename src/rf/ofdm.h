@@ -1,0 +1,49 @@
+// OFDM modulator/demodulator with cyclic prefix.
+//
+// MetaAI's subcarrier-based parallelism (Fig 9a / Eqn 9) sends the same
+// input sequence on K subcarriers, with the metasurface providing a
+// frequency-dependent weight per subcarrier; the cyclic prefix also backs
+// the multipath-cancellation argument of §3.2 (all delayed copies fall
+// inside the integration window).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rf/signal.h"
+
+namespace metaai::rf {
+
+struct OfdmConfig {
+  std::size_t num_subcarriers = 64;    // FFT size; power of two
+  std::size_t cyclic_prefix_len = 16;  // samples
+  double subcarrier_spacing_hz = 40e3; // paper: 40 kHz spacing
+};
+
+/// Converts between frequency-domain subcarrier symbols and time-domain
+/// samples (IFFT + CP on transmit, CP removal + FFT on receive).
+class Ofdm {
+ public:
+  explicit Ofdm(OfdmConfig config);
+
+  const OfdmConfig& config() const { return config_; }
+
+  /// Samples per OFDM symbol including the cyclic prefix.
+  std::size_t SymbolLength() const;
+
+  /// One OFDM symbol: `subcarrier_symbols` must have num_subcarriers
+  /// entries; returns CP + IFFT output (SymbolLength() samples).
+  Signal Modulate(const Signal& subcarrier_symbols) const;
+
+  /// Inverse of Modulate for one OFDM symbol worth of samples.
+  Signal Demodulate(const Signal& time_samples) const;
+
+  /// Frequency offset of subcarrier k relative to the carrier, mapping
+  /// k in [0, N) to [-N/2, N/2) * spacing (DC-centred layout).
+  double SubcarrierOffsetHz(std::size_t k) const;
+
+ private:
+  OfdmConfig config_;
+};
+
+}  // namespace metaai::rf

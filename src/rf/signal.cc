@@ -1,0 +1,27 @@
+#include "rf/signal.h"
+
+#include <cmath>
+
+namespace metaai::rf {
+
+double AveragePower(std::span<const Complex> samples) {
+  if (samples.empty()) return 0.0;
+  double total = 0.0;
+  for (const Complex& s : samples) total += std::norm(s);
+  return total / static_cast<double>(samples.size());
+}
+
+double DbToLinear(double db) { return std::pow(10.0, db / 10.0); }
+
+double LinearToDb(double linear) { return 10.0 * std::log10(linear); }
+
+double NoiseVariance(double signal_power, double snr_db) {
+  return signal_power / DbToLinear(snr_db);
+}
+
+void AddAwgn(Signal& samples, double signal_power, double snr_db, Rng& rng) {
+  const double variance = NoiseVariance(signal_power, snr_db);
+  for (Complex& s : samples) s += rng.ComplexNormal(variance);
+}
+
+}  // namespace metaai::rf

@@ -1,0 +1,29 @@
+// Complex-baseband signal helpers: power, dB conversions, AWGN.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace metaai::rf {
+
+using Complex = std::complex<double>;
+using Signal = std::vector<Complex>;
+
+/// Average power (mean |s|^2); returns 0 for an empty signal.
+double AveragePower(std::span<const Complex> samples);
+
+/// Decibel conversions for power ratios.
+double DbToLinear(double db);
+double LinearToDb(double linear);
+
+/// Adds circularly-symmetric white Gaussian noise so that the resulting
+/// per-sample SNR equals `snr_db` relative to `signal_power`.
+void AddAwgn(Signal& samples, double signal_power, double snr_db, Rng& rng);
+
+/// Noise variance that yields `snr_db` against `signal_power`.
+double NoiseVariance(double signal_power, double snr_db);
+
+}  // namespace metaai::rf

@@ -1,0 +1,89 @@
+#include "sim/energy_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::sim {
+namespace {
+
+// Server compute time = intercept_ms + slope_ms_per_px * pixels, at
+// power_w. Fitted through the paper's measured MNIST (784 px) and AFHQ
+// (2704 px) rows.
+struct ServerProfile {
+  const char* device;
+  const char* model;
+  double intercept_ms;
+  double slope_ms_per_px;
+  double power_w;
+};
+
+constexpr ServerProfile kProfiles[] = {
+    {"CPU", "ResNet-18", 4.041, 4.680e-3, 29.3},
+    {"CPU", "LNN", 0.874, 1.386e-3, 31.4},
+    {"4080 GPU", "ResNet-18", 3.138, 1.483e-3, 42.3},
+    {"4080 GPU", "LNN", 3.477, 6.55e-4, 31.2},
+};
+
+const ServerProfile& FindProfile(const std::string& device,
+                                 const std::string& model) {
+  for (const ServerProfile& profile : kProfiles) {
+    if (device == profile.device && model == profile.model) return profile;
+  }
+  throw CheckError("unknown device/model pair: " + device + "/" + model);
+}
+
+}  // namespace
+
+EnergyModel::EnergyModel(EnergyModelConfig config) : config_(config) {
+  Check(config_.radio_rate_bps > 0.0, "radio rate must be positive");
+  Check(config_.metaai_symbol_rate_hz > 0.0, "symbol rate must be positive");
+}
+
+EnergyLatencyRow EnergyModel::DigitalRow(const std::string& device,
+                                         const std::string& model,
+                                         std::size_t pixels) const {
+  Check(pixels > 0, "pixels must be positive");
+  const ServerProfile& profile = FindProfile(device, model);
+  EnergyLatencyRow row;
+  row.system = device;
+  row.model = model;
+  // 8-bit pixels shipped raw.
+  const double bits = static_cast<double>(pixels) * 8.0;
+  row.transmission_ms = bits / config_.radio_rate_bps * 1e3;
+  row.server_compute_ms =
+      profile.intercept_ms + profile.slope_ms_per_px *
+                                 static_cast<double>(pixels);
+  row.total_ms = row.transmission_ms + row.server_compute_ms;
+  row.transmission_mj = config_.radio_power_w * row.transmission_ms;
+  row.server_compute_mj = profile.power_w * row.server_compute_ms;
+  row.mts_mj = 0.0;
+  row.total_mj = row.transmission_mj + row.server_compute_mj;
+  return row;
+}
+
+EnergyLatencyRow EnergyModel::MetaAiRow(std::size_t pixels,
+                                        std::size_t classes,
+                                        std::size_t parallel_width) const {
+  Check(pixels > 0 && classes > 0 && parallel_width > 0,
+        "dimensions must be positive");
+  Check(parallel_width <= classes, "parallel width cannot exceed classes");
+  EnergyLatencyRow row;
+  row.system = "Meta-AI";
+  row.model = "LNN";
+  const double rounds = std::ceil(static_cast<double>(classes) /
+                                  static_cast<double>(parallel_width));
+  const double symbols = static_cast<double>(pixels) * rounds;
+  row.transmission_ms = symbols / config_.metaai_symbol_rate_hz * 1e3;
+  row.server_compute_ms = config_.metaai_server_ms;
+  row.total_ms = row.transmission_ms + row.server_compute_ms;
+  row.transmission_mj = config_.radio_power_w * row.transmission_ms;
+  row.server_compute_mj =
+      config_.metaai_server_power_w * row.server_compute_ms;
+  row.mts_mj = symbols * config_.mts_patterns_per_symbol *
+               config_.mts_energy_per_pattern_j * 1e3;
+  row.total_mj = row.transmission_mj + row.server_compute_mj + row.mts_mj;
+  return row;
+}
+
+}  // namespace metaai::sim

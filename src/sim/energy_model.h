@@ -1,0 +1,67 @@
+// End-to-end energy & latency cost model (Appendix A.4, Tables 2-3).
+//
+// The paper compares "transmit raw data, then compute on a server"
+// pipelines (CPU/GPU x ResNet-18/LNN) against MetaAI, where computation
+// happens during transmission. This model is parameterized with constants
+// fitted to the paper's measured MNIST and AFHQ rows:
+//  * radio: 40 Mb/s at 5.46 W (both follow from the paper's transmission
+//    time/energy pairs);
+//  * server compute: per (device, model) affine time in the pixel count,
+//    fitted through the two measured datasets, times a per-row power;
+//  * MetaAI: symbols = pixels * classes / parallel_width at 1 Msym/s,
+//    2 MTS patterns per symbol (mid-symbol flip) at 0.75 uJ per pattern,
+//    plus a fixed ~0.6 W / 0.013 ms server-side accumulation step.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace metaai::sim {
+
+/// One row of Table 2/3.
+struct EnergyLatencyRow {
+  std::string system;  // "CPU", "4080 GPU", "Meta-AI"
+  std::string model;   // "ResNet-18", "LNN"
+  double transmission_ms = 0.0;
+  double server_compute_ms = 0.0;
+  double total_ms = 0.0;
+  double transmission_mj = 0.0;
+  double server_compute_mj = 0.0;
+  double mts_mj = 0.0;  // 0 for digital baselines
+  double total_mj = 0.0;
+};
+
+struct EnergyModelConfig {
+  double radio_rate_bps = 40e6;
+  double radio_power_w = 5.46;
+  double metaai_symbol_rate_hz = 1e6;
+  double mts_patterns_per_symbol = 2.0;  // mid-symbol flip
+  double mts_energy_per_pattern_j = 0.75e-6;
+  double metaai_server_ms = 0.013;
+  double metaai_server_power_w = 0.6;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyModelConfig config = {});
+
+  const EnergyModelConfig& config() const { return config_; }
+
+  /// Digital baseline row: raw image (pixels bytes at 8bpp) shipped to
+  /// the server, then inferred there. `device` is "CPU" or "4080 GPU",
+  /// `model` is "ResNet-18" or "LNN".
+  EnergyLatencyRow DigitalRow(const std::string& device,
+                              const std::string& model,
+                              std::size_t pixels) const;
+
+  /// MetaAI row: computation happens during transmission; the sample is
+  /// sent `classes / parallel_width` times (sequential rounds of the
+  /// parallelism scheme).
+  EnergyLatencyRow MetaAiRow(std::size_t pixels, std::size_t classes,
+                             std::size_t parallel_width) const;
+
+ private:
+  EnergyModelConfig config_;
+};
+
+}  // namespace metaai::sim

@@ -1,0 +1,92 @@
+#include "sim/environment.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::sim {
+namespace {
+// Amplitude through a human body crossing the beam (~ -7.5 dB).
+constexpr double kBlockedGain = 0.42;
+}  // namespace
+
+std::string InterfererRegionName(InterfererRegion region) {
+  switch (region) {
+    case InterfererRegion::kNone:
+      return "none";
+    case InterfererRegion::kR1:
+      return "R1";
+    case InterfererRegion::kR2:
+      return "R2";
+    case InterfererRegion::kR3:
+      return "R3";
+    case InterfererRegion::kR4:
+      return "R4";
+  }
+  throw CheckError("unknown interferer region");
+}
+
+namespace {
+
+// Relative strength of the interferer's scattered path by region: closer
+// to the link geometry -> stronger extra path.
+double RegionPathFactor(InterfererRegion region) {
+  switch (region) {
+    case InterfererRegion::kNone:
+      return 0.0;
+    case InterfererRegion::kR1:
+      return 0.25;
+    case InterfererRegion::kR2:
+      return 0.45;
+    case InterfererRegion::kR3:
+      return 0.35;
+    case InterfererRegion::kR4:
+      return 0.55;
+  }
+  throw CheckError("unknown interferer region");
+}
+
+}  // namespace
+
+DynamicInterferer::DynamicInterferer(InterfererRegion region,
+                                     double reference_amplitude, double drift,
+                                     Rng& rng)
+    : region_(region), drift_(drift) {
+  Check(reference_amplitude >= 0.0, "negative reference amplitude");
+  Check(drift >= 0.0, "negative drift");
+  amplitude_ = RegionPathFactor(region) * reference_amplitude;
+  if (region != InterfererRegion::kNone) {
+    tap_ = rng.UnitPhasor() * amplitude_;
+  }
+  if (region == InterfererRegion::kR4) {
+    // A body on the MTS-Rx path: start in a random blockage state; the
+    // Markov dynamics live in NextSymbolTap (~20% blocked time).
+    blocked_ = rng.Bernoulli(0.2);
+    mts_path_gain_ = blocked_ ? kBlockedGain : 1.0;
+  }
+}
+
+rf::Complex DynamicInterferer::NextSymbolTap(Rng& rng) {
+  if (region_ == InterfererRegion::kNone) return {0.0, 0.0};
+  if (region_ == InterfererRegion::kR4) {
+    // Two-state Markov shadowing: bursts of deep fade while the body
+    // crosses the beam. Transition probabilities give ~30% blocked time
+    // in bursts of ~100 symbols (walking pace vs 1 Msym/s).
+    if (blocked_) {
+      if (rng.Bernoulli(0.01)) blocked_ = false;
+    } else {
+      if (rng.Bernoulli(0.0025)) blocked_ = true;
+    }
+    mts_path_gain_ = blocked_ ? kBlockedGain : 1.0;
+  }
+  // Random-walk phase/amplitude drift (walking speed << symbol rate).
+  tap_ += rng.ComplexNormal(drift_ * drift_ * amplitude_ * amplitude_);
+  // Keep the magnitude tethered to the region's nominal strength.
+  const double mag = std::abs(tap_);
+  if (mag > 2.0 * amplitude_ && mag > 0.0) {
+    tap_ *= 2.0 * amplitude_ / mag;
+  }
+  return tap_;
+}
+
+}  // namespace metaai::sim

@@ -1,0 +1,68 @@
+// Deployment environments for the over-the-air link (§5.2 / §5.3).
+//
+// Wraps the RF multipath profiles with the scenario-level knobs the
+// paper's experiments sweep: LoS vs NLoS corner, cross-room wall
+// attenuation, and a walking interferer in one of four regions (Fig 26).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "rf/antenna.h"
+#include "rf/channel.h"
+
+namespace metaai::sim {
+
+/// Regions a dynamic (walking-human) interferer can occupy, following
+/// Fig 26(a): R1 near the Tx, R2 between Tx and MTS, R3 behind the Rx,
+/// R4 on the direct MTS-Rx path (blocking it).
+enum class InterfererRegion { kNone, kR1, kR2, kR3, kR4 };
+
+std::string InterfererRegionName(InterfererRegion region);
+
+struct EnvironmentSetup {
+  rf::MultipathProfile profile = rf::OfficeProfile();
+  /// False for the NLoS corner scenario: the Tx-Rx environment path has
+  /// no direct component (the MTS still sees both ends).
+  bool direct_tx_rx = true;
+  /// Wall attenuation applied to the MTS->Rx leg and the environment
+  /// path (cross-room scenario, Fig 27). In dB, >= 0.
+  double wall_attenuation_db = 0.0;
+  InterfererRegion interferer = InterfererRegion::kNone;
+  /// Fractional per-symbol random walk of the interferer's extra path
+  /// (walking speed << symbol rate: the channel is static within a symbol
+  /// but drifts across symbols).
+  double interferer_drift = 0.05;
+};
+
+/// Per-symbol state of the dynamic interferer: an extra environment tap
+/// that drifts between symbols, plus (region R4 only) a shadowing factor
+/// on the MTS->Rx path.
+class DynamicInterferer {
+ public:
+  DynamicInterferer(InterfererRegion region, double reference_amplitude,
+                    double drift, Rng& rng);
+
+  /// Advances one symbol period and returns the interferer's extra
+  /// environment-path gain for that symbol.
+  rf::Complex NextSymbolTap(Rng& rng);
+
+  /// Amplitude factor on the MTS->Rx leg for the current symbol. 1.0
+  /// except in region R4, where the walking body intermittently shadows
+  /// the beam: a two-state Markov process of deep-fade bursts (advanced
+  /// by NextSymbolTap).
+  double MtsPathGain() const { return mts_path_gain_; }
+
+  InterfererRegion region() const { return region_; }
+
+ private:
+  InterfererRegion region_;
+  rf::Complex tap_{0.0, 0.0};
+  double amplitude_ = 0.0;
+  double drift_ = 0.0;
+  double mts_path_gain_ = 1.0;
+  bool blocked_ = false;
+};
+
+}  // namespace metaai::sim

@@ -1,0 +1,367 @@
+#include "sim/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "rf/geometry.h"
+
+namespace metaai::sim {
+namespace {
+
+double DbmToLinearWatts(double dbm) { return std::pow(10.0, (dbm - 30.0) / 10.0); }
+
+// Off-boresight angles of the direct Tx->Rx ray at each end, given both
+// antennas point at the panel (the origin).
+struct DirectPathAngles {
+  double at_tx;
+  double at_rx;
+};
+
+DirectPathAngles DirectAngles(const mts::LinkGeometry& geometry) {
+  const rf::Vec3 tx = rf::Polar(geometry.tx_distance_m, geometry.tx_angle_rad);
+  const rf::Vec3 rx = rf::Polar(geometry.rx_distance_m, geometry.rx_angle_rad);
+  const rf::Vec3 tx_boresight = tx * -1.0;  // toward the MTS
+  const rf::Vec3 rx_boresight = rx * -1.0;
+  const rf::Vec3 tx_to_rx = rx - tx;
+  const rf::Vec3 rx_to_tx = tx - rx;
+  return {rf::AngleBetween(tx_boresight, tx_to_rx),
+          rf::AngleBetween(rx_boresight, rx_to_tx)};
+}
+
+}  // namespace
+
+double TxRxDistance(const mts::LinkGeometry& geometry) {
+  const rf::Vec3 tx = rf::Polar(geometry.tx_distance_m, geometry.tx_angle_rad);
+  const rf::Vec3 rx = rf::Polar(geometry.rx_distance_m, geometry.rx_angle_rad);
+  return rf::Distance(tx, rx);
+}
+
+OtaLink::OtaLink(const mts::Metasurface& surface, OtaLinkConfig config)
+    : surface_(surface), config_(std::move(config)) {
+  Check(!config_.observations.empty(), "link needs at least one observation");
+  Check(config_.oversample >= 2 && config_.oversample % 2 == 0,
+        "oversample must be even and >= 2");
+  Check(config_.symbol_rate_hz > 0.0, "symbol rate must be positive");
+
+  tx_amplitude_ = std::sqrt(DbmToLinearWatts(config_.budget.tx_power_dbm));
+  noise_power_ = DbmToLinearWatts(config_.budget.noise_floor_dbm);
+
+  const rf::Antenna tx_ant(config_.tx_antenna);
+  const rf::Antenna rx_ant(config_.rx_antenna);
+  const double wall_amp =
+      std::pow(10.0, -config_.environment.wall_attenuation_db / 20.0);
+
+  Rng channel_rng(config_.channel_seed);
+
+  // Base environment realization, shared by all same-geometry
+  // observations (subcarriers see the same taps at different offsets).
+  auto make_environment = [&](const mts::LinkGeometry& geometry, Rng& rng) {
+    const double lambda = rf::Wavelength(geometry.frequency_hz);
+    const double d = TxRxDistance(geometry);
+    const auto angles = DirectAngles(geometry);
+    const double endpoint_gain = std::sqrt(tx_ant.Gain(angles.at_tx) *
+                                           rx_ant.Gain(angles.at_rx));
+    const double friis = rf::FriisAmplitude(d, lambda);
+    const double direct = config_.environment.direct_tx_rx
+                              ? friis * endpoint_gain * wall_amp
+                              : 0.0;
+    const double diffuse =
+        tx_ant.DiffuseGain() * rx_ant.DiffuseGain() * wall_amp * wall_amp;
+    // NLoS links keep scattered energy referenced to the (absent) direct
+    // path so the K-factor still sets its level.
+    return rf::MultipathChannel(config_.environment.profile, direct, diffuse,
+                                rng,
+                                /*nlos_reference_amplitude=*/friis * 0.5);
+  };
+
+  // Static per-atom device phase errors (hardware noise N_d): drawn once
+  // per link; identical for every observation since they are properties
+  // of the physical atoms.
+  std::vector<Complex> device_error(surface_.num_atoms(), Complex{1.0, 0.0});
+  if (config_.mts_phase_noise_std > 0.0) {
+    Rng device_rng(config_.channel_seed ^ 0x5EED5EEDull);
+    for (Complex& e : device_error) {
+      const double eps = device_rng.Normal(0.0, config_.mts_phase_noise_std);
+      e = Complex{std::cos(eps), std::sin(eps)};
+    }
+  }
+
+  std::optional<rf::MultipathChannel> base_env;
+  for (const Observation& obs : config_.observations) {
+    ObservationState state{
+        .steering = {},
+        .mts_amplitude = 0.0,
+        .environment =
+            [&] {
+              if (obs.geometry.has_value()) {
+                Rng fork = channel_rng.Fork();
+                return make_environment(*obs.geometry, fork);
+              }
+              if (!base_env.has_value()) {
+                base_env = make_environment(config_.geometry, channel_rng);
+              }
+              return *base_env;
+            }(),
+        .env_gain = 1.0};
+    const mts::LinkGeometry& geometry =
+        obs.geometry.has_value() ? *obs.geometry : config_.geometry;
+    state.steering = surface_.SteeringVector(geometry, obs.freq_offset_hz);
+    if (obs.harmonic != 0) {
+      // Intra-symbol time-coding harmonic: distinct per-atom phase ramp
+      // (see Observation::harmonic).
+      constexpr double kGoldenAngle = 2.39996322972865332;
+      for (std::size_t m = 0; m < state.steering.size(); ++m) {
+        const double phase = kGoldenAngle * static_cast<double>(m + 1) *
+                             static_cast<double>(obs.harmonic);
+        state.steering[m] *= Complex{std::cos(phase), std::sin(phase)};
+      }
+    }
+    state.tx_steering = state.steering;
+    for (std::size_t m = 0; m < state.tx_steering.size(); ++m) {
+      state.tx_steering[m] *= device_error[m];
+    }
+    // Antennas point at the panel: boresight gains on both MTS legs.
+    state.mts_amplitude = surface_.PathAmplitude(geometry) *
+                          std::sqrt(tx_ant.Gain(0.0) * rx_ant.Gain(0.0)) *
+                          wall_amp;
+    observations_.push_back(std::move(state));
+  }
+}
+
+std::vector<Complex> OtaLink::SteeringVector(std::size_t o) const {
+  CheckIndex(o, observations_.size(), "observation");
+  return observations_[o].steering;
+}
+
+double OtaLink::MtsPathAmplitude(std::size_t o) const {
+  CheckIndex(o, observations_.size(), "observation");
+  return observations_[o].mts_amplitude;
+}
+
+Complex OtaLink::EnvironmentResponse(std::size_t o) const {
+  CheckIndex(o, observations_.size(), "observation");
+  return tx_amplitude_ * observations_[o].environment.Response(
+                             config_.observations[o].freq_offset_hz);
+}
+
+double OtaLink::SymbolNoiseVariance() const { return noise_power_; }
+
+double OtaLink::NominalSnrDb() const {
+  // Mid-scale weight: 45% of the coherent sum of steering magnitudes.
+  double steering_sum = 0.0;
+  for (const Complex& s : observations_[0].steering) {
+    steering_sum += std::abs(s);
+  }
+  const double signal_amp = tx_amplitude_ * observations_[0].mts_amplitude *
+                            0.45 * steering_sum;
+  return 10.0 * std::log10(signal_amp * signal_amp / noise_power_);
+}
+
+ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
+                                        const MtsSchedule& schedule,
+                                        double mts_clock_offset_us,
+                                        Rng& rng) const {
+  const std::size_t num_symbols = data.size();
+  Check(num_symbols > 0, "empty transmission");
+  Check(schedule.size() == num_symbols, "schedule length mismatch");
+  const std::size_t num_obs = observations_.size();
+  const std::size_t atoms = surface_.num_atoms();
+  for (const auto& codes : schedule) {
+    Check(codes.size() == atoms, "schedule config size mismatch");
+  }
+
+  // Per-symbol base responses B(o, i) = sum_m steering * phasor, using
+  // the hardware's (device-error-perturbed) steering.
+  ComplexMatrix base(num_obs, num_symbols);
+  for (std::size_t o = 0; o < num_obs; ++o) {
+    const auto& steering = observations_[o].tx_steering;
+    for (std::size_t i = 0; i < num_symbols; ++i) {
+      Complex acc{0.0, 0.0};
+      const auto& codes = schedule[i];
+      for (std::size_t m = 0; m < atoms; ++m) {
+        acc += steering[m] * mts::PhasorForCode(codes[m]);
+      }
+      base(o, i) = acc;
+    }
+  }
+
+  const std::size_t slots_per_symbol = config_.multipath_cancellation ? 2 : 1;
+  const std::size_t num_slots = slots_per_symbol * num_symbols;
+
+  // Dynamic interferer + per-symbol environment responses.
+  const double lambda = rf::Wavelength(config_.geometry.frequency_hz);
+  DynamicInterferer interferer(
+      config_.environment.interferer,
+      rf::FriisAmplitude(std::max(TxRxDistance(config_.geometry), 0.5),
+                         lambda),
+      config_.environment.interferer_drift, rng);
+  ComplexMatrix env(num_obs, num_symbols);
+  std::vector<double> mts_gain(num_symbols, 1.0);
+  for (std::size_t i = 0; i < num_symbols; ++i) {
+    const Complex tap = interferer.NextSymbolTap(rng);
+    mts_gain[i] = interferer.MtsPathGain();
+    for (std::size_t o = 0; o < num_obs; ++o) {
+      env(o, i) = observations_[o].environment.Response(
+                      config_.observations[o].freq_offset_hz) +
+                  tap;
+    }
+  }
+
+  const double symbol_period_s = 1.0 / config_.symbol_rate_hz;
+  const double slot_duration_s =
+      symbol_period_s / static_cast<double>(slots_per_symbol);
+  const double offset_s = mts_clock_offset_us * 1e-6;
+  const auto oversample = static_cast<std::size_t>(config_.oversample);
+  // Per-sub-sample noise so that the S-sample average has the configured
+  // symbol-level noise power.
+  const double subsample_noise_var =
+      noise_power_ * static_cast<double>(oversample);
+
+  // ---------------------------------------------------------------
+  // Receive combining. With multipath cancellation active the receiver
+  // exploits the §3.2 observation that the MTS breaks the zero-mean
+  // property: it samples several points per symbol, groups them by the
+  // (estimated) MTS slot state and the data pulse sign, and averages the
+  // matched pairs
+  //     (unflipped, +pulse) & (flipped, -pulse)   ->  +w x   (env cancels)
+  //     (flipped,  +pulse) & (unflipped, -pulse)  ->  -w x   (env cancels)
+  // so a static environment path cancels exactly for ANY fractional clock
+  // offset, and a residual integer-symbol shift remains for CDFA training
+  // to absorb. Slot boundaries are assumed estimable at the receiver (the
+  // MTS-modulated envelope exposes them); the simulator hands it the true
+  // boundary phase. Without cancellation the receiver plainly averages.
+  // ---------------------------------------------------------------
+  struct GroupStats {
+    Complex sum{0.0, 0.0};
+    std::size_t count = 0;
+  };
+
+  ComplexMatrix z(num_obs, num_symbols);
+  std::vector<std::size_t> slot_symbol_of(oversample);
+  std::vector<char> flipped_of(oversample);
+  std::vector<double> pulse_of(oversample);
+  std::vector<Complex> received(num_obs * oversample);
+
+  for (std::size_t i = 0; i < num_symbols; ++i) {
+    for (std::size_t j = 0; j < oversample; ++j) {
+      // Data-clock time of this sub-sample.
+      const double t =
+          (static_cast<double>(i) +
+           (static_cast<double>(j) + 0.5) / static_cast<double>(oversample)) *
+          symbol_period_s;
+      // Zero-mean pulse when cancellation is active.
+      const double pulse = (config_.multipath_cancellation &&
+                            j >= oversample / 2)
+                               ? -1.0
+                               : 1.0;
+      // The slot the MTS is playing at this instant (its clock lags by
+      // the offset). Clamped at the schedule edges: the surface holds its
+      // first/last configuration outside the window.
+      const double mts_time = t - offset_s;
+      auto slot = static_cast<std::ptrdiff_t>(
+          std::floor(mts_time / slot_duration_s));
+      slot = std::clamp(slot, std::ptrdiff_t{0},
+                        static_cast<std::ptrdiff_t>(num_slots) - 1);
+      const auto slot_symbol =
+          static_cast<std::size_t>(slot) / slots_per_symbol;
+      const bool flipped = config_.multipath_cancellation &&
+                           (static_cast<std::size_t>(slot) %
+                            slots_per_symbol) == 1;
+      slot_symbol_of[j] = slot_symbol;
+      flipped_of[j] = flipped ? 1 : 0;
+      pulse_of[j] = pulse;
+
+      for (std::size_t o = 0; o < num_obs; ++o) {
+        Complex mts_response = base(o, slot_symbol);
+        if (flipped) mts_response = -mts_response;
+        mts_response *= observations_[o].mts_amplitude * mts_gain[i];
+        const Complex channel = mts_response + env(o, i);
+        received[o * oversample + j] =
+            tx_amplitude_ * channel * data[i] * pulse +
+            rng.ComplexNormal(subsample_noise_var);
+      }
+    }
+
+    if (!config_.multipath_cancellation) {
+      for (std::size_t o = 0; o < num_obs; ++o) {
+        Complex acc{0.0, 0.0};
+        for (std::size_t j = 0; j < oversample; ++j) {
+          acc += received[o * oversample + j];
+        }
+        z(o, i) = acc / static_cast<double>(oversample);
+      }
+      continue;
+    }
+
+    for (std::size_t o = 0; o < num_obs; ++o) {
+      // Group sub-samples by (slot symbol, flipped, pulse sign). At most
+      // two distinct slot symbols appear inside one data-symbol window.
+      struct Group {
+        std::size_t symbol;
+        int flipped;
+        int pulse_positive;
+        GroupStats stats;
+      };
+      std::vector<Group> groups;
+      for (std::size_t j = 0; j < oversample; ++j) {
+        const int f = flipped_of[j];
+        const int p = pulse_of[j] > 0.0 ? 1 : 0;
+        Group* group = nullptr;
+        for (Group& g : groups) {
+          if (g.symbol == slot_symbol_of[j] && g.flipped == f &&
+              g.pulse_positive == p) {
+            group = &g;
+            break;
+          }
+        }
+        if (group == nullptr) {
+          groups.push_back({slot_symbol_of[j], f, p, {}});
+          group = &groups.back();
+        }
+        group->stats.sum += received[o * oversample + j];
+        ++group->stats.count;
+      }
+      auto mean = [](const GroupStats& g) {
+        return g.sum / static_cast<double>(g.count);
+      };
+      // A pair (f1, +pulse) x (f2, -pulse) with f1 != f2 cancels the
+      // environment: mean_A + mean_B = ((-1)^{f1} w_A + (-1)^{f1} w_B) x,
+      // so +-(w_A + w_B)/2 * x survives. Same-symbol pairs recover w x
+      // exactly; cross-symbol pairs give the benign two-weight average.
+      Complex acc{0.0, 0.0};
+      double weight = 0.0;
+      auto combine_pairs = [&](bool same_symbol_only) {
+        for (const Group& a : groups) {
+          if (a.pulse_positive != 1) continue;
+          for (const Group& b : groups) {
+            if (b.pulse_positive != 0) continue;
+            if (a.flipped == b.flipped) continue;
+            if (same_symbol_only != (a.symbol == b.symbol)) continue;
+            const double sign = a.flipped == 0 ? 1.0 : -1.0;
+            const double w2 =
+                static_cast<double>(a.stats.count + b.stats.count);
+            acc += w2 * sign * 0.5 * (mean(a.stats) + mean(b.stats));
+            weight += w2;
+          }
+        }
+      };
+      combine_pairs(/*same_symbol_only=*/true);
+      if (weight == 0.0) combine_pairs(/*same_symbol_only=*/false);
+      if (weight > 0.0) {
+        z(o, i) = acc / weight;
+      } else {
+        // No environment-cancelling pair at all (degenerate): fall back
+        // to pulse-matched averaging; the environment leaks.
+        Complex fallback{0.0, 0.0};
+        for (std::size_t j = 0; j < oversample; ++j) {
+          fallback += received[o * oversample + j] * pulse_of[j];
+        }
+        z(o, i) = fallback / static_cast<double>(oversample);
+      }
+    }
+  }
+  return z;
+}
+
+}  // namespace metaai::sim

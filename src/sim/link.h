@@ -1,0 +1,155 @@
+// End-to-end over-the-air link simulator.
+//
+// Models one Tx -> {MTS reflection + environment} -> Rx link at symbol
+// resolution with sub-symbol oversampling, implementing the paper's
+// receive model (Eqn 3) together with:
+//  * the multipath-cancellation scheme of §3.2: zero-mean half-symbol
+//    pulses with the MTS flipping every atom by pi at mid-symbol, so that
+//    plain integration over a symbol cancels any path that is static
+//    within the symbol while retaining the MTS-path product w * x;
+//  * metasurface clock offset (sync error) in microseconds — the MTS
+//    weight schedule slides against the data symbols, reproducing the
+//    degradation of Fig 11/13;
+//  * link-budget noise: Friis legs, antenna gains, wall attenuation and a
+//    noise floor produce a physical per-symbol SNR (used by the distance /
+//    NLoS / cross-room sweeps);
+//  * hardware phase noise on the meta-atoms (diffusion approximation: the
+//    sum of many small per-atom phase jitters is an additive complex
+//    Gaussian on the slot response);
+//  * a dynamic interferer (Fig 26).
+//
+// Parallelism support: a link carries one or more *observations* — the
+// same transmission measured on different subcarriers (frequency offsets,
+// Fig 9a) or at different receive antennas (geometry overrides, Fig 9b).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "mts/metasurface.h"
+#include "rf/antenna.h"
+#include "rf/signal.h"
+#include "sim/environment.h"
+
+namespace metaai::sim {
+
+using rf::Complex;
+
+/// One way of observing the transmission.
+struct Observation {
+  /// Subcarrier offset from the carrier (subcarrier parallelism).
+  double freq_offset_hz = 0.0;
+  /// Harmonic index of the metasurface's intra-symbol time coding. At
+  /// 40 kHz subcarrier spacing the propagation phases alone barely differ
+  /// across subcarriers; the physical mechanism that decorrelates them is
+  /// time modulation of the atoms within the OFDM symbol, whose h-th
+  /// Fourier harmonic picks up a distinct per-atom phase. Modeled as a
+  /// deterministic golden-angle phase ramp e^{j 2.39996 (m+1) h} on the
+  /// steering vector (0 = fundamental, no extra phase).
+  int harmonic = 0;
+  /// Receive-antenna geometry override (antenna parallelism); nullopt
+  /// uses the link's base geometry.
+  std::optional<mts::LinkGeometry> geometry = std::nullopt;
+};
+
+struct LinkBudget {
+  double tx_power_dbm = 20.0;
+  /// Effective noise floor over the symbol bandwidth, including receiver
+  /// noise figure and residual interference.
+  double noise_floor_dbm = -72.0;
+};
+
+struct OtaLinkConfig {
+  mts::LinkGeometry geometry;  // default paper setup is the zero value
+  EnvironmentSetup environment;
+  rf::AntennaType tx_antenna = rf::AntennaType::kDirectional;
+  rf::AntennaType rx_antenna = rf::AntennaType::kDirectional;
+  LinkBudget budget;
+  double symbol_rate_hz = 1e6;
+  /// §3.2 scheme: zero-mean pulse + mid-symbol MTS flip. When false the
+  /// MTS holds one configuration per symbol and the environment path adds
+  /// directly onto the weight.
+  bool multipath_cancellation = true;
+  /// Sub-samples per symbol for the time-resolved integration.
+  int oversample = 8;
+  /// Std-dev (radians) of *static* per-atom phase errors — device
+  /// discrepancies among meta-atoms (hardware noise N_d of Eqn 13). Drawn
+  /// once per link from channel_seed; the weight mapper solves against
+  /// the idealized surface, so these errors systematically distort every
+  /// realized weight — exactly the miscalibration the noise-aware
+  /// training scheme (Eqn 14) compensates.
+  double mts_phase_noise_std = 0.0;
+  std::vector<Observation> observations = {Observation{}};
+  std::uint64_t channel_seed = 1;  // environment realization seed
+};
+
+/// The per-symbol MTS configuration schedule for one output sequence:
+/// schedule[i] holds the codes the surface loads for data symbol i (the
+/// mid-symbol flip is applied internally when cancellation is on).
+using MtsSchedule = std::vector<std::vector<mts::PhaseCode>>;
+
+class OtaLink {
+ public:
+  /// Draws the environment realization from config.channel_seed.
+  OtaLink(const mts::Metasurface& surface, OtaLinkConfig config);
+
+  const OtaLinkConfig& config() const { return config_; }
+  std::size_t num_observations() const { return config_.observations.size(); }
+
+  /// Plays `schedule` against `data` and returns the integrated per-symbol
+  /// measurements z(o, i) for every observation o. `mts_clock_offset_us`
+  /// slides the MTS schedule relative to the data clock (positive = MTS
+  /// late). Noise is drawn from `rng`.
+  ComplexMatrix TransmitSequence(std::span<const Complex> data,
+                                 const MtsSchedule& schedule,
+                                 double mts_clock_offset_us, Rng& rng) const;
+
+  /// Steering vector the weight mapper should solve against for
+  /// observation `o` (includes element pattern; excludes the path
+  /// amplitude, which is a common scale).
+  std::vector<Complex> SteeringVector(std::size_t o) const;
+
+  /// Deterministic amplitude of the MTS path for observation `o`
+  /// (Friis legs x antenna gains x wall attenuation).
+  double MtsPathAmplitude(std::size_t o) const;
+
+  /// Environment-path (Tx->Rx, bypassing the MTS) response for
+  /// observation `o` at its frequency offset.
+  Complex EnvironmentResponse(std::size_t o) const;
+
+  /// Per-symbol SNR of the MTS path assuming the schedule realizes a
+  /// mid-scale weight; diagnostic used by benches and tests.
+  double NominalSnrDb() const;
+
+  /// Noise variance per integrated symbol measurement.
+  double SymbolNoiseVariance() const;
+
+  /// Linear transmit amplitude sqrt(P_tx).
+  double TxAmplitude() const { return tx_amplitude_; }
+
+ private:
+  struct ObservationState {
+    /// Idealized steering (what the weight mapper solves against).
+    std::vector<Complex> steering;
+    /// Steering of the physical hardware: idealized steering times the
+    /// static per-atom device phase errors. Used for transmission.
+    std::vector<Complex> tx_steering;
+    double mts_amplitude = 0.0;
+    rf::MultipathChannel environment;
+    double env_gain = 1.0;  // antenna + wall factors on the env path
+  };
+
+  const mts::Metasurface& surface_;
+  OtaLinkConfig config_;
+  std::vector<ObservationState> observations_;
+  double tx_amplitude_ = 0.0;  // sqrt of Tx power (linear)
+  double noise_power_ = 0.0;   // linear noise floor
+};
+
+/// Distance between the Tx and Rx endpoints implied by a reflection
+/// geometry (both on the same side of the panel).
+double TxRxDistance(const mts::LinkGeometry& geometry);
+
+}  // namespace metaai::sim

@@ -1,0 +1,44 @@
+#include "sim/sync.h"
+
+#include "common/check.h"
+
+namespace metaai::sim {
+
+std::string SyncModeName(SyncMode mode) {
+  switch (mode) {
+    case SyncMode::kNone:
+      return "w/o sync";
+    case SyncMode::kCoarse:
+      return "CD";
+    case SyncMode::kCdfa:
+      return "CDFA";
+  }
+  throw CheckError("unknown sync mode");
+}
+
+double PaperEquivalentLatencyScale(std::size_t stream_symbols) {
+  // The paper's MNIST streams carry 28 x 28 = 784 symbols.
+  return static_cast<double>(stream_symbols) / 784.0;
+}
+
+SyncModel::SyncModel(SyncMode mode, SyncModelConfig config)
+    : mode_(mode), config_(config), detector_(config.detector) {
+  Check(config_.unsynced_max_error_us > 0.0,
+        "unsynced error range must be positive");
+  Check(config_.latency_scale > 0.0, "latency scale must be positive");
+}
+
+double SyncModel::SampleOffsetUs(Rng& rng) const {
+  switch (mode_) {
+    case SyncMode::kNone:
+      return rng.Uniform(0.0, config_.unsynced_max_error_us);
+    case SyncMode::kCoarse:
+    case SyncMode::kCdfa:
+      // CDFA does not change the physical offset — it changes how robust
+      // the trained network is to it.
+      return config_.latency_scale * detector_.SampleDetectionLatencyUs(rng);
+  }
+  throw CheckError("unknown sync mode");
+}
+
+}  // namespace metaai::sim

@@ -1,0 +1,47 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace metaai {
+namespace {
+
+TEST(CheckTest, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(Check(true, "never thrown"));
+}
+
+TEST(CheckTest, FailingConditionThrowsWithContext) {
+  try {
+    Check(false, "the message");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckIndexAcceptsInRange) {
+  EXPECT_NO_THROW(CheckIndex(0, 1, "thing"));
+  EXPECT_NO_THROW(CheckIndex(4, 5, "thing"));
+}
+
+TEST(CheckTest, CheckIndexRejectsOutOfRangeWithDetails) {
+  try {
+    CheckIndex(7, 5, "widget");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("widget"), std::string::npos);
+    EXPECT_NE(what.find('7'), std::string::npos);
+    EXPECT_NE(what.find('5'), std::string::npos);
+  }
+}
+
+TEST(CheckTest, CheckErrorIsARuntimeError) {
+  EXPECT_THROW(Check(false, "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace metaai

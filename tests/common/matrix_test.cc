@@ -1,0 +1,109 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+#include "common/check.h"
+
+namespace metaai {
+namespace {
+
+TEST(MatrixTest, ConstructsWithFill) {
+  RealMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(MatrixTest, ElementAccessReadsBack) {
+  RealMatrix m(2, 2);
+  m(0, 1) = 7.0;
+  m(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, OutOfRangeAccessThrows) {
+  RealMatrix m(2, 2);
+  EXPECT_THROW(m(2, 0), CheckError);
+  EXPECT_THROW(m(0, 2), CheckError);
+}
+
+TEST(MatrixTest, MatrixVectorProduct) {
+  RealMatrix m(2, 3);
+  // [1 2 3; 4 5 6] * [1, 1, 1] = [6, 15]
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = v++;
+  }
+  const auto y = m.Multiply(std::vector<double>{1.0, 1.0, 1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+}
+
+TEST(MatrixTest, MatrixVectorDimensionMismatchThrows) {
+  RealMatrix m(2, 3);
+  EXPECT_THROW(m.Multiply(std::vector<double>{1.0, 2.0}), CheckError);
+}
+
+TEST(MatrixTest, MatrixMatrixProduct) {
+  RealMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 3.0;
+  a(1, 1) = 4.0;
+  RealMatrix b(2, 2);
+  b(0, 0) = 0.0;
+  b(0, 1) = 1.0;
+  b(1, 0) = 1.0;
+  b(1, 1) = 0.0;
+  const auto c = a.Multiply(b);  // column swap of a
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(MatrixTest, ComplexMultiplicationWorks) {
+  using C = std::complex<double>;
+  ComplexMatrix m(1, 2);
+  m(0, 0) = C{0.0, 1.0};  // j
+  m(0, 1) = C{1.0, 0.0};
+  const auto y = m.Multiply(std::vector<C>{C{0.0, 1.0}, C{2.0, 0.0}});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_DOUBLE_EQ(y[0].real(), 1.0);  // j*j + 2 = -1 + 2
+  EXPECT_DOUBLE_EQ(y[0].imag(), 0.0);
+}
+
+TEST(MatrixTest, FillResetsContents) {
+  RealMatrix m(2, 2, 3.0);
+  m.Fill(0.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+}
+
+TEST(MatrixTest, EqualityComparesShapeAndData) {
+  RealMatrix a(2, 2, 1.0);
+  RealMatrix b(2, 2, 1.0);
+  RealMatrix c(2, 2, 2.0);
+  RealMatrix d(1, 4, 1.0);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(MatrixTest, RowPointerMatchesElements) {
+  RealMatrix m(3, 2);
+  m(2, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(m.row(2)[1], 9.0);
+  EXPECT_THROW(m.row(3), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai

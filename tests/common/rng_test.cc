@@ -1,0 +1,163 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace metaai {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformStaysInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 6000; ++i) ++counts[rng.UniformInt(std::uint64_t{6})];
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(17);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.Normal();
+  EXPECT_NEAR(Mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(Stddev(samples), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(19);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.Normal(3.0, 2.0);
+  EXPECT_NEAR(Mean(samples), 3.0, 0.05);
+  EXPECT_NEAR(Stddev(samples), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialHasExpectedMean) {
+  Rng rng(23);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.Exponential(4.0);
+  EXPECT_NEAR(Mean(samples), 0.25, 0.01);
+}
+
+TEST(RngTest, GammaHasExpectedMoments) {
+  // Gamma(shape k, scale s): mean k*s, variance k*s^2.
+  Rng rng(29);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.Gamma(2.0, 1.5);
+  EXPECT_NEAR(Mean(samples), 3.0, 0.05);
+  EXPECT_NEAR(Variance(samples), 4.5, 0.2);
+}
+
+TEST(RngTest, GammaSupportsShapeBelowOne) {
+  Rng rng(31);
+  std::vector<double> samples(50000);
+  for (double& s : samples) {
+    s = rng.Gamma(0.5, 2.0);
+    EXPECT_GT(s, 0.0);
+  }
+  EXPECT_NEAR(Mean(samples), 1.0, 0.05);
+}
+
+TEST(RngTest, ComplexNormalHasRequestedVariance) {
+  Rng rng(37);
+  double power = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) power += std::norm(rng.ComplexNormal(2.0));
+  EXPECT_NEAR(power / kSamples, 2.0, 0.05);
+}
+
+TEST(RngTest, UnitPhasorHasUnitMagnitude) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NEAR(std::abs(rng.UnitPhasor()), 1.0, 1e-12);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent.Next() == child.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ShufflePermutesAllElements) {
+  Rng rng(47);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> original = values;
+  rng.Shuffle(values);
+  std::vector<int> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(53);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, InvalidArgumentsThrow) {
+  Rng rng(59);
+  EXPECT_THROW(rng.UniformInt(std::uint64_t{0}), CheckError);
+  EXPECT_THROW(rng.Gamma(-1.0, 1.0), CheckError);
+  EXPECT_THROW(rng.Exponential(0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai

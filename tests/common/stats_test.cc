@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace metaai {
+namespace {
+
+TEST(StatsTest, MeanOfKnownValues) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+}
+
+TEST(StatsTest, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Mean(std::vector<double>{}), 0.0);
+}
+
+TEST(StatsTest, VarianceIsUnbiased) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(Variance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatsTest, VarianceOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(Variance(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 2.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.5);
+}
+
+TEST(StatsTest, PercentileValidatesArguments) {
+  EXPECT_THROW(Percentile(std::vector<double>{}, 50.0), CheckError);
+  EXPECT_THROW(Percentile(std::vector<double>{1.0}, 101.0), CheckError);
+}
+
+TEST(StatsTest, MinMax) {
+  const std::vector<double> v{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 3.0);
+}
+
+TEST(StatsTest, EmpiricalCdfIsSortedAndReachesOne) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  const auto cdf = EmpiricalCdf(v);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 5.0);
+  EXPECT_NEAR(cdf[0].cumulative_probability, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative_probability, 1.0);
+}
+
+TEST(StatsTest, FractionAboveCountsStrictly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(v, 4.0), 0.0);
+}
+
+TEST(StatsTest, HistogramBucketsAndClamps) {
+  const std::vector<double> v{-1.0, 0.1, 0.6, 0.9, 2.0};
+  const auto h = Histogram(v, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -1.0 clamped in, 0.1
+  EXPECT_EQ(h[1], 3u);  // 0.6, 0.9, 2.0 clamped in
+}
+
+TEST(StatsTest, HistogramValidatesArguments) {
+  EXPECT_THROW(Histogram(std::vector<double>{}, 0.0, 1.0, 0), CheckError);
+  EXPECT_THROW(Histogram(std::vector<double>{}, 1.0, 0.0, 4), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai

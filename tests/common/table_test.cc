@@ -1,0 +1,104 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace metaai {
+namespace {
+
+TEST(TableTest, RendersTitleHeadersAndRows) {
+  Table t("Demo", {"Dataset", "Accuracy"});
+  t.AddRow({"MNIST", "89.77"});
+  t.AddRow({"Fashion", "80.86"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("Dataset"), std::string::npos);
+  EXPECT_NE(s.find("MNIST"), std::string::npos);
+  EXPECT_NE(s.find("80.86"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table t("Align", {"A", "LongHeader"});
+  t.AddRow({"LongCellValue", "x"});
+  const std::string s = t.ToString();
+  std::istringstream in(s);
+  std::string title;
+  std::string header;
+  std::string sep;
+  std::string row;
+  std::getline(in, title);
+  std::getline(in, header);
+  std::getline(in, sep);
+  std::getline(in, row);
+  // Second column starts at the same offset in the header and row.
+  EXPECT_EQ(header.find("LongHeader"), row.find('x'));
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t("Bad", {"A", "B"});
+  EXPECT_THROW(t.AddRow({"only one"}), CheckError);
+}
+
+TEST(TableTest, EmptyHeadersThrow) {
+  EXPECT_THROW(Table("Empty", {}), CheckError);
+}
+
+TEST(TableTest, PrintStreamsToOstream) {
+  Table t("Stream", {"A"});
+  t.AddRow({"1"});
+  std::ostringstream out;
+  t.Print(out);
+  EXPECT_EQ(out.str(), t.ToString());
+}
+
+TEST(TableTest, FormatDoubleRespectsDecimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, FormatPercentScalesFraction) {
+  EXPECT_EQ(FormatPercent(0.8977), "89.77");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100");
+}
+
+
+TEST(TableTest, CsvRendersHeaderAndRows) {
+  Table t("Csv", {"A", "B"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"x,y", "quote\"inside"});
+  const std::string csv = t.ToCsv();
+  EXPECT_EQ(csv,
+            "A,B\n"
+            "1,2\n"
+            "\"x,y\",\"quote\"\"inside\"\n");
+}
+
+TEST(TableTest, CsvExportViaEnvironment) {
+  const std::string dir =
+      std::filesystem::temp_directory_path() /
+      ("metaai_csv_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  ::setenv("METAAI_CSV_DIR", dir.c_str(), 1);
+  Table t("Fig 99: Demo Table", {"A"});
+  t.AddRow({"1"});
+  std::ostringstream sink;
+  t.Print(sink);
+  ::unsetenv("METAAI_CSV_DIR");
+  std::ifstream in(dir + "/fig-99-demo-table.csv");
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "A");
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace metaai

@@ -1,0 +1,124 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/datasets.h"
+#include "rf/geometry.h"
+
+namespace metaai::core {
+namespace {
+
+sim::OtaLinkConfig DeviceLink(double tx_deg) {
+  sim::OtaLinkConfig config;
+  config.geometry = {.tx_distance_m = 1.0,
+                     .tx_angle_rad = rf::DegToRad(tx_deg),
+                     .rx_distance_m = 3.0,
+                     .rx_angle_rad = rf::DegToRad(40.0),
+                     .frequency_hz = 5.25e9};
+  config.environment.profile = rf::OfficeProfile();
+  return config;
+}
+
+TrainedModel QuickModel(const nn::RealDataset& train, std::uint64_t seed) {
+  Rng rng(seed);
+  TrainingOptions options;
+  options.epochs = 20;
+  return TrainModel(train, options, rng);
+}
+
+struct TwoDeviceSetup {
+  data::Dataset digits =
+      data::MakeMnistLike({.train_per_class = 40, .test_per_class = 8});
+  data::Dataset gestures =
+      data::MakeWidarLike({.train_per_class = 40, .test_per_class = 8});
+  SharedSurfaceScheduler scheduler;
+
+  TwoDeviceSetup(const mts::Metasurface& surface)
+      : scheduler(surface,
+                  [this] {
+                    std::vector<DeviceSpec> devices;
+                    devices.push_back({.name = "camera",
+                                       .model = QuickModel(digits.train, 1),
+                                       .link = DeviceLink(30.0),
+                                       .options = {}});
+                    devices.push_back({.name = "radar",
+                                       .model = QuickModel(gestures.train,
+                                                           2),
+                                       .link = DeviceLink(-20.0),
+                                       .options = {}});
+                    return devices;
+                  }()) {}
+};
+
+TEST(SchedulerTest, FrameLayoutIsSequentialAndGapped) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const TwoDeviceSetup setup(surface);
+  const auto& frame = setup.scheduler.frame();
+  ASSERT_EQ(frame.size(), 2u);
+  EXPECT_EQ(frame[0].device, "camera");
+  EXPECT_EQ(frame[1].device, "radar");
+  // Slots don't overlap; the second starts after the first + guard.
+  EXPECT_DOUBLE_EQ(frame[1].start_s,
+                   frame[0].start_s + frame[0].duration_s + 20e-6);
+  // Camera: 10 classes x 256 symbols at 1 Msym/s = 2.56 ms.
+  EXPECT_EQ(frame[0].rounds, 10u);
+  EXPECT_NEAR(frame[0].duration_s, 2.56e-3, 1e-9);
+  // Radar: 6 classes -> 1.536 ms.
+  EXPECT_NEAR(frame[1].duration_s, 1.536e-3, 1e-9);
+}
+
+TEST(SchedulerTest, FrameDurationAndRateAreConsistent) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const TwoDeviceSetup setup(surface);
+  const double frame = setup.scheduler.FrameDuration();
+  EXPECT_NEAR(frame, 2.56e-3 + 1.536e-3 + 2 * 20e-6, 1e-9);
+  EXPECT_NEAR(setup.scheduler.PerDeviceRate(), 1.0 / frame, 1e-6);
+}
+
+TEST(SchedulerTest, BothDevicesClassifyOverTheSharedSurface) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const TwoDeviceSetup setup(surface);
+  Rng rng(3);
+  sim::SyncModelConfig sync_config;
+  sync_config.latency_scale = 256.0 / 784.0;
+  const sim::SyncModel sync(sim::SyncMode::kCdfa, sync_config);
+  const double camera_acc = setup.scheduler.EvaluateDevice(
+      0, setup.digits.test, sync, rng, 40);
+  const double radar_acc = setup.scheduler.EvaluateDevice(
+      1, setup.gestures.test, sync, rng, 40);
+  EXPECT_GT(camera_acc, 0.5);
+  EXPECT_GT(radar_acc, 0.5);
+}
+
+TEST(SchedulerTest, DeviceAccessorsValidate) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const TwoDeviceSetup setup(surface);
+  EXPECT_EQ(setup.scheduler.device_name(0), "camera");
+  EXPECT_THROW(setup.scheduler.deployment(2), CheckError);
+  EXPECT_THROW(setup.scheduler.device_name(2), CheckError);
+}
+
+TEST(SchedulerTest, RejectsInfeasibleSymbolRates) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const auto ds =
+      data::MakeMnistLike({.train_per_class = 5, .test_per_class = 1});
+  std::vector<DeviceSpec> devices;
+  devices.push_back({.name = "cam",
+                     .model = QuickModel(ds.train, 4),
+                     .link = DeviceLink(30.0),
+                     .options = {}});
+  SchedulerConfig config;
+  config.symbol_rate_hz = 5e6;  // 2 patterns/symbol > 2.56 MHz budget
+  EXPECT_THROW(
+      SharedSurfaceScheduler(surface, std::move(devices), config),
+      CheckError);
+}
+
+TEST(SchedulerTest, RejectsEmptyDeviceList) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  EXPECT_THROW(SharedSurfaceScheduler(surface, {}), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::core

@@ -1,0 +1,153 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "data/datasets.h"
+#include "rf/geometry.h"
+
+namespace metaai::core {
+namespace {
+
+class SerializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("metaai_ser_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializationTest, ModelRoundTripsExactly) {
+  const auto ds =
+      data::MakeMnistLike({.train_per_class = 10, .test_per_class = 4});
+  Rng rng(1);
+  TrainingOptions options;
+  options.epochs = 3;
+  options.modulation = rf::Modulation::kQam64;
+  const auto model = TrainModel(ds.train, options, rng);
+
+  const auto path = dir_ / "model.txt";
+  SaveModel(model, path);
+  const auto loaded = LoadModel(path);
+
+  EXPECT_EQ(loaded.modulation, rf::Modulation::kQam64);
+  EXPECT_EQ(loaded.input_dim(), model.input_dim());
+  EXPECT_EQ(loaded.num_classes(), model.num_classes());
+  // Bit-exact round trip (max_digits10 precision).
+  EXPECT_TRUE(loaded.network.weights() == model.network.weights());
+}
+
+TEST_F(SerializationTest, LoadedModelPredictsIdentically) {
+  const auto ds =
+      data::MakeMnistLike({.train_per_class = 10, .test_per_class = 10});
+  Rng rng(2);
+  TrainingOptions options;
+  options.epochs = 3;
+  const auto model = TrainModel(ds.train, options, rng);
+  const auto path = dir_ / "model.txt";
+  SaveModel(model, path);
+  const auto loaded = LoadModel(path);
+  EXPECT_DOUBLE_EQ(EvaluateDigital(model, ds.test),
+                   EvaluateDigital(loaded, ds.test));
+}
+
+TEST_F(SerializationTest, RejectsCorruptModelFiles) {
+  const auto path = dir_ / "bad.txt";
+  {
+    std::ofstream out(path);
+    out << "not-a-model\n";
+  }
+  EXPECT_THROW(LoadModel(path), CheckError);
+  EXPECT_THROW(LoadModel(dir_ / "missing.txt"), CheckError);
+}
+
+TEST_F(SerializationTest, PatternsRoundTripExactly) {
+  const auto ds =
+      data::MakeMnistLike({.train_per_class = 6, .test_per_class = 2});
+  Rng rng(3);
+  TrainingOptions options;
+  options.epochs = 2;
+  const auto model = TrainModel(ds.train, options, rng);
+
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLinkConfig link_config;
+  link_config.geometry = {.tx_distance_m = 1.0,
+                          .tx_angle_rad = rf::DegToRad(30.0),
+                          .rx_distance_m = 3.0,
+                          .rx_angle_rad = rf::DegToRad(40.0),
+                          .frequency_hz = 5.25e9};
+  const sim::OtaLink link(surface, link_config);
+  const auto mapped = MapSequential(model.network.weights(), link);
+
+  const auto path = dir_ / "patterns.txt";
+  SavePatterns(mapped, surface.num_atoms(), path);
+  const auto loaded = LoadPatterns(path, surface.num_atoms());
+
+  ASSERT_EQ(loaded.rounds.size(), mapped.rounds.size());
+  EXPECT_EQ(loaded.outputs, mapped.outputs);
+  EXPECT_DOUBLE_EQ(loaded.scale, mapped.scale);
+  for (std::size_t r = 0; r < mapped.rounds.size(); ++r) {
+    ASSERT_EQ(loaded.rounds[r].size(), mapped.rounds[r].size());
+    for (std::size_t i = 0; i < mapped.rounds[r].size(); ++i) {
+      EXPECT_EQ(loaded.rounds[r][i], mapped.rounds[r][i])
+          << "round " << r << " symbol " << i;
+    }
+  }
+}
+
+TEST_F(SerializationTest, PatternFileIsCompactHex) {
+  // 256 atoms at 2 bits each = 128 hex characters per symbol line.
+  const auto ds =
+      data::MakeMnistLike({.train_per_class = 6, .test_per_class = 2});
+  Rng rng(4);
+  TrainingOptions options;
+  options.epochs = 1;
+  const auto model = TrainModel(ds.train, options, rng);
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLinkConfig link_config;
+  link_config.geometry.frequency_hz = 5.25e9;
+  link_config.geometry.tx_distance_m = 1.0;
+  link_config.geometry.rx_distance_m = 3.0;
+  const sim::OtaLink link(surface, link_config);
+  const auto mapped = MapSequential(model.network.weights(), link);
+  const auto path = dir_ / "patterns.txt";
+  SavePatterns(mapped, surface.num_atoms(), path);
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // magic
+  std::getline(in, line);  // dims
+  std::getline(in, line);  // scale
+  std::getline(in, line);  // round outputs
+  std::getline(in, line);  // first pattern
+  EXPECT_EQ(line.size(), 128u);
+}
+
+TEST_F(SerializationTest, PatternAtomMismatchThrows) {
+  const auto ds =
+      data::MakeMnistLike({.train_per_class = 6, .test_per_class = 2});
+  Rng rng(5);
+  TrainingOptions options;
+  options.epochs = 1;
+  const auto model = TrainModel(ds.train, options, rng);
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLinkConfig link_config;
+  link_config.geometry.tx_distance_m = 1.0;
+  link_config.geometry.rx_distance_m = 3.0;
+  const sim::OtaLink link(surface, link_config);
+  const auto mapped = MapSequential(model.network.weights(), link);
+  const auto path = dir_ / "patterns.txt";
+  SavePatterns(mapped, surface.num_atoms(), path);
+  EXPECT_THROW(LoadPatterns(path, 64), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::core

@@ -1,0 +1,123 @@
+#include "core/training.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/check.h"
+#include "data/datasets.h"
+#include "data/encoding.h"
+
+namespace metaai::core {
+namespace {
+
+data::Dataset SmallMnist() {
+  return data::MakeMnistLike({.train_per_class = 30, .test_per_class = 10});
+}
+
+TEST(TrainingTest, CyclicShiftRotatesLeft) {
+  std::vector<nn::Complex> v{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  CyclicShift(v, 1);
+  EXPECT_DOUBLE_EQ(v[0].real(), 2.0);
+  EXPECT_DOUBLE_EQ(v[3].real(), 1.0);
+}
+
+TEST(TrainingTest, CyclicShiftWrapsAndHandlesEdgeCases) {
+  std::vector<nn::Complex> v{{1, 0}, {2, 0}, {3, 0}};
+  CyclicShift(v, 3);  // full rotation
+  EXPECT_DOUBLE_EQ(v[0].real(), 1.0);
+  CyclicShift(v, 4);  // same as 1
+  EXPECT_DOUBLE_EQ(v[0].real(), 2.0);
+  std::vector<nn::Complex> empty;
+  CyclicShift(empty, 5);  // no crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(TrainingTest, CyclicShiftMatchesLaggedWeightSemantics) {
+  // If the MTS lags by k, weight j meets data j+k. Training on shifted
+  // data x'_j = x_{j+k} makes sum_j w_j x'_j == sum_j w_j x_{j+k}.
+  std::vector<nn::Complex> x{{10, 0}, {20, 0}, {30, 0}, {40, 0}};
+  std::vector<nn::Complex> shifted = x;
+  CyclicShift(shifted, 2);
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    EXPECT_EQ(shifted[j], x[(j + 2) % x.size()]);
+  }
+}
+
+TEST(TrainingTest, TrainsAWorkingModel) {
+  const auto ds = SmallMnist();
+  Rng rng(1);
+  const auto model = TrainModel(ds.train, {}, rng);
+  EXPECT_EQ(model.input_dim(), 256u);
+  EXPECT_EQ(model.num_classes(), 10u);
+  EXPECT_GT(EvaluateDigital(model, ds.test), 0.6);
+}
+
+TEST(TrainingTest, ModulationIsCarriedThrough) {
+  const auto ds = SmallMnist();
+  Rng rng(2);
+  TrainingOptions options;
+  options.modulation = rf::Modulation::kQpsk;
+  const auto model = TrainModel(ds.train, options, rng);
+  EXPECT_EQ(model.modulation, rf::Modulation::kQpsk);
+  EXPECT_GT(EvaluateDigital(model, ds.test), 0.5);
+}
+
+TEST(TrainingTest, SyncInjectionMakesModelShiftRobust) {
+  const auto ds = SmallMnist();
+
+  Rng rng_plain(3);
+  const auto plain = TrainModel(ds.train, {}, rng_plain);
+  Rng rng_robust(3);
+  TrainingOptions robust_options;
+  robust_options.sync_error_injection = true;
+  const auto robust = TrainModel(ds.train, robust_options, rng_robust);
+
+  // Evaluate both on test data shifted by 3 symbols (a typical coarse
+  // detection error at 1 Msym/s).
+  auto shifted_accuracy = [&](const TrainedModel& model) {
+    auto encoded = data::EncodeDataset(ds.test, model.modulation);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      auto x = encoded.features[i];
+      CyclicShift(x, 3);
+      correct += (model.network.Predict(x) == encoded.labels[i]);
+    }
+    return static_cast<double>(correct) / static_cast<double>(encoded.size());
+  };
+  EXPECT_GT(shifted_accuracy(robust), shifted_accuracy(plain) + 0.15);
+}
+
+TEST(TrainingTest, NoiseInjectionMakesModelNoiseRobust) {
+  const auto ds = SmallMnist();
+  Rng rng_plain(5);
+  const auto plain = TrainModel(ds.train, {}, rng_plain);
+  Rng rng_robust(5);
+  TrainingOptions noisy_options;
+  noisy_options.input_noise_variance = 0.3;
+  const auto robust = TrainModel(ds.train, noisy_options, rng_robust);
+
+  auto noisy_accuracy = [&](const TrainedModel& model, std::uint64_t seed) {
+    Rng noise_rng(seed);
+    auto encoded = data::EncodeDataset(ds.test, model.modulation);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      auto x = encoded.features[i];
+      for (auto& v : x) v += noise_rng.ComplexNormal(0.3);
+      correct += (model.network.Predict(x) == encoded.labels[i]);
+    }
+    return static_cast<double>(correct) / static_cast<double>(encoded.size());
+  };
+  EXPECT_GE(noisy_accuracy(robust, 77), noisy_accuracy(plain, 77));
+}
+
+TEST(TrainingTest, ValidatesOptions) {
+  const auto ds = SmallMnist();
+  Rng rng(7);
+  TrainingOptions bad;
+  bad.symbol_rate_hz = 0.0;
+  EXPECT_THROW(TrainModel(ds.train, bad, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::core

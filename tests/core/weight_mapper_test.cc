@@ -1,0 +1,181 @@
+#include "core/weight_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "rf/geometry.h"
+
+namespace metaai::core {
+namespace {
+
+sim::OtaLinkConfig BaseConfig() {
+  sim::OtaLinkConfig config;
+  config.geometry = {.tx_distance_m = 1.0,
+                     .tx_angle_rad = rf::DegToRad(30.0),
+                     .rx_distance_m = 3.0,
+                     .rx_angle_rad = rf::DegToRad(40.0),
+                     .frequency_hz = 5.25e9};
+  config.budget.noise_floor_dbm = -200.0;
+  return config;
+}
+
+ComplexMatrix RandomWeights(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  ComplexMatrix w(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      w(r, c) = rng.ComplexNormal(1.0);
+    }
+  }
+  return w;
+}
+
+TEST(WeightMapperTest, SequentialMappingIsAccurate) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  const auto weights = RandomWeights(3, 16, 1);
+  const auto mapped = MapSequential(weights, link);
+  EXPECT_EQ(mapped.rounds.size(), 3u);
+  EXPECT_EQ(mapped.rounds[0].size(), 16u);
+  EXPECT_GT(mapped.scale, 0.0);
+  EXPECT_LT(mapped.mean_relative_residual, 0.05);
+  // Round r computes output r.
+  for (std::size_t r = 0; r < 3; ++r) {
+    ASSERT_EQ(mapped.outputs[r].size(), 1u);
+    EXPECT_EQ(mapped.outputs[r][0], static_cast<int>(r));
+  }
+}
+
+TEST(WeightMapperTest, RealizedResponsesMatchScaledWeights) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  const auto weights = RandomWeights(2, 8, 2);
+  const auto mapped = MapSequential(weights, link);
+  const auto steering = link.SteeringVector(0);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      sim::Complex achieved{0.0, 0.0};
+      for (std::size_t m = 0; m < steering.size(); ++m) {
+        achieved += steering[m] *
+                    mts::PhasorForCode(mapped.rounds[r][i][m]);
+      }
+      const sim::Complex target = mapped.scale * weights(r, i);
+      EXPECT_LT(std::abs(achieved - target), 0.08 * std::abs(target))
+          << "r=" << r << " i=" << i;
+    }
+  }
+}
+
+TEST(WeightMapperTest, ScaleKeepsLargestWeightReachable) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  auto weights = RandomWeights(2, 8, 3);
+  weights(1, 4) = {50.0, 0.0};  // dominant weight
+  const auto mapped =
+      MapSequential(weights, link, {.target_fraction = 0.85});
+  const auto steering = link.SteeringVector(0);
+  double reachable = 0.0;
+  for (const auto& s : steering) reachable += std::abs(s);
+  reachable *= 0.9;
+  EXPECT_NEAR(mapped.scale * 50.0, 0.85 * reachable, 1e-9);
+}
+
+TEST(WeightMapperTest, ParallelMappingCoversAllOutputs) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLinkConfig config = BaseConfig();
+  config.observations.clear();
+  for (int k = 0; k < 4; ++k) {
+    config.observations.push_back(
+        {.freq_offset_hz = (k - 1.5) * 40e3});
+  }
+  sim::OtaLink link(surface, config);
+  const auto weights = RandomWeights(10, 8, 4);
+  const auto mapped = MapParallel(weights, link);
+  // ceil(10 / 4) = 3 rounds; last round has 2 idle observations.
+  EXPECT_EQ(mapped.rounds.size(), 3u);
+  std::vector<bool> seen(10, false);
+  std::size_t idle = 0;
+  for (const auto& round : mapped.outputs) {
+    EXPECT_EQ(round.size(), 4u);
+    for (const int output : round) {
+      if (output < 0) {
+        ++idle;
+      } else {
+        seen[static_cast<std::size_t>(output)] = true;
+      }
+    }
+  }
+  EXPECT_EQ(idle, 2u);
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(WeightMapperTest, ParallelResidualWorseThanSequential) {
+  // Serving several targets with one configuration costs fidelity — the
+  // accuracy/latency trade-off of §3.3.
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink seq_link(surface, BaseConfig());
+  const auto weights = RandomWeights(4, 8, 5);
+  const auto sequential = MapSequential(weights, seq_link);
+
+  sim::OtaLinkConfig par_config = BaseConfig();
+  par_config.observations.clear();
+  for (int k = 0; k < 4; ++k) {
+    par_config.observations.push_back(
+        {.freq_offset_hz = (k - 1.5) * 40e3});
+  }
+  sim::OtaLink par_link(surface, par_config);
+  const auto parallel = MapParallel(weights, par_link);
+  EXPECT_GT(parallel.mean_relative_residual,
+            sequential.mean_relative_residual);
+}
+
+TEST(WeightMapperTest, EnvironmentSubtractionCancelsStaticMultipath) {
+  // Eqn 8: with cancellation off, solving for (H_des - H_e) makes the
+  // *total* received channel land on the desired weight.
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLinkConfig config = BaseConfig();
+  config.multipath_cancellation = false;
+  sim::OtaLink link(surface, config);
+  const auto weights = RandomWeights(1, 4, 6);
+  const auto mapped =
+      MapSequential(weights, link, {.subtract_environment = true});
+  const auto steering = link.SteeringVector(0);
+  const sim::Complex env = link.EnvironmentResponse(0) /
+                           (link.TxAmplitude() * link.MtsPathAmplitude(0));
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim::Complex achieved{0.0, 0.0};
+    for (std::size_t m = 0; m < steering.size(); ++m) {
+      achieved += steering[m] * mts::PhasorForCode(mapped.rounds[0][i][m]);
+    }
+    // achieved + env ~= scale * weight.
+    const sim::Complex total = achieved + env;
+    const sim::Complex target = mapped.scale * weights(0, i);
+    EXPECT_LT(std::abs(total - target), 0.1 * std::abs(target));
+  }
+}
+
+TEST(WeightMapperTest, ValidatesArguments) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  ComplexMatrix empty;
+  EXPECT_THROW(MapSequential(empty, link), CheckError);
+  ComplexMatrix zeros(2, 4, sim::Complex{0.0, 0.0});
+  EXPECT_THROW(MapSequential(zeros, link), CheckError);
+  const auto weights = RandomWeights(2, 4, 7);
+  EXPECT_THROW(MapSequential(weights, link, {.target_fraction = 0.0}),
+               CheckError);
+  EXPECT_THROW(MapSequential(weights, link, {.target_fraction = 1.5}),
+               CheckError);
+
+  sim::OtaLinkConfig multi = BaseConfig();
+  multi.observations.push_back({.freq_offset_hz = 40e3});
+  sim::OtaLink multi_link(surface, multi);
+  EXPECT_THROW(MapSequential(weights, multi_link), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::core

@@ -1,0 +1,111 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace metaai::data {
+namespace {
+
+class DatasetFactory : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetFactory, ProducesValidatedSplits) {
+  const Dataset ds = MakeByName(GetParam());
+  EXPECT_FALSE(ds.name.empty());
+  EXPECT_GT(ds.num_classes, 0u);
+  EXPECT_EQ(ds.height * ds.width, ds.train.dim);
+  EXPECT_EQ(ds.train.dim, ds.test.dim);
+  EXPECT_GT(ds.train.size(), 0u);
+  EXPECT_GT(ds.test.size(), 0u);
+  ds.train.Validate();
+  ds.test.Validate();
+}
+
+TEST_P(DatasetFactory, CoversAllClasses) {
+  const Dataset ds = MakeByName(GetParam());
+  std::set<int> train_classes(ds.train.labels.begin(),
+                              ds.train.labels.end());
+  std::set<int> test_classes(ds.test.labels.begin(), ds.test.labels.end());
+  EXPECT_EQ(train_classes.size(), ds.num_classes);
+  EXPECT_EQ(test_classes.size(), ds.num_classes);
+}
+
+TEST_P(DatasetFactory, PixelsAreInUnitRange) {
+  const Dataset ds =
+      MakeByName(GetParam(), {.train_per_class = 5, .test_per_class = 2});
+  for (const auto& img : ds.train.features) {
+    for (const double p : img) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST_P(DatasetFactory, DeterministicPerSeed) {
+  const Dataset a =
+      MakeByName(GetParam(), {.train_per_class = 3, .test_per_class = 1});
+  const Dataset b =
+      MakeByName(GetParam(), {.train_per_class = 3, .test_per_class = 1});
+  EXPECT_EQ(a.train.features, b.train.features);
+  EXPECT_EQ(a.test.features, b.test.features);
+}
+
+TEST_P(DatasetFactory, SeedOverrideChangesData) {
+  const Dataset a = MakeByName(
+      GetParam(), {.train_per_class = 3, .test_per_class = 1, .seed = 111});
+  const Dataset b = MakeByName(
+      GetParam(), {.train_per_class = 3, .test_per_class = 1, .seed = 222});
+  EXPECT_NE(a.train.features, b.train.features);
+}
+
+TEST_P(DatasetFactory, SizeOverridesAreRespected) {
+  const Dataset ds =
+      MakeByName(GetParam(), {.train_per_class = 7, .test_per_class = 3});
+  EXPECT_EQ(ds.train.size(), 7 * ds.num_classes);
+  EXPECT_EQ(ds.test.size(), 3 * ds.num_classes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetFactory,
+                         ::testing::ValuesIn(AllDatasetNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(DatasetsTest, ClassCountsMatchPaper) {
+  EXPECT_EQ(MakeMnistLike({.train_per_class = 1, .test_per_class = 1})
+                .num_classes,
+            10u);
+  EXPECT_EQ(MakeFashionLike({.train_per_class = 1, .test_per_class = 1})
+                .num_classes,
+            10u);
+  EXPECT_EQ(MakeFruitsLike({.train_per_class = 1, .test_per_class = 1})
+                .num_classes,
+            8u);
+  EXPECT_EQ(
+      MakeAfhqLike({.train_per_class = 1, .test_per_class = 1}).num_classes,
+      3u);
+  EXPECT_EQ(MakeCelebaLike({.train_per_class = 1, .test_per_class = 1})
+                .num_classes,
+            10u);
+  EXPECT_EQ(
+      MakeWidarLike({.train_per_class = 1, .test_per_class = 1}).num_classes,
+      6u);
+}
+
+TEST(DatasetsTest, CelebaDefaultsMatchPaperSampleCounts) {
+  // The paper trains the face task on 220 images and tests on 80.
+  const Dataset ds = MakeCelebaLike();
+  EXPECT_EQ(ds.train.size(), 220u);
+  EXPECT_EQ(ds.test.size(), 80u);
+}
+
+TEST(DatasetsTest, UnknownNameThrows) {
+  EXPECT_THROW(MakeByName("imagenet"), CheckError);
+}
+
+TEST(DatasetsTest, AllDatasetNamesHasSixEntries) {
+  EXPECT_EQ(AllDatasetNames().size(), 6u);
+}
+
+}  // namespace
+}  // namespace metaai::data

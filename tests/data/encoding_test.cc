@@ -1,0 +1,116 @@
+#include "data/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "data/datasets.h"
+
+namespace metaai::data {
+namespace {
+
+class EncodingPerScheme : public ::testing::TestWithParam<rf::Modulation> {};
+
+TEST_P(EncodingPerScheme, SampleRoundTripsWithinQuantizationError) {
+  const rf::Modulation scheme = GetParam();
+  const int bits = rf::BitsPerSymbol(scheme);
+  std::vector<double> pixels;
+  for (int i = 0; i <= 20; ++i) pixels.push_back(i / 20.0);
+  const auto symbols = EncodeSample(pixels, scheme);
+  EXPECT_EQ(symbols.size(), pixels.size());
+  const auto decoded = DecodeSample(symbols, scheme);
+  const double max_err = 1.0 / static_cast<double>(1 << bits);
+  for (std::size_t i = 0; i < pixels.size(); ++i) {
+    EXPECT_LE(std::abs(decoded[i] - pixels[i]), max_err + 1e-12);
+  }
+}
+
+TEST_P(EncodingPerScheme, SymbolsHaveUnitAveragePowerOverUniformPixels) {
+  const rf::Modulation scheme = GetParam();
+  const auto levels = 1u << rf::BitsPerSymbol(scheme);
+  std::vector<double> pixels;
+  for (unsigned l = 0; l < levels; ++l) {
+    pixels.push_back((static_cast<double>(l) + 0.5) / levels);
+  }
+  const auto symbols = EncodeSample(pixels, scheme);
+  double power = 0.0;
+  for (const auto& s : symbols) power += std::norm(s);
+  EXPECT_NEAR(power / static_cast<double>(symbols.size()), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, EncodingPerScheme,
+                         ::testing::ValuesIn(rf::AllModulations().begin(),
+                                             rf::AllModulations().end()),
+                         [](const auto& info) {
+                           std::string name =
+                               rf::ModulationName(info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+TEST(EncodingTest, QuantizeCoversFullRange) {
+  EXPECT_EQ(QuantizeIntensity(0.0, 8), 0u);
+  EXPECT_EQ(QuantizeIntensity(1.0, 8), 255u);
+  EXPECT_EQ(QuantizeIntensity(0.5, 1), 1u);
+  EXPECT_EQ(QuantizeIntensity(0.49, 1), 0u);
+  // Out-of-range intensities clamp.
+  EXPECT_EQ(QuantizeIntensity(-2.0, 4), 0u);
+  EXPECT_EQ(QuantizeIntensity(3.0, 4), 15u);
+}
+
+TEST(EncodingTest, DequantizeIsBucketCenter) {
+  EXPECT_DOUBLE_EQ(DequantizeLevel(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(DequantizeLevel(1, 1), 0.75);
+  EXPECT_NEAR(DequantizeLevel(128, 8), (128.0 + 0.5) / 256.0, 1e-12);
+}
+
+TEST(EncodingTest, QuantizeDequantizeValidateArguments) {
+  EXPECT_THROW(QuantizeIntensity(0.5, 0), CheckError);
+  EXPECT_THROW(DequantizeLevel(2, 1), CheckError);
+}
+
+TEST(EncodingTest, EncodeDatasetPreservesShapeAndLabels) {
+  const Dataset ds =
+      MakeMnistLike({.train_per_class = 3, .test_per_class = 1});
+  const auto encoded = EncodeDataset(ds.train, rf::Modulation::kQam256);
+  EXPECT_EQ(encoded.num_classes, ds.train.num_classes);
+  EXPECT_EQ(encoded.dim, ds.train.dim);
+  EXPECT_EQ(encoded.labels, ds.train.labels);
+  EXPECT_EQ(encoded.size(), ds.train.size());
+  encoded.Validate();
+}
+
+TEST(EncodingTest, NearbyIntensitiesMapToAdjacentSymbols) {
+  // Locality of the pixel -> constellation mapping (snake traversal): one
+  // quantization step always moves to a geometrically adjacent point.
+  const rf::Modulation scheme = rf::Modulation::kQam256;
+  std::vector<double> pixels;
+  for (unsigned level = 0; level < 256; ++level) {
+    pixels.push_back((static_cast<double>(level) + 0.5) / 256.0);
+  }
+  const auto symbols = EncodeSample(pixels, scheme);
+  // Min distance of unit-power 256-QAM is 2/sqrt(170) ~= 0.153.
+  const double unit = 2.0 / std::sqrt(170.0);
+  for (std::size_t i = 0; i + 1 < symbols.size(); ++i) {
+    EXPECT_NEAR(std::abs(symbols[i + 1] - symbols[i]), unit, 1e-9)
+        << "level " << i;
+  }
+}
+
+TEST(EncodingTest, SnakeMappingIsABijection) {
+  // Every 8-bit level maps to a distinct 256-QAM point and decodes back.
+  const rf::Modulation scheme = rf::Modulation::kQam256;
+  std::vector<double> pixels;
+  for (unsigned level = 0; level < 256; ++level) {
+    pixels.push_back((static_cast<double>(level) + 0.5) / 256.0);
+  }
+  const auto symbols = EncodeSample(pixels, scheme);
+  const auto decoded = DecodeSample(symbols, scheme);
+  for (unsigned level = 0; level < 256; ++level) {
+    EXPECT_NEAR(decoded[level], pixels[level], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace metaai::data

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/datasets.h"
+
+namespace metaai::data {
+namespace {
+
+TEST(FaceStreamTest, DefaultSizesMatchCaseStudy) {
+  // §5.4: 60 camera frames + 30 supplements per identity for training,
+  // 20 live captures per identity for testing, 10 identities.
+  const Dataset ds = MakeFaceStreamLike();
+  EXPECT_EQ(ds.num_classes, 10u);
+  EXPECT_EQ(ds.train.size(), 10u * (60u + 30u));
+  EXPECT_EQ(ds.test.size(), 10u * 20u);
+}
+
+TEST(FaceStreamTest, CoversAllIdentities) {
+  const Dataset ds =
+      MakeFaceStreamLike({.train_per_class = 10, .test_per_class = 4});
+  const std::set<int> train(ds.train.labels.begin(), ds.train.labels.end());
+  const std::set<int> test(ds.test.labels.begin(), ds.test.labels.end());
+  EXPECT_EQ(train.size(), 10u);
+  EXPECT_EQ(test.size(), 10u);
+}
+
+TEST(FaceStreamTest, PixelsAreInUnitRange) {
+  const Dataset ds =
+      MakeFaceStreamLike({.train_per_class = 10, .test_per_class = 2});
+  for (const auto& frame : ds.train.features) {
+    for (const double p : frame) {
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST(FaceStreamTest, DeterministicPerSeed) {
+  const Dataset a =
+      MakeFaceStreamLike({.train_per_class = 10, .test_per_class = 2});
+  const Dataset b =
+      MakeFaceStreamLike({.train_per_class = 10, .test_per_class = 2});
+  EXPECT_EQ(a.train.features, b.train.features);
+  const Dataset c = MakeFaceStreamLike(
+      {.train_per_class = 10, .test_per_class = 2, .seed = 99});
+  EXPECT_NE(a.train.features, c.train.features);
+}
+
+TEST(FaceStreamTest, LiveCapturesDifferFromEnrollment) {
+  // Streaming captures carry extra pose jitter: they must not duplicate
+  // any training frame.
+  const Dataset ds =
+      MakeFaceStreamLike({.train_per_class = 10, .test_per_class = 2});
+  for (const auto& capture : ds.test.features) {
+    for (const auto& frame : ds.train.features) {
+      EXPECT_NE(capture, frame);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metaai::data

@@ -1,0 +1,144 @@
+#include "data/synth_image.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace metaai::data {
+namespace {
+
+TEST(SynthImageTest, SmoothFieldIsNormalizedToUnit) {
+  Rng rng(1);
+  const Image img = SmoothRandomField(16, 16, 4, rng);
+  EXPECT_EQ(img.pixels.size(), 256u);
+  EXPECT_NEAR(Min(img.pixels), 0.0, 1e-12);
+  EXPECT_NEAR(Max(img.pixels), 1.0, 1e-12);
+}
+
+TEST(SynthImageTest, SmoothFieldIsDeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  const Image x = SmoothRandomField(8, 8, 3, a);
+  const Image y = SmoothRandomField(8, 8, 3, b);
+  EXPECT_EQ(x.pixels, y.pixels);
+}
+
+TEST(SynthImageTest, SmoothFieldIsActuallySmooth) {
+  // Mean absolute difference between adjacent pixels is far below the
+  // full dynamic range.
+  Rng rng(7);
+  const Image img = SmoothRandomField(16, 16, 4, rng);
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x + 1 < 16; ++x) {
+      total += std::abs(img.at(y, x + 1) - img.at(y, x));
+      ++count;
+    }
+  }
+  EXPECT_LT(total / static_cast<double>(count), 0.15);
+}
+
+TEST(SynthImageTest, BilinearInterpolatesAndZeroPads) {
+  Image img{2, 2, {0.0, 1.0, 1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(SampleBilinear(img, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SampleBilinear(img, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(SampleBilinear(img, 0.5, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(SampleBilinear(img, -5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(SampleBilinear(img, 0.0, 10.0), 0.0);
+}
+
+TEST(SynthImageTest, IdentityWarpPreservesImage) {
+  Rng rng(9);
+  const Image img = SmoothRandomField(16, 16, 4, rng);
+  const Image warped = AffineWarp(img, 0.0, 1.0, 0.0, 0.0);
+  for (std::size_t i = 0; i < img.pixels.size(); ++i) {
+    EXPECT_NEAR(warped.pixels[i], img.pixels[i], 1e-9);
+  }
+}
+
+TEST(SynthImageTest, TranslationMovesContent) {
+  Image img{8, 8, std::vector<double>(64, 0.0)};
+  img.at(4, 4) = 1.0;
+  const Image shifted = AffineWarp(img, 0.0, 1.0, 2.0, -1.0);
+  EXPECT_NEAR(shifted.at(6, 3), 1.0, 1e-9);
+  EXPECT_NEAR(shifted.at(4, 4), 0.0, 1e-9);
+}
+
+TEST(SynthImageTest, RotationByPiIsPointReflection) {
+  Image img{9, 9, std::vector<double>(81, 0.0)};
+  img.at(2, 4) = 1.0;  // 2 rows above center
+  const Image rotated = AffineWarp(img, M_PI, 1.0, 0.0, 0.0);
+  EXPECT_NEAR(rotated.at(6, 4), 1.0, 1e-9);
+}
+
+TEST(SynthImageTest, WarpRejectsNonPositiveScale) {
+  Image img{4, 4, std::vector<double>(16, 0.0)};
+  EXPECT_THROW(AffineWarp(img, 0.0, 0.0, 0.0, 0.0), CheckError);
+}
+
+TEST(SynthImageTest, RenderSampleStaysInUnitRange) {
+  Rng rng(11);
+  const Image proto = SmoothRandomField(16, 16, 4, rng);
+  DistortionParams params;
+  params.pixel_noise = 0.3;
+  params.occlusion_prob = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    const Image sample = RenderSample(proto, params, rng);
+    EXPECT_GE(Min(sample.pixels), 0.0);
+    EXPECT_LE(Max(sample.pixels), 1.0);
+  }
+}
+
+TEST(SynthImageTest, RenderSampleVariesAcrossDraws) {
+  Rng rng(13);
+  const Image proto = SmoothRandomField(16, 16, 4, rng);
+  const DistortionParams params;
+  const Image a = RenderSample(proto, params, rng);
+  const Image b = RenderSample(proto, params, rng);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    diff += std::abs(a.pixels[i] - b.pixels[i]);
+  }
+  EXPECT_GT(diff / 256.0, 0.01);
+}
+
+TEST(SynthImageTest, ZeroDistortionReproducesPrototype) {
+  Rng rng(15);
+  const Image proto = SmoothRandomField(16, 16, 4, rng);
+  DistortionParams none{.max_rotation_rad = 0.0,
+                        .max_shift_px = 0.0,
+                        .scale_jitter = 0.0,
+                        .style_strength = 0.0,
+                        .pixel_noise = 0.0,
+                        .occlusion_prob = 0.0,
+                        .contrast_jitter = 0.0};
+  const Image sample = RenderSample(proto, none, rng);
+  for (std::size_t i = 0; i < proto.pixels.size(); ++i) {
+    EXPECT_NEAR(sample.pixels[i], proto.pixels[i], 1e-9);
+  }
+}
+
+TEST(SynthImageTest, OcclusionBlanksARectangle) {
+  Rng rng(17);
+  Image proto{16, 16, std::vector<double>(256, 1.0)};
+  DistortionParams params{.max_rotation_rad = 0.0,
+                          .max_shift_px = 0.0,
+                          .scale_jitter = 0.0,
+                          .style_strength = 0.0,
+                          .pixel_noise = 0.0,
+                          .occlusion_prob = 1.0,
+                          .occlusion_size = 4,
+                          .contrast_jitter = 0.0};
+  const Image sample = RenderSample(proto, params, rng);
+  const auto zeros = static_cast<std::size_t>(
+      std::count(sample.pixels.begin(), sample.pixels.end(), 0.0));
+  EXPECT_EQ(zeros, 16u);  // exactly a 4x4 block
+}
+
+}  // namespace
+}  // namespace metaai::data

@@ -1,0 +1,143 @@
+// Validates the frequency-domain channel abstraction the subcarrier
+// parallelism relies on: passing an OFDM waveform through a tapped-delay
+// channel in the time domain produces exactly the per-subcarrier complex
+// gains H(f_k) that sim::OtaLink's narrowband observations assume.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "rf/channel.h"
+#include "rf/fft.h"
+#include "rf/ofdm.h"
+
+namespace metaai::rf {
+namespace {
+
+// Applies a tapped channel to time samples with integer-sample delays
+// (cyclic convolution — valid because the cyclic prefix turns linear
+// convolution into circular within one OFDM symbol).
+Signal ApplyTapsCyclic(const Signal& samples,
+                       const std::vector<PathTap>& taps,
+                       double sample_rate_hz) {
+  Signal out(samples.size(), Complex{0.0, 0.0});
+  for (const PathTap& tap : taps) {
+    const auto delay = static_cast<std::size_t>(
+        std::llround(tap.delay_s * sample_rate_hz));
+    for (std::size_t n = 0; n < samples.size(); ++n) {
+      out[(n + delay) % samples.size()] += tap.gain * samples[n];
+    }
+  }
+  return out;
+}
+
+TEST(OfdmChannelTest, TimeDomainTapsMatchPerSubcarrierResponse) {
+  // Build a channel whose tap delays are exact sample multiples so the
+  // time-domain and frequency-domain paths are comparable without
+  // fractional-delay interpolation.
+  constexpr std::size_t kN = 64;
+  constexpr double kSpacing = 40e3;
+  const double sample_rate = kN * kSpacing;  // 2.56 MHz
+  std::vector<PathTap> taps{
+      {Complex{0.8, 0.1}, 0.0},
+      {Complex{0.25, -0.2}, 3.0 / sample_rate},
+      {Complex{-0.1, 0.15}, 7.0 / sample_rate},
+  };
+
+  const Ofdm ofdm({.num_subcarriers = kN,
+                   .cyclic_prefix_len = 16,
+                   .subcarrier_spacing_hz = kSpacing});
+  Rng rng(5);
+  Signal subcarriers(kN);
+  for (auto& s : subcarriers) s = rng.ComplexNormal(1.0);
+
+  // Time-domain path: modulate, pass through the taps (CP makes the
+  // convolution circular), demodulate.
+  const Signal tx = ofdm.Modulate(subcarriers);
+  // Strip the CP effect by operating on the IFFT body cyclically: the CP
+  // guarantees the receiver window sees a circular convolution of the
+  // body, which ApplyTapsCyclic reproduces directly.
+  Signal body(tx.begin() + 16, tx.end());
+  const Signal received_body = ApplyTapsCyclic(body, taps, sample_rate);
+  Signal freq = received_body;
+  Fft(freq);
+
+  // Frequency-domain expectation: Y_k = H(f_k) X_k.
+  for (std::size_t k = 0; k < kN; ++k) {
+    Complex h{0.0, 0.0};
+    const double f = ofdm.SubcarrierOffsetHz(k);
+    for (const PathTap& tap : taps) {
+      const double phase = -2.0 * M_PI * f * tap.delay_s;
+      h += tap.gain * Complex{std::cos(phase), std::sin(phase)};
+    }
+    const Complex expected = h * subcarriers[k];
+    EXPECT_LT(std::abs(freq[k] - expected), 1e-9)
+        << "subcarrier " << k;
+  }
+}
+
+TEST(OfdmChannelTest, MultipathChannelResponseMatchesItsOwnTaps) {
+  // MultipathChannel::Response(f) must equal the DFT of its tap list —
+  // the identity the OtaLink observations use per subcarrier.
+  Rng rng(7);
+  const MultipathChannel channel(OfficeProfile(), 0.01, 1.0, rng);
+  for (const double f : {0.0, 40e3, -80e3, 1e6}) {
+    Complex expected{0.0, 0.0};
+    for (const PathTap& tap : channel.taps()) {
+      const double phase = -2.0 * M_PI * f * tap.delay_s;
+      expected += tap.gain * Complex{std::cos(phase), std::sin(phase)};
+    }
+    EXPECT_LT(std::abs(channel.Response(f) - expected), 1e-12);
+  }
+}
+
+TEST(OfdmChannelTest, DelaysInsideCpDoNotInterfereAcrossSymbols) {
+  // Two consecutive OFDM symbols through a delayed channel: with the
+  // delay inside the CP, each demodulated symbol depends only on its own
+  // subcarrier data.
+  constexpr std::size_t kN = 32;
+  const Ofdm ofdm({.num_subcarriers = kN,
+                   .cyclic_prefix_len = 8,
+                   .subcarrier_spacing_hz = 40e3});
+  const double sample_rate = kN * 40e3;
+  const std::vector<PathTap> taps{{Complex{1.0, 0.0}, 0.0},
+                                  {Complex{0.4, 0.3}, 5.0 / sample_rate}};
+  Rng rng(9);
+  Signal a(kN);
+  Signal b(kN);
+  for (std::size_t k = 0; k < kN; ++k) {
+    a[k] = rng.ComplexNormal(1.0);
+    b[k] = rng.ComplexNormal(1.0);
+  }
+  const Signal tx_a = ofdm.Modulate(a);
+  const Signal tx_b = ofdm.Modulate(b);
+  Signal stream;
+  stream.insert(stream.end(), tx_a.begin(), tx_a.end());
+  stream.insert(stream.end(), tx_b.begin(), tx_b.end());
+  // Linear (non-cyclic) channel over the whole stream.
+  Signal received(stream.size(), Complex{0.0, 0.0});
+  for (const PathTap& tap : taps) {
+    const auto delay = static_cast<std::size_t>(
+        std::llround(tap.delay_s * sample_rate));
+    for (std::size_t n = 0; n + delay < stream.size(); ++n) {
+      received[n + delay] += tap.gain * stream[n];
+    }
+  }
+  // Demodulate the SECOND symbol (its CP has absorbed the first's tail).
+  const Signal rx_b(received.begin() + static_cast<std::ptrdiff_t>(
+                        ofdm.SymbolLength()),
+                    received.end());
+  const Signal demod = ofdm.Demodulate(rx_b);
+  for (std::size_t k = 0; k < kN; ++k) {
+    Complex h{0.0, 0.0};
+    const double f = ofdm.SubcarrierOffsetHz(k);
+    for (const PathTap& tap : taps) {
+      const double phase = -2.0 * M_PI * f * tap.delay_s;
+      h += tap.gain * Complex{std::cos(phase), std::sin(phase)};
+    }
+    EXPECT_LT(std::abs(demod[k] - h * b[k]), 1e-9) << "subcarrier " << k;
+  }
+}
+
+}  // namespace
+}  // namespace metaai::rf

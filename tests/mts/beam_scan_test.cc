@@ -1,0 +1,90 @@
+#include "mts/beam_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "rf/geometry.h"
+
+namespace metaai::mts {
+namespace {
+
+LinkGeometry TrueGeometry(double rx_angle_deg) {
+  return {.tx_distance_m = 1.0,
+          .tx_angle_rad = rf::DegToRad(30.0),
+          .rx_distance_m = 3.0,
+          .rx_angle_rad = rf::DegToRad(rx_angle_deg),
+          .frequency_hz = 5.25e9};
+}
+
+// Simulated power measurement: apply the candidate codes and compute the
+// actual received power at the true receiver position.
+double MeasuredPower(Metasurface& surface, const LinkGeometry& truth,
+                     std::span<const PhaseCode> codes) {
+  std::vector<PhaseCode> copy(codes.begin(), codes.end());
+  surface.SetAllCodes(copy);
+  return std::norm(surface.Response(truth));
+}
+
+TEST(BeamScanTest, FocusCodesMaximizePowerAtIntendedAngle) {
+  Metasurface surface{MetasurfaceSpec{}};
+  const auto truth = TrueGeometry(40.0);
+  const auto focus = FocusCodes(surface, truth);
+  surface.SetAllCodes(focus);
+  const double focused_power = std::norm(surface.Response(truth));
+  // Compare against uniform codes: focusing must give a large gain at
+  // oblique angles.
+  std::vector<PhaseCode> uniform(surface.num_atoms(), 0);
+  surface.SetAllCodes(uniform);
+  const double uniform_power = std::norm(surface.Response(truth));
+  EXPECT_GT(focused_power, 10.0 * uniform_power);
+}
+
+TEST(BeamScanTest, EstimatesReceiverAngleWithinScanResolution) {
+  Metasurface surface{MetasurfaceSpec{}};
+  for (const double true_deg : {10.0, 25.0, 40.0, 55.0}) {
+    const auto truth = TrueGeometry(true_deg);
+    LinkGeometry known = truth;
+    known.rx_angle_rad = 0.0;  // receiver angle unknown to the scanner
+    const auto result = ScanForReceiver(
+        surface, known, rf::DegToRad(0.0), rf::DegToRad(60.0), 61,
+        [&](std::span<const PhaseCode> codes) {
+          return MeasuredPower(surface, truth, codes);
+        });
+    EXPECT_NEAR(rf::RadToDeg(result.angle_rad), true_deg, 1.5)
+        << "true angle " << true_deg;
+  }
+}
+
+TEST(BeamScanTest, RecordsOnePowerPerStep) {
+  Metasurface surface{MetasurfaceSpec{}};
+  const auto truth = TrueGeometry(30.0);
+  const auto result = ScanForReceiver(
+      surface, truth, rf::DegToRad(0.0), rf::DegToRad(60.0), 13,
+      [&](std::span<const PhaseCode> codes) {
+        return MeasuredPower(surface, truth, codes);
+      });
+  EXPECT_EQ(result.scanned_powers.size(), 13u);
+  // Peak power equals the maximum recorded power.
+  double max_power = 0.0;
+  for (const double p : result.scanned_powers) {
+    max_power = std::max(max_power, p);
+  }
+  EXPECT_DOUBLE_EQ(result.peak_power, max_power);
+}
+
+TEST(BeamScanTest, ValidatesArguments) {
+  Metasurface surface{MetasurfaceSpec{}};
+  const auto truth = TrueGeometry(30.0);
+  auto measure = [](std::span<const PhaseCode>) { return 1.0; };
+  EXPECT_THROW(ScanForReceiver(surface, truth, 0.0, 1.0, 1, measure),
+               CheckError);
+  EXPECT_THROW(ScanForReceiver(surface, truth, 1.0, 0.0, 10, measure),
+               CheckError);
+  EXPECT_THROW(ScanForReceiver(surface, truth, 0.0, 1.0, 10, nullptr),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::mts

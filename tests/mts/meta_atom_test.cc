@@ -1,0 +1,65 @@
+#include "mts/meta_atom.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::mts {
+namespace {
+
+TEST(MetaAtomTest, PhaseForCodeIsQuarterTurns) {
+  EXPECT_DOUBLE_EQ(PhaseForCode(0), 0.0);
+  EXPECT_DOUBLE_EQ(PhaseForCode(1), M_PI / 2.0);
+  EXPECT_DOUBLE_EQ(PhaseForCode(2), M_PI);
+  EXPECT_DOUBLE_EQ(PhaseForCode(3), 3.0 * M_PI / 2.0);
+}
+
+TEST(MetaAtomTest, PhasorsAreExactUnitAxes) {
+  EXPECT_EQ(PhasorForCode(0), (Complex{1.0, 0.0}));
+  EXPECT_EQ(PhasorForCode(1), (Complex{0.0, 1.0}));
+  EXPECT_EQ(PhasorForCode(2), (Complex{-1.0, 0.0}));
+  EXPECT_EQ(PhasorForCode(3), (Complex{0.0, -1.0}));
+}
+
+TEST(MetaAtomTest, OppositeCodeIsExactPiFlip) {
+  for (PhaseCode c = 0; c < kNumPhaseStates; ++c) {
+    const Complex a = PhasorForCode(c);
+    const Complex b = PhasorForCode(OppositeCode(c));
+    EXPECT_NEAR(std::abs(a + b), 0.0, 1e-15);
+  }
+}
+
+TEST(MetaAtomTest, OppositeIsAnInvolution) {
+  for (PhaseCode c = 0; c < kNumPhaseStates; ++c) {
+    EXPECT_EQ(OppositeCode(OppositeCode(c)), c);
+  }
+}
+
+TEST(MetaAtomTest, NearestCodeRoundsToClosestState) {
+  EXPECT_EQ(NearestCode(0.1), 0);
+  EXPECT_EQ(NearestCode(M_PI / 2.0 - 0.1), 1);
+  EXPECT_EQ(NearestCode(M_PI + 0.2), 2);
+  EXPECT_EQ(NearestCode(-M_PI / 2.0), 3);   // wraps negative phases
+  EXPECT_EQ(NearestCode(2.0 * M_PI), 0);    // wraps full turns
+  EXPECT_EQ(NearestCode(7.0 * M_PI / 2.0), 3);
+}
+
+TEST(MetaAtomTest, NearestCodeErrorBoundedByQuarterPi) {
+  for (double phase = -10.0; phase <= 10.0; phase += 0.01) {
+    const double code_phase = PhaseForCode(NearestCode(phase));
+    double diff = std::fmod(std::abs(phase - code_phase), 2.0 * M_PI);
+    diff = std::min(diff, 2.0 * M_PI - diff);
+    EXPECT_LE(diff, M_PI / 4.0 + 1e-9) << "phase=" << phase;
+  }
+}
+
+TEST(MetaAtomTest, InvalidCodesThrow) {
+  EXPECT_THROW(PhaseForCode(4), CheckError);
+  EXPECT_THROW(PhasorForCode(4), CheckError);
+  EXPECT_THROW(OppositeCode(4), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::mts

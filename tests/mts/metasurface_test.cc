@@ -1,0 +1,171 @@
+#include "mts/metasurface.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "rf/geometry.h"
+
+namespace metaai::mts {
+namespace {
+
+LinkGeometry DefaultGeometry() {
+  // The paper's default setup: Tx-MTS 1 m @30deg, MTS-Rx 3 m @40deg,
+  // 5.25 GHz carrier.
+  return {.tx_distance_m = 1.0,
+          .tx_angle_rad = rf::DegToRad(30.0),
+          .rx_distance_m = 3.0,
+          .rx_angle_rad = rf::DegToRad(40.0),
+          .frequency_hz = 5.25e9};
+}
+
+TEST(MetasurfaceTest, SpecDefaultsMatchPrototype) {
+  Metasurface surface{MetasurfaceSpec{}};
+  EXPECT_EQ(surface.num_atoms(), 256u);
+  EXPECT_NEAR(surface.spacing_m(), rf::Wavelength(5.25e9) / 2.0, 1e-12);
+}
+
+TEST(MetasurfaceTest, DualBandSupports24And5GHz) {
+  Metasurface surface{DualBandSpec()};
+  EXPECT_TRUE(surface.SupportsFrequency(2.4e9));
+  EXPECT_TRUE(surface.SupportsFrequency(5.0e9));
+  EXPECT_TRUE(surface.SupportsFrequency(5.25e9));
+  EXPECT_FALSE(surface.SupportsFrequency(3.5e9));
+}
+
+TEST(MetasurfaceTest, SingleBandSupportsOnly35GHz) {
+  Metasurface surface{SingleBandSpec()};
+  EXPECT_TRUE(surface.SupportsFrequency(3.5e9));
+  EXPECT_FALSE(surface.SupportsFrequency(2.4e9));
+  EXPECT_FALSE(surface.SupportsFrequency(5.25e9));
+}
+
+TEST(MetasurfaceTest, CodesReadBackAndValidate) {
+  Metasurface surface{MetasurfaceSpec{}};
+  surface.SetCode(5, 3);
+  EXPECT_EQ(surface.code(5), 3);
+  EXPECT_THROW(surface.SetCode(256, 0), CheckError);
+  EXPECT_THROW(surface.SetCode(0, 4), CheckError);
+  std::vector<PhaseCode> wrong(8, 0);
+  EXPECT_THROW(surface.SetAllCodes(wrong), CheckError);
+}
+
+TEST(MetasurfaceTest, FlipAllPiNegatesResponse) {
+  Metasurface surface{MetasurfaceSpec{}};
+  Rng rng(3);
+  std::vector<PhaseCode> codes(surface.num_atoms());
+  for (auto& c : codes) c = static_cast<PhaseCode>(rng.UniformInt(0, 3));
+  surface.SetAllCodes(codes);
+  const Complex before = surface.Response(DefaultGeometry());
+  surface.FlipAllPi();
+  const Complex after = surface.Response(DefaultGeometry());
+  EXPECT_NEAR(std::abs(before + after), 0.0, 1e-12);
+}
+
+TEST(MetasurfaceTest, PathPhasorIsUnitMagnitude) {
+  Metasurface surface{MetasurfaceSpec{}};
+  for (std::size_t m = 0; m < surface.num_atoms(); m += 17) {
+    EXPECT_NEAR(std::abs(surface.PathPhasor(m, DefaultGeometry())), 1.0,
+                1e-12);
+  }
+}
+
+TEST(MetasurfaceTest, PathPhaseDependsOnColumnNotRow) {
+  Metasurface surface{MetasurfaceSpec{}};
+  const auto geometry = DefaultGeometry();
+  // Atoms 0 and 16 are the same column in adjacent rows: same phase.
+  EXPECT_NEAR(std::abs(surface.PathPhasor(0, geometry) -
+                       surface.PathPhasor(16, geometry)),
+              0.0, 1e-12);
+  // Atoms 0 and 1 are adjacent columns: different phase at oblique angles.
+  EXPECT_GT(std::abs(surface.PathPhasor(0, geometry) -
+                     surface.PathPhasor(1, geometry)),
+            1e-3);
+}
+
+TEST(MetasurfaceTest, BroadsideGeometryHasUniformPhases) {
+  Metasurface surface{MetasurfaceSpec{}};
+  LinkGeometry geometry = DefaultGeometry();
+  geometry.tx_angle_rad = 0.0;
+  geometry.rx_angle_rad = 0.0;
+  const Complex first = surface.PathPhasor(0, geometry);
+  for (std::size_t m = 1; m < surface.num_atoms(); ++m) {
+    EXPECT_NEAR(std::abs(surface.PathPhasor(m, geometry) - first), 0.0,
+                1e-9);
+  }
+}
+
+TEST(MetasurfaceTest, UniformCodesAtBroadsideAddCoherently) {
+  Metasurface surface{MetasurfaceSpec{}};
+  LinkGeometry geometry = DefaultGeometry();
+  geometry.tx_angle_rad = 0.0;
+  geometry.rx_angle_rad = 0.0;
+  const Complex response = surface.Response(geometry);
+  EXPECT_NEAR(std::abs(response),
+              surface.PathAmplitude(geometry) *
+                  static_cast<double>(surface.num_atoms()),
+              1e-6);
+}
+
+TEST(MetasurfaceTest, ElementPatternRollsOffPastFov) {
+  Metasurface surface{MetasurfaceSpec{}};
+  const double inside = surface.ElementPattern(rf::DegToRad(30.0));
+  const double edge = surface.ElementPattern(rf::DegToRad(60.0));
+  const double outside = surface.ElementPattern(rf::DegToRad(80.0));
+  EXPECT_GT(inside, edge);
+  EXPECT_GT(edge, outside);
+  // The drop across the FoV edge is much steeper than inside it.
+  EXPECT_LT(outside / edge, 0.75);
+  EXPECT_DOUBLE_EQ(surface.ElementPattern(M_PI / 2.0), 0.0);
+}
+
+TEST(MetasurfaceTest, PathAmplitudeFallsWithDistanceProduct) {
+  Metasurface surface{MetasurfaceSpec{}};
+  LinkGeometry near = DefaultGeometry();
+  LinkGeometry far = DefaultGeometry();
+  far.rx_distance_m = 6.0;
+  EXPECT_NEAR(surface.PathAmplitude(near) / surface.PathAmplitude(far), 2.0,
+              1e-9);
+}
+
+TEST(MetasurfaceTest, UnsupportedFrequencyYieldsZeroAmplitude) {
+  Metasurface surface{SingleBandSpec()};
+  LinkGeometry geometry = DefaultGeometry();  // 5.25 GHz
+  EXPECT_DOUBLE_EQ(surface.PathAmplitude(geometry), 0.0);
+  EXPECT_NEAR(std::abs(surface.Response(geometry)), 0.0, 1e-15);
+}
+
+TEST(MetasurfaceTest, SubcarrierOffsetShiftsPhases) {
+  Metasurface surface{MetasurfaceSpec{}};
+  const auto geometry = DefaultGeometry();
+  const Complex base = surface.PathPhasor(100, geometry, 0.0);
+  const Complex shifted = surface.PathPhasor(100, geometry, 40e6);
+  EXPECT_GT(std::abs(base - shifted), 1e-4);
+}
+
+TEST(MetasurfaceTest, NoisyResponseConvergesToCleanAtZeroNoise) {
+  Metasurface surface{MetasurfaceSpec{}};
+  Rng rng(9);
+  std::vector<PhaseCode> codes(surface.num_atoms());
+  for (auto& c : codes) c = static_cast<PhaseCode>(rng.UniformInt(0, 3));
+  surface.SetAllCodes(codes);
+  const auto geometry = DefaultGeometry();
+  const Complex clean = surface.Response(geometry);
+  const Complex noisy = surface.NoisyResponse(geometry, 0.0, rng);
+  EXPECT_NEAR(std::abs(clean - noisy), 0.0, 1e-9);
+}
+
+TEST(MetasurfaceTest, PhaseNoisePerturbsResponse) {
+  Metasurface surface{MetasurfaceSpec{}};
+  Rng rng(11);
+  const auto geometry = DefaultGeometry();
+  const Complex clean = surface.Response(geometry);
+  const Complex noisy = surface.NoisyResponse(geometry, 0.3, rng);
+  EXPECT_GT(std::abs(clean - noisy), 1e-9);
+}
+
+}  // namespace
+}  // namespace metaai::mts

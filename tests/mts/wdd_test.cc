@@ -1,0 +1,102 @@
+#include "mts/wdd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace metaai::mts {
+namespace {
+
+TEST(WddTest, ReachableWeightsFormParityLattice) {
+  const auto weights = ReachableNormalizedWeights(4);
+  // M=4: points (p+jq)/4 with |p|+|q| <= 4 and p+q even. Verify the
+  // structural lattice properties rather than the exact count.
+  for (const auto& w : weights) {
+    const double p = w.real() * 4.0;
+    const double q = w.imag() * 4.0;
+    EXPECT_NEAR(p, std::round(p), 1e-12);
+    EXPECT_NEAR(q, std::round(q), 1e-12);
+    EXPECT_LE(std::abs(p) + std::abs(q), 4.0 + 1e-12);
+    const long pi = std::lround(p);
+    const long qi = std::lround(q);
+    EXPECT_EQ(((pi + qi) % 2 + 2) % 2, 0) << "parity violated";
+  }
+  // Extremes reachable: all atoms aligned -> (+-1, 0), (0, +-1).
+  bool found_one = false;
+  for (const auto& w : weights) {
+    if (std::abs(w - std::complex<double>{1.0, 0.0}) < 1e-12) {
+      found_one = true;
+    }
+  }
+  EXPECT_TRUE(found_one);
+}
+
+TEST(WddTest, WeightCountGrowsQuadratically) {
+  const auto w16 = ReachableNormalizedWeights(16).size();
+  const auto w64 = ReachableNormalizedWeights(64).size();
+  // 4x atoms -> ~16x lattice points.
+  const double ratio = static_cast<double>(w64) / static_cast<double>(w16);
+  EXPECT_GT(ratio, 12.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(WddTest, WddIncreasesWithAtoms) {
+  const double wdd16 = WeightDistributionDensity(16);
+  const double wdd64 = WeightDistributionDensity(64);
+  const double wdd256 = WeightDistributionDensity(256);
+  EXPECT_LT(wdd16, wdd64);
+  EXPECT_LT(wdd64, wdd256);
+}
+
+TEST(WddTest, WddSaturatesAt256Atoms) {
+  // Fig 30: the curve saturates at M=256 — nearly all tolerance cells are
+  // covered, and quadrupling the atoms adds almost nothing.
+  const double wdd256 = WeightDistributionDensity(256);
+  const double wdd1024 = WeightDistributionDensity(1024);
+  EXPECT_GT(wdd256, 0.85);
+  EXPECT_LT(wdd1024 - wdd256, 0.1);
+  EXPECT_LE(wdd1024, 1.0 + 1e-12);
+}
+
+TEST(WddTest, WddBoundedInUnitInterval) {
+  for (const std::size_t atoms : {4u, 16u, 64u, 256u}) {
+    const double wdd = WeightDistributionDensity(atoms);
+    EXPECT_GE(wdd, 0.0);
+    EXPECT_LE(wdd, 1.0);
+  }
+}
+
+TEST(WddTest, NearestWeightDistanceShrinksWithAtoms) {
+  Rng rng(17);
+  double mean16 = 0.0;
+  double mean256 = 0.0;
+  constexpr int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    // Random target inside the disk.
+    std::complex<double> target;
+    do {
+      target = {rng.Uniform(-0.7, 0.7), rng.Uniform(-0.7, 0.7)};
+    } while (std::abs(target) > 0.707);
+    mean16 += NearestWeightDistance(target, 16);
+    mean256 += NearestWeightDistance(target, 256);
+  }
+  mean16 /= kTrials;
+  mean256 /= kTrials;
+  EXPECT_LT(mean256, mean16 / 8.0);
+  // 256-atom lattice pitch is 1/256 -> nearest distance well below 0.01.
+  EXPECT_LT(mean256, 0.005);
+}
+
+TEST(WddTest, ValidatesArguments) {
+  EXPECT_THROW(WeightDistributionDensity(0), CheckError);
+  EXPECT_THROW(WeightDistributionDensity(16, {.epsilon = 0.0}), CheckError);
+  EXPECT_THROW(ReachableNormalizedWeights(0), CheckError);
+  EXPECT_THROW(NearestWeightDistance({0.0, 0.0}, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::mts

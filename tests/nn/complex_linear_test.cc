@@ -1,0 +1,226 @@
+#include "nn/complex_linear.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace metaai::nn {
+namespace {
+
+// A linearly separable complex task: per-class random prototype symbol
+// vector plus complex noise. Train and test share the same prototypes.
+struct SeparableTask {
+  ComplexDataset train;
+  ComplexDataset test;
+};
+
+SeparableTask MakeSeparableTask(std::size_t classes, std::size_t dim,
+                                std::size_t train_per_class,
+                                std::size_t test_per_class, double noise,
+                                Rng& rng) {
+  std::vector<std::vector<Complex>> prototypes(classes);
+  for (auto& proto : prototypes) {
+    proto.resize(dim);
+    for (auto& v : proto) v = rng.UnitPhasor();
+  }
+  auto fill = [&](ComplexDataset& ds, std::size_t per_class) {
+    ds.num_classes = classes;
+    ds.dim = dim;
+    for (std::size_t c = 0; c < classes; ++c) {
+      for (std::size_t s = 0; s < per_class; ++s) {
+        std::vector<Complex> x(dim);
+        for (std::size_t i = 0; i < dim; ++i) {
+          x[i] = prototypes[c][i] + rng.ComplexNormal(noise * noise);
+        }
+        ds.features.push_back(std::move(x));
+        ds.labels.push_back(static_cast<int>(c));
+      }
+    }
+  };
+  SeparableTask task;
+  fill(task.train, train_per_class);
+  fill(task.test, test_per_class);
+  return task;
+}
+
+ComplexDataset MakeSeparableDataset(std::size_t classes, std::size_t dim,
+                                    std::size_t per_class, double noise,
+                                    Rng& rng) {
+  return MakeSeparableTask(classes, dim, per_class, 0, noise, rng).train;
+}
+
+TEST(ComplexLinearTest, SoftmaxSumsToOneAndOrdersScores) {
+  const auto probs = SoftmaxScores({1.0, 3.0, 2.0});
+  EXPECT_NEAR(probs[0] + probs[1] + probs[2], 1.0, 1e-12);
+  EXPECT_GT(probs[1], probs[2]);
+  EXPECT_GT(probs[2], probs[0]);
+}
+
+TEST(ComplexLinearTest, SoftmaxIsShiftInvariantAndStable) {
+  const auto a = SoftmaxScores({1.0, 2.0});
+  const auto b = SoftmaxScores({1001.0, 1002.0});
+  EXPECT_NEAR(a[0], b[0], 1e-12);
+  EXPECT_NEAR(a[1], b[1], 1e-12);
+  EXPECT_THROW(SoftmaxScores({}), CheckError);
+}
+
+TEST(ComplexLinearTest, PreActivationsAreLinear) {
+  Rng rng(1);
+  ComplexLinearModel model(4, 2);
+  model.Initialize(rng);
+  std::vector<Complex> x1(4), x2(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    x1[i] = rng.ComplexNormal(1.0);
+    x2[i] = rng.ComplexNormal(1.0);
+  }
+  std::vector<Complex> sum(4);
+  for (std::size_t i = 0; i < 4; ++i) sum[i] = x1[i] + 2.0 * x2[i];
+  const auto z1 = model.PreActivations(x1);
+  const auto z2 = model.PreActivations(x2);
+  const auto zs = model.PreActivations(sum);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(std::abs(zs[r] - (z1[r] + 2.0 * z2[r])), 0.0, 1e-12);
+  }
+}
+
+TEST(ComplexLinearTest, ClassScoresAreMagnitudes) {
+  Rng rng(2);
+  ComplexLinearModel model(3, 2);
+  model.Initialize(rng);
+  std::vector<Complex> x{Complex{1.0, 0.5}, Complex{-0.2, 0.1},
+                         Complex{0.0, -1.0}};
+  const auto z = model.PreActivations(x);
+  const auto scores = model.ClassScores(x);
+  for (std::size_t r = 0; r < 2; ++r) {
+    EXPECT_DOUBLE_EQ(scores[r], std::abs(z[r]));
+  }
+}
+
+TEST(ComplexLinearTest, AnalyticGradientMatchesFiniteDifference) {
+  // Validates the complex backprop formula dL/dW(r,i) = g_r (z_r/|z_r|)
+  // conj(x_i) against numeric differentiation of the actual forward loss.
+  Rng rng(3);
+  constexpr std::size_t kDim = 3;
+  constexpr std::size_t kClasses = 2;
+  ComplexLinearModel model(kDim, kClasses);
+  model.Initialize(rng);
+  std::vector<Complex> x(kDim);
+  for (auto& v : x) v = rng.ComplexNormal(1.0);
+  const int label = 1;
+
+  auto loss = [&](const ComplexLinearModel& m) {
+    const auto probs = SoftmaxScores(m.ClassScores(x));
+    return -std::log(probs[label]);
+  };
+
+  // Analytic gradient (the formula Train implements).
+  const auto z = model.PreActivations(x);
+  std::vector<double> mags(kClasses);
+  for (std::size_t r = 0; r < kClasses; ++r) mags[r] = std::abs(z[r]);
+  const auto probs = SoftmaxScores(mags);
+  for (std::size_t r = 0; r < kClasses; ++r) {
+    double g = probs[r] - (static_cast<int>(r) == label ? 1.0 : 0.0);
+    const Complex direction = z[r] / mags[r];
+    for (std::size_t i = 0; i < kDim; ++i) {
+      const Complex analytic = g * direction * std::conj(x[i]);
+      // Finite differences on real and imaginary parts.
+      constexpr double kEps = 1e-6;
+      ComplexLinearModel re_plus = model;
+      re_plus.mutable_weights()(r, i) += Complex{kEps, 0.0};
+      ComplexLinearModel re_minus = model;
+      re_minus.mutable_weights()(r, i) -= Complex{kEps, 0.0};
+      const double d_re = (loss(re_plus) - loss(re_minus)) / (2.0 * kEps);
+      ComplexLinearModel im_plus = model;
+      im_plus.mutable_weights()(r, i) += Complex{0.0, kEps};
+      ComplexLinearModel im_minus = model;
+      im_minus.mutable_weights()(r, i) -= Complex{0.0, kEps};
+      const double d_im = (loss(im_plus) - loss(im_minus)) / (2.0 * kEps);
+      EXPECT_NEAR(analytic.real(), d_re, 1e-5) << "r=" << r << " i=" << i;
+      EXPECT_NEAR(analytic.imag(), d_im, 1e-5) << "r=" << r << " i=" << i;
+    }
+  }
+}
+
+TEST(ComplexLinearTest, LearnsSeparableTask) {
+  Rng rng(4);
+  const auto task = MakeSeparableTask(4, 16, 50, 20, 0.5, rng);
+  ComplexLinearModel model(16, 4);
+  model.Initialize(rng);
+  const double loss =
+      model.Train(task.train, {.epochs = 30, .batch_size = 16}, rng);
+  EXPECT_LT(loss, 0.5);
+  EXPECT_GT(model.Evaluate(task.test), 0.9);
+}
+
+TEST(ComplexLinearTest, TrainingReducesLoss) {
+  Rng rng(5);
+  const auto train = MakeSeparableDataset(3, 8, 40, 0.8, rng);
+  ComplexLinearModel model(8, 3);
+  model.Initialize(rng);
+  const double early = model.Train(train, {.epochs = 1}, rng);
+  const double later = model.Train(train, {.epochs = 20}, rng);
+  EXPECT_LT(later, early);
+}
+
+TEST(ComplexLinearTest, AugmentationHookIsApplied) {
+  Rng rng(6);
+  const auto train = MakeSeparableDataset(2, 4, 10, 0.1, rng);
+  ComplexLinearModel model(4, 2);
+  model.Initialize(rng);
+  int calls = 0;
+  ComplexTrainOptions options;
+  options.epochs = 2;
+  options.input_augment = [&calls](std::vector<Complex>& x, Rng&) {
+    ++calls;
+    for (auto& v : x) v *= 1.0;  // no-op transform
+  };
+  model.Train(train, options, rng);
+  EXPECT_EQ(calls, 2 * 20);  // epochs * samples
+}
+
+TEST(ComplexLinearTest, DeterministicGivenSeed) {
+  const auto make = [](std::uint64_t seed) {
+    Rng rng(seed);
+    auto train = MakeSeparableDataset(3, 8, 30, 0.5, rng);
+    ComplexLinearModel model(8, 3);
+    model.Initialize(rng);
+    model.Train(train, {.epochs = 5}, rng);
+    return model;
+  };
+  const auto a = make(42);
+  const auto b = make(42);
+  EXPECT_TRUE(a.weights() == b.weights());
+}
+
+TEST(ComplexLinearTest, OutputNoiseDuringTrainingStillLearns) {
+  Rng rng(7);
+  const auto task = MakeSeparableTask(3, 16, 60, 20, 0.4, rng);
+  ComplexLinearModel model(16, 3);
+  model.Initialize(rng);
+  ComplexTrainOptions options;
+  options.epochs = 30;
+  options.output_noise_variance = 0.5;
+  model.Train(task.train, options, rng);
+  EXPECT_GT(model.Evaluate(task.test), 0.85);
+}
+
+TEST(ComplexLinearTest, ValidatesDimensions) {
+  Rng rng(8);
+  ComplexLinearModel model(4, 2);
+  model.Initialize(rng);
+  EXPECT_THROW(model.PreActivations(std::vector<Complex>(3)), CheckError);
+  ComplexDataset wrong = MakeSeparableDataset(2, 5, 4, 0.1, rng);
+  EXPECT_THROW(model.Train(wrong, {}, rng), CheckError);
+  EXPECT_THROW(model.Evaluate(wrong), CheckError);
+  ComplexDataset ok = MakeSeparableDataset(2, 4, 4, 0.1, rng);
+  ComplexTrainOptions bad_options;
+  bad_options.epochs = 0;
+  EXPECT_THROW(model.Train(ok, bad_options, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::nn

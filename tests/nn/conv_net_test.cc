@@ -1,0 +1,136 @@
+#include "nn/conv_net.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace metaai::nn {
+namespace {
+
+// Tiny image task: class 0 = bright top half, class 1 = bright bottom
+// half, class 2 = bright left half, with pixel noise.
+RealDataset MakeImageDataset(std::size_t per_class, double noise, Rng& rng) {
+  RealDataset ds;
+  ds.num_classes = 3;
+  ds.dim = 16 * 16;
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t s = 0; s < per_class; ++s) {
+      std::vector<double> img(256, 0.0);
+      for (std::size_t y = 0; y < 16; ++y) {
+        for (std::size_t x = 0; x < 16; ++x) {
+          const bool bright = (c == 0 && y < 8) || (c == 1 && y >= 8) ||
+                              (c == 2 && x < 8);
+          img[y * 16 + x] =
+              (bright ? 1.0 : 0.0) + rng.Normal(0.0, noise);
+        }
+      }
+      ds.features.push_back(std::move(img));
+      ds.labels.push_back(c);
+    }
+  }
+  return ds;
+}
+
+ConvNetConfig SmallConfig() {
+  return {.height = 16,
+          .width = 16,
+          .conv1_channels = 4,
+          .conv2_channels = 8,
+          .hidden = 32,
+          .num_classes = 3};
+}
+
+TEST(ConvNetTest, ParameterAndMacCountsAreConsistent) {
+  ConvNet net(SmallConfig());
+  // conv1: 4*1*9 + 4; conv2: 8*4*9 + 8; fc1: 32*(8*4*4) + 32;
+  // fc2: 3*32 + 3.
+  const std::size_t expected = (4 * 9 + 4) + (8 * 4 * 9 + 8) +
+                               (32 * 128 + 32) + (3 * 32 + 3);
+  EXPECT_EQ(net.ParameterCount(), expected);
+  const std::size_t macs = 4 * 256 * 9 + 8 * 64 * 9 * 4 + 32 * 128 + 3 * 32;
+  EXPECT_EQ(net.ForwardMacs(), macs);
+}
+
+TEST(ConvNetTest, LogitsHaveClassCount) {
+  Rng rng(1);
+  ConvNet net(SmallConfig());
+  net.Initialize(rng);
+  std::vector<double> img(256, 0.5);
+  EXPECT_EQ(net.Logits(img).size(), 3u);
+}
+
+TEST(ConvNetTest, LearnsSimpleSpatialTask) {
+  Rng rng(2);
+  const auto train = MakeImageDataset(60, 0.2, rng);
+  const auto test = MakeImageDataset(20, 0.2, rng);
+  ConvNet net(SmallConfig());
+  net.Initialize(rng);
+  net.Train(train, {.epochs = 10, .batch_size = 16}, rng);
+  EXPECT_GT(net.Evaluate(test), 0.95);
+}
+
+TEST(ConvNetTest, TrainingReducesLoss) {
+  Rng rng(3);
+  const auto train = MakeImageDataset(40, 0.3, rng);
+  ConvNet net(SmallConfig());
+  net.Initialize(rng);
+  const double first = net.Train(train, {.epochs = 1, .batch_size = 16}, rng);
+  const double later = net.Train(train, {.epochs = 8, .batch_size = 16}, rng);
+  EXPECT_LT(later, first);
+}
+
+TEST(ConvNetTest, DeterministicGivenSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    auto train = MakeImageDataset(10, 0.2, rng);
+    ConvNet net(SmallConfig());
+    net.Initialize(rng);
+    net.Train(train, {.epochs = 2, .batch_size = 8}, rng);
+    std::vector<double> probe(256, 0.3);
+    return net.Logits(probe);
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ConvNetTest, ValidatesConfigAndInputs) {
+  ConvNetConfig bad = SmallConfig();
+  bad.height = 15;
+  EXPECT_THROW(ConvNet{bad}, CheckError);
+  ConvNetConfig zero = SmallConfig();
+  zero.hidden = 0;
+  EXPECT_THROW(ConvNet{zero}, CheckError);
+
+  Rng rng(4);
+  ConvNet net(SmallConfig());
+  net.Initialize(rng);
+  EXPECT_THROW(net.Logits(std::vector<double>(100)), CheckError);
+  RealDataset wrong;
+  wrong.num_classes = 3;
+  wrong.dim = 100;
+  wrong.features.push_back(std::vector<double>(100, 0.0));
+  wrong.labels.push_back(0);
+  EXPECT_THROW(net.Train(wrong, {}, rng), CheckError);
+}
+
+TEST(ConvNetTest, BeatsChanceOnNoisyTask) {
+  Rng rng(5);
+  const auto train = MakeImageDataset(50, 0.8, rng);
+  const auto test = MakeImageDataset(30, 0.8, rng);
+  ConvNet net(SmallConfig());
+  net.Initialize(rng);
+  // Lower learning rate: the heavy pixel noise makes the default step
+  // size unstable on this tiny task.
+  net.Train(train, {.epochs = 15, .batch_size = 16, .learning_rate = 0.01},
+            rng);
+  EXPECT_GT(net.Evaluate(test), 0.6);  // chance is 1/3
+}
+
+}  // namespace
+}  // namespace metaai::nn

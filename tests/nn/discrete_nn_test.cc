@@ -1,0 +1,155 @@
+#include "nn/discrete_nn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "nn/complex_linear.h"
+
+namespace metaai::nn {
+namespace {
+
+struct Task {
+  ComplexDataset train;
+  ComplexDataset test;
+};
+
+// Train/test share the per-class prototypes.
+Task MakeTask(std::size_t classes, std::size_t dim,
+              std::size_t train_per_class, std::size_t test_per_class,
+              double noise, Rng& rng) {
+  std::vector<std::vector<Complex>> prototypes(classes);
+  for (auto& proto : prototypes) {
+    proto.resize(dim);
+    for (auto& v : proto) v = rng.ComplexNormal(1.0);
+  }
+  auto fill = [&](ComplexDataset& ds, std::size_t per_class) {
+    ds.num_classes = classes;
+    ds.dim = dim;
+    for (std::size_t c = 0; c < classes; ++c) {
+      for (std::size_t s = 0; s < per_class; ++s) {
+        std::vector<Complex> x(dim);
+        for (std::size_t i = 0; i < dim; ++i) {
+          x[i] = prototypes[c][i] + rng.ComplexNormal(noise * noise);
+        }
+        ds.features.push_back(std::move(x));
+        ds.labels.push_back(static_cast<int>(c));
+      }
+    }
+  };
+  Task task;
+  fill(task.train, train_per_class);
+  fill(task.test, test_per_class);
+  return task;
+}
+
+ComplexDataset MakeDataset(std::size_t classes, std::size_t dim,
+                           std::size_t per_class, double noise, Rng& rng) {
+  return MakeTask(classes, dim, per_class, 0, noise, rng).train;
+}
+
+TEST(DiscreteNnTest, QuantizePhaseSnapsToFourStates) {
+  EXPECT_NEAR(std::abs(QuantizePhase({3.0, 0.1}, 2.0) - Complex{2.0, 0.0}),
+              0.0, 1e-12);
+  EXPECT_NEAR(std::abs(QuantizePhase({0.1, 5.0}, 1.0) - Complex{0.0, 1.0}),
+              0.0, 1e-12);
+  EXPECT_NEAR(std::abs(QuantizePhase({-1.0, -0.1}, 1.0) - Complex{-1.0, 0.0}),
+              0.0, 1e-12);
+  EXPECT_NEAR(std::abs(QuantizePhase({0.05, -2.0}, 0.5) - Complex{0.0, -0.5}),
+              0.0, 1e-12);
+  // Zero weight maps to the zero-phase state.
+  EXPECT_NEAR(std::abs(QuantizePhase({0.0, 0.0}, 1.0) - Complex{1.0, 0.0}),
+              0.0, 1e-12);
+}
+
+TEST(DiscreteNnTest, QuantizedWeightsLieOnFourPhases) {
+  Rng rng(1);
+  DiscreteNnModel model(8, 3);
+  model.Initialize(rng);
+  const auto wq = model.QuantizedWeights();
+  for (std::size_t r = 0; r < wq.rows(); ++r) {
+    for (std::size_t c = 0; c < wq.cols(); ++c) {
+      const Complex w = wq(r, c);
+      const double mag = std::abs(w);
+      EXPECT_GT(mag, 0.0);
+      // Phase must be a multiple of pi/2.
+      const double phase = std::arg(w);
+      const double quarter = phase / (M_PI / 2.0);
+      EXPECT_NEAR(quarter, std::round(quarter), 1e-9);
+    }
+  }
+}
+
+TEST(DiscreteNnTest, ScoresUseQuantizedWeights) {
+  Rng rng(2);
+  DiscreteNnModel model(4, 2);
+  model.Initialize(rng);
+  const auto wq = model.QuantizedWeights();
+  std::vector<Complex> x(4);
+  for (auto& v : x) v = rng.ComplexNormal(1.0);
+  const auto scores = model.ClassScores(x);
+  for (std::size_t r = 0; r < 2; ++r) {
+    Complex acc{0.0, 0.0};
+    for (std::size_t i = 0; i < 4; ++i) acc += wq(r, i) * x[i];
+    EXPECT_NEAR(scores[r], std::abs(acc), 1e-12);
+  }
+}
+
+TEST(DiscreteNnTest, LearnsEasyTaskDespiteQuantization) {
+  Rng rng(3);
+  const auto task = MakeTask(3, 32, 60, 20, 0.3, rng);
+  DiscreteNnModel model(32, 3);
+  model.Initialize(rng);
+  model.Train(task.train, {.epochs = 40, .batch_size = 16}, rng);
+  EXPECT_GT(model.Evaluate(task.test), 0.7);
+}
+
+TEST(DiscreteNnTest, UnderperformsContinuousModelOnHardTask) {
+  // The Table 1 ordering: training constrained to the discrete domain
+  // loses to continuous training on the same data.
+  Rng rng(4);
+  const auto task = MakeTask(5, 32, 80, 40, 1.2, rng);
+
+  Rng rng_cont(10);
+  ComplexLinearModel continuous(32, 5);
+  continuous.Initialize(rng_cont);
+  continuous.Train(task.train, {.epochs = 40, .batch_size = 16}, rng_cont);
+
+  Rng rng_disc(10);
+  DiscreteNnModel discrete(32, 5);
+  discrete.Initialize(rng_disc);
+  discrete.Train(task.train, {.epochs = 40, .batch_size = 16}, rng_disc);
+
+  EXPECT_GT(continuous.Evaluate(task.test), discrete.Evaluate(task.test));
+}
+
+TEST(DiscreteNnTest, DeterministicGivenSeed) {
+  const auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    auto train = MakeDataset(2, 8, 20, 0.5, rng);
+    DiscreteNnModel model(8, 2);
+    model.Initialize(rng);
+    model.Train(train, {.epochs = 3}, rng);
+    return model.QuantizedWeights();
+  };
+  EXPECT_TRUE(run(99) == run(99));
+}
+
+TEST(DiscreteNnTest, ValidatesArguments) {
+  Rng rng(5);
+  DiscreteNnModel model(4, 2);
+  model.Initialize(rng);
+  EXPECT_THROW(model.ClassScores(std::vector<Complex>(3)), CheckError);
+  auto wrong = MakeDataset(2, 5, 4, 0.1, rng);
+  EXPECT_THROW(model.Train(wrong, {}, rng), CheckError);
+  auto ok = MakeDataset(2, 4, 4, 0.1, rng);
+  DiscreteTrainOptions bad;
+  bad.batch_size = 0;
+  EXPECT_THROW(model.Train(ok, bad, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::nn

@@ -1,0 +1,70 @@
+#include "nn/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace metaai::nn {
+namespace {
+
+TEST(MetricsTest, AccuracyCountsMatches) {
+  const std::vector<int> pred{0, 1, 2, 1};
+  const std::vector<int> truth{0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(pred, truth), 0.75);
+}
+
+TEST(MetricsTest, AccuracyOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Accuracy(std::vector<int>{}, std::vector<int>{}), 0.0);
+}
+
+TEST(MetricsTest, AccuracyValidatesSizes) {
+  EXPECT_THROW(Accuracy(std::vector<int>{1}, std::vector<int>{1, 2}),
+               CheckError);
+}
+
+TEST(MetricsTest, ConfusionMatrixTallies) {
+  const std::vector<int> pred{0, 1, 1, 2, 0};
+  const std::vector<int> truth{0, 1, 2, 2, 1};
+  const auto cm = ConfusionMatrix(pred, truth, 3);
+  EXPECT_EQ(cm(0, 0), 1u);
+  EXPECT_EQ(cm(1, 1), 1u);
+  EXPECT_EQ(cm(1, 0), 1u);
+  EXPECT_EQ(cm(2, 1), 1u);
+  EXPECT_EQ(cm(2, 2), 1u);
+  EXPECT_EQ(cm(0, 1), 0u);
+}
+
+TEST(MetricsTest, ConfusionMatrixRejectsOutOfRangeLabels) {
+  const std::vector<int> pred{3};
+  const std::vector<int> truth{0};
+  EXPECT_THROW(ConfusionMatrix(pred, truth, 3), CheckError);
+}
+
+TEST(MetricsTest, PerClassRecallFromConfusion) {
+  Matrix<std::size_t> cm(2, 2, 0);
+  cm(0, 0) = 8;
+  cm(0, 1) = 2;
+  cm(1, 0) = 5;
+  cm(1, 1) = 5;
+  const auto recall = PerClassRecall(cm);
+  EXPECT_DOUBLE_EQ(recall[0], 0.8);
+  EXPECT_DOUBLE_EQ(recall[1], 0.5);
+}
+
+TEST(MetricsTest, PerClassRecallHandlesEmptyRows) {
+  Matrix<std::size_t> cm(2, 2, 0);
+  cm(0, 0) = 3;
+  const auto recall = PerClassRecall(cm);
+  EXPECT_DOUBLE_EQ(recall[0], 1.0);
+  EXPECT_DOUBLE_EQ(recall[1], 0.0);
+}
+
+TEST(MetricsTest, PerClassRecallRequiresSquare) {
+  Matrix<std::size_t> cm(2, 3, 0);
+  EXPECT_THROW(PerClassRecall(cm), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::nn

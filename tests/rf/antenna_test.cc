@@ -1,0 +1,51 @@
+#include "rf/antenna.h"
+
+#include <gtest/gtest.h>
+
+#include "rf/geometry.h"
+
+namespace metaai::rf {
+namespace {
+
+TEST(AntennaTest, OmniIsUnityEverywhere) {
+  const Antenna omni(AntennaType::kOmni);
+  for (double deg = 0.0; deg <= 180.0; deg += 15.0) {
+    EXPECT_DOUBLE_EQ(omni.Gain(DegToRad(deg)), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(omni.DiffuseGain(), 1.0);
+}
+
+TEST(AntennaTest, DirectionalPeaksAtBoresight) {
+  const Antenna dire(AntennaType::kDirectional);
+  EXPECT_GT(dire.Gain(0.0), 1.0);
+  EXPECT_GT(dire.Gain(0.0), dire.Gain(DegToRad(30.0)));
+  EXPECT_GT(dire.Gain(DegToRad(30.0)), dire.Gain(DegToRad(60.0)));
+}
+
+TEST(AntennaTest, DirectionalHalfPowerAtHalfBeamwidth) {
+  const Antenna dire(AntennaType::kDirectional, /*beamwidth_deg=*/40.0,
+                     /*peak_gain=*/4.0);
+  EXPECT_NEAR(dire.Gain(DegToRad(20.0)), 2.0, 1e-9);
+}
+
+TEST(AntennaTest, DirectionalHasSidelobeFloor) {
+  const Antenna dire(AntennaType::kDirectional, 40.0, 4.0, 0.05);
+  EXPECT_DOUBLE_EQ(dire.Gain(DegToRad(180.0)), 0.05);
+}
+
+TEST(AntennaTest, DirectionalSuppressesDiffuseScatter) {
+  const Antenna dire(AntennaType::kDirectional);
+  // Mean gain over all arrival directions is far below boresight gain and
+  // below unity: directional antennas attenuate multipath.
+  EXPECT_LT(dire.DiffuseGain(), 1.0);
+  EXPECT_LT(dire.DiffuseGain(), dire.Gain(0.0));
+  EXPECT_GT(dire.DiffuseGain(), 0.0);
+}
+
+TEST(AntennaTest, NamesMatchPaperLabels) {
+  EXPECT_EQ(AntennaName(AntennaType::kOmni), "Omni");
+  EXPECT_EQ(AntennaName(AntennaType::kDirectional), "Dire");
+}
+
+}  // namespace
+}  // namespace metaai::rf

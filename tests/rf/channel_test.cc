@@ -1,0 +1,131 @@
+#include "rf/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "rf/geometry.h"
+
+namespace metaai::rf {
+namespace {
+
+TEST(ChannelTest, FriisAmplitudeFallsWithDistance) {
+  const double lambda = Wavelength(5.25e9);
+  const double a1 = FriisAmplitude(1.0, lambda);
+  const double a2 = FriisAmplitude(2.0, lambda);
+  EXPECT_NEAR(a1 / a2, 2.0, 1e-12);
+  EXPECT_NEAR(a1, lambda / (4.0 * M_PI), 1e-15);
+}
+
+TEST(ChannelTest, ProfilesAreOrderedByRichness) {
+  // Corridor is the cleanest environment, laboratory the richest.
+  EXPECT_GT(CorridorProfile().k_factor_db, OfficeProfile().k_factor_db);
+  EXPECT_GT(OfficeProfile().k_factor_db, LaboratoryProfile().k_factor_db);
+  EXPECT_LT(CorridorProfile().num_scatter_paths,
+            LaboratoryProfile().num_scatter_paths);
+}
+
+TEST(ChannelTest, DirectTapMatchesRequestedAmplitude) {
+  Rng rng(3);
+  MultipathChannel ch(CorridorProfile(), 0.01, 1.0, rng);
+  ASSERT_FALSE(ch.taps().empty());
+  EXPECT_NEAR(std::abs(ch.taps()[0].gain), 0.01, 1e-15);
+  EXPECT_DOUBLE_EQ(ch.taps()[0].delay_s, 0.0);
+}
+
+TEST(ChannelTest, ScatterPowerMatchesKFactorOnAverage) {
+  // Average scattered power over many realizations should be
+  // direct_power / 10^(K/10).
+  const MultipathProfile profile = OfficeProfile();
+  const double direct = 0.02;
+  Rng rng(5);
+  std::vector<double> ratios;
+  for (int trial = 0; trial < 400; ++trial) {
+    MultipathChannel ch(profile, direct, 1.0, rng);
+    double scatter_power = 0.0;
+    for (std::size_t i = 1; i < ch.taps().size(); ++i) {
+      scatter_power += std::norm(ch.taps()[i].gain);
+    }
+    ratios.push_back(scatter_power / (direct * direct));
+  }
+  EXPECT_NEAR(Mean(ratios), DbToLinear(-profile.k_factor_db), 0.02);
+}
+
+TEST(ChannelTest, DiffuseGainScalesScatterOnly) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  MultipathChannel full(OfficeProfile(), 0.01, 1.0, rng_a);
+  MultipathChannel suppressed(OfficeProfile(), 0.01, 0.25, rng_b);
+  // Same RNG stream, so taps differ only by the sqrt(0.25) power scale.
+  ASSERT_EQ(full.taps().size(), suppressed.taps().size());
+  EXPECT_NEAR(std::abs(suppressed.taps()[0].gain),
+              std::abs(full.taps()[0].gain), 1e-15);
+  for (std::size_t i = 1; i < full.taps().size(); ++i) {
+    EXPECT_NEAR(std::abs(suppressed.taps()[i].gain) /
+                    std::abs(full.taps()[i].gain),
+                0.5, 1e-9);
+  }
+}
+
+TEST(ChannelTest, NlosChannelHasNoDirectPath) {
+  Rng rng(9);
+  MultipathChannel ch(LaboratoryProfile(), 0.0, 1.0, rng,
+                      /*nlos_reference_amplitude=*/0.01);
+  EXPECT_DOUBLE_EQ(std::abs(ch.taps()[0].gain), 0.0);
+  double scatter_power = 0.0;
+  for (std::size_t i = 1; i < ch.taps().size(); ++i) {
+    scatter_power += std::norm(ch.taps()[i].gain);
+  }
+  EXPECT_GT(scatter_power, 0.0);
+}
+
+TEST(ChannelTest, FlatResponseIsSumOfTapGains) {
+  Rng rng(11);
+  MultipathChannel ch(CorridorProfile(), 0.01, 1.0, rng);
+  Complex sum{0.0, 0.0};
+  for (const PathTap& tap : ch.taps()) sum += tap.gain;
+  EXPECT_NEAR(std::abs(ch.Response() - sum), 0.0, 1e-15);
+}
+
+TEST(ChannelTest, FrequencySelectivityRotatesDelayedTaps) {
+  Rng rng(13);
+  MultipathChannel ch(LaboratoryProfile(), 0.01, 1.0, rng);
+  // Responses at different frequency offsets differ when delayed taps
+  // exist (frequency-selective fading).
+  const Complex h0 = ch.Response(0.0);
+  const Complex h1 = ch.Response(5e6);
+  EXPECT_GT(std::abs(h0 - h1), 1e-9);
+  // But the direct path is unaffected: scatter-only responses rotate.
+  const Complex s0 = ch.ScatterResponse(0.0);
+  EXPECT_NEAR(std::abs((h0 - s0) - ch.taps()[0].gain), 0.0, 1e-12);
+}
+
+TEST(ChannelTest, DynamicTapAffectsScatterResponse) {
+  Rng rng(17);
+  MultipathChannel ch(CorridorProfile(), 0.01, 1.0, rng);
+  const Complex before = ch.ScatterResponse();
+  ch.SetDynamicTap({Complex{0.005, 0.0}, 50e-9});
+  const Complex during = ch.ScatterResponse();
+  EXPECT_NEAR(std::abs(during - before - Complex{0.005, 0.0}), 0.0, 1e-12);
+  ch.ClearDynamicTap();
+  EXPECT_NEAR(std::abs(ch.ScatterResponse() - before), 0.0, 1e-15);
+}
+
+TEST(ChannelTest, MaxExcessDelayCoversAllTaps) {
+  Rng rng(19);
+  MultipathChannel ch(OfficeProfile(), 0.01, 1.0, rng);
+  double max_delay = 0.0;
+  for (const PathTap& tap : ch.taps()) {
+    max_delay = std::max(max_delay, tap.delay_s);
+  }
+  EXPECT_DOUBLE_EQ(ch.MaxExcessDelay(), max_delay);
+  ch.SetDynamicTap({Complex{0.001, 0.0}, max_delay + 1e-6});
+  EXPECT_DOUBLE_EQ(ch.MaxExcessDelay(), max_delay + 1e-6);
+}
+
+}  // namespace
+}  // namespace metaai::rf

@@ -1,0 +1,109 @@
+#include "rf/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace metaai::rf {
+namespace {
+
+TEST(FftTest, IsPowerOfTwoClassifier) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1000));
+}
+
+TEST(FftTest, ImpulseTransformsToFlatSpectrum) {
+  Signal x(8, Complex{0.0, 0.0});
+  x[0] = Complex{1.0, 0.0};
+  Fft(x);
+  for (const Complex& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleToneLandsInOneBin) {
+  constexpr std::size_t kN = 16;
+  constexpr std::size_t kBin = 3;
+  Signal x(kN);
+  for (std::size_t n = 0; n < kN; ++n) {
+    const double phase = 2.0 * M_PI * kBin * n / kN;
+    x[n] = Complex{std::cos(phase), std::sin(phase)};
+  }
+  Fft(x);
+  for (std::size_t k = 0; k < kN; ++k) {
+    if (k == kBin) {
+      EXPECT_NEAR(std::abs(x[k]), static_cast<double>(kN), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(FftTest, RoundTripRecoversInput) {
+  Rng rng(7);
+  for (const std::size_t n : {2u, 8u, 64u, 256u}) {
+    Signal x(n);
+    for (Complex& v : x) v = rng.ComplexNormal(1.0);
+    Signal original = x;
+    Fft(x);
+    Ifft(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(x[i] - original[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(11);
+  constexpr std::size_t kN = 128;
+  Signal x(kN);
+  double time_energy = 0.0;
+  for (Complex& v : x) {
+    v = rng.ComplexNormal(1.0);
+    time_energy += std::norm(v);
+  }
+  Fft(x);
+  double freq_energy = 0.0;
+  for (const Complex& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / kN, time_energy, 1e-6);
+}
+
+TEST(FftTest, LinearityHolds) {
+  Rng rng(13);
+  constexpr std::size_t kN = 32;
+  Signal a(kN);
+  Signal b(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    a[i] = rng.ComplexNormal(1.0);
+    b[i] = rng.ComplexNormal(1.0);
+  }
+  Signal sum(kN);
+  for (std::size_t i = 0; i < kN; ++i) sum[i] = a[i] + 2.0 * b[i];
+  Signal fa = a;
+  Signal fb = b;
+  Signal fsum = sum;
+  Fft(fa);
+  Fft(fb);
+  Fft(fsum);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_NEAR(std::abs(fsum[i] - (fa[i] + 2.0 * fb[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(FftTest, NonPowerOfTwoThrows) {
+  Signal x(3);
+  EXPECT_THROW(Fft(x), CheckError);
+  EXPECT_THROW(Ifft(x), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::rf

@@ -1,0 +1,76 @@
+#include "rf/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace metaai::rf {
+namespace {
+
+TEST(GeometryTest, WavelengthAndWaveNumber) {
+  EXPECT_NEAR(Wavelength(5.25e9), 0.0571, 1e-4);
+  EXPECT_NEAR(Wavelength(2.4e9), 0.1249, 1e-4);
+  EXPECT_NEAR(WaveNumber(5.25e9), 2.0 * M_PI / Wavelength(5.25e9), 1e-9);
+}
+
+TEST(GeometryTest, DegreesRadiansRoundTrip) {
+  for (const double deg : {-180.0, -30.0, 0.0, 45.0, 90.0, 360.0}) {
+    EXPECT_NEAR(RadToDeg(DegToRad(deg)), deg, 1e-12);
+  }
+  EXPECT_NEAR(DegToRad(180.0), M_PI, 1e-12);
+}
+
+TEST(GeometryTest, Vec3Arithmetic) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-1.0, 0.5, 2.0};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 0.0);
+  EXPECT_DOUBLE_EQ(sum.y, 2.5);
+  EXPECT_DOUBLE_EQ(sum.z, 5.0);
+  const Vec3 diff = a - b;
+  EXPECT_DOUBLE_EQ(diff.x, 2.0);
+  const Vec3 scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled.z, 6.0);
+  EXPECT_DOUBLE_EQ(a.Dot(b), -1.0 + 1.0 + 6.0);
+}
+
+TEST(GeometryTest, NormAndNormalized) {
+  const Vec3 v{3.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  const Vec3 unit = v.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-12);
+  EXPECT_NEAR(unit.x, 0.6, 1e-12);
+  // Zero vector normalizes to zero (no NaN).
+  const Vec3 zero{};
+  const Vec3 n = zero.Normalized();
+  EXPECT_DOUBLE_EQ(n.Norm(), 0.0);
+}
+
+TEST(GeometryTest, DistanceIsSymmetricAndPositive) {
+  const Vec3 a{1.0, 1.0, 0.0};
+  const Vec3 b{4.0, 5.0, 0.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(b, a), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+}
+
+TEST(GeometryTest, AngleBetweenKnownVectors) {
+  const Vec3 x{1.0, 0.0, 0.0};
+  const Vec3 y{0.0, 1.0, 0.0};
+  EXPECT_NEAR(AngleBetween(x, y), M_PI / 2.0, 1e-12);
+  EXPECT_NEAR(AngleBetween(x, x), 0.0, 1e-7);
+  EXPECT_NEAR(AngleBetween(x, x * -1.0), M_PI, 1e-7);
+  // Degenerate zero vector -> 0 by convention.
+  EXPECT_DOUBLE_EQ(AngleBetween(x, Vec3{}), 0.0);
+}
+
+TEST(GeometryTest, PolarPlacesPointsOnTheCircle) {
+  const Vec3 p = Polar(2.0, DegToRad(30.0), 1.1);
+  EXPECT_NEAR(p.x, 2.0 * std::cos(DegToRad(30.0)), 1e-12);
+  EXPECT_NEAR(p.y, 2.0 * std::sin(DegToRad(30.0)), 1e-12);
+  EXPECT_DOUBLE_EQ(p.z, 1.1);
+  EXPECT_NEAR(Polar(3.0, 0.0).x, 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace metaai::rf

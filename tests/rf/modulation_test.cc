@@ -1,0 +1,157 @@
+#include "rf/modulation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "rf/signal.h"
+
+namespace metaai::rf {
+namespace {
+
+class ModulationRoundTrip : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(ModulationRoundTrip, BitsSurviveModDemod) {
+  const Modulation scheme = GetParam();
+  const int bps = BitsPerSymbol(scheme);
+  Rng rng(101);
+  std::vector<std::uint8_t> bits(static_cast<std::size_t>(bps) * 64);
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng.UniformInt(0, 1));
+  const Signal symbols = ModulateBits(bits, scheme);
+  EXPECT_EQ(symbols.size(), bits.size() / static_cast<std::size_t>(bps));
+  const auto recovered = DemodulateSymbols(symbols, scheme);
+  EXPECT_EQ(recovered, bits);
+}
+
+TEST_P(ModulationRoundTrip, ConstellationHasUnitAveragePower) {
+  const Modulation scheme = GetParam();
+  const unsigned levels = 1u << BitsPerSymbol(scheme);
+  double power = 0.0;
+  for (unsigned level = 0; level < levels; ++level) {
+    power += std::norm(SymbolForLevel(level, scheme));
+  }
+  EXPECT_NEAR(power / levels, 1.0, 1e-12);
+}
+
+TEST_P(ModulationRoundTrip, LevelRoundTripsThroughSymbol) {
+  const Modulation scheme = GetParam();
+  const unsigned levels = 1u << BitsPerSymbol(scheme);
+  for (unsigned level = 0; level < levels; ++level) {
+    EXPECT_EQ(LevelForSymbol(SymbolForLevel(level, scheme), scheme), level);
+  }
+}
+
+TEST_P(ModulationRoundTrip, SymbolsAreDistinct) {
+  const Modulation scheme = GetParam();
+  const unsigned levels = 1u << BitsPerSymbol(scheme);
+  for (unsigned a = 0; a < levels; ++a) {
+    for (unsigned b = a + 1; b < levels; ++b) {
+      EXPECT_GT(std::abs(SymbolForLevel(a, scheme) -
+                         SymbolForLevel(b, scheme)),
+                1e-6);
+    }
+  }
+}
+
+TEST_P(ModulationRoundTrip, DemodToleratesSmallNoise) {
+  const Modulation scheme = GetParam();
+  const unsigned levels = 1u << BitsPerSymbol(scheme);
+  // Perturb by much less than half the minimum constellation distance.
+  double min_dist = 1e9;
+  for (unsigned a = 0; a < levels; ++a) {
+    for (unsigned b = a + 1; b < levels; ++b) {
+      min_dist = std::min(min_dist, std::abs(SymbolForLevel(a, scheme) -
+                                             SymbolForLevel(b, scheme)));
+    }
+  }
+  for (unsigned level = 0; level < levels; ++level) {
+    const Complex noisy = SymbolForLevel(level, scheme) +
+                          Complex{min_dist / 4.0, -min_dist / 4.0};
+    EXPECT_EQ(LevelForSymbol(noisy, scheme), level);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ModulationRoundTrip,
+                         ::testing::Values(Modulation::kBpsk,
+                                           Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64,
+                                           Modulation::kQam256),
+                         [](const auto& info) {
+                           std::string name = ModulationName(info.param);
+                           std::erase(name, '-');
+                           return name;
+                         });
+
+TEST(ModulationTest, BitsPerSymbolValues) {
+  EXPECT_EQ(BitsPerSymbol(Modulation::kBpsk), 1);
+  EXPECT_EQ(BitsPerSymbol(Modulation::kQpsk), 2);
+  EXPECT_EQ(BitsPerSymbol(Modulation::kQam16), 4);
+  EXPECT_EQ(BitsPerSymbol(Modulation::kQam64), 6);
+  EXPECT_EQ(BitsPerSymbol(Modulation::kQam256), 8);
+}
+
+TEST(ModulationTest, NamesAreHumanReadable) {
+  EXPECT_EQ(ModulationName(Modulation::kBpsk), "BPSK");
+  EXPECT_EQ(ModulationName(Modulation::kQam256), "256-QAM");
+}
+
+TEST(ModulationTest, AllModulationsListsFiveSchemes) {
+  EXPECT_EQ(AllModulations().size(), 5u);
+}
+
+TEST(ModulationTest, BpskIsAntipodal) {
+  const Complex zero = SymbolForLevel(0, Modulation::kBpsk);
+  const Complex one = SymbolForLevel(1, Modulation::kBpsk);
+  EXPECT_NEAR(std::abs(zero + one), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(zero), 1.0, 1e-12);
+}
+
+TEST(ModulationTest, GrayMappingAdjacentLevelsDifferByOneBit) {
+  // For 16-QAM, walking one step along the I axis must flip exactly one
+  // bit — the defining property of Gray mapping.
+  const Modulation scheme = Modulation::kQam16;
+  // Collect symbols with identical Q and increasing I.
+  std::vector<unsigned> levels_on_axis;
+  for (unsigned level = 0; level < 16; ++level) {
+    const Complex s = SymbolForLevel(level, scheme);
+    if (std::abs(s.imag() - SymbolForLevel(0, scheme).imag()) < 1e-9) {
+      levels_on_axis.push_back(level);
+    }
+  }
+  ASSERT_EQ(levels_on_axis.size(), 4u);
+  // Sort by I coordinate.
+  std::sort(levels_on_axis.begin(), levels_on_axis.end(),
+            [&](unsigned a, unsigned b) {
+              return SymbolForLevel(a, scheme).real() <
+                     SymbolForLevel(b, scheme).real();
+            });
+  for (std::size_t i = 0; i + 1 < levels_on_axis.size(); ++i) {
+    const unsigned diff = levels_on_axis[i] ^ levels_on_axis[i + 1];
+    EXPECT_EQ(__builtin_popcount(diff), 1);
+  }
+}
+
+TEST(ModulationTest, ModulateRejectsPartialSymbols) {
+  const std::vector<std::uint8_t> bits{1, 0, 1};
+  EXPECT_THROW(ModulateBits(bits, Modulation::kQpsk), CheckError);
+}
+
+TEST(ModulationTest, ModulateRejectsNonBinaryInput) {
+  const std::vector<std::uint8_t> bits{2, 0};
+  EXPECT_THROW(ModulateBits(bits, Modulation::kQpsk), CheckError);
+}
+
+TEST(ModulationTest, SymbolForLevelRejectsOutOfRange) {
+  EXPECT_THROW(SymbolForLevel(2, Modulation::kBpsk), CheckError);
+  EXPECT_THROW(SymbolForLevel(256, Modulation::kQam256), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::rf

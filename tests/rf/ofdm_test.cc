@@ -1,0 +1,95 @@
+#include "rf/ofdm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace metaai::rf {
+namespace {
+
+OfdmConfig SmallConfig() {
+  return {.num_subcarriers = 16,
+          .cyclic_prefix_len = 4,
+          .subcarrier_spacing_hz = 40e3};
+}
+
+TEST(OfdmTest, SymbolLengthIncludesCyclicPrefix) {
+  Ofdm ofdm(SmallConfig());
+  EXPECT_EQ(ofdm.SymbolLength(), 20u);
+}
+
+TEST(OfdmTest, RoundTripRecoversSubcarrierSymbols) {
+  Ofdm ofdm(SmallConfig());
+  Rng rng(5);
+  Signal subcarriers(16);
+  for (Complex& s : subcarriers) s = rng.ComplexNormal(1.0);
+  const Signal time = ofdm.Modulate(subcarriers);
+  const Signal recovered = ofdm.Demodulate(time);
+  ASSERT_EQ(recovered.size(), subcarriers.size());
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_NEAR(std::abs(recovered[k] - subcarriers[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(OfdmTest, CyclicPrefixIsTailCopy) {
+  Ofdm ofdm(SmallConfig());
+  Rng rng(6);
+  Signal subcarriers(16);
+  for (Complex& s : subcarriers) s = rng.ComplexNormal(1.0);
+  const Signal time = ofdm.Modulate(subcarriers);
+  // CP samples equal the last cp_len samples of the body.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(time[i] - time[16 + i]), 0.0, 1e-12);
+  }
+}
+
+TEST(OfdmTest, CyclicPrefixAbsorbsChannelDelay) {
+  // A pure delay by fewer samples than the CP becomes a per-subcarrier
+  // phase rotation with no inter-symbol interference: |H_k| == 1.
+  Ofdm ofdm(SmallConfig());
+  Rng rng(7);
+  Signal subcarriers(16);
+  for (Complex& s : subcarriers) s = rng.ComplexNormal(1.0);
+  const Signal time = ofdm.Modulate(subcarriers);
+  constexpr std::size_t kDelay = 3;
+  // Received window starts kDelay samples late within the CP.
+  Signal delayed(ofdm.SymbolLength());
+  for (std::size_t i = 0; i < delayed.size(); ++i) {
+    // Cyclic continuation: the "previous symbol" region is never read
+    // because the window still starts inside the CP.
+    delayed[i] = time[(i + ofdm.SymbolLength() - kDelay) %
+                      ofdm.SymbolLength()];
+  }
+  const Signal recovered = ofdm.Demodulate(delayed);
+  for (std::size_t k = 0; k < 16; ++k) {
+    EXPECT_NEAR(std::abs(recovered[k]), std::abs(subcarriers[k]), 1e-9);
+  }
+}
+
+TEST(OfdmTest, SubcarrierOffsetsAreCentred) {
+  Ofdm ofdm(SmallConfig());
+  EXPECT_DOUBLE_EQ(ofdm.SubcarrierOffsetHz(0), 0.0);
+  EXPECT_DOUBLE_EQ(ofdm.SubcarrierOffsetHz(1), 40e3);
+  EXPECT_DOUBLE_EQ(ofdm.SubcarrierOffsetHz(8), -8 * 40e3);
+  EXPECT_DOUBLE_EQ(ofdm.SubcarrierOffsetHz(15), -40e3);
+}
+
+TEST(OfdmTest, ValidatesConfiguration) {
+  EXPECT_THROW(Ofdm({.num_subcarriers = 12, .cyclic_prefix_len = 2}),
+               CheckError);
+  EXPECT_THROW(Ofdm({.num_subcarriers = 16, .cyclic_prefix_len = 16}),
+               CheckError);
+}
+
+TEST(OfdmTest, ValidatesBufferSizes) {
+  Ofdm ofdm(SmallConfig());
+  EXPECT_THROW(ofdm.Modulate(Signal(8)), CheckError);
+  EXPECT_THROW(ofdm.Demodulate(Signal(16)), CheckError);
+  EXPECT_THROW(ofdm.SubcarrierOffsetHz(16), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::rf

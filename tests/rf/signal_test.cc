@@ -1,0 +1,66 @@
+#include "rf/signal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace metaai::rf {
+namespace {
+
+TEST(SignalTest, AveragePowerOfKnownSignal) {
+  const Signal s{Complex{1.0, 0.0}, Complex{0.0, 2.0}};
+  EXPECT_DOUBLE_EQ(AveragePower(s), 2.5);
+}
+
+TEST(SignalTest, AveragePowerOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePower(Signal{}), 0.0);
+}
+
+TEST(SignalTest, DbConversionsRoundTrip) {
+  EXPECT_NEAR(DbToLinear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(DbToLinear(3.0), 1.9953, 1e-4);
+  EXPECT_NEAR(LinearToDb(100.0), 20.0, 1e-12);
+  for (const double db : {-20.0, -3.0, 0.0, 7.5, 30.0}) {
+    EXPECT_NEAR(LinearToDb(DbToLinear(db)), db, 1e-12);
+  }
+}
+
+TEST(SignalTest, NoiseVarianceMatchesSnrDefinition) {
+  EXPECT_NEAR(NoiseVariance(1.0, 10.0), 0.1, 1e-12);
+  EXPECT_NEAR(NoiseVariance(4.0, 0.0), 4.0, 1e-12);
+}
+
+TEST(SignalTest, AddAwgnProducesRequestedSnr) {
+  Rng rng(33);
+  constexpr double kSnrDb = 10.0;
+  Signal clean(20000, Complex{1.0, 0.0});
+  Signal noisy = clean;
+  AddAwgn(noisy, /*signal_power=*/1.0, kSnrDb, rng);
+  double noise_power = 0.0;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    noise_power += std::norm(noisy[i] - clean[i]);
+  }
+  noise_power /= static_cast<double>(noisy.size());
+  EXPECT_NEAR(noise_power, 0.1, 0.005);
+}
+
+TEST(SignalTest, HigherSnrMeansLessNoise) {
+  Rng rng_a(35);
+  Rng rng_b(35);
+  Signal a(5000, Complex{1.0, 0.0});
+  Signal b = a;
+  AddAwgn(a, 1.0, 5.0, rng_a);
+  AddAwgn(b, 1.0, 25.0, rng_b);
+  double pa = 0.0;
+  double pb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    pa += std::norm(a[i] - Complex{1.0, 0.0});
+    pb += std::norm(b[i] - Complex{1.0, 0.0});
+  }
+  EXPECT_GT(pa, pb * 10.0);
+}
+
+}  // namespace
+}  // namespace metaai::rf

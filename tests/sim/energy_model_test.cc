@@ -1,0 +1,90 @@
+#include "sim/energy_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace metaai::sim {
+namespace {
+
+// The paper's MNIST rows use 28x28 = 784 pixels, AFHQ rows 2704 pixels.
+constexpr std::size_t kMnistPixels = 784;
+constexpr std::size_t kAfhqPixels = 2704;
+
+TEST(EnergyModelTest, ReproducesTable2TransmissionColumn) {
+  EnergyModel model;
+  const auto cpu = model.DigitalRow("CPU", "LNN", kMnistPixels);
+  EXPECT_NEAR(cpu.transmission_ms, 0.157, 0.002);
+  EXPECT_NEAR(cpu.transmission_mj, 0.856, 0.01);
+  const auto metaai = model.MetaAiRow(kMnistPixels, 10, 5);
+  EXPECT_NEAR(metaai.transmission_ms, 1.568, 0.001);
+  EXPECT_NEAR(metaai.transmission_mj, 8.561, 0.05);
+}
+
+TEST(EnergyModelTest, ReproducesTable2ServerColumns) {
+  EnergyModel model;
+  const auto cpu_resnet = model.DigitalRow("CPU", "ResNet-18", kMnistPixels);
+  EXPECT_NEAR(cpu_resnet.server_compute_ms, 7.71, 0.1);
+  EXPECT_NEAR(cpu_resnet.server_compute_mj, 227.37, 5.0);
+  const auto gpu_lnn = model.DigitalRow("4080 GPU", "LNN", kMnistPixels);
+  EXPECT_NEAR(gpu_lnn.server_compute_ms, 3.99, 0.05);
+  EXPECT_NEAR(gpu_lnn.server_compute_mj, 124.7, 3.0);
+}
+
+TEST(EnergyModelTest, ReproducesTable2MtsEnergy) {
+  EnergyModel model;
+  const auto metaai = model.MetaAiRow(kMnistPixels, 10, 5);
+  EXPECT_NEAR(metaai.mts_mj, 2.353, 0.05);
+  EXPECT_NEAR(metaai.total_mj, 10.92, 0.2);
+  EXPECT_NEAR(metaai.total_ms, 1.581, 0.01);
+}
+
+TEST(EnergyModelTest, ReproducesTable3AfhqRows) {
+  EnergyModel model;
+  const auto cpu_lnn = model.DigitalRow("CPU", "LNN", kAfhqPixels);
+  EXPECT_NEAR(cpu_lnn.server_compute_ms, 4.621, 0.1);
+  // Note: the paper's 0.901 ms implies ~4.5 kB raw images (its AFHQ crop
+  // is larger than the 2704-pixel count implied by its MetaAI row); our
+  // model uses the consistent 2704-pixel value.
+  EXPECT_NEAR(cpu_lnn.transmission_ms, 0.541, 0.002);
+  const auto metaai = model.MetaAiRow(kAfhqPixels, 3, 3);
+  EXPECT_NEAR(metaai.transmission_ms, 2.704, 0.001);
+  EXPECT_NEAR(metaai.mts_mj, 4.054, 0.06);
+  EXPECT_NEAR(metaai.total_mj, 18.82, 0.5);
+}
+
+TEST(EnergyModelTest, MetaAiWinsOnEnergyAndLatencyShape) {
+  // The headline claims: MetaAI total energy ~5.8x below the best digital
+  // baseline (CPU LNN) and ~16.7x below GPU ResNet-18 on MNIST; total
+  // latency below the CPU LNN pipeline.
+  EnergyModel model;
+  const auto metaai = model.MetaAiRow(kMnistPixels, 10, 5);
+  const auto cpu_lnn = model.DigitalRow("CPU", "LNN", kMnistPixels);
+  const auto gpu_resnet =
+      model.DigitalRow("4080 GPU", "ResNet-18", kMnistPixels);
+  EXPECT_NEAR(cpu_lnn.total_mj / metaai.total_mj, 5.8, 0.6);
+  EXPECT_NEAR(gpu_resnet.total_mj / metaai.total_mj, 16.7, 1.5);
+  EXPECT_LT(metaai.total_ms, cpu_lnn.total_ms);
+  // Server-side compute is orders of magnitude below any digital row.
+  EXPECT_LT(metaai.server_compute_mj * 1000.0, cpu_lnn.server_compute_mj);
+}
+
+TEST(EnergyModelTest, MoreParallelismMeansFewerRounds) {
+  EnergyModel model;
+  const auto serial = model.MetaAiRow(256, 10, 1);
+  const auto parallel = model.MetaAiRow(256, 10, 10);
+  EXPECT_NEAR(serial.transmission_ms / parallel.transmission_ms, 10.0, 1e-9);
+  EXPECT_GT(serial.mts_mj, parallel.mts_mj);
+}
+
+TEST(EnergyModelTest, ValidatesArguments) {
+  EnergyModel model;
+  EXPECT_THROW(model.DigitalRow("TPU", "LNN", 100), CheckError);
+  EXPECT_THROW(model.DigitalRow("CPU", "VGG", 100), CheckError);
+  EXPECT_THROW(model.DigitalRow("CPU", "LNN", 0), CheckError);
+  EXPECT_THROW(model.MetaAiRow(100, 10, 11), CheckError);
+  EXPECT_THROW(model.MetaAiRow(100, 0, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::sim

@@ -1,0 +1,110 @@
+#include "sim/environment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace metaai::sim {
+namespace {
+
+TEST(EnvironmentTest, RegionNamesMatchFig26) {
+  EXPECT_EQ(InterfererRegionName(InterfererRegion::kNone), "none");
+  EXPECT_EQ(InterfererRegionName(InterfererRegion::kR1), "R1");
+  EXPECT_EQ(InterfererRegionName(InterfererRegion::kR4), "R4");
+}
+
+TEST(EnvironmentTest, NoInterfererMeansZeroTapAndUnitGain) {
+  Rng rng(1);
+  DynamicInterferer none(InterfererRegion::kNone, 1e-3, 0.05, rng);
+  EXPECT_DOUBLE_EQ(none.MtsPathGain(), 1.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(std::abs(none.NextSymbolTap(rng)), 0.0);
+  }
+}
+
+TEST(EnvironmentTest, OnlyR4BlocksTheMtsPath) {
+  Rng rng(2);
+  for (const auto region : {InterfererRegion::kR1, InterfererRegion::kR2,
+                            InterfererRegion::kR3}) {
+    DynamicInterferer interferer(region, 1e-3, 0.05, rng);
+    for (int i = 0; i < 500; ++i) {
+      interferer.NextSymbolTap(rng);
+      EXPECT_DOUBLE_EQ(interferer.MtsPathGain(), 1.0);
+    }
+  }
+  // R4: intermittent deep shadowing — both states occur over time, and
+  // the blocked fraction is around the configured ~20%.
+  DynamicInterferer r4(InterfererRegion::kR4, 1e-3, 0.05, rng);
+  int blocked = 0;
+  constexpr int kSymbols = 60000;
+  for (int i = 0; i < kSymbols; ++i) {
+    r4.NextSymbolTap(rng);
+    blocked += (r4.MtsPathGain() < 1.0);
+  }
+  const double fraction = static_cast<double>(blocked) / kSymbols;
+  EXPECT_GT(fraction, 0.08);
+  EXPECT_LT(fraction, 0.40);
+}
+
+TEST(EnvironmentTest, R4ShadowingComesInBursts) {
+  // Blocked symbols are contiguous runs (a body takes many symbol
+  // periods to cross the beam), not independent coin flips.
+  Rng rng(7);
+  DynamicInterferer r4(InterfererRegion::kR4, 1e-3, 0.05, rng);
+  int transitions = 0;
+  int blocked = 0;
+  bool prev = false;
+  constexpr int kSymbols = 60000;
+  for (int i = 0; i < kSymbols; ++i) {
+    r4.NextSymbolTap(rng);
+    const bool now = r4.MtsPathGain() < 1.0;
+    transitions += (now != prev);
+    blocked += now;
+    prev = now;
+  }
+  // Mean burst length far above 1 symbol.
+  ASSERT_GT(transitions, 0);
+  EXPECT_GT(static_cast<double>(blocked) / transitions, 10.0);
+}
+
+TEST(EnvironmentTest, TapDriftsSlowlyAcrossSymbols) {
+  Rng rng(3);
+  DynamicInterferer interferer(InterfererRegion::kR2, 1e-3, 0.05, rng);
+  rf::Complex prev = interferer.NextSymbolTap(rng);
+  for (int i = 0; i < 100; ++i) {
+    const rf::Complex tap = interferer.NextSymbolTap(rng);
+    // Per-symbol change is a small fraction of the tap magnitude.
+    EXPECT_LT(std::abs(tap - prev), 0.3 * 1e-3);
+    prev = tap;
+  }
+}
+
+TEST(EnvironmentTest, TapMagnitudeStaysBounded) {
+  Rng rng(4);
+  DynamicInterferer interferer(InterfererRegion::kR4, 1e-3, 0.2, rng);
+  for (int i = 0; i < 2000; ++i) {
+    const double mag = std::abs(interferer.NextSymbolTap(rng));
+    EXPECT_LE(mag, 2.0 * 0.55e-3 + 1e-9);
+  }
+}
+
+TEST(EnvironmentTest, StrongerRegionsProduceStrongerTaps) {
+  Rng rng(5);
+  DynamicInterferer r1(InterfererRegion::kR1, 1e-3, 0.0, rng);
+  DynamicInterferer r4(InterfererRegion::kR4, 1e-3, 0.0, rng);
+  EXPECT_LT(std::abs(r1.NextSymbolTap(rng)), std::abs(r4.NextSymbolTap(rng)));
+}
+
+TEST(EnvironmentTest, ValidatesArguments) {
+  Rng rng(6);
+  EXPECT_THROW(DynamicInterferer(InterfererRegion::kR1, -1.0, 0.05, rng),
+               CheckError);
+  EXPECT_THROW(DynamicInterferer(InterfererRegion::kR1, 1.0, -0.05, rng),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::sim

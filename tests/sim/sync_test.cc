@@ -1,0 +1,66 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace metaai::sim {
+namespace {
+
+TEST(SyncTest, ModeNamesMatchFig16Labels) {
+  EXPECT_EQ(SyncModeName(SyncMode::kNone), "w/o sync");
+  EXPECT_EQ(SyncModeName(SyncMode::kCoarse), "CD");
+  EXPECT_EQ(SyncModeName(SyncMode::kCdfa), "CDFA");
+}
+
+TEST(SyncTest, UnsyncedErrorsAreLargeAndUniform) {
+  SyncModel model(SyncMode::kNone);
+  Rng rng(1);
+  std::vector<double> offsets(20000);
+  for (double& o : offsets) o = model.SampleOffsetUs(rng);
+  EXPECT_GE(Min(offsets), 0.0);
+  EXPECT_LE(Max(offsets), 64.0);
+  EXPECT_NEAR(Mean(offsets), 32.0, 1.0);
+}
+
+TEST(SyncTest, CoarseErrorsFollowFig12Distribution) {
+  SyncModel model(SyncMode::kCoarse);
+  Rng rng(2);
+  std::vector<double> offsets(20000);
+  for (double& o : offsets) o = model.SampleOffsetUs(rng);
+  // 51.7% of coarse-detection errors exceed 3 us (Fig 12).
+  EXPECT_NEAR(FractionAbove(offsets, 3.0), 0.517, 0.03);
+}
+
+TEST(SyncTest, CdfaSharesTheCoarsePhysicalDistribution) {
+  // CDFA improves robustness through training, not through a better
+  // physical trigger: same offset statistics as coarse detection.
+  Rng rng_a(3);
+  Rng rng_b(3);
+  SyncModel coarse(SyncMode::kCoarse);
+  SyncModel cdfa(SyncMode::kCdfa);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(coarse.SampleOffsetUs(rng_a),
+                     cdfa.SampleOffsetUs(rng_b));
+  }
+}
+
+TEST(SyncTest, ConfigurableUnsyncedRange) {
+  SyncModel model(SyncMode::kNone, {.unsynced_max_error_us = 8.0});
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(model.SampleOffsetUs(rng), 8.0);
+  }
+}
+
+TEST(SyncTest, ValidatesConfig) {
+  EXPECT_THROW(SyncModel(SyncMode::kNone, {.unsynced_max_error_us = 0.0}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::sim

@@ -1,0 +1,170 @@
+// Command-line front end for the MetaAI library.
+//
+//   metaai_cli train    --dataset mnist --out model.txt [--robust]
+//   metaai_cli eval     --dataset mnist --model model.txt
+//   metaai_cli deploy   --dataset mnist --model model.txt --out patterns.txt
+//   metaai_cli ota      --dataset mnist --model model.txt [--samples N]
+//   metaai_cli datasets
+//
+// `train` fits the complex LNN digitally (optionally with the §3.5
+// robustness schemes) and writes a model file. `eval` reports the digital
+// (simulation) accuracy. `deploy` solves the metasurface configuration
+// schedules for the default link and writes the controller pattern file.
+// `ota` runs the full over-the-air evaluation on the simulated link.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/metaai.h"
+#include "data/datasets.h"
+#include "rf/geometry.h"
+
+namespace {
+
+using namespace metaai;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    const auto it = options.find(key);
+    return it != options.end() ? it->second : fallback;
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw CheckError("unexpected argument: " + key);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";  // boolean flag
+    }
+  }
+  return args;
+}
+
+sim::OtaLinkConfig DefaultLink() {
+  sim::OtaLinkConfig config;
+  config.geometry = {.tx_distance_m = 1.0,
+                     .tx_angle_rad = rf::DegToRad(30.0),
+                     .rx_distance_m = 3.0,
+                     .rx_angle_rad = rf::DegToRad(40.0),
+                     .frequency_hz = 5.25e9};
+  config.environment.profile = rf::OfficeProfile();
+  config.mts_phase_noise_std = 0.05;
+  return config;
+}
+
+int Train(const Args& args) {
+  const auto dataset = data::MakeByName(args.Get("dataset", "mnist"));
+  const std::string out = args.Get("out", "model.txt");
+  Rng rng(std::stoull(args.Get("seed", "42")));
+  core::TrainingOptions options;
+  if (args.Has("robust")) {
+    options.sync_error_injection = true;
+    options.sync_gamma_scale_us =
+        1.85 * sim::PaperEquivalentLatencyScale(dataset.train.dim);
+    options.input_noise_variance = 0.02;
+  }
+  const auto model = core::TrainModel(dataset.train, options, rng);
+  core::SaveModel(model, out);
+  std::printf("trained %s on %s (%zu samples), digital accuracy %.2f%%\n",
+              out.c_str(), dataset.name.c_str(), dataset.train.size(),
+              100.0 * core::EvaluateDigital(model, dataset.test));
+  return 0;
+}
+
+int Eval(const Args& args) {
+  const auto dataset = data::MakeByName(args.Get("dataset", "mnist"));
+  const auto model = core::LoadModel(args.Get("model", "model.txt"));
+  std::printf("%s digital accuracy: %.2f%%\n", dataset.name.c_str(),
+              100.0 * core::EvaluateDigital(model, dataset.test));
+  return 0;
+}
+
+int Deploy(const Args& args) {
+  const auto model = core::LoadModel(args.Get("model", "model.txt"));
+  const std::string out = args.Get("out", "patterns.txt");
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const core::Deployment deployment(model, surface, DefaultLink());
+  core::SavePatterns(deployment.schedules(), surface.num_atoms(), out);
+  std::printf(
+      "solved %zu rounds x %zu symbols (%zu atoms), mean residual %.4f -> "
+      "%s\n",
+      deployment.schedules().rounds.size(),
+      deployment.schedules().rounds[0].size(), surface.num_atoms(),
+      deployment.schedules().mean_relative_residual, out.c_str());
+  return 0;
+}
+
+int Ota(const Args& args) {
+  const auto dataset = data::MakeByName(args.Get("dataset", "mnist"));
+  const auto model = core::LoadModel(args.Get("model", "model.txt"));
+  const auto samples =
+      static_cast<std::size_t>(std::stoull(args.Get("samples", "200")));
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const core::Deployment deployment(model, surface, DefaultLink());
+  sim::SyncModelConfig sync_config;
+  sync_config.latency_scale =
+      sim::PaperEquivalentLatencyScale(dataset.train.dim);
+  const sim::SyncModel sync(sim::SyncMode::kCdfa, sync_config);
+  Rng rng(std::stoull(args.Get("seed", "7")));
+  const double accuracy =
+      deployment.EvaluateAccuracy(dataset.test, sync, rng, samples);
+  std::printf("%s over-the-air accuracy: %.2f%% (%zu samples, %zu rounds "
+              "per inference)\n",
+              dataset.name.c_str(), 100.0 * accuracy,
+              std::min(samples, dataset.test.size()),
+              deployment.RoundsPerInference());
+  return 0;
+}
+
+int Datasets() {
+  for (const auto& name : data::AllDatasetNames()) {
+    const auto ds = data::MakeByName(
+        name, {.train_per_class = 1, .test_per_class = 1});
+    std::printf("%-8s %-14s %zu classes, %zux%zu pixels\n", name.c_str(),
+                ds.name.c_str(), ds.num_classes, ds.height, ds.width);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::puts(
+      "usage: metaai_cli <command> [options]\n"
+      "  train    --dataset NAME --out FILE [--robust] [--seed N]\n"
+      "  eval     --dataset NAME --model FILE\n"
+      "  deploy   --model FILE --out FILE\n"
+      "  ota      --dataset NAME --model FILE [--samples N] [--seed N]\n"
+      "  datasets");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = Parse(argc, argv);
+    if (args.command == "train") return Train(args);
+    if (args.command == "eval") return Eval(args);
+    if (args.command == "deploy") return Deploy(args);
+    if (args.command == "ota") return Ota(args);
+    if (args.command == "datasets") return Datasets();
+    return Usage();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
