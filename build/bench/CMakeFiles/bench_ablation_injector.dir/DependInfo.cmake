@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_injector.cc" "bench/CMakeFiles/bench_ablation_injector.dir/bench_ablation_injector.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_injector.dir/bench_ablation_injector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/metaai_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/metaai_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/metaai_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/metaai_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mts/CMakeFiles/metaai_mts.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/metaai_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metaai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

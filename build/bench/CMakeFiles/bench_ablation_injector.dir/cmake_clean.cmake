@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_injector.dir/bench_ablation_injector.cc.o"
+  "CMakeFiles/bench_ablation_injector.dir/bench_ablation_injector.cc.o.d"
+  "bench_ablation_injector"
+  "bench_ablation_injector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_multipath.dir/bench_fig17_multipath.cc.o"
+  "CMakeFiles/bench_fig17_multipath.dir/bench_fig17_multipath.cc.o.d"
+  "bench_fig17_multipath"
+  "bench_fig17_multipath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_multipath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_multisensor.dir/bench_fig20_multisensor.cc.o"
+  "CMakeFiles/bench_fig20_multisensor.dir/bench_fig20_multisensor.cc.o.d"
+  "bench_fig20_multisensor"
+  "bench_fig20_multisensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_multisensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

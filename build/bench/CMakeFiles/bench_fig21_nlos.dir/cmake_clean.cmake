@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_nlos.dir/bench_fig21_nlos.cc.o"
+  "CMakeFiles/bench_fig21_nlos.dir/bench_fig21_nlos.cc.o.d"
+  "bench_fig21_nlos"
+  "bench_fig21_nlos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_nlos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_bands.dir/bench_fig22_bands.cc.o"
+  "CMakeFiles/bench_fig22_bands.dir/bench_fig22_bands.cc.o.d"
+  "bench_fig22_bands"
+  "bench_fig22_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_modulation.dir/bench_fig23_modulation.cc.o"
+  "CMakeFiles/bench_fig23_modulation.dir/bench_fig23_modulation.cc.o.d"
+  "bench_fig23_modulation"
+  "bench_fig23_modulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_modulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

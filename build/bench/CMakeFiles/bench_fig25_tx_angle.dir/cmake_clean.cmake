@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_tx_angle.dir/bench_fig25_tx_angle.cc.o"
+  "CMakeFiles/bench_fig25_tx_angle.dir/bench_fig25_tx_angle.cc.o.d"
+  "bench_fig25_tx_angle"
+  "bench_fig25_tx_angle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_tx_angle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

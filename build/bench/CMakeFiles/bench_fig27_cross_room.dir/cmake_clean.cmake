@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig27_cross_room.dir/bench_fig27_cross_room.cc.o"
+  "CMakeFiles/bench_fig27_cross_room.dir/bench_fig27_cross_room.cc.o.d"
+  "bench_fig27_cross_room"
+  "bench_fig27_cross_room.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig27_cross_room.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig30_wdd.dir/bench_fig30_wdd.cc.o"
+  "CMakeFiles/bench_fig30_wdd.dir/bench_fig30_wdd.cc.o.d"
+  "bench_fig30_wdd"
+  "bench_fig30_wdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig30_wdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_meta_atoms.dir/bench_fig7_meta_atoms.cc.o"
+  "CMakeFiles/bench_fig7_meta_atoms.dir/bench_fig7_meta_atoms.cc.o.d"
+  "bench_fig7_meta_atoms"
+  "bench_fig7_meta_atoms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_meta_atoms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/face_access_control.dir/face_access_control.cpp.o"
+  "CMakeFiles/face_access_control.dir/face_access_control.cpp.o.d"
+  "face_access_control"
+  "face_access_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_access_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

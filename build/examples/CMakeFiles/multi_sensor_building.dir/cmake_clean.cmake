@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sensor_building.dir/multi_sensor_building.cpp.o"
+  "CMakeFiles/multi_sensor_building.dir/multi_sensor_building.cpp.o.d"
+  "multi_sensor_building"
+  "multi_sensor_building.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sensor_building.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_surface_campus.dir/shared_surface_campus.cpp.o"
+  "CMakeFiles/shared_surface_campus.dir/shared_surface_campus.cpp.o.d"
+  "shared_surface_campus"
+  "shared_surface_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_surface_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

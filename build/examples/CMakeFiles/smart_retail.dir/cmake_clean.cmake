@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_retail.dir/smart_retail.cpp.o"
+  "CMakeFiles/smart_retail.dir/smart_retail.cpp.o.d"
+  "smart_retail"
+  "smart_retail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_retail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

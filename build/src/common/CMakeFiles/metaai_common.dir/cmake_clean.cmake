@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaai_common.dir/rng.cc.o"
+  "CMakeFiles/metaai_common.dir/rng.cc.o.d"
+  "CMakeFiles/metaai_common.dir/stats.cc.o"
+  "CMakeFiles/metaai_common.dir/stats.cc.o.d"
+  "CMakeFiles/metaai_common.dir/table.cc.o"
+  "CMakeFiles/metaai_common.dir/table.cc.o.d"
+  "libmetaai_common.a"
+  "libmetaai_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaai_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

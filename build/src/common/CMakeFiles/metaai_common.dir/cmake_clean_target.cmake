@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmetaai_common.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel_estimation.cc" "src/core/CMakeFiles/metaai_core_lib.dir/channel_estimation.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/channel_estimation.cc.o.d"
+  "/root/repo/src/core/controller_service.cc" "src/core/CMakeFiles/metaai_core_lib.dir/controller_service.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/controller_service.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/metaai_core_lib.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/deployment.cc.o.d"
+  "/root/repo/src/core/fusion.cc" "src/core/CMakeFiles/metaai_core_lib.dir/fusion.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/fusion.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/core/CMakeFiles/metaai_core_lib.dir/hybrid.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/hybrid.cc.o.d"
+  "/root/repo/src/core/pnn_baseline.cc" "src/core/CMakeFiles/metaai_core_lib.dir/pnn_baseline.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/pnn_baseline.cc.o.d"
+  "/root/repo/src/core/recalibration.cc" "src/core/CMakeFiles/metaai_core_lib.dir/recalibration.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/recalibration.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/metaai_core_lib.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/core/CMakeFiles/metaai_core_lib.dir/serialization.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/serialization.cc.o.d"
+  "/root/repo/src/core/training.cc" "src/core/CMakeFiles/metaai_core_lib.dir/training.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/training.cc.o.d"
+  "/root/repo/src/core/weight_mapper.cc" "src/core/CMakeFiles/metaai_core_lib.dir/weight_mapper.cc.o" "gcc" "src/core/CMakeFiles/metaai_core_lib.dir/weight_mapper.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/metaai_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/metaai_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/metaai_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mts/CMakeFiles/metaai_mts.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/metaai_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metaai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaai_core_lib.dir/channel_estimation.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/channel_estimation.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/controller_service.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/controller_service.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/deployment.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/deployment.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/fusion.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/fusion.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/hybrid.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/hybrid.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/pnn_baseline.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/pnn_baseline.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/recalibration.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/recalibration.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/scheduler.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/scheduler.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/serialization.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/serialization.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/training.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/training.cc.o.d"
+  "CMakeFiles/metaai_core_lib.dir/weight_mapper.cc.o"
+  "CMakeFiles/metaai_core_lib.dir/weight_mapper.cc.o.d"
+  "libmetaai_core_lib.a"
+  "libmetaai_core_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaai_core_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaai_data.dir/datasets.cc.o"
+  "CMakeFiles/metaai_data.dir/datasets.cc.o.d"
+  "CMakeFiles/metaai_data.dir/encoding.cc.o"
+  "CMakeFiles/metaai_data.dir/encoding.cc.o.d"
+  "CMakeFiles/metaai_data.dir/multisensor.cc.o"
+  "CMakeFiles/metaai_data.dir/multisensor.cc.o.d"
+  "CMakeFiles/metaai_data.dir/synth_image.cc.o"
+  "CMakeFiles/metaai_data.dir/synth_image.cc.o.d"
+  "libmetaai_data.a"
+  "libmetaai_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaai_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mts/beam_scan.cc" "src/mts/CMakeFiles/metaai_mts.dir/beam_scan.cc.o" "gcc" "src/mts/CMakeFiles/metaai_mts.dir/beam_scan.cc.o.d"
+  "/root/repo/src/mts/config_solver.cc" "src/mts/CMakeFiles/metaai_mts.dir/config_solver.cc.o" "gcc" "src/mts/CMakeFiles/metaai_mts.dir/config_solver.cc.o.d"
+  "/root/repo/src/mts/controller.cc" "src/mts/CMakeFiles/metaai_mts.dir/controller.cc.o" "gcc" "src/mts/CMakeFiles/metaai_mts.dir/controller.cc.o.d"
+  "/root/repo/src/mts/energy_detector.cc" "src/mts/CMakeFiles/metaai_mts.dir/energy_detector.cc.o" "gcc" "src/mts/CMakeFiles/metaai_mts.dir/energy_detector.cc.o.d"
+  "/root/repo/src/mts/meta_atom.cc" "src/mts/CMakeFiles/metaai_mts.dir/meta_atom.cc.o" "gcc" "src/mts/CMakeFiles/metaai_mts.dir/meta_atom.cc.o.d"
+  "/root/repo/src/mts/metasurface.cc" "src/mts/CMakeFiles/metaai_mts.dir/metasurface.cc.o" "gcc" "src/mts/CMakeFiles/metaai_mts.dir/metasurface.cc.o.d"
+  "/root/repo/src/mts/wdd.cc" "src/mts/CMakeFiles/metaai_mts.dir/wdd.cc.o" "gcc" "src/mts/CMakeFiles/metaai_mts.dir/wdd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rf/CMakeFiles/metaai_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metaai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

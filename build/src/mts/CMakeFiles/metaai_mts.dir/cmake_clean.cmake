@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaai_mts.dir/beam_scan.cc.o"
+  "CMakeFiles/metaai_mts.dir/beam_scan.cc.o.d"
+  "CMakeFiles/metaai_mts.dir/config_solver.cc.o"
+  "CMakeFiles/metaai_mts.dir/config_solver.cc.o.d"
+  "CMakeFiles/metaai_mts.dir/controller.cc.o"
+  "CMakeFiles/metaai_mts.dir/controller.cc.o.d"
+  "CMakeFiles/metaai_mts.dir/energy_detector.cc.o"
+  "CMakeFiles/metaai_mts.dir/energy_detector.cc.o.d"
+  "CMakeFiles/metaai_mts.dir/meta_atom.cc.o"
+  "CMakeFiles/metaai_mts.dir/meta_atom.cc.o.d"
+  "CMakeFiles/metaai_mts.dir/metasurface.cc.o"
+  "CMakeFiles/metaai_mts.dir/metasurface.cc.o.d"
+  "CMakeFiles/metaai_mts.dir/wdd.cc.o"
+  "CMakeFiles/metaai_mts.dir/wdd.cc.o.d"
+  "libmetaai_mts.a"
+  "libmetaai_mts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaai_mts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

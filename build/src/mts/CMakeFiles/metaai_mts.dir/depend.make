@@ -1,0 +1,2 @@
+# Empty dependencies file for metaai_mts.
+# This may be replaced when dependencies are built.

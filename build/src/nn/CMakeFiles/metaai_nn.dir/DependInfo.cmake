@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/complex_linear.cc" "src/nn/CMakeFiles/metaai_nn.dir/complex_linear.cc.o" "gcc" "src/nn/CMakeFiles/metaai_nn.dir/complex_linear.cc.o.d"
+  "/root/repo/src/nn/conv_net.cc" "src/nn/CMakeFiles/metaai_nn.dir/conv_net.cc.o" "gcc" "src/nn/CMakeFiles/metaai_nn.dir/conv_net.cc.o.d"
+  "/root/repo/src/nn/discrete_nn.cc" "src/nn/CMakeFiles/metaai_nn.dir/discrete_nn.cc.o" "gcc" "src/nn/CMakeFiles/metaai_nn.dir/discrete_nn.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/nn/CMakeFiles/metaai_nn.dir/metrics.cc.o" "gcc" "src/nn/CMakeFiles/metaai_nn.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mts/CMakeFiles/metaai_mts.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metaai_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/metaai_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaai_nn.dir/complex_linear.cc.o"
+  "CMakeFiles/metaai_nn.dir/complex_linear.cc.o.d"
+  "CMakeFiles/metaai_nn.dir/conv_net.cc.o"
+  "CMakeFiles/metaai_nn.dir/conv_net.cc.o.d"
+  "CMakeFiles/metaai_nn.dir/discrete_nn.cc.o"
+  "CMakeFiles/metaai_nn.dir/discrete_nn.cc.o.d"
+  "CMakeFiles/metaai_nn.dir/metrics.cc.o"
+  "CMakeFiles/metaai_nn.dir/metrics.cc.o.d"
+  "libmetaai_nn.a"
+  "libmetaai_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaai_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

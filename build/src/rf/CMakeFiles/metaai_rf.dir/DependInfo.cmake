@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rf/antenna.cc" "src/rf/CMakeFiles/metaai_rf.dir/antenna.cc.o" "gcc" "src/rf/CMakeFiles/metaai_rf.dir/antenna.cc.o.d"
+  "/root/repo/src/rf/channel.cc" "src/rf/CMakeFiles/metaai_rf.dir/channel.cc.o" "gcc" "src/rf/CMakeFiles/metaai_rf.dir/channel.cc.o.d"
+  "/root/repo/src/rf/fft.cc" "src/rf/CMakeFiles/metaai_rf.dir/fft.cc.o" "gcc" "src/rf/CMakeFiles/metaai_rf.dir/fft.cc.o.d"
+  "/root/repo/src/rf/modulation.cc" "src/rf/CMakeFiles/metaai_rf.dir/modulation.cc.o" "gcc" "src/rf/CMakeFiles/metaai_rf.dir/modulation.cc.o.d"
+  "/root/repo/src/rf/ofdm.cc" "src/rf/CMakeFiles/metaai_rf.dir/ofdm.cc.o" "gcc" "src/rf/CMakeFiles/metaai_rf.dir/ofdm.cc.o.d"
+  "/root/repo/src/rf/signal.cc" "src/rf/CMakeFiles/metaai_rf.dir/signal.cc.o" "gcc" "src/rf/CMakeFiles/metaai_rf.dir/signal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/metaai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

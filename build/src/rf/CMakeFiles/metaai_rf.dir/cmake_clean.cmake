@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaai_rf.dir/antenna.cc.o"
+  "CMakeFiles/metaai_rf.dir/antenna.cc.o.d"
+  "CMakeFiles/metaai_rf.dir/channel.cc.o"
+  "CMakeFiles/metaai_rf.dir/channel.cc.o.d"
+  "CMakeFiles/metaai_rf.dir/fft.cc.o"
+  "CMakeFiles/metaai_rf.dir/fft.cc.o.d"
+  "CMakeFiles/metaai_rf.dir/modulation.cc.o"
+  "CMakeFiles/metaai_rf.dir/modulation.cc.o.d"
+  "CMakeFiles/metaai_rf.dir/ofdm.cc.o"
+  "CMakeFiles/metaai_rf.dir/ofdm.cc.o.d"
+  "CMakeFiles/metaai_rf.dir/signal.cc.o"
+  "CMakeFiles/metaai_rf.dir/signal.cc.o.d"
+  "libmetaai_rf.a"
+  "libmetaai_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaai_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/energy_model.cc" "src/sim/CMakeFiles/metaai_sim.dir/energy_model.cc.o" "gcc" "src/sim/CMakeFiles/metaai_sim.dir/energy_model.cc.o.d"
+  "/root/repo/src/sim/environment.cc" "src/sim/CMakeFiles/metaai_sim.dir/environment.cc.o" "gcc" "src/sim/CMakeFiles/metaai_sim.dir/environment.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/sim/CMakeFiles/metaai_sim.dir/link.cc.o" "gcc" "src/sim/CMakeFiles/metaai_sim.dir/link.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/sim/CMakeFiles/metaai_sim.dir/sync.cc.o" "gcc" "src/sim/CMakeFiles/metaai_sim.dir/sync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mts/CMakeFiles/metaai_mts.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/metaai_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metaai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

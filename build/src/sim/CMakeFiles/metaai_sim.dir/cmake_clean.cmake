@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaai_sim.dir/energy_model.cc.o"
+  "CMakeFiles/metaai_sim.dir/energy_model.cc.o.d"
+  "CMakeFiles/metaai_sim.dir/environment.cc.o"
+  "CMakeFiles/metaai_sim.dir/environment.cc.o.d"
+  "CMakeFiles/metaai_sim.dir/link.cc.o"
+  "CMakeFiles/metaai_sim.dir/link.cc.o.d"
+  "CMakeFiles/metaai_sim.dir/sync.cc.o"
+  "CMakeFiles/metaai_sim.dir/sync.cc.o.d"
+  "libmetaai_sim.a"
+  "libmetaai_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaai_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

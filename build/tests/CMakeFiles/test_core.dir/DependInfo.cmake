@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/channel_estimation_test.cc" "tests/CMakeFiles/test_core.dir/core/channel_estimation_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/channel_estimation_test.cc.o.d"
+  "/root/repo/tests/core/controller_service_test.cc" "tests/CMakeFiles/test_core.dir/core/controller_service_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/controller_service_test.cc.o.d"
+  "/root/repo/tests/core/deployment_test.cc" "tests/CMakeFiles/test_core.dir/core/deployment_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/deployment_test.cc.o.d"
+  "/root/repo/tests/core/fusion_test.cc" "tests/CMakeFiles/test_core.dir/core/fusion_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/fusion_test.cc.o.d"
+  "/root/repo/tests/core/hybrid_test.cc" "tests/CMakeFiles/test_core.dir/core/hybrid_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/hybrid_test.cc.o.d"
+  "/root/repo/tests/core/pnn_baseline_test.cc" "tests/CMakeFiles/test_core.dir/core/pnn_baseline_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pnn_baseline_test.cc.o.d"
+  "/root/repo/tests/core/recalibration_test.cc" "tests/CMakeFiles/test_core.dir/core/recalibration_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/recalibration_test.cc.o.d"
+  "/root/repo/tests/core/scheduler_test.cc" "tests/CMakeFiles/test_core.dir/core/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scheduler_test.cc.o.d"
+  "/root/repo/tests/core/serialization_test.cc" "tests/CMakeFiles/test_core.dir/core/serialization_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/serialization_test.cc.o.d"
+  "/root/repo/tests/core/training_test.cc" "tests/CMakeFiles/test_core.dir/core/training_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/training_test.cc.o.d"
+  "/root/repo/tests/core/weight_mapper_test.cc" "tests/CMakeFiles/test_core.dir/core/weight_mapper_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/weight_mapper_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/metaai_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/metaai_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/metaai_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/metaai_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mts/CMakeFiles/metaai_mts.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/metaai_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/metaai_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/channel_estimation_test.cc.o"
+  "CMakeFiles/test_core.dir/core/channel_estimation_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/controller_service_test.cc.o"
+  "CMakeFiles/test_core.dir/core/controller_service_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/deployment_test.cc.o"
+  "CMakeFiles/test_core.dir/core/deployment_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/fusion_test.cc.o"
+  "CMakeFiles/test_core.dir/core/fusion_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/hybrid_test.cc.o"
+  "CMakeFiles/test_core.dir/core/hybrid_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/pnn_baseline_test.cc.o"
+  "CMakeFiles/test_core.dir/core/pnn_baseline_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/recalibration_test.cc.o"
+  "CMakeFiles/test_core.dir/core/recalibration_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/scheduler_test.cc.o"
+  "CMakeFiles/test_core.dir/core/scheduler_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/serialization_test.cc.o"
+  "CMakeFiles/test_core.dir/core/serialization_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/training_test.cc.o"
+  "CMakeFiles/test_core.dir/core/training_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/weight_mapper_test.cc.o"
+  "CMakeFiles/test_core.dir/core/weight_mapper_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/datasets_test.cc.o"
+  "CMakeFiles/test_data.dir/data/datasets_test.cc.o.d"
+  "CMakeFiles/test_data.dir/data/encoding_test.cc.o"
+  "CMakeFiles/test_data.dir/data/encoding_test.cc.o.d"
+  "CMakeFiles/test_data.dir/data/face_stream_test.cc.o"
+  "CMakeFiles/test_data.dir/data/face_stream_test.cc.o.d"
+  "CMakeFiles/test_data.dir/data/multisensor_test.cc.o"
+  "CMakeFiles/test_data.dir/data/multisensor_test.cc.o.d"
+  "CMakeFiles/test_data.dir/data/synth_image_test.cc.o"
+  "CMakeFiles/test_data.dir/data/synth_image_test.cc.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mts.dir/mts/beam_scan_test.cc.o"
+  "CMakeFiles/test_mts.dir/mts/beam_scan_test.cc.o.d"
+  "CMakeFiles/test_mts.dir/mts/config_solver_test.cc.o"
+  "CMakeFiles/test_mts.dir/mts/config_solver_test.cc.o.d"
+  "CMakeFiles/test_mts.dir/mts/controller_test.cc.o"
+  "CMakeFiles/test_mts.dir/mts/controller_test.cc.o.d"
+  "CMakeFiles/test_mts.dir/mts/energy_detector_test.cc.o"
+  "CMakeFiles/test_mts.dir/mts/energy_detector_test.cc.o.d"
+  "CMakeFiles/test_mts.dir/mts/meta_atom_test.cc.o"
+  "CMakeFiles/test_mts.dir/mts/meta_atom_test.cc.o.d"
+  "CMakeFiles/test_mts.dir/mts/metasurface_test.cc.o"
+  "CMakeFiles/test_mts.dir/mts/metasurface_test.cc.o.d"
+  "CMakeFiles/test_mts.dir/mts/wdd_test.cc.o"
+  "CMakeFiles/test_mts.dir/mts/wdd_test.cc.o.d"
+  "test_mts"
+  "test_mts.pdb"
+  "test_mts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

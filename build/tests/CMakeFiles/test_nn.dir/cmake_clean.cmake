@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/complex_linear_test.cc.o"
+  "CMakeFiles/test_nn.dir/nn/complex_linear_test.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/conv_net_test.cc.o"
+  "CMakeFiles/test_nn.dir/nn/conv_net_test.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/discrete_nn_test.cc.o"
+  "CMakeFiles/test_nn.dir/nn/discrete_nn_test.cc.o.d"
+  "CMakeFiles/test_nn.dir/nn/metrics_test.cc.o"
+  "CMakeFiles/test_nn.dir/nn/metrics_test.cc.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rf.dir/rf/antenna_test.cc.o"
+  "CMakeFiles/test_rf.dir/rf/antenna_test.cc.o.d"
+  "CMakeFiles/test_rf.dir/rf/channel_test.cc.o"
+  "CMakeFiles/test_rf.dir/rf/channel_test.cc.o.d"
+  "CMakeFiles/test_rf.dir/rf/fft_test.cc.o"
+  "CMakeFiles/test_rf.dir/rf/fft_test.cc.o.d"
+  "CMakeFiles/test_rf.dir/rf/geometry_test.cc.o"
+  "CMakeFiles/test_rf.dir/rf/geometry_test.cc.o.d"
+  "CMakeFiles/test_rf.dir/rf/modulation_test.cc.o"
+  "CMakeFiles/test_rf.dir/rf/modulation_test.cc.o.d"
+  "CMakeFiles/test_rf.dir/rf/ofdm_test.cc.o"
+  "CMakeFiles/test_rf.dir/rf/ofdm_test.cc.o.d"
+  "CMakeFiles/test_rf.dir/rf/signal_test.cc.o"
+  "CMakeFiles/test_rf.dir/rf/signal_test.cc.o.d"
+  "test_rf"
+  "test_rf.pdb"
+  "test_rf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

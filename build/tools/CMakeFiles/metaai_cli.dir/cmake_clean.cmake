@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaai_cli.dir/metaai_cli.cc.o"
+  "CMakeFiles/metaai_cli.dir/metaai_cli.cc.o.d"
+  "metaai_cli"
+  "metaai_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaai_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for metaai_cli.
+# This may be replaced when dependencies are built.
