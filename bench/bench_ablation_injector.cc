@@ -83,6 +83,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("ablation_injector");
   metaai::bench::Run();
   return 0;
 }

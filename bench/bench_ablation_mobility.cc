@@ -97,6 +97,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("ablation_mobility");
   metaai::bench::Run();
   return 0;
 }

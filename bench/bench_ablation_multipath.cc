@@ -67,6 +67,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("ablation_multipath");
   metaai::bench::Run();
   return 0;
 }

@@ -63,6 +63,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("ablation_solver");
   metaai::bench::Run();
   return 0;
 }

@@ -37,6 +37,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig12_sync_error_cdf");
   metaai::bench::Run();
   return 0;
 }

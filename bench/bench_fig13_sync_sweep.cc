@@ -47,6 +47,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig13_sync_sweep");
   metaai::bench::Run();
   return 0;
 }

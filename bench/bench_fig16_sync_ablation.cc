@@ -53,6 +53,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig16_sync_ablation");
   metaai::bench::Run();
   return 0;
 }

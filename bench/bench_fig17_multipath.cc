@@ -73,6 +73,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig17_multipath");
   metaai::bench::Run();
   return 0;
 }

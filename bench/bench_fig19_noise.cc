@@ -98,6 +98,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig19_noise");
   metaai::bench::Run();
   return 0;
 }

@@ -68,6 +68,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig20_multisensor");
   metaai::bench::Run();
   return 0;
 }

@@ -40,6 +40,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig21_nlos");
   metaai::bench::Run();
   return 0;
 }

@@ -58,6 +58,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig22_bands");
   metaai::bench::Run();
   return 0;
 }

@@ -35,6 +35,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig24_tx_distance");
   metaai::bench::Run();
   return 0;
 }

@@ -36,6 +36,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig25_tx_angle");
   metaai::bench::Run();
   return 0;
 }

@@ -43,6 +43,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig26_interference");
   metaai::bench::Run();
   return 0;
 }

@@ -54,6 +54,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig27_cross_room");
   metaai::bench::Run();
   return 0;
 }

@@ -53,6 +53,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig28_face_case_study");
   metaai::bench::Run();
   return 0;
 }

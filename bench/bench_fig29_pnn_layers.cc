@@ -55,6 +55,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig29_pnn_layers");
   metaai::bench::Run();
   return 0;
 }

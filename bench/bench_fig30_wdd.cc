@@ -27,6 +27,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig30_wdd");
   metaai::bench::Run();
   return 0;
 }

@@ -54,6 +54,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig31_parallel_width");
   metaai::bench::Run();
   return 0;
 }

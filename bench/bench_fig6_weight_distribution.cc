@@ -41,6 +41,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig6_weight_distribution");
   metaai::bench::Run();
   return 0;
 }

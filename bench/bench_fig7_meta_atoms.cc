@@ -56,6 +56,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("fig7_meta_atoms");
   metaai::bench::Run();
   return 0;
 }

@@ -127,6 +127,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("table1_overall");
   metaai::bench::Run();
   return 0;
 }

@@ -71,6 +71,7 @@ void Run() {
 }  // namespace metaai::bench
 
 int main() {
+  metaai::bench::BenchReport report("table2_3_energy_latency");
   metaai::bench::Run();
   return 0;
 }

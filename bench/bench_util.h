@@ -8,14 +8,142 @@
 // sim::PaperEquivalentLatencyScale and EXPERIMENTS.md).
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/table.h"
 #include "core/metaai.h"
 #include "data/datasets.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "rf/geometry.h"
 
 namespace metaai::bench {
+
+/// Per-binary telemetry + result reporting. Construct one at the top of
+/// main(); it installs a metrics registry and tracer for the run, captures
+/// every Table the bench prints, and on destruction writes
+/// `$METAAI_BENCH_OUT/BENCH_<name>.json` (schema "metaai.bench.v1"):
+///
+///   { "schema": "metaai.bench.v1", "bench": <name>, "elapsed_s": n,
+///     "headlines": { <key>: <number>, ... },
+///     "tables": [ { "title": s, "headers": [..], "rows": [[..], ..] } ],
+///     "metrics": <metaai.obs.v1 document, spans included> }
+///
+/// Nothing is written when METAAI_BENCH_OUT is unset, so interactive runs
+/// stay side-effect free (mirroring METAAI_CSV_DIR in common/table).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)),
+        started_(std::chrono::steady_clock::now()),
+        previous_registry_(obs::SetRegistry(&registry_)),
+        previous_tracer_(obs::SetTracer(&tracer_)),
+        previous_listener_(
+            SetTableListener([this](const Table& table) { AddTable(table); })) {}
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    SetTableListener(std::move(previous_listener_));
+    obs::SetTracer(previous_tracer_);
+    obs::SetRegistry(previous_registry_);
+    if (const char* dir = std::getenv("METAAI_BENCH_OUT"); dir != nullptr) {
+      const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+      std::ofstream out(path);
+      if (out.good()) {
+        out << ToJson();
+      } else {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      }
+    }
+  }
+
+  /// Adds one named headline number (benches usually rely on the captured
+  /// tables instead).
+  void Headline(const std::string& key, double value) {
+    headlines_.emplace_back(key, value);
+  }
+
+  void AddTable(const Table& table) {
+    tables_.push_back({table.title(), table.headers(), table.rows()});
+  }
+
+  std::string ToJson() const {
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_)
+            .count();
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"metaai.bench.v1\",\n  \"bench\": "
+       << Quote(name_) << ",\n  \"elapsed_s\": " << elapsed_s
+       << ",\n  \"headlines\": {";
+    for (std::size_t i = 0; i < headlines_.size(); ++i) {
+      os << (i > 0 ? ", " : "") << Quote(headlines_[i].first) << ": "
+         << headlines_[i].second;
+    }
+    os << "},\n  \"tables\": [";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      const CapturedTable& table = tables_[i];
+      os << (i > 0 ? ",\n    " : "\n    ") << "{\"title\": "
+         << Quote(table.title) << ", \"headers\": ";
+      WriteStrings(os, table.headers);
+      os << ", \"rows\": [";
+      for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        if (r > 0) os << ", ";
+        WriteStrings(os, table.rows[r]);
+      }
+      os << "]}";
+    }
+    os << (tables_.empty() ? "" : "\n  ") << "],\n  \"metrics\": "
+       << obs::ToJson(registry_.Snapshot(), &tracer_) << "}\n";
+    return os.str();
+  }
+
+ private:
+  struct CapturedTable {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  static void WriteStrings(std::ostream& os,
+                           const std::vector<std::string>& values) {
+    os << '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      os << (i > 0 ? ", " : "") << Quote(values[i]);
+    }
+    os << ']';
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point started_;
+  obs::Registry registry_;
+  obs::Tracer tracer_;
+  obs::Registry* previous_registry_;
+  obs::Tracer* previous_tracer_;
+  TableListener previous_listener_;
+  std::vector<std::pair<std::string, double>> headlines_;
+  std::vector<CapturedTable> tables_;
+};
 
 inline constexpr std::size_t kStreamSymbols = 256;  // 16x16 pixels
 

@@ -96,12 +96,25 @@ std::string Table::ToCsv() const {
   return out.str();
 }
 
+namespace {
+
+TableListener g_table_listener;
+
+}  // namespace
+
+TableListener SetTableListener(TableListener listener) {
+  TableListener previous = std::move(g_table_listener);
+  g_table_listener = std::move(listener);
+  return previous;
+}
+
 void Table::Print(std::ostream& os) const {
   os << ToString();
   if (const char* dir = std::getenv("METAAI_CSV_DIR"); dir != nullptr) {
     std::ofstream csv(std::string(dir) + "/" + Slugify(title_) + ".csv");
     if (csv.good()) csv << ToCsv();
   }
+  if (g_table_listener) g_table_listener(*this);
 }
 
 std::string FormatDouble(double value, int decimals) {

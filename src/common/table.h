@@ -3,6 +3,7 @@
 // output can be compared row-by-row with the paper's tables and figures.
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -20,6 +21,9 @@ class Table {
   void AddRow(std::vector<std::string> cells);
 
   std::size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Renders the table with a title line, a header row, a separator and
   /// one line per row.
@@ -40,6 +44,13 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Observer invoked by Table::Print after rendering (in addition to the
+/// stream/CSV output). Used by bench/bench_util.h to capture every table
+/// a bench prints into its BENCH_<name>.json report without touching the
+/// individual benches. Returns the previously installed listener.
+using TableListener = std::function<void(const Table&)>;
+TableListener SetTableListener(TableListener listener);
 
 /// Formats `value` with `decimals` fractional digits.
 std::string FormatDouble(double value, int decimals = 2);

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "data/encoding.h"
+#include "obs/obs.h"
 #include "rf/geometry.h"
 
 namespace metaai::core {
@@ -88,8 +89,13 @@ std::vector<double> Deployment::ClassScores(const std::vector<double>& pixels,
   Check(symbols.size() == schedules_.rounds.front().size(),
         "sample length does not match the deployed schedule");
 
+  obs::Count("ota.inferences");
+  obs::Count("ota.rounds", schedules_.rounds.size());
+  obs::Count("ota.symbols", schedules_.rounds.size() * symbols.size());
+
   std::vector<double> scores(num_classes_, 0.0);
   for (std::size_t round = 0; round < schedules_.rounds.size(); ++round) {
+    const obs::ScopedSpan round_span = obs::Span("ota.round");
     const ComplexMatrix z = link_.TransmitSequence(
         symbols, schedules_.rounds[round], mts_clock_offset_us, rng);
     const auto& outputs = schedules_.outputs[round];
@@ -118,12 +124,21 @@ double Deployment::EvaluateAccuracy(const nn::RealDataset& test,
                             ? std::min(max_samples, test.size())
                             : test.size();
   Check(n > 0, "empty test set");
+  const obs::ScopedSpan span = obs::Span("ota.evaluate");
+  static const obs::HistogramSpec kOffsetBuckets =
+      obs::HistogramSpec::Linear(0.0, 50.0, 25);
+  obs::Count("ota.evaluations");
+  obs::Count("ota.samples", n);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const double offset = sync.SampleOffsetUs(rng);
+    obs::Observe("ota.sync_offset_us", offset, kOffsetBuckets);
     correct += (Classify(test.features[i], offset, rng) == test.labels[i]);
   }
-  return static_cast<double>(correct) / static_cast<double>(n);
+  const double accuracy =
+      static_cast<double>(correct) / static_cast<double>(n);
+  obs::SetGauge("ota.accuracy", accuracy);
+  return accuracy;
 }
 
 double Deployment::EvaluateAccuracyAtOffset(const nn::RealDataset& test,

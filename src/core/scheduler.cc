@@ -1,6 +1,7 @@
 #include "core/scheduler.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace metaai::core {
 
@@ -12,14 +13,22 @@ SharedSurfaceScheduler::SharedSurfaceScheduler(
   Check(config_.symbol_rate_hz > 0.0, "symbol rate must be positive");
   Check(config_.guard_interval_s >= 0.0, "negative guard interval");
 
+  const obs::ScopedSpan span = obs::Span("scheduler.build");
+
   // The controller streams 2 patterns per symbol (mid-symbol flip) for
   // every device in turn; the frame is feasible iff the controller can
   // sustain that rate at all (slots never overlap in TDMA).
   const mts::Controller controller(config_.controller);
-  Check(controller.CanSustain(config_.symbol_rate_hz, 2),
+  const bool sustainable = controller.CanSustain(config_.symbol_rate_hz, 2);
+  obs::SetGauge("scheduler.switch_utilization",
+                2.0 * config_.symbol_rate_hz / controller.MaxSwitchRate());
+  if (!sustainable) obs::Count("scheduler.budget_violations");
+  Check(sustainable,
         "controller cannot sustain the mid-symbol flip at this symbol "
         "rate");
 
+  static const obs::HistogramSpec kSlotBuckets =
+      obs::HistogramSpec::Exponential(1e-4, 2.0, 16);
   const double symbol_period_s = 1.0 / config_.symbol_rate_hz;
   double cursor_s = 0.0;
   for (DeviceSpec& spec : devices) {
@@ -39,8 +48,15 @@ SharedSurfaceScheduler::SharedSurfaceScheduler(
                       .duration_s = duration,
                       .rounds = rounds,
                       .symbols_per_round = symbols});
+    obs::Observe("scheduler.slot_duration_s", duration, kSlotBuckets);
     cursor_s += duration + config_.guard_interval_s;
   }
+  obs::Count("scheduler.frames_built");
+  obs::SetGauge("scheduler.devices", static_cast<double>(frame_.size()));
+  obs::SetGauge("scheduler.frame_duration_s", FrameDuration());
+  obs::SetGauge("scheduler.guard_fraction",
+                static_cast<double>(frame_.size()) * config_.guard_interval_s /
+                    FrameDuration());
 }
 
 const Deployment& SharedSurfaceScheduler::deployment(

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "data/encoding.h"
+#include "obs/obs.h"
 
 namespace metaai::core {
 
@@ -25,6 +26,9 @@ TrainedModel TrainModel(const nn::RealDataset& train,
                         const TrainingOptions& options, Rng& rng) {
   train.Validate();
   Check(options.symbol_rate_hz > 0.0, "symbol rate must be positive");
+  const obs::ScopedSpan span = obs::Span("train.model");
+  obs::Count("train.sessions");
+  obs::Count("train.samples", train.size());
   const nn::ComplexDataset encoded =
       data::EncodeDataset(train, options.modulation);
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace metaai::mts {
 namespace {
@@ -73,7 +74,12 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
     return err;
   };
 
+  static const obs::HistogramSpec kImprovementBuckets =
+      obs::HistogramSpec::Linear(0.0, 1.0, 20);
+  obs::Count("solver.calls");
+  bool converged = false;
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    const double sweep_start_error = total_error();
     bool changed = false;
     for (std::size_t m = 0; m < num_atoms; ++m) {
       const PhaseCode old_code = result.codes[m];
@@ -103,8 +109,24 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
       }
     }
     result.sweeps_used = sweep + 1;
-    if (!changed) break;
+    // Relative objective improvement of this coordinate-descent sweep.
+    if (sweep_start_error > 0.0) {
+      obs::Observe("solver.sweep_improvement",
+                   (sweep_start_error - total_error()) / sweep_start_error,
+                   kImprovementBuckets);
+    }
+    if (!changed) {
+      converged = true;
+      break;
+    }
   }
+
+  static const obs::HistogramSpec kSweepBuckets =
+      obs::HistogramSpec::Linear(0.0, 16.0, 16);
+  obs::Count("solver.sweeps", static_cast<std::uint64_t>(result.sweeps_used));
+  if (converged) obs::Count("solver.converged");
+  obs::Observe("solver.sweeps_per_solve",
+               static_cast<double>(result.sweeps_used), kSweepBuckets);
 
   result.achieved = sums;
   result.residual = std::sqrt(total_error());

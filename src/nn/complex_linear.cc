@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace metaai::nn {
 
@@ -88,7 +89,10 @@ double ComplexLinearModel::Train(const ComplexDataset& train,
   std::vector<Complex> augmented;
   double final_epoch_loss = 0.0;
 
+  static const obs::HistogramSpec kLossBuckets =
+      obs::HistogramSpec::Linear(0.0, 5.0, 25);
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    const obs::ScopedSpan epoch_span = obs::Span("train.epoch");
     rng.Shuffle(order);
     double epoch_loss = 0.0;
     for (std::size_t start = 0; start < n;
@@ -145,6 +149,12 @@ double ComplexLinearModel::Train(const ComplexDataset& train,
       }
     }
     final_epoch_loss = epoch_loss / static_cast<double>(n);
+    obs::Count("train.epochs");
+    obs::Count("train.batches",
+               (n + static_cast<std::size_t>(options.batch_size) - 1) /
+                   static_cast<std::size_t>(options.batch_size));
+    obs::SetGauge("train.loss", final_epoch_loss);
+    obs::Observe("train.epoch_loss", final_epoch_loss, kLossBuckets);
   }
   return final_epoch_loss;
 }

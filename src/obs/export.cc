@@ -1,0 +1,409 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <span>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace metaai::obs {
+namespace {
+
+// Shortest round-trippable representation: integers print without an
+// exponent, everything else via %.17g.
+std::string FormatNumber(double value) {
+  char buffer[64];
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%" PRId64,
+                  static_cast<std::int64_t>(value));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  }
+  return buffer;
+}
+
+std::string EscapeString(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void WriteUintArray(std::ostream& os, std::span<const std::uint64_t> values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ',';
+    os << values[i];
+  }
+  os << ']';
+}
+
+void WriteDoubleArray(std::ostream& os, std::span<const double> values) {
+  os << '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ',';
+    os << FormatNumber(values[i]);
+  }
+  os << ']';
+}
+
+}  // namespace
+
+void WriteJson(const RegistrySnapshot& snapshot, std::ostream& os,
+               const Tracer* tracer) {
+  os << "{\n  \"schema\": \"metaai.obs.v1\",\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& [name, value] = snapshot.counters[i];
+    os << (i > 0 ? ",\n    " : "\n    ") << EscapeString(name) << ": "
+       << value;
+  }
+  os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& [name, value] = snapshot.gauges[i];
+    os << (i > 0 ? ",\n    " : "\n    ") << EscapeString(name) << ": "
+       << FormatNumber(value);
+  }
+  os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, h] = snapshot.histograms[i];
+    os << (i > 0 ? ",\n    " : "\n    ") << EscapeString(name)
+       << ": {\"lower\": " << FormatNumber(h.lower) << ", \"upper_edges\": ";
+    WriteDoubleArray(os, h.upper_edges);
+    os << ", \"bucket_counts\": ";
+    WriteUintArray(os, h.bucket_counts);
+    os << ", \"count\": " << h.count << ", \"sum\": " << FormatNumber(h.sum)
+       << "}";
+  }
+  os << (snapshot.histograms.empty() ? "" : "\n  ") << "}";
+  if (tracer != nullptr) {
+    os << ",\n  \"spans\": [";
+    const auto& spans = tracer->spans();
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const SpanRecord& span = spans[i];
+      os << (i > 0 ? ",\n    " : "\n    ") << "{\"name\": "
+         << EscapeString(span.name) << ", \"start_ns\": " << span.start_ns
+         << ", \"duration_ns\": " << span.duration_ns
+         << ", \"depth\": " << span.depth << "}";
+    }
+    os << (spans.empty() ? "" : "\n  ") << "]";
+  }
+  os << "\n}\n";
+}
+
+std::string ToJson(const RegistrySnapshot& snapshot, const Tracer* tracer) {
+  std::ostringstream os;
+  WriteJson(snapshot, os, tracer);
+  return os.str();
+}
+
+bool WriteJsonFile(const Registry& registry, const std::string& path,
+                   const Tracer* tracer) {
+  std::ofstream os(path);
+  if (!os.good()) return false;
+  WriteJson(registry.Snapshot(), os, tracer);
+  return os.good();
+}
+
+void WriteCsv(const RegistrySnapshot& snapshot, std::ostream& os) {
+  os << "name,kind,value,count,sum,p50,p95\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    os << name << ",counter," << value << ",,,,\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << name << ",gauge," << FormatNumber(value) << ",,,,\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << name << ",histogram,," << h.count << ',' << FormatNumber(h.sum)
+       << ',' << FormatNumber(Percentile(h, 50.0)) << ','
+       << FormatNumber(Percentile(h, 95.0)) << '\n';
+  }
+}
+
+std::string ToCsv(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  WriteCsv(snapshot, os);
+  return os.str();
+}
+
+Table SummaryTable(const RegistrySnapshot& snapshot) {
+  Table table("Telemetry summary",
+              {"Instrument", "Kind", "Value", "Count", "Mean", "P95"});
+  for (const auto& [name, value] : snapshot.counters) {
+    table.AddRow({name, "counter", std::to_string(value), "", "", ""});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    table.AddRow({name, "gauge", FormatDouble(value, 4), "", "", ""});
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const double mean =
+        h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+    table.AddRow({name, "histogram", "", std::to_string(h.count),
+                  FormatDouble(mean, 4),
+                  FormatDouble(Percentile(h, 95.0), 4)});
+  }
+  return table;
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader.
+// ---------------------------------------------------------------------
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue();
+    SkipWhitespace();
+    Check(pos_ == text_.size(), "trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipWhitespace();
+    Check(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    Check(Peek() == c, std::string("expected '") + c + "' in JSON input");
+    ++pos_;
+  }
+
+  bool Consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue ParseValue() {
+    const char c = Peek();
+    JsonValue value;
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        value.type = JsonValue::Type::kString;
+        value.string = ParseString();
+        return value;
+      case 't':
+        Check(Consume("true"), "malformed JSON literal");
+        value.type = JsonValue::Type::kBool;
+        value.boolean = true;
+        return value;
+      case 'f':
+        Check(Consume("false"), "malformed JSON literal");
+        value.type = JsonValue::Type::kBool;
+        value.boolean = false;
+        return value;
+      case 'n':
+        Check(Consume("null"), "malformed JSON literal");
+        value.type = JsonValue::Type::kNull;
+        return value;
+      default:
+        return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    if (Peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      Check(Peek() == '"', "JSON object key must be a string");
+      std::string key = ParseString();
+      Expect(':');
+      value.object.emplace_back(std::move(key), ParseValue());
+      const char next = Peek();
+      ++pos_;
+      if (next == '}') return value;
+      Check(next == ',', "expected ',' or '}' in JSON object");
+    }
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    if (Peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(ParseValue());
+      const char next = Peek();
+      ++pos_;
+      if (next == ']') return value;
+      Check(next == ',', "expected ',' or ']' in JSON array");
+    }
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (true) {
+      Check(pos_ < text_.size(), "unterminated JSON string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      Check(pos_ < text_.size(), "unterminated JSON escape");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'u': {
+          Check(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          out += static_cast<char>(std::strtol(hex.c_str(), nullptr, 16));
+          break;
+        }
+        default:
+          throw CheckError("unsupported JSON escape");
+      }
+    }
+  }
+
+  JsonValue ParseNumber() {
+    SkipWhitespace();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    Check(pos_ > start, "malformed JSON number");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    value.number = std::strtod(token.c_str(), &end);
+    Check(end == token.c_str() + token.size(), "malformed JSON number");
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue& Member(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.Find(key);
+  Check(value != nullptr, "missing JSON member: " + std::string(key));
+  return *value;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+JsonValue ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+RegistrySnapshot SnapshotFromJson(const JsonValue& document) {
+  Check(document.type == JsonValue::Type::kObject,
+        "telemetry document must be a JSON object");
+  const JsonValue& schema = Member(document, "schema");
+  Check(schema.string == "metaai.obs.v1",
+        "unsupported telemetry schema: " + schema.string);
+
+  RegistrySnapshot snapshot;
+  for (const auto& [name, value] : Member(document, "counters").object) {
+    snapshot.counters.emplace_back(
+        name, static_cast<std::uint64_t>(value.number));
+  }
+  for (const auto& [name, value] : Member(document, "gauges").object) {
+    snapshot.gauges.emplace_back(name, value.number);
+  }
+  for (const auto& [name, value] : Member(document, "histograms").object) {
+    HistogramSnapshot h;
+    h.lower = Member(value, "lower").number;
+    for (const JsonValue& edge : Member(value, "upper_edges").array) {
+      h.upper_edges.push_back(edge.number);
+    }
+    for (const JsonValue& count : Member(value, "bucket_counts").array) {
+      h.bucket_counts.push_back(static_cast<std::uint64_t>(count.number));
+    }
+    h.count = static_cast<std::uint64_t>(Member(value, "count").number);
+    h.sum = Member(value, "sum").number;
+    snapshot.histograms.emplace_back(name, std::move(h));
+  }
+  return snapshot;
+}
+
+}  // namespace metaai::obs

@@ -1,0 +1,71 @@
+// Export of telemetry state: JSON (machine-readable, schema
+// "metaai.obs.v1"), CSV (one row per instrument) and a console summary
+// table. A minimal JSON reader is included so tools and tests can
+// round-trip the exported documents without external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace metaai::obs {
+
+/// Serializes a registry snapshot (and, when `tracer` is non-null, its
+/// spans) as one JSON object:
+///   { "schema": "metaai.obs.v1",
+///     "counters":   { "<name>": <integer>, ... },
+///     "gauges":     { "<name>": <number>, ... },
+///     "histograms": { "<name>": { "lower": n, "upper_edges": [...],
+///                                 "bucket_counts": [...],
+///                                 "count": n, "sum": n }, ... },
+///     "spans":      [ { "name": s, "start_ns": n, "duration_ns": n,
+///                       "depth": n }, ... ] }          // tracer only
+/// Identical snapshots serialize to identical bytes.
+void WriteJson(const RegistrySnapshot& snapshot, std::ostream& os,
+               const Tracer* tracer = nullptr);
+std::string ToJson(const RegistrySnapshot& snapshot,
+                   const Tracer* tracer = nullptr);
+/// Convenience: snapshot + write to `path`. Returns false on I/O failure.
+bool WriteJsonFile(const Registry& registry, const std::string& path,
+                   const Tracer* tracer = nullptr);
+
+/// CSV with header "name,kind,value,count,sum,p50,p95": counters and
+/// gauges fill `value`; histograms fill count/sum and the percentiles.
+void WriteCsv(const RegistrySnapshot& snapshot, std::ostream& os);
+std::string ToCsv(const RegistrySnapshot& snapshot);
+
+/// Compact console summary built on common/table.
+Table SummaryTable(const RegistrySnapshot& snapshot);
+
+/// Minimal JSON value for reading back exported documents. Supports the
+/// subset this library emits: objects, arrays, strings, numbers, bools,
+/// null. Object keys keep insertion order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Member lookup on objects; null when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses `text`; throws CheckError on malformed input or trailing junk.
+JsonValue ParseJson(std::string_view text);
+
+/// Rebuilds a registry snapshot from a "metaai.obs.v1" document (the
+/// inverse of WriteJson, minus spans). Throws CheckError on schema
+/// mismatch.
+RegistrySnapshot SnapshotFromJson(const JsonValue& document);
+
+}  // namespace metaai::obs

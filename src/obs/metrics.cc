@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::obs {
+
+HistogramSpec HistogramSpec::Linear(double lo, double hi, std::size_t bins) {
+  Check(bins > 0, "histogram needs at least one bucket");
+  Check(hi > lo, "histogram range must be non-empty");
+  HistogramSpec spec;
+  spec.lower = lo;
+  spec.upper_edges.reserve(bins);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 1; i <= bins; ++i) {
+    spec.upper_edges.push_back(lo + width * static_cast<double>(i));
+  }
+  spec.upper_edges.back() = hi;  // exact upper bound despite rounding
+  return spec;
+}
+
+HistogramSpec HistogramSpec::Exponential(double start, double factor,
+                                         std::size_t bins) {
+  Check(bins > 0, "histogram needs at least one bucket");
+  Check(start > 0.0 && factor > 1.0, "exponential edges need start>0, factor>1");
+  HistogramSpec spec;
+  spec.lower = 0.0;
+  spec.upper_edges.reserve(bins);
+  double edge = start;
+  for (std::size_t i = 0; i < bins; ++i) {
+    spec.upper_edges.push_back(edge);
+    edge *= factor;
+  }
+  return spec;
+}
+
+Histogram::Histogram(HistogramSpec spec)
+    : spec_(std::move(spec)), buckets_(spec_.upper_edges.size() + 1) {
+  Check(!spec_.upper_edges.empty(), "histogram needs at least one edge");
+  Check(std::is_sorted(spec_.upper_edges.begin(), spec_.upper_edges.end()),
+        "histogram edges must be sorted");
+  Check(spec_.lower < spec_.upper_edges.front(),
+        "histogram lower bound must precede the first edge");
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(spec_.upper_edges.begin(),
+                                   spec_.upper_edges.end(), value);
+  const auto index = static_cast<std::size_t>(
+      std::distance(spec_.upper_edges.begin(), it));
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  const std::uint64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.lower = spec_.lower;
+  snapshot.upper_edges = spec_.upper_edges;
+  snapshot.bucket_counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snapshot.bucket_counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snapshot.count = count();
+  snapshot.sum = sum();
+  return snapshot;
+}
+
+double Percentile(const HistogramSnapshot& h, double p) {
+  if (h.count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+    const std::uint64_t in_bucket = h.bucket_counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      const double lo = i == 0 ? h.lower : h.upper_edges[i - 1];
+      if (i >= h.upper_edges.size()) return lo;  // overflow bucket
+      const double hi = h.upper_edges[i];
+      const double fraction =
+          std::clamp((target - static_cast<double>(cumulative)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  // Unreachable when counts are consistent; fall back to the top edge.
+  return h.upper_edges.back();
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  const HistogramSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(std::string(name), spec).first->second;
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter.value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge.value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram.Snapshot());
+  }
+  return snapshot;
+}
+
+}  // namespace metaai::obs

@@ -1,0 +1,138 @@
+// Deterministic in-process metrics: named counters, gauges and
+// fixed-bucket histograms collected in a Registry.
+//
+// Design constraints (see README.md "Telemetry"):
+//  * Deterministic — instruments hold only values derived from seeded
+//    computation (counts, objective values, model-time durations), so two
+//    identically-seeded runs snapshot byte-identical state. Wall-clock
+//    time lives in obs::Tracer, never in the Registry.
+//  * Cheap — single-threaded hot paths pay one map lookup per event;
+//    instruments themselves are atomics so future parallel PRs can share
+//    a registry without restructuring call sites.
+//  * Optional — call sites go through the helpers in obs/obs.h, which
+//    no-op when no registry is installed (or when compiled out with
+//    -DMETAAI_OBS=OFF).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaai::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (e.g. a loss, a utilization fraction).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Bucket layout of a histogram: `lower` plus strictly increasing upper
+/// edges. Bucket i covers (edge[i-1], edge[i]]; values below `lower` clamp
+/// into the first bucket and values above the last edge land in a final
+/// overflow bucket (edge = +inf for readout purposes).
+struct HistogramSpec {
+  double lower = 0.0;
+  std::vector<double> upper_edges;
+
+  /// `bins` equal-width buckets over [lo, hi] (plus the overflow bucket).
+  static HistogramSpec Linear(double lo, double hi, std::size_t bins);
+  /// `bins` buckets with edges start, start*factor, start*factor^2, ...
+  static HistogramSpec Exponential(double start, double factor,
+                                   std::size_t bins);
+};
+
+struct HistogramSnapshot {
+  double lower = 0.0;
+  std::vector<double> upper_edges;
+  /// One per upper edge plus the trailing overflow bucket.
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Linear-interpolated percentile estimate from bucket counts, p in
+/// [0, 100]. Exact up to one bucket width; the overflow bucket reads as
+/// its lower edge. Returns 0 for an empty histogram.
+double Percentile(const HistogramSnapshot& h, double p);
+
+/// Fixed-bucket histogram. Observe() is lock-free after construction.
+class Histogram {
+ public:
+  explicit Histogram(HistogramSpec spec);
+
+  void Observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  double Percentile(double p) const { return obs::Percentile(Snapshot(), p); }
+  const HistogramSpec& spec() const { return spec_; }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  HistogramSpec spec_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Everything a Registry holds at one instant, ordered by name within
+/// each kind — the unit of export and of determinism comparisons.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  bool operator==(const RegistrySnapshot&) const = default;
+  std::size_t size() const {
+    return counters.size() + gauges.size() + histograms.size();
+  }
+};
+
+/// Named instruments, created on first use and stable thereafter (map
+/// nodes never move, so returned references remain valid for the
+/// registry's lifetime). Instrument names follow `subsystem.metric`.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `spec` is consulted only on first creation of `name`.
+  Histogram& GetHistogram(std::string_view name, const HistogramSpec& spec);
+
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace metaai::obs

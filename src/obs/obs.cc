@@ -1,0 +1,26 @@
+#include "obs/obs.h"
+
+namespace metaai::obs {
+namespace {
+
+Registry* g_registry = nullptr;
+Tracer* g_tracer = nullptr;
+
+}  // namespace
+
+Registry* registry() { return g_registry; }
+Tracer* tracer() { return g_tracer; }
+
+Registry* SetRegistry(Registry* registry) {
+  Registry* previous = g_registry;
+  g_registry = registry;
+  return previous;
+}
+
+Tracer* SetTracer(Tracer* tracer) {
+  Tracer* previous = g_tracer;
+  g_tracer = tracer;
+  return previous;
+}
+
+}  // namespace metaai::obs

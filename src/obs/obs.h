@@ -1,0 +1,94 @@
+// Instrumentation entry points used by library code.
+//
+// Call sites write
+//
+//   obs::Count("ota.rounds", rounds);
+//   obs::SetGauge("train.loss", loss);
+//   obs::Observe("solver.sweeps_per_solve", sweeps, kSweepBuckets);
+//   const obs::ScopedSpan span = obs::Span("ota.round");
+//
+// and pay nothing when telemetry is off: with the CMake option
+// -DMETAAI_OBS=OFF the helpers are empty inlines (the instrumented hot
+// paths compile to no-ops); with telemetry compiled in but no registry
+// installed they cost one pointer load and branch.
+//
+// Install/uninstall the process-global registry and tracer with
+// ScopedRegistry / ScopedTracer (tools and tests) — nothing is installed
+// by default.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+// Defined (0/1) on the metaai_obs CMake target; default on for direct
+// non-CMake consumers of the headers.
+#ifndef METAAI_OBS_ENABLED
+#define METAAI_OBS_ENABLED 1
+#endif
+
+namespace metaai::obs {
+
+/// Process-global registry/tracer; null when telemetry is not installed.
+Registry* registry();
+Tracer* tracer();
+/// Returns the previously installed pointer (for manual restore).
+Registry* SetRegistry(Registry* registry);
+Tracer* SetTracer(Tracer* tracer);
+
+/// Installs `registry` for the current scope and restores the previous
+/// one on destruction.
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry* registry)
+      : previous_(SetRegistry(registry)) {}
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+  ~ScopedRegistry() { SetRegistry(previous_); }
+
+ private:
+  Registry* previous_;
+};
+
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer* tracer) : previous_(SetTracer(tracer)) {}
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+  ~ScopedTracer() { SetTracer(previous_); }
+
+ private:
+  Tracer* previous_;
+};
+
+#if METAAI_OBS_ENABLED
+
+inline void Count(std::string_view name, std::uint64_t n = 1) {
+  if (Registry* r = registry()) r->GetCounter(name).Add(n);
+}
+
+inline void SetGauge(std::string_view name, double value) {
+  if (Registry* r = registry()) r->GetGauge(name).Set(value);
+}
+
+inline void Observe(std::string_view name, double value,
+                    const HistogramSpec& spec) {
+  if (Registry* r = registry()) r->GetHistogram(name, spec).Observe(value);
+}
+
+inline ScopedSpan Span(std::string_view name) {
+  return ScopedSpan(tracer(), name);
+}
+
+#else
+
+inline void Count(std::string_view, std::uint64_t = 1) {}
+inline void SetGauge(std::string_view, double) {}
+inline void Observe(std::string_view, double, const HistogramSpec&) {}
+inline ScopedSpan Span(std::string_view) { return ScopedSpan(nullptr, {}); }
+
+#endif  // METAAI_OBS_ENABLED
+
+}  // namespace metaai::obs

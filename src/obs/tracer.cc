@@ -1,0 +1,47 @@
+#include "obs/tracer.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace metaai::obs {
+
+std::int64_t SteadyClock::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Tracer::Tracer() : clock_(new SteadyClock()), owns_clock_(true) {}
+
+Tracer::Tracer(Clock* clock) : clock_(clock), owns_clock_(false) {
+  Check(clock != nullptr, "tracer needs a clock");
+}
+
+Tracer::~Tracer() {
+  if (owns_clock_) delete clock_;
+}
+
+std::size_t Tracer::BeginSpan(std::string_view name) {
+  spans_.push_back(SpanRecord{.name = std::string(name),
+                              .start_ns = clock_->NowNs(),
+                              .duration_ns = -1,
+                              .depth = depth_});
+  ++depth_;
+  return spans_.size() - 1;
+}
+
+void Tracer::EndSpan(std::size_t index) {
+  CheckIndex(index, spans_.size(), "span");
+  SpanRecord& span = spans_[index];
+  Check(span.duration_ns < 0, "span ended twice");
+  span.duration_ns = clock_->NowNs() - span.start_ns;
+  --depth_;
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  depth_ = 0;
+}
+
+}  // namespace metaai::obs

@@ -1,0 +1,97 @@
+// Trace spans: named, nested wall-time scopes recorded through an
+// injectable clock.
+//
+// The default SteadyClock reads std::chrono::steady_clock, so span
+// durations vary run to run — which is why spans are kept out of the
+// metrics Registry (whose snapshots must be seed-deterministic). Tests
+// inject a ManualClock to make traces byte-identical across runs.
+//
+// The tracer is intentionally single-threaded (like today's inference
+// path); per-thread tracers can be aggregated later without changing the
+// call sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaai::obs {
+
+/// Nanosecond time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::int64_t NowNs() = 0;
+};
+
+/// std::chrono::steady_clock.
+class SteadyClock : public Clock {
+ public:
+  std::int64_t NowNs() override;
+};
+
+/// Test clock: advances only when told, so traces are reproducible.
+class ManualClock : public Clock {
+ public:
+  std::int64_t NowNs() override { return now_ns_; }
+  void AdvanceNs(std::int64_t delta) { now_ns_ += delta; }
+  void SetNs(std::int64_t now) { now_ns_ = now; }
+
+ private:
+  std::int64_t now_ns_ = 0;
+};
+
+/// One completed (or still-open, duration_ns < 0) span.
+struct SpanRecord {
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = -1;
+  /// Nesting depth at entry; 0 for top-level spans.
+  int depth = 0;
+
+  bool operator==(const SpanRecord&) const = default;
+};
+
+class Tracer {
+ public:
+  /// Owns an internal SteadyClock.
+  Tracer();
+  /// Uses `clock` (not owned; must outlive the tracer).
+  explicit Tracer(Clock* clock);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
+
+  /// Opens a span and returns its index for EndSpan.
+  std::size_t BeginSpan(std::string_view name);
+  void EndSpan(std::size_t index);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  void Clear();
+
+ private:
+  Clock* clock_;
+  bool owns_clock_;
+  int depth_ = 0;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span scope used by obs::Span(); safe on a null tracer (no-op).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string_view name)
+      : tracer_(tracer),
+        index_(tracer != nullptr ? tracer->BeginSpan(name) : 0) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(index_);
+  }
+
+ private:
+  Tracer* tracer_;
+  std::size_t index_;
+};
+
+}  // namespace metaai::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "rf/geometry.h"
 
 namespace metaai::sim {
@@ -170,6 +171,15 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
   for (const auto& codes : schedule) {
     Check(codes.size() == atoms, "schedule config size mismatch");
   }
+
+  // Bulk event counts for this transmission (per-sample counting would
+  // dominate the loop below).
+  obs::Count("link.transmissions");
+  obs::Count("link.symbols", num_symbols);
+  obs::Count("link.channel_applications", num_obs * num_symbols);
+  obs::Count("link.awgn_draws",
+             num_obs * num_symbols *
+                 static_cast<std::size_t>(config_.oversample));
 
   // Per-symbol base responses B(o, i) = sum_m steering * phasor, using
   // the hardware's (device-error-perturbed) steering.

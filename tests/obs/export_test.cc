@@ -1,0 +1,127 @@
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+namespace metaai::obs {
+namespace {
+
+Registry& FilledRegistry(Registry& registry) {
+  registry.GetCounter("ota.rounds").Add(40);
+  registry.GetCounter("solver.calls").Add(7);
+  registry.GetGauge("train.loss").Set(0.125);
+  registry.GetGauge("ota.accuracy").Set(0.875);
+  Histogram& h = registry.GetHistogram(
+      "solver.sweeps_per_solve", HistogramSpec::Linear(0.0, 4.0, 4));
+  h.Observe(1.0);
+  h.Observe(2.0);
+  h.Observe(2.0);
+  h.Observe(9.0);  // overflow
+  return registry;
+}
+
+TEST(JsonExportTest, RoundTripMatchesRegistryState) {
+  Registry registry;
+  const std::string json = ToJson(FilledRegistry(registry).Snapshot());
+  const JsonValue document = ParseJson(json);
+  EXPECT_EQ(document.Find("schema")->string, "metaai.obs.v1");
+  // The parsed document rebuilds the exact snapshot we serialized.
+  EXPECT_EQ(SnapshotFromJson(document), registry.Snapshot());
+}
+
+TEST(JsonExportTest, IdenticalSnapshotsSerializeIdentically) {
+  Registry a;
+  Registry b;
+  EXPECT_EQ(ToJson(FilledRegistry(a).Snapshot()),
+            ToJson(FilledRegistry(b).Snapshot()));
+}
+
+TEST(JsonExportTest, SpansAppearOnlyWithATracer) {
+  Registry registry;
+  ManualClock clock;
+  Tracer tracer(&clock);
+  const std::size_t span = tracer.BeginSpan("unit.work");
+  clock.AdvanceNs(42);
+  tracer.EndSpan(span);
+
+  const std::string without = ToJson(registry.Snapshot());
+  EXPECT_EQ(without.find("\"spans\""), std::string::npos);
+
+  const std::string with = ToJson(registry.Snapshot(), &tracer);
+  const JsonValue document = ParseJson(with);
+  const JsonValue* spans = document.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->array.size(), 1u);
+  EXPECT_EQ(spans->array[0].Find("name")->string, "unit.work");
+  EXPECT_DOUBLE_EQ(spans->array[0].Find("duration_ns")->number, 42.0);
+  EXPECT_DOUBLE_EQ(spans->array[0].Find("depth")->number, 0.0);
+}
+
+TEST(JsonExportTest, EscapesSpecialCharacters) {
+  Registry registry;
+  registry.GetCounter("weird\"name\\with\nstuff").Add(1);
+  const std::string json = ToJson(registry.Snapshot());
+  const JsonValue document = ParseJson(json);
+  ASSERT_EQ(document.Find("counters")->object.size(), 1u);
+  EXPECT_EQ(document.Find("counters")->object[0].first,
+            "weird\"name\\with\nstuff");
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_THROW(ParseJson("{"), CheckError);
+  EXPECT_THROW(ParseJson("[1, 2,]"), CheckError);
+  EXPECT_THROW(ParseJson("{\"a\": 1} trailing"), CheckError);
+  EXPECT_THROW(ParseJson("{'single': 1}"), CheckError);
+}
+
+TEST(JsonParserTest, ParsesScalarsAndNesting) {
+  const JsonValue v = ParseJson(
+      "{\"b\": true, \"n\": null, \"x\": -1.5e2, \"a\": [1, {\"k\": \"v\"}]}");
+  EXPECT_TRUE(v.Find("b")->boolean);
+  EXPECT_EQ(v.Find("n")->type, JsonValue::Type::kNull);
+  EXPECT_DOUBLE_EQ(v.Find("x")->number, -150.0);
+  ASSERT_EQ(v.Find("a")->array.size(), 2u);
+  EXPECT_EQ(v.Find("a")->array[1].Find("k")->string, "v");
+}
+
+TEST(CsvExportTest, OneRowPerInstrument) {
+  Registry registry;
+  const std::string csv = ToCsv(FilledRegistry(registry).Snapshot());
+  EXPECT_NE(csv.find("name,kind,value,count,sum,p50,p95"), std::string::npos);
+  EXPECT_NE(csv.find("ota.rounds,counter,40"), std::string::npos);
+  EXPECT_NE(csv.find("train.loss,gauge,0.125"), std::string::npos);
+  EXPECT_NE(csv.find("solver.sweeps_per_solve,histogram,,4,14"),
+            std::string::npos);
+}
+
+TEST(SummaryTableTest, ListsEveryInstrument) {
+  Registry registry;
+  const Table table = SummaryTable(FilledRegistry(registry).Snapshot());
+  // 2 counters + 2 gauges + 1 histogram.
+  EXPECT_EQ(table.row_count(), 5u);
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("solver.sweeps_per_solve"), std::string::npos);
+  EXPECT_NE(rendered.find("histogram"), std::string::npos);
+}
+
+TEST(JsonExportTest, WriteJsonFileRoundTrips) {
+  Registry registry;
+  FilledRegistry(registry);
+  const std::string path = ::testing::TempDir() + "metaai_obs_export.json";
+  ASSERT_TRUE(WriteJsonFile(registry, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(SnapshotFromJson(ParseJson(buffer.str())), registry.Snapshot());
+}
+
+}  // namespace
+}  // namespace metaai::obs

@@ -1,0 +1,164 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "obs/obs.h"
+
+namespace metaai::obs {
+namespace {
+
+TEST(CounterTest, AddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(GaugeTest, KeepsLastValue) {
+  Gauge gauge;
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  gauge.Set(1.5);
+  gauge.Set(-2.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.25);
+}
+
+TEST(HistogramSpecTest, LinearEdges) {
+  const HistogramSpec spec = HistogramSpec::Linear(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(spec.lower, 0.0);
+  ASSERT_EQ(spec.upper_edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(spec.upper_edges.front(), 2.0);
+  EXPECT_DOUBLE_EQ(spec.upper_edges.back(), 10.0);
+}
+
+TEST(HistogramSpecTest, ExponentialEdges) {
+  const HistogramSpec spec = HistogramSpec::Exponential(1.0, 2.0, 4);
+  const std::vector<double> expected{1.0, 2.0, 4.0, 8.0};
+  EXPECT_EQ(spec.upper_edges, expected);
+}
+
+TEST(HistogramTest, BucketMath) {
+  Histogram histogram(HistogramSpec::Linear(0.0, 10.0, 10));
+  // Bucket i covers (i, i+1]; clamping on both sides into edge buckets.
+  histogram.Observe(0.5);    // bucket 0
+  histogram.Observe(1.0);    // bucket 0 (inclusive upper edge)
+  histogram.Observe(1.001);  // bucket 1
+  histogram.Observe(9.999);  // bucket 9
+  histogram.Observe(-3.0);   // clamps into bucket 0
+  histogram.Observe(25.0);   // overflow bucket
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  ASSERT_EQ(snapshot.bucket_counts.size(), 11u);  // 10 + overflow
+  EXPECT_EQ(snapshot.bucket_counts[0], 3u);
+  EXPECT_EQ(snapshot.bucket_counts[1], 1u);
+  EXPECT_EQ(snapshot.bucket_counts[9], 1u);
+  EXPECT_EQ(snapshot.bucket_counts[10], 1u);
+  EXPECT_EQ(snapshot.count, 6u);
+  EXPECT_DOUBLE_EQ(snapshot.sum, 0.5 + 1.0 + 1.001 + 9.999 - 3.0 + 25.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), snapshot.sum / 6.0);
+}
+
+TEST(HistogramTest, PercentileMatchesExactStatsWithinBucketWidth) {
+  // Cross-check the histogram percentile estimate against the exact
+  // sorted-sample percentile from common/stats: with 1000 fine buckets the
+  // two must agree to one bucket width.
+  Rng rng(7);
+  Histogram histogram(HistogramSpec::Linear(0.0, 1.0, 1000));
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.Uniform(0.0, 1.0);
+    values.push_back(v);
+    histogram.Observe(v);
+  }
+  constexpr double kBucketWidth = 1.0 / 1000.0;
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+    // obs::Percentile (histogram) vs metaai::Percentile (exact, sorted).
+    EXPECT_NEAR(histogram.Percentile(p), metaai::Percentile(values, p),
+                2.0 * kBucketWidth)
+        << "p" << p;
+  }
+}
+
+TEST(HistogramTest, PercentileEdgeCases) {
+  Histogram histogram(HistogramSpec::Linear(0.0, 4.0, 4));
+  EXPECT_DOUBLE_EQ(histogram.Percentile(50.0), 0.0);  // empty
+  histogram.Observe(2.5);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100.0), 3.0);  // top of its bucket
+  histogram.Observe(100.0);                            // overflow
+  // The overflow bucket reads as its lower edge (the last finite edge).
+  EXPECT_DOUBLE_EQ(histogram.Percentile(100.0), 4.0);
+}
+
+TEST(RegistryTest, InstrumentsAreSingletonsByName) {
+  Registry registry;
+  Counter& a = registry.GetCounter("x.count");
+  Counter& b = registry.GetCounter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+  Histogram& h1 =
+      registry.GetHistogram("x.h", HistogramSpec::Linear(0.0, 1.0, 2));
+  // Spec of later calls is ignored; same instrument comes back.
+  Histogram& h2 =
+      registry.GetHistogram("x.h", HistogramSpec::Linear(0.0, 9.0, 3));
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.spec().upper_edges.size(), 2u);
+}
+
+TEST(RegistryTest, SnapshotIsSortedByName) {
+  Registry registry;
+  registry.GetCounter("b.second").Add(2);
+  registry.GetCounter("a.first").Add(1);
+  registry.GetGauge("z.gauge").Set(9.0);
+  registry.GetHistogram("m.hist", HistogramSpec::Linear(0.0, 1.0, 4))
+      .Observe(0.5);
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].first, "a.first");
+  EXPECT_EQ(snapshot.counters[1].first, "b.second");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.size(), 4u);
+}
+
+TEST(RegistryTest, SnapshotEqualityDetectsDrift) {
+  Registry a;
+  Registry b;
+  a.GetCounter("n").Add(5);
+  b.GetCounter("n").Add(5);
+  EXPECT_EQ(a.Snapshot(), b.Snapshot());
+  b.GetCounter("n").Add(1);
+  EXPECT_NE(a.Snapshot(), b.Snapshot());
+}
+
+TEST(ObsHelpersTest, NoOpWithoutInstalledRegistry) {
+  // No registry installed: helpers must not crash and must record nothing.
+  Count("nowhere.count", 3);
+  SetGauge("nowhere.gauge", 1.0);
+  Observe("nowhere.hist", 0.5, HistogramSpec::Linear(0.0, 1.0, 2));
+}
+
+#if METAAI_OBS_ENABLED
+TEST(ObsHelpersTest, ScopedRegistryRoutesAndRestores) {
+  Registry registry;
+  {
+    const ScopedRegistry scoped(&registry);
+    Count("scoped.count", 2);
+    SetGauge("scoped.gauge", 4.0);
+    Observe("scoped.hist", 0.5, HistogramSpec::Linear(0.0, 1.0, 2));
+  }
+  Count("scoped.count", 99);  // after restore: dropped
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].second, 2u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges[0].second, 4.0);
+  EXPECT_EQ(snapshot.histograms[0].second.count, 1u);
+}
+#endif  // METAAI_OBS_ENABLED
+
+}  // namespace
+}  // namespace metaai::obs

@@ -1,0 +1,109 @@
+#include "obs/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace metaai::obs {
+namespace {
+
+TEST(ManualClockTest, AdvancesOnlyWhenTold) {
+  ManualClock clock;
+  EXPECT_EQ(clock.NowNs(), 0);
+  clock.AdvanceNs(250);
+  EXPECT_EQ(clock.NowNs(), 250);
+  clock.SetNs(1000);
+  EXPECT_EQ(clock.NowNs(), 1000);
+}
+
+TEST(TracerTest, RecordsNestedSpansWithDepthAndDuration) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  {
+    const ScopedSpan outer(&tracer, "outer");
+    clock.AdvanceNs(100);
+    {
+      const ScopedSpan inner(&tracer, "inner");
+      clock.AdvanceNs(30);
+    }
+    {
+      const ScopedSpan sibling(&tracer, "sibling");
+      clock.AdvanceNs(20);
+    }
+    clock.AdvanceNs(50);
+  }
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0],
+            (SpanRecord{"outer", 0, 200, 0}));
+  EXPECT_EQ(spans[1],
+            (SpanRecord{"inner", 100, 30, 1}));
+  EXPECT_EQ(spans[2],
+            (SpanRecord{"sibling", 130, 20, 1}));
+}
+
+TEST(TracerTest, ManualClockTracesAreByteIdenticalAcrossRuns) {
+  auto run = [] {
+    ManualClock clock;
+    Tracer tracer(&clock);
+    {
+      const ScopedSpan a(&tracer, "phase.a");
+      clock.AdvanceNs(7);
+      const ScopedSpan b(&tracer, "phase.b");
+      clock.AdvanceNs(3);
+    }
+    return ToJson(RegistrySnapshot{}, &tracer);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TracerTest, EndingASpanTwiceThrows) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  const std::size_t index = tracer.BeginSpan("once");
+  tracer.EndSpan(index);
+  EXPECT_THROW(tracer.EndSpan(index), CheckError);
+}
+
+TEST(TracerTest, ClearResetsSpansAndDepth) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  tracer.EndSpan(tracer.BeginSpan("span"));
+  tracer.Clear();
+  EXPECT_TRUE(tracer.spans().empty());
+  tracer.EndSpan(tracer.BeginSpan("fresh"));
+  EXPECT_EQ(tracer.spans()[0].depth, 0);
+}
+
+TEST(TracerTest, SteadyClockDurationsAreNonNegative) {
+  Tracer tracer;  // owns a SteadyClock
+  tracer.EndSpan(tracer.BeginSpan("wall"));
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_GE(tracer.spans()[0].duration_ns, 0);
+}
+
+TEST(ScopedSpanTest, NullTracerIsANoOp) {
+  const ScopedSpan span(nullptr, "nothing");  // must not crash
+}
+
+#if METAAI_OBS_ENABLED
+TEST(ScopedTracerTest, InstallsAndRestores) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  {
+    const ScopedTracer scoped(&tracer);
+    const ScopedSpan span = Span("installed");
+    clock.AdvanceNs(5);
+  }
+  { const ScopedSpan span = Span("after.restore"); }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].name, "installed");
+  EXPECT_EQ(tracer.spans()[0].duration_ns, 5);
+}
+#endif  // METAAI_OBS_ENABLED
+
+}  // namespace
+}  // namespace metaai::obs

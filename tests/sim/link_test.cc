@@ -30,7 +30,7 @@ OtaLinkConfig QuietConfig() {
 }
 
 // A schedule realizing a single target weight on every symbol.
-MtsSchedule UniformSchedule(const mts::Metasurface& surface,
+MtsSchedule UniformSchedule(const mts::Metasurface& /*surface*/,
                             const OtaLink& link, Complex target,
                             std::size_t symbols) {
   const auto steering = link.SteeringVector(0);

@@ -1,9 +1,10 @@
 // Command-line front end for the MetaAI library.
 //
-//   metaai_cli train    --dataset mnist --out model.txt [--robust]
-//   metaai_cli eval     --dataset mnist --model model.txt
-//   metaai_cli deploy   --dataset mnist --model model.txt --out patterns.txt
-//   metaai_cli ota      --dataset mnist --model model.txt [--samples N]
+//   metaai_cli train      --dataset mnist --out model.txt [--robust]
+//   metaai_cli eval       --dataset mnist --model model.txt
+//   metaai_cli deploy     --dataset mnist --model model.txt --out patterns.txt
+//   metaai_cli ota        --dataset mnist --model model.txt [--samples N]
+//   metaai_cli quickstart --dataset mnist [--samples N] [--seed N]
 //   metaai_cli datasets
 //
 // `train` fits the complex LNN digitally (optionally with the §3.5
@@ -11,6 +12,12 @@
 // (simulation) accuracy. `deploy` solves the metasurface configuration
 // schedules for the default link and writes the controller pattern file.
 // `ota` runs the full over-the-air evaluation on the simulated link.
+// `quickstart` chains train -> deploy -> controller budget check -> OTA
+// evaluation in one process (the README quickstart path).
+//
+// Every command accepts `--metrics-out FILE`: telemetry is collected for
+// the run and written as a "metaai.obs.v1" JSON document (instruments
+// plus trace spans) on exit. See README.md "Telemetry".
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -19,6 +26,8 @@
 
 #include "core/metaai.h"
 #include "data/datasets.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 #include "rf/geometry.h"
 
 namespace {
@@ -39,17 +48,22 @@ struct Args {
 
 Args Parse(int argc, char** argv) {
   Args args;
-  if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) {
-      throw CheckError("unexpected argument: " + key);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      // First bare word is the command; flags may come before or after it.
+      if (!args.command.empty()) {
+        throw CheckError(std::string("unexpected argument: ") + argv[i]);
+      }
+      args.command = argv[i];
+      continue;
     }
-    key = key.substr(2);
+    const std::string key(argv[i] + 2);
+    // A flag consumes the next token as its value unless that token is
+    // itself a flag or there is none (then it is a boolean flag).
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      args.options[key] = argv[++i];
+      args.options.emplace(key, argv[++i]);
     } else {
-      args.options[key] = "1";  // boolean flag
+      args.options.emplace(key, "1");
     }
   }
   return args;
@@ -131,6 +145,50 @@ int Ota(const Args& args) {
   return 0;
 }
 
+int Quickstart(const Args& args) {
+  const auto dataset = data::MakeByName(args.Get("dataset", "mnist"));
+  const auto samples =
+      static_cast<std::size_t>(std::stoull(args.Get("samples", "50")));
+  Rng rng(std::stoull(args.Get("seed", "42")));
+
+  // Robust digital training (§3.5: CDFA sync injection + noise).
+  core::TrainingOptions training;
+  training.sync_error_injection = true;
+  training.sync_gamma_scale_us =
+      1.85 * sim::PaperEquivalentLatencyScale(dataset.train.dim);
+  training.input_noise_variance = 0.02;
+  const auto model = core::TrainModel(dataset.train, training, rng);
+  std::printf("digital accuracy: %.2f%%\n",
+              100.0 * core::EvaluateDigital(model, dataset.test));
+
+  // Deploy on the default link and check the pattern-switching budget.
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const core::Deployment deployment(model, surface, DefaultLink());
+  const auto& rounds = deployment.schedules().rounds;
+  const std::size_t patterns = rounds.size() * rounds.front().size();
+  const mts::Controller controller;
+  const double rate = deployment.link().config().symbol_rate_hz;
+  const double duration = static_cast<double>(patterns) / rate;
+  std::printf("deployed %zu rounds x %zu symbols, residual %.4f\n",
+              rounds.size(), rounds.front().size(),
+              deployment.schedules().mean_relative_residual);
+  std::printf("controller: budget %s at %.0f sym/s, %.3f mJ per inference\n",
+              controller.CanSustain(rate, 2) ? "ok" : "EXCEEDED", rate,
+              1e3 * controller.ScheduleEnergy(patterns, duration));
+
+  // Over-the-air evaluation under the CDFA sync model.
+  sim::SyncModelConfig sync_config;
+  sync_config.latency_scale =
+      sim::PaperEquivalentLatencyScale(dataset.train.dim);
+  const sim::SyncModel sync(sim::SyncMode::kCdfa, sync_config);
+  const double ota =
+      deployment.EvaluateAccuracy(dataset.test, sync, rng, samples);
+  std::printf("%s over-the-air accuracy: %.2f%% (%zu samples)\n",
+              dataset.name.c_str(), 100.0 * ota,
+              std::min(samples, dataset.test.size()));
+  return 0;
+}
+
 int Datasets() {
   for (const auto& name : data::AllDatasetNames()) {
     const auto ds = data::MakeByName(
@@ -143,13 +201,25 @@ int Datasets() {
 
 int Usage() {
   std::puts(
-      "usage: metaai_cli <command> [options]\n"
-      "  train    --dataset NAME --out FILE [--robust] [--seed N]\n"
-      "  eval     --dataset NAME --model FILE\n"
-      "  deploy   --model FILE --out FILE\n"
-      "  ota      --dataset NAME --model FILE [--samples N] [--seed N]\n"
-      "  datasets");
+      "usage: metaai_cli <command> [options] [--metrics-out FILE]\n"
+      "  train      --dataset NAME --out FILE [--robust] [--seed N]\n"
+      "  eval       --dataset NAME --model FILE\n"
+      "  deploy     --model FILE --out FILE\n"
+      "  ota        --dataset NAME --model FILE [--samples N] [--seed N]\n"
+      "  quickstart --dataset NAME [--samples N] [--seed N]\n"
+      "  datasets\n"
+      "--metrics-out writes the run's telemetry (metaai.obs.v1 JSON).");
   return 2;
+}
+
+int Dispatch(const Args& args) {
+  if (args.command == "train") return Train(args);
+  if (args.command == "eval") return Eval(args);
+  if (args.command == "deploy") return Deploy(args);
+  if (args.command == "ota") return Ota(args);
+  if (args.command == "quickstart") return Quickstart(args);
+  if (args.command == "datasets") return Datasets();
+  return Usage();
 }
 
 }  // namespace
@@ -157,12 +227,20 @@ int Usage() {
 int main(int argc, char** argv) {
   try {
     const Args args = Parse(argc, argv);
-    if (args.command == "train") return Train(args);
-    if (args.command == "eval") return Eval(args);
-    if (args.command == "deploy") return Deploy(args);
-    if (args.command == "ota") return Ota(args);
-    if (args.command == "datasets") return Datasets();
-    return Usage();
+    const std::string metrics_out = args.Get("metrics-out");
+    if (metrics_out.empty()) return Dispatch(args);
+
+    obs::Registry registry;
+    obs::Tracer tracer;
+    const obs::ScopedRegistry scoped_registry(&registry);
+    const obs::ScopedTracer scoped_tracer(&tracer);
+    const int status = Dispatch(args);
+    if (!obs::WriteJsonFile(registry, metrics_out, &tracer)) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n",
+                   metrics_out.c_str());
+      return 1;
+    }
+    return status;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

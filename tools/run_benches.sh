@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the bench suite in Release (warnings-as-errors) and runs every
+# bench binary with telemetry export enabled. Each bench writes
+# bench/out/BENCH_<name>.json (schema metaai.bench.v1, see EXPERIMENTS.md).
+# Any bench exiting nonzero fails the whole script.
+#
+# Usage: tools/run_benches.sh [build-dir]   (default: build-bench)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-bench}"
+out_dir="${repo_root}/bench/out"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release -DMETAAI_WERROR=ON
+cmake --build "${build_dir}" -j"$(nproc)"
+
+mkdir -p "${out_dir}"
+export METAAI_BENCH_OUT="${out_dir}"
+
+status=0
+for bench in "${build_dir}"/bench/bench_*; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  echo "== ${name}"
+  if ! "${bench}"; then
+    echo "FAILED: ${name}" >&2
+    status=1
+  fi
+done
+
+count="$(ls "${out_dir}"/BENCH_*.json 2>/dev/null | wc -l)"
+echo "Wrote ${count} BENCH_*.json files to ${out_dir}"
+exit "${status}"
