@@ -90,7 +90,37 @@ void BM_WeightMappingPerSymbol(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightMappingPerSymbol);
 
+// Console reporter that also records each benchmark's adjusted real
+// time as a BenchReport headline, so micro-kernel timings land in
+// BENCH_micro_kernels.json alongside the other bench documents and can
+// be tracked by metaai_bench_diff.
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsoleReporter(BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      report_->Headline(run.benchmark_name() + ".real_time_ns",
+                        run.GetAdjustedRealTime());
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace metaai::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  metaai::bench::BenchReport report("micro_kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  metaai::bench::ReportingConsoleReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -79,7 +79,30 @@ Deployment::Deployment(const TrainedModel& model,
                      ? MapSequential(model.network.weights(), link_,
                                      options.mapping)
                      : MapParallel(model.network.weights(), link_,
-                                   options.mapping)) {}
+                                   options.mapping)) {
+  if (obs::ProbesEnabled()) {
+    // Dump the leading phase configuration of every round so a
+    // degraded deployment's realized metasurface state is inspectable
+    // offline (the full schedule is rounds x symbols x atoms; the
+    // first symbol per round is the representative sample).
+    const auto& rounds = schedules_.rounds;
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+      const auto& codes = rounds[r].front();
+      std::vector<double> series(codes.size());
+      for (std::size_t m = 0; m < codes.size(); ++m) {
+        series[m] = static_cast<double>(codes[m]);
+      }
+      obs::Probe({.kind = obs::ProbeKind::kPhaseConfig,
+                  .site = "deploy.schedule",
+                  .values = {{"round", static_cast<double>(r)},
+                             {"symbol", 0.0},
+                             {"atoms", static_cast<double>(codes.size())},
+                             {"mean_relative_residual",
+                              schedules_.mean_relative_residual}},
+                  .series = std::move(series)});
+    }
+  }
+}
 
 std::vector<double> Deployment::ClassScores(const std::vector<double>& pixels,
                                             double mts_clock_offset_us,
@@ -96,6 +119,7 @@ std::vector<double> Deployment::ClassScores(const std::vector<double>& pixels,
   std::vector<double> scores(num_classes_, 0.0);
   for (std::size_t round = 0; round < schedules_.rounds.size(); ++round) {
     const obs::ScopedSpan round_span = obs::Span("ota.round");
+    round_span.Arg("round", static_cast<double>(round));
     const ComplexMatrix z = link_.TransmitSequence(
         symbols, schedules_.rounds[round], mts_clock_offset_us, rng);
     const auto& outputs = schedules_.outputs[round];
@@ -125,6 +149,7 @@ double Deployment::EvaluateAccuracy(const nn::RealDataset& test,
                             : test.size();
   Check(n > 0, "empty test set");
   const obs::ScopedSpan span = obs::Span("ota.evaluate");
+  span.Arg("samples", static_cast<double>(n));
   static const obs::HistogramSpec kOffsetBuckets =
       obs::HistogramSpec::Linear(0.0, 50.0, 25);
   obs::Count("ota.evaluations");
@@ -138,6 +163,13 @@ double Deployment::EvaluateAccuracy(const nn::RealDataset& test,
   const double accuracy =
       static_cast<double>(correct) / static_cast<double>(n);
   obs::SetGauge("ota.accuracy", accuracy);
+  if (obs::ProbesEnabled()) {
+    obs::Probe({.kind = obs::ProbeKind::kScalar,
+                .site = "ota.evaluate",
+                .values = {{"samples", static_cast<double>(n)},
+                           {"correct", static_cast<double>(correct)},
+                           {"accuracy", accuracy}}});
+  }
   return accuracy;
 }
 

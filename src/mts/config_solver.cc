@@ -77,6 +77,12 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
   static const obs::HistogramSpec kImprovementBuckets =
       obs::HistogramSpec::Linear(0.0, 1.0, 20);
   obs::Count("solver.calls");
+  // Objective after each coordinate-descent sweep, for the
+  // flight-recorder convergence curve.
+  std::vector<double> sweep_errors;
+  if (obs::ProbesEnabled()) {
+    sweep_errors.reserve(static_cast<std::size_t>(options.max_sweeps));
+  }
   bool converged = false;
   for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
     const double sweep_start_error = total_error();
@@ -109,6 +115,7 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
       }
     }
     result.sweeps_used = sweep + 1;
+    if (obs::ProbesEnabled()) sweep_errors.push_back(total_error());
     // Relative objective improvement of this coordinate-descent sweep.
     if (sweep_start_error > 0.0) {
       obs::Observe("solver.sweep_improvement",
@@ -130,6 +137,16 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
 
   result.achieved = sums;
   result.residual = std::sqrt(total_error());
+  if (obs::ProbesEnabled()) {
+    obs::Probe({.kind = obs::ProbeKind::kSolverSweep,
+                .site = "solver.solve",
+                .values = {{"targets", static_cast<double>(num_targets)},
+                           {"atoms", static_cast<double>(num_atoms)},
+                           {"sweeps", static_cast<double>(result.sweeps_used)},
+                           {"converged", converged ? 1.0 : 0.0},
+                           {"residual", result.residual}},
+                .series = std::move(sweep_errors)});
+  }
   return result;
 }
 

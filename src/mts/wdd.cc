@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace metaai::mts {
 namespace {
@@ -79,7 +80,19 @@ double WeightDistributionDensity(std::size_t num_atoms,
     }
   }
   Check(in_disk > 0, "tolerance grid too coarse");
-  return static_cast<double>(hit) / static_cast<double>(in_disk);
+  const double density =
+      static_cast<double>(hit) / static_cast<double>(in_disk);
+  obs::Count("wdd.density_evaluations");
+  if (obs::ProbesEnabled()) {
+    obs::Probe({.kind = obs::ProbeKind::kScalar,
+                .site = "wdd.density",
+                .values = {{"num_atoms", static_cast<double>(num_atoms)},
+                           {"epsilon", eps},
+                           {"density", density},
+                           {"cells_in_disk", static_cast<double>(in_disk)},
+                           {"cells_covered", static_cast<double>(hit)}}});
+  }
+  return density;
 }
 
 double NearestWeightDistance(std::complex<double> target,

@@ -1,0 +1,103 @@
+// Baseline/regression comparison for BENCH_<name>.json documents
+// (schema "metaai.bench.v1", written by bench/bench_util.h's
+// BenchReport). Used by tools/metaai_bench_diff and gated into
+// tools/run_benches.sh so a bench metric drifting beyond tolerance
+// fails the suite.
+//
+// A committed baseline (schema "metaai.bench.baseline.v1", one file per
+// bench under bench/baselines/) pins metrics extracted from a reference
+// run:
+//
+//   { "schema": "metaai.bench.baseline.v1", "bench": "<name>",
+//     "metrics": {
+//       "<path>": {"value": v, "abs_tol": a, "rel_tol": r}, ... } }
+//
+// Metric paths address the bench document:
+//   elapsed_s                  wall-clock seconds of the bench run
+//   headlines.<key>            bench-published headline numbers
+//   counters.<name>            metrics-block counter (deterministic)
+//   gauges.<name>              metrics-block gauge (deterministic)
+//   histograms.<name>.count    metrics-block histogram event count
+//   histograms.<name>.sum      metrics-block histogram value sum
+//
+// A current value passes when |current - value| <= abs_tol +
+// rel_tol * |value|; a path absent from the current document is a
+// failure (missing metric).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/export.h"
+
+namespace metaai::obs {
+
+struct BaselineMetric {
+  std::string path;
+  double value = 0.0;
+  double abs_tol = 0.0;
+  double rel_tol = 0.0;
+
+  /// Maximum allowed |current - value|.
+  double Allowed() const;
+  bool operator==(const BaselineMetric&) const = default;
+};
+
+struct BenchBaseline {
+  std::string bench;
+  std::vector<BaselineMetric> metrics;  // sorted by path
+
+  bool operator==(const BenchBaseline&) const = default;
+};
+
+/// Parses a "metaai.bench.baseline.v1" document; throws CheckError on
+/// schema mismatch.
+BenchBaseline BaselineFromJson(const JsonValue& document);
+/// Deterministic serialization (metrics in stored order).
+std::string BaselineToJson(const BenchBaseline& baseline);
+
+/// Looks up `path` (see the path grammar above) in a parsed
+/// "metaai.bench.v1" document; nullopt when absent.
+std::optional<double> ExtractBenchMetric(const JsonValue& bench_document,
+                                         std::string_view path);
+
+enum class DiffStatus {
+  kPass,     // within tolerance
+  kRegress,  // drifted beyond tolerance
+  kMissing,  // baseline metric absent from the current run
+};
+std::string_view DiffStatusName(DiffStatus status);
+
+struct MetricDiff {
+  std::string path;
+  double baseline = 0.0;
+  double current = 0.0;  // meaningless when status == kMissing
+  double allowed = 0.0;  // abs_tol + rel_tol * |baseline|
+  DiffStatus status = DiffStatus::kPass;
+};
+
+struct BenchDiffReport {
+  std::string bench;
+  std::vector<MetricDiff> metrics;
+
+  bool ok() const;  // every metric passed
+};
+
+/// Compares every baseline metric against `bench_document`.
+BenchDiffReport DiffBench(const BenchBaseline& baseline,
+                          const JsonValue& bench_document);
+
+/// Per-metric "baseline vs current" table for console output.
+Table BenchDiffTable(const BenchDiffReport& report);
+
+/// Builds a baseline from one bench run with default tolerances:
+/// counters and histogram counts exact; gauges, histogram sums and
+/// headlines rel_tol 1e-6; time-like metrics (elapsed_s and headlines
+/// ending in _ns/_us/_ms/_s) rel_tol 9 — i.e. up to 10x — because wall
+/// clock varies across machines. Metrics come out sorted by path.
+BenchBaseline DistillBaseline(const JsonValue& bench_document);
+
+}  // namespace metaai::obs

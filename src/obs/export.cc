@@ -13,11 +13,10 @@
 #include "common/check.h"
 
 namespace metaai::obs {
-namespace {
 
 // Shortest round-trippable representation: integers print without an
 // exponent, everything else via %.17g.
-std::string FormatNumber(double value) {
+std::string JsonNumber(double value) {
   char buffer[64];
   if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
       std::abs(value) < 1e15) {
@@ -29,7 +28,7 @@ std::string FormatNumber(double value) {
   return buffer;
 }
 
-std::string EscapeString(std::string_view s) {
+std::string JsonString(std::string_view s) {
   std::string out = "\"";
   for (const char c : s) {
     switch (c) {
@@ -63,6 +62,8 @@ std::string EscapeString(std::string_view s) {
   return out;
 }
 
+namespace {
+
 void WriteUintArray(std::ostream& os, std::span<const std::uint64_t> values) {
   os << '[';
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -76,7 +77,7 @@ void WriteDoubleArray(std::ostream& os, std::span<const double> values) {
   os << '[';
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i > 0) os << ',';
-    os << FormatNumber(values[i]);
+    os << JsonNumber(values[i]);
   }
   os << ']';
 }
@@ -88,24 +89,24 @@ void WriteJson(const RegistrySnapshot& snapshot, std::ostream& os,
   os << "{\n  \"schema\": \"metaai.obs.v1\",\n  \"counters\": {";
   for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
     const auto& [name, value] = snapshot.counters[i];
-    os << (i > 0 ? ",\n    " : "\n    ") << EscapeString(name) << ": "
+    os << (i > 0 ? ",\n    " : "\n    ") << JsonString(name) << ": "
        << value;
   }
   os << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
   for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
     const auto& [name, value] = snapshot.gauges[i];
-    os << (i > 0 ? ",\n    " : "\n    ") << EscapeString(name) << ": "
-       << FormatNumber(value);
+    os << (i > 0 ? ",\n    " : "\n    ") << JsonString(name) << ": "
+       << JsonNumber(value);
   }
   os << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
   for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
     const auto& [name, h] = snapshot.histograms[i];
-    os << (i > 0 ? ",\n    " : "\n    ") << EscapeString(name)
-       << ": {\"lower\": " << FormatNumber(h.lower) << ", \"upper_edges\": ";
+    os << (i > 0 ? ",\n    " : "\n    ") << JsonString(name)
+       << ": {\"lower\": " << JsonNumber(h.lower) << ", \"upper_edges\": ";
     WriteDoubleArray(os, h.upper_edges);
     os << ", \"bucket_counts\": ";
     WriteUintArray(os, h.bucket_counts);
-    os << ", \"count\": " << h.count << ", \"sum\": " << FormatNumber(h.sum)
+    os << ", \"count\": " << h.count << ", \"sum\": " << JsonNumber(h.sum)
        << "}";
   }
   os << (snapshot.histograms.empty() ? "" : "\n  ") << "}";
@@ -115,9 +116,18 @@ void WriteJson(const RegistrySnapshot& snapshot, std::ostream& os,
     for (std::size_t i = 0; i < spans.size(); ++i) {
       const SpanRecord& span = spans[i];
       os << (i > 0 ? ",\n    " : "\n    ") << "{\"name\": "
-         << EscapeString(span.name) << ", \"start_ns\": " << span.start_ns
+         << JsonString(span.name) << ", \"start_ns\": " << span.start_ns
          << ", \"duration_ns\": " << span.duration_ns
-         << ", \"depth\": " << span.depth << "}";
+         << ", \"depth\": " << span.depth;
+      if (!span.args.empty()) {
+        os << ", \"args\": {";
+        for (std::size_t a = 0; a < span.args.size(); ++a) {
+          os << (a > 0 ? ", " : "") << JsonString(span.args[a].first) << ": "
+             << JsonNumber(span.args[a].second);
+        }
+        os << "}";
+      }
+      os << "}";
     }
     os << (spans.empty() ? "" : "\n  ") << "]";
   }
@@ -138,18 +148,57 @@ bool WriteJsonFile(const Registry& registry, const std::string& path,
   return os.good();
 }
 
+void WriteChromeTrace(const Tracer& tracer, std::ostream& os) {
+  // Trace Event Format timestamps and durations are microseconds.
+  // Closed spans become complete ("X") events; a span still open at
+  // export time becomes a begin ("B") event so the flamegraph shows it
+  // running to the end of the trace.
+  os << "[";
+  const auto& spans = tracer.spans();
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    const bool open = span.duration_ns < 0;
+    os << (i > 0 ? ",\n " : "\n ") << "{\"name\": " << JsonString(span.name)
+       << ", \"ph\": \"" << (open ? 'B' : 'X') << "\""
+       << ", \"ts\": " << JsonNumber(static_cast<double>(span.start_ns) / 1e3);
+    if (!open) {
+      os << ", \"dur\": "
+         << JsonNumber(static_cast<double>(span.duration_ns) / 1e3);
+    }
+    os << ", \"pid\": 0, \"tid\": 0, \"args\": {\"depth\": " << span.depth;
+    for (const auto& [key, value] : span.args) {
+      os << ", " << JsonString(key) << ": " << JsonNumber(value);
+    }
+    os << "}}";
+  }
+  os << (spans.empty() ? "" : "\n") << "]\n";
+}
+
+std::string ToChromeTrace(const Tracer& tracer) {
+  std::ostringstream os;
+  WriteChromeTrace(tracer, os);
+  return os.str();
+}
+
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path) {
+  std::ofstream os(path);
+  if (!os.good()) return false;
+  WriteChromeTrace(tracer, os);
+  return os.good();
+}
+
 void WriteCsv(const RegistrySnapshot& snapshot, std::ostream& os) {
   os << "name,kind,value,count,sum,p50,p95\n";
   for (const auto& [name, value] : snapshot.counters) {
     os << name << ",counter," << value << ",,,,\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
-    os << name << ",gauge," << FormatNumber(value) << ",,,,\n";
+    os << name << ",gauge," << JsonNumber(value) << ",,,,\n";
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    os << name << ",histogram,," << h.count << ',' << FormatNumber(h.sum)
-       << ',' << FormatNumber(Percentile(h, 50.0)) << ','
-       << FormatNumber(Percentile(h, 95.0)) << '\n';
+    os << name << ",histogram,," << h.count << ',' << JsonNumber(h.sum)
+       << ',' << JsonNumber(Percentile(h, 50.0)) << ','
+       << JsonNumber(Percentile(h, 95.0)) << '\n';
   }
 }
 

@@ -17,6 +17,13 @@
 
 namespace metaai::obs {
 
+/// Canonical JSON scalar formatting shared by every exporter in this
+/// library: shortest round-trippable numbers (integers without an
+/// exponent, otherwise %.17g) and deterministic string escaping (the
+/// result includes the surrounding quotes).
+std::string JsonNumber(double value);
+std::string JsonString(std::string_view s);
+
 /// Serializes a registry snapshot (and, when `tracer` is non-null, its
 /// spans) as one JSON object:
 ///   { "schema": "metaai.obs.v1",
@@ -26,7 +33,7 @@ namespace metaai::obs {
 ///                                 "bucket_counts": [...],
 ///                                 "count": n, "sum": n }, ... },
 ///     "spans":      [ { "name": s, "start_ns": n, "duration_ns": n,
-///                       "depth": n }, ... ] }          // tracer only
+///                       "depth": n[, "args": {...}] }, ... ] }  // tracer
 /// Identical snapshots serialize to identical bytes.
 void WriteJson(const RegistrySnapshot& snapshot, std::ostream& os,
                const Tracer* tracer = nullptr);
@@ -35,6 +42,18 @@ std::string ToJson(const RegistrySnapshot& snapshot,
 /// Convenience: snapshot + write to `path`. Returns false on I/O failure.
 bool WriteJsonFile(const Registry& registry, const std::string& path,
                    const Tracer* tracer = nullptr);
+
+/// Chrome-trace ("Trace Event Format", chrome://tracing and Perfetto
+/// compatible) export of a tracer's spans: a JSON array holding one
+/// complete ("X") event per closed span — still-open spans emit begin
+/// ("B") events — with microsecond timestamps, pid/tid 0, and an args
+/// object carrying the span's nesting depth plus any AddSpanArg
+/// annotations. Identical span lists serialize to identical bytes, so
+/// ManualClock traces are byte-reproducible.
+void WriteChromeTrace(const Tracer& tracer, std::ostream& os);
+std::string ToChromeTrace(const Tracer& tracer);
+/// Convenience: write to `path`. Returns false on I/O failure.
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path);
 
 /// CSV with header "name,kind,value,count,sum,p50,p95": counters and
 /// gauges fill `value`; histograms fill count/sum and the percentiles.

@@ -9,6 +9,11 @@
 //  * Cheap — single-threaded hot paths pay one map lookup per event;
 //    instruments themselves are atomics so future parallel PRs can share
 //    a registry without restructuring call sites.
+//  * Thread-safe — instrument lookup/creation and Snapshot() hold the
+//    registry mutex and instrument updates are relaxed atomics, so
+//    concurrent workers (e.g. parallel bench paths) may share one
+//    registry and snapshot it mid-run. Only the Tracer is
+//    single-threaded (see obs/tracer.h).
 //  * Optional — call sites go through the helpers in obs/obs.h, which
 //    no-op when no registry is installed (or when compiled out with
 //    -DMETAAI_OBS=OFF).

@@ -5,11 +5,13 @@ namespace {
 
 Registry* g_registry = nullptr;
 Tracer* g_tracer = nullptr;
+ProbeSink* g_probe_sink = nullptr;
 
 }  // namespace
 
 Registry* registry() { return g_registry; }
 Tracer* tracer() { return g_tracer; }
+ProbeSink* probe_sink() { return g_probe_sink; }
 
 Registry* SetRegistry(Registry* registry) {
   Registry* previous = g_registry;
@@ -20,6 +22,12 @@ Registry* SetRegistry(Registry* registry) {
 Tracer* SetTracer(Tracer* tracer) {
   Tracer* previous = g_tracer;
   g_tracer = tracer;
+  return previous;
+}
+
+ProbeSink* SetProbeSink(ProbeSink* sink) {
+  ProbeSink* previous = g_probe_sink;
+  g_probe_sink = sink;
   return previous;
 }
 

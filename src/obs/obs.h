@@ -19,8 +19,10 @@
 
 #include <cstdint>
 #include <string_view>
+#include <utility>
 
 #include "obs/metrics.h"
+#include "obs/probe.h"
 #include "obs/tracer.h"
 
 // Defined (0/1) on the metaai_obs CMake target; default on for direct
@@ -31,12 +33,14 @@
 
 namespace metaai::obs {
 
-/// Process-global registry/tracer; null when telemetry is not installed.
+/// Process-global registry/tracer/probe sink; null when not installed.
 Registry* registry();
 Tracer* tracer();
+ProbeSink* probe_sink();
 /// Returns the previously installed pointer (for manual restore).
 Registry* SetRegistry(Registry* registry);
 Tracer* SetTracer(Tracer* tracer);
+ProbeSink* SetProbeSink(ProbeSink* sink);
 
 /// Installs `registry` for the current scope and restores the previous
 /// one on destruction.
@@ -63,6 +67,18 @@ class ScopedTracer {
   Tracer* previous_;
 };
 
+class ScopedProbeSink {
+ public:
+  explicit ScopedProbeSink(ProbeSink* sink)
+      : previous_(SetProbeSink(sink)) {}
+  ScopedProbeSink(const ScopedProbeSink&) = delete;
+  ScopedProbeSink& operator=(const ScopedProbeSink&) = delete;
+  ~ScopedProbeSink() { SetProbeSink(previous_); }
+
+ private:
+  ProbeSink* previous_;
+};
+
 #if METAAI_OBS_ENABLED
 
 inline void Count(std::string_view name, std::uint64_t n = 1) {
@@ -82,12 +98,25 @@ inline ScopedSpan Span(std::string_view name) {
   return ScopedSpan(tracer(), name);
 }
 
+/// True when a probe sink is installed. Call sites use this to skip
+/// probe payload computation entirely:
+///   if (obs::ProbesEnabled()) { ...build record...; obs::Probe(...); }
+inline bool ProbesEnabled() { return probe_sink() != nullptr; }
+
+inline void Probe(ProbeRecord record) {
+  if (ProbeSink* s = probe_sink()) s->Add(std::move(record));
+}
+
 #else
 
 inline void Count(std::string_view, std::uint64_t = 1) {}
 inline void SetGauge(std::string_view, double) {}
 inline void Observe(std::string_view, double, const HistogramSpec&) {}
 inline ScopedSpan Span(std::string_view) { return ScopedSpan(nullptr, {}); }
+/// Constant false: probe blocks behind `if (obs::ProbesEnabled())`
+/// compile away entirely with -DMETAAI_OBS=OFF.
+constexpr bool ProbesEnabled() { return false; }
+inline void Probe(ProbeRecord) {}
 
 #endif  // METAAI_OBS_ENABLED
 

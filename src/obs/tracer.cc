@@ -23,6 +23,11 @@ Tracer::~Tracer() {
 }
 
 std::size_t Tracer::BeginSpan(std::string_view name) {
+  if (!owner_set_) {
+    owner_ = std::this_thread::get_id();
+    owner_set_ = true;
+  }
+  CheckOwningThread();
   spans_.push_back(SpanRecord{.name = std::string(name),
                               .start_ns = clock_->NowNs(),
                               .duration_ns = -1,
@@ -32,6 +37,7 @@ std::size_t Tracer::BeginSpan(std::string_view name) {
 }
 
 void Tracer::EndSpan(std::size_t index) {
+  CheckOwningThread();
   CheckIndex(index, spans_.size(), "span");
   SpanRecord& span = spans_[index];
   Check(span.duration_ns < 0, "span ended twice");
@@ -39,9 +45,23 @@ void Tracer::EndSpan(std::size_t index) {
   --depth_;
 }
 
+void Tracer::AddSpanArg(std::size_t index, std::string_view key,
+                        double value) {
+  CheckOwningThread();
+  CheckIndex(index, spans_.size(), "span");
+  spans_[index].args.emplace_back(key, value);
+}
+
+void Tracer::CheckOwningThread() const {
+  Check(!owner_set_ || owner_ == std::this_thread::get_id(),
+        "Tracer is single-threaded: spans must stay on the thread that "
+        "recorded the tracer's first span (give workers their own tracer)");
+}
+
 void Tracer::Clear() {
   spans_.clear();
   depth_ = 0;
+  owner_set_ = false;
 }
 
 }  // namespace metaai::obs

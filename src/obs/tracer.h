@@ -8,12 +8,18 @@
 //
 // The tracer is intentionally single-threaded (like today's inference
 // path); per-thread tracers can be aggregated later without changing the
-// call sites.
+// call sites. The contract is enforced: BeginSpan/EndSpan/AddSpanArg
+// throw CheckError when called from a thread other than the one that
+// recorded the tracer's first span. Parallel workers must keep spans on
+// their own tracers (the metrics Registry and ProbeSink, by contrast,
+// are safe to share; see obs/metrics.h and obs/probe.h).
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace metaai::obs {
@@ -49,6 +55,8 @@ struct SpanRecord {
   std::int64_t duration_ns = -1;
   /// Nesting depth at entry; 0 for top-level spans.
   int depth = 0;
+  /// Named numeric annotations (exported as Chrome-trace event args).
+  std::vector<std::pair<std::string, double>> args;
 
   bool operator==(const SpanRecord&) const = default;
 };
@@ -66,15 +74,22 @@ class Tracer {
   /// Opens a span and returns its index for EndSpan.
   std::size_t BeginSpan(std::string_view name);
   void EndSpan(std::size_t index);
+  /// Attaches a named numeric annotation to an open or closed span.
+  void AddSpanArg(std::size_t index, std::string_view key, double value);
 
   const std::vector<SpanRecord>& spans() const { return spans_; }
   void Clear();
 
  private:
+  void CheckOwningThread() const;
+
   Clock* clock_;
   bool owns_clock_;
   int depth_ = 0;
   std::vector<SpanRecord> spans_;
+  /// Thread that recorded the first span; cleared by Clear().
+  std::thread::id owner_;
+  bool owner_set_ = false;
 };
 
 /// RAII span scope used by obs::Span(); safe on a null tracer (no-op).
@@ -87,6 +102,11 @@ class ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() {
     if (tracer_ != nullptr) tracer_->EndSpan(index_);
+  }
+
+  /// Annotates this span (no-op on a null tracer).
+  void Arg(std::string_view key, double value) const {
+    if (tracer_ != nullptr) tracer_->AddSpanArg(index_, key, value);
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "rf/ofdm.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "rf/fft.h"
 
 namespace metaai::rf {
@@ -19,6 +20,7 @@ std::size_t Ofdm::SymbolLength() const {
 Signal Ofdm::Modulate(const Signal& subcarrier_symbols) const {
   Check(subcarrier_symbols.size() == config_.num_subcarriers,
         "OFDM modulate: wrong subcarrier count");
+  obs::Count("ofdm.modulations");
   Signal time = subcarrier_symbols;
   Ifft(time);
   Signal out;
@@ -38,6 +40,22 @@ Signal Ofdm::Demodulate(const Signal& time_samples) const {
                   static_cast<std::ptrdiff_t>(config_.cyclic_prefix_len),
               time_samples.end());
   Fft(freq);
+  obs::Count("ofdm.demodulations");
+  if (obs::ProbesEnabled()) {
+    // Per-subcarrier power of this symbol (FFT bin order); together
+    // with SubcarrierOffsetHz this is the received spectrum.
+    std::vector<double> power(freq.size());
+    for (std::size_t k = 0; k < freq.size(); ++k) {
+      power[k] = std::norm(freq[k]);
+    }
+    obs::Probe({.kind = obs::ProbeKind::kSpectrum,
+                .site = "ofdm.demodulate",
+                .values = {{"num_subcarriers",
+                            static_cast<double>(freq.size())},
+                           {"subcarrier_spacing_hz",
+                            config_.subcarrier_spacing_hz}},
+                .series = std::move(power)});
+  }
   return freq;
 }
 

@@ -371,6 +371,62 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
       }
     }
   }
+
+  if (obs::ProbesEnabled()) {
+    // Flight-recorder evidence for this transmission, measured against
+    // the ideal MTS-path product w*x (zero clock offset, no noise, no
+    // environment leak): whatever the RF chain added shows up as error
+    // vector. Per-observation figures separate subcarriers/antennas.
+    std::vector<double> per_obs_evm(num_obs);
+    std::vector<double> per_obs_snr_db(num_obs);
+    double total_signal = 0.0;
+    double total_error = 0.0;
+    for (std::size_t o = 0; o < num_obs; ++o) {
+      double signal = 0.0;
+      double error = 0.0;
+      const double amplitude = tx_amplitude_ * observations_[o].mts_amplitude;
+      for (std::size_t i = 0; i < num_symbols; ++i) {
+        const Complex ideal = amplitude * base(o, i) * data[i];
+        signal += std::norm(ideal);
+        error += std::norm(z(o, i) - ideal);
+      }
+      total_signal += signal;
+      total_error += error;
+      // Guard the degenerate all-zero cases so the JSONL stays finite.
+      per_obs_evm[o] =
+          signal > 0.0 ? std::sqrt(error / signal) : 0.0;
+      per_obs_snr_db[o] =
+          signal > 0.0 ? 10.0 * std::log10(signal / std::max(error, 1e-300))
+                       : 0.0;
+    }
+    obs::Probe({.kind = obs::ProbeKind::kEvm,
+                .site = "link.transmit",
+                .values = {{"evm_rms",
+                            total_signal > 0.0
+                                ? std::sqrt(total_error / total_signal)
+                                : 0.0},
+                           {"symbols", static_cast<double>(num_symbols)},
+                           {"clock_offset_us", mts_clock_offset_us}},
+                .series = per_obs_evm});
+    obs::Probe({.kind = obs::ProbeKind::kSubcarrierSnr,
+                .site = "link.transmit",
+                .values = {{"num_obs", static_cast<double>(num_obs)},
+                           {"nominal_snr_db", NominalSnrDb()}},
+                .series = per_obs_snr_db});
+    // A handful of received constellation points (observation 0),
+    // interleaved as [re0, im0, re1, im1, ...].
+    const std::size_t sampled = std::min<std::size_t>(16, num_symbols);
+    std::vector<double> points;
+    points.reserve(2 * sampled);
+    for (std::size_t i = 0; i < sampled; ++i) {
+      points.push_back(z(0, i).real());
+      points.push_back(z(0, i).imag());
+    }
+    obs::Probe({.kind = obs::ProbeKind::kConstellation,
+                .site = "link.transmit",
+                .values = {{"count", static_cast<double>(sampled)}},
+                .series = std::move(points)});
+  }
   return z;
 }
 

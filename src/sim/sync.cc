@@ -1,6 +1,7 @@
 #include "sim/sync.h"
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace metaai::sim {
 
@@ -29,16 +30,29 @@ SyncModel::SyncModel(SyncMode mode, SyncModelConfig config)
 }
 
 double SyncModel::SampleOffsetUs(Rng& rng) const {
-  switch (mode_) {
-    case SyncMode::kNone:
-      return rng.Uniform(0.0, config_.unsynced_max_error_us);
-    case SyncMode::kCoarse:
-    case SyncMode::kCdfa:
-      // CDFA does not change the physical offset — it changes how robust
-      // the trained network is to it.
-      return config_.latency_scale * detector_.SampleDetectionLatencyUs(rng);
+  const double offset_us = [&] {
+    switch (mode_) {
+      case SyncMode::kNone:
+        return rng.Uniform(0.0, config_.unsynced_max_error_us);
+      case SyncMode::kCoarse:
+      case SyncMode::kCdfa:
+        // CDFA does not change the physical offset — it changes how
+        // robust the trained network is to it.
+        return config_.latency_scale *
+               detector_.SampleDetectionLatencyUs(rng);
+    }
+    throw CheckError("unknown sync mode");
+  }();
+  // Timeline entry: sample order is the probe's seq order, so the
+  // flight recorder reconstructs the per-inference offset sequence
+  // behind a degraded run (the paper's Fig 12 evidence).
+  if (obs::ProbesEnabled()) {
+    obs::Probe({.kind = obs::ProbeKind::kSyncOffset,
+                .site = "sync.sample",
+                .values = {{"offset_us", offset_us},
+                           {"mode", static_cast<double>(mode_)}}});
   }
-  throw CheckError("unknown sync mode");
+  return offset_us;
 }
 
 }  // namespace metaai::sim

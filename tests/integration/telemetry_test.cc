@@ -4,6 +4,10 @@
 // identically-seeded runs must produce identical metric snapshots.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <sstream>
+#include <string>
+
 #include "core/metaai.h"
 #include "data/datasets.h"
 #include "obs/export.h"
@@ -98,6 +102,55 @@ TEST(TelemetryIntegrationTest, IdenticalSeedsProduceIdenticalSnapshots) {
   EXPECT_EQ(a, b);
   // Snapshot equality must also mean byte-identical exports.
   EXPECT_EQ(obs::ToJson(a), obs::ToJson(b));
+}
+
+TEST(TelemetryIntegrationTest, ProbeStreamIsPopulatedAndSeedDeterministic) {
+  auto run = [] {
+    obs::ProbeSink sink;
+    const obs::ScopedProbeSink scoped(&sink);
+    const auto ds =
+        data::MakeMnistLike({.train_per_class = 20, .test_per_class = 5});
+    Rng train_rng(5);
+    core::TrainingOptions options;
+    options.epochs = 2;
+    const auto model = core::TrainModel(ds.train, options, train_rng);
+    const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+    const core::Deployment deployment(model, surface, SmallLink());
+    sim::SyncModelConfig sync_config;
+    sync_config.latency_scale = 0.3;
+    const sim::SyncModel sync(sim::SyncMode::kCdfa, sync_config);
+    Rng rng(41);
+    deployment.EvaluateAccuracy(ds.test, sync, rng, 4);
+    return obs::ToProbesJsonl(sink);
+  };
+
+  const std::string jsonl = run();
+  // Same seeds, byte-identical flight-recorder stream.
+  EXPECT_EQ(jsonl, run());
+
+  // The stream validates against the metaai.probes.v1 schema and the
+  // pipeline hit every instrumented probe site.
+  std::istringstream lines(jsonl);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(obs::ParseJson(line).Find("schema")->string,
+            "metaai.probes.v1");
+  std::set<std::string> sites;
+  std::size_t records = 0;
+  while (std::getline(lines, line)) {
+    const obs::JsonValue record = obs::ParseJson(line);
+    ASSERT_NE(record.Find("seq"), nullptr);
+    ASSERT_NE(record.Find("kind"), nullptr);
+    ASSERT_NE(record.Find("values"), nullptr);
+    sites.insert(record.Find("site")->string);
+    ++records;
+  }
+  EXPECT_GT(records, 0u);
+  for (const char* site :
+       {"solver.solve", "deploy.schedule", "link.transmit", "sync.sample",
+        "ota.evaluate"}) {
+    EXPECT_TRUE(sites.count(site)) << "no probe from site " << site;
+  }
 }
 
 TEST(TelemetryIntegrationTest, SchedulerRecordsFrameAndBudgetState) {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full local CI gate:
+#   1. Strict build (-DMETAAI_WERROR=ON -DMETAAI_OBS=ON) + full ctest.
+#   2. ASan/UBSan build (-DMETAAI_SANITIZE=ON) running the obs unit
+#      suites and the telemetry integration tests.
+#   3. Bench suite with baseline regression gating (run_benches.sh,
+#      which invokes metaai_bench_diff when bench/baselines/ exists).
+#
+# Usage: tools/check.sh [build-dir-prefix]   (default: build-check)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${1:-${repo_root}/build-check}"
+
+echo "=== [1/3] strict build + ctest"
+cmake -B "${prefix}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release -DMETAAI_WERROR=ON -DMETAAI_OBS=ON
+cmake --build "${prefix}" -j"$(nproc)"
+ctest --test-dir "${prefix}" --output-on-failure
+
+echo "=== [2/3] ASan/UBSan on obs + telemetry suites"
+cmake -B "${prefix}-asan" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=ON -DMETAAI_OBS=ON
+cmake --build "${prefix}-asan" -j"$(nproc)" \
+  --target test_obs test_integration
+ctest --test-dir "${prefix}-asan" --output-on-failure \
+  -R 'obs|telemetry'
+
+echo "=== [3/3] benches + baseline diff"
+"${repo_root}/tools/run_benches.sh" "${prefix}-bench"
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,163 @@
+// Compares BENCH_<name>.json runs against committed baselines and fails
+// (exit 1) on regression, so tools/run_benches.sh can gate bench drift.
+//
+//   metaai_bench_diff --baselines DIR --current DIR
+//       For every baseline DIR/<bench>.json (schema
+//       metaai.bench.baseline.v1), load the matching
+//       CURRENT/BENCH_<bench>.json, print a per-metric table and exit
+//       nonzero when any metric regressed, went missing, or the current
+//       bench file is absent.
+//
+//   metaai_bench_diff --baselines DIR --current DIR --update
+//       [--benches a,b,c]
+//       Distill fresh baselines (default tolerances, see
+//       obs/bench_diff.h) from the current BENCH_*.json files — all of
+//       them, or only the named benches — and write them into DIR.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/bench_diff.h"
+#include "obs/export.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace metaai;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  Check(in.good(), "cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::set<std::string> ParseBenchList(const std::string& csv) {
+  std::set<std::string> names;
+  std::string current;
+  std::istringstream in(csv);
+  while (std::getline(in, current, ',')) {
+    if (!current.empty()) names.insert(current);
+  }
+  return names;
+}
+
+int Usage() {
+  std::fputs(
+      "usage: metaai_bench_diff --baselines DIR --current DIR\n"
+      "                         [--update [--benches a,b,c]]\n"
+      "Compares CURRENT/BENCH_<bench>.json runs against the\n"
+      "metaai.bench.baseline.v1 files in DIR (exit 1 on regression),\n"
+      "or with --update distills fresh baselines from the current\n"
+      "runs.\n",
+      stderr);
+  return 2;
+}
+
+int Update(const fs::path& baselines_dir, const fs::path& current_dir,
+           const std::set<std::string>& only) {
+  fs::create_directories(baselines_dir);
+  std::size_t written = 0;
+  std::vector<fs::path> bench_files;
+  for (const auto& entry : fs::directory_iterator(current_dir)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("BENCH_", 0) == 0 &&
+        entry.path().extension() == ".json") {
+      bench_files.push_back(entry.path());
+    }
+  }
+  std::sort(bench_files.begin(), bench_files.end());
+  for (const auto& path : bench_files) {
+    const auto document = obs::ParseJson(ReadFile(path));
+    const auto baseline = obs::DistillBaseline(document);
+    if (!only.empty() && only.count(baseline.bench) == 0) continue;
+    const fs::path out = baselines_dir / (baseline.bench + ".json");
+    std::ofstream os(out);
+    os << obs::BaselineToJson(baseline);
+    Check(os.good(), "cannot write " + out.string());
+    std::printf("updated %s (%zu metrics)\n", out.string().c_str(),
+                baseline.metrics.size());
+    ++written;
+  }
+  if (written == 0) {
+    std::fprintf(stderr, "error: no matching BENCH_*.json under %s\n",
+                 current_dir.string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int Diff(const fs::path& baselines_dir, const fs::path& current_dir) {
+  std::vector<fs::path> baseline_files;
+  for (const auto& entry : fs::directory_iterator(baselines_dir)) {
+    if (entry.path().extension() == ".json") {
+      baseline_files.push_back(entry.path());
+    }
+  }
+  std::sort(baseline_files.begin(), baseline_files.end());
+  if (baseline_files.empty()) {
+    std::fprintf(stderr, "error: no baselines under %s\n",
+                 baselines_dir.string().c_str());
+    return 1;
+  }
+
+  bool ok = true;
+  for (const auto& path : baseline_files) {
+    const auto baseline =
+        obs::BaselineFromJson(obs::ParseJson(ReadFile(path)));
+    const fs::path current =
+        current_dir / ("BENCH_" + baseline.bench + ".json");
+    if (!fs::exists(current)) {
+      std::printf("== %s: MISSING (%s not found)\n", baseline.bench.c_str(),
+                  current.string().c_str());
+      ok = false;
+      continue;
+    }
+    const auto report =
+        obs::DiffBench(baseline, obs::ParseJson(ReadFile(current)));
+    std::printf("== %s: %s\n", report.bench.c_str(),
+                report.ok() ? "ok" : "REGRESSED");
+    std::cout << obs::BenchDiffTable(report).ToString();
+    ok = ok && report.ok();
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string baselines;
+    std::string current;
+    std::string benches;
+    bool update = false;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--baselines" && i + 1 < argc) {
+        baselines = argv[++i];
+      } else if (arg == "--current" && i + 1 < argc) {
+        current = argv[++i];
+      } else if (arg == "--benches" && i + 1 < argc) {
+        benches = argv[++i];
+      } else if (arg == "--update") {
+        update = true;
+      } else {
+        return Usage();
+      }
+    }
+    if (baselines.empty() || current.empty()) return Usage();
+    if (update) return Update(baselines, current, ParseBenchList(benches));
+    return Diff(baselines, current);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

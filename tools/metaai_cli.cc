@@ -15,9 +15,15 @@
 // `quickstart` chains train -> deploy -> controller budget check -> OTA
 // evaluation in one process (the README quickstart path).
 //
-// Every command accepts `--metrics-out FILE`: telemetry is collected for
-// the run and written as a "metaai.obs.v1" JSON document (instruments
-// plus trace spans) on exit. See README.md "Telemetry".
+// Every command accepts telemetry flags (before or after the command):
+//   --metrics-out FILE   "metaai.obs.v1" JSON snapshot (instruments +
+//                        trace spans) written on exit
+//   --trace-out FILE     Chrome-trace JSON (open in chrome://tracing or
+//                        Perfetto) of the run's spans
+//   --probes-out FILE    "metaai.probes.v1" JSONL flight-recorder dump
+//                        (EVM, per-subcarrier SNR, sync offsets, solver
+//                        curves, phase configs, constellation samples)
+// See README.md "Telemetry".
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -202,13 +208,17 @@ int Datasets() {
 int Usage() {
   std::puts(
       "usage: metaai_cli <command> [options] [--metrics-out FILE]\n"
+      "                  [--trace-out FILE] [--probes-out FILE]\n"
       "  train      --dataset NAME --out FILE [--robust] [--seed N]\n"
       "  eval       --dataset NAME --model FILE\n"
       "  deploy     --model FILE --out FILE\n"
       "  ota        --dataset NAME --model FILE [--samples N] [--seed N]\n"
       "  quickstart --dataset NAME [--samples N] [--seed N]\n"
       "  datasets\n"
-      "--metrics-out writes the run's telemetry (metaai.obs.v1 JSON).");
+      "--metrics-out writes the run's telemetry (metaai.obs.v1 JSON),\n"
+      "--trace-out a Chrome-trace JSON of the spans (chrome://tracing /\n"
+      "Perfetto), --probes-out a metaai.probes.v1 JSONL flight-recorder\n"
+      "dump of the physical-layer probes.");
   return 2;
 }
 
@@ -228,17 +238,48 @@ int main(int argc, char** argv) {
   try {
     const Args args = Parse(argc, argv);
     const std::string metrics_out = args.Get("metrics-out");
-    if (metrics_out.empty()) return Dispatch(args);
+    const std::string trace_out = args.Get("trace-out");
+    const std::string probes_out = args.Get("probes-out");
+    if (metrics_out.empty() && trace_out.empty() && probes_out.empty()) {
+      return Dispatch(args);
+    }
 
     obs::Registry registry;
     obs::Tracer tracer;
+    obs::ProbeSink probes;
     const obs::ScopedRegistry scoped_registry(&registry);
     const obs::ScopedTracer scoped_tracer(&tracer);
+    const obs::ScopedProbeSink scoped_probes(
+        probes_out.empty() ? nullptr : &probes);
     const int status = Dispatch(args);
-    if (!obs::WriteJsonFile(registry, metrics_out, &tracer)) {
+    if (!metrics_out.empty() &&
+        !obs::WriteJsonFile(registry, metrics_out, &tracer)) {
       std::fprintf(stderr, "error: cannot write metrics to %s\n",
                    metrics_out.c_str());
       return 1;
+    }
+    if (!trace_out.empty() &&
+        !obs::WriteChromeTraceFile(tracer, trace_out)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    if (!probes_out.empty() && !obs::WriteProbesFile(probes, probes_out)) {
+      std::fprintf(stderr, "error: cannot write probes to %s\n",
+                   probes_out.c_str());
+      return 1;
+    }
+    if (args.command == "quickstart" && status == 0) {
+      if (!metrics_out.empty()) {
+        std::printf("wrote metrics to %s\n", metrics_out.c_str());
+      }
+      if (!trace_out.empty()) {
+        std::printf("wrote Chrome trace to %s\n", trace_out.c_str());
+      }
+      if (!probes_out.empty()) {
+        std::printf("wrote %zu probes to %s\n", probes.size(),
+                    probes_out.c_str());
+      }
     }
     return status;
   } catch (const std::exception& error) {

@@ -2,7 +2,9 @@
 # Builds the bench suite in Release (warnings-as-errors) and runs every
 # bench binary with telemetry export enabled. Each bench writes
 # bench/out/BENCH_<name>.json (schema metaai.bench.v1, see EXPERIMENTS.md).
-# Any bench exiting nonzero fails the whole script.
+# Any bench exiting nonzero fails the whole script. When baselines are
+# committed under bench/baselines/, the runs are then diffed against
+# them with metaai_bench_diff and drift beyond tolerance also fails.
 #
 # Usage: tools/run_benches.sh [build-dir]   (default: build-bench)
 set -euo pipefail
@@ -31,4 +33,14 @@ done
 
 count="$(ls "${out_dir}"/BENCH_*.json 2>/dev/null | wc -l)"
 echo "Wrote ${count} BENCH_*.json files to ${out_dir}"
+
+baselines_dir="${repo_root}/bench/baselines"
+if ls "${baselines_dir}"/*.json >/dev/null 2>&1; then
+  echo "== bench_diff vs ${baselines_dir}"
+  if ! "${build_dir}/tools/metaai_bench_diff" \
+      --baselines "${baselines_dir}" --current "${out_dir}"; then
+    echo "FAILED: bench regression vs baselines" >&2
+    status=1
+  fi
+fi
 exit "${status}"
