@@ -26,15 +26,15 @@ double MeanAccuracyOverLocations(const core::TrainedModel& model,
   const data::Dataset ds = data::MakeMnistLike(
       {.train_per_class = 1, .test_per_class = 50});  // test split only
   Rng rng(17);
-  for (std::uint64_t location = 1; location <= 10; ++location) {
+  accuracies = ParallelTrials(10, rng, [&](Rng& trial_rng, std::size_t i) {
+    const std::uint64_t location = i + 1;
     sim::OtaLinkConfig config = DefaultLinkConfig(1000 + location);
     config.environment.profile = profile;
     config.tx_antenna = antenna;
     config.rx_antenna = antenna;
     config.multipath_cancellation = cancellation;
-    accuracies.push_back(PrototypeAccuracy(model, surface, config, ds.test,
-                                           rng, 60));
-  }
+    return PrototypeAccuracy(model, surface, config, ds.test, trial_rng, 60);
+  });
   return Mean(accuracies);
 }
 

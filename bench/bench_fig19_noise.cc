@@ -27,15 +27,15 @@ SweepResult Sweep(const core::TrainedModel& model) {
   SweepResult result;
   Rng rng(19);
   for (int power_dbm = 5; power_dbm <= 30; power_dbm += 5) {
-    std::vector<double> at_power;
-    for (std::uint64_t location = 1; location <= 20; ++location) {
-      sim::OtaLinkConfig config = DefaultLinkConfig(1900 + location);
-      config.budget.tx_power_dbm = power_dbm;
-      config.budget.noise_floor_dbm = -46.0;  // noise-limited regime
-      config.mts_phase_noise_std = 0.12;
-      at_power.push_back(
-          PrototypeAccuracy(model, surface, config, ds.test, rng, 40));
-    }
+    const std::vector<double> at_power =
+        ParallelTrials(20, rng, [&](Rng& trial_rng, std::size_t i) {
+          sim::OtaLinkConfig config = DefaultLinkConfig(1900 + (i + 1));
+          config.budget.tx_power_dbm = power_dbm;
+          config.budget.noise_floor_dbm = -46.0;  // noise-limited regime
+          config.mts_phase_noise_std = 0.12;
+          return PrototypeAccuracy(model, surface, config, ds.test, trial_rng,
+                                   40);
+        });
     result.mean_per_power.push_back(Mean(at_power));
     result.accuracies.insert(result.accuracies.end(), at_power.begin(),
                              at_power.end());
@@ -78,10 +78,12 @@ void Run() {
   Table table("Fig 19: Accuracy CDF under noise (120 power x location "
               "measurements)",
               {"Percentile", "w/o alleviation", "with alleviation"});
-  for (const double p : {10.0, 20.0, 40.0, 60.0, 80.0, 100.0}) {
-    table.AddRow({FormatDouble(p, 0),
-                  FormatPercent(Percentile(acc_base, p)),
-                  FormatPercent(Percentile(acc_aware, p))});
+  const std::vector<double> ps = {10.0, 20.0, 40.0, 60.0, 80.0, 100.0};
+  const std::vector<double> base_ps = Percentiles(acc_base, ps);
+  const std::vector<double> aware_ps = Percentiles(acc_aware, ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    table.AddRow({FormatDouble(ps[i], 0), FormatPercent(base_ps[i]),
+                  FormatPercent(aware_ps[i])});
   }
   table.Print(std::cout);
   std::cout << "Upper-percentile accuracy (CDF 60): "

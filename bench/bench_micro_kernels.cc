@@ -90,6 +90,29 @@ void BM_WeightMappingPerSymbol(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightMappingPerSymbol);
 
+// Solver fan-out scaling: MapSequential over a 10-class, 64-symbol
+// weight matrix on the 16x16 surface — 640 independent single-target
+// solves — at 1/2/4 worker threads. The arg is the thread count;
+// comparing the per-arg timings shows the metaai::par speedup (results
+// are bitwise identical across args by construction).
+void BM_MapSequentialFanout(benchmark::State& state) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};  // 16x16
+  const sim::OtaLink link(surface, DefaultLinkConfig());
+  Rng rng(7);
+  ComplexMatrix weights(10, 64);
+  for (std::size_t r = 0; r < weights.rows(); ++r) {
+    for (std::size_t c = 0; c < weights.cols(); ++c) {
+      weights(r, c) = rng.UnitPhasor() * (0.5 + rng.Uniform());
+    }
+  }
+  const par::ScopedThreadCount threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::MapSequential(weights, link));
+  }
+}
+BENCHMARK(BM_MapSequentialFanout)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 // Console reporter that also records each benchmark's adjusted real
 // time as a BenchReport headline, so micro-kernel timings land in
 // BENCH_micro_kernels.json alongside the other bench documents and can

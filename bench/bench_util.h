@@ -18,11 +18,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/table.h"
 #include "core/metaai.h"
 #include "data/datasets.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "obs/parallel.h"
 #include "rf/geometry.h"
 
 namespace metaai::bench {
@@ -187,6 +189,23 @@ inline sim::SyncModel DeploymentSyncModel() {
   sim::SyncModelConfig config;
   config.latency_scale = DeploymentLatencyScale();
   return sim::SyncModel(sim::SyncMode::kCdfa, config);
+}
+
+/// Deterministic fan-out over independent bench trials (locations, sync
+/// draws, seed repeats): trial i gets its own generator pre-forked from
+/// `base` on the calling thread and results come back in trial order, so
+/// the returned vector is bitwise identical for any METAAI_THREADS.
+/// `fn(trial_rng, trial_index)` returns the trial's scalar result;
+/// telemetry emitted inside trials is buffered and merged in trial order
+/// (obs::DeterministicParallelFor).
+template <typename Fn>
+std::vector<double> ParallelTrials(std::size_t trials, Rng& base, Fn&& fn) {
+  std::vector<Rng> rngs = par::ForkRngs(base, trials);
+  std::vector<double> results(trials, 0.0);
+  obs::DeterministicParallelFor(trials, [&](std::size_t i) {
+    results[i] = fn(rngs[i], i);
+  });
+  return results;
 }
 
 /// Prototype accuracy of a robust-trained model over a configured link.

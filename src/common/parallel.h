@@ -1,0 +1,96 @@
+// Deterministic parallel execution layer (metaai::par).
+//
+// A lazily-created, process-wide thread pool runs index-based fan-outs
+// with *static chunking* and *ordered result collection*, so the work
+// assignment — and therefore every per-index result — is a pure function
+// of (n, num_threads) and never of scheduling order. Randomized tasks
+// pre-derive one Rng stream per index with ForkRngs() on the calling
+// thread, which makes results bitwise identical for any thread count,
+// including 1.
+//
+// Contracts:
+//  * ParallelFor(n, fn) invokes fn(i) exactly once for every i in
+//    [0, n). ParallelMap additionally collects fn's return values in
+//    item order.
+//  * Thread count resolution: explicit argument > SetDefaultThreadCount
+//    (the CLI --threads flag) > METAAI_THREADS env > hardware
+//    concurrency. A resolved count of 1 runs inline on the calling
+//    thread — the exact legacy serial path, no pool involvement.
+//  * Nested use is rejected: a ParallelFor issued from inside a worker
+//    task does not re-enter the pool (that could deadlock a fixed-size
+//    pool) and instead runs inline, serially, on that worker. Libraries
+//    can therefore parallelize internally and still be called from
+//    parallelized benches.
+//  * Exceptions thrown by tasks are captured per chunk; after every
+//    chunk has finished, the exception of the lowest-numbered failing
+//    chunk is rethrown on the calling thread.
+//
+// Telemetry note: the instruments in metaai::obs are thread-safe, but
+// mutex-ordered sinks make probe order and histogram float sums depend
+// on scheduling. Call sites that need bitwise-identical telemetry for
+// any thread count wrap tasks with obs::DeterministicParallelFor (see
+// obs/parallel.h), which buffers per-task telemetry and merges it in
+// task order.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace metaai::par {
+
+/// Maximum workers the pool will ever spawn (sanity cap for --threads).
+inline constexpr int kMaxThreads = 256;
+
+/// Resolved default thread count: SetDefaultThreadCount override if set,
+/// else METAAI_THREADS (parsed once), else std::thread::hardware_concurrency.
+/// Always >= 1.
+int DefaultThreadCount();
+
+/// Installs a process-wide override (the CLI --threads flag); `n <= 0`
+/// clears it. Returns the previous override (0 = none).
+int SetDefaultThreadCount(int n);
+
+/// RAII override of the default thread count (tests and benches).
+class ScopedThreadCount {
+ public:
+  explicit ScopedThreadCount(int n) : previous_(SetDefaultThreadCount(n)) {}
+  ScopedThreadCount(const ScopedThreadCount&) = delete;
+  ScopedThreadCount& operator=(const ScopedThreadCount&) = delete;
+  ~ScopedThreadCount() { SetDefaultThreadCount(previous_); }
+
+ private:
+  int previous_;
+};
+
+/// True while the calling thread is executing a ParallelFor task; a
+/// nested ParallelFor observes this and runs inline.
+bool InParallelRegion();
+
+/// Runs fn(0) .. fn(n-1) across `num_threads` threads (0 = default)
+/// with static contiguous chunking. Blocks until every index ran;
+/// rethrows the lowest-chunk task exception.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 int num_threads = 0);
+
+/// Ordered map: results[i] = fn(items[i]), computed in parallel but
+/// collected in item order.
+template <typename T, typename Fn>
+auto ParallelMap(const std::vector<T>& items, Fn&& fn, int num_threads = 0)
+    -> std::vector<std::decay_t<decltype(fn(items[0]))>> {
+  std::vector<std::decay_t<decltype(fn(items[0]))>> results(items.size());
+  ParallelFor(
+      items.size(), [&](std::size_t i) { results[i] = fn(items[i]); },
+      num_threads);
+  return results;
+}
+
+/// Pre-derives one independent child generator per task by calling
+/// base.Fork() n times on the calling thread. Task i must use rngs[i]
+/// and nothing else; results are then independent of the thread count.
+std::vector<Rng> ForkRngs(Rng& base, std::size_t n);
+
+}  // namespace metaai::par

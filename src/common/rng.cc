@@ -57,8 +57,13 @@ std::uint64_t Rng::UniformInt(std::uint64_t n) {
 
 int Rng::UniformInt(int lo, int hi) {
   Check(lo <= hi, "UniformInt requires lo <= hi");
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<int>(UniformInt(span));
+  // Widen before subtracting: `hi - lo` overflows int for wide ranges
+  // (e.g. lo = INT_MIN, hi = INT_MAX).
+  const auto span = static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) -
+                                               static_cast<std::int64_t>(lo)) +
+                    1;
+  return static_cast<int>(static_cast<std::int64_t>(lo) +
+                          static_cast<std::int64_t>(UniformInt(span)));
 }
 
 bool Rng::Bernoulli(double p) { return Uniform() < p; }

@@ -26,17 +26,37 @@ double Stddev(std::span<const double> values) {
   return std::sqrt(Variance(values));
 }
 
-double Percentile(std::span<const double> values, double p) {
-  Check(!values.empty(), "Percentile requires non-empty input");
+namespace {
+
+// Percentile lookup against an already-sorted sample.
+double SortedPercentile(std::span<const double> sorted, double p) {
   Check(p >= 0.0 && p <= 100.0, "Percentile requires p in [0, 100]");
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lower = static_cast<std::size_t>(std::floor(rank));
   const auto upper = static_cast<std::size_t>(std::ceil(rank));
   const double weight = rank - static_cast<double>(lower);
   return sorted[lower] * (1.0 - weight) + sorted[upper] * weight;
+}
+
+}  // namespace
+
+double Percentile(std::span<const double> values, double p) {
+  Check(!values.empty(), "Percentile requires non-empty input");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return SortedPercentile(sorted, p);
+}
+
+std::vector<double> Percentiles(std::span<const double> values,
+                                std::span<const double> ps) {
+  Check(!values.empty(), "Percentiles requires non-empty input");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> results;
+  results.reserve(ps.size());
+  for (const double p : ps) results.push_back(SortedPercentile(sorted, p));
+  return results;
 }
 
 double Min(std::span<const double> values) {
@@ -75,6 +95,9 @@ std::vector<std::size_t> Histogram(std::span<const double> values, double lo,
   std::vector<std::size_t> counts(bins, 0);
   const double width = (hi - lo) / static_cast<double>(bins);
   for (const double v : values) {
+    // A NaN fails the `offset <= 0.0` clamp below and would reach
+    // static_cast<std::size_t>(NaN), which is undefined behavior.
+    Check(std::isfinite(v), "Histogram requires finite values");
     const double offset = (v - lo) / width;
     auto bin = offset <= 0.0 ? std::size_t{0}
                              : static_cast<std::size_t>(offset);

@@ -19,6 +19,13 @@ double Stddev(std::span<const double> values);
 /// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
 double Percentile(std::span<const double> values, double p);
 
+/// Batch of linear-interpolated percentiles from one sort of `values`:
+/// results[i] corresponds to ps[i]. Same contract per query as
+/// Percentile(); prefer this when reading several percentiles of the
+/// same sample (the single-query form re-copies and re-sorts each call).
+std::vector<double> Percentiles(std::span<const double> values,
+                                std::span<const double> ps);
+
 /// Smallest / largest element. Require non-empty input.
 double Min(std::span<const double> values);
 double Max(std::span<const double> values);
@@ -36,7 +43,8 @@ std::vector<CdfPoint> EmpiricalCdf(std::span<const double> values);
 double FractionAbove(std::span<const double> values, double threshold);
 
 /// Histogram with `bins` equal-width buckets over [lo, hi]; values outside
-/// the range are clamped into the first/last bucket.
+/// the range are clamped into the first/last bucket. Rejects non-finite
+/// inputs (NaN has no bucket and +/-inf would clamp silently).
 std::vector<std::size_t> Histogram(std::span<const double> values, double lo,
                                    double hi, std::size_t bins);
 

@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "data/encoding.h"
 #include "obs/obs.h"
+#include "obs/parallel.h"
 #include "rf/geometry.h"
 
 namespace metaai::core {
@@ -154,12 +156,19 @@ double Deployment::EvaluateAccuracy(const nn::RealDataset& test,
       obs::HistogramSpec::Linear(0.0, 50.0, 25);
   obs::Count("ota.evaluations");
   obs::Count("ota.samples", n);
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double offset = sync.SampleOffsetUs(rng);
+  // One pre-forked stream per sample: each sample's offset draw and
+  // channel noise come from its own generator, so the batch fan-out is
+  // bitwise identical for any thread count.
+  std::vector<Rng> rngs = par::ForkRngs(rng, n);
+  std::vector<unsigned char> correct_flags(n, 0);
+  obs::DeterministicParallelFor(n, [&](std::size_t i) {
+    const double offset = sync.SampleOffsetUs(rngs[i]);
     obs::Observe("ota.sync_offset_us", offset, kOffsetBuckets);
-    correct += (Classify(test.features[i], offset, rng) == test.labels[i]);
-  }
+    correct_flags[i] =
+        Classify(test.features[i], offset, rngs[i]) == test.labels[i];
+  });
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) correct += correct_flags[i];
   const double accuracy =
       static_cast<double>(correct) / static_cast<double>(n);
   obs::SetGauge("ota.accuracy", accuracy);
@@ -182,11 +191,15 @@ double Deployment::EvaluateAccuracyAtOffset(const nn::RealDataset& test,
                             ? std::min(max_samples, test.size())
                             : test.size();
   Check(n > 0, "empty test set");
+  std::vector<Rng> rngs = par::ForkRngs(rng, n);
+  std::vector<unsigned char> correct_flags(n, 0);
+  obs::DeterministicParallelFor(n, [&](std::size_t i) {
+    correct_flags[i] =
+        Classify(test.features[i], mts_clock_offset_us, rngs[i]) ==
+        test.labels[i];
+  });
   std::size_t correct = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    correct += (Classify(test.features[i], mts_clock_offset_us, rng) ==
-                test.labels[i]);
-  }
+  for (std::size_t i = 0; i < n; ++i) correct += correct_flags[i];
   return static_cast<double>(correct) / static_cast<double>(n);
 }
 

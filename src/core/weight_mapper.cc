@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/parallel.h"
 
 namespace metaai::core {
 namespace {
@@ -57,18 +58,29 @@ MappedSchedules MapSequential(const ComplexMatrix& weights,
 
   MappedSchedules result;
   result.scale = scale;
+  const std::size_t cols = weights.cols();
+  // Per-(output, symbol) solves share no state: fan out one task per
+  // flattened (r, i) index, then assemble sequentially in the same index
+  // order the serial loop used, so codes *and* the residual float
+  // accumulation are bitwise identical for any thread count.
+  std::vector<mts::SolveResult> solved(weights.rows() * cols);
+  obs::DeterministicParallelFor(solved.size(), [&](std::size_t k) {
+    const std::size_t r = k / cols;
+    const std::size_t i = k % cols;
+    const sim::Complex target = scale * weights(r, i) - env_offset;
+    solved[k] = mts::SolveSingleTarget(steering, target, options.solver);
+  });
   double residual_sum = 0.0;
   std::size_t residual_count = 0;
   for (std::size_t r = 0; r < weights.rows(); ++r) {
     sim::MtsSchedule schedule;
-    schedule.reserve(weights.cols());
-    for (std::size_t i = 0; i < weights.cols(); ++i) {
+    schedule.reserve(cols);
+    for (std::size_t i = 0; i < cols; ++i) {
       const sim::Complex target = scale * weights(r, i) - env_offset;
-      const auto solved =
-          mts::SolveSingleTarget(steering, target, options.solver);
-      schedule.push_back(solved.codes);
+      mts::SolveResult& solve = solved[r * cols + i];
+      schedule.push_back(std::move(solve.codes));
       if (std::abs(target) > 1e-12) {
-        residual_sum += solved.residual / std::abs(target);
+        residual_sum += solve.residual / std::abs(target);
         ++residual_count;
       }
     }
@@ -121,37 +133,57 @@ MappedSchedules MapParallel(const ComplexMatrix& weights,
   double residual_sum = 0.0;
   std::size_t residual_count = 0;
 
+  // Round output assignments are a pure function of (round, width).
+  std::vector<std::vector<int>> round_outputs(num_rounds);
   for (std::size_t round = 0; round < num_rounds; ++round) {
-    std::vector<int> outputs(width, -1);
+    round_outputs[round].assign(width, -1);
     for (std::size_t o = 0; o < width; ++o) {
       const std::size_t cls = round * width + o;
-      if (cls < classes) outputs[o] = static_cast<int>(cls);
+      if (cls < classes) round_outputs[round][o] = static_cast<int>(cls);
     }
+  }
+
+  const std::size_t cols = weights.cols();
+  auto targets_for = [&](std::size_t round, std::size_t i) {
+    std::vector<sim::Complex> targets(width);
+    for (std::size_t o = 0; o < width; ++o) {
+      const int cls = round_outputs[round][o];
+      targets[o] = cls >= 0
+                       ? scale * weights(static_cast<std::size_t>(cls), i) -
+                             env_offsets[o]
+                       : sim::Complex{0.0, 0.0};
+    }
+    return targets;
+  };
+
+  // One task per flattened (round, symbol) index; assembly below walks
+  // the same index order as the serial loops so residual accumulation is
+  // bitwise identical for any thread count.
+  std::vector<mts::SolveResult> solved(num_rounds * cols);
+  obs::DeterministicParallelFor(solved.size(), [&](std::size_t k) {
+    const std::size_t round = k / cols;
+    const std::size_t i = k % cols;
+    solved[k] = mts::SolveMultiTarget(steering, targets_for(round, i),
+                                      options.solver);
+  });
+
+  for (std::size_t round = 0; round < num_rounds; ++round) {
     sim::MtsSchedule schedule;
-    schedule.reserve(weights.cols());
-    for (std::size_t i = 0; i < weights.cols(); ++i) {
-      std::vector<sim::Complex> targets(width);
+    schedule.reserve(cols);
+    for (std::size_t i = 0; i < cols; ++i) {
+      mts::SolveResult& solve = solved[round * cols + i];
+      const std::vector<sim::Complex> targets = targets_for(round, i);
+      schedule.push_back(std::move(solve.codes));
       for (std::size_t o = 0; o < width; ++o) {
-        targets[o] = outputs[o] >= 0
-                         ? scale * weights(static_cast<std::size_t>(
-                                               outputs[o]),
-                                           i) -
-                               env_offsets[o]
-                         : sim::Complex{0.0, 0.0};
-      }
-      const auto solved =
-          mts::SolveMultiTarget(steering, targets, options.solver);
-      schedule.push_back(solved.codes);
-      for (std::size_t o = 0; o < width; ++o) {
-        if (outputs[o] >= 0 && std::abs(targets[o]) > 1e-12) {
-          residual_sum += std::abs(solved.achieved[o] - targets[o]) /
+        if (round_outputs[round][o] >= 0 && std::abs(targets[o]) > 1e-12) {
+          residual_sum += std::abs(solve.achieved[o] - targets[o]) /
                           std::abs(targets[o]);
           ++residual_count;
         }
       }
     }
     result.rounds.push_back(std::move(schedule));
-    result.outputs.push_back(std::move(outputs));
+    result.outputs.push_back(std::move(round_outputs[round]));
   }
   result.mean_relative_residual =
       residual_count > 0 ? residual_sum / static_cast<double>(residual_count)

@@ -35,8 +35,9 @@ SolveResult SolveSingleTarget(std::span<const Complex> steering,
   ComplexMatrix matrix(1, steering.size());
   for (std::size_t m = 0; m < steering.size(); ++m) matrix(0, m) = steering[m];
   const Complex targets[] = {target};
-  // Seed the multi-target engine with the directional initialization by
-  // running it after setting codes; SolveMultiTarget handles the sweep.
+  // Pure delegation: SolveMultiTarget does its own directional
+  // initialization toward the first (here: only) target before sweeping,
+  // so no initial codes are passed through.
   return SolveMultiTarget(matrix, targets, options);
 }
 

@@ -165,7 +165,8 @@ void WriteChromeTrace(const Tracer& tracer, std::ostream& os) {
       os << ", \"dur\": "
          << JsonNumber(static_cast<double>(span.duration_ns) / 1e3);
     }
-    os << ", \"pid\": 0, \"tid\": 0, \"args\": {\"depth\": " << span.depth;
+    os << ", \"pid\": 0, \"tid\": " << span.tid
+       << ", \"args\": {\"depth\": " << span.depth;
     for (const auto& [key, value] : span.args) {
       os << ", " << JsonString(key) << ": " << JsonNumber(value);
     }

@@ -58,6 +58,21 @@ void Histogram::Observe(double value) {
   }
 }
 
+void Histogram::Merge(const HistogramSnapshot& other) {
+  Check(other.lower == spec_.lower && other.upper_edges == spec_.upper_edges,
+        "histogram merge requires an identical bucket layout");
+  Check(other.bucket_counts.size() == buckets_.size(),
+        "histogram merge requires matching bucket counts");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(other.bucket_counts[i], std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + other.sum,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 double Histogram::Mean() const {
   const std::uint64_t n = count();
   return n > 0 ? sum() / static_cast<double>(n) : 0.0;
@@ -120,6 +135,21 @@ Histogram& Registry::GetHistogram(std::string_view name,
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_.try_emplace(std::string(name), spec).first->second;
+}
+
+void Registry::Merge(const RegistrySnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    GetCounter(name).Add(value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    GetGauge(name).Set(value);
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    HistogramSpec spec;
+    spec.lower = histogram.lower;
+    spec.upper_edges = histogram.upper_edges;
+    GetHistogram(name, spec).Merge(histogram);
+  }
 }
 
 RegistrySnapshot Registry::Snapshot() const {

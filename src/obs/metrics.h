@@ -12,8 +12,12 @@
 //  * Thread-safe — instrument lookup/creation and Snapshot() hold the
 //    registry mutex and instrument updates are relaxed atomics, so
 //    concurrent workers (e.g. parallel bench paths) may share one
-//    registry and snapshot it mid-run. Only the Tracer is
-//    single-threaded (see obs/tracer.h).
+//    registry and snapshot it mid-run. Parallel call sites that need the
+//    merged state to be *identical for any thread count* (histogram
+//    float sums are order-sensitive) go through
+//    obs::DeterministicParallelFor (obs/parallel.h), which buffers each
+//    task's instruments in a private Registry and Merge()s them back in
+//    task order.
 //  * Optional — call sites go through the helpers in obs/obs.h, which
 //    no-op when no registry is installed (or when compiled out with
 //    -DMETAAI_OBS=OFF).
@@ -89,6 +93,11 @@ class Histogram {
 
   void Observe(double value);
 
+  /// Folds another histogram's state in: bucket counts and count add,
+  /// `other.sum` is added to the running sum as one term. Requires an
+  /// identical bucket layout.
+  void Merge(const HistogramSnapshot& other);
+
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double Mean() const;
@@ -132,6 +141,13 @@ class Registry {
   Histogram& GetHistogram(std::string_view name, const HistogramSpec& spec);
 
   RegistrySnapshot Snapshot() const;
+
+  /// Folds a snapshot of another registry in: counters add, gauges take
+  /// the snapshot's value (last writer wins), histograms merge — created
+  /// here on demand with the snapshot's bucket layout. Merging the same
+  /// sequence of snapshots in the same order always yields the same
+  /// state, which is what obs::DeterministicParallelFor relies on.
+  void Merge(const RegistrySnapshot& snapshot);
 
  private:
   mutable std::mutex mutex_;

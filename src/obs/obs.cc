@@ -7,11 +7,23 @@ Registry* g_registry = nullptr;
 Tracer* g_tracer = nullptr;
 ProbeSink* g_probe_sink = nullptr;
 
+// Per-thread redirection used by obs::DeterministicParallelFor: while a
+// worker runs one task, its Count/Observe/Probe calls land in a private
+// per-task buffer instead of the process-global sinks, so the merged
+// result is independent of thread interleaving. Null = no redirection.
+thread_local Registry* t_registry_override = nullptr;
+thread_local ProbeSink* t_probe_sink_override = nullptr;
+
 }  // namespace
 
-Registry* registry() { return g_registry; }
+Registry* registry() {
+  return t_registry_override != nullptr ? t_registry_override : g_registry;
+}
 Tracer* tracer() { return g_tracer; }
-ProbeSink* probe_sink() { return g_probe_sink; }
+ProbeSink* probe_sink() {
+  return t_probe_sink_override != nullptr ? t_probe_sink_override
+                                          : g_probe_sink;
+}
 
 Registry* SetRegistry(Registry* registry) {
   Registry* previous = g_registry;
@@ -28,6 +40,18 @@ Tracer* SetTracer(Tracer* tracer) {
 ProbeSink* SetProbeSink(ProbeSink* sink) {
   ProbeSink* previous = g_probe_sink;
   g_probe_sink = sink;
+  return previous;
+}
+
+Registry* SetThreadLocalRegistry(Registry* registry) {
+  Registry* previous = t_registry_override;
+  t_registry_override = registry;
+  return previous;
+}
+
+ProbeSink* SetThreadLocalProbeSink(ProbeSink* sink) {
+  ProbeSink* previous = t_probe_sink_override;
+  t_probe_sink_override = sink;
   return previous;
 }
 

@@ -42,6 +42,14 @@ Registry* SetRegistry(Registry* registry);
 Tracer* SetTracer(Tracer* tracer);
 ProbeSink* SetProbeSink(ProbeSink* sink);
 
+/// Thread-local overrides consulted before the process globals by
+/// registry()/probe_sink(). obs::DeterministicParallelFor installs a
+/// per-task buffer here while a worker runs one task, so task telemetry
+/// can be merged in task order regardless of scheduling. Null clears the
+/// override; returns the previous override on this thread.
+Registry* SetThreadLocalRegistry(Registry* registry);
+ProbeSink* SetThreadLocalProbeSink(ProbeSink* sink);
+
 /// Installs `registry` for the current scope and restores the previous
 /// one on destruction.
 class ScopedRegistry {

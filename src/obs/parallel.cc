@@ -1,0 +1,86 @@
+#include "obs/parallel.h"
+
+#include <memory>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace metaai::obs {
+namespace {
+
+/// Private instruments one task writes into via the thread-local
+/// overrides. Members are engaged only when the parent has the matching
+/// sink installed.
+struct TaskTelemetry {
+  std::unique_ptr<Registry> registry;
+  std::unique_ptr<ProbeSink> sink;
+};
+
+/// Installs/restores the thread-local overrides around one task body.
+class ScopedTaskTelemetry {
+ public:
+  // A disengaged member installs nullptr, which only happens when the
+  // matching parent sink is absent too — the override then falls through
+  // to the (absent) process global, same as no override.
+  explicit ScopedTaskTelemetry(TaskTelemetry& telemetry)
+      : previous_registry_(SetThreadLocalRegistry(telemetry.registry.get())),
+        previous_sink_(SetThreadLocalProbeSink(telemetry.sink.get())) {}
+  ScopedTaskTelemetry(const ScopedTaskTelemetry&) = delete;
+  ScopedTaskTelemetry& operator=(const ScopedTaskTelemetry&) = delete;
+  ~ScopedTaskTelemetry() {
+    SetThreadLocalRegistry(previous_registry_);
+    SetThreadLocalProbeSink(previous_sink_);
+  }
+
+ private:
+  Registry* previous_registry_;
+  ProbeSink* previous_sink_;
+};
+
+}  // namespace
+
+void DeterministicParallelFor(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              int num_threads) {
+  // The "parent" instruments are whatever is visible at entry — the
+  // process globals, or an enclosing task's buffer when nested.
+  Registry* parent_registry = registry();
+  ProbeSink* parent_sink = probe_sink();
+  if (parent_registry == nullptr && parent_sink == nullptr) {
+    par::ParallelFor(n, fn, num_threads);
+    return;
+  }
+
+  // One buffer slot per task; slot i is written only by task i, so the
+  // vector itself needs no synchronization.
+  std::vector<TaskTelemetry> buffers(n);
+  par::ParallelFor(
+      n,
+      [&](std::size_t i) {
+        TaskTelemetry& telemetry = buffers[i];
+        if (parent_registry != nullptr) {
+          telemetry.registry = std::make_unique<Registry>();
+        }
+        if (parent_sink != nullptr) {
+          telemetry.sink = std::make_unique<ProbeSink>(parent_sink->capacity());
+        }
+        const ScopedTaskTelemetry scope(telemetry);
+        fn(i);
+      },
+      num_threads);
+
+  // All tasks finished without an exception: merge in task index order,
+  // which makes the merged state a pure function of the task results.
+  for (TaskTelemetry& telemetry : buffers) {
+    if (telemetry.registry != nullptr && parent_registry != nullptr) {
+      parent_registry->Merge(telemetry.registry->Snapshot());
+    }
+    if (telemetry.sink != nullptr && parent_sink != nullptr) {
+      for (ProbeRecord& record : telemetry.sink->TakeAll()) {
+        parent_sink->Add(std::move(record));  // re-stamps seq in task order
+      }
+    }
+  }
+}
+
+}  // namespace metaai::obs

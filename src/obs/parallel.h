@@ -1,0 +1,57 @@
+// Telemetry-deterministic parallel fan-out.
+//
+// metaai::par guarantees deterministic *results* (static chunking +
+// ForkRngs), but instrumented tasks also emit telemetry, and the shared
+// Registry/ProbeSink order events by arrival: histogram float sums and
+// probe seq numbers would depend on thread interleaving.
+//
+// DeterministicParallelFor fixes that by buffering: each task runs with
+// a private Registry/ProbeSink installed as a thread-local override (see
+// obs/obs.h), and the buffers are merged into the instruments that were
+// installed at call entry in *task index order* after the fan-out
+// completes. Buffering happens whenever telemetry is installed — even at
+// thread count 1 — so every thread count produces the identical merged
+// stream by construction. With no registry and no probe sink installed
+// it degenerates to plain par::ParallelFor.
+//
+// Nesting composes: a nested DeterministicParallelFor issued from inside
+// a task sees the outer task's buffer as its "parent" and merges into
+// it, which the outer fan-out later merges onward in task order.
+//
+// Spans (obs::Tracer) are not buffered — the tracer keeps its own
+// per-thread buffers and wall-clock durations are nondeterministic
+// anyway; see obs/tracer.h.
+//
+// If a task throws, the fan-out's telemetry is discarded and the lowest
+// task's exception propagates (same contract as par::ParallelFor).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace metaai::obs {
+
+/// par::ParallelFor with per-task telemetry buffering merged in task
+/// order (see file comment). Thread count 0 = par default resolution.
+void DeterministicParallelFor(std::size_t n,
+                              const std::function<void(std::size_t)>& fn,
+                              int num_threads = 0);
+
+/// Ordered map on top of DeterministicParallelFor:
+/// results[i] = fn(items[i]).
+template <typename T, typename Fn>
+auto DeterministicParallelMap(const std::vector<T>& items, Fn&& fn,
+                              int num_threads = 0)
+    -> std::vector<std::decay_t<decltype(fn(items[0]))>> {
+  std::vector<std::decay_t<decltype(fn(items[0]))>> results(items.size());
+  DeterministicParallelFor(
+      items.size(), [&](std::size_t i) { results[i] = fn(items[i]); },
+      num_threads);
+  return results;
+}
+
+}  // namespace metaai::obs

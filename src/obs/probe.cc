@@ -33,7 +33,9 @@ std::string_view ProbeKindName(ProbeKind kind) {
 
 ProbeSink::ProbeSink(std::size_t capacity) : capacity_(capacity) {
   Check(capacity_ > 0, "probe sink capacity must be positive");
-  ring_.reserve(capacity_);
+  // No up-front reserve: the ring grows on demand up to capacity_, so
+  // short-lived sinks (per-task buffers in obs::DeterministicParallelFor)
+  // stay cheap even with the 64 Ki default capacity.
 }
 
 void ProbeSink::Add(ProbeRecord record) {
@@ -55,6 +57,18 @@ std::vector<ProbeRecord> ProbeSink::Snapshot() const {
   for (std::size_t i = 0; i < ring_.size(); ++i) {
     out.push_back(ring_[(head_ + i) % ring_.size()]);
   }
+  return out;
+}
+
+std::vector<ProbeRecord> ProbeSink::TakeAll() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ProbeRecord> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(std::move(ring_[(head_ + i) % ring_.size()]));
+  }
+  ring_.clear();
+  head_ = 0;
   return out;
 }
 

@@ -82,6 +82,12 @@ class ProbeSink {
   /// Retained records, oldest first.
   std::vector<ProbeRecord> Snapshot() const;
 
+  /// Moves the retained records out (oldest first) and clears the ring;
+  /// total/dropped keep counting across the drain. Used by
+  /// obs::DeterministicParallelFor to re-play per-task buffers into the
+  /// parent sink without copying payloads.
+  std::vector<ProbeRecord> TakeAll();
+
   std::size_t capacity() const { return capacity_; }
   std::size_t size() const;
   /// Records ever added / evicted by the ring wrapping.

@@ -1,6 +1,7 @@
 #include "obs/tracer.h"
 
 #include <chrono>
+#include <limits>
 
 #include "common/check.h"
 
@@ -22,46 +23,68 @@ Tracer::~Tracer() {
   if (owns_clock_) delete clock_;
 }
 
-std::size_t Tracer::BeginSpan(std::string_view name) {
-  if (!owner_set_) {
-    owner_ = std::this_thread::get_id();
-    owner_set_ = true;
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  const std::thread::id self = std::this_thread::get_id();
+  for (auto& [id, buffer] : buffers_) {
+    if (id == self) return *buffer;
   }
-  CheckOwningThread();
-  spans_.push_back(SpanRecord{.name = std::string(name),
-                              .start_ns = clock_->NowNs(),
-                              .duration_ns = -1,
-                              .depth = depth_});
-  ++depth_;
-  return spans_.size() - 1;
+  Check(buffers_.size() <
+            static_cast<std::size_t>(std::numeric_limits<int>::max()),
+        "too many tracer threads");
+  buffers_.emplace_back(self, std::make_unique<ThreadBuffer>());
+  return *buffers_.back().second;
+}
+
+std::size_t Tracer::BeginSpan(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ThreadBuffer& buffer = LocalBuffer();
+  // tid is the buffer's registration index, stable for this thread.
+  int tid = 0;
+  while (buffers_[static_cast<std::size_t>(tid)].second.get() != &buffer) {
+    ++tid;
+  }
+  buffer.spans.push_back(SpanRecord{.name = std::string(name),
+                                    .start_ns = clock_->NowNs(),
+                                    .duration_ns = -1,
+                                    .depth = buffer.depth,
+                                    .tid = tid});
+  ++buffer.depth;
+  return buffer.spans.size() - 1;
 }
 
 void Tracer::EndSpan(std::size_t index) {
-  CheckOwningThread();
-  CheckIndex(index, spans_.size(), "span");
-  SpanRecord& span = spans_[index];
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ThreadBuffer& buffer = LocalBuffer();
+  CheckIndex(index, buffer.spans.size(), "span");
+  SpanRecord& span = buffer.spans[index];
   Check(span.duration_ns < 0, "span ended twice");
   span.duration_ns = clock_->NowNs() - span.start_ns;
-  --depth_;
+  --buffer.depth;
 }
 
 void Tracer::AddSpanArg(std::size_t index, std::string_view key,
                         double value) {
-  CheckOwningThread();
-  CheckIndex(index, spans_.size(), "span");
-  spans_[index].args.emplace_back(key, value);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ThreadBuffer& buffer = LocalBuffer();
+  CheckIndex(index, buffer.spans.size(), "span");
+  buffer.spans[index].args.emplace_back(key, value);
 }
 
-void Tracer::CheckOwningThread() const {
-  Check(!owner_set_ || owner_ == std::this_thread::get_id(),
-        "Tracer is single-threaded: spans must stay on the thread that "
-        "recorded the tracer's first span (give workers their own tracer)");
+std::vector<SpanRecord> Tracer::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> merged;
+  std::size_t total = 0;
+  for (const auto& [id, buffer] : buffers_) total += buffer->spans.size();
+  merged.reserve(total);
+  for (const auto& [id, buffer] : buffers_) {
+    merged.insert(merged.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  return merged;
 }
 
 void Tracer::Clear() {
-  spans_.clear();
-  depth_ = 0;
-  owner_set_ = false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.clear();
 }
 
 }  // namespace metaai::obs

@@ -6,16 +6,20 @@
 // metrics Registry (whose snapshots must be seed-deterministic). Tests
 // inject a ManualClock to make traces byte-identical across runs.
 //
-// The tracer is intentionally single-threaded (like today's inference
-// path); per-thread tracers can be aggregated later without changing the
-// call sites. The contract is enforced: BeginSpan/EndSpan/AddSpanArg
-// throw CheckError when called from a thread other than the one that
-// recorded the tracer's first span. Parallel workers must keep spans on
-// their own tracers (the metrics Registry and ProbeSink, by contrast,
-// are safe to share; see obs/metrics.h and obs/probe.h).
+// The tracer is thread-safe: every thread that records through it gets
+// its own span buffer (created on first use), so parallel workers — the
+// metaai::par pool in particular — can share the process-global tracer
+// without coordination. Buffers are merged at read time (spans()): spans
+// appear grouped by thread in thread-registration order, each group in
+// recording order, and every record carries the thread's stable `tid`
+// (0 for the first recording thread, usually the main thread). Nesting
+// depth is tracked per thread. Begin/End/AddSpanArg for one span must
+// stay on the thread that opened it — ScopedSpan guarantees this.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -53,8 +57,11 @@ struct SpanRecord {
   std::string name;
   std::int64_t start_ns = 0;
   std::int64_t duration_ns = -1;
-  /// Nesting depth at entry; 0 for top-level spans.
+  /// Nesting depth at entry on the recording thread; 0 for top-level spans.
   int depth = 0;
+  /// Stable index of the recording thread (registration order; 0 for the
+  /// first thread that recorded through this tracer).
+  int tid = 0;
   /// Named numeric annotations (exported as Chrome-trace event args).
   std::vector<std::pair<std::string, double>> args;
 
@@ -71,28 +78,42 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
   ~Tracer();
 
-  /// Opens a span and returns its index for EndSpan.
+  /// Opens a span on the calling thread's buffer and returns its index
+  /// for EndSpan/AddSpanArg (valid only from the same thread).
   std::size_t BeginSpan(std::string_view name);
   void EndSpan(std::size_t index);
-  /// Attaches a named numeric annotation to an open or closed span.
+  /// Attaches a named numeric annotation to an open or closed span
+  /// recorded by the calling thread.
   void AddSpanArg(std::size_t index, std::string_view key, double value);
 
-  const std::vector<SpanRecord>& spans() const { return spans_; }
+  /// Merged view of every thread's spans: buffers concatenated in thread
+  /// registration order (each record's `tid`), records within a buffer
+  /// in start order. Single-threaded use reproduces the exact recording
+  /// order with tid 0 throughout.
+  std::vector<SpanRecord> spans() const;
+  /// Drops all spans and thread registrations (tids restart at 0).
   void Clear();
 
  private:
-  void CheckOwningThread() const;
+  struct ThreadBuffer {
+    std::vector<SpanRecord> spans;
+    int depth = 0;
+  };
+
+  /// Buffer of the calling thread, created on first use. Caller must
+  /// hold mutex_.
+  ThreadBuffer& LocalBuffer();
 
   Clock* clock_;
   bool owns_clock_;
-  int depth_ = 0;
-  std::vector<SpanRecord> spans_;
-  /// Thread that recorded the first span; cleared by Clear().
-  std::thread::id owner_;
-  bool owner_set_ = false;
+  mutable std::mutex mutex_;
+  /// One buffer per recording thread, in registration order (== tid).
+  std::vector<std::pair<std::thread::id, std::unique_ptr<ThreadBuffer>>>
+      buffers_;
 };
 
 /// RAII span scope used by obs::Span(); safe on a null tracer (no-op).
+/// Must be destroyed on the thread that constructed it.
 class ScopedSpan {
  public:
   ScopedSpan(Tracer* tracer, std::string_view name)

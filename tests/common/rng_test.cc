@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -67,6 +68,33 @@ TEST(RngTest, UniformIntInclusiveRange) {
   }
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSurvivesFullIntRange) {
+  // Regression: hi - lo overflowed int for wide ranges (UB), e.g. the
+  // full [INT_MIN, INT_MAX] span. The span must be computed in 64 bits.
+  Rng rng(61);
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(std::numeric_limits<int>::min(),
+                                 std::numeric_limits<int>::max());
+    saw_negative |= (v < 0);
+    saw_positive |= (v > 0);
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(RngTest, UniformIntWideRangeRespectsBounds) {
+  Rng rng(67);
+  const int lo = std::numeric_limits<int>::min();
+  const int hi = -2;  // span still exceeds INT_MAX
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
 }
 
 TEST(RngTest, NormalHasExpectedMoments) {

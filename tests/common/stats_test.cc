@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -45,6 +46,25 @@ TEST(StatsTest, PercentileValidatesArguments) {
   EXPECT_THROW(Percentile(std::vector<double>{1.0}, 101.0), CheckError);
 }
 
+TEST(StatsTest, PercentilesMatchesRepeatedPercentileCalls) {
+  const std::vector<double> v{9.0, 1.0, 4.0, 7.0, 2.0};
+  const std::vector<double> ps{0.0, 25.0, 50.0, 90.0, 100.0};
+  const std::vector<double> batched = Percentiles(v, ps);
+  ASSERT_EQ(batched.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], Percentile(v, ps[i])) << "p" << ps[i];
+  }
+}
+
+TEST(StatsTest, PercentilesValidatesArguments) {
+  EXPECT_THROW(Percentiles(std::vector<double>{},
+                           std::vector<double>{50.0}),
+               CheckError);
+  EXPECT_THROW(Percentiles(std::vector<double>{1.0},
+                           std::vector<double>{-1.0}),
+               CheckError);
+}
+
 TEST(StatsTest, MinMax) {
   const std::vector<double> v{3.0, -1.0, 2.0};
   EXPECT_DOUBLE_EQ(Min(v), -1.0);
@@ -79,6 +99,17 @@ TEST(StatsTest, HistogramBucketsAndClamps) {
 TEST(StatsTest, HistogramValidatesArguments) {
   EXPECT_THROW(Histogram(std::vector<double>{}, 0.0, 1.0, 0), CheckError);
   EXPECT_THROW(Histogram(std::vector<double>{}, 1.0, 0.0, 4), CheckError);
+}
+
+TEST(StatsTest, HistogramRejectsNonFiniteValues) {
+  // Regression: NaN used to flow into static_cast<size_t> (UB); non-finite
+  // inputs must be rejected up front instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Histogram(std::vector<double>{0.5, nan}, 0.0, 1.0, 2),
+               CheckError);
+  EXPECT_THROW(Histogram(std::vector<double>{inf}, 0.0, 1.0, 2), CheckError);
+  EXPECT_THROW(Histogram(std::vector<double>{-inf}, 0.0, 1.0, 2), CheckError);
 }
 
 }  // namespace

@@ -110,24 +110,58 @@ TEST(ChromeTraceTest, WriteChromeTraceFileRoundTrips) {
   EXPECT_EQ(buffer.str(), ToChromeTrace(tracer));
 }
 
-TEST(TracerThreadContractTest, CrossThreadSpansThrow) {
+TEST(TracerThreadContractTest, WorkerSpansGetTheirOwnBufferAndTid) {
   ManualClock clock;
   Tracer tracer(&clock);
   const std::size_t span = tracer.BeginSpan("owner.work");
   tracer.EndSpan(span);
-  std::thread intruder([&tracer] {
-    EXPECT_THROW(tracer.BeginSpan("stolen"), CheckError);
-    EXPECT_THROW(tracer.AddSpanArg(0, "k", 1.0), CheckError);
+  std::thread worker([&tracer] {
+    const std::size_t mine = tracer.BeginSpan("worker.work");
+    tracer.EndSpan(mine);
+    // Index 0 is valid in *this thread's* buffer, independent of the
+    // owner having recorded its own span 0.
+    tracer.AddSpanArg(mine, "k", 1.0);
   });
-  intruder.join();
-  // Clear resets ownership: a new thread may adopt the tracer.
+  worker.join();
+  const std::vector<SpanRecord> spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Merged view groups by thread in registration order: the first
+  // recording thread is tid 0, the worker tid 1.
+  EXPECT_EQ(spans[0].name, "owner.work");
+  EXPECT_EQ(spans[0].tid, 0);
+  EXPECT_EQ(spans[1].name, "worker.work");
+  EXPECT_EQ(spans[1].tid, 1);
+  EXPECT_EQ(spans[1].depth, 0);  // depth is tracked per thread
+  ASSERT_EQ(spans[1].args.size(), 1u);
+  // Clear drops registrations too: the next thread to record is tid 0.
   tracer.Clear();
   std::thread adopter([&tracer] {
     const std::size_t adopted = tracer.BeginSpan("adopted");
     tracer.EndSpan(adopted);
   });
   adopter.join();
-  EXPECT_EQ(tracer.spans().size(), 1u);
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_EQ(tracer.spans()[0].tid, 0);
+}
+
+TEST(TracerThreadContractTest, CrossThreadSpansExportAsValidChromeTrace) {
+  ManualClock clock;
+  Tracer tracer(&clock);
+  const std::size_t outer = tracer.BeginSpan("main.outer");
+  std::thread worker([&tracer, &clock] {
+    clock.AdvanceNs(100);
+    const std::size_t inner = tracer.BeginSpan("worker.inner");
+    clock.AdvanceNs(50);
+    tracer.EndSpan(inner);
+  });
+  worker.join();
+  clock.SetNs(500);
+  tracer.EndSpan(outer);
+  const JsonValue document = ParseJson(ToChromeTrace(tracer));
+  ASSERT_EQ(document.type, JsonValue::Type::kArray);
+  ASSERT_EQ(document.array.size(), 2u);
+  EXPECT_DOUBLE_EQ(document.array[0].Find("tid")->number, 0.0);
+  EXPECT_DOUBLE_EQ(document.array[1].Find("tid")->number, 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,166 @@
+#include "obs/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "obs/export.h"
+#include "obs/obs.h"
+
+namespace metaai::obs {
+namespace {
+
+// One instrumented fan-out: every task counts, observes a float (so the
+// histogram sum is order-sensitive) and emits one probe record.
+void InstrumentedFanOut(std::size_t n) {
+  static const HistogramSpec kBuckets = HistogramSpec::Linear(0.0, 1.0, 4);
+  DeterministicParallelFor(n, [&](std::size_t i) {
+    Count("par_test.tasks");
+    Observe("par_test.value",
+            static_cast<double>(i) / static_cast<double>(n), kBuckets);
+    SetGauge("par_test.last_index", static_cast<double>(i));
+    Probe({.kind = ProbeKind::kScalar,
+           .site = "par_test.task",
+           .values = {{"index", static_cast<double>(i)}}});
+  });
+}
+
+std::pair<std::string, std::string> RenderedTelemetry(int threads,
+                                                      std::size_t n) {
+  const par::ScopedThreadCount scoped(threads);
+  Registry registry;
+  ProbeSink sink;
+  const ScopedRegistry scoped_registry(&registry);
+  const ScopedProbeSink scoped_sink(&sink);
+  InstrumentedFanOut(n);
+  return {ToJson(registry.Snapshot()), ToProbesJsonl(sink)};
+}
+
+TEST(DeterministicParallelForTest, TelemetryIsIdenticalAcrossThreadCounts) {
+  const auto serial = RenderedTelemetry(1, 101);
+  EXPECT_EQ(RenderedTelemetry(2, 101), serial);
+  EXPECT_EQ(RenderedTelemetry(8, 101), serial);
+}
+
+// The following tests assert recorded instrument *content*, which only
+// exists when telemetry is compiled in (with -DMETAAI_OBS=OFF the
+// obs::Count/Observe/Probe helpers are empty inlines).
+#if METAAI_OBS_ENABLED
+
+TEST(DeterministicParallelForTest, MergesCountsAndProbesInTaskOrder) {
+  const par::ScopedThreadCount scoped(4);
+  Registry registry;
+  ProbeSink sink;
+  const ScopedRegistry scoped_registry(&registry);
+  const ScopedProbeSink scoped_sink(&sink);
+  InstrumentedFanOut(32);
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].second, 32u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  // Gauge merge is last-writer-wins in task order: the final task wins.
+  EXPECT_EQ(snapshot.gauges[0].second, 31.0);
+  const std::vector<ProbeRecord> probes = sink.Snapshot();
+  ASSERT_EQ(probes.size(), 32u);
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(probes[i].seq, i);
+    EXPECT_EQ(probes[i].values[0].second, static_cast<double>(i));
+  }
+}
+
+#endif  // METAAI_OBS_ENABLED
+
+TEST(DeterministicParallelForTest, WithoutTelemetryStillRunsEveryTask) {
+  // No registry/sink installed: plain passthrough to par::ParallelFor.
+  const par::ScopedThreadCount scoped(4);
+  std::vector<int> hits(64, 0);
+  DeterministicParallelFor(64, [&](std::size_t i) { hits[i] = 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+#if METAAI_OBS_ENABLED
+
+TEST(DeterministicParallelForTest, NestedFanOutMergesIntoOuterTask) {
+  auto run = [](int threads) {
+    const par::ScopedThreadCount scoped(threads);
+    Registry registry;
+    const ScopedRegistry scoped_registry(&registry);
+    static const HistogramSpec kBuckets = HistogramSpec::Linear(0.0, 8.0, 8);
+    DeterministicParallelFor(4, [&](std::size_t outer) {
+      DeterministicParallelFor(4, [&](std::size_t inner) {
+        Observe("par_test.nested",
+                static_cast<double>(outer * 4 + inner) / 2.0, kBuckets);
+      });
+    });
+    return ToJson(registry.Snapshot());
+  };
+  const std::string serial = run(1);
+  EXPECT_EQ(run(3), serial);
+  const RegistrySnapshot parsed = SnapshotFromJson(ParseJson(serial));
+  ASSERT_EQ(parsed.histograms.size(), 1u);
+  EXPECT_EQ(parsed.histograms[0].second.count, 16u);
+}
+
+TEST(DeterministicParallelForTest, TaskExceptionDiscardsFanOutTelemetry) {
+  const par::ScopedThreadCount scoped(2);
+  Registry registry;
+  const ScopedRegistry scoped_registry(&registry);
+  Count("par_test.before");
+  EXPECT_THROW(DeterministicParallelFor(8,
+                                        [&](std::size_t i) {
+                                          Count("par_test.inside");
+                                          if (i == 3) {
+                                            throw std::runtime_error("boom");
+                                          }
+                                        }),
+               std::runtime_error);
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "par_test.before");
+}
+
+#endif  // METAAI_OBS_ENABLED
+
+TEST(DeterministicParallelMapTest, ResultsComeBackInItemOrder) {
+  const par::ScopedThreadCount scoped(4);
+  const std::vector<int> items = {5, 4, 3, 2, 1};
+  const std::vector<int> doubled =
+      DeterministicParallelMap(items, [](int v) { return 2 * v; });
+  EXPECT_EQ(doubled, (std::vector<int>{10, 8, 6, 4, 2}));
+}
+
+TEST(RegistryMergeTest, FoldsCountersGaugesAndHistograms) {
+  Registry a;
+  Registry b;
+  const HistogramSpec spec = HistogramSpec::Linear(0.0, 10.0, 5);
+  a.GetCounter("m.count").Add(2);
+  a.GetHistogram("m.hist", spec).Observe(1.0);
+  b.GetCounter("m.count").Add(3);
+  b.GetGauge("m.gauge").Set(7.0);
+  b.GetHistogram("m.hist", spec).Observe(9.0);
+  a.Merge(b.Snapshot());
+  const RegistrySnapshot merged = a.Snapshot();
+  ASSERT_EQ(merged.counters.size(), 1u);
+  EXPECT_EQ(merged.counters[0].second, 5u);
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_EQ(merged.gauges[0].second, 7.0);
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].second.count, 2u);
+  EXPECT_EQ(merged.histograms[0].second.sum, 10.0);
+}
+
+TEST(RegistryMergeTest, HistogramMergeRejectsMismatchedLayout) {
+  Registry a;
+  Registry b;
+  a.GetHistogram("m.hist", HistogramSpec::Linear(0.0, 10.0, 5));
+  b.GetHistogram("m.hist", HistogramSpec::Linear(0.0, 20.0, 5));
+  EXPECT_THROW(a.Merge(b.Snapshot()), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::obs

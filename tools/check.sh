@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Full local CI gate:
 #   1. Strict build (-DMETAAI_WERROR=ON -DMETAAI_OBS=ON) + full ctest.
-#   2. ASan/UBSan build (-DMETAAI_SANITIZE=ON) running the obs unit
-#      suites and the telemetry integration tests.
-#   3. Bench suite with baseline regression gating (run_benches.sh,
+#   2. ASan/UBSan build (-DMETAAI_SANITIZE=ON) running the FULL ctest
+#      suite (the thread pool, solver fan-out and telemetry merges all
+#      deserve sanitizer coverage, not just the obs suites).
+#   3. TSan build (-DMETAAI_SANITIZE=thread) exercising the thread-pool
+#      and parallel-determinism suites under real data races detection.
+#   4. Bench suite with baseline regression gating (run_benches.sh,
 #      which invokes metaai_bench_diff when bench/baselines/ exists).
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build-check)
@@ -12,21 +15,27 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 prefix="${1:-${repo_root}/build-check}"
 
-echo "=== [1/3] strict build + ctest"
+echo "=== [1/4] strict build + ctest"
 cmake -B "${prefix}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release -DMETAAI_WERROR=ON -DMETAAI_OBS=ON
 cmake --build "${prefix}" -j"$(nproc)"
 ctest --test-dir "${prefix}" --output-on-failure
 
-echo "=== [2/3] ASan/UBSan on obs + telemetry suites"
+echo "=== [2/4] ASan/UBSan full ctest"
 cmake -B "${prefix}-asan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=ON -DMETAAI_OBS=ON
-cmake --build "${prefix}-asan" -j"$(nproc)" \
-  --target test_obs test_integration
-ctest --test-dir "${prefix}-asan" --output-on-failure \
-  -R 'obs|telemetry'
+cmake --build "${prefix}-asan" -j"$(nproc)"
+ctest --test-dir "${prefix}-asan" --output-on-failure
 
-echo "=== [3/3] benches + baseline diff"
+echo "=== [3/4] TSan on thread-pool + determinism suites"
+cmake -B "${prefix}-tsan" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=thread -DMETAAI_OBS=ON
+cmake --build "${prefix}-tsan" -j"$(nproc)" \
+  --target test_common test_obs test_integration
+ctest --test-dir "${prefix}-tsan" --output-on-failure \
+  -R 'Parallel|Tracer|Telemetry'
+
+echo "=== [4/4] benches + baseline diff"
 "${repo_root}/tools/run_benches.sh" "${prefix}-bench"
 
 echo "check.sh: all gates passed"

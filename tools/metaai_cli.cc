@@ -15,7 +15,10 @@
 // `quickstart` chains train -> deploy -> controller budget check -> OTA
 // evaluation in one process (the README quickstart path).
 //
-// Every command accepts telemetry flags (before or after the command):
+// Every command accepts `--threads N` (worker count for the metaai::par
+// fan-outs; overrides METAAI_THREADS, default hardware concurrency, 1 =
+// exact legacy serial path) and telemetry flags (before or after the
+// command):
 //   --metrics-out FILE   "metaai.obs.v1" JSON snapshot (instruments +
 //                        trace spans) written on exit
 //   --trace-out FILE     Chrome-trace JSON (open in chrome://tracing or
@@ -30,6 +33,7 @@
 #include <map>
 #include <string>
 
+#include "common/parallel.h"
 #include "core/metaai.h"
 #include "data/datasets.h"
 #include "obs/export.h"
@@ -207,14 +211,18 @@ int Datasets() {
 
 int Usage() {
   std::puts(
-      "usage: metaai_cli <command> [options] [--metrics-out FILE]\n"
-      "                  [--trace-out FILE] [--probes-out FILE]\n"
+      "usage: metaai_cli <command> [options] [--threads N]\n"
+      "                  [--metrics-out FILE] [--trace-out FILE]\n"
+      "                  [--probes-out FILE]\n"
       "  train      --dataset NAME --out FILE [--robust] [--seed N]\n"
       "  eval       --dataset NAME --model FILE\n"
       "  deploy     --model FILE --out FILE\n"
       "  ota        --dataset NAME --model FILE [--samples N] [--seed N]\n"
       "  quickstart --dataset NAME [--samples N] [--seed N]\n"
       "  datasets\n"
+      "--threads sets the worker count for parallel fan-outs (overrides\n"
+      "METAAI_THREADS; default: hardware concurrency; 1 = serial legacy\n"
+      "path; results are identical for any value).\n"
       "--metrics-out writes the run's telemetry (metaai.obs.v1 JSON),\n"
       "--trace-out a Chrome-trace JSON of the spans (chrome://tracing /\n"
       "Perfetto), --probes-out a metaai.probes.v1 JSONL flight-recorder\n"
@@ -237,6 +245,12 @@ int Dispatch(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = Parse(argc, argv);
+    if (args.Has("threads")) {
+      const int threads = std::stoi(args.Get("threads"));
+      Check(threads >= 1 && threads <= par::kMaxThreads,
+            "--threads must be in [1, 256]");
+      par::SetDefaultThreadCount(threads);
+    }
     const std::string metrics_out = args.Get("metrics-out");
     const std::string trace_out = args.Get("trace-out");
     const std::string probes_out = args.Get("probes-out");
