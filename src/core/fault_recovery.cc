@@ -1,0 +1,184 @@
+#include "core/fault_recovery.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "mts/wdd.h"
+#include "obs/obs.h"
+
+namespace metaai::core {
+namespace {
+
+// Mean measured link response for one repeated pattern, in solver units
+// (the steering-sum domain): z = tx * amp * B * x, probed with x = 1.
+std::vector<sim::Complex> MeasureResponse(const sim::OtaLink& link,
+                                          const std::vector<mts::PhaseCode>& pattern,
+                                          std::size_t probe_symbols, Rng& rng) {
+  const std::vector<sim::Complex> data(probe_symbols,
+                                       sim::Complex{1.0, 0.0});
+  const sim::MtsSchedule schedule(probe_symbols, pattern);
+  const ComplexMatrix z = link.TransmitSequence(data, schedule, 0.0, rng);
+  std::vector<sim::Complex> response(link.num_observations());
+  for (std::size_t o = 0; o < response.size(); ++o) {
+    sim::Complex acc{0.0, 0.0};
+    for (std::size_t i = 0; i < probe_symbols; ++i) acc += z(o, i);
+    response[o] = acc / (static_cast<double>(probe_symbols) *
+                         link.TxAmplitude() * link.MtsPathAmplitude(o));
+  }
+  return response;
+}
+
+}  // namespace
+
+FaultDiagnosis DiagnoseDeployment(const Deployment& deployment, Rng& rng,
+                                  const FaultDiagnosisConfig& config) {
+  Check(config.probe_symbols > 0, "diagnosis needs at least one probe symbol");
+  Check(config.stuck_threshold > 0.0 && config.stuck_threshold < 1.0,
+        "stuck threshold must be in (0, 1)");
+  const sim::OtaLink& link = deployment.link();
+  const std::size_t num_obs = link.num_observations();
+  const std::size_t atoms = link.SteeringVector(0).size();
+
+  // Idealized steering magnitudes set the expected toggle size per atom.
+  std::vector<std::vector<sim::Complex>> ideal(num_obs);
+  for (std::size_t o = 0; o < num_obs; ++o) ideal[o] = link.SteeringVector(o);
+
+  // Baseline: the all-zero pattern.
+  std::vector<mts::PhaseCode> pattern(atoms, 0);
+  const std::vector<sim::Complex> baseline =
+      MeasureResponse(link, pattern, config.probe_symbols, rng);
+
+  FaultDiagnosis diagnosis;
+  diagnosis.healthy_mask.assign(atoms, 1);
+  diagnosis.measured_steering = ComplexMatrix(num_obs, atoms);
+  diagnosis.offsets.assign(num_obs, sim::Complex{0.0, 0.0});
+  diagnosis.probe_transmissions = atoms + 1;
+
+  // Toggle probe per atom: atom m at the pi state flips its contribution
+  // sign, so delta = B_m - B0 = -2 s_m for a healthy atom and ~0 for a
+  // stuck one (the load never reaches the diode driver).
+  for (std::size_t m = 0; m < atoms; ++m) {
+    pattern[m] = 2;  // pi
+    const std::vector<sim::Complex> toggled =
+        MeasureResponse(link, pattern, config.probe_symbols, rng);
+    pattern[m] = 0;
+    double ratio_sum = 0.0;
+    for (std::size_t o = 0; o < num_obs; ++o) {
+      const sim::Complex delta = toggled[o] - baseline[o];
+      const double expected = 2.0 * std::abs(ideal[o][m]);
+      ratio_sum += expected > 0.0 ? std::abs(delta) / expected : 0.0;
+      diagnosis.measured_steering(o, m) = -0.5 * delta;
+    }
+    if (ratio_sum / static_cast<double>(num_obs) < config.stuck_threshold) {
+      diagnosis.healthy_mask[m] = 0;
+      ++diagnosis.num_stuck;
+      for (std::size_t o = 0; o < num_obs; ++o) {
+        diagnosis.measured_steering(o, m) = sim::Complex{0.0, 0.0};
+      }
+    }
+  }
+
+  // Static offsets: whatever the baseline holds beyond the healthy-atom
+  // prediction (stuck pinned contributions + environment leak + probe
+  // noise). ~0 under multipath cancellation.
+  for (std::size_t o = 0; o < num_obs; ++o) {
+    sim::Complex healthy_sum{0.0, 0.0};
+    for (std::size_t m = 0; m < atoms; ++m) {
+      if (diagnosis.healthy_mask[m] != 0) {
+        healthy_sum += diagnosis.measured_steering(o, m);
+      }
+    }
+    diagnosis.offsets[o] = baseline[o] - healthy_sum;
+  }
+
+  const std::size_t healthy = atoms - diagnosis.num_stuck;
+  diagnosis.wdd_ratio =
+      healthy > 0 ? mts::WeightDistributionDensity(healthy) /
+                        mts::WeightDistributionDensity(atoms)
+                  : 0.0;
+
+  obs::Count("fault.diagnoses");
+  obs::Count("fault.probe_transmissions", diagnosis.probe_transmissions);
+  obs::Count("fault.detected", diagnosis.num_stuck);
+  obs::SetGauge("fault.wdd_ratio", diagnosis.wdd_ratio);
+  if (obs::ProbesEnabled()) {
+    // Stuck map as a series (1 = healthy), for offline aperture plots.
+    std::vector<double> series(atoms);
+    for (std::size_t m = 0; m < atoms; ++m) {
+      series[m] = static_cast<double>(diagnosis.healthy_mask[m]);
+    }
+    obs::Probe({.kind = obs::ProbeKind::kFault,
+                .site = "fault.diagnose",
+                .values = {{"atoms", static_cast<double>(atoms)},
+                           {"stuck", static_cast<double>(diagnosis.num_stuck)},
+                           {"wdd_ratio", diagnosis.wdd_ratio},
+                           {"probes",
+                            static_cast<double>(diagnosis.probe_transmissions)}},
+                .series = std::move(series)});
+  }
+  return diagnosis;
+}
+
+Deployment RecoverFromFaults(const TrainedModel& model,
+                             const mts::Metasurface& surface,
+                             sim::OtaLinkConfig link_config,
+                             DeploymentOptions options,
+                             const FaultDiagnosis& diagnosis) {
+  Check(diagnosis.num_stuck < diagnosis.healthy_mask.size(),
+        "no healthy atoms left to re-solve over");
+  options.mapping.solver.atom_mask = diagnosis.healthy_mask;
+  options.mapping.steering_override = diagnosis.measured_steering;
+  options.mapping.fault_offsets = diagnosis.offsets;
+  // The measured offsets already contain any environment leak; do not
+  // subtract the idealized environment a second time.
+  options.mapping.subtract_environment = false;
+  obs::Count("fault.resolves");
+  return Deployment(model, surface, std::move(link_config), options);
+}
+
+FaultWatchdogResult RunFaultWatchdog(const TrainedModel& model,
+                                     const mts::Metasurface& surface,
+                                     const sim::OtaLinkConfig& link_config,
+                                     const DeploymentOptions& options,
+                                     const Deployment& deployment,
+                                     const nn::RealDataset& test,
+                                     double reference_accuracy, Rng& rng,
+                                     const FaultWatchdogConfig& config) {
+  FaultWatchdogResult result;
+  result.report.reference_accuracy = reference_accuracy;
+  result.report.observed_accuracy = deployment.EvaluateAccuracyAtOffset(
+      test, 0.0, rng, config.check_samples);
+  result.report.tripped =
+      reference_accuracy - result.report.observed_accuracy >
+      config.accuracy_drop_threshold;
+  obs::Count("fault.watchdog_checks");
+  if (!result.report.tripped) return result;
+
+  obs::Count("fault.watchdog_trips");
+  const FaultDiagnosis diagnosis =
+      DiagnoseDeployment(deployment, rng, config.diagnosis);
+  result.report.num_stuck_detected = diagnosis.num_stuck;
+  result.report.wdd_ratio = diagnosis.wdd_ratio;
+  // Re-solve even when nothing is stuck: the measured steering also
+  // repairs drift-induced miscalibration.
+  result.recovered.emplace(
+      RecoverFromFaults(model, surface, link_config, options, diagnosis));
+  result.report.recovered_accuracy =
+      result.recovered->EvaluateAccuracyAtOffset(test, 0.0, rng,
+                                                 config.check_samples);
+  obs::SetGauge("deploy.recovered_accuracy", result.report.recovered_accuracy);
+  if (obs::ProbesEnabled()) {
+    obs::Probe(
+        {.kind = obs::ProbeKind::kFault,
+         .site = "fault.watchdog",
+         .values = {{"observed_accuracy", result.report.observed_accuracy},
+                    {"reference_accuracy", reference_accuracy},
+                    {"recovered_accuracy", result.report.recovered_accuracy},
+                    {"stuck", static_cast<double>(diagnosis.num_stuck)},
+                    {"wdd_ratio", diagnosis.wdd_ratio}}});
+  }
+  return result;
+}
+
+}  // namespace metaai::core

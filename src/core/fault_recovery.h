@@ -1,0 +1,118 @@
+// Fault detection and graceful degradation for a live deployment.
+//
+// A deployed surface accumulates hardware faults (metaai::fault): stuck
+// PIN drivers, corrupted shift-chain loads, aging phase drift. The
+// recovery pipeline mirrors the paper's recalibration loop (§7) but
+// against *device* failures instead of receiver motion:
+//   1. diagnose — toggle-probe every atom over the air: transmit the
+//      all-zero pattern (baseline B0), then per-atom patterns with atom m
+//      at the pi state. A healthy atom toggles the measured response by
+//      -2 s_m; a stuck atom leaves it unchanged (its code ignores the
+//      load). The toggle simultaneously *measures* each healthy atom's
+//      actual steering response — device error and drift included;
+//   2. re-solve — rebuild the weight mapping with the stuck atoms masked
+//      out of coordinate descent (mts::SolveOptions::atom_mask), against
+//      the measured steering, with the measured static offsets folded
+//      into the targets;
+//   3. resume inference on the healthy aperture.
+// A watchdog (accuracy drop vs a reference + WDD aperture-health ratio)
+// decides when to pay the diagnosis cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/deployment.h"
+
+namespace metaai::core {
+
+struct FaultDiagnosisConfig {
+  /// Symbols averaged per probe transmission. A single atom's toggle is
+  /// ~20 log10(num_atoms) dB below the aggregate link signal, so the
+  /// per-atom measurement needs far more integration than ordinary
+  /// symbol detection; noise on the measured steering scales with
+  /// 1/sqrt(probe_symbols).
+  std::size_t probe_symbols = 64;
+  /// An atom is declared stuck when its measured toggle magnitude
+  /// |B_m - B0| falls below this fraction of the expected healthy toggle
+  /// 2 |s_m| (averaged across the link's observations).
+  double stuck_threshold = 0.5;
+};
+
+struct FaultDiagnosis {
+  /// 1 = healthy, 0 = stuck; sized num_atoms.
+  std::vector<std::uint8_t> healthy_mask;
+  std::size_t num_stuck = 0;
+  /// Measured steering per (observation, atom) in solver units — the
+  /// actual hardware response including device error and drift. Stuck
+  /// atoms hold 0 (they are masked out of the re-solve anyway).
+  ComplexMatrix measured_steering;
+  /// Measured static response offset per observation in solver units:
+  /// baseline B0 minus the healthy-atom prediction. Captures the stuck
+  /// atoms' pinned contribution plus any environment leak; ~0 under the
+  /// §3.2 cancellation scheme (stuck atoms never flip, so they cancel
+  /// like the environment). Feed to MappingOptions::fault_offsets; do
+  /// not combine with subtract_environment (the leak is already here).
+  std::vector<sim::Complex> offsets;
+  /// WDD(healthy) / WDD(total): aperture-health ratio in [0, 1].
+  double wdd_ratio = 1.0;
+  /// Probe transmissions spent (num_atoms + 1).
+  std::size_t probe_transmissions = 0;
+};
+
+/// Toggle-probes every atom of `deployment`'s link over the air. Noise
+/// for the probe transmissions is drawn from `rng`.
+FaultDiagnosis DiagnoseDeployment(const Deployment& deployment, Rng& rng,
+                                  const FaultDiagnosisConfig& config = {});
+
+/// Rebuilds the deployment with the diagnosis applied: stuck atoms are
+/// masked out of the solve, the mapper solves against the measured
+/// steering, and the measured offsets are folded into the targets.
+/// `options` should match the degraded deployment's options; its mapping
+/// fault fields are overwritten.
+Deployment RecoverFromFaults(const TrainedModel& model,
+                             const mts::Metasurface& surface,
+                             sim::OtaLinkConfig link_config,
+                             DeploymentOptions options,
+                             const FaultDiagnosis& diagnosis);
+
+struct FaultWatchdogConfig {
+  FaultDiagnosisConfig diagnosis;
+  /// Absolute accuracy drop vs the reference that trips a diagnosis.
+  double accuracy_drop_threshold = 0.05;
+  /// Samples for the accuracy spot-checks.
+  std::size_t check_samples = 64;
+};
+
+struct FaultWatchdogReport {
+  double observed_accuracy = 0.0;
+  double reference_accuracy = 0.0;
+  bool tripped = false;
+  std::size_t num_stuck_detected = 0;
+  double wdd_ratio = 1.0;
+  /// Accuracy of the recovered deployment on the same spot-check set
+  /// (only meaningful when tripped).
+  double recovered_accuracy = 0.0;
+};
+
+struct FaultWatchdogResult {
+  FaultWatchdogReport report;
+  /// Engaged when the watchdog tripped and a re-solve ran.
+  std::optional<Deployment> recovered;
+};
+
+/// Spot-checks `deployment` against `reference_accuracy`; on a trip runs
+/// the full diagnose -> re-solve pipeline and evaluates the recovered
+/// deployment. Emits fault.* counters and the deploy.recovered_accuracy
+/// gauge.
+FaultWatchdogResult RunFaultWatchdog(const TrainedModel& model,
+                                     const mts::Metasurface& surface,
+                                     const sim::OtaLinkConfig& link_config,
+                                     const DeploymentOptions& options,
+                                     const Deployment& deployment,
+                                     const nn::RealDataset& test,
+                                     double reference_accuracy, Rng& rng,
+                                     const FaultWatchdogConfig& config = {});
+
+}  // namespace metaai::core

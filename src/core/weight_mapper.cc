@@ -10,10 +10,15 @@ namespace {
 
 // Largest magnitude the solver can reliably reach against `steering`:
 // the coherent sum of steering magnitudes times the 2-bit quantization
-// factor.
-double Reachable(std::span<const sim::Complex> steering) {
+// factor. Masked-out (faulty) atoms contribute nothing to the solve, so
+// they must not inflate the reachable aperture either.
+double Reachable(std::span<const sim::Complex> steering,
+                 std::span<const std::uint8_t> mask) {
   double sum = 0.0;
-  for (const auto& s : steering) sum += std::abs(s);
+  for (std::size_t m = 0; m < steering.size(); ++m) {
+    if (!mask.empty() && mask[m] == 0) continue;
+    sum += std::abs(steering[m]);
+  }
   return 0.9 * sum;
 }
 
@@ -47,14 +52,25 @@ MappedSchedules MapSequential(const ComplexMatrix& weights,
   Check(options.target_fraction > 0.0 && options.target_fraction <= 1.0,
         "target fraction must be in (0, 1]");
 
-  const auto steering = link.SteeringVector(0);
+  Check(options.fault_offsets.empty() || options.fault_offsets.size() == 1,
+        "fault_offsets size must match the observation count");
+  std::vector<sim::Complex> steering = link.SteeringVector(0);
+  if (options.steering_override.rows() > 0) {
+    Check(options.steering_override.rows() == 1 &&
+              options.steering_override.cols() == steering.size(),
+          "steering_override shape must be num_observations x num_atoms");
+    for (std::size_t m = 0; m < steering.size(); ++m) {
+      steering[m] = options.steering_override(0, m);
+    }
+  }
   const double max_mag = MaxWeightMagnitude(weights);
   Check(max_mag > 0.0, "all-zero weight matrix");
-  const double scale =
-      options.target_fraction * Reachable(steering) / max_mag;
-  const sim::Complex env_offset =
+  const double scale = options.target_fraction *
+                       Reachable(steering, options.solver.atom_mask) / max_mag;
+  sim::Complex env_offset =
       options.subtract_environment ? EnvironmentInSolverUnits(link, 0)
                                    : sim::Complex{0.0, 0.0};
+  if (!options.fault_offsets.empty()) env_offset += options.fault_offsets[0];
 
   MappedSchedules result;
   result.scale = scale;
@@ -104,12 +120,28 @@ MappedSchedules MapParallel(const ComplexMatrix& weights,
 
   // Steering matrix: one row per observation.
   const std::size_t atoms = link.SteeringVector(0).size();
+  Check(options.fault_offsets.empty() ||
+            options.fault_offsets.size() == width,
+        "fault_offsets size must match the observation count");
+  const bool use_override = options.steering_override.rows() > 0;
+  if (use_override) {
+    Check(options.steering_override.rows() == width &&
+              options.steering_override.cols() == atoms,
+          "steering_override shape must be num_observations x num_atoms");
+  }
   ComplexMatrix steering(width, atoms);
   double min_reachable = 0.0;
+  std::vector<sim::Complex> row(atoms);
   for (std::size_t o = 0; o < width; ++o) {
-    const auto row = link.SteeringVector(o);
+    if (use_override) {
+      for (std::size_t m = 0; m < atoms; ++m) {
+        row[m] = options.steering_override(o, m);
+      }
+    } else {
+      row = link.SteeringVector(o);
+    }
     for (std::size_t m = 0; m < atoms; ++m) steering(o, m) = row[m];
-    const double reach = Reachable(row);
+    const double reach = Reachable(row, options.solver.atom_mask);
     min_reachable = (o == 0) ? reach : std::min(min_reachable, reach);
   }
   const double max_mag = MaxWeightMagnitude(weights);
@@ -123,6 +155,11 @@ MappedSchedules MapParallel(const ComplexMatrix& weights,
   if (options.subtract_environment) {
     for (std::size_t o = 0; o < width; ++o) {
       env_offsets[o] = EnvironmentInSolverUnits(link, o);
+    }
+  }
+  if (!options.fault_offsets.empty()) {
+    for (std::size_t o = 0; o < width; ++o) {
+      env_offsets[o] += options.fault_offsets[o];
     }
   }
 

@@ -29,6 +29,18 @@ struct MappingOptions {
   /// static; the zero-mean cancellation scheme (§3.2) is the robust
   /// alternative and needs no estimation.
   bool subtract_environment = false;
+  /// Fault-aware mapping: measured residual offsets in solver units, one
+  /// per link observation, subtracted from every target. Used after a
+  /// fault diagnosis to absorb the static contribution of stuck atoms
+  /// when multipath cancellation is off (with cancellation on, stuck
+  /// atoms never flip and cancel like the environment, so the offsets
+  /// are ~0 and unnecessary). Empty = no offsets.
+  std::vector<sim::Complex> fault_offsets;
+  /// When non-empty (num_observations x num_atoms), solve against this
+  /// measured steering instead of the link's idealized one — a diagnosis
+  /// measures each healthy atom's actual response, which folds in both
+  /// device phase errors and aging drift. Empty = idealized steering.
+  ComplexMatrix steering_override;
 };
 
 struct MappedSchedules {

@@ -1,0 +1,135 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace metaai::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, std::size_t num_atoms,
+                             mts::ControllerConfig controller)
+    : plan_(plan), num_atoms_(num_atoms), controller_(controller) {
+  Check(num_atoms_ > 0, "fault injector requires at least one atom");
+  Check(controller_.num_groups > 0, "controller needs at least one group");
+  atoms_per_group_ =
+      (num_atoms_ + controller_.num_groups - 1) / controller_.num_groups;
+
+  Rng root(plan_.seed);
+  // Fixed fork order — adding a model must append here, never reorder,
+  // or every committed fault realization changes.
+  Rng stuck_rng = root.Fork();
+  Rng drift_rng = root.Fork();
+
+  is_stuck_.assign(num_atoms_, 0);
+  pinned_codes_.assign(num_atoms_, 0);
+  if (plan_.stuck.fraction > 0.0) {
+    const auto count = static_cast<std::size_t>(
+        std::llround(plan_.stuck.fraction * static_cast<double>(num_atoms_)));
+    std::vector<std::size_t> order(num_atoms_);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    stuck_rng.Shuffle(order);
+    stuck_atoms_.assign(order.begin(),
+                        order.begin() + std::min(count, num_atoms_));
+    std::sort(stuck_atoms_.begin(), stuck_atoms_.end());
+    for (const std::size_t atom : stuck_atoms_) {
+      is_stuck_[atom] = 1;
+      pinned_codes_[atom] = static_cast<mts::PhaseCode>(
+          stuck_rng.UniformInt(std::uint64_t{mts::kNumPhaseStates}));
+    }
+  }
+
+  drift_phasors_.assign(num_atoms_, std::complex<double>{1.0, 0.0});
+  if (HasDrift()) {
+    for (std::size_t m = 0; m < num_atoms_; ++m) {
+      const double rate = drift_rng.Normal(0.0, plan_.drift.rate_std_rad_per_s);
+      drift_phasors_[m] = std::polar(1.0, rate * plan_.drift.age_s);
+    }
+  }
+}
+
+mts::PhaseCode FaultInjector::pinned_code(std::size_t atom) const {
+  Check(atom < num_atoms_, "atom index out of range");
+  return pinned_codes_[atom];
+}
+
+bool FaultInjector::AffectsPatterns() const {
+  return !stuck_atoms_.empty() || plan_.chain.bit_flip_prob > 0.0;
+}
+
+std::size_t FaultInjector::ApplyStuck(std::span<mts::PhaseCode> codes) const {
+  Check(codes.size() == num_atoms_, "pattern size must match the atom count");
+  std::size_t changed = 0;
+  for (const std::size_t atom : stuck_atoms_) {
+    if (codes[atom] != pinned_codes_[atom]) {
+      codes[atom] = pinned_codes_[atom];
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::size_t FaultInjector::CorruptLoad(std::span<mts::PhaseCode> codes,
+                                       Rng& rng) const {
+  Check(codes.size() == num_atoms_, "pattern size must match the atom count");
+  const double p = plan_.chain.bit_flip_prob;
+  if (p <= 0.0) return 0;
+  const std::size_t total_bits =
+      num_atoms_ * static_cast<std::size_t>(mts::kPhaseBits);
+  std::size_t flips = 0;
+  if (p >= 1.0) {
+    // Degenerate: every bit flips (codes XOR 0b11).
+    for (auto& code : codes) {
+      code = static_cast<mts::PhaseCode>(code ^ (mts::kNumPhaseStates - 1));
+    }
+    return total_bits;
+  }
+  // Geometric skipping: the gap to the next flipped bit is
+  // floor(log(u) / log(1 - p)) with u in (0, 1], so the loop costs
+  // O(expected flips) instead of O(bits) — a 512-bit chain at 1e-4 does
+  // ~0.05 draws per load instead of 512 Bernoulli draws.
+  const double log_keep = std::log1p(-p);
+  std::size_t position = 0;
+  while (true) {
+    const double u = 1.0 - rng.Uniform();  // (0, 1]
+    const double gap = std::floor(std::log(u) / log_keep);
+    if (gap >= static_cast<double>(total_bits - position)) break;
+    position += static_cast<std::size_t>(gap);
+    // Bits stream group-major: group g drives atoms
+    // [g * atoms_per_group, ...), 2 bits per atom, LSB first.
+    const std::size_t group = position / (atoms_per_group_ * mts::kPhaseBits);
+    const std::size_t in_group =
+        position - group * atoms_per_group_ * mts::kPhaseBits;
+    const std::size_t atom =
+        group * atoms_per_group_ + in_group / mts::kPhaseBits;
+    const std::size_t bit = in_group % mts::kPhaseBits;
+    if (atom < num_atoms_) {
+      codes[atom] = static_cast<mts::PhaseCode>(codes[atom] ^ (1u << bit));
+      ++flips;
+    }
+    ++position;
+    if (position >= total_bits) break;
+  }
+  return flips;
+}
+
+double FaultInjector::SyncBurstOffsetUs(Rng& rng) const {
+  if (plan_.burst.probability <= 0.0 || plan_.burst.max_extra_us <= 0.0) {
+    return 0.0;
+  }
+  // Draw both values unconditionally so the caller's stream advances by
+  // a fixed amount per frame regardless of the burst outcome.
+  const bool triggered = rng.Bernoulli(plan_.burst.probability);
+  const double extra =
+      rng.Uniform(-plan_.burst.max_extra_us, plan_.burst.max_extra_us);
+  return triggered ? extra : 0.0;
+}
+
+std::vector<std::uint8_t> FaultInjector::HealthyMask() const {
+  std::vector<std::uint8_t> mask(num_atoms_, 1);
+  for (const std::size_t atom : stuck_atoms_) mask[atom] = 0;
+  return mask;
+}
+
+}  // namespace metaai::fault

@@ -1,0 +1,87 @@
+// Seeded realization of a FaultPlan against a concrete metasurface.
+//
+// The injector draws every static fault realization (which atoms are
+// stuck, at which pinned codes, each atom's drift phasor) once at
+// construction from Rng(plan.seed) with Fork() in a fixed order. Dynamic
+// faults (chain corruption per pattern load, sync bursts per frame) take
+// the caller's Rng so they ride the experiment's existing deterministic
+// stream layout and stay reproducible at any --threads setting.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "fault/plan.h"
+#include "mts/controller.h"
+#include "mts/meta_atom.h"
+
+namespace metaai::fault {
+
+class FaultInjector {
+ public:
+  /// Realizes `plan` for a surface of `num_atoms` atoms driven by
+  /// `controller`'s shift-register layout.
+  explicit FaultInjector(FaultPlan plan, std::size_t num_atoms,
+                         mts::ControllerConfig controller = {});
+
+  const FaultPlan& plan() const { return plan_; }
+  std::size_t num_atoms() const { return num_atoms_; }
+
+  /// Stuck atoms, ascending. Empty when the stuck model is inactive.
+  const std::vector<std::size_t>& stuck_atoms() const { return stuck_atoms_; }
+  std::size_t num_stuck() const { return stuck_atoms_.size(); }
+
+  /// The 2-bit code atom `atom` is pinned at (meaningful only for stuck
+  /// atoms).
+  mts::PhaseCode pinned_code(std::size_t atom) const;
+
+  /// True if pattern loads are perturbed at all (stuck or chain active) —
+  /// lets the transmit path skip per-symbol pattern copies otherwise.
+  bool AffectsPatterns() const;
+
+  /// Overwrites stuck atoms with their pinned codes. Returns the number
+  /// of atoms whose code actually changed. Call *after* CorruptLoad: a
+  /// stuck PIN driver wins over whatever the registers hold.
+  std::size_t ApplyStuck(std::span<mts::PhaseCode> codes) const;
+
+  /// Flips random bits of the in-flight pattern as the shift-register
+  /// chains load it (group-major layout, 2 bits/atom). Draws from `rng`;
+  /// returns the number of bits flipped. Uses geometric skipping so the
+  /// cost is O(flips), not O(bits).
+  std::size_t CorruptLoad(std::span<mts::PhaseCode> codes, Rng& rng) const;
+
+  /// Per-atom aging phasors e^{j rate_m * age}; all-ones when drift is
+  /// inactive. Multiplies into the steering vector of a link.
+  const std::vector<std::complex<double>>& drift_phasors() const {
+    return drift_phasors_;
+  }
+  bool HasDrift() const {
+    return plan_.drift.rate_std_rad_per_s > 0.0 && plan_.drift.age_s > 0.0;
+  }
+
+  /// Extra sync-timing error for one frame: 0 unless the burst model
+  /// triggers (probability per call), else uniform in
+  /// [-max_extra_us, max_extra_us]. Always consumes the same number of
+  /// draws from `rng` once the model is active, so downstream streams
+  /// do not shift with the burst outcome.
+  double SyncBurstOffsetUs(Rng& rng) const;
+
+  /// 1 = healthy, 0 = stuck; sized num_atoms. Feed to
+  /// mts::SolveOptions::atom_mask for the fault-aware re-solve.
+  std::vector<std::uint8_t> HealthyMask() const;
+
+ private:
+  FaultPlan plan_;
+  std::size_t num_atoms_ = 0;
+  mts::ControllerConfig controller_;
+  std::size_t atoms_per_group_ = 0;
+  std::vector<std::size_t> stuck_atoms_;
+  std::vector<mts::PhaseCode> pinned_codes_;  // sized num_atoms
+  std::vector<std::uint8_t> is_stuck_;        // sized num_atoms
+  std::vector<std::complex<double>> drift_phasors_;
+};
+
+}  // namespace metaai::fault

@@ -1,0 +1,107 @@
+#include "fault/plan.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace metaai::fault {
+namespace {
+
+double ParseDouble(const std::string& key, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  Check(end != nullptr && *end == '\0' && !text.empty(),
+        "fault spec: bad numeric value for '" + key + "': '" + text + "'");
+  return value;
+}
+
+std::uint64_t ParseSeed(const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  Check(end != nullptr && *end == '\0' && !text.empty(),
+        "fault spec: bad seed '" + text + "'");
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+bool FaultPlan::Any() const {
+  return stuck.fraction > 0.0 || chain.bit_flip_prob > 0.0 ||
+         (drift.rate_std_rad_per_s > 0.0 && drift.age_s > 0.0) ||
+         (burst.probability > 0.0 && burst.max_extra_us > 0.0);
+}
+
+FaultPlan ParseFaultSpec(const std::string& spec) {
+  FaultPlan plan;
+  bool age_given = false;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    Check(eq != std::string::npos,
+          "fault spec: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "stuck") {
+      plan.stuck.fraction = ParseDouble(key, value);
+      Check(plan.stuck.fraction >= 0.0 && plan.stuck.fraction <= 1.0,
+            "fault spec: stuck fraction must be in [0, 1]");
+    } else if (key == "chain") {
+      plan.chain.bit_flip_prob = ParseDouble(key, value);
+      Check(plan.chain.bit_flip_prob >= 0.0 && plan.chain.bit_flip_prob <= 1.0,
+            "fault spec: chain bit-flip probability must be in [0, 1]");
+    } else if (key == "drift") {
+      plan.drift.rate_std_rad_per_s = ParseDouble(key, value);
+      Check(plan.drift.rate_std_rad_per_s >= 0.0,
+            "fault spec: drift rate std must be >= 0");
+    } else if (key == "age") {
+      plan.drift.age_s = ParseDouble(key, value);
+      Check(plan.drift.age_s >= 0.0, "fault spec: age must be >= 0");
+      age_given = true;
+    } else if (key == "burst") {
+      const std::size_t colon = value.find(':');
+      Check(colon != std::string::npos,
+            "fault spec: burst wants probability:max_extra_us");
+      plan.burst.probability = ParseDouble(key, value.substr(0, colon));
+      plan.burst.max_extra_us = ParseDouble(key, value.substr(colon + 1));
+      Check(plan.burst.probability >= 0.0 && plan.burst.probability <= 1.0,
+            "fault spec: burst probability must be in [0, 1]");
+      Check(plan.burst.max_extra_us >= 0.0,
+            "fault spec: burst max_extra_us must be >= 0");
+    } else if (key == "seed") {
+      plan.seed = ParseSeed(value);
+    } else {
+      Check(false, "fault spec: unknown key '" + key + "'");
+    }
+  }
+  // A drift rate without an age would silently be a no-op; give it the
+  // bench's default aging horizon instead.
+  if (plan.drift.rate_std_rad_per_s > 0.0 && !age_given) {
+    plan.drift.age_s = 60.0;
+  }
+  return plan;
+}
+
+std::string FaultSpecString(const FaultPlan& plan) {
+  std::ostringstream out;
+  if (plan.stuck.fraction > 0.0) out << "stuck=" << plan.stuck.fraction << ",";
+  if (plan.chain.bit_flip_prob > 0.0) {
+    out << "chain=" << plan.chain.bit_flip_prob << ",";
+  }
+  if (plan.drift.rate_std_rad_per_s > 0.0) {
+    out << "drift=" << plan.drift.rate_std_rad_per_s << ",age=" << plan.drift.age_s
+        << ",";
+  }
+  if (plan.burst.probability > 0.0) {
+    out << "burst=" << plan.burst.probability << ":" << plan.burst.max_extra_us
+        << ",";
+  }
+  out << "seed=" << plan.seed;
+  return out.str();
+}
+
+}  // namespace metaai::fault

@@ -1,0 +1,71 @@
+// metaai::fault — deterministic hardware fault models for the metasurface
+// control plane and RF timing path.
+//
+// The prototype's failure surface (§4): PIN-diode drivers can die or pin a
+// meta-atom at one 2-bit code ("stuck"); the SN74LV595 shift-register
+// chains can corrupt bits during a pattern load (marginal clocking, EMI);
+// varactor/diode aging slowly drifts each atom's realized phase; and the
+// energy-detector sync path occasionally mis-times a frame ("burst").
+//
+// A FaultPlan is a *schedule*, not a state: everything is derived from one
+// 64-bit seed through Rng::Fork in a fixed order, so any experiment that
+// carries a plan is bitwise reproducible at any --threads setting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace metaai::fault {
+
+/// A fixed fraction of atoms whose PIN drivers pin them at one random
+/// 2-bit code. Stuck atoms ignore every pattern load, including the
+/// mid-symbol flip of the §3.2 cancellation scheme.
+struct StuckAtomSpec {
+  double fraction = 0.0;  // in [0, 1]
+};
+
+/// Independent bit flips applied to the shift-register chains on every
+/// pattern load (2 bits/atom, group-major layout per mts::Controller).
+struct ChainCorruptionSpec {
+  double bit_flip_prob = 0.0;  // per bit, per load
+};
+
+/// Slow per-atom phase drift: each atom m gets a rate drawn from
+/// N(0, rate_std_rad_per_s); after age_s seconds its realized reflection
+/// phase is offset by rate * age. Static over one experiment.
+struct DriftSpec {
+  double rate_std_rad_per_s = 0.0;
+  double age_s = 0.0;
+};
+
+/// Transient sync bursts: with `probability` per sampled frame the
+/// detector's timing estimate gains an extra uniform offset in
+/// [-max_extra_us, max_extra_us].
+struct SyncBurstSpec {
+  double probability = 0.0;
+  double max_extra_us = 0.0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  StuckAtomSpec stuck;
+  ChainCorruptionSpec chain;
+  DriftSpec drift;
+  SyncBurstSpec burst;
+
+  /// True if any fault model is active.
+  bool Any() const;
+};
+
+/// Parses a compact spec like
+///   "stuck=0.1,chain=1e-4,drift=0.5,age=60,burst=0.05:20,seed=7"
+/// where drift is the rate std in rad/s (age defaults to 60 s if drift is
+/// given without age) and burst is probability:max_extra_us. Unknown keys
+/// or malformed values throw CheckError.
+FaultPlan ParseFaultSpec(const std::string& spec);
+
+/// Canonical round-trippable spec string for a plan (only active models
+/// are emitted; "seed=N" always is).
+std::string FaultSpecString(const FaultPlan& plan);
+
+}  // namespace metaai::fault

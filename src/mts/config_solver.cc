@@ -50,22 +50,41 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
   Check(targets.size() == num_targets, "target count mismatch");
   Check(options.max_sweeps > 0, "max_sweeps must be positive");
 
+  const std::vector<std::uint8_t>& mask = options.atom_mask;
+  Check(mask.empty() || mask.size() == num_atoms,
+        "atom_mask size must match the atom count");
+  const auto masked_out = [&](std::size_t m) {
+    return !mask.empty() && mask[m] == 0;
+  };
+
   SolveResult result;
   // Initialization: align toward the first target (arbitrary but stable);
   // for the single-target case this is the classic nearest-phase beam.
+  // Masked-out (faulty) atoms are pinned to code 0 and never touched.
   {
     std::vector<Complex> first_row(num_atoms);
     for (std::size_t m = 0; m < num_atoms; ++m) first_row[m] = steering(0, m);
     result.codes = InitializeToward(first_row, targets[0]);
-  }
-
-  // Running sums per target for the current configuration.
-  std::vector<Complex> sums(num_targets, Complex{0.0, 0.0});
-  for (std::size_t k = 0; k < num_targets; ++k) {
     for (std::size_t m = 0; m < num_atoms; ++m) {
-      sums[k] += steering(k, m) * PhasorForCode(result.codes[m]);
+      if (masked_out(m)) result.codes[m] = 0;
     }
   }
+
+  // Running sums per target for the current configuration (healthy atoms
+  // only; a masked atom's physical contribution is the caller's problem —
+  // it either cancels under the §3.2 flip scheme or arrives as a
+  // measured target offset).
+  const auto recompute_sums = [&](std::vector<Complex>& sums) {
+    for (std::size_t k = 0; k < num_targets; ++k) {
+      sums[k] = Complex{0.0, 0.0};
+      for (std::size_t m = 0; m < num_atoms; ++m) {
+        if (masked_out(m)) continue;
+        sums[k] += steering(k, m) * PhasorForCode(result.codes[m]);
+      }
+    }
+  };
+  std::vector<Complex> sums(num_targets);
+  recompute_sums(sums);
 
   auto total_error = [&]() {
     double err = 0.0;
@@ -89,6 +108,7 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
     const double sweep_start_error = total_error();
     bool changed = false;
     for (std::size_t m = 0; m < num_atoms; ++m) {
+      if (masked_out(m)) continue;
       const PhaseCode old_code = result.codes[m];
       const Complex old_phasor = PhasorForCode(old_code);
       PhaseCode best_code = old_code;
@@ -136,6 +156,11 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
   obs::Observe("solver.sweeps_per_solve",
                static_cast<double>(result.sweeps_used), kSweepBuckets);
 
+  // Report from sums recomputed against the final codes: the
+  // incrementally updated descent sums accumulate one rounding error per
+  // accepted code change and drift from the true configuration response
+  // over many sweeps.
+  recompute_sums(sums);
   result.achieved = sums;
   result.residual = std::sqrt(total_error());
   if (obs::ProbesEnabled()) {

@@ -15,6 +15,7 @@
 // starting point; a handful of sweeps converge in practice.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -25,13 +26,26 @@ namespace metaai::mts {
 
 struct SolveOptions {
   int max_sweeps = 8;
+  /// Fault-aware solving: when non-empty (size must equal the atom
+  /// count), atoms with atom_mask[m] == 0 are frozen out of coordinate
+  /// descent — they keep code 0, contribute nothing to the optimized
+  /// sums, and the solve runs over the healthy atoms only. Used by the
+  /// graceful-degradation re-solve after stuck atoms are diagnosed (the
+  /// physical contribution of a stuck atom either cancels under the
+  /// §3.2 flip scheme or is folded into the target as a measured
+  /// offset by the weight mapper).
+  std::vector<std::uint8_t> atom_mask;
 };
 
 struct SolveResult {
   std::vector<PhaseCode> codes;
-  /// Achieved sum_m steering[m] e^{j phi_m} per target.
+  /// Achieved sum_m steering[m] e^{j phi_m} per target (masked atoms
+  /// excluded), recomputed from the final codes — not the incrementally
+  /// updated descent sums, which drift from the true values over many
+  /// sweeps.
   std::vector<Complex> achieved;
-  /// Root of the summed squared error across targets.
+  /// Root of the summed squared error across targets, evaluated from the
+  /// recomputed sums.
   double residual = 0.0;
   int sweeps_used = 0;
 };

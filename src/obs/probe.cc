@@ -27,6 +27,8 @@ std::string_view ProbeKindName(ProbeKind kind) {
       return "constellation";
     case ProbeKind::kSpectrum:
       return "spectrum";
+    case ProbeKind::kFault:
+      return "fault";
   }
   throw CheckError("unknown probe kind");
 }

@@ -45,6 +45,7 @@ enum class ProbeKind {
   kPhaseConfig,    // metasurface phase-code dump for one schedule entry
   kConstellation,  // sampled received constellation points (re/im pairs)
   kSpectrum,       // per-subcarrier power of one OFDM symbol
+  kFault,          // fault diagnosis / recovery event (stuck counts, WDD)
 };
 
 std::string_view ProbeKindName(ProbeKind kind);

@@ -1,7 +1,9 @@
 #include "rf/fft.h"
 
 #include <cmath>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/check.h"
 
@@ -22,22 +24,42 @@ void BitReversePermute(std::span<Complex> data) {
   }
 }
 
+// Forward twiddles w_n^k = e^{-j 2 pi k / n} for k < n/2, each evaluated
+// directly with std::polar. The previous w *= step recurrence accumulated
+// one rounding error per butterfly across a stage, which at n = 4096 cost
+// ~2 digits of accuracy versus a naive DFT. Stage `len` indexes the table
+// with stride n / len. Cached per length; thread_local so concurrent
+// transforms (the par fan-outs) need no locking and stay deterministic.
+const std::vector<Complex>& ForwardTwiddles(std::size_t n) {
+  thread_local std::unordered_map<std::size_t, std::vector<Complex>> cache;
+  auto [it, inserted] = cache.try_emplace(n);
+  if (inserted) {
+    it->second.resize(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      it->second[k] =
+          std::polar(1.0, -2.0 * M_PI * static_cast<double>(k) /
+                              static_cast<double>(n));
+    }
+  }
+  return it->second;
+}
+
 void Transform(std::span<Complex> data, bool inverse) {
   const std::size_t n = data.size();
   Check(IsPowerOfTwo(n), "FFT length must be a power of two");
+  if (n == 1) return;
   BitReversePermute(data);
+  const std::vector<Complex>& twiddles = ForwardTwiddles(n);
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * M_PI /
-                         static_cast<double>(len);
-    const Complex step(std::cos(angle), std::sin(angle));
+    const std::size_t stride = n / len;
     for (std::size_t block = 0; block < n; block += len) {
-      Complex w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex tw = twiddles[k * stride];
+        const Complex w = inverse ? std::conj(tw) : tw;
         const Complex even = data[block + k];
         const Complex odd = data[block + k + len / 2] * w;
         data[block + k] = even + odd;
         data[block + k + len / 2] = even - odd;
-        w *= step;
       }
     }
   }

@@ -55,8 +55,6 @@ OtaLink::OtaLink(const mts::Metasurface& surface, OtaLinkConfig config)
 
   Rng channel_rng(config_.channel_seed);
 
-  // Base environment realization, shared by all same-geometry
-  // observations (subcarriers see the same taps at different offsets).
   auto make_environment = [&](const mts::LinkGeometry& geometry, Rng& rng) {
     const double lambda = rf::Wavelength(geometry.frequency_hz);
     const double d = TxRxDistance(geometry);
@@ -88,7 +86,15 @@ OtaLink::OtaLink(const mts::Metasurface& surface, OtaLinkConfig config)
     }
   }
 
-  std::optional<rf::MultipathChannel> base_env;
+  // Base environment realization, shared by all same-geometry
+  // observations (subcarriers see the same taps at different offsets).
+  // Realized from channel_rng *before* the observation loop: building it
+  // lazily at the first no-override observation made the shared taps —
+  // and every override's forked stream — depend on where that
+  // observation sat in the list, so permuting observations changed the
+  // channel realization.
+  const rf::MultipathChannel base_env =
+      make_environment(config_.geometry, channel_rng);
   for (const Observation& obs : config_.observations) {
     ObservationState state{
         .steering = {},
@@ -99,10 +105,7 @@ OtaLink::OtaLink(const mts::Metasurface& surface, OtaLinkConfig config)
                 Rng fork = channel_rng.Fork();
                 return make_environment(*obs.geometry, fork);
               }
-              if (!base_env.has_value()) {
-                base_env = make_environment(config_.geometry, channel_rng);
-              }
-              return *base_env;
+              return base_env;
             }(),
         .env_gain = 1.0};
     const mts::LinkGeometry& geometry =
@@ -121,6 +124,18 @@ OtaLink::OtaLink(const mts::Metasurface& surface, OtaLinkConfig config)
     state.tx_steering = state.steering;
     for (std::size_t m = 0; m < state.tx_steering.size(); ++m) {
       state.tx_steering[m] *= device_error[m];
+    }
+    // Aging drift (fault model): a slow per-atom phase offset on the
+    // physical reflection, on top of the static device errors. Like
+    // those, it distorts transmission but is invisible to the idealized
+    // steering the mapper solves against — until a diagnosis measures it.
+    if (config_.faults != nullptr && config_.faults->HasDrift()) {
+      Check(config_.faults->num_atoms() == state.tx_steering.size(),
+            "fault injector atom count must match the surface");
+      const auto& drift = config_.faults->drift_phasors();
+      for (std::size_t m = 0; m < state.tx_steering.size(); ++m) {
+        state.tx_steering[m] *= drift[m];
+      }
     }
     // Antennas point at the panel: boresight gains on both MTS legs.
     state.mts_amplitude = surface_.PathAmplitude(geometry) *
@@ -183,17 +198,63 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
 
   // Per-symbol base responses B(o, i) = sum_m steering * phasor, using
   // the hardware's (device-error-perturbed) steering.
+  //
+  // With pattern-affecting faults active, each half-symbol slot is its
+  // own shift-register load: the commanded codes (or their opposites for
+  // the flipped slot) pass through chain corruption, then stuck PIN
+  // drivers override whatever arrived. A stuck atom therefore does NOT
+  // flip at mid-symbol — the flipped response is a separate sum, not
+  // simply -B, which is exactly why the §3.2 cancellation scheme also
+  // cancels the stuck atoms' (static) contribution.
+  const fault::FaultInjector* faults = config_.faults.get();
+  const bool pattern_faults = faults != nullptr && faults->AffectsPatterns();
+  const bool use_flip_matrix = pattern_faults && config_.multipath_cancellation;
   ComplexMatrix base(num_obs, num_symbols);
-  for (std::size_t o = 0; o < num_obs; ++o) {
-    const auto& steering = observations_[o].tx_steering;
-    for (std::size_t i = 0; i < num_symbols; ++i) {
-      Complex acc{0.0, 0.0};
-      const auto& codes = schedule[i];
-      for (std::size_t m = 0; m < atoms; ++m) {
-        acc += steering[m] * mts::PhasorForCode(codes[m]);
+  ComplexMatrix base_flip(use_flip_matrix ? num_obs : 0,
+                          use_flip_matrix ? num_symbols : 0);
+  if (!pattern_faults) {
+    for (std::size_t o = 0; o < num_obs; ++o) {
+      const auto& steering = observations_[o].tx_steering;
+      for (std::size_t i = 0; i < num_symbols; ++i) {
+        Complex acc{0.0, 0.0};
+        const auto& codes = schedule[i];
+        for (std::size_t m = 0; m < atoms; ++m) {
+          acc += steering[m] * mts::PhasorForCode(codes[m]);
+        }
+        base(o, i) = acc;
       }
-      base(o, i) = acc;
     }
+  } else {
+    Check(faults->num_atoms() == atoms,
+          "fault injector atom count must match the surface");
+    std::vector<mts::PhaseCode> loaded(atoms);
+    std::size_t bit_flips = 0;
+    std::size_t stuck_overrides = 0;
+    const auto realize = [&](ComplexMatrix& out, std::size_t i) {
+      bit_flips += faults->CorruptLoad(loaded, rng);
+      stuck_overrides += faults->ApplyStuck(loaded);
+      for (std::size_t o = 0; o < num_obs; ++o) {
+        const auto& steering = observations_[o].tx_steering;
+        Complex acc{0.0, 0.0};
+        for (std::size_t m = 0; m < atoms; ++m) {
+          acc += steering[m] * mts::PhasorForCode(loaded[m]);
+        }
+        out(o, i) = acc;
+      }
+    };
+    for (std::size_t i = 0; i < num_symbols; ++i) {
+      loaded = schedule[i];
+      realize(base, i);
+      if (use_flip_matrix) {
+        for (std::size_t m = 0; m < atoms; ++m) {
+          loaded[m] = mts::OppositeCode(schedule[i][m]);
+        }
+        realize(base_flip, i);
+      }
+    }
+    obs::Count("fault.chain_bitflips", bit_flips);
+    obs::Count("fault.stuck_overrides", stuck_overrides);
+    obs::Count("fault.injected", bit_flips + stuck_overrides);
   }
 
   const std::size_t slots_per_symbol = config_.multipath_cancellation ? 2 : 1;
@@ -283,8 +344,13 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
       pulse_of[j] = pulse;
 
       for (std::size_t o = 0; o < num_obs; ++o) {
-        Complex mts_response = base(o, slot_symbol);
-        if (flipped) mts_response = -mts_response;
+        Complex mts_response;
+        if (flipped && use_flip_matrix) {
+          mts_response = base_flip(o, slot_symbol);
+        } else {
+          mts_response = base(o, slot_symbol);
+          if (flipped) mts_response = -mts_response;
+        }
         mts_response *= observations_[o].mts_amplitude * mts_gain[i];
         const Complex channel = mts_response + env(o, i);
         received[o * oversample + j] =

@@ -23,11 +23,13 @@
 // Fig 9a) or at different receive antennas (geometry overrides, Fig 9b).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "fault/injector.h"
 #include "mts/metasurface.h"
 #include "rf/antenna.h"
 #include "rf/signal.h"
@@ -83,6 +85,11 @@ struct OtaLinkConfig {
   double mts_phase_noise_std = 0.0;
   std::vector<Observation> observations = {Observation{}};
   std::uint64_t channel_seed = 1;  // environment realization seed
+  /// Optional hardware fault injection (metaai::fault). Static models
+  /// (stuck atoms' pinned codes, aging drift on the steering) realize at
+  /// link construction; dynamic ones (shift-chain corruption) perturb
+  /// every pattern load inside TransmitSequence. Null = healthy hardware.
+  std::shared_ptr<const fault::FaultInjector> faults;
 };
 
 /// The per-symbol MTS configuration schedule for one output sequence:

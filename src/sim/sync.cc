@@ -30,7 +30,7 @@ SyncModel::SyncModel(SyncMode mode, SyncModelConfig config)
 }
 
 double SyncModel::SampleOffsetUs(Rng& rng) const {
-  const double offset_us = [&] {
+  double offset_us = [&] {
     switch (mode_) {
       case SyncMode::kNone:
         return rng.Uniform(0.0, config_.unsynced_max_error_us);
@@ -43,6 +43,16 @@ double SyncModel::SampleOffsetUs(Rng& rng) const {
     }
     throw CheckError("unknown sync mode");
   }();
+  // Transient detector glitch (fault model). SyncBurstOffsetUs draws
+  // nothing when the burst model is inactive, so fault-free streams are
+  // untouched; with it active the draw count per frame is fixed.
+  if (config_.faults != nullptr) {
+    const double burst_us = config_.faults->SyncBurstOffsetUs(rng);
+    if (burst_us != 0.0) {
+      obs::Count("fault.sync_bursts");
+      offset_us += burst_us;
+    }
+  }
   // Timeline entry: sample order is the probe's seq order, so the
   // flight recorder reconstructs the per-inference offset sequence
   // behind a degraded run (the paper's Fig 12 evidence).

@@ -12,9 +12,11 @@
 //              robust to it.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "common/rng.h"
+#include "fault/injector.h"
 #include "mts/energy_detector.h"
 
 namespace metaai::sim {
@@ -34,6 +36,11 @@ struct SyncModelConfig {
   /// paper's operating point (see EXPERIMENTS.md). Sync-focused
   /// experiments (Figs 12/13/16) use 1.0.
   double latency_scale = 1.0;
+  /// Optional transient sync-burst fault model: with the plan's
+  /// per-frame probability, a sampled offset gains an extra uniform
+  /// error (detector glitch). Null or a plan without a burst model
+  /// leaves the sampled streams bit-identical to the fault-free path.
+  std::shared_ptr<const fault::FaultInjector> faults;
 };
 
 /// latency_scale preserving the paper's relative sync-error operating

@@ -1,0 +1,186 @@
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mts/meta_atom.h"
+
+namespace metaai::fault {
+namespace {
+
+constexpr std::size_t kAtoms = 256;
+
+TEST(FaultInjectorTest, StuckRealizationIsDeterministic) {
+  const FaultPlan plan = ParseFaultSpec("stuck=0.1,seed=7");
+  const FaultInjector a(plan, kAtoms);
+  const FaultInjector b(plan, kAtoms);
+  ASSERT_EQ(a.stuck_atoms(), b.stuck_atoms());
+  for (const std::size_t m : a.stuck_atoms()) {
+    EXPECT_EQ(a.pinned_code(m), b.pinned_code(m));
+  }
+  // A different seed realizes a different stuck set (overwhelmingly).
+  FaultPlan other = plan;
+  other.seed = 8;
+  const FaultInjector c(other, kAtoms);
+  EXPECT_NE(a.stuck_atoms(), c.stuck_atoms());
+}
+
+TEST(FaultInjectorTest, StuckCountMatchesFraction) {
+  const FaultInjector inj(ParseFaultSpec("stuck=0.1,seed=3"), kAtoms);
+  EXPECT_EQ(inj.num_stuck(),
+            static_cast<std::size_t>(std::llround(0.1 * kAtoms)));
+  EXPECT_TRUE(inj.AffectsPatterns());
+  const auto mask = inj.HealthyMask();
+  std::size_t healthy = 0;
+  for (const auto h : mask) healthy += h;
+  EXPECT_EQ(healthy, kAtoms - inj.num_stuck());
+}
+
+TEST(FaultInjectorTest, ApplyStuckPinsCodes) {
+  const FaultInjector inj(ParseFaultSpec("stuck=0.2,seed=5"), kAtoms);
+  std::vector<mts::PhaseCode> codes(kAtoms, 1);
+  const std::size_t changed = inj.ApplyStuck(codes);
+  // Pinned codes are uniform over 4 states, so ~1/4 of stuck atoms
+  // already held code 1; every other stuck atom must change.
+  EXPECT_GT(changed, 0u);
+  EXPECT_LE(changed, inj.num_stuck());
+  for (const std::size_t m : inj.stuck_atoms()) {
+    EXPECT_EQ(codes[m], inj.pinned_code(m));
+  }
+  // Healthy atoms untouched.
+  const auto mask = inj.HealthyMask();
+  for (std::size_t m = 0; m < kAtoms; ++m) {
+    if (mask[m] != 0) {
+      EXPECT_EQ(codes[m], 1);
+    }
+  }
+  // Re-applying is idempotent.
+  std::vector<mts::PhaseCode> again = codes;
+  EXPECT_EQ(inj.ApplyStuck(again), 0u);
+  EXPECT_EQ(again, codes);
+}
+
+TEST(FaultInjectorTest, CorruptLoadIsDeterministicPerStream) {
+  const FaultInjector inj(ParseFaultSpec("chain=0.01,seed=2"), kAtoms);
+  std::vector<mts::PhaseCode> a(kAtoms, 2);
+  std::vector<mts::PhaseCode> b(kAtoms, 2);
+  Rng rng_a(11);
+  Rng rng_b(11);
+  EXPECT_EQ(inj.CorruptLoad(a, rng_a), inj.CorruptLoad(b, rng_b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjectorTest, CorruptLoadMatchesBernoulliRate) {
+  // Geometric skipping must reproduce the per-bit Bernoulli flip rate:
+  // over many loads the mean flip count converges to p * bits.
+  const double p = 0.02;
+  const FaultInjector inj(ParseFaultSpec("chain=0.02,seed=2"), kAtoms);
+  Rng rng(13);
+  const int loads = 2000;
+  const double bits = static_cast<double>(kAtoms * 2);
+  std::size_t flips = 0;
+  for (int i = 0; i < loads; ++i) {
+    std::vector<mts::PhaseCode> codes(kAtoms, 0);
+    flips += inj.CorruptLoad(codes, rng);
+  }
+  const double mean = static_cast<double>(flips) / loads;
+  const double expected = p * bits;  // 10.24
+  // 5-sigma band of the per-load Binomial(bits, p) mean.
+  const double sigma = std::sqrt(bits * p * (1 - p) / loads);
+  EXPECT_NEAR(mean, expected, 5.0 * sigma);
+}
+
+TEST(FaultInjectorTest, InactiveChainDrawsNothing) {
+  const FaultInjector inj(ParseFaultSpec("stuck=0.1,seed=4"), kAtoms);
+  std::vector<mts::PhaseCode> codes(kAtoms, 0);
+  Rng rng(17);
+  Rng untouched(17);
+  EXPECT_EQ(inj.CorruptLoad(codes, rng), 0u);
+  // The stream must not have advanced when the model is off.
+  EXPECT_EQ(rng.Next(), untouched.Next());
+}
+
+TEST(FaultInjectorTest, CertainCorruptionFlipsEveryBit) {
+  const FaultInjector inj(ParseFaultSpec("chain=1,seed=4"), kAtoms);
+  std::vector<mts::PhaseCode> codes(kAtoms, 1);
+  Rng rng(19);
+  EXPECT_EQ(inj.CorruptLoad(codes, rng), kAtoms * 2);
+  for (const auto code : codes) EXPECT_EQ(code, 1 ^ 3);
+}
+
+TEST(FaultInjectorTest, DriftPhasorsAreUnitAndDeterministic) {
+  const FaultPlan plan = ParseFaultSpec("drift=0.01,age=60,seed=9");
+  const FaultInjector a(plan, kAtoms);
+  const FaultInjector b(plan, kAtoms);
+  ASSERT_TRUE(a.HasDrift());
+  EXPECT_EQ(a.drift_phasors(), b.drift_phasors());
+  bool any_rotated = false;
+  for (const auto& ph : a.drift_phasors()) {
+    EXPECT_NEAR(std::abs(ph), 1.0, 1e-12);
+    if (std::abs(ph - std::complex<double>{1.0, 0.0}) > 1e-6) {
+      any_rotated = true;
+    }
+  }
+  EXPECT_TRUE(any_rotated);
+  // Without drift the phasors are exactly identity.
+  const FaultInjector none(ParseFaultSpec("stuck=0.1,seed=9"), kAtoms);
+  for (const auto& ph : none.drift_phasors()) {
+    EXPECT_EQ(ph, (std::complex<double>{1.0, 0.0}));
+  }
+}
+
+TEST(FaultInjectorTest, StuckSetIndependentOfDriftModel) {
+  // Fork order is fixed: enabling drift must not move the stuck set.
+  const FaultInjector bare(ParseFaultSpec("stuck=0.1,seed=21"), kAtoms);
+  const FaultInjector with_drift(
+      ParseFaultSpec("stuck=0.1,drift=0.5,age=10,seed=21"), kAtoms);
+  EXPECT_EQ(bare.stuck_atoms(), with_drift.stuck_atoms());
+}
+
+TEST(FaultInjectorTest, SyncBurstRespectsProbabilityAndRange) {
+  const FaultInjector inj(ParseFaultSpec("burst=0.25:20,seed=6"), kAtoms);
+  Rng rng(23);
+  int bursts = 0;
+  const int frames = 4000;
+  for (int i = 0; i < frames; ++i) {
+    const double offset = inj.SyncBurstOffsetUs(rng);
+    EXPECT_LE(std::abs(offset), 20.0);
+    if (offset != 0.0) ++bursts;
+  }
+  const double rate = static_cast<double>(bursts) / frames;
+  EXPECT_NEAR(rate, 0.25, 0.04);
+
+  // Inactive model: zero offset, zero draws.
+  const FaultInjector none(ParseFaultSpec("stuck=0.1,seed=6"), kAtoms);
+  Rng a(29);
+  Rng b(29);
+  EXPECT_EQ(none.SyncBurstOffsetUs(a), 0.0);
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(FaultInjectorTest, FixedDrawCountPerBurstSample) {
+  // The burst model consumes the same number of draws whether or not it
+  // triggers, so downstream consumers of the stream see stable offsets.
+  const FaultInjector inj(ParseFaultSpec("burst=0.5:10,seed=8"), kAtoms);
+  Rng a(31);
+  Rng b(31);
+  (void)inj.SyncBurstOffsetUs(a);
+  (void)b.Bernoulli(0.5);
+  (void)b.Uniform(-10.0, 10.0);
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(FaultInjectorTest, RejectsMismatchedPatternSizes) {
+  const FaultInjector inj(ParseFaultSpec("stuck=0.1,seed=3"), kAtoms);
+  std::vector<mts::PhaseCode> wrong(kAtoms - 1, 0);
+  Rng rng(1);
+  EXPECT_THROW(inj.ApplyStuck(wrong), CheckError);
+  EXPECT_THROW(inj.CorruptLoad(wrong, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::fault

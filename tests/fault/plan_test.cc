@@ -1,0 +1,59 @@
+#include "fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace metaai::fault {
+namespace {
+
+TEST(FaultPlanTest, EmptySpecIsHealthy) {
+  const FaultPlan plan = ParseFaultSpec("");
+  EXPECT_FALSE(plan.Any());
+  EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(FaultPlanTest, ParsesEveryModel) {
+  const FaultPlan plan =
+      ParseFaultSpec("stuck=0.1,chain=1e-4,drift=0.5,age=30,burst=0.05:20,seed=7");
+  EXPECT_TRUE(plan.Any());
+  EXPECT_DOUBLE_EQ(plan.stuck.fraction, 0.1);
+  EXPECT_DOUBLE_EQ(plan.chain.bit_flip_prob, 1e-4);
+  EXPECT_DOUBLE_EQ(plan.drift.rate_std_rad_per_s, 0.5);
+  EXPECT_DOUBLE_EQ(plan.drift.age_s, 30.0);
+  EXPECT_DOUBLE_EQ(plan.burst.probability, 0.05);
+  EXPECT_DOUBLE_EQ(plan.burst.max_extra_us, 20.0);
+  EXPECT_EQ(plan.seed, 7u);
+}
+
+TEST(FaultPlanTest, DriftWithoutAgeGetsDefaultHorizon) {
+  const FaultPlan plan = ParseFaultSpec("drift=0.2");
+  EXPECT_DOUBLE_EQ(plan.drift.age_s, 60.0);
+  EXPECT_TRUE(plan.Any());
+}
+
+TEST(FaultPlanTest, SpecStringRoundTrips) {
+  const FaultPlan plan =
+      ParseFaultSpec("stuck=0.25,chain=0.001,drift=0.5,age=45,burst=0.1:8,seed=42");
+  const FaultPlan again = ParseFaultSpec(FaultSpecString(plan));
+  EXPECT_DOUBLE_EQ(again.stuck.fraction, plan.stuck.fraction);
+  EXPECT_DOUBLE_EQ(again.chain.bit_flip_prob, plan.chain.bit_flip_prob);
+  EXPECT_DOUBLE_EQ(again.drift.rate_std_rad_per_s,
+                   plan.drift.rate_std_rad_per_s);
+  EXPECT_DOUBLE_EQ(again.drift.age_s, plan.drift.age_s);
+  EXPECT_DOUBLE_EQ(again.burst.probability, plan.burst.probability);
+  EXPECT_DOUBLE_EQ(again.burst.max_extra_us, plan.burst.max_extra_us);
+  EXPECT_EQ(again.seed, plan.seed);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(ParseFaultSpec("stuck"), CheckError);
+  EXPECT_THROW(ParseFaultSpec("stuck=1.5"), CheckError);
+  EXPECT_THROW(ParseFaultSpec("chain=-0.1"), CheckError);
+  EXPECT_THROW(ParseFaultSpec("burst=0.1"), CheckError);
+  EXPECT_THROW(ParseFaultSpec("wearout=1"), CheckError);
+  EXPECT_THROW(ParseFaultSpec("stuck=abc"), CheckError);
+}
+
+}  // namespace
+}  // namespace metaai::fault

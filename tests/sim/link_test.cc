@@ -104,6 +104,32 @@ TEST(OtaLinkTest, CancellationRemovesEnvironmentPath) {
   }
 }
 
+TEST(OtaLinkTest, ObservationOrderDoesNotChangeChannels) {
+  // Regression: the shared base-environment realization used to be built
+  // lazily at the first observation without a geometry override, so the
+  // taps every observation saw — and the forked streams of the overrides
+  // — depended on where that observation sat in the list. Permuting the
+  // observation list must permute the per-observation channels, nothing
+  // more.
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  mts::LinkGeometry other = DefaultGeometry();
+  other.rx_angle_rad = rf::DegToRad(-25.0);
+  const Observation base_obs{};
+  const Observation override_obs{.geometry = other};
+
+  OtaLinkConfig forward = QuietConfig();
+  forward.environment.profile = rf::LaboratoryProfile();
+  forward.observations = {base_obs, override_obs};
+  OtaLinkConfig reversed = forward;
+  reversed.observations = {override_obs, base_obs};
+
+  const OtaLink link_fwd(surface, forward);
+  const OtaLink link_rev(surface, reversed);
+  // base_obs is index 0 forward, index 1 reversed (and vice versa).
+  EXPECT_EQ(link_fwd.EnvironmentResponse(0), link_rev.EnvironmentResponse(1));
+  EXPECT_EQ(link_fwd.EnvironmentResponse(1), link_rev.EnvironmentResponse(0));
+}
+
 TEST(OtaLinkTest, WithoutCancellationEnvironmentLeaksIn) {
   mts::Metasurface surface{mts::MetasurfaceSpec{}};
   OtaLinkConfig config = QuietConfig();

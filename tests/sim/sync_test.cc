@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
 #include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "fault/injector.h"
 
 namespace metaai::sim {
 namespace {
@@ -55,6 +58,46 @@ TEST(SyncTest, ConfigurableUnsyncedRange) {
   for (int i = 0; i < 1000; ++i) {
     EXPECT_LE(model.SampleOffsetUs(rng), 8.0);
   }
+}
+
+TEST(SyncTest, FaultBurstPerturbsSomeFramesWithinBounds) {
+  SyncModelConfig config;
+  config.faults = std::make_shared<const fault::FaultInjector>(
+      fault::ParseFaultSpec("burst=0.2:15,seed=5"), 256);
+  SyncModel bursty(SyncMode::kCoarse, config);
+  SyncModel clean(SyncMode::kCoarse);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  int bursts = 0;
+  const int frames = 5000;
+  for (int i = 0; i < frames; ++i) {
+    const double with = bursty.SampleOffsetUs(rng_a);
+    const double without = clean.SampleOffsetUs(rng_b);
+    const double extra = with - without;
+    EXPECT_LE(std::abs(extra), 15.0 + 1e-12);
+    if (extra != 0.0) ++bursts;
+    // The burst draw shifts rng_a relative to rng_b; resync both
+    // streams so the comparison stays frame-aligned.
+    rng_b = rng_a;
+  }
+  const double rate = static_cast<double>(bursts) / frames;
+  EXPECT_NEAR(rate, 0.2, 0.03);
+}
+
+TEST(SyncTest, InactiveFaultPlanLeavesStreamsUntouched) {
+  // A wired injector whose burst model is off must not consume draws or
+  // change any sampled offset.
+  SyncModelConfig config;
+  config.faults = std::make_shared<const fault::FaultInjector>(
+      fault::ParseFaultSpec("stuck=0.1,seed=5"), 256);
+  SyncModel wired(SyncMode::kCoarse, config);
+  SyncModel clean(SyncMode::kCoarse);
+  Rng rng_a(9);
+  Rng rng_b(9);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(wired.SampleOffsetUs(rng_a), clean.SampleOffsetUs(rng_b));
+  }
+  EXPECT_EQ(rng_a.Next(), rng_b.Next());
 }
 
 TEST(SyncTest, ValidatesConfig) {

@@ -4,6 +4,7 @@
 //   metaai_cli eval       --dataset mnist --model model.txt
 //   metaai_cli deploy     --dataset mnist --model model.txt --out patterns.txt
 //   metaai_cli ota        --dataset mnist --model model.txt [--samples N]
+//                         [--faults SPEC] [--recover]
 //   metaai_cli quickstart --dataset mnist [--samples N] [--seed N]
 //   metaai_cli datasets
 //
@@ -11,7 +12,11 @@
 // robustness schemes) and writes a model file. `eval` reports the digital
 // (simulation) accuracy. `deploy` solves the metasurface configuration
 // schedules for the default link and writes the controller pattern file.
-// `ota` runs the full over-the-air evaluation on the simulated link.
+// `ota` runs the full over-the-air evaluation on the simulated link;
+// `--faults SPEC` injects seeded hardware faults (metaai::fault, e.g.
+// "stuck=0.1,chain=1e-4,drift=0.01,age=60,burst=0.05:20,seed=7") and
+// `--recover` additionally runs the diagnose -> re-solve graceful-
+// degradation loop and reports the recovered accuracy.
 // `quickstart` chains train -> deploy -> controller budget check -> OTA
 // evaluation in one process (the README quickstart path).
 //
@@ -36,6 +41,7 @@
 #include "common/parallel.h"
 #include "core/metaai.h"
 #include "data/datasets.h"
+#include "fault/injector.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "rf/geometry.h"
@@ -91,6 +97,16 @@ sim::OtaLinkConfig DefaultLink() {
   return config;
 }
 
+// Optional hardware fault injection: --faults
+// "stuck=0.1,chain=1e-4,drift=0.01,age=60,burst=0.05:20,seed=7" realizes
+// a seeded fault plan against the surface (see src/fault/plan.h).
+std::shared_ptr<const fault::FaultInjector> MakeFaults(const Args& args,
+                                                       std::size_t atoms) {
+  if (!args.Has("faults")) return nullptr;
+  const fault::FaultPlan plan = fault::ParseFaultSpec(args.Get("faults"));
+  return std::make_shared<const fault::FaultInjector>(plan, atoms);
+}
+
 int Train(const Args& args) {
   const auto dataset = data::MakeByName(args.Get("dataset", "mnist"));
   const std::string out = args.Get("out", "model.txt");
@@ -139,12 +155,21 @@ int Ota(const Args& args) {
   const auto samples =
       static_cast<std::size_t>(std::stoull(args.Get("samples", "200")));
   const mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  const core::Deployment deployment(model, surface, DefaultLink());
+  sim::OtaLinkConfig link_config = DefaultLink();
+  const auto faults = MakeFaults(args, surface.num_atoms());
+  link_config.faults = faults;
+  const core::Deployment deployment(model, surface, link_config);
   sim::SyncModelConfig sync_config;
   sync_config.latency_scale =
       sim::PaperEquivalentLatencyScale(dataset.train.dim);
+  sync_config.faults = faults;
   const sim::SyncModel sync(sim::SyncMode::kCdfa, sync_config);
   Rng rng(std::stoull(args.Get("seed", "7")));
+  if (faults != nullptr) {
+    std::printf("faults: %s (%zu stuck atoms)\n",
+                fault::FaultSpecString(faults->plan()).c_str(),
+                faults->num_stuck());
+  }
   const double accuracy =
       deployment.EvaluateAccuracy(dataset.test, sync, rng, samples);
   std::printf("%s over-the-air accuracy: %.2f%% (%zu samples, %zu rounds "
@@ -152,6 +177,24 @@ int Ota(const Args& args) {
               dataset.name.c_str(), 100.0 * accuracy,
               std::min(samples, dataset.test.size()),
               deployment.RoundsPerInference());
+  if (args.Has("recover") && faults != nullptr) {
+    // Diagnose over the air, re-solve over the healthy aperture, and
+    // re-evaluate — the graceful-degradation loop the watchdog automates.
+    Rng diag_rng(std::stoull(args.Get("seed", "7")) ^ 0xFA17ull);
+    const core::FaultDiagnosis diagnosis =
+        core::DiagnoseDeployment(deployment, diag_rng);
+    std::printf("diagnosis: %zu stuck atoms detected, WDD health %.4f "
+                "(%zu probe transmissions)\n",
+                diagnosis.num_stuck, diagnosis.wdd_ratio,
+                diagnosis.probe_transmissions);
+    const core::Deployment recovered =
+        core::RecoverFromFaults(model, surface, link_config, {}, diagnosis);
+    Rng rec_rng(std::stoull(args.Get("seed", "7")));
+    const double recovered_accuracy =
+        recovered.EvaluateAccuracy(dataset.test, sync, rec_rng, samples);
+    std::printf("recovered over-the-air accuracy: %.2f%%\n",
+                100.0 * recovered_accuracy);
+  }
   return 0;
 }
 
@@ -218,8 +261,14 @@ int Usage() {
       "  eval       --dataset NAME --model FILE\n"
       "  deploy     --model FILE --out FILE\n"
       "  ota        --dataset NAME --model FILE [--samples N] [--seed N]\n"
+      "             [--faults SPEC] [--recover]\n"
       "  quickstart --dataset NAME [--samples N] [--seed N]\n"
       "  datasets\n"
+      "--faults injects seeded hardware faults, e.g.\n"
+      "\"stuck=0.1,chain=1e-4,drift=0.01,age=60,burst=0.05:20,seed=7\"\n"
+      "(stuck PIN drivers, shift-chain bit flips, aging phase drift, sync\n"
+      "bursts); --recover then diagnoses the surface over the air and\n"
+      "re-solves the mapping on the healthy aperture.\n"
       "--threads sets the worker count for parallel fan-outs (overrides\n"
       "METAAI_THREADS; default: hardware concurrency; 1 = serial legacy\n"
       "path; results are identical for any value).\n"
