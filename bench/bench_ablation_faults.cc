@@ -55,7 +55,7 @@ void Run(BenchReport& report) {
                                              : std::to_string(stuck_pct)) +
                              ",drift=0.04,age=60,seed=33";
     auto injector = std::make_shared<const fault::FaultInjector>(
-        fault::ParseFaultSpec(spec), surface.num_atoms());
+        fault::TryParseFaultSpec(spec).value(), surface.num_atoms());
     sim::OtaLinkConfig faulty_config = healthy_config;
     faulty_config.faults = injector;
 

@@ -65,7 +65,8 @@ void BM_OtaTransmitSequence(benchmark::State& state) {
       ds.train, core::TrainingOptions{.epochs = 1}, rng);
   const mts::Metasurface surface{mts::MetasurfaceSpec{}};
   const sim::OtaLink link(surface, DefaultLinkConfig());
-  const auto mapped = core::MapSequential(model.network.weights(), link);
+  const auto mapped = core::MapWeights(model.network.weights(), link,
+                       {.scheme = core::MappingScheme::kSequential});
   const auto symbols = data::EncodeSample(ds.train.features[0],
                                           rf::Modulation::kQam256);
   Rng noise_rng(5);
@@ -85,12 +86,13 @@ void BM_WeightMappingPerSymbol(benchmark::State& state) {
   for (auto _ : state) {
     const sim::OtaLink link(surface, DefaultLinkConfig());
     benchmark::DoNotOptimize(
-        core::MapSequential(model.network.weights(), link));
+        core::MapWeights(model.network.weights(), link,
+                       {.scheme = core::MappingScheme::kSequential}));
   }
 }
 BENCHMARK(BM_WeightMappingPerSymbol);
 
-// Solver fan-out scaling: MapSequential over a 10-class, 64-symbol
+// Solver fan-out scaling: sequential MapWeights over a 10-class, 64-symbol
 // weight matrix on the 16x16 surface — 640 independent single-target
 // solves — at 1/2/4 worker threads. The arg is the thread count;
 // comparing the per-arg timings shows the metaai::par speedup (results
@@ -107,7 +109,8 @@ void BM_MapSequentialFanout(benchmark::State& state) {
   }
   const par::ScopedThreadCount threads(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::MapSequential(weights, link));
+    benchmark::DoNotOptimize(core::MapWeights(
+        weights, link, {.scheme = core::MappingScheme::kSequential}));
   }
 }
 BENCHMARK(BM_MapSequentialFanout)->Arg(1)->Arg(2)->Arg(4)

@@ -1,0 +1,25 @@
+#include "common/result.h"
+
+namespace metaai {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kIoError:
+      return "io_error";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kExhausted:
+      return "exhausted";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+}  // namespace metaai

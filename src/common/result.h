@@ -1,0 +1,137 @@
+// metaai::Result<T> — typed value-or-error returns for the public API.
+//
+// The library historically reported bad *user input* (malformed model
+// files, fault-spec strings, out-of-range solver options) the same way it
+// reports programmer errors: a thrown CheckError. That conflates "your
+// file is corrupt" with "the library has a bug" and forces every caller
+// into try/catch. Result<T> is an std::expected-style alternative for the
+// entry points that validate external input: the function returns either
+// a value or an Error{code, message}; Check/CheckError stay reserved for
+// internal invariant violations.
+//
+// Usage:
+//
+//   metaai::Result<TrainedModel> model = core::TryLoadModel(path);
+//   if (!model.ok()) {
+//     log(model.error().ToString());   // "io_error: cannot open ..."
+//     return;
+//   }
+//   Use(model.value());               // or *model / model->field
+//
+// `value()` on an error Result throws CheckError carrying the error text,
+// so legacy call sites can migrate mechanically (`TryX(...).value()` has
+// the old throwing behavior) while new call sites branch on the code.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace metaai {
+
+/// Coarse error taxonomy for the public API (mirrors the usual RPC
+/// status codes; keep it small — the message carries the detail).
+enum class ErrorCode {
+  kInvalidArgument,  // caller-supplied value out of range / malformed
+  kParseError,       // malformed serialized content (file, spec string)
+  kIoError,          // filesystem open/read/write failure
+  kNotFound,         // named entity (model, client, dataset) unknown
+  kExhausted,        // bounded resource full (queue backpressure)
+  kUnavailable,      // subsystem cannot serve (budget exceeded, shutdown)
+  kInternal,         // invariant violation surfaced as a value
+};
+
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// A typed error: machine-readable code plus human-readable context.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  /// "code_name: message" (the stable rendering used in CLI output).
+  std::string ToString() const {
+    return std::string(ErrorCodeName(code)) + ": " + message;
+  }
+
+  bool operator==(const Error&) const = default;
+};
+
+/// Value-or-Error. Implicitly constructible from either side, so
+/// functions `return value;` or `return Error{...};` naturally.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Error error) : state_(std::move(error)) {}      // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  /// The error; requires !ok().
+  const Error& error() const {
+    Check(!ok(), "Result::error() called on an ok Result");
+    return std::get<Error>(state_);
+  }
+
+  /// The value; throws CheckError with the error text when !ok() (the
+  /// legacy throwing behavior, for mechanical migration).
+  const T& value() const& {
+    if (!ok()) throw CheckError(std::get<Error>(state_).ToString());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    if (!ok()) throw CheckError(std::get<Error>(state_).ToString());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    if (!ok()) throw CheckError(std::get<Error>(state_).ToString());
+    return std::get<T>(std::move(state_));
+  }
+
+  /// The value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result<void>: success or Error, for mutating entry points (save,
+/// validate). `Ok()` builds the success value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    Check(!ok(), "Result::error() called on an ok Result");
+    return *error_;
+  }
+
+  /// Throws CheckError with the error text when !ok(); no-op otherwise.
+  void value() const {
+    if (!ok()) throw CheckError(error_->ToString());
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+/// Success value for Result<void> returns: `return Ok();`.
+inline Result<void> Ok() { return Result<void>(); }
+
+}  // namespace metaai

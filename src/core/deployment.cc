@@ -77,11 +77,19 @@ Deployment::Deployment(const TrainedModel& model,
             BuildObservations(link_config, model.num_classes(), options);
         return link_config;
       }()),
-      schedules_(options.mode == ParallelismMode::kSequential
-                     ? MapSequential(model.network.weights(), link_,
-                                     options.mapping)
-                     : MapParallel(model.network.weights(), link_,
-                                   options.mapping)) {
+      schedules_(MapWeights(model.network.weights(), link_, [&] {
+        // Pin the scheme from the deployment mode rather than letting
+        // kAuto follow the link shape: a parallel deployment whose width
+        // collapses to one observation must still use the parallel
+        // solve/residual path so results match wider configurations.
+        MappingOptions mapping = options.mapping;
+        if (mapping.scheme == MappingScheme::kAuto) {
+          mapping.scheme = options.mode == ParallelismMode::kSequential
+                               ? MappingScheme::kSequential
+                               : MappingScheme::kParallel;
+        }
+        return mapping;
+      }())) {
   if (obs::ProbesEnabled()) {
     // Dump the leading phase configuration of every round so a
     // degraded deployment's realized metasurface state is inspectable
@@ -140,6 +148,18 @@ int Deployment::Classify(const std::vector<double>& pixels,
   const auto scores = ClassScores(pixels, mts_clock_offset_us, rng);
   return static_cast<int>(std::distance(
       scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+std::vector<int> Deployment::ClassifyBatch(
+    std::span<const std::vector<double>> samples,
+    std::span<const double> offsets_us, std::span<Rng> rngs) const {
+  Check(samples.size() == offsets_us.size() && samples.size() == rngs.size(),
+        "ClassifyBatch spans must have matching sizes");
+  std::vector<int> predicted(samples.size(), -1);
+  obs::DeterministicParallelFor(samples.size(), [&](std::size_t i) {
+    predicted[i] = Classify(samples[i], offsets_us[i], rngs[i]);
+  });
+  return predicted;
 }
 
 double Deployment::EvaluateAccuracy(const nn::RealDataset& test,

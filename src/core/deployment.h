@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,15 @@ class Deployment {
   /// Argmax classification.
   int Classify(const std::vector<double>& pixels, double mts_clock_offset_us,
                Rng& rng) const;
+
+  /// Batched classification for serving: one sample per entry with its
+  /// own clock offset and pre-forked RNG stream (see par::ForkRngs).
+  /// Deterministically parallel — predictions are bitwise identical for
+  /// any thread count and any batching composition, because sample i
+  /// only ever touches rngs[i]. All three spans must be the same length.
+  std::vector<int> ClassifyBatch(std::span<const std::vector<double>> samples,
+                                 std::span<const double> offsets_us,
+                                 std::span<Rng> rngs) const;
 
   /// Accuracy over a test set; a fresh clock offset is drawn from `sync`
   /// for every inference. `max_samples` of 0 uses the whole set.

@@ -15,6 +15,7 @@
 //   double accuracy = deployment.EvaluateAccuracy(dataset.test, sync, rng);
 #pragma once
 
+#include "common/result.h"      // typed error handling (metaai::Result<T>)
 #include "core/channel_estimation.h"  // pilot-based H_e estimation (Eqn 8)
 #include "core/controller_service.h"  // RSS-feedback reconfiguration loop
 #include "core/deployment.h"    // over-the-air inference + parallelism
@@ -27,3 +28,6 @@
 #include "core/serialization.h" // model + MTS pattern files
 #include "core/training.h"      // digital training + robustness schemes
 #include "core/weight_mapper.h" // weights -> MTS configurations
+#include "mts/config_cache.h"   // solver-result cache shared by tenants
+#include "serve/generator.h"    // seeded multi-client request traces
+#include "serve/runtime.h"      // batched multi-tenant serving runtime

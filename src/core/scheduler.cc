@@ -5,6 +5,24 @@
 
 namespace metaai::core {
 
+std::vector<std::size_t> AllocateSlots(std::span<const std::size_t> pending,
+                                       std::size_t budget) {
+  std::vector<std::size_t> granted(pending.size(), 0);
+  std::size_t remaining = budget;
+  bool progressed = true;
+  while (remaining > 0 && progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < pending.size() && remaining > 0; ++i) {
+      if (granted[i] < pending[i]) {
+        ++granted[i];
+        --remaining;
+        progressed = true;
+      }
+    }
+  }
+  return granted;
+}
+
 SharedSurfaceScheduler::SharedSurfaceScheduler(
     const mts::Metasurface& surface, std::vector<DeviceSpec> devices,
     SchedulerConfig config)
@@ -69,6 +87,31 @@ const std::string& SharedSurfaceScheduler::device_name(
     std::size_t device) const {
   CheckIndex(device, names_.size(), "device");
   return names_[device];
+}
+
+std::vector<ScheduledSlot> SharedSurfaceScheduler::BuildFrame(
+    std::span<const std::size_t> inferences) const {
+  Check(inferences.size() == deployments_.size(),
+        "inference counts must match the device count");
+  const double symbol_period_s = 1.0 / config_.symbol_rate_hz;
+  std::vector<ScheduledSlot> frame;
+  double cursor_s = 0.0;
+  for (std::size_t i = 0; i < inferences.size(); ++i) {
+    if (inferences[i] == 0) continue;
+    const ScheduledSlot& canonical = frame_[i];
+    const double duration = static_cast<double>(inferences[i]) *
+                            static_cast<double>(canonical.rounds) *
+                            static_cast<double>(canonical.symbols_per_round) *
+                            symbol_period_s;
+    frame.push_back({.device = names_[i],
+                     .start_s = cursor_s,
+                     .duration_s = duration,
+                     .rounds = canonical.rounds,
+                     .symbols_per_round = canonical.symbols_per_round,
+                     .batch = inferences[i]});
+    cursor_s += duration + config_.guard_interval_s;
+  }
+  return frame;
 }
 
 double SharedSurfaceScheduler::FrameDuration() const {

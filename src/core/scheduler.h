@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,7 +44,17 @@ struct ScheduledSlot {
   double duration_s = 0.0;
   std::size_t rounds = 0;
   std::size_t symbols_per_round = 0;
+  /// Inferences served back to back inside this slot (batching: the
+  /// guard interval is paid once per slot, not once per inference).
+  std::size_t batch = 1;
 };
+
+/// Fair round-robin slot allocation: grants at most `budget` inferences
+/// across devices, one per device per pass, so a device with a deep
+/// backlog cannot monopolize the frame. granted[i] <= pending[i] and
+/// sum(granted) == min(budget, sum(pending)). Pure and deterministic.
+std::vector<std::size_t> AllocateSlots(std::span<const std::size_t> pending,
+                                       std::size_t budget);
 
 class SharedSurfaceScheduler {
  public:
@@ -59,6 +70,15 @@ class SharedSurfaceScheduler {
 
   /// The TDMA frame: one slot per device, in order.
   const std::vector<ScheduledSlot>& frame() const { return frame_; }
+
+  const SchedulerConfig& config() const { return config_; }
+
+  /// Builds a batched TDMA frame carrying `inferences[i]` back-to-back
+  /// inferences for device i (devices with zero pending inferences get
+  /// no slot and pay no guard interval). Used by the serving runtime;
+  /// does not replace the canonical one-inference-per-device frame().
+  std::vector<ScheduledSlot> BuildFrame(
+      std::span<const std::size_t> inferences) const;
 
   /// Total frame duration: each device gets one inference per frame.
   double FrameDuration() const;

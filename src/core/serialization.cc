@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iomanip>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -14,11 +15,11 @@ namespace {
 constexpr const char* kModelMagic = "metaai-model-v1";
 constexpr const char* kPatternMagic = "metaai-patterns-v1";
 
-rf::Modulation ModulationFromName(const std::string& name) {
+std::optional<rf::Modulation> ModulationFromName(const std::string& name) {
   for (const rf::Modulation scheme : rf::AllModulations()) {
     if (rf::ModulationName(scheme) == name) return scheme;
   }
-  throw CheckError("unknown modulation in model file: " + name);
+  return std::nullopt;
 }
 
 char HexDigit(unsigned value) {
@@ -26,19 +27,27 @@ char HexDigit(unsigned value) {
                     : static_cast<char>('a' + value - 10);
 }
 
-unsigned HexValue(char digit) {
-  if (digit >= '0' && digit <= '9') return static_cast<unsigned>(digit - '0');
-  if (digit >= 'a' && digit <= 'f') {
-    return static_cast<unsigned>(digit - 'a' + 10);
-  }
-  throw CheckError("invalid hex digit in pattern file");
+/// -1 for characters outside [0-9a-f].
+int HexValue(char digit) {
+  if (digit >= '0' && digit <= '9') return digit - '0';
+  if (digit >= 'a' && digit <= 'f') return digit - 'a' + 10;
+  return -1;
+}
+
+Error IoError(const std::string& what, const std::filesystem::path& path) {
+  return Error{ErrorCode::kIoError, what + ": " + path.string()};
+}
+
+Error ParseError(const std::string& what, const std::filesystem::path& path) {
+  return Error{ErrorCode::kParseError, what + ": " + path.string()};
 }
 
 }  // namespace
 
-void SaveModel(const TrainedModel& model, const std::filesystem::path& path) {
+Result<void> TrySaveModel(const TrainedModel& model,
+                          const std::filesystem::path& path) {
   std::ofstream out(path);
-  Check(out.good(), "cannot open model file for writing: " + path.string());
+  if (!out.good()) return IoError("cannot open model file for writing", path);
   out << kModelMagic << '\n';
   out << rf::ModulationName(model.modulation) << '\n';
   out << model.num_classes() << ' ' << model.input_dim() << '\n';
@@ -50,46 +59,62 @@ void SaveModel(const TrainedModel& model, const std::filesystem::path& path) {
     }
   }
   out.flush();
-  Check(out.good(), "failed writing model file: " + path.string());
+  if (!out.good()) return IoError("failed writing model file", path);
+  return Ok();
 }
 
-TrainedModel LoadModel(const std::filesystem::path& path) {
+Result<TrainedModel> TryLoadModel(const std::filesystem::path& path) {
   std::ifstream in(path);
-  Check(in.good(), "cannot open model file: " + path.string());
+  if (!in.good()) return IoError("cannot open model file", path);
   std::string magic;
   std::getline(in, magic);
-  Check(magic == kModelMagic, "not a metaai model file: " + path.string());
+  if (magic != kModelMagic) return ParseError("not a metaai model file", path);
   std::string modulation_name;
   std::getline(in, modulation_name);
-  const rf::Modulation modulation = ModulationFromName(modulation_name);
+  const std::optional<rf::Modulation> modulation =
+      ModulationFromName(modulation_name);
+  if (!modulation.has_value()) {
+    return ParseError("unknown modulation '" + modulation_name +
+                          "' in model file",
+                      path);
+  }
   std::size_t classes = 0;
   std::size_t dim = 0;
   in >> classes >> dim;
-  Check(in.good() && classes > 0 && dim > 0,
-        "malformed model dimensions in " + path.string());
+  if (!in.good() || classes == 0 || dim == 0) {
+    return ParseError("malformed model dimensions in", path);
+  }
 
   TrainedModel model{.network = nn::ComplexLinearModel(dim, classes),
-                     .modulation = modulation};
+                     .modulation = *modulation};
   ComplexMatrix& w = model.network.mutable_weights();
   for (std::size_t r = 0; r < classes; ++r) {
     for (std::size_t c = 0; c < dim; ++c) {
       double re = 0.0;
       double im = 0.0;
       in >> re >> im;
-      Check(!in.fail(), "truncated model file: " + path.string());
+      if (in.fail()) return ParseError("truncated model file", path);
       w(r, c) = {re, im};
     }
   }
   return model;
 }
 
-void SavePatterns(const MappedSchedules& schedules, std::size_t num_atoms,
-                  const std::filesystem::path& path) {
-  Check(!schedules.rounds.empty(), "no schedules to save");
-  Check(num_atoms % 2 == 0, "atom count must be even for hex packing");
+Result<void> TrySavePatterns(const MappedSchedules& schedules,
+                             std::size_t num_atoms,
+                             const std::filesystem::path& path) {
+  if (schedules.rounds.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "no schedules to save"};
+  }
+  if (num_atoms % 2 != 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "atom count must be even for hex packing, got " +
+                     std::to_string(num_atoms)};
+  }
   std::ofstream out(path);
-  Check(out.good(),
-        "cannot open pattern file for writing: " + path.string());
+  if (!out.good()) {
+    return IoError("cannot open pattern file for writing", path);
+  }
   out << kPatternMagic << '\n';
   out << schedules.rounds.size() << ' ' << schedules.rounds[0].size() << ' '
       << num_atoms << '\n';
@@ -102,7 +127,12 @@ void SavePatterns(const MappedSchedules& schedules, std::size_t num_atoms,
     for (const int o : outputs) out << ' ' << o;
     out << '\n';
     for (const auto& codes : schedules.rounds[round]) {
-      Check(codes.size() == num_atoms, "inconsistent config size");
+      if (codes.size() != num_atoms) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "inconsistent config size: expected " +
+                         std::to_string(num_atoms) + " atoms, got " +
+                         std::to_string(codes.size())};
+      }
       // Two atoms (2 bits each) per hex digit, atom order preserved.
       std::string line;
       line.reserve(num_atoms / 2);
@@ -115,49 +145,64 @@ void SavePatterns(const MappedSchedules& schedules, std::size_t num_atoms,
     }
   }
   out.flush();
-  Check(out.good(), "failed writing pattern file: " + path.string());
+  if (!out.good()) return IoError("failed writing pattern file", path);
+  return Ok();
 }
 
-MappedSchedules LoadPatterns(const std::filesystem::path& path,
-                             std::size_t expected_atoms) {
+Result<MappedSchedules> TryLoadPatterns(const std::filesystem::path& path,
+                                        std::size_t expected_atoms) {
   std::ifstream in(path);
-  Check(in.good(), "cannot open pattern file: " + path.string());
+  if (!in.good()) return IoError("cannot open pattern file", path);
   std::string magic;
   std::getline(in, magic);
-  Check(magic == kPatternMagic,
-        "not a metaai pattern file: " + path.string());
+  if (magic != kPatternMagic) {
+    return ParseError("not a metaai pattern file", path);
+  }
   std::size_t rounds = 0;
   std::size_t symbols = 0;
   std::size_t atoms = 0;
   in >> rounds >> symbols >> atoms;
-  Check(in.good() && rounds > 0 && symbols > 0,
-        "malformed pattern header in " + path.string());
-  Check(atoms == expected_atoms,
-        "pattern file atom count does not match the surface");
+  if (!in.good() || rounds == 0 || symbols == 0) {
+    return ParseError("malformed pattern header in", path);
+  }
+  if (atoms != expected_atoms) {
+    return Error{ErrorCode::kParseError,
+                 "pattern file atom count " + std::to_string(atoms) +
+                     " does not match the surface (" +
+                     std::to_string(expected_atoms) + ")"};
+  }
 
   MappedSchedules schedules;
   in >> schedules.scale >> schedules.mean_relative_residual;
-  Check(!in.fail(), "malformed pattern scale in " + path.string());
+  if (in.fail()) return ParseError("malformed pattern scale in", path);
   for (std::size_t round = 0; round < rounds; ++round) {
     std::size_t num_outputs = 0;
     in >> num_outputs;
-    Check(!in.fail() && num_outputs > 0, "malformed round outputs");
+    if (in.fail() || num_outputs == 0) {
+      return ParseError("malformed round outputs in", path);
+    }
     std::vector<int> outputs(num_outputs);
     for (int& o : outputs) in >> o;
-    Check(!in.fail(), "truncated round outputs");
+    if (in.fail()) return ParseError("truncated round outputs in", path);
     in >> std::ws;
     sim::MtsSchedule schedule;
     schedule.reserve(symbols);
     for (std::size_t i = 0; i < symbols; ++i) {
       std::string line;
       std::getline(in, line);
-      Check(!in.fail() && line.size() == atoms / 2,
-            "malformed pattern line in " + path.string());
+      if (in.fail() || line.size() != atoms / 2) {
+        return ParseError("malformed pattern line in", path);
+      }
       std::vector<mts::PhaseCode> codes(atoms);
       for (std::size_t d = 0; d < line.size(); ++d) {
-        const unsigned nibble = HexValue(line[d]);
-        codes[2 * d] = static_cast<mts::PhaseCode>(nibble >> 2);
-        codes[2 * d + 1] = static_cast<mts::PhaseCode>(nibble & 0x3u);
+        const int nibble = HexValue(line[d]);
+        if (nibble < 0) {
+          return ParseError("invalid hex digit in pattern file", path);
+        }
+        codes[2 * d] =
+            static_cast<mts::PhaseCode>(static_cast<unsigned>(nibble) >> 2);
+        codes[2 * d + 1] =
+            static_cast<mts::PhaseCode>(static_cast<unsigned>(nibble) & 0x3u);
       }
       schedule.push_back(std::move(codes));
     }
@@ -165,6 +210,24 @@ MappedSchedules LoadPatterns(const std::filesystem::path& path,
     schedules.outputs.push_back(std::move(outputs));
   }
   return schedules;
+}
+
+void SaveModel(const TrainedModel& model, const std::filesystem::path& path) {
+  TrySaveModel(model, path).value();
+}
+
+TrainedModel LoadModel(const std::filesystem::path& path) {
+  return TryLoadModel(path).value();
+}
+
+void SavePatterns(const MappedSchedules& schedules, std::size_t num_atoms,
+                  const std::filesystem::path& path) {
+  TrySavePatterns(schedules, num_atoms, path).value();
+}
+
+MappedSchedules LoadPatterns(const std::filesystem::path& path,
+                             std::size_t expected_atoms) {
+  return TryLoadPatterns(path, expected_atoms).value();
 }
 
 }  // namespace metaai::core

@@ -8,27 +8,50 @@
 //    schedules, i.e. exactly the byte stream the STM32-class controller
 //    clocks into its shift registers. One line per symbol, hex-packed
 //    (2 bits per atom), with the transmission-round structure preserved.
+//
+// The Try* entry points return Result<T>: I/O failures come back as
+// ErrorCode::kIoError and malformed/unsupported content as
+// ErrorCode::kParseError, so services loading user-supplied artifacts
+// can reject them gracefully instead of aborting.
 #pragma once
 
 #include <filesystem>
 
+#include "common/result.h"
 #include "core/training.h"
 #include "core/weight_mapper.h"
 
 namespace metaai::core {
 
-/// Writes `model` to `path`. Throws CheckError on I/O failure.
-void SaveModel(const TrainedModel& model, const std::filesystem::path& path);
+/// Writes `model` to `path`.
+Result<void> TrySaveModel(const TrainedModel& model,
+                          const std::filesystem::path& path);
 
-/// Reads a model previously written by SaveModel. Throws CheckError on
-/// I/O failure or malformed/unsupported content.
-TrainedModel LoadModel(const std::filesystem::path& path);
+/// Reads a model previously written by SaveModel.
+Result<TrainedModel> TryLoadModel(const std::filesystem::path& path);
 
 /// Writes the solved schedules to a controller-consumable pattern file.
+Result<void> TrySavePatterns(const MappedSchedules& schedules,
+                             std::size_t num_atoms,
+                             const std::filesystem::path& path);
+
+/// Reads a pattern file back.
+Result<MappedSchedules> TryLoadPatterns(const std::filesystem::path& path,
+                                        std::size_t expected_atoms);
+
+/// Deprecated throwing shims kept for one PR: identical behavior to the
+/// Try* forms except failures surface as CheckError.
+[[deprecated("use TrySaveModel")]]
+void SaveModel(const TrainedModel& model, const std::filesystem::path& path);
+
+[[deprecated("use TryLoadModel")]]
+TrainedModel LoadModel(const std::filesystem::path& path);
+
+[[deprecated("use TrySavePatterns")]]
 void SavePatterns(const MappedSchedules& schedules, std::size_t num_atoms,
                   const std::filesystem::path& path);
 
-/// Reads a pattern file back. Throws CheckError on malformed content.
+[[deprecated("use TryLoadPatterns")]]
 MappedSchedules LoadPatterns(const std::filesystem::path& path,
                              std::size_t expected_atoms);
 

@@ -1,6 +1,8 @@
 #include "core/weight_mapper.h"
 
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "obs/parallel.h"
@@ -41,36 +43,74 @@ sim::Complex EnvironmentInSolverUnits(const sim::OtaLink& link,
          (link.TxAmplitude() * link.MtsPathAmplitude(observation));
 }
 
-}  // namespace
-
-MappedSchedules MapSequential(const ComplexMatrix& weights,
+// Shared input validation + steering resolution for both schemes: the
+// per-observation steering the solve runs against is either the link's
+// idealized steering or the measured override, shape-checked once here.
+ComplexMatrix ResolveSteering(const ComplexMatrix& weights,
                               const sim::OtaLink& link,
                               const MappingOptions& options) {
   Check(weights.rows() > 0 && weights.cols() > 0, "empty weight matrix");
-  Check(link.num_observations() == 1,
-        "sequential mapping expects a single-observation link");
   Check(options.target_fraction > 0.0 && options.target_fraction <= 1.0,
         "target fraction must be in (0, 1]");
-
-  Check(options.fault_offsets.empty() || options.fault_offsets.size() == 1,
+  const std::size_t width = link.num_observations();
+  Check(width >= 1, "mapping needs observations");
+  Check(options.fault_offsets.empty() || options.fault_offsets.size() == width,
         "fault_offsets size must match the observation count");
-  std::vector<sim::Complex> steering = link.SteeringVector(0);
-  if (options.steering_override.rows() > 0) {
-    Check(options.steering_override.rows() == 1 &&
-              options.steering_override.cols() == steering.size(),
+  const std::size_t atoms = link.SteeringVector(0).size();
+  const bool use_override = options.steering_override.rows() > 0;
+  if (use_override) {
+    Check(options.steering_override.rows() == width &&
+              options.steering_override.cols() == atoms,
           "steering_override shape must be num_observations x num_atoms");
-    for (std::size_t m = 0; m < steering.size(); ++m) {
-      steering[m] = options.steering_override(0, m);
+  }
+  ComplexMatrix steering(width, atoms);
+  for (std::size_t o = 0; o < width; ++o) {
+    if (use_override) {
+      for (std::size_t m = 0; m < atoms; ++m) {
+        steering(o, m) = options.steering_override(o, m);
+      }
+    } else {
+      const std::vector<sim::Complex> row = link.SteeringVector(o);
+      for (std::size_t m = 0; m < atoms; ++m) steering(o, m) = row[m];
     }
+  }
+  return steering;
+}
+
+// Per-observation offset subtracted from every target: environment
+// response (Eqn 8, when enabled) plus measured fault offsets.
+std::vector<sim::Complex> ResolveTargetOffsets(const sim::OtaLink& link,
+                                               const MappingOptions& options) {
+  const std::size_t width = link.num_observations();
+  std::vector<sim::Complex> offsets(width, sim::Complex{0.0, 0.0});
+  if (options.subtract_environment) {
+    for (std::size_t o = 0; o < width; ++o) {
+      offsets[o] = EnvironmentInSolverUnits(link, o);
+    }
+  }
+  if (!options.fault_offsets.empty()) {
+    for (std::size_t o = 0; o < width; ++o) {
+      offsets[o] += options.fault_offsets[o];
+    }
+  }
+  return offsets;
+}
+
+MappedSchedules MapSequentialImpl(const ComplexMatrix& weights,
+                                  const sim::OtaLink& link,
+                                  const MappingOptions& options) {
+  Check(link.num_observations() == 1,
+        "sequential mapping expects a single-observation link");
+  const ComplexMatrix resolved = ResolveSteering(weights, link, options);
+  std::vector<sim::Complex> steering(resolved.cols());
+  for (std::size_t m = 0; m < steering.size(); ++m) {
+    steering[m] = resolved(0, m);
   }
   const double max_mag = MaxWeightMagnitude(weights);
   Check(max_mag > 0.0, "all-zero weight matrix");
   const double scale = options.target_fraction *
                        Reachable(steering, options.solver.atom_mask) / max_mag;
-  sim::Complex env_offset =
-      options.subtract_environment ? EnvironmentInSolverUnits(link, 0)
-                                   : sim::Complex{0.0, 0.0};
-  if (!options.fault_offsets.empty()) env_offset += options.fault_offsets[0];
+  const sim::Complex env_offset = ResolveTargetOffsets(link, options)[0];
 
   MappedSchedules result;
   result.scale = scale;
@@ -109,40 +149,20 @@ MappedSchedules MapSequential(const ComplexMatrix& weights,
   return result;
 }
 
-MappedSchedules MapParallel(const ComplexMatrix& weights,
-                            const sim::OtaLink& link,
-                            const MappingOptions& options) {
-  Check(weights.rows() > 0 && weights.cols() > 0, "empty weight matrix");
-  const std::size_t width = link.num_observations();
-  Check(width >= 1, "parallel mapping needs observations");
-  Check(options.target_fraction > 0.0 && options.target_fraction <= 1.0,
-        "target fraction must be in (0, 1]");
-
-  // Steering matrix: one row per observation.
-  const std::size_t atoms = link.SteeringVector(0).size();
-  Check(options.fault_offsets.empty() ||
-            options.fault_offsets.size() == width,
-        "fault_offsets size must match the observation count");
-  const bool use_override = options.steering_override.rows() > 0;
-  if (use_override) {
-    Check(options.steering_override.rows() == width &&
-              options.steering_override.cols() == atoms,
-          "steering_override shape must be num_observations x num_atoms");
-  }
-  ComplexMatrix steering(width, atoms);
+MappedSchedules MapParallelImpl(const ComplexMatrix& weights,
+                                const sim::OtaLink& link,
+                                const MappingOptions& options) {
+  const ComplexMatrix steering = ResolveSteering(weights, link, options);
+  const std::size_t width = steering.rows();
+  const std::size_t atoms = steering.cols();
   double min_reachable = 0.0;
-  std::vector<sim::Complex> row(atoms);
-  for (std::size_t o = 0; o < width; ++o) {
-    if (use_override) {
-      for (std::size_t m = 0; m < atoms; ++m) {
-        row[m] = options.steering_override(o, m);
-      }
-    } else {
-      row = link.SteeringVector(o);
+  {
+    std::vector<sim::Complex> row(atoms);
+    for (std::size_t o = 0; o < width; ++o) {
+      for (std::size_t m = 0; m < atoms; ++m) row[m] = steering(o, m);
+      const double reach = Reachable(row, options.solver.atom_mask);
+      min_reachable = (o == 0) ? reach : std::min(min_reachable, reach);
     }
-    for (std::size_t m = 0; m < atoms; ++m) steering(o, m) = row[m];
-    const double reach = Reachable(row, options.solver.atom_mask);
-    min_reachable = (o == 0) ? reach : std::min(min_reachable, reach);
   }
   const double max_mag = MaxWeightMagnitude(weights);
   Check(max_mag > 0.0, "all-zero weight matrix");
@@ -151,17 +171,8 @@ MappedSchedules MapParallel(const ComplexMatrix& weights,
   const double scale = options.target_fraction * min_reachable /
                        (max_mag * static_cast<double>(width));
 
-  std::vector<sim::Complex> env_offsets(width, sim::Complex{0.0, 0.0});
-  if (options.subtract_environment) {
-    for (std::size_t o = 0; o < width; ++o) {
-      env_offsets[o] = EnvironmentInSolverUnits(link, o);
-    }
-  }
-  if (!options.fault_offsets.empty()) {
-    for (std::size_t o = 0; o < width; ++o) {
-      env_offsets[o] += options.fault_offsets[o];
-    }
-  }
+  const std::vector<sim::Complex> env_offsets =
+      ResolveTargetOffsets(link, options);
 
   MappedSchedules result;
   result.scale = scale;
@@ -226,6 +237,89 @@ MappedSchedules MapParallel(const ComplexMatrix& weights,
       residual_count > 0 ? residual_sum / static_cast<double>(residual_count)
                          : 0.0;
   return result;
+}
+
+MappingScheme ResolveScheme(const MappingOptions& options,
+                            const sim::OtaLink& link) {
+  if (options.scheme != MappingScheme::kAuto) return options.scheme;
+  return link.num_observations() == 1 ? MappingScheme::kSequential
+                                      : MappingScheme::kParallel;
+}
+
+MappedSchedules Solve(MappingScheme scheme, const ComplexMatrix& weights,
+                      const sim::OtaLink& link,
+                      const MappingOptions& options) {
+  return scheme == MappingScheme::kSequential
+             ? MapSequentialImpl(weights, link, options)
+             : MapParallelImpl(weights, link, options);
+}
+
+}  // namespace
+
+std::string MappingCacheKey(const ComplexMatrix& weights,
+                            const sim::OtaLink& link,
+                            const MappingOptions& options) {
+  const MappingScheme scheme = ResolveScheme(options, link);
+  const ComplexMatrix steering = ResolveSteering(weights, link, options);
+  const std::vector<sim::Complex> offsets = ResolveTargetOffsets(link, options);
+  // Field order is the contract: every input the solve depends on, as
+  // raw bytes. Bump the tag when the solve algorithm itself changes.
+  mts::ConfigKey key;
+  key.Tag("metaai.mapping.v1");
+  key.Add(static_cast<std::uint64_t>(scheme));
+  key.Add(static_cast<std::uint64_t>(weights.rows()));
+  key.Add(static_cast<std::uint64_t>(weights.cols()));
+  key.AddBytes(weights.data(), weights.size() * sizeof(sim::Complex));
+  key.Add(static_cast<std::uint64_t>(steering.rows()));
+  key.Add(static_cast<std::uint64_t>(steering.cols()));
+  key.AddBytes(steering.data(), steering.size() * sizeof(sim::Complex));
+  key.AddBytes(offsets.data(), offsets.size() * sizeof(sim::Complex));
+  key.Add(options.target_fraction);
+  key.Add(static_cast<std::uint64_t>(options.solver.max_sweeps));
+  key.Add(static_cast<std::uint64_t>(options.solver.atom_mask.size()));
+  if (!options.solver.atom_mask.empty()) {
+    key.AddBytes(options.solver.atom_mask.data(),
+                 options.solver.atom_mask.size());
+  }
+  return std::move(key).Take();
+}
+
+MappedSchedules MapWeights(const ComplexMatrix& weights,
+                           const sim::OtaLink& link,
+                           const MappingOptions& options) {
+  const MappingScheme scheme = ResolveScheme(options, link);
+  if (options.cache == nullptr) return Solve(scheme, weights, link, options);
+
+  const std::string key = MappingCacheKey(weights, link, options);
+  if (std::optional<mts::CachedConfig> hit = options.cache->Lookup(key)) {
+    MappedSchedules restored;
+    restored.rounds = std::move(hit->rounds);
+    restored.outputs = std::move(hit->outputs);
+    restored.scale = hit->scale;
+    restored.mean_relative_residual = hit->mean_relative_residual;
+    return restored;
+  }
+  MappedSchedules mapped = Solve(scheme, weights, link, options);
+  options.cache->Insert(
+      key, mts::CachedConfig{mapped.rounds, mapped.outputs, mapped.scale,
+                             mapped.mean_relative_residual});
+  return mapped;
+}
+
+MappedSchedules MapSequential(const ComplexMatrix& weights,
+                              const sim::OtaLink& link,
+                              const MappingOptions& options) {
+  MappingOptions sequential = options;
+  sequential.scheme = MappingScheme::kSequential;
+  return MapWeights(weights, link, sequential);
+}
+
+MappedSchedules MapParallel(const ComplexMatrix& weights,
+                            const sim::OtaLink& link,
+                            const MappingOptions& options) {
+  MappingOptions parallel = options;
+  parallel.scheme = MappingScheme::kParallel;
+  return MapWeights(weights, link, parallel);
 }
 
 }  // namespace metaai::core

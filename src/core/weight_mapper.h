@@ -8,18 +8,41 @@
 // target is solved with the coordinate-descent solver. Parallel modes
 // (Eqns 9-10) solve all simultaneous targets of a symbol jointly against
 // the per-observation steering vectors.
+//
+// Entry point: MapWeights(weights, link, options). The options'
+// MappingScheme selects sequential (one observation, one output per
+// round) or parallel (Eqns 9-10, joint solve across the link's K
+// observations); kAuto picks from the link's observation count. An
+// optional mts::ConfigCache memoizes whole solved mappings by content
+// (weights, resolved steering, offsets, solver options) so repeat
+// deployments skip the coordinate-descent solve entirely — hits are
+// bitwise identical to a fresh solve.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "common/matrix.h"
+#include "mts/config_cache.h"
 #include "mts/config_solver.h"
 #include "sim/link.h"
 
 namespace metaai::core {
 
+/// Which mapping scheme MapWeights runs.
+enum class MappingScheme {
+  /// Sequential for single-observation links, parallel otherwise.
+  kAuto,
+  /// One observation, R rounds of U symbols, one output per round.
+  kSequential,
+  /// ceil(R / K) rounds; within a round one shared configuration per
+  /// symbol realizes K different weights jointly (Eqns 9-10).
+  kParallel,
+};
+
 struct MappingOptions {
+  /// Scheme selector for MapWeights (kAuto follows the link shape).
+  MappingScheme scheme = MappingScheme::kAuto;
   /// Fraction of the reachable magnitude the largest weight is scaled to.
   double target_fraction = 0.85;
   mts::SolveOptions solver;
@@ -41,6 +64,9 @@ struct MappingOptions {
   /// measures each healthy atom's actual response, which folds in both
   /// device phase errors and aging drift. Empty = idealized steering.
   ComplexMatrix steering_override;
+  /// Optional solver-result cache shared across deployments (not owned;
+  /// must outlive the mapping call). Null = always solve fresh.
+  mts::ConfigCache* cache = nullptr;
 };
 
 struct MappedSchedules {
@@ -57,14 +83,25 @@ struct MappedSchedules {
   double mean_relative_residual = 0.0;
 };
 
-/// Sequential mapping (one observation, R rounds of U symbols).
+/// Maps `weights` onto the link's metasurface with the scheme selected
+/// by `options.scheme`, consulting `options.cache` when set.
+MappedSchedules MapWeights(const ComplexMatrix& weights,
+                           const sim::OtaLink& link,
+                           const MappingOptions& options = {});
+
+/// Content key MapWeights caches a mapping under (exposed so runtimes
+/// can probe/warm a cache without redoing the solve).
+std::string MappingCacheKey(const ComplexMatrix& weights,
+                            const sim::OtaLink& link,
+                            const MappingOptions& options);
+
+/// Deprecated shims kept for one PR: MapWeights with an explicit scheme.
+[[deprecated("use MapWeights with MappingScheme::kSequential")]]
 MappedSchedules MapSequential(const ComplexMatrix& weights,
                               const sim::OtaLink& link,
                               const MappingOptions& options = {});
 
-/// Parallel mapping across the link's K observations (subcarriers or
-/// antennas): ceil(R / K) rounds; within a round, one shared configuration
-/// per symbol realizes K different weights jointly (Eqns 9-10).
+[[deprecated("use MapWeights with MappingScheme::kParallel")]]
 MappedSchedules MapParallel(const ComplexMatrix& weights,
                             const sim::OtaLink& link,
                             const MappingOptions& options = {});

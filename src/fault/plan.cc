@@ -10,20 +10,28 @@
 namespace metaai::fault {
 namespace {
 
-double ParseDouble(const std::string& key, const std::string& text) {
+Result<double> ParseDouble(const std::string& key, const std::string& text) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
-  Check(end != nullptr && *end == '\0' && !text.empty(),
-        "fault spec: bad numeric value for '" + key + "': '" + text + "'");
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return Error{ErrorCode::kParseError, "fault spec: bad numeric value for '" +
+                                             key + "': '" + text + "'"};
+  }
   return value;
 }
 
-std::uint64_t ParseSeed(const std::string& text) {
+Result<std::uint64_t> ParseSeed(const std::string& text) {
   char* end = nullptr;
   const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-  Check(end != nullptr && *end == '\0' && !text.empty(),
-        "fault spec: bad seed '" + text + "'");
+  if (end == nullptr || *end != '\0' || text.empty()) {
+    return Error{ErrorCode::kParseError,
+                 "fault spec: bad seed '" + text + "'"};
+  }
   return static_cast<std::uint64_t>(value);
+}
+
+Error RangeError(const std::string& what) {
+  return Error{ErrorCode::kInvalidArgument, "fault spec: " + what};
 }
 
 }  // namespace
@@ -34,7 +42,7 @@ bool FaultPlan::Any() const {
          (burst.probability > 0.0 && burst.max_extra_us > 0.0);
 }
 
-FaultPlan ParseFaultSpec(const std::string& spec) {
+Result<FaultPlan> TryParseFaultSpec(const std::string& spec) {
   FaultPlan plan;
   bool age_given = false;
   std::stringstream stream(spec);
@@ -42,40 +50,64 @@ FaultPlan ParseFaultSpec(const std::string& spec) {
   while (std::getline(stream, item, ',')) {
     if (item.empty()) continue;
     const std::size_t eq = item.find('=');
-    Check(eq != std::string::npos,
-          "fault spec: expected key=value, got '" + item + "'");
+    if (eq == std::string::npos) {
+      return Error{ErrorCode::kParseError,
+                   "fault spec: expected key=value, got '" + item + "'"};
+    }
     const std::string key = item.substr(0, eq);
     const std::string value = item.substr(eq + 1);
     if (key == "stuck") {
-      plan.stuck.fraction = ParseDouble(key, value);
-      Check(plan.stuck.fraction >= 0.0 && plan.stuck.fraction <= 1.0,
-            "fault spec: stuck fraction must be in [0, 1]");
+      Result<double> parsed = ParseDouble(key, value);
+      if (!parsed.ok()) return parsed.error();
+      plan.stuck.fraction = *parsed;
+      if (plan.stuck.fraction < 0.0 || plan.stuck.fraction > 1.0) {
+        return RangeError("stuck fraction must be in [0, 1]");
+      }
     } else if (key == "chain") {
-      plan.chain.bit_flip_prob = ParseDouble(key, value);
-      Check(plan.chain.bit_flip_prob >= 0.0 && plan.chain.bit_flip_prob <= 1.0,
-            "fault spec: chain bit-flip probability must be in [0, 1]");
+      Result<double> parsed = ParseDouble(key, value);
+      if (!parsed.ok()) return parsed.error();
+      plan.chain.bit_flip_prob = *parsed;
+      if (plan.chain.bit_flip_prob < 0.0 || plan.chain.bit_flip_prob > 1.0) {
+        return RangeError("chain bit-flip probability must be in [0, 1]");
+      }
     } else if (key == "drift") {
-      plan.drift.rate_std_rad_per_s = ParseDouble(key, value);
-      Check(plan.drift.rate_std_rad_per_s >= 0.0,
-            "fault spec: drift rate std must be >= 0");
+      Result<double> parsed = ParseDouble(key, value);
+      if (!parsed.ok()) return parsed.error();
+      plan.drift.rate_std_rad_per_s = *parsed;
+      if (plan.drift.rate_std_rad_per_s < 0.0) {
+        return RangeError("drift rate std must be >= 0");
+      }
     } else if (key == "age") {
-      plan.drift.age_s = ParseDouble(key, value);
-      Check(plan.drift.age_s >= 0.0, "fault spec: age must be >= 0");
+      Result<double> parsed = ParseDouble(key, value);
+      if (!parsed.ok()) return parsed.error();
+      plan.drift.age_s = *parsed;
+      if (plan.drift.age_s < 0.0) return RangeError("age must be >= 0");
       age_given = true;
     } else if (key == "burst") {
       const std::size_t colon = value.find(':');
-      Check(colon != std::string::npos,
-            "fault spec: burst wants probability:max_extra_us");
-      plan.burst.probability = ParseDouble(key, value.substr(0, colon));
-      plan.burst.max_extra_us = ParseDouble(key, value.substr(colon + 1));
-      Check(plan.burst.probability >= 0.0 && plan.burst.probability <= 1.0,
-            "fault spec: burst probability must be in [0, 1]");
-      Check(plan.burst.max_extra_us >= 0.0,
-            "fault spec: burst max_extra_us must be >= 0");
+      if (colon == std::string::npos) {
+        return Error{ErrorCode::kParseError,
+                     "fault spec: burst wants probability:max_extra_us"};
+      }
+      Result<double> probability = ParseDouble(key, value.substr(0, colon));
+      if (!probability.ok()) return probability.error();
+      Result<double> max_extra = ParseDouble(key, value.substr(colon + 1));
+      if (!max_extra.ok()) return max_extra.error();
+      plan.burst.probability = *probability;
+      plan.burst.max_extra_us = *max_extra;
+      if (plan.burst.probability < 0.0 || plan.burst.probability > 1.0) {
+        return RangeError("burst probability must be in [0, 1]");
+      }
+      if (plan.burst.max_extra_us < 0.0) {
+        return RangeError("burst max_extra_us must be >= 0");
+      }
     } else if (key == "seed") {
-      plan.seed = ParseSeed(value);
+      Result<std::uint64_t> parsed = ParseSeed(value);
+      if (!parsed.ok()) return parsed.error();
+      plan.seed = *parsed;
     } else {
-      Check(false, "fault spec: unknown key '" + key + "'");
+      return Error{ErrorCode::kParseError,
+                   "fault spec: unknown key '" + key + "'"};
     }
   }
   // A drift rate without an age would silently be a no-op; give it the
@@ -84,6 +116,10 @@ FaultPlan ParseFaultSpec(const std::string& spec) {
     plan.drift.age_s = 60.0;
   }
   return plan;
+}
+
+FaultPlan ParseFaultSpec(const std::string& spec) {
+  return TryParseFaultSpec(spec).value();
 }
 
 std::string FaultSpecString(const FaultPlan& plan) {

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/result.h"
+
 namespace metaai::fault {
 
 /// A fixed fraction of atoms whose PIN drivers pin them at one random
@@ -61,7 +63,13 @@ struct FaultPlan {
 ///   "stuck=0.1,chain=1e-4,drift=0.5,age=60,burst=0.05:20,seed=7"
 /// where drift is the rate std in rad/s (age defaults to 60 s if drift is
 /// given without age) and burst is probability:max_extra_us. Unknown keys
-/// or malformed values throw CheckError.
+/// or malformed values come back as ErrorCode::kParseError, out-of-range
+/// values as ErrorCode::kInvalidArgument.
+Result<FaultPlan> TryParseFaultSpec(const std::string& spec);
+
+/// Deprecated throwing shim kept for one PR: TryParseFaultSpec with
+/// failures surfaced as CheckError.
+[[deprecated("use TryParseFaultSpec")]]
 FaultPlan ParseFaultSpec(const std::string& spec);
 
 /// Canonical round-trippable spec string for a plan (only active models

@@ -1,0 +1,94 @@
+#include "mts/config_cache.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace metaai::mts {
+
+ConfigKey& ConfigKey::Tag(std::string_view tag) {
+  return AddBytes(tag.data(), tag.size());
+}
+
+ConfigKey& ConfigKey::Add(double value) {
+  // Bit pattern, not text: the key must distinguish -0.0/0.0 and every
+  // last ulp, exactly like the solve it stands for.
+  return AddBytes(&value, sizeof(value));
+}
+
+ConfigKey& ConfigKey::Add(std::uint64_t value) {
+  return AddBytes(&value, sizeof(value));
+}
+
+ConfigKey& ConfigKey::AddBytes(const void* data, std::size_t size) {
+  // Length-prefixed so "ab"+"c" never collides with "a"+"bc".
+  const std::uint64_t prefix = size;
+  bytes_.append(reinterpret_cast<const char*>(&prefix), sizeof(prefix));
+  bytes_.append(static_cast<const char*>(data), size);
+  return *this;
+}
+
+double ConfigCache::Stats::HitRate() const {
+  const std::uint64_t queries = hits + misses;
+  return queries > 0 ? static_cast<double>(hits) / static_cast<double>(queries)
+                     : 0.0;
+}
+
+ConfigCache::ConfigCache(std::size_t capacity) : capacity_(capacity) {
+  Check(capacity > 0, "config cache capacity must be positive");
+}
+
+std::optional<CachedConfig> ConfigCache::Lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    obs::Count("cache.misses");
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  obs::Count("cache.hits");
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void ConfigCache::Insert(const std::string& key, CachedConfig value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh (two workers raced on the same miss): keep the newer
+    // value — both are bitwise identical by construction.
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    obs::Count("cache.evictions");
+  }
+  lru_.push_front(Entry{key, std::move(value)});
+  index_.emplace(lru_.front().key, lru_.begin());
+  ++stats_.insertions;
+  obs::Count("cache.insertions");
+}
+
+void ConfigCache::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t ConfigCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+ConfigCache::Stats ConfigCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace metaai::mts

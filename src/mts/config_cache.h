@@ -1,0 +1,118 @@
+// mts::ConfigCache — LRU cache of solved metasurface configurations.
+//
+// Solving a weight mapping is by far the most expensive step of a
+// deployment (coordinate descent over every atom for every (output,
+// symbol) target), yet serving workloads redeploy the *same* model onto
+// the *same* band over and over: every repeat request re-derives a
+// configuration that was already solved. The cache keys a solved
+// schedule by the exact byte content of everything the solve depends on
+// — weight matrix, per-observation steering vectors, environment/fault
+// offsets and solver options — so a hit returns the previously solved
+// phase codes bitwise identical to a fresh solve (the determinism test
+// in tests/core/weight_mapper_test.cc pins this).
+//
+// Keys store the full serialized content, not just a hash: two distinct
+// solves can never alias, which is what makes the bitwise-identical
+// guarantee unconditional. Entries are a few hundred KB for paper-scale
+// models (rounds x symbols x atoms codes), so the default capacity is
+// deliberately small.
+//
+// Thread safety: all methods are mutex-guarded; the weight mapper's
+// parallel fan-out may consult one shared cache from many workers. The
+// *contents* after a run are scheduling-independent (pure function of
+// the key set inserted); the hit/miss split can differ when two threads
+// race to solve the same key, which only costs a duplicate solve.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <mutex>
+
+#include "mts/meta_atom.h"
+
+namespace metaai::mts {
+
+/// A solved configuration schedule in metasurface terms (structurally
+/// identical to core::MappedSchedules, expressed without the core/sim
+/// dependency): rounds x symbols x atoms phase codes plus the mapping
+/// scalars that a deployment restores on a hit.
+struct CachedConfig {
+  std::vector<std::vector<std::vector<PhaseCode>>> rounds;
+  std::vector<std::vector<int>> outputs;
+  double scale = 0.0;
+  double mean_relative_residual = 0.0;
+
+  bool operator==(const CachedConfig&) const = default;
+};
+
+/// Builds the canonical content key for a solve: an order-sensitive byte
+/// string of every input. Append calls must happen in a fixed order at
+/// the call site (the weight mapper documents its field order).
+class ConfigKey {
+ public:
+  ConfigKey& Tag(std::string_view tag);
+  ConfigKey& Add(double value);
+  ConfigKey& Add(std::uint64_t value);
+  ConfigKey& AddBytes(const void* data, std::size_t size);
+
+  std::string Take() && { return std::move(bytes_); }
+  const std::string& str() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+class ConfigCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit ConfigCache(std::size_t capacity = kDefaultCapacity);
+  ConfigCache(const ConfigCache&) = delete;
+  ConfigCache& operator=(const ConfigCache&) = delete;
+
+  /// Returns the cached configuration for `key` and moves it to the
+  /// front of the LRU order; nullopt on miss. Counts cache.hits /
+  /// cache.misses obs counters.
+  std::optional<CachedConfig> Lookup(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used
+  /// entry when at capacity. Counts cache.insertions / cache.evictions.
+  void Insert(const std::string& key, CachedConfig value);
+
+  /// Drops every entry; statistics keep accumulating.
+  void Clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+
+    /// hits / (hits + misses); 0 when never queried.
+    double HitRate() const;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedConfig value;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace metaai::mts

@@ -22,6 +22,35 @@ std::vector<PhaseCode> InitializeToward(std::span<const Complex> steering,
 
 }  // namespace
 
+Result<void> ValidateSolveOptions(const SolveOptions& options,
+                                  std::size_t num_atoms) {
+  if (options.max_sweeps <= 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "max_sweeps must be positive, got " +
+                     std::to_string(options.max_sweeps)};
+  }
+  if (!options.atom_mask.empty()) {
+    if (options.atom_mask.size() != num_atoms) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "atom_mask size " + std::to_string(options.atom_mask.size()) +
+                       " does not match the atom count " +
+                       std::to_string(num_atoms)};
+    }
+    bool any_healthy = false;
+    for (const std::uint8_t healthy : options.atom_mask) {
+      if (healthy != 0) {
+        any_healthy = true;
+        break;
+      }
+    }
+    if (!any_healthy) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "atom_mask leaves no healthy atoms to solve over"};
+    }
+  }
+  return Ok();
+}
+
 double ReachableMagnitude(std::size_t num_atoms) {
   // Mean projection of a uniformly distributed phase error in
   // [-pi/4, pi/4]: sin(pi/4) / (pi/4).
@@ -48,11 +77,9 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
   const std::size_t num_atoms = steering.cols();
   Check(num_targets > 0 && num_atoms > 0, "solver requires targets and atoms");
   Check(targets.size() == num_targets, "target count mismatch");
-  Check(options.max_sweeps > 0, "max_sweeps must be positive");
+  ValidateSolveOptions(options, num_atoms).value();
 
   const std::vector<std::uint8_t>& mask = options.atom_mask;
-  Check(mask.empty() || mask.size() == num_atoms,
-        "atom_mask size must match the atom count");
   const auto masked_out = [&](std::size_t m) {
     return !mask.empty() && mask[m] == 0;
   };
@@ -174,6 +201,40 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
                 .series = std::move(sweep_errors)});
   }
   return result;
+}
+
+Result<SolveResult> TrySolveSingleTarget(std::span<const Complex> steering,
+                                         Complex target,
+                                         const SolveOptions& options) {
+  if (steering.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "solver requires at least one atom"};
+  }
+  if (Result<void> valid = ValidateSolveOptions(options, steering.size());
+      !valid.ok()) {
+    return valid.error();
+  }
+  return SolveSingleTarget(steering, target, options);
+}
+
+Result<SolveResult> TrySolveMultiTarget(const ComplexMatrix& steering,
+                                        std::span<const Complex> targets,
+                                        const SolveOptions& options) {
+  if (steering.rows() == 0 || steering.cols() == 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "solver requires targets and atoms"};
+  }
+  if (targets.size() != steering.rows()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "target count " + std::to_string(targets.size()) +
+                     " does not match steering rows " +
+                     std::to_string(steering.rows())};
+  }
+  if (Result<void> valid = ValidateSolveOptions(options, steering.cols());
+      !valid.ok()) {
+    return valid.error();
+  }
+  return SolveMultiTarget(steering, targets, options);
 }
 
 }  // namespace metaai::mts

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/result.h"
 #include "mts/meta_atom.h"
 
 namespace metaai::mts {
@@ -50,17 +51,35 @@ struct SolveResult {
   int sweeps_used = 0;
 };
 
+/// Validates caller-supplied solver options against the aperture they
+/// will solve over: max_sweeps must be positive and a non-empty
+/// atom_mask must match `num_atoms` and keep at least one atom healthy.
+/// Typed errors (ErrorCode::kInvalidArgument) instead of Check aborts,
+/// so request paths can reject bad options gracefully.
+Result<void> ValidateSolveOptions(const SolveOptions& options,
+                                  std::size_t num_atoms);
+
 /// Single-target solve: min over codes of |sum_m steering[m] e^{j phi_m}
-/// - target|. `steering` has one phasor per atom.
+/// - target|. `steering` has one phasor per atom. Throws CheckError on
+/// invalid options (see TrySolveSingleTarget for the typed-error form).
 SolveResult SolveSingleTarget(std::span<const Complex> steering,
                               Complex target, const SolveOptions& options = {});
 
 /// Multi-target solve with shared codes: `steering(k, m)` is the phasor of
 /// atom m toward target k; minimizes sum_k |sum_m steering(k,m) e^{j phi_m}
-/// - targets[k]|^2.
+/// - targets[k]|^2. Throws CheckError on invalid options.
 SolveResult SolveMultiTarget(const ComplexMatrix& steering,
                              std::span<const Complex> targets,
                              const SolveOptions& options = {});
+
+/// Result-returning forms: user-supplied options/shapes come back as
+/// typed errors instead of exceptions.
+Result<SolveResult> TrySolveSingleTarget(std::span<const Complex> steering,
+                                         Complex target,
+                                         const SolveOptions& options = {});
+Result<SolveResult> TrySolveMultiTarget(const ComplexMatrix& steering,
+                                        std::span<const Complex> targets,
+                                        const SolveOptions& options = {});
 
 /// Largest |target| magnitude reliably reachable with M atoms of 2-bit
 /// phase: aligning every atom to the nearest of 4 states loses the

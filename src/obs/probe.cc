@@ -29,6 +29,8 @@ std::string_view ProbeKindName(ProbeKind kind) {
       return "spectrum";
     case ProbeKind::kFault:
       return "fault";
+    case ProbeKind::kServe:
+      return "serve";
   }
   throw CheckError("unknown probe kind");
 }

@@ -46,6 +46,7 @@ enum class ProbeKind {
   kConstellation,  // sampled received constellation points (re/im pairs)
   kSpectrum,       // per-subcarrier power of one OFDM symbol
   kFault,          // fault diagnosis / recovery event (stuck counts, WDD)
+  kServe,          // serving-runtime event (frame dispatch, admission)
 };
 
 std::string_view ProbeKindName(ProbeKind kind);

@@ -1,0 +1,61 @@
+#include "serve/generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/parallel.h"
+
+namespace metaai::serve {
+
+Result<std::vector<ServeRequest>> GenerateWorkload(
+    std::span<const ClientWorkload> clients, double duration_s, Rng& rng) {
+  if (clients.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "workload needs at least one client"};
+  }
+  if (!(duration_s > 0.0)) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "workload duration must be positive"};
+  }
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    if (!(clients[c].arrival_rate_hz > 0.0)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "client " + std::to_string(c) +
+                       ": arrival rate must be positive"};
+    }
+    if (clients[c].samples == nullptr || clients[c].samples->size() == 0) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "client " + std::to_string(c) +
+                       ": sample dataset must be non-empty"};
+    }
+  }
+
+  std::vector<Rng> rngs = par::ForkRngs(rng, clients.size());
+  std::vector<ServeRequest> requests;
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    const nn::RealDataset& samples = *clients[c].samples;
+    double clock_s = 0.0;
+    while (true) {
+      clock_s += rngs[c].Exponential(clients[c].arrival_rate_hz);
+      if (clock_s >= duration_s) break;
+      const std::size_t pick = rngs[c].UniformInt(
+          static_cast<std::uint64_t>(samples.size()));
+      requests.push_back({.client = c,
+                          .arrival_s = clock_s,
+                          .pixels = samples.features[pick],
+                          .label = samples.labels[pick]});
+    }
+  }
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const ServeRequest& a, const ServeRequest& b) {
+                     return a.arrival_s != b.arrival_s
+                                ? a.arrival_s < b.arrival_s
+                                : a.client < b.client;
+                   });
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].id = static_cast<std::uint64_t>(i);
+  }
+  return requests;
+}
+
+}  // namespace metaai::serve

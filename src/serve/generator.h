@@ -1,0 +1,39 @@
+// Seeded workload generation for the serving runtime: N edge clients
+// with Poisson arrivals (exponential inter-arrival times), each drawing
+// sample pixel vectors uniformly from its dataset.
+//
+// Determinism contract: each client's arrival process and sample draws
+// come from its own pre-forked Rng stream (fork order = client order),
+// so the generated trace is bitwise identical regardless of how the
+// per-client streams are later interleaved, and adding a client never
+// perturbs the others' traces.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "nn/types.h"
+#include "serve/request.h"
+
+namespace metaai::serve {
+
+/// One client's demand model.
+struct ClientWorkload {
+  /// Mean request rate (Poisson arrivals).
+  double arrival_rate_hz = 100.0;
+  /// Sample source; pixels (and labels) are drawn uniformly from it.
+  /// Must be non-null and non-empty.
+  const nn::RealDataset* samples = nullptr;
+};
+
+/// Generates the merged request trace of all clients over
+/// [0, duration_s), sorted by arrival time (ties broken by client
+/// index), with ids assigned in sorted order. Typed errors
+/// (ErrorCode::kInvalidArgument) for non-positive durations/rates or
+/// missing sample sets.
+Result<std::vector<ServeRequest>> GenerateWorkload(
+    std::span<const ClientWorkload> clients, double duration_s, Rng& rng);
+
+}  // namespace metaai::serve

@@ -1,0 +1,21 @@
+#include "serve/request.h"
+
+#include "common/check.h"
+
+namespace metaai::serve {
+
+std::string_view RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kUnknownClient:
+      return "unknown_client";
+    case RejectReason::kBadInput:
+      return "bad_input";
+    case RejectReason::kQueueFull:
+      return "queue_full";
+  }
+  throw CheckError("unknown reject reason");
+}
+
+}  // namespace metaai::serve

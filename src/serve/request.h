@@ -1,0 +1,83 @@
+// metaai::serve — request/response types for the multi-tenant serving
+// runtime.
+//
+// A ServeRequest is one edge client's inference demand at a virtual
+// arrival time; a ServeResponse records what the runtime did with it
+// (the prediction plus the virtual-time trajectory through the queue
+// and the TDMA frame, or a typed rejection). Everything is plain data:
+// the runtime is deterministic, so a request trace fully determines the
+// response trace.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace metaai::serve {
+
+/// Why admission control refused a request.
+enum class RejectReason {
+  kNone,           // not rejected
+  kUnknownClient,  // client index outside the runtime's client list
+  kBadInput,       // pixel vector does not match the client's input dim
+  kQueueFull,      // bounded per-client queue at capacity (backpressure)
+};
+
+std::string_view RejectReasonName(RejectReason reason);
+
+/// One inference demand from an edge client.
+struct ServeRequest {
+  std::uint64_t id = 0;
+  /// Index into the runtime's client list.
+  std::size_t client = 0;
+  /// Virtual arrival time (seconds since trace start, non-decreasing
+  /// across a trace).
+  double arrival_s = 0.0;
+  std::vector<double> pixels;
+  /// Optional ground truth for accuracy accounting; -1 = unknown.
+  int label = -1;
+};
+
+/// The runtime's verdict on one request.
+struct ServeResponse {
+  std::uint64_t id = 0;
+  std::size_t client = 0;
+  /// Argmax class, or -1 when rejected.
+  int predicted = -1;
+  RejectReason rejected = RejectReason::kNone;
+  double arrival_s = 0.0;
+  /// Virtual time the request's OTA transmission started / finished
+  /// (0 when rejected).
+  double start_s = 0.0;
+  double finish_s = 0.0;
+};
+
+/// Aggregate virtual-time serving statistics for one Run.
+struct ServeStats {
+  std::size_t submitted = 0;
+  std::size_t served = 0;
+  std::size_t rejected_unknown_client = 0;
+  std::size_t rejected_bad_input = 0;
+  std::size_t rejected_queue_full = 0;
+  /// TDMA frames dispatched.
+  std::size_t frames = 0;
+  /// Virtual time when the last inference finished.
+  double virtual_duration_s = 0.0;
+  /// Arrival -> slot start (queueing + frame position), nearest-rank
+  /// percentiles over served requests.
+  double queue_wait_p50_s = 0.0;
+  double queue_wait_p99_s = 0.0;
+  /// Arrival -> finish (queueing + OTA transmission).
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+  /// Served predictions matching the request label, over requests that
+  /// carried one.
+  std::size_t labeled = 0;
+  std::size_t correct = 0;
+
+  std::size_t rejected() const {
+    return rejected_unknown_client + rejected_bad_input + rejected_queue_full;
+  }
+};
+
+}  // namespace metaai::serve

@@ -1,0 +1,301 @@
+#include "serve/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "obs/obs.h"
+#include "obs/parallel.h"
+
+namespace metaai::serve {
+namespace {
+
+/// Nearest-rank percentile (q in (0, 1]) of an unsorted sample.
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  return values[std::min(rank > 0 ? rank - 1 : 0, values.size() - 1)];
+}
+
+void CheckTraceOrdered(std::span<const ServeRequest> requests) {
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    Check(requests[i].arrival_s >= requests[i - 1].arrival_s,
+          "request trace must have non-decreasing arrival times");
+  }
+}
+
+void CountRejection(ServeStats& stats, RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      break;
+    case RejectReason::kUnknownClient:
+      ++stats.rejected_unknown_client;
+      obs::Count("serve.rejected.unknown_client");
+      break;
+    case RejectReason::kBadInput:
+      ++stats.rejected_bad_input;
+      obs::Count("serve.rejected.bad_input");
+      break;
+    case RejectReason::kQueueFull:
+      ++stats.rejected_queue_full;
+      obs::Count("serve.rejected.queue_full");
+      break;
+  }
+}
+
+ServeResponse Rejected(const ServeRequest& request, RejectReason reason) {
+  return {.id = request.id,
+          .client = request.client,
+          .predicted = -1,
+          .rejected = reason,
+          .arrival_s = request.arrival_s};
+}
+
+/// Fills the percentile/accuracy fields of `stats` from the final
+/// response trace.
+void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
+                   std::span<const ServeRequest> requests) {
+  std::vector<double> waits;
+  std::vector<double> latencies;
+  waits.reserve(responses.size());
+  latencies.reserve(responses.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const ServeResponse& response = responses[i];
+    if (response.rejected != RejectReason::kNone) continue;
+    ++stats.served;
+    waits.push_back(response.start_s - response.arrival_s);
+    latencies.push_back(response.finish_s - response.arrival_s);
+    stats.virtual_duration_s =
+        std::max(stats.virtual_duration_s, response.finish_s);
+    if (requests[i].label >= 0) {
+      ++stats.labeled;
+      if (response.predicted == requests[i].label) ++stats.correct;
+    }
+  }
+  stats.queue_wait_p50_s = Percentile(waits, 0.50);
+  stats.queue_wait_p99_s = Percentile(waits, 0.99);
+  stats.latency_p50_s = Percentile(latencies, 0.50);
+  stats.latency_p99_s = Percentile(latencies, 0.99);
+
+  static const obs::HistogramSpec kTimeBuckets =
+      obs::HistogramSpec::Exponential(1e-5, 2.0, 24);
+  for (const double wait : waits) {
+    obs::Observe("serve.queue_wait_s", wait, kTimeBuckets);
+  }
+  for (const double latency : latencies) {
+    obs::Observe("serve.latency_s", latency, kTimeBuckets);
+  }
+  obs::Count("serve.served", stats.served);
+  obs::SetGauge("serve.virtual_duration_s", stats.virtual_duration_s);
+}
+
+}  // namespace
+
+Runtime::Runtime(const mts::Metasurface& surface,
+                 std::vector<ClientSpec> clients, RuntimeOptions options)
+    : surface_(surface), options_(std::move(options)) {
+  Check(!clients.empty(), "serving runtime needs at least one client");
+  Check(options_.queue_capacity > 0, "queue capacity must be positive");
+  Check(options_.frame_budget > 0, "frame budget must be positive");
+  std::vector<core::DeviceSpec> devices;
+  devices.reserve(clients.size());
+  for (ClientSpec& client : clients) {
+    input_dims_.push_back(client.model.input_dim());
+    core::DeploymentOptions deployment = client.deployment;
+    deployment.mapping.cache = options_.cache;
+    devices.push_back({.name = std::move(client.name),
+                       .model = std::move(client.model),
+                       .link = std::move(client.link),
+                       .options = std::move(deployment)});
+  }
+  scheduler_ = std::make_unique<core::SharedSurfaceScheduler>(
+      surface_, std::move(devices), options_.scheduler);
+}
+
+ServeResult Runtime::Run(std::span<const ServeRequest> requests,
+                         const sim::SyncModel& sync, Rng& rng) const {
+  CheckTraceOrdered(requests);
+  const obs::ScopedSpan span = obs::Span("serve.run");
+  span.Arg("requests", static_cast<double>(requests.size()));
+  obs::Count("serve.requests", requests.size());
+
+  ServeResult result;
+  result.stats.submitted = requests.size();
+  result.responses.resize(requests.size());
+  std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
+
+  const double guard_s = options_.scheduler.guard_interval_s;
+  std::vector<std::deque<std::size_t>> queues(num_clients());
+  std::size_t next = 0;
+  double clock_s = 0.0;
+
+  static const obs::HistogramSpec kBatchBuckets =
+      obs::HistogramSpec::Linear(0.0, 32.0, 16);
+
+  // One dispatched inference: request `index` transmitted in device
+  // `client`'s slot over [start_s, finish_s) of the virtual clock.
+  struct WorkItem {
+    std::size_t index = 0;
+    std::size_t client = 0;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+  };
+
+  while (true) {
+    // Admit everything that has arrived by the virtual clock.
+    while (next < requests.size() && requests[next].arrival_s <= clock_s) {
+      const ServeRequest& request = requests[next];
+      RejectReason reason = RejectReason::kNone;
+      if (request.client >= num_clients()) {
+        reason = RejectReason::kUnknownClient;
+      } else if (request.pixels.size() != input_dims_[request.client]) {
+        reason = RejectReason::kBadInput;
+      } else if (queues[request.client].size() >= options_.queue_capacity) {
+        reason = RejectReason::kQueueFull;
+      }
+      if (reason == RejectReason::kNone) {
+        queues[request.client].push_back(next);
+        obs::Count("serve.admitted");
+      } else {
+        result.responses[next] = Rejected(request, reason);
+        CountRejection(result.stats, reason);
+      }
+      ++next;
+    }
+
+    std::vector<std::size_t> pending(num_clients(), 0);
+    bool any_pending = false;
+    for (std::size_t c = 0; c < num_clients(); ++c) {
+      pending[c] = queues[c].size();
+      any_pending = any_pending || pending[c] > 0;
+    }
+    if (!any_pending) {
+      if (next >= requests.size()) break;
+      // Idle: jump to the next arrival.
+      clock_s = std::max(clock_s, requests[next].arrival_s);
+      continue;
+    }
+
+    // Build and dispatch one batched TDMA frame.
+    const std::vector<std::size_t> granted =
+        core::AllocateSlots(pending, options_.frame_budget);
+    const std::vector<core::ScheduledSlot> frame =
+        scheduler_->BuildFrame(granted);
+    std::vector<WorkItem> work;
+    std::size_t slot_index = 0;
+    std::size_t dispatched = 0;
+    for (std::size_t c = 0; c < num_clients(); ++c) {
+      if (granted[c] == 0) continue;
+      const core::ScheduledSlot& slot = frame[slot_index++];
+      const double per_inference_s =
+          slot.duration_s / static_cast<double>(slot.batch);
+      for (std::size_t k = 0; k < granted[c]; ++k) {
+        const std::size_t index = queues[c].front();
+        queues[c].pop_front();
+        const double start_s =
+            clock_s + slot.start_s + static_cast<double>(k) * per_inference_s;
+        work.push_back({.index = index,
+                        .client = c,
+                        .start_s = start_s,
+                        .finish_s = start_s + per_inference_s});
+      }
+      dispatched += granted[c];
+    }
+    obs::Count("serve.frames");
+    obs::Count("serve.slots", frame.size());
+    obs::Observe("serve.frame_batch", static_cast<double>(dispatched),
+                 kBatchBuckets);
+    if (obs::ProbesEnabled()) {
+      obs::Probe({.kind = obs::ProbeKind::kServe,
+                  .site = "serve.frame",
+                  .values = {{"clock_s", clock_s},
+                             {"slots", static_cast<double>(frame.size())},
+                             {"inferences", static_cast<double>(dispatched)}}});
+    }
+
+    // Every work item owns its request's pre-forked stream, so the
+    // fan-out is bitwise identical for any thread count.
+    obs::DeterministicParallelFor(work.size(), [&](std::size_t w) {
+      const WorkItem& item = work[w];
+      const ServeRequest& request = requests[item.index];
+      Rng& request_rng = rngs[item.index];
+      const double offset_us = sync.SampleOffsetUs(request_rng);
+      const int predicted = scheduler_->Classify(item.client, request.pixels,
+                                                 offset_us, request_rng);
+      result.responses[item.index] = {.id = request.id,
+                                      .client = request.client,
+                                      .predicted = predicted,
+                                      .rejected = RejectReason::kNone,
+                                      .arrival_s = request.arrival_s,
+                                      .start_s = item.start_s,
+                                      .finish_s = item.finish_s};
+    });
+    ++result.stats.frames;
+    clock_s += frame.back().start_s + frame.back().duration_s + guard_s;
+  }
+
+  FinalizeStats(result.stats, result.responses, requests);
+  return result;
+}
+
+ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
+                                  const sim::SyncModel& sync,
+                                  Rng& rng) const {
+  CheckTraceOrdered(requests);
+  const obs::ScopedSpan span = obs::Span("serve.run_unbatched");
+  span.Arg("requests", static_cast<double>(requests.size()));
+  obs::Count("serve.requests", requests.size());
+
+  ServeResult result;
+  result.stats.submitted = requests.size();
+  result.responses.resize(requests.size());
+  std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
+
+  const double guard_s = options_.scheduler.guard_interval_s;
+  double clock_s = 0.0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const ServeRequest& request = requests[i];
+    if (request.client >= num_clients()) {
+      result.responses[i] = Rejected(request, RejectReason::kUnknownClient);
+      CountRejection(result.stats, RejectReason::kUnknownClient);
+      continue;
+    }
+    if (request.pixels.size() != input_dims_[request.client]) {
+      result.responses[i] = Rejected(request, RejectReason::kBadInput);
+      CountRejection(result.stats, RejectReason::kBadInput);
+      continue;
+    }
+    obs::Count("serve.admitted");
+    // One single-inference frame per request: the guard interval and
+    // the frame turnaround are paid every time.
+    std::vector<std::size_t> unit(num_clients(), 0);
+    unit[request.client] = 1;
+    const std::vector<core::ScheduledSlot> frame =
+        scheduler_->BuildFrame(unit);
+    const double start_s = std::max(clock_s, request.arrival_s);
+    const double finish_s = start_s + frame.front().duration_s;
+    const double offset_us = sync.SampleOffsetUs(rngs[i]);
+    const int predicted = scheduler_->Classify(request.client, request.pixels,
+                                               offset_us, rngs[i]);
+    result.responses[i] = {.id = request.id,
+                           .client = request.client,
+                           .predicted = predicted,
+                           .rejected = RejectReason::kNone,
+                           .arrival_s = request.arrival_s,
+                           .start_s = start_s,
+                           .finish_s = finish_s};
+    ++result.stats.frames;
+    obs::Count("serve.frames");
+    clock_s = finish_s + guard_s;
+  }
+
+  FinalizeStats(result.stats, result.responses, requests);
+  return result;
+}
+
+}  // namespace metaai::serve

@@ -1,0 +1,104 @@
+// metaai::serve — deterministic batched multi-tenant OTA serving
+// runtime (§6's "shared across multiple IoT devices", made operational).
+//
+// One shared metasurface serves N edge clients. Requests arrive on a
+// virtual clock; admission control rejects malformed or over-quota
+// demand with typed reasons; admitted requests wait in bounded
+// per-client FIFO queues and are coalesced into TDMA frames built by
+// core::SharedSurfaceScheduler::BuildFrame — one slot per client with
+// pending work, carrying a batch of back-to-back inferences so the
+// guard interval is paid once per slot instead of once per request.
+// Slot allocation is fair round-robin (core::AllocateSlots), so a
+// backlogged client cannot starve the others.
+//
+// Determinism contract: request i's sync-offset draw and channel noise
+// come from the i-th pre-forked Rng stream (fork order = submission
+// order), so every prediction is bitwise identical for any thread
+// count, any frame-budget/batching composition, and with or without
+// the solver-result cache. Run and RunUnbatched produce byte-identical
+// predictions; they differ only in virtual-time accounting and
+// wall-clock cost.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "mts/config_cache.h"
+#include "serve/request.h"
+#include "sim/sync.h"
+
+namespace metaai::serve {
+
+/// One tenant of the shared surface.
+struct ClientSpec {
+  std::string name;
+  core::TrainedModel model;
+  /// Per-client link (geometry/environment may differ per client).
+  sim::OtaLinkConfig link;
+  core::DeploymentOptions deployment;
+};
+
+struct RuntimeOptions {
+  core::SchedulerConfig scheduler;
+  /// Bounded per-client queue depth; admission rejects with
+  /// RejectReason::kQueueFull beyond this (backpressure).
+  std::size_t queue_capacity = 64;
+  /// Maximum inferences coalesced into one TDMA frame, shared fairly
+  /// across clients by core::AllocateSlots.
+  std::size_t frame_budget = 8;
+  /// Optional shared solver-result cache consulted when mapping each
+  /// client's weights at construction (not owned; must outlive the
+  /// runtime). Tenants deploying identical models hit instead of
+  /// re-running coordinate descent. Null = always solve fresh.
+  mts::ConfigCache* cache = nullptr;
+};
+
+struct ServeResult {
+  /// One response per request, in submission order.
+  std::vector<ServeResponse> responses;
+  ServeStats stats;
+};
+
+class Runtime {
+ public:
+  /// Builds one deployment per client on the shared `surface` (through
+  /// `options.cache` when set). The runtime keeps its own copy of the
+  /// surface — the deployments' links borrow the metasurface, and a
+  /// long-lived server must not dangle if the caller's panel goes out
+  /// of scope (temporaries are fine). Throws CheckError on empty client
+  /// lists or non-positive queue/budget options — runtime configuration
+  /// is operator input, not tenant input.
+  Runtime(const mts::Metasurface& surface, std::vector<ClientSpec> clients,
+          RuntimeOptions options = {});
+
+  std::size_t num_clients() const { return input_dims_.size(); }
+  const core::SharedSurfaceScheduler& scheduler() const {
+    return *scheduler_;
+  }
+  const RuntimeOptions& options() const { return options_; }
+
+  /// Serves a request trace (non-decreasing arrival_s) on the virtual
+  /// clock with frame batching. `rng` seeds the per-request streams.
+  ServeResult Run(std::span<const ServeRequest> requests,
+                  const sim::SyncModel& sync, Rng& rng) const;
+
+  /// Naive baseline: no coalescing — each request is processed strictly
+  /// in order in its own single-slot frame (guard interval per request)
+  /// with serial execution. Predictions are byte-identical to Run; only
+  /// the virtual-time accounting and wall-clock cost differ.
+  ServeResult RunUnbatched(std::span<const ServeRequest> requests,
+                           const sim::SyncModel& sync, Rng& rng) const;
+
+ private:
+  /// Owned copy; declared before scheduler_ because the deployments'
+  /// links hold references into it.
+  mts::Metasurface surface_;
+  std::vector<std::size_t> input_dims_;
+  std::unique_ptr<core::SharedSurfaceScheduler> scheduler_;
+  RuntimeOptions options_;
+};
+
+}  // namespace metaai::serve

@@ -184,7 +184,11 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
   const std::size_t num_obs = observations_.size();
   const std::size_t atoms = surface_.num_atoms();
   for (const auto& codes : schedule) {
-    Check(codes.size() == atoms, "schedule config size mismatch");
+    if (codes.size() != atoms) {
+      Check(false, "schedule config size mismatch: " +
+                       std::to_string(codes.size()) + " codes vs " +
+                       std::to_string(atoms) + " atoms");
+    }
   }
 
   // Bulk event counts for this transmission (per-sample counting would

@@ -1,0 +1,89 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace metaai {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r = 42;
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r = Error{ErrorCode::kNotFound, "no such client"};
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "no such client");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOnErrorThrowsCheckErrorWithErrorText) {
+  const Result<int> r = Error{ErrorCode::kParseError, "bad digit"};
+  try {
+    (void)r.value();
+    FAIL() << "value() on an error Result must throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("parse_error"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad digit"), std::string::npos);
+  }
+}
+
+TEST(ResultTest, ErrorOnOkResultIsAnInvariantViolation) {
+  const Result<int> r = 7;
+  EXPECT_THROW((void)r.error(), CheckError);
+}
+
+TEST(ResultTest, ArrowAndMoveAccess) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+  r.value() += " world";
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "hello world");
+}
+
+TEST(ResultTest, VoidSpecialization) {
+  const Result<void> ok = Ok();
+  EXPECT_TRUE(ok.ok());
+  ok.value();  // no-op
+
+  const Result<void> err = Error{ErrorCode::kIoError, "disk full"};
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, ErrorCode::kIoError);
+  EXPECT_THROW(err.value(), CheckError);
+}
+
+TEST(ResultTest, ErrorCodeNamesAreStable) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kInvalidArgument), "invalid_argument");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kParseError), "parse_error");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kIoError), "io_error");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kNotFound), "not_found");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kExhausted), "exhausted");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kUnavailable), "unavailable");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kInternal), "internal");
+  const Error e{ErrorCode::kExhausted, "queue full"};
+  EXPECT_EQ(e.ToString(), "exhausted: queue full");
+}
+
+TEST(ResultTest, ImplicitConstructionFromEitherSide) {
+  auto make = [](bool good) -> Result<std::vector<int>> {
+    if (!good) return Error{ErrorCode::kInvalidArgument, "nope"};
+    return std::vector<int>{1, 2, 3};
+  };
+  EXPECT_EQ(make(true).value().size(), 3u);
+  EXPECT_EQ(make(false).error().code, ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace metaai

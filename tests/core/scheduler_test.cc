@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <vector>
+
 #include "common/check.h"
 #include "data/datasets.h"
 #include "rf/geometry.h"
@@ -118,6 +121,52 @@ TEST(SchedulerTest, RejectsInfeasibleSymbolRates) {
 TEST(SchedulerTest, RejectsEmptyDeviceList) {
   const mts::Metasurface surface{mts::MetasurfaceSpec{}};
   EXPECT_THROW(SharedSurfaceScheduler(surface, {}), CheckError);
+}
+
+// --- slot allocation (serving admission) -------------------------------
+
+TEST(SchedulerTest, AllocateSlotsIsRoundRobinFair) {
+  // One device with a deep backlog cannot monopolize the frame while
+  // others have pending work: each pass grants one slot per device.
+  const std::size_t pending[] = {100, 3, 3};
+  const auto granted = AllocateSlots(pending, 8);
+  EXPECT_EQ(granted, (std::vector<std::size_t>{3, 3, 2}));
+}
+
+TEST(SchedulerTest, AllocateSlotsBudgetNotDividingPending) {
+  // Budget 5 across two equally-loaded devices: the extra slot goes to
+  // the lower-indexed device deterministically.
+  const std::size_t pending[] = {4, 4};
+  const auto granted = AllocateSlots(pending, 5);
+  EXPECT_EQ(granted, (std::vector<std::size_t>{3, 2}));
+}
+
+TEST(SchedulerTest, AllocateSlotsStopsWhenPendingExhausted) {
+  const std::size_t pending[] = {1, 0, 2};
+  const auto granted = AllocateSlots(pending, 100);
+  EXPECT_EQ(granted, (std::vector<std::size_t>{1, 0, 2}));
+
+  const auto none = AllocateSlots(std::span<const std::size_t>{}, 4);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(SchedulerTest, BuildFrameSkipsIdleDevicesAndBatchesSlots) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const TwoDeviceSetup setup(surface);
+
+  // Radar idle: the frame holds only the camera slot, batched 3x, and
+  // the batch amortizes the guard interval (one guard per slot, not per
+  // inference).
+  const std::size_t counts[] = {3, 0};
+  const auto frame = setup.scheduler.BuildFrame(counts);
+  ASSERT_EQ(frame.size(), 1u);
+  EXPECT_EQ(frame[0].device, "camera");
+  EXPECT_EQ(frame[0].batch, 3u);
+  EXPECT_DOUBLE_EQ(frame[0].start_s, 0.0);
+  EXPECT_NEAR(frame[0].duration_s, 3 * 2.56e-3, 1e-9);
+
+  const std::size_t wrong_arity[] = {1, 1, 1};
+  EXPECT_THROW(setup.scheduler.BuildFrame(wrong_arity), CheckError);
 }
 
 }  // namespace

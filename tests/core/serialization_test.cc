@@ -7,6 +7,8 @@
 #include <fstream>
 
 #include "common/check.h"
+#include "common/result.h"
+#include "core/weight_mapper.h"
 #include "data/datasets.h"
 #include "rf/geometry.h"
 
@@ -35,8 +37,8 @@ TEST_F(SerializationTest, ModelRoundTripsExactly) {
   const auto model = TrainModel(ds.train, options, rng);
 
   const auto path = dir_ / "model.txt";
-  SaveModel(model, path);
-  const auto loaded = LoadModel(path);
+  ASSERT_TRUE(TrySaveModel(model, path).ok());
+  const auto loaded = TryLoadModel(path).value();
 
   EXPECT_EQ(loaded.modulation, rf::Modulation::kQam64);
   EXPECT_EQ(loaded.input_dim(), model.input_dim());
@@ -53,20 +55,71 @@ TEST_F(SerializationTest, LoadedModelPredictsIdentically) {
   options.epochs = 3;
   const auto model = TrainModel(ds.train, options, rng);
   const auto path = dir_ / "model.txt";
-  SaveModel(model, path);
-  const auto loaded = LoadModel(path);
+  ASSERT_TRUE(TrySaveModel(model, path).ok());
+  const auto loaded = TryLoadModel(path).value();
   EXPECT_DOUBLE_EQ(EvaluateDigital(model, ds.test),
                    EvaluateDigital(loaded, ds.test));
 }
 
-TEST_F(SerializationTest, RejectsCorruptModelFiles) {
+// Each failure mode carries a distinct typed error: unreadable files
+// are kIoError, readable-but-wrong content is kParseError.
+TEST_F(SerializationTest, CorruptModelFilesAreParseErrors) {
   const auto path = dir_ / "bad.txt";
   {
     std::ofstream out(path);
     out << "not-a-model\n";
   }
-  EXPECT_THROW(LoadModel(path), CheckError);
-  EXPECT_THROW(LoadModel(dir_ / "missing.txt"), CheckError);
+  const auto corrupt = TryLoadModel(path);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.error().code, ErrorCode::kParseError);
+  EXPECT_NE(corrupt.error().message.find("not a metaai model"),
+            std::string::npos);
+}
+
+TEST_F(SerializationTest, MissingModelFileIsIoError) {
+  const auto missing = TryLoadModel(dir_ / "missing.txt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kIoError);
+}
+
+TEST_F(SerializationTest, TruncatedModelFileIsParseError) {
+  const auto ds =
+      data::MakeMnistLike({.train_per_class = 6, .test_per_class = 2});
+  Rng rng(6);
+  TrainingOptions options;
+  options.epochs = 1;
+  const auto model = TrainModel(ds.train, options, rng);
+  const auto path = dir_ / "model.txt";
+  ASSERT_TRUE(TrySaveModel(model, path).ok());
+
+  std::ifstream in(path);
+  std::string head;
+  for (int i = 0; i < 3; ++i) {
+    std::string line;
+    std::getline(in, line);
+    head += line + "\n";
+  }
+  in.close();
+  const auto truncated = dir_ / "truncated.txt";
+  {
+    std::ofstream out(truncated);
+    out << head;
+  }
+  const auto result = TryLoadModel(truncated);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kParseError);
+}
+
+TEST_F(SerializationTest, SaveToUnwritablePathIsIoError) {
+  const auto ds =
+      data::MakeMnistLike({.train_per_class = 6, .test_per_class = 2});
+  Rng rng(7);
+  TrainingOptions options;
+  options.epochs = 1;
+  const auto model = TrainModel(ds.train, options, rng);
+  const auto result = TrySaveModel(model, dir_ / "no_such_dir" / "model.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kIoError);
 }
 
 TEST_F(SerializationTest, PatternsRoundTripExactly) {
@@ -85,11 +138,12 @@ TEST_F(SerializationTest, PatternsRoundTripExactly) {
                           .rx_angle_rad = rf::DegToRad(40.0),
                           .frequency_hz = 5.25e9};
   const sim::OtaLink link(surface, link_config);
-  const auto mapped = MapSequential(model.network.weights(), link);
+  const auto mapped = MapWeights(model.network.weights(), link,
+                                 {.scheme = MappingScheme::kSequential});
 
   const auto path = dir_ / "patterns.txt";
-  SavePatterns(mapped, surface.num_atoms(), path);
-  const auto loaded = LoadPatterns(path, surface.num_atoms());
+  ASSERT_TRUE(TrySavePatterns(mapped, surface.num_atoms(), path).ok());
+  const auto loaded = TryLoadPatterns(path, surface.num_atoms()).value();
 
   ASSERT_EQ(loaded.rounds.size(), mapped.rounds.size());
   EXPECT_EQ(loaded.outputs, mapped.outputs);
@@ -117,9 +171,10 @@ TEST_F(SerializationTest, PatternFileIsCompactHex) {
   link_config.geometry.tx_distance_m = 1.0;
   link_config.geometry.rx_distance_m = 3.0;
   const sim::OtaLink link(surface, link_config);
-  const auto mapped = MapSequential(model.network.weights(), link);
+  const auto mapped = MapWeights(model.network.weights(), link,
+                                 {.scheme = MappingScheme::kSequential});
   const auto path = dir_ / "patterns.txt";
-  SavePatterns(mapped, surface.num_atoms(), path);
+  ASSERT_TRUE(TrySavePatterns(mapped, surface.num_atoms(), path).ok());
 
   std::ifstream in(path);
   std::string line;
@@ -131,7 +186,7 @@ TEST_F(SerializationTest, PatternFileIsCompactHex) {
   EXPECT_EQ(line.size(), 128u);
 }
 
-TEST_F(SerializationTest, PatternAtomMismatchThrows) {
+TEST_F(SerializationTest, PatternAtomMismatchIsParseError) {
   const auto ds =
       data::MakeMnistLike({.train_per_class = 6, .test_per_class = 2});
   Rng rng(5);
@@ -143,10 +198,40 @@ TEST_F(SerializationTest, PatternAtomMismatchThrows) {
   link_config.geometry.tx_distance_m = 1.0;
   link_config.geometry.rx_distance_m = 3.0;
   const sim::OtaLink link(surface, link_config);
-  const auto mapped = MapSequential(model.network.weights(), link);
+  const auto mapped = MapWeights(model.network.weights(), link,
+                                 {.scheme = MappingScheme::kSequential});
   const auto path = dir_ / "patterns.txt";
-  SavePatterns(mapped, surface.num_atoms(), path);
-  EXPECT_THROW(LoadPatterns(path, 64), CheckError);
+  ASSERT_TRUE(TrySavePatterns(mapped, surface.num_atoms(), path).ok());
+  const auto mismatch = TryLoadPatterns(path, 64);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.error().code, ErrorCode::kParseError);
+}
+
+TEST_F(SerializationTest, EmptySchedulesAreInvalidArguments) {
+  const auto result = TrySavePatterns(MappedSchedules{}, 256, dir_ / "p.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
+}
+
+// The deprecated shims stay one more PR: same behavior, failures
+// rethrown as CheckError.
+TEST_F(SerializationTest, DeprecatedShimsThrowOnFailure) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_THROW(LoadModel(dir_ / "missing.txt"), CheckError);
+  EXPECT_THROW(LoadPatterns(dir_ / "missing.txt", 256), CheckError);
+
+  const auto ds =
+      data::MakeMnistLike({.train_per_class = 6, .test_per_class = 2});
+  Rng rng(8);
+  TrainingOptions options;
+  options.epochs = 1;
+  const auto model = TrainModel(ds.train, options, rng);
+  const auto path = dir_ / "model.txt";
+  SaveModel(model, path);
+  const auto loaded = LoadModel(path);
+  EXPECT_TRUE(loaded.network.weights() == model.network.weights());
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

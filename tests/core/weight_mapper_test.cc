@@ -38,7 +38,7 @@ TEST(WeightMapperTest, SequentialMappingIsAccurate) {
   mts::Metasurface surface{mts::MetasurfaceSpec{}};
   sim::OtaLink link(surface, BaseConfig());
   const auto weights = RandomWeights(3, 16, 1);
-  const auto mapped = MapSequential(weights, link);
+  const auto mapped = MapWeights(weights, link, {.scheme = MappingScheme::kSequential});
   EXPECT_EQ(mapped.rounds.size(), 3u);
   EXPECT_EQ(mapped.rounds[0].size(), 16u);
   EXPECT_GT(mapped.scale, 0.0);
@@ -54,7 +54,7 @@ TEST(WeightMapperTest, RealizedResponsesMatchScaledWeights) {
   mts::Metasurface surface{mts::MetasurfaceSpec{}};
   sim::OtaLink link(surface, BaseConfig());
   const auto weights = RandomWeights(2, 8, 2);
-  const auto mapped = MapSequential(weights, link);
+  const auto mapped = MapWeights(weights, link, {.scheme = MappingScheme::kSequential});
   const auto steering = link.SteeringVector(0);
   for (std::size_t r = 0; r < 2; ++r) {
     for (std::size_t i = 0; i < 8; ++i) {
@@ -76,7 +76,7 @@ TEST(WeightMapperTest, ScaleKeepsLargestWeightReachable) {
   auto weights = RandomWeights(2, 8, 3);
   weights(1, 4) = {50.0, 0.0};  // dominant weight
   const auto mapped =
-      MapSequential(weights, link, {.target_fraction = 0.85});
+      MapWeights(weights, link, {.scheme = MappingScheme::kSequential, .target_fraction = 0.85});
   const auto steering = link.SteeringVector(0);
   double reachable = 0.0;
   for (const auto& s : steering) reachable += std::abs(s);
@@ -94,7 +94,7 @@ TEST(WeightMapperTest, ParallelMappingCoversAllOutputs) {
   }
   sim::OtaLink link(surface, config);
   const auto weights = RandomWeights(10, 8, 4);
-  const auto mapped = MapParallel(weights, link);
+  const auto mapped = MapWeights(weights, link, {.scheme = MappingScheme::kParallel});
   // ceil(10 / 4) = 3 rounds; last round has 2 idle observations.
   EXPECT_EQ(mapped.rounds.size(), 3u);
   std::vector<bool> seen(10, false);
@@ -119,7 +119,7 @@ TEST(WeightMapperTest, ParallelResidualWorseThanSequential) {
   mts::Metasurface surface{mts::MetasurfaceSpec{}};
   sim::OtaLink seq_link(surface, BaseConfig());
   const auto weights = RandomWeights(4, 8, 5);
-  const auto sequential = MapSequential(weights, seq_link);
+  const auto sequential = MapWeights(weights, seq_link, {.scheme = MappingScheme::kSequential});
 
   sim::OtaLinkConfig par_config = BaseConfig();
   par_config.observations.clear();
@@ -128,7 +128,7 @@ TEST(WeightMapperTest, ParallelResidualWorseThanSequential) {
         {.freq_offset_hz = (k - 1.5) * 40e3});
   }
   sim::OtaLink par_link(surface, par_config);
-  const auto parallel = MapParallel(weights, par_link);
+  const auto parallel = MapWeights(weights, par_link, {.scheme = MappingScheme::kParallel});
   EXPECT_GT(parallel.mean_relative_residual,
             sequential.mean_relative_residual);
 }
@@ -142,7 +142,7 @@ TEST(WeightMapperTest, EnvironmentSubtractionCancelsStaticMultipath) {
   sim::OtaLink link(surface, config);
   const auto weights = RandomWeights(1, 4, 6);
   const auto mapped =
-      MapSequential(weights, link, {.subtract_environment = true});
+      MapWeights(weights, link, {.scheme = MappingScheme::kSequential, .subtract_environment = true});
   const auto steering = link.SteeringVector(0);
   const sim::Complex env = link.EnvironmentResponse(0) /
                            (link.TxAmplitude() * link.MtsPathAmplitude(0));
@@ -162,19 +162,117 @@ TEST(WeightMapperTest, ValidatesArguments) {
   mts::Metasurface surface{mts::MetasurfaceSpec{}};
   sim::OtaLink link(surface, BaseConfig());
   ComplexMatrix empty;
-  EXPECT_THROW(MapSequential(empty, link), CheckError);
+  EXPECT_THROW(MapWeights(empty, link, {.scheme = MappingScheme::kSequential}), CheckError);
   ComplexMatrix zeros(2, 4, sim::Complex{0.0, 0.0});
-  EXPECT_THROW(MapSequential(zeros, link), CheckError);
+  EXPECT_THROW(MapWeights(zeros, link, {.scheme = MappingScheme::kSequential}), CheckError);
   const auto weights = RandomWeights(2, 4, 7);
-  EXPECT_THROW(MapSequential(weights, link, {.target_fraction = 0.0}),
+  EXPECT_THROW(MapWeights(weights, link, {.scheme = MappingScheme::kSequential, .target_fraction = 0.0}),
                CheckError);
-  EXPECT_THROW(MapSequential(weights, link, {.target_fraction = 1.5}),
+  EXPECT_THROW(MapWeights(weights, link, {.scheme = MappingScheme::kSequential, .target_fraction = 1.5}),
                CheckError);
 
   sim::OtaLinkConfig multi = BaseConfig();
   multi.observations.push_back({.freq_offset_hz = 40e3});
   sim::OtaLink multi_link(surface, multi);
-  EXPECT_THROW(MapSequential(weights, multi_link), CheckError);
+  EXPECT_THROW(MapWeights(weights, multi_link, {.scheme = MappingScheme::kSequential}), CheckError);
+}
+
+TEST(WeightMapperTest, AutoSchemeFollowsLinkShape) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const auto weights = RandomWeights(3, 8, 8);
+
+  sim::OtaLink single(surface, BaseConfig());
+  const auto auto_single = MapWeights(weights, single);
+  const auto sequential =
+      MapWeights(weights, single, {.scheme = MappingScheme::kSequential});
+  EXPECT_EQ(auto_single.rounds, sequential.rounds);
+  EXPECT_EQ(auto_single.outputs, sequential.outputs);
+
+  sim::OtaLinkConfig config = BaseConfig();
+  config.observations.clear();
+  for (int k = 0; k < 3; ++k) {
+    config.observations.push_back({.freq_offset_hz = (k - 1.0) * 40e3});
+  }
+  sim::OtaLink multi(surface, config);
+  const auto auto_multi = MapWeights(weights, multi);
+  const auto parallel =
+      MapWeights(weights, multi, {.scheme = MappingScheme::kParallel});
+  EXPECT_EQ(auto_multi.rounds, parallel.rounds);
+  EXPECT_EQ(auto_multi.outputs, parallel.outputs);
+}
+
+// The serving guarantee: a cached mapping is bitwise identical to a
+// fresh solve — phase codes, output assignments, and both float scalars.
+TEST(WeightMapperTest, CachedMappingIsBitwiseIdenticalToFreshSolve) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLinkConfig config = BaseConfig();
+  config.observations.clear();
+  for (int k = 0; k < 2; ++k) {
+    config.observations.push_back({.freq_offset_hz = (k - 0.5) * 40e3});
+  }
+  sim::OtaLink link(surface, config);
+  const auto weights = RandomWeights(4, 8, 9);
+
+  const auto fresh =
+      MapWeights(weights, link, {.scheme = MappingScheme::kParallel});
+
+  mts::ConfigCache cache;
+  MappingOptions options{.scheme = MappingScheme::kParallel};
+  options.cache = &cache;
+  const auto miss = MapWeights(weights, link, options);
+  const auto hit = MapWeights(weights, link, options);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  for (const auto& mapped : {miss, hit}) {
+    EXPECT_EQ(mapped.rounds, fresh.rounds);
+    EXPECT_EQ(mapped.outputs, fresh.outputs);
+    EXPECT_EQ(mapped.scale, fresh.scale);
+    EXPECT_EQ(mapped.mean_relative_residual, fresh.mean_relative_residual);
+  }
+}
+
+TEST(WeightMapperTest, CacheKeyDistinguishesEveryInput) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  const auto weights = RandomWeights(2, 4, 10);
+  auto other = weights;
+  other(1, 2) += sim::Complex{1e-12, 0.0};
+
+  const MappingOptions base{.scheme = MappingScheme::kSequential};
+  const std::string key = MappingCacheKey(weights, link, base);
+  EXPECT_NE(key, MappingCacheKey(other, link, base));
+
+  MappingOptions fraction = base;
+  fraction.target_fraction = 0.5;
+  EXPECT_NE(key, MappingCacheKey(weights, link, fraction));
+
+  MappingOptions sweeps = base;
+  sweeps.solver.max_sweeps = 3;
+  EXPECT_NE(key, MappingCacheKey(weights, link, sweeps));
+
+  MappingOptions masked = base;
+  masked.solver.atom_mask.assign(link.SteeringVector(0).size(), 1);
+  masked.solver.atom_mask[0] = 0;
+  EXPECT_NE(key, MappingCacheKey(weights, link, masked));
+
+  // Same inputs -> same key (the cache would be useless otherwise).
+  EXPECT_EQ(key, MappingCacheKey(weights, link, base));
+}
+
+// The deprecated one-PR shims still route through MapWeights.
+TEST(WeightMapperTest, DeprecatedShimsMatchMapWeights) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  const auto weights = RandomWeights(2, 4, 11);
+  const auto via_shim = MapSequential(weights, link);
+  const auto direct =
+      MapWeights(weights, link, {.scheme = MappingScheme::kSequential});
+  EXPECT_EQ(via_shim.rounds, direct.rounds);
+  EXPECT_EQ(via_shim.scale, direct.scale);
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

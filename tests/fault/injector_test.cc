@@ -15,7 +15,7 @@ namespace {
 constexpr std::size_t kAtoms = 256;
 
 TEST(FaultInjectorTest, StuckRealizationIsDeterministic) {
-  const FaultPlan plan = ParseFaultSpec("stuck=0.1,seed=7");
+  const FaultPlan plan = TryParseFaultSpec("stuck=0.1,seed=7").value();
   const FaultInjector a(plan, kAtoms);
   const FaultInjector b(plan, kAtoms);
   ASSERT_EQ(a.stuck_atoms(), b.stuck_atoms());
@@ -30,7 +30,7 @@ TEST(FaultInjectorTest, StuckRealizationIsDeterministic) {
 }
 
 TEST(FaultInjectorTest, StuckCountMatchesFraction) {
-  const FaultInjector inj(ParseFaultSpec("stuck=0.1,seed=3"), kAtoms);
+  const FaultInjector inj(TryParseFaultSpec("stuck=0.1,seed=3").value(), kAtoms);
   EXPECT_EQ(inj.num_stuck(),
             static_cast<std::size_t>(std::llround(0.1 * kAtoms)));
   EXPECT_TRUE(inj.AffectsPatterns());
@@ -41,7 +41,7 @@ TEST(FaultInjectorTest, StuckCountMatchesFraction) {
 }
 
 TEST(FaultInjectorTest, ApplyStuckPinsCodes) {
-  const FaultInjector inj(ParseFaultSpec("stuck=0.2,seed=5"), kAtoms);
+  const FaultInjector inj(TryParseFaultSpec("stuck=0.2,seed=5").value(), kAtoms);
   std::vector<mts::PhaseCode> codes(kAtoms, 1);
   const std::size_t changed = inj.ApplyStuck(codes);
   // Pinned codes are uniform over 4 states, so ~1/4 of stuck atoms
@@ -65,7 +65,7 @@ TEST(FaultInjectorTest, ApplyStuckPinsCodes) {
 }
 
 TEST(FaultInjectorTest, CorruptLoadIsDeterministicPerStream) {
-  const FaultInjector inj(ParseFaultSpec("chain=0.01,seed=2"), kAtoms);
+  const FaultInjector inj(TryParseFaultSpec("chain=0.01,seed=2").value(), kAtoms);
   std::vector<mts::PhaseCode> a(kAtoms, 2);
   std::vector<mts::PhaseCode> b(kAtoms, 2);
   Rng rng_a(11);
@@ -78,7 +78,7 @@ TEST(FaultInjectorTest, CorruptLoadMatchesBernoulliRate) {
   // Geometric skipping must reproduce the per-bit Bernoulli flip rate:
   // over many loads the mean flip count converges to p * bits.
   const double p = 0.02;
-  const FaultInjector inj(ParseFaultSpec("chain=0.02,seed=2"), kAtoms);
+  const FaultInjector inj(TryParseFaultSpec("chain=0.02,seed=2").value(), kAtoms);
   Rng rng(13);
   const int loads = 2000;
   const double bits = static_cast<double>(kAtoms * 2);
@@ -95,7 +95,7 @@ TEST(FaultInjectorTest, CorruptLoadMatchesBernoulliRate) {
 }
 
 TEST(FaultInjectorTest, InactiveChainDrawsNothing) {
-  const FaultInjector inj(ParseFaultSpec("stuck=0.1,seed=4"), kAtoms);
+  const FaultInjector inj(TryParseFaultSpec("stuck=0.1,seed=4").value(), kAtoms);
   std::vector<mts::PhaseCode> codes(kAtoms, 0);
   Rng rng(17);
   Rng untouched(17);
@@ -105,7 +105,7 @@ TEST(FaultInjectorTest, InactiveChainDrawsNothing) {
 }
 
 TEST(FaultInjectorTest, CertainCorruptionFlipsEveryBit) {
-  const FaultInjector inj(ParseFaultSpec("chain=1,seed=4"), kAtoms);
+  const FaultInjector inj(TryParseFaultSpec("chain=1,seed=4").value(), kAtoms);
   std::vector<mts::PhaseCode> codes(kAtoms, 1);
   Rng rng(19);
   EXPECT_EQ(inj.CorruptLoad(codes, rng), kAtoms * 2);
@@ -113,7 +113,7 @@ TEST(FaultInjectorTest, CertainCorruptionFlipsEveryBit) {
 }
 
 TEST(FaultInjectorTest, DriftPhasorsAreUnitAndDeterministic) {
-  const FaultPlan plan = ParseFaultSpec("drift=0.01,age=60,seed=9");
+  const FaultPlan plan = TryParseFaultSpec("drift=0.01,age=60,seed=9").value();
   const FaultInjector a(plan, kAtoms);
   const FaultInjector b(plan, kAtoms);
   ASSERT_TRUE(a.HasDrift());
@@ -127,7 +127,7 @@ TEST(FaultInjectorTest, DriftPhasorsAreUnitAndDeterministic) {
   }
   EXPECT_TRUE(any_rotated);
   // Without drift the phasors are exactly identity.
-  const FaultInjector none(ParseFaultSpec("stuck=0.1,seed=9"), kAtoms);
+  const FaultInjector none(TryParseFaultSpec("stuck=0.1,seed=9").value(), kAtoms);
   for (const auto& ph : none.drift_phasors()) {
     EXPECT_EQ(ph, (std::complex<double>{1.0, 0.0}));
   }
@@ -135,14 +135,14 @@ TEST(FaultInjectorTest, DriftPhasorsAreUnitAndDeterministic) {
 
 TEST(FaultInjectorTest, StuckSetIndependentOfDriftModel) {
   // Fork order is fixed: enabling drift must not move the stuck set.
-  const FaultInjector bare(ParseFaultSpec("stuck=0.1,seed=21"), kAtoms);
+  const FaultInjector bare(TryParseFaultSpec("stuck=0.1,seed=21").value(), kAtoms);
   const FaultInjector with_drift(
-      ParseFaultSpec("stuck=0.1,drift=0.5,age=10,seed=21"), kAtoms);
+      TryParseFaultSpec("stuck=0.1,drift=0.5,age=10,seed=21").value(), kAtoms);
   EXPECT_EQ(bare.stuck_atoms(), with_drift.stuck_atoms());
 }
 
 TEST(FaultInjectorTest, SyncBurstRespectsProbabilityAndRange) {
-  const FaultInjector inj(ParseFaultSpec("burst=0.25:20,seed=6"), kAtoms);
+  const FaultInjector inj(TryParseFaultSpec("burst=0.25:20,seed=6").value(), kAtoms);
   Rng rng(23);
   int bursts = 0;
   const int frames = 4000;
@@ -155,7 +155,7 @@ TEST(FaultInjectorTest, SyncBurstRespectsProbabilityAndRange) {
   EXPECT_NEAR(rate, 0.25, 0.04);
 
   // Inactive model: zero offset, zero draws.
-  const FaultInjector none(ParseFaultSpec("stuck=0.1,seed=6"), kAtoms);
+  const FaultInjector none(TryParseFaultSpec("stuck=0.1,seed=6").value(), kAtoms);
   Rng a(29);
   Rng b(29);
   EXPECT_EQ(none.SyncBurstOffsetUs(a), 0.0);
@@ -165,7 +165,7 @@ TEST(FaultInjectorTest, SyncBurstRespectsProbabilityAndRange) {
 TEST(FaultInjectorTest, FixedDrawCountPerBurstSample) {
   // The burst model consumes the same number of draws whether or not it
   // triggers, so downstream consumers of the stream see stable offsets.
-  const FaultInjector inj(ParseFaultSpec("burst=0.5:10,seed=8"), kAtoms);
+  const FaultInjector inj(TryParseFaultSpec("burst=0.5:10,seed=8").value(), kAtoms);
   Rng a(31);
   Rng b(31);
   (void)inj.SyncBurstOffsetUs(a);
@@ -175,7 +175,7 @@ TEST(FaultInjectorTest, FixedDrawCountPerBurstSample) {
 }
 
 TEST(FaultInjectorTest, RejectsMismatchedPatternSizes) {
-  const FaultInjector inj(ParseFaultSpec("stuck=0.1,seed=3"), kAtoms);
+  const FaultInjector inj(TryParseFaultSpec("stuck=0.1,seed=3").value(), kAtoms);
   std::vector<mts::PhaseCode> wrong(kAtoms - 1, 0);
   Rng rng(1);
   EXPECT_THROW(inj.ApplyStuck(wrong), CheckError);

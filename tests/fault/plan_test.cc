@@ -3,19 +3,22 @@
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/result.h"
 
 namespace metaai::fault {
 namespace {
 
 TEST(FaultPlanTest, EmptySpecIsHealthy) {
-  const FaultPlan plan = ParseFaultSpec("");
+  const FaultPlan plan = TryParseFaultSpec("").value();
   EXPECT_FALSE(plan.Any());
   EXPECT_EQ(plan.seed, 1u);
 }
 
 TEST(FaultPlanTest, ParsesEveryModel) {
   const FaultPlan plan =
-      ParseFaultSpec("stuck=0.1,chain=1e-4,drift=0.5,age=30,burst=0.05:20,seed=7");
+      TryParseFaultSpec(
+          "stuck=0.1,chain=1e-4,drift=0.5,age=30,burst=0.05:20,seed=7")
+          .value();
   EXPECT_TRUE(plan.Any());
   EXPECT_DOUBLE_EQ(plan.stuck.fraction, 0.1);
   EXPECT_DOUBLE_EQ(plan.chain.bit_flip_prob, 1e-4);
@@ -27,15 +30,17 @@ TEST(FaultPlanTest, ParsesEveryModel) {
 }
 
 TEST(FaultPlanTest, DriftWithoutAgeGetsDefaultHorizon) {
-  const FaultPlan plan = ParseFaultSpec("drift=0.2");
+  const FaultPlan plan = TryParseFaultSpec("drift=0.2").value();
   EXPECT_DOUBLE_EQ(plan.drift.age_s, 60.0);
   EXPECT_TRUE(plan.Any());
 }
 
 TEST(FaultPlanTest, SpecStringRoundTrips) {
   const FaultPlan plan =
-      ParseFaultSpec("stuck=0.25,chain=0.001,drift=0.5,age=45,burst=0.1:8,seed=42");
-  const FaultPlan again = ParseFaultSpec(FaultSpecString(plan));
+      TryParseFaultSpec(
+          "stuck=0.25,chain=0.001,drift=0.5,age=45,burst=0.1:8,seed=42")
+          .value();
+  const FaultPlan again = TryParseFaultSpec(FaultSpecString(plan)).value();
   EXPECT_DOUBLE_EQ(again.stuck.fraction, plan.stuck.fraction);
   EXPECT_DOUBLE_EQ(again.chain.bit_flip_prob, plan.chain.bit_flip_prob);
   EXPECT_DOUBLE_EQ(again.drift.rate_std_rad_per_s,
@@ -46,13 +51,36 @@ TEST(FaultPlanTest, SpecStringRoundTrips) {
   EXPECT_EQ(again.seed, plan.seed);
 }
 
-TEST(FaultPlanTest, RejectsMalformedSpecs) {
+// Malformed syntax comes back as kParseError, out-of-range values as
+// kInvalidArgument — one assertion per distinct error path.
+TEST(FaultPlanTest, MalformedSpecsAreParseErrors) {
+  for (const char* spec : {"stuck", "burst=0.1", "wearout=1", "stuck=abc",
+                           "seed=abc", "burst=x:1"}) {
+    const Result<FaultPlan> result = TryParseFaultSpec(spec);
+    ASSERT_FALSE(result.ok()) << spec;
+    EXPECT_EQ(result.error().code, ErrorCode::kParseError) << spec;
+  }
+}
+
+TEST(FaultPlanTest, OutOfRangeValuesAreInvalidArguments) {
+  for (const char* spec :
+       {"stuck=1.5", "chain=-0.1", "drift=-1", "age=-5", "burst=2:10",
+        "burst=0.1:-3"}) {
+    const Result<FaultPlan> result = TryParseFaultSpec(spec);
+    ASSERT_FALSE(result.ok()) << spec;
+    EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument) << spec;
+  }
+}
+
+// The deprecated shim stays one more PR: same parse, failures as
+// CheckError.
+TEST(FaultPlanTest, DeprecatedShimThrowsOnMalformedSpecs) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_EQ(ParseFaultSpec("stuck=0.1,seed=3").seed, 3u);
   EXPECT_THROW(ParseFaultSpec("stuck"), CheckError);
   EXPECT_THROW(ParseFaultSpec("stuck=1.5"), CheckError);
-  EXPECT_THROW(ParseFaultSpec("chain=-0.1"), CheckError);
-  EXPECT_THROW(ParseFaultSpec("burst=0.1"), CheckError);
-  EXPECT_THROW(ParseFaultSpec("wearout=1"), CheckError);
-  EXPECT_THROW(ParseFaultSpec("stuck=abc"), CheckError);
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

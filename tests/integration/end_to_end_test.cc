@@ -45,16 +45,17 @@ TEST_F(EndToEndTest, TrainPersistDeployTransmitPipeline) {
   const auto model = core::TrainModel(ds.train, train_options, rng);
 
   // Persist + reload the model.
-  core::SaveModel(model, dir_ / "model.txt");
-  const auto loaded = core::LoadModel(dir_ / "model.txt");
+  core::TrySaveModel(model, dir_ / "model.txt").value();
+  const auto loaded = core::TryLoadModel(dir_ / "model.txt").value();
 
   // Deploy the loaded model and persist + reload the patterns.
   const mts::Metasurface surface{mts::MetasurfaceSpec{}};
   const core::Deployment deployment(loaded, surface, DefaultLink());
-  core::SavePatterns(deployment.schedules(), surface.num_atoms(),
-                     dir_ / "patterns.txt");
+  core::TrySavePatterns(deployment.schedules(), surface.num_atoms(),
+                        dir_ / "patterns.txt")
+      .value();
   const auto patterns =
-      core::LoadPatterns(dir_ / "patterns.txt", surface.num_atoms());
+      core::TryLoadPatterns(dir_ / "patterns.txt", surface.num_atoms()).value();
 
   // Transmit one sample with the reloaded patterns: measurements match
   // the live deployment's schedules exactly (same codes).

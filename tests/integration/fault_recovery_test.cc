@@ -58,7 +58,7 @@ core::TrainedModel* FaultRecoveryTest::model_ = nullptr;
 
 TEST_F(FaultRecoveryTest, DiagnosisFindsExactlyTheStuckAtoms) {
   auto injector = std::make_shared<const fault::FaultInjector>(
-      fault::ParseFaultSpec("stuck=0.1,seed=7"), surface_.num_atoms());
+      fault::TryParseFaultSpec("stuck=0.1,seed=7").value(), surface_.num_atoms());
   sim::OtaLinkConfig config = DefaultLink(2);
   config.budget.noise_floor_dbm = -120.0;  // clean probes
   config.faults = injector;
@@ -83,7 +83,7 @@ TEST_F(FaultRecoveryTest, DiagnosisFindsExactlyTheStuckAtoms) {
 
 TEST_F(FaultRecoveryTest, DiagnosisMeasuresDriftedSteering) {
   auto injector = std::make_shared<const fault::FaultInjector>(
-      fault::ParseFaultSpec("drift=0.013,age=60,seed=11"),
+      fault::TryParseFaultSpec("drift=0.013,age=60,seed=11").value(),
       surface_.num_atoms());
   sim::OtaLinkConfig config = DefaultLink(4);
   config.budget.noise_floor_dbm = -120.0;
@@ -118,7 +118,7 @@ TEST_F(FaultRecoveryTest, ResolveRecoversMostOfTheLostAccuracy) {
       healthy.EvaluateAccuracyAtOffset(dataset_->test, 0.0, ref_rng, 80);
 
   auto injector = std::make_shared<const fault::FaultInjector>(
-      fault::ParseFaultSpec("stuck=0.1,drift=0.04,age=60,seed=13"),
+      fault::TryParseFaultSpec("stuck=0.1,drift=0.04,age=60,seed=13").value(),
       surface_.num_atoms());
   sim::OtaLinkConfig faulty_config = healthy_config;
   faulty_config.faults = injector;
@@ -148,7 +148,7 @@ TEST_F(FaultRecoveryTest, WatchdogTripsDiagnosesAndRecovers) {
       healthy.EvaluateAccuracyAtOffset(dataset_->test, 0.0, ref_rng, 64);
 
   auto injector = std::make_shared<const fault::FaultInjector>(
-      fault::ParseFaultSpec("stuck=0.1,drift=0.04,age=60,seed=17"),
+      fault::TryParseFaultSpec("stuck=0.1,drift=0.04,age=60,seed=17").value(),
       surface_.num_atoms());
   sim::OtaLinkConfig faulty_config = healthy_config;
   faulty_config.faults = injector;
@@ -179,7 +179,7 @@ TEST_F(FaultRecoveryTest, FaultPipelineIsSeedStable) {
   // The whole diagnose -> re-solve pipeline is a pure function of its
   // seeds: two identical runs agree bitwise.
   auto injector = std::make_shared<const fault::FaultInjector>(
-      fault::ParseFaultSpec("stuck=0.05,chain=1e-4,seed=23"),
+      fault::TryParseFaultSpec("stuck=0.05,chain=1e-4,seed=23").value(),
       surface_.num_atoms());
   sim::OtaLinkConfig config = DefaultLink(10);
   config.faults = injector;

@@ -50,7 +50,7 @@ void ExpectSchedulesEqual(const core::MappedSchedules& a,
   EXPECT_EQ(a.outputs, b.outputs) << "threads=" << threads;
 }
 
-TEST(ParallelDeterminismTest, MapSequentialIsThreadCountInvariant) {
+TEST(ParallelDeterminismTest, SequentialMappingIsThreadCountInvariant) {
   const auto ds =
       data::MakeMnistLike({.train_per_class = 10, .test_per_class = 2});
   const auto model = SmallModel(ds);
@@ -59,7 +59,8 @@ TEST(ParallelDeterminismTest, MapSequentialIsThreadCountInvariant) {
 
   auto map = [&](int threads) {
     const par::ScopedThreadCount scoped(threads);
-    return core::MapSequential(model.network.weights(), link);
+    return core::MapWeights(model.network.weights(), link,
+                            {.scheme = core::MappingScheme::kSequential});
   };
   const core::MappedSchedules serial = map(1);
   for (const int threads : kThreadCounts) {
@@ -67,7 +68,7 @@ TEST(ParallelDeterminismTest, MapSequentialIsThreadCountInvariant) {
   }
 }
 
-TEST(ParallelDeterminismTest, MapParallelIsThreadCountInvariant) {
+TEST(ParallelDeterminismTest, ParallelMappingIsThreadCountInvariant) {
   const auto ds =
       data::MakeMnistLike({.train_per_class = 10, .test_per_class = 2});
   const auto model = SmallModel(ds);
@@ -82,7 +83,9 @@ TEST(ParallelDeterminismTest, MapParallelIsThreadCountInvariant) {
     config.observations =
         core::BuildObservations(config, model.num_classes(), options);
     const sim::OtaLink link(surface, config);
-    return core::MapParallel(model.network.weights(), link, options.mapping);
+    core::MappingOptions mapping = options.mapping;
+    mapping.scheme = core::MappingScheme::kParallel;
+    return core::MapWeights(model.network.weights(), link, mapping);
   };
   const core::MappedSchedules serial = map(1);
   for (const int threads : kThreadCounts) {

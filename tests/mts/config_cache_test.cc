@@ -1,0 +1,104 @@
+#include "mts/config_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace metaai::mts {
+namespace {
+
+CachedConfig MakeConfig(int tag) {
+  CachedConfig config;
+  config.rounds = {{{static_cast<PhaseCode>(tag % 4),
+                     static_cast<PhaseCode>((tag + 1) % 4)}}};
+  config.outputs = {{tag}};
+  config.scale = 1.0 + tag;
+  config.mean_relative_residual = 0.01 * tag;
+  return config;
+}
+
+TEST(ConfigCacheTest, MissThenHitRoundTripsExactValue) {
+  ConfigCache cache(4);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  cache.Insert("a", MakeConfig(1));
+  const auto hit = cache.Lookup("a");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, MakeConfig(1));
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(ConfigCacheTest, EvictsLeastRecentlyUsed) {
+  ConfigCache cache(2);
+  cache.Insert("a", MakeConfig(1));
+  cache.Insert("b", MakeConfig(2));
+  // Touch "a" so "b" becomes least recently used.
+  ASSERT_TRUE(cache.Lookup("a").has_value());
+  cache.Insert("c", MakeConfig(3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_FALSE(cache.Lookup("b").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ConfigCacheTest, InsertRefreshesExistingKey) {
+  ConfigCache cache(2);
+  cache.Insert("a", MakeConfig(1));
+  cache.Insert("a", MakeConfig(9));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup("a")->scale, MakeConfig(9).scale);
+}
+
+TEST(ConfigCacheTest, ClearDropsEntriesButKeepsStats) {
+  ConfigCache cache(4);
+  cache.Insert("a", MakeConfig(1));
+  ASSERT_TRUE(cache.Lookup("a").has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ConfigCacheTest, HitRateIsZeroWhenNeverQueried) {
+  ConfigCache cache;
+  EXPECT_EQ(cache.capacity(), ConfigCache::kDefaultCapacity);
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.0);
+}
+
+TEST(ConfigKeyTest, KeyIsOrderAndContentSensitive) {
+  ConfigKey a;
+  a.Tag("t").Add(1.0).Add(std::uint64_t{2});
+  ConfigKey b;
+  b.Tag("t").Add(2.0).Add(std::uint64_t{2});
+  ConfigKey c;
+  c.Tag("t").Add(std::uint64_t{2}).Add(1.0);
+  EXPECT_NE(a.str(), b.str());
+  EXPECT_NE(a.str(), c.str());
+
+  ConfigKey again;
+  again.Tag("t").Add(1.0).Add(std::uint64_t{2});
+  EXPECT_EQ(a.str(), again.str());
+  EXPECT_EQ(std::move(again).Take(), a.str());
+
+  // Byte payloads are length-delimited: ("ab","c") != ("a","bc").
+  const char ab[] = {'a', 'b'};
+  const char c1[] = {'c'};
+  const char a1[] = {'a'};
+  const char bc[] = {'b', 'c'};
+  ConfigKey split_ab;
+  split_ab.AddBytes(ab, 2).AddBytes(c1, 1);
+  ConfigKey split_a;
+  split_a.AddBytes(a1, 1).AddBytes(bc, 2);
+  EXPECT_NE(split_ab.str(), split_a.str());
+}
+
+}  // namespace
+}  // namespace metaai::mts

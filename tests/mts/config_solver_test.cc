@@ -149,6 +149,46 @@ TEST(ConfigSolverTest, ValidatesArguments) {
                CheckError);
 }
 
+// The Result-returning forms surface the same validation as typed
+// kInvalidArgument errors — one per distinct error path.
+TEST(ConfigSolverTest, TypedValidationErrors) {
+  const auto sweeps = ValidateSolveOptions({.max_sweeps = 0}, 4);
+  ASSERT_FALSE(sweeps.ok());
+  EXPECT_EQ(sweeps.error().code, ErrorCode::kInvalidArgument);
+
+  SolveOptions mismatched;
+  mismatched.atom_mask = {1, 1};
+  const auto mask = ValidateSolveOptions(mismatched, 4);
+  ASSERT_FALSE(mask.ok());
+  EXPECT_EQ(mask.error().code, ErrorCode::kInvalidArgument);
+
+  SolveOptions all_dead;
+  all_dead.atom_mask = {0, 0, 0, 0};
+  const auto dead = ValidateSolveOptions(all_dead, 4);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.error().code, ErrorCode::kInvalidArgument);
+
+  EXPECT_TRUE(ValidateSolveOptions({}, 4).ok());
+
+  const auto empty = TrySolveSingleTarget({}, Complex{1.0, 0.0});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.error().code, ErrorCode::kInvalidArgument);
+
+  ComplexMatrix steering(2, 4, Complex{1.0, 0.0});
+  const std::vector<Complex> wrong_targets{Complex{1.0, 0.0}};
+  const auto shape = TrySolveMultiTarget(steering, wrong_targets);
+  ASSERT_FALSE(shape.ok());
+  EXPECT_EQ(shape.error().code, ErrorCode::kInvalidArgument);
+
+  // And the happy path matches the throwing form exactly.
+  const std::vector<Complex> targets{Complex{1.0, 0.0}, Complex{0.0, 1.0}};
+  const auto solved = TrySolveMultiTarget(steering, targets);
+  ASSERT_TRUE(solved.ok());
+  const auto direct = SolveMultiTarget(steering, targets);
+  EXPECT_EQ(solved.value().codes, direct.codes);
+  EXPECT_EQ(solved.value().residual, direct.residual);
+}
+
 // Regression for reporting achieved/residual from the incrementally
 // updated descent sums: each accepted code change adds one rounding
 // error, and with large steering magnitudes cancelling toward a small

@@ -1,0 +1,101 @@
+#include "serve/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "data/datasets.h"
+
+namespace metaai::serve {
+namespace {
+
+const data::Dataset& SmallDataset() {
+  static const data::Dataset ds =
+      data::MakeMnistLike({.train_per_class = 5, .test_per_class = 3});
+  return ds;
+}
+
+std::vector<ClientWorkload> TwoClients() {
+  return {{.arrival_rate_hz = 200.0, .samples = &SmallDataset().test},
+          {.arrival_rate_hz = 100.0, .samples = &SmallDataset().test}};
+}
+
+TEST(GeneratorTest, TraceIsSortedWithSequentialIds) {
+  Rng rng(11);
+  const auto requests = GenerateWorkload(TwoClients(), 0.5, rng).value();
+  ASSERT_FALSE(requests.empty());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(requests[i].id, i);
+    if (i > 0) {
+      EXPECT_GE(requests[i].arrival_s, requests[i - 1].arrival_s);
+    }
+    EXPECT_LT(requests[i].arrival_s, 0.5);
+    EXPECT_LT(requests[i].client, 2u);
+    EXPECT_EQ(requests[i].pixels.size(),
+              SmallDataset().test.features[0].size());
+    EXPECT_GE(requests[i].label, 0);
+  }
+}
+
+TEST(GeneratorTest, SameSeedSameTrace) {
+  Rng a(7);
+  Rng b(7);
+  const auto first = GenerateWorkload(TwoClients(), 0.25, a).value();
+  const auto second = GenerateWorkload(TwoClients(), 0.25, b).value();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].client, second[i].client);
+    EXPECT_EQ(first[i].arrival_s, second[i].arrival_s);
+    EXPECT_EQ(first[i].pixels, second[i].pixels);
+    EXPECT_EQ(first[i].label, second[i].label);
+  }
+}
+
+TEST(GeneratorTest, AddingAClientDoesNotPerturbExistingTraces) {
+  // Pre-forked per-client streams: client 0's arrivals and sample draws
+  // are identical whether or not client 1 exists.
+  const std::vector<ClientWorkload> one = {
+      {.arrival_rate_hz = 200.0, .samples = &SmallDataset().test}};
+  Rng a(13);
+  Rng b(13);
+  const auto solo = GenerateWorkload(one, 0.25, a).value();
+  const auto pair = GenerateWorkload(TwoClients(), 0.25, b).value();
+
+  std::vector<ServeRequest> client0;
+  for (const ServeRequest& r : pair) {
+    if (r.client == 0) client0.push_back(r);
+  }
+  ASSERT_EQ(client0.size(), solo.size());
+  for (std::size_t i = 0; i < solo.size(); ++i) {
+    EXPECT_EQ(client0[i].arrival_s, solo[i].arrival_s);
+    EXPECT_EQ(client0[i].pixels, solo[i].pixels);
+  }
+}
+
+TEST(GeneratorTest, TypedErrorsForInvalidWorkloads) {
+  Rng rng(1);
+  const auto empty = GenerateWorkload({}, 1.0, rng);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.error().code, ErrorCode::kInvalidArgument);
+
+  const auto clients = TwoClients();
+  const auto zero_duration = GenerateWorkload(clients, 0.0, rng);
+  ASSERT_FALSE(zero_duration.ok());
+  EXPECT_EQ(zero_duration.error().code, ErrorCode::kInvalidArgument);
+
+  std::vector<ClientWorkload> bad_rate = TwoClients();
+  bad_rate[1].arrival_rate_hz = 0.0;
+  const auto rate = GenerateWorkload(bad_rate, 1.0, rng);
+  ASSERT_FALSE(rate.ok());
+  EXPECT_EQ(rate.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_NE(rate.error().message.find("client 1"), std::string::npos);
+
+  std::vector<ClientWorkload> no_samples = TwoClients();
+  no_samples[0].samples = nullptr;
+  const auto samples = GenerateWorkload(no_samples, 1.0, rng);
+  ASSERT_FALSE(samples.ok());
+  EXPECT_EQ(samples.error().code, ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace metaai::serve

@@ -63,7 +63,7 @@ TEST(SyncTest, ConfigurableUnsyncedRange) {
 TEST(SyncTest, FaultBurstPerturbsSomeFramesWithinBounds) {
   SyncModelConfig config;
   config.faults = std::make_shared<const fault::FaultInjector>(
-      fault::ParseFaultSpec("burst=0.2:15,seed=5"), 256);
+      fault::TryParseFaultSpec("burst=0.2:15,seed=5").value(), 256);
   SyncModel bursty(SyncMode::kCoarse, config);
   SyncModel clean(SyncMode::kCoarse);
   Rng rng_a(7);
@@ -89,7 +89,7 @@ TEST(SyncTest, InactiveFaultPlanLeavesStreamsUntouched) {
   // change any sampled offset.
   SyncModelConfig config;
   config.faults = std::make_shared<const fault::FaultInjector>(
-      fault::ParseFaultSpec("stuck=0.1,seed=5"), 256);
+      fault::TryParseFaultSpec("stuck=0.1,seed=5").value(), 256);
   SyncModel wired(SyncMode::kCoarse, config);
   SyncModel clean(SyncMode::kCoarse);
   Rng rng_a(9);

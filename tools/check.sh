@@ -5,8 +5,8 @@
 #      suite (the thread pool, solver fan-out and telemetry merges all
 #      deserve sanitizer coverage, not just the obs suites).
 #   3. TSan build (-DMETAAI_SANITIZE=thread) exercising the thread-pool,
-#      parallel-determinism and fault-injection/recovery suites under
-#      real data race detection.
+#      parallel-determinism, fault-injection/recovery and serving-runtime
+#      suites under real data race detection.
 #   4. Bench suite with baseline regression gating (run_benches.sh,
 #      which invokes metaai_bench_diff when bench/baselines/ exists).
 #
@@ -32,9 +32,9 @@ echo "=== [3/4] TSan on thread-pool + determinism suites"
 cmake -B "${prefix}-tsan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=thread -DMETAAI_OBS=ON
 cmake --build "${prefix}-tsan" -j"$(nproc)" \
-  --target test_common test_obs test_fault test_integration
+  --target test_common test_obs test_fault test_integration test_serve
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
-  -R 'Parallel|Tracer|Telemetry|Fault'
+  -R 'Parallel|Tracer|Telemetry|Fault|Serve'
 
 echo "=== [4/4] benches + baseline diff"
 "${repo_root}/tools/run_benches.sh" "${prefix}-bench"

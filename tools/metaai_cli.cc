@@ -32,23 +32,49 @@
 //                        (EVM, per-subcarrier SNR, sync offsets, solver
 //                        curves, phase configs, constellation samples)
 // See README.md "Telemetry".
+#include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "common/parallel.h"
+#include "common/result.h"
 #include "core/metaai.h"
 #include "data/datasets.h"
 #include "fault/injector.h"
+#include "mts/config_cache.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "rf/geometry.h"
+#include "serve/generator.h"
+#include "serve/runtime.h"
 
 namespace {
 
 using namespace metaai;
+
+/// Unwraps a Result or exits with the typed error on stderr — malformed
+/// user input (bad model files, bad --faults specs) terminates with a
+/// diagnostic, never a Check abort.
+template <typename T>
+T OrDie(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.error().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+void OrDie(Result<void> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.error().ToString().c_str());
+    std::exit(1);
+  }
+}
 
 struct Args {
   std::string command;
@@ -85,6 +111,19 @@ Args Parse(int argc, char** argv) {
   return args;
 }
 
+/// Dataset selected by --dataset, optionally shrunk by
+/// --train-per-class / --test-per-class (smoke tests, quick demos).
+data::Dataset LoadDataset(const Args& args) {
+  data::DatasetOptions options;
+  if (args.Has("train-per-class")) {
+    options.train_per_class = std::stoull(args.Get("train-per-class"));
+  }
+  if (args.Has("test-per-class")) {
+    options.test_per_class = std::stoull(args.Get("test-per-class"));
+  }
+  return data::MakeByName(args.Get("dataset", "mnist"), options);
+}
+
 sim::OtaLinkConfig DefaultLink() {
   sim::OtaLinkConfig config;
   config.geometry = {.tx_distance_m = 1.0,
@@ -103,12 +142,13 @@ sim::OtaLinkConfig DefaultLink() {
 std::shared_ptr<const fault::FaultInjector> MakeFaults(const Args& args,
                                                        std::size_t atoms) {
   if (!args.Has("faults")) return nullptr;
-  const fault::FaultPlan plan = fault::ParseFaultSpec(args.Get("faults"));
+  const fault::FaultPlan plan =
+      OrDie(fault::TryParseFaultSpec(args.Get("faults")));
   return std::make_shared<const fault::FaultInjector>(plan, atoms);
 }
 
 int Train(const Args& args) {
-  const auto dataset = data::MakeByName(args.Get("dataset", "mnist"));
+  const auto dataset = LoadDataset(args);
   const std::string out = args.Get("out", "model.txt");
   Rng rng(std::stoull(args.Get("seed", "42")));
   core::TrainingOptions options;
@@ -119,7 +159,7 @@ int Train(const Args& args) {
     options.input_noise_variance = 0.02;
   }
   const auto model = core::TrainModel(dataset.train, options, rng);
-  core::SaveModel(model, out);
+  OrDie(core::TrySaveModel(model, out));
   std::printf("trained %s on %s (%zu samples), digital accuracy %.2f%%\n",
               out.c_str(), dataset.name.c_str(), dataset.train.size(),
               100.0 * core::EvaluateDigital(model, dataset.test));
@@ -127,19 +167,20 @@ int Train(const Args& args) {
 }
 
 int Eval(const Args& args) {
-  const auto dataset = data::MakeByName(args.Get("dataset", "mnist"));
-  const auto model = core::LoadModel(args.Get("model", "model.txt"));
+  const auto dataset = LoadDataset(args);
+  const auto model = OrDie(core::TryLoadModel(args.Get("model", "model.txt")));
   std::printf("%s digital accuracy: %.2f%%\n", dataset.name.c_str(),
               100.0 * core::EvaluateDigital(model, dataset.test));
   return 0;
 }
 
 int Deploy(const Args& args) {
-  const auto model = core::LoadModel(args.Get("model", "model.txt"));
+  const auto model = OrDie(core::TryLoadModel(args.Get("model", "model.txt")));
   const std::string out = args.Get("out", "patterns.txt");
   const mts::Metasurface surface{mts::MetasurfaceSpec{}};
   const core::Deployment deployment(model, surface, DefaultLink());
-  core::SavePatterns(deployment.schedules(), surface.num_atoms(), out);
+  OrDie(core::TrySavePatterns(deployment.schedules(), surface.num_atoms(),
+                              out));
   std::printf(
       "solved %zu rounds x %zu symbols (%zu atoms), mean residual %.4f -> "
       "%s\n",
@@ -150,8 +191,8 @@ int Deploy(const Args& args) {
 }
 
 int Ota(const Args& args) {
-  const auto dataset = data::MakeByName(args.Get("dataset", "mnist"));
-  const auto model = core::LoadModel(args.Get("model", "model.txt"));
+  const auto dataset = LoadDataset(args);
+  const auto model = OrDie(core::TryLoadModel(args.Get("model", "model.txt")));
   const auto samples =
       static_cast<std::size_t>(std::stoull(args.Get("samples", "200")));
   const mts::Metasurface surface{mts::MetasurfaceSpec{}};
@@ -199,7 +240,7 @@ int Ota(const Args& args) {
 }
 
 int Quickstart(const Args& args) {
-  const auto dataset = data::MakeByName(args.Get("dataset", "mnist"));
+  const auto dataset = LoadDataset(args);
   const auto samples =
       static_cast<std::size_t>(std::stoull(args.Get("samples", "50")));
   Rng rng(std::stoull(args.Get("seed", "42")));
@@ -242,6 +283,84 @@ int Quickstart(const Args& args) {
   return 0;
 }
 
+// Batched multi-tenant serving demo: N clients sharing one surface
+// (and one trained model, so the solver-result cache hits for every
+// client after the first), Poisson arrivals, TDMA frame batching.
+int Serve(const Args& args) {
+  const auto dataset = LoadDataset(args);
+  const auto num_clients =
+      static_cast<std::size_t>(std::stoull(args.Get("clients", "3")));
+  const double duration_s = std::stod(args.Get("duration", "0.2"));
+  const double rate_hz = std::stod(args.Get("rate", "50"));
+  Check(num_clients >= 1, "--clients must be >= 1");
+  Rng rng(std::stoull(args.Get("seed", "42")));
+
+  core::TrainingOptions training;
+  training.sync_error_injection = true;
+  training.sync_gamma_scale_us =
+      1.85 * sim::PaperEquivalentLatencyScale(dataset.train.dim);
+  training.input_noise_variance = 0.02;
+  const auto model = core::TrainModel(dataset.train, training, rng);
+
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  mts::ConfigCache cache;
+  std::vector<serve::ClientSpec> clients;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    clients.push_back({.name = "client" + std::to_string(c),
+                       .model = model,
+                       .link = DefaultLink(),
+                       .deployment = {}});
+  }
+  serve::RuntimeOptions options;
+  options.queue_capacity = static_cast<std::size_t>(
+      std::stoull(args.Get("queue-capacity", "64")));
+  options.frame_budget =
+      static_cast<std::size_t>(std::stoull(args.Get("frame-budget", "8")));
+  if (!args.Has("no-cache")) options.cache = &cache;
+  const serve::Runtime runtime(surface, std::move(clients), options);
+
+  const std::vector<serve::ClientWorkload> workload(
+      num_clients, {.arrival_rate_hz = rate_hz, .samples = &dataset.test});
+  const auto requests =
+      OrDie(serve::GenerateWorkload(workload, duration_s, rng));
+
+  sim::SyncModelConfig sync_config;
+  sync_config.latency_scale =
+      sim::PaperEquivalentLatencyScale(dataset.train.dim);
+  const sim::SyncModel sync(sim::SyncMode::kCdfa, sync_config);
+  const serve::ServeResult result =
+      args.Has("unbatched") ? runtime.RunUnbatched(requests, sync, rng)
+                            : runtime.Run(requests, sync, rng);
+  const serve::ServeStats& stats = result.stats;
+  std::printf(
+      "served %zu/%zu requests from %zu clients in %.4f s virtual "
+      "(%zu frames%s)\n",
+      stats.served, stats.submitted, num_clients, stats.virtual_duration_s,
+      stats.frames, args.Has("unbatched") ? ", unbatched" : "");
+  std::printf("queue wait p50/p99: %.1f/%.1f us, latency p50/p99: "
+              "%.1f/%.1f us\n",
+              1e6 * stats.queue_wait_p50_s, 1e6 * stats.queue_wait_p99_s,
+              1e6 * stats.latency_p50_s, 1e6 * stats.latency_p99_s);
+  if (stats.rejected() > 0) {
+    std::printf("rejected %zu (queue_full %zu, bad_input %zu, "
+                "unknown_client %zu)\n",
+                stats.rejected(), stats.rejected_queue_full,
+                stats.rejected_bad_input, stats.rejected_unknown_client);
+  }
+  if (stats.labeled > 0) {
+    std::printf("served accuracy: %.2f%% (%zu labeled)\n",
+                100.0 * static_cast<double>(stats.correct) /
+                    static_cast<double>(stats.labeled),
+                stats.labeled);
+  }
+  const mts::ConfigCache::Stats cache_stats = cache.stats();
+  std::printf("solver cache: %llu hits, %llu misses (hit rate %.0f%%)\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              100.0 * cache_stats.HitRate());
+  return 0;
+}
+
 int Datasets() {
   for (const auto& name : data::AllDatasetNames()) {
     const auto ds = data::MakeByName(
@@ -262,8 +381,17 @@ int Usage() {
       "  deploy     --model FILE --out FILE\n"
       "  ota        --dataset NAME --model FILE [--samples N] [--seed N]\n"
       "             [--faults SPEC] [--recover]\n"
+      "  serve      --dataset NAME [--clients N] [--duration S] [--rate HZ]\n"
+      "             [--queue-capacity N] [--frame-budget N] [--no-cache]\n"
+      "             [--unbatched] [--seed N]\n"
       "  quickstart --dataset NAME [--samples N] [--seed N]\n"
       "  datasets\n"
+      "All dataset commands accept --train-per-class N / --test-per-class N\n"
+      "to shrink the synthetic datasets (quick demos, smoke tests).\n"
+      "`serve` runs the batched multi-tenant serving runtime: N clients\n"
+      "share the surface in TDMA frames with fair slot allocation, bounded\n"
+      "queues and a solver-result cache (--no-cache disables it;\n"
+      "--unbatched serves one request per frame as a naive baseline).\n"
       "--faults injects seeded hardware faults, e.g.\n"
       "\"stuck=0.1,chain=1e-4,drift=0.01,age=60,burst=0.05:20,seed=7\"\n"
       "(stuck PIN drivers, shift-chain bit flips, aging phase drift, sync\n"
@@ -284,9 +412,29 @@ int Dispatch(const Args& args) {
   if (args.command == "eval") return Eval(args);
   if (args.command == "deploy") return Deploy(args);
   if (args.command == "ota") return Ota(args);
+  if (args.command == "serve") return Serve(args);
   if (args.command == "quickstart") return Quickstart(args);
   if (args.command == "datasets") return Datasets();
   return Usage();
+}
+
+/// Every flag any command accepts. A flag outside this list is a hard
+/// error — silently ignoring a typo ("--sample 10") would quietly run
+/// with defaults.
+constexpr std::array<std::string_view, 21> kKnownFlags = {
+    "dataset",         "out",            "model",        "samples",
+    "seed",            "robust",         "recover",      "faults",
+    "threads",         "metrics-out",    "trace-out",    "probes-out",
+    "train-per-class", "test-per-class", "clients",      "duration",
+    "rate",            "queue-capacity", "frame-budget", "no-cache",
+    "unbatched",
+};
+
+bool FlagKnown(const std::string& key) {
+  for (const std::string_view known : kKnownFlags) {
+    if (key == known) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -294,6 +442,15 @@ int Dispatch(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = Parse(argc, argv);
+    for (const auto& [key, value] : args.options) {
+      if (!FlagKnown(key)) {
+        std::fprintf(stderr,
+                     "error: unknown flag --%s\n"
+                     "run metaai_cli with no arguments for usage\n",
+                     key.c_str());
+        return 2;
+      }
+    }
     if (args.Has("threads")) {
       const int threads = std::stoi(args.Get("threads"));
       Check(threads >= 1 && threads <= par::kMaxThreads,
