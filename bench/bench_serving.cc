@@ -9,23 +9,29 @@
 // naive baseline maps every tenant from scratch and processes requests
 // strictly one at a time, one single-slot frame each.
 //
-// Reported: wall-clock serving throughput at 1/2/8 threads, the
+// Reported: wall-clock serving throughput at 1/2/4/8 threads, the
 // end-to-end (map all tenants + serve the trace) batched-vs-naive
 // speedup at 8 threads (hard-gated at >= 2x), virtual
-// queue-wait/latency percentiles, and the mapping cache hit rate. The
-// end-to-end framing matters: the serving fan-out only buys wall-clock
-// time when cores are available, so on a single-core host the speedup
-// comes from the cache deduplicating the per-tenant mapping solve,
-// and extra cores widen the gap through the batched frame fan-out. The
-// bench also verifies the determinism contract: predictions are
-// byte-identical across thread counts, frame budgets, cached/uncached
-// mapping, and batched/naive execution.
+// queue-wait/latency p50/p99/p999, the per-stage lifecycle breakdown
+// (admission -> queue wait -> batching -> solve -> airtime -> demod),
+// goodput under each tenant's SLO, per-inference energy from the link
+// budget, and the mapping cache hit rate. The end-to-end framing
+// matters: the serving fan-out only buys wall-clock time when cores are
+// available, so on a single-core host the speedup comes from the cache
+// deduplicating the per-tenant mapping solve, and extra cores widen the
+// gap through the batched frame fan-out. The bench also verifies the
+// determinism contract: predictions are byte-identical across thread
+// counts, frame budgets, cached/uncached mapping, and batched/naive
+// execution, and the lifecycle-trace + time-series exports are bitwise
+// identical at 1/2/4/8 threads.
 #include <chrono>
 
 #include "bench_util.h"
 
 #include "common/table.h"
 #include "mts/config_cache.h"
+#include "obs/lifecycle.h"
+#include "obs/timeseries.h"
 #include "serve/generator.h"
 #include "serve/runtime.h"
 
@@ -39,10 +45,14 @@ constexpr double kTraceDurationS = 0.02;
 std::vector<serve::ClientSpec> MakeClients(const core::TrainedModel& model) {
   std::vector<serve::ClientSpec> clients;
   for (std::size_t c = 0; c < kClients; ++c) {
+    // Staggered end-to-end latency targets (50..120 ms): under the
+    // shared-frame backlog some tenants meet their SLO and some burn
+    // it, which is what the goodput/violation accounting measures.
     clients.push_back({.name = "edge" + std::to_string(c),
                        .model = model,
                        .link = DefaultLinkConfig(),
-                       .deployment = {}});
+                       .deployment = {},
+                       .slo_latency_s = 0.05 + 0.01 * static_cast<double>(c)});
   }
   return clients;
 }
@@ -103,8 +113,10 @@ int Run(BenchReport& report) {
               {"Config", "Wall s", "Throughput req/s", "Virtual p50 lat us",
                "Virtual p99 lat us", "Frames"});
   std::vector<int> reference;
+  std::string reference_requests_jsonl;
+  std::string reference_timeseries_jsonl;
   double batched_8t_s = 0.0;
-  for (const int threads : {1, 2, 8}) {
+  for (const int threads : {1, 2, 4, 8}) {
     const par::ScopedThreadCount scoped(threads);
     Rng serve_rng(92);
     const auto start = std::chrono::steady_clock::now();
@@ -121,24 +133,94 @@ int Run(BenchReport& report) {
     report.Headline("throughput_batched_" + std::to_string(threads) +
                         "t_per_s",
                     throughput);
+    const std::string requests_jsonl =
+        obs::ToRequestsJsonl(result.request_log);
+    const std::string timeseries_jsonl =
+        obs::ToTimeSeriesJsonl(result.timeseries);
     if (threads == 1) {
       reference = Predictions(result);
+      reference_requests_jsonl = requests_jsonl;
+      reference_timeseries_jsonl = timeseries_jsonl;
       report.Headline("served", static_cast<double>(result.stats.served));
       report.Headline("latency_p50_us", result.stats.latency_p50_s * 1e6);
       report.Headline("latency_p99_us", result.stats.latency_p99_s * 1e6);
+      report.Headline("latency_p999_us", result.stats.latency_p999_s * 1e6);
       report.Headline("queue_wait_p50_us",
                       result.stats.queue_wait_p50_s * 1e6);
       report.Headline("queue_wait_p99_us",
                       result.stats.queue_wait_p99_s * 1e6);
+      report.Headline("queue_wait_p999_us",
+                      result.stats.queue_wait_p999_s * 1e6);
+      report.Headline("slo_within",
+                      static_cast<double>(result.stats.slo_within));
+      report.Headline("slo_violations",
+                      static_cast<double>(result.stats.slo_violations));
+      report.Headline("goodput_slo_rps", result.stats.goodput_slo_rps);
+      report.Headline("energy_total_mj", result.stats.energy_total_j * 1e3);
+      report.Headline("energy_per_inference_mj",
+                      result.stats.energy_per_inference_j * 1e3);
       report.Headline(
           "accuracy",
           static_cast<double>(result.stats.correct) /
               static_cast<double>(result.stats.labeled));
-    } else if (Predictions(result) != reference) {
-      std::fprintf(stderr,
-                   "FAILED: predictions at %d threads diverge from serial\n",
-                   threads);
-      return 1;
+
+      // Per-stage lifecycle breakdown over the serial run's traces.
+      const obs::StageTails tails =
+          obs::DigestStages(result.request_log.traces);
+      Table stages("Serving: per-stage latency breakdown",
+                   {"Stage", "p50 us", "p99 us", "p999 us"});
+      for (std::size_t s = 0; s < obs::kNumRequestStages; ++s) {
+        stages.AddRow({std::string(obs::RequestStageName(
+                           static_cast<obs::RequestStage>(s))),
+                       FormatDouble(tails.stage[s].p50 * 1e6, 1),
+                       FormatDouble(tails.stage[s].p99 * 1e6, 1),
+                       FormatDouble(tails.stage[s].p999 * 1e6, 1)});
+      }
+      stages.AddRow({"end_to_end", FormatDouble(tails.latency.p50 * 1e6, 1),
+                     FormatDouble(tails.latency.p99 * 1e6, 1),
+                     FormatDouble(tails.latency.p999 * 1e6, 1)});
+      stages.Print(std::cout);
+
+      // Per-tenant SLO table.
+      Table tenants("Serving: per-tenant SLO",
+                    {"Tenant", "Served", "SLO ms", "Within", "Violations",
+                     "p99 us", "Energy mJ"});
+      for (const serve::TenantStats& tenant : result.stats.tenants) {
+        tenants.AddRow({tenant.name, std::to_string(tenant.served),
+                        FormatDouble(tenant.slo_s * 1e3, 0),
+                        std::to_string(tenant.slo_within),
+                        std::to_string(tenant.slo_violations),
+                        FormatDouble(tenant.latency_p99_s * 1e6, 1),
+                        FormatDouble(tenant.energy_j * 1e3, 3)});
+      }
+      tenants.Print(std::cout);
+
+      // Export the serial run's lifecycle traces and time series next
+      // to the BENCH json so the obs-report tool can render them.
+      if (const char* dir = std::getenv("METAAI_BENCH_OUT")) {
+        obs::WriteRequestsFile(result.request_log,
+                               std::string(dir) + "/REQUESTS_serving.jsonl");
+        obs::WriteTimeSeriesFile(
+            result.timeseries,
+            std::string(dir) + "/TIMESERIES_serving.jsonl");
+      }
+    } else {
+      if (Predictions(result) != reference) {
+        std::fprintf(stderr,
+                     "FAILED: predictions at %d threads diverge from serial\n",
+                     threads);
+        return 1;
+      }
+      // The acceptance gate: lifecycle-trace and time-series exports
+      // must be bitwise identical for any thread count.
+      if (requests_jsonl != reference_requests_jsonl ||
+          timeseries_jsonl != reference_timeseries_jsonl) {
+        std::fprintf(stderr,
+                     "FAILED: telemetry exports at %d threads diverge from "
+                     "serial\n",
+                     threads);
+        return 1;
+      }
     }
   }
 
@@ -194,11 +276,30 @@ int Run(BenchReport& report) {
                               {.frame_budget = 1, .cache = &cache});
     Rng drip_rng(92);
     Rng uncached_rng(92);
+    serve::ServeResult uncached = naive.Run(requests, sync, uncached_rng);
     if (Predictions(drip.Run(requests, sync, drip_rng)) != reference ||
-        Predictions(naive.Run(requests, sync, uncached_rng)) != reference) {
+        Predictions(uncached) != reference) {
       std::fprintf(stderr,
                    "FAILED: frame-budget or cache composition changed "
                    "predictions\n");
+      return 1;
+    }
+    // Cached and uncached serving differ only in the traces' mapping
+    // provenance flag: normalizing it must recover the exact bytes of
+    // the cached run's export.
+    for (obs::RequestTrace& trace : uncached.request_log.traces) {
+      trace.cache_hit = true;
+    }
+    std::string normalized_reference = reference_requests_jsonl;
+    std::size_t pos = 0;
+    while ((pos = normalized_reference.find("\"cache_hit\":false", pos)) !=
+           std::string::npos) {
+      normalized_reference.replace(pos, 17, "\"cache_hit\":true");
+    }
+    if (obs::ToRequestsJsonl(uncached.request_log) != normalized_reference) {
+      std::fprintf(stderr,
+                   "FAILED: uncached lifecycle traces diverge beyond the "
+                   "cache_hit flag\n");
       return 1;
     }
   }

@@ -20,6 +20,7 @@ std::vector<std::size_t> AllocateSlots(std::span<const std::size_t> pending,
       }
     }
   }
+  obs::Count("scheduler.slot_allocations");
   return granted;
 }
 

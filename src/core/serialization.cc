@@ -212,22 +212,4 @@ Result<MappedSchedules> TryLoadPatterns(const std::filesystem::path& path,
   return schedules;
 }
 
-void SaveModel(const TrainedModel& model, const std::filesystem::path& path) {
-  TrySaveModel(model, path).value();
-}
-
-TrainedModel LoadModel(const std::filesystem::path& path) {
-  return TryLoadModel(path).value();
-}
-
-void SavePatterns(const MappedSchedules& schedules, std::size_t num_atoms,
-                  const std::filesystem::path& path) {
-  TrySavePatterns(schedules, num_atoms, path).value();
-}
-
-MappedSchedules LoadPatterns(const std::filesystem::path& path,
-                             std::size_t expected_atoms) {
-  return TryLoadPatterns(path, expected_atoms).value();
-}
-
 }  // namespace metaai::core

@@ -39,20 +39,4 @@ Result<void> TrySavePatterns(const MappedSchedules& schedules,
 Result<MappedSchedules> TryLoadPatterns(const std::filesystem::path& path,
                                         std::size_t expected_atoms);
 
-/// Deprecated throwing shims kept for one PR: identical behavior to the
-/// Try* forms except failures surface as CheckError.
-[[deprecated("use TrySaveModel")]]
-void SaveModel(const TrainedModel& model, const std::filesystem::path& path);
-
-[[deprecated("use TryLoadModel")]]
-TrainedModel LoadModel(const std::filesystem::path& path);
-
-[[deprecated("use TrySavePatterns")]]
-void SavePatterns(const MappedSchedules& schedules, std::size_t num_atoms,
-                  const std::filesystem::path& path);
-
-[[deprecated("use TryLoadPatterns")]]
-MappedSchedules LoadPatterns(const std::filesystem::path& path,
-                             std::size_t expected_atoms);
-
 }  // namespace metaai::core

@@ -297,6 +297,7 @@ MappedSchedules MapWeights(const ComplexMatrix& weights,
     restored.outputs = std::move(hit->outputs);
     restored.scale = hit->scale;
     restored.mean_relative_residual = hit->mean_relative_residual;
+    restored.from_cache = true;
     return restored;
   }
   MappedSchedules mapped = Solve(scheme, weights, link, options);
@@ -304,22 +305,6 @@ MappedSchedules MapWeights(const ComplexMatrix& weights,
       key, mts::CachedConfig{mapped.rounds, mapped.outputs, mapped.scale,
                              mapped.mean_relative_residual});
   return mapped;
-}
-
-MappedSchedules MapSequential(const ComplexMatrix& weights,
-                              const sim::OtaLink& link,
-                              const MappingOptions& options) {
-  MappingOptions sequential = options;
-  sequential.scheme = MappingScheme::kSequential;
-  return MapWeights(weights, link, sequential);
-}
-
-MappedSchedules MapParallel(const ComplexMatrix& weights,
-                            const sim::OtaLink& link,
-                            const MappingOptions& options) {
-  MappingOptions parallel = options;
-  parallel.scheme = MappingScheme::kParallel;
-  return MapWeights(weights, link, parallel);
 }
 
 }  // namespace metaai::core

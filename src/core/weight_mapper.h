@@ -81,6 +81,11 @@ struct MappedSchedules {
   double scale = 0.0;
   /// Mean solver residual relative to the scaled target magnitude.
   double mean_relative_residual = 0.0;
+  /// Provenance: true when this mapping was restored from an
+  /// mts::ConfigCache hit instead of solved fresh (the serving
+  /// runtime's lifecycle traces report it per tenant). Hits are
+  /// bitwise identical to a fresh solve; only this flag differs.
+  bool from_cache = false;
 };
 
 /// Maps `weights` onto the link's metasurface with the scheme selected
@@ -94,16 +99,5 @@ MappedSchedules MapWeights(const ComplexMatrix& weights,
 std::string MappingCacheKey(const ComplexMatrix& weights,
                             const sim::OtaLink& link,
                             const MappingOptions& options);
-
-/// Deprecated shims kept for one PR: MapWeights with an explicit scheme.
-[[deprecated("use MapWeights with MappingScheme::kSequential")]]
-MappedSchedules MapSequential(const ComplexMatrix& weights,
-                              const sim::OtaLink& link,
-                              const MappingOptions& options = {});
-
-[[deprecated("use MapWeights with MappingScheme::kParallel")]]
-MappedSchedules MapParallel(const ComplexMatrix& weights,
-                            const sim::OtaLink& link,
-                            const MappingOptions& options = {});
 
 }  // namespace metaai::core

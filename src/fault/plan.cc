@@ -118,10 +118,6 @@ Result<FaultPlan> TryParseFaultSpec(const std::string& spec) {
   return plan;
 }
 
-FaultPlan ParseFaultSpec(const std::string& spec) {
-  return TryParseFaultSpec(spec).value();
-}
-
 std::string FaultSpecString(const FaultPlan& plan) {
   std::ostringstream out;
   if (plan.stuck.fraction > 0.0) out << "stuck=" << plan.stuck.fraction << ",";

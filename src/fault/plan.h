@@ -67,11 +67,6 @@ struct FaultPlan {
 /// values as ErrorCode::kInvalidArgument.
 Result<FaultPlan> TryParseFaultSpec(const std::string& spec);
 
-/// Deprecated throwing shim kept for one PR: TryParseFaultSpec with
-/// failures surfaced as CheckError.
-[[deprecated("use TryParseFaultSpec")]]
-FaultPlan ParseFaultSpec(const std::string& spec);
-
 /// Canonical round-trippable spec string for a plan (only active models
 /// are emitted; "seed=N" always is).
 std::string FaultSpecString(const FaultPlan& plan);

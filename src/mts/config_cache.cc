@@ -45,10 +45,12 @@ std::optional<CachedConfig> ConfigCache::Lookup(const std::string& key) {
   if (it == index_.end()) {
     ++stats_.misses;
     obs::Count("cache.misses");
+    obs::SetGauge("cache.hit_rate", stats_.HitRate());
     return std::nullopt;
   }
   ++stats_.hits;
   obs::Count("cache.hits");
+  obs::SetGauge("cache.hit_rate", stats_.HitRate());
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->value;
 }

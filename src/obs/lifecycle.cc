@@ -1,0 +1,146 @@
+#include "obs/lifecycle.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/export.h"
+
+namespace metaai::obs {
+namespace {
+
+/// Splits `text` into lines, dropping a trailing empty line.
+std::vector<std::string_view> Lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    if (eol == std::string_view::npos) {
+      lines.push_back(text);
+      break;
+    }
+    lines.push_back(text.substr(0, eol));
+    text.remove_prefix(eol + 1);
+  }
+  return lines;
+}
+
+const JsonValue& Member(const JsonValue& object, std::string_view key) {
+  const JsonValue* value = object.Find(key);
+  Check(value != nullptr,
+        "metaai.requests.v1: missing member \"" + std::string(key) + "\"");
+  return *value;
+}
+
+}  // namespace
+
+std::string_view RequestStageName(RequestStage stage) {
+  switch (stage) {
+    case RequestStage::kAdmission:
+      return "admission";
+    case RequestStage::kQueueWait:
+      return "queue_wait";
+    case RequestStage::kBatching:
+      return "batching";
+    case RequestStage::kSolve:
+      return "solve";
+    case RequestStage::kAirtime:
+      return "airtime";
+    case RequestStage::kDemod:
+      return "demod";
+  }
+  throw CheckError("unknown request stage");
+}
+
+double RequestTrace::Latency() const {
+  double total = 0.0;
+  for (const double s : stage_s) total += s;
+  return total;
+}
+
+StageTails DigestStages(std::span<const RequestTrace> traces) {
+  StageTails tails;
+  std::vector<double> sample(traces.size(), 0.0);
+  for (std::size_t s = 0; s < kNumRequestStages; ++s) {
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      sample[i] = traces[i].stage_s[s];
+    }
+    tails.stage[s] = DigestTails(sample);
+  }
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    sample[i] = traces[i].Latency();
+  }
+  tails.latency = DigestTails(sample);
+  return tails;
+}
+
+void WriteRequestsJsonl(const RequestLog& log, std::ostream& os) {
+  os << "{\"schema\":\"metaai.requests.v1\",\"tenants\":[";
+  for (std::size_t i = 0; i < log.tenants.size(); ++i) {
+    os << (i > 0 ? "," : "") << JsonString(log.tenants[i]);
+  }
+  os << "],\"count\":" << log.traces.size() << "}\n";
+  for (const RequestTrace& trace : log.traces) {
+    os << "{\"id\":" << trace.id << ",\"tenant\":" << trace.tenant
+       << ",\"cache_hit\":" << (trace.cache_hit ? "true" : "false")
+       << ",\"arrival_s\":" << JsonNumber(trace.arrival_s)
+       << ",\"slo_s\":" << JsonNumber(trace.slo_s) << ",\"stage_s\":[";
+    for (std::size_t s = 0; s < kNumRequestStages; ++s) {
+      os << (s > 0 ? "," : "") << JsonNumber(trace.stage_s[s]);
+    }
+    os << "],\"energy_j\":" << JsonNumber(trace.energy_j) << "}\n";
+  }
+}
+
+std::string ToRequestsJsonl(const RequestLog& log) {
+  std::ostringstream os;
+  WriteRequestsJsonl(log, os);
+  return os.str();
+}
+
+bool WriteRequestsFile(const RequestLog& log, const std::string& path) {
+  std::ofstream os(path);
+  if (!os.good()) return false;
+  WriteRequestsJsonl(log, os);
+  return os.good();
+}
+
+RequestLog ParseRequestsJsonl(std::string_view text) {
+  const std::vector<std::string_view> lines = Lines(text);
+  Check(!lines.empty(), "metaai.requests.v1: empty document");
+  const JsonValue header = ParseJson(lines[0]);
+  const JsonValue* schema = header.Find("schema");
+  Check(schema != nullptr && schema->string == "metaai.requests.v1",
+        "metaai.requests.v1: bad schema header");
+  RequestLog log;
+  for (const JsonValue& tenant : Member(header, "tenants").array) {
+    log.tenants.push_back(tenant.string);
+  }
+  const std::size_t count =
+      static_cast<std::size_t>(Member(header, "count").number);
+  Check(lines.size() == count + 1,
+        "metaai.requests.v1: count does not match record lines");
+  log.traces.reserve(count);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const JsonValue record = ParseJson(lines[i]);
+    RequestTrace trace;
+    trace.id = static_cast<std::uint64_t>(Member(record, "id").number);
+    trace.tenant = static_cast<std::uint32_t>(Member(record, "tenant").number);
+    Check(trace.tenant < log.tenants.size(),
+          "metaai.requests.v1: tenant index out of range");
+    trace.cache_hit = Member(record, "cache_hit").boolean;
+    trace.arrival_s = Member(record, "arrival_s").number;
+    trace.slo_s = Member(record, "slo_s").number;
+    const JsonValue& stages = Member(record, "stage_s");
+    Check(stages.array.size() == kNumRequestStages,
+          "metaai.requests.v1: stage_s must have one entry per stage");
+    for (std::size_t s = 0; s < kNumRequestStages; ++s) {
+      trace.stage_s[s] = stages.array[s].number;
+    }
+    trace.energy_j = Member(record, "energy_j").number;
+    log.traces.push_back(std::move(trace));
+  }
+  return log;
+}
+
+}  // namespace metaai::obs

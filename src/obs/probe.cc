@@ -31,6 +31,8 @@ std::string_view ProbeKindName(ProbeKind kind) {
       return "fault";
     case ProbeKind::kServe:
       return "serve";
+    case ProbeKind::kSloViolation:
+      return "slo_violation";
   }
   throw CheckError("unknown probe kind");
 }

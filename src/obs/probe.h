@@ -47,6 +47,7 @@ enum class ProbeKind {
   kSpectrum,       // per-subcarrier power of one OFDM symbol
   kFault,          // fault diagnosis / recovery event (stuck counts, WDD)
   kServe,          // serving-runtime event (frame dispatch, admission)
+  kSloViolation,   // a served request missed its tenant's latency SLO
 };
 
 std::string_view ProbeKindName(ProbeKind kind);

@@ -1,0 +1,45 @@
+#include "obs/quantiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace metaai::obs {
+namespace {
+
+double SortedNearestRank(std::span<const double> sorted, double q) {
+  Check(q > 0.0 && q <= 1.0, "nearest-rank percentile requires q in (0, 1]");
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank > 0 ? rank - 1 : 0, sorted.size() - 1)];
+}
+
+}  // namespace
+
+double NearestRankPercentile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return SortedNearestRank(sorted, q);
+}
+
+std::vector<double> NearestRankPercentiles(std::span<const double> values,
+                                           std::span<const double> qs) {
+  std::vector<double> results(qs.size(), 0.0);
+  if (values.empty()) return results;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    results[i] = SortedNearestRank(sorted, qs[i]);
+  }
+  return results;
+}
+
+TailDigest DigestTails(std::span<const double> values) {
+  static constexpr double kQs[] = {0.50, 0.99, 0.999};
+  const std::vector<double> ps = NearestRankPercentiles(values, kQs);
+  return {.p50 = ps[0], .p99 = ps[1], .p999 = ps[2]};
+}
+
+}  // namespace metaai::obs

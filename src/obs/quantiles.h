@@ -1,0 +1,41 @@
+// Shared nearest-rank percentile helpers.
+//
+// Latency reporting across the serving stack (ServeStats, bench
+// headline tables, the obs report tool) uses nearest-rank percentiles:
+// the value at rank ceil(q * n) of the sorted sample — an actual
+// observed value, never an interpolation, which is the right convention
+// for tail latencies (p99/p999 of 47 samples is the worst sample, not a
+// number between two samples). This is distinct from the
+// linear-interpolated metaai::Percentile in common/stats.h, which the
+// figure-reproduction benches use for CDF readouts.
+//
+// All helpers sort once; TailDigest is the standard p50/p99/p999 readout
+// minted for SLO accounting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace metaai::obs {
+
+/// Nearest-rank percentile, q in (0, 1]; returns 0 for an empty sample.
+double NearestRankPercentile(std::span<const double> values, double q);
+
+/// Batch of nearest-rank percentiles from one sort of `values`:
+/// results[i] corresponds to qs[i]. Prefer this over repeated
+/// NearestRankPercentile calls (each re-copies and re-sorts).
+std::vector<double> NearestRankPercentiles(std::span<const double> values,
+                                           std::span<const double> qs);
+
+/// The standard tail readout: p50/p99/p999 from one sort.
+struct TailDigest {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+
+  bool operator==(const TailDigest&) const = default;
+};
+
+TailDigest DigestTails(std::span<const double> values);
+
+}  // namespace metaai::obs

@@ -1,0 +1,195 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "obs/export.h"
+#include "obs/lifecycle.h"
+#include "obs/timeseries.h"
+
+namespace metaai::obs {
+namespace {
+
+std::string Us(double seconds) { return FormatDouble(seconds * 1e6, 3); }
+
+/// Per-tenant aggregation of a request log.
+struct TenantRow {
+  std::size_t served = 0;
+  bool cache_hit = false;
+  double slo_s = 0.0;
+  std::size_t slo_within = 0;
+  std::size_t slo_violations = 0;
+  std::vector<double> latencies;
+  double energy_j = 0.0;
+};
+
+void RenderRequests(const std::string& requests_jsonl, std::ostream& os) {
+  const RequestLog log = ParseRequestsJsonl(requests_jsonl);
+  const StageTails tails = DigestStages(log.traces);
+
+  Table stages("Stage latency over " + std::to_string(log.traces.size()) +
+                   " served requests",
+               {"stage", "p50_us", "p99_us", "p999_us"});
+  for (std::size_t s = 0; s < kNumRequestStages; ++s) {
+    stages.AddRow({std::string(RequestStageName(static_cast<RequestStage>(s))),
+                   Us(tails.stage[s].p50), Us(tails.stage[s].p99),
+                   Us(tails.stage[s].p999)});
+  }
+  stages.AddRow({"end_to_end", Us(tails.latency.p50), Us(tails.latency.p99),
+                 Us(tails.latency.p999)});
+  os << stages.ToString() << '\n';
+
+  std::vector<TenantRow> tenants(log.tenants.size());
+  double energy_total_j = 0.0;
+  std::size_t within = 0;
+  std::size_t violations = 0;
+  for (const RequestTrace& trace : log.traces) {
+    TenantRow& row = tenants[trace.tenant];
+    ++row.served;
+    row.cache_hit = row.cache_hit || trace.cache_hit;
+    row.slo_s = trace.slo_s;
+    if (trace.SloViolated()) {
+      ++row.slo_violations;
+      ++violations;
+    } else {
+      ++row.slo_within;
+      ++within;
+    }
+    row.latencies.push_back(trace.Latency());
+    row.energy_j += trace.energy_j;
+    energy_total_j += trace.energy_j;
+  }
+
+  Table per_tenant("Per-tenant serving",
+                   {"tenant", "served", "cache", "slo_ms", "within",
+                    "violations", "p50_us", "p99_us", "p999_us", "energy_uj"});
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const TenantRow& row = tenants[t];
+    const TailDigest digest = DigestTails(row.latencies);
+    per_tenant.AddRow({log.tenants[t], std::to_string(row.served),
+                       row.cache_hit ? "hit" : "solve",
+                       FormatDouble(row.slo_s * 1e3, 3),
+                       std::to_string(row.slo_within),
+                       std::to_string(row.slo_violations), Us(digest.p50),
+                       Us(digest.p99), Us(digest.p999),
+                       FormatDouble(row.energy_j * 1e6, 3)});
+  }
+  os << per_tenant.ToString() << '\n';
+
+  os << "SLO: " << within << '/' << log.traces.size()
+     << " within target, " << violations << " violations\n";
+  const double per_inference_j =
+      log.traces.empty() ? 0.0
+                         : energy_total_j /
+                               static_cast<double>(log.traces.size());
+  os << "Energy: total " << FormatDouble(energy_total_j * 1e6, 3)
+     << " uJ, per inference " << FormatDouble(per_inference_j * 1e6, 3)
+     << " uJ\n\n";
+}
+
+void RenderProbes(const std::string& probes_jsonl, std::ostream& os) {
+  std::string_view text = probes_jsonl;
+  std::vector<std::string_view> lines;
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    if (eol == std::string_view::npos) {
+      lines.push_back(text);
+      break;
+    }
+    lines.push_back(text.substr(0, eol));
+    text.remove_prefix(eol + 1);
+  }
+  Check(!lines.empty(), "metaai.probes.v1: empty document");
+  const JsonValue header = ParseJson(lines[0]);
+  const JsonValue* schema = header.Find("schema");
+  Check(schema != nullptr && schema->string == "metaai.probes.v1",
+        "metaai.probes.v1: bad schema header");
+  const JsonValue* total = header.Find("total");
+  const JsonValue* dropped = header.Find("dropped");
+  Check(total != nullptr && dropped != nullptr,
+        "metaai.probes.v1: header needs total/dropped");
+
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const JsonValue record = ParseJson(lines[i]);
+    const JsonValue* site = record.Find("site");
+    const JsonValue* kind = record.Find("kind");
+    Check(site != nullptr && kind != nullptr,
+          "metaai.probes.v1: record needs site and kind");
+    ++counts[{site->string, kind->string}];
+  }
+
+  Table probes("Probes (total " +
+                   std::to_string(static_cast<std::uint64_t>(total->number)) +
+                   ", dropped " +
+                   std::to_string(
+                       static_cast<std::uint64_t>(dropped->number)) +
+                   ")",
+               {"site", "kind", "count"});
+  for (const auto& [key, count] : counts) {
+    probes.AddRow({key.first, key.second, std::to_string(count)});
+  }
+  os << probes.ToString() << '\n';
+}
+
+void RenderTimeSeries(const std::string& timeseries_jsonl, std::ostream& os) {
+  const std::vector<TimeSeriesPoint> points =
+      ParseTimeSeriesJsonl(timeseries_jsonl);
+  struct KeyStats {
+    std::size_t ticks = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double last = 0.0;
+  };
+  std::map<std::string, KeyStats> keys;
+  for (const TimeSeriesPoint& point : points) {
+    for (const auto& [name, value] : point.values) {
+      auto [it, inserted] = keys.try_emplace(name);
+      KeyStats& stats = it->second;
+      if (inserted) {
+        stats.min = value;
+        stats.max = value;
+      }
+      ++stats.ticks;
+      stats.min = std::min(stats.min, value);
+      stats.max = std::max(stats.max, value);
+      stats.last = value;
+    }
+  }
+  Table series("Time series (" + std::to_string(points.size()) + " ticks)",
+               {"key", "ticks", "min", "max", "last"});
+  for (const auto& [name, stats] : keys) {
+    series.AddRow({name, std::to_string(stats.ticks),
+                   FormatDouble(stats.min, 4), FormatDouble(stats.max, 4),
+                   FormatDouble(stats.last, 4)});
+  }
+  os << series.ToString() << '\n';
+}
+
+}  // namespace
+
+std::string RenderObsReport(const ObsReportInputs& inputs) {
+  std::ostringstream os;
+  os << "metaai obs report\n\n";
+  if (!inputs.requests_jsonl.empty()) RenderRequests(inputs.requests_jsonl, os);
+  if (!inputs.timeseries_jsonl.empty()) {
+    RenderTimeSeries(inputs.timeseries_jsonl, os);
+  }
+  if (!inputs.metrics_json.empty()) {
+    const RegistrySnapshot snapshot =
+        SnapshotFromJson(ParseJson(inputs.metrics_json));
+    os << SummaryTable(snapshot).ToString() << '\n';
+  }
+  if (!inputs.probes_jsonl.empty()) RenderProbes(inputs.probes_jsonl, os);
+  return os.str();
+}
+
+}  // namespace metaai::obs

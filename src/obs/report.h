@@ -1,0 +1,26 @@
+// Text report over the four telemetry exports: renders any subset of a
+// metrics document ("metaai.obs.v1"), a probe stream
+// ("metaai.probes.v1"), a time series ("metaai.timeseries.v1") and a
+// request log ("metaai.requests.v1") into one deterministic per-stage /
+// per-tenant console report. This is the library behind
+// tools/metaai_obs_report; the golden-file ctest pins the exact bytes.
+#pragma once
+
+#include <string>
+
+namespace metaai::obs {
+
+/// Raw document contents (not paths); an empty string omits that
+/// section.
+struct ObsReportInputs {
+  std::string metrics_json;
+  std::string probes_jsonl;
+  std::string timeseries_jsonl;
+  std::string requests_jsonl;
+};
+
+/// Renders the report. Identical inputs render to identical bytes;
+/// throws CheckError when a non-empty input fails to parse.
+std::string RenderObsReport(const ObsReportInputs& inputs);
+
+}  // namespace metaai::obs

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -52,6 +53,24 @@ struct ServeResponse {
   double finish_s = 0.0;
 };
 
+/// One tenant's slice of a run, aggregated from its lifecycle traces.
+struct TenantStats {
+  std::string name;
+  /// Latency target from the ClientSpec; 0 = no SLO (every served
+  /// request counts as within).
+  double slo_s = 0.0;
+  /// Whether this tenant's mapping was restored from mts::ConfigCache.
+  bool cache_hit = false;
+  std::size_t served = 0;
+  std::size_t slo_within = 0;
+  std::size_t slo_violations = 0;
+  /// End-to-end (arrival -> readout) nearest-rank percentiles.
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_p999_s = 0.0;
+  double energy_j = 0.0;
+};
+
 /// Aggregate virtual-time serving statistics for one Run.
 struct ServeStats {
   std::size_t submitted = 0;
@@ -61,15 +80,30 @@ struct ServeStats {
   std::size_t rejected_queue_full = 0;
   /// TDMA frames dispatched.
   std::size_t frames = 0;
-  /// Virtual time when the last inference finished.
+  /// Virtual time when the last inference finished its server-side
+  /// readout (end-to-end horizon).
   double virtual_duration_s = 0.0;
   /// Arrival -> slot start (queueing + frame position), nearest-rank
   /// percentiles over served requests.
   double queue_wait_p50_s = 0.0;
   double queue_wait_p99_s = 0.0;
-  /// Arrival -> finish (queueing + OTA transmission).
+  double queue_wait_p999_s = 0.0;
+  /// End-to-end latency (arrival -> readout): the lifecycle-trace stage
+  /// sum, so queueing + batching + OTA transmission + demod.
   double latency_p50_s = 0.0;
   double latency_p99_s = 0.0;
+  double latency_p999_s = 0.0;
+  /// SLO accounting over served requests (a tenant without a target
+  /// counts every served request as within).
+  std::size_t slo_within = 0;
+  std::size_t slo_violations = 0;
+  /// SLO-compliant requests per second of virtual time.
+  double goodput_slo_rps = 0.0;
+  /// Link-budget energy estimate summed over served requests.
+  double energy_total_j = 0.0;
+  double energy_per_inference_j = 0.0;
+  /// One entry per client, in client-index order.
+  std::vector<TenantStats> tenants;
   /// Served predictions matching the request label, over requests that
   /// carried one.
   std::size_t labeled = 0;

@@ -1,26 +1,18 @@
 #include "serve/runtime.h"
 
 #include <algorithm>
-#include <cmath>
 #include <deque>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
 #include "obs/obs.h"
 #include "obs/parallel.h"
+#include "obs/quantiles.h"
 
 namespace metaai::serve {
 namespace {
-
-/// Nearest-rank percentile (q in (0, 1]) of an unsorted sample.
-double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(values.size())));
-  return values[std::min(rank > 0 ? rank - 1 : 0, values.size() - 1)];
-}
 
 void CheckTraceOrdered(std::span<const ServeRequest> requests) {
   for (std::size_t i = 1; i < requests.size(); ++i) {
@@ -56,10 +48,18 @@ ServeResponse Rejected(const ServeRequest& request, RejectReason reason) {
           .arrival_s = request.arrival_s};
 }
 
-/// Fills the percentile/accuracy fields of `stats` from the final
-/// response trace.
+/// Fills the percentile/SLO/energy/accuracy fields of `stats` from the
+/// final response trace and the lifecycle traces (`traces` is indexed
+/// by submission order; only served entries are meaningful), compacts
+/// the served traces into `log`, and emits the serve.* instruments —
+/// all from the serial epilogue, so histogram sums and probe order are
+/// thread-count invariant.
 void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
-                   std::span<const ServeRequest> requests) {
+                   std::span<const ServeRequest> requests,
+                   std::span<const obs::RequestTrace> traces,
+                   std::vector<std::string> tenant_names,
+                   obs::RequestLog& log) {
+  log.tenants = std::move(tenant_names);
   std::vector<double> waits;
   std::vector<double> latencies;
   waits.reserve(responses.size());
@@ -67,45 +67,118 @@ void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
   for (std::size_t i = 0; i < responses.size(); ++i) {
     const ServeResponse& response = responses[i];
     if (response.rejected != RejectReason::kNone) continue;
+    const obs::RequestTrace& trace = traces[i];
     ++stats.served;
     waits.push_back(response.start_s - response.arrival_s);
-    latencies.push_back(response.finish_s - response.arrival_s);
+    const double latency = trace.Latency();
+    latencies.push_back(latency);
     stats.virtual_duration_s =
-        std::max(stats.virtual_duration_s, response.finish_s);
+        std::max(stats.virtual_duration_s, trace.arrival_s + latency);
+    stats.energy_total_j += trace.energy_j;
     if (requests[i].label >= 0) {
       ++stats.labeled;
       if (response.predicted == requests[i].label) ++stats.correct;
     }
+    log.traces.push_back(trace);
   }
-  stats.queue_wait_p50_s = Percentile(waits, 0.50);
-  stats.queue_wait_p99_s = Percentile(waits, 0.99);
-  stats.latency_p50_s = Percentile(latencies, 0.50);
-  stats.latency_p99_s = Percentile(latencies, 0.99);
+
+  const obs::TailDigest wait_tails = obs::DigestTails(waits);
+  stats.queue_wait_p50_s = wait_tails.p50;
+  stats.queue_wait_p99_s = wait_tails.p99;
+  stats.queue_wait_p999_s = wait_tails.p999;
+  const obs::TailDigest latency_tails = obs::DigestTails(latencies);
+  stats.latency_p50_s = latency_tails.p50;
+  stats.latency_p99_s = latency_tails.p99;
+  stats.latency_p999_s = latency_tails.p999;
+  if (stats.served > 0) {
+    stats.energy_per_inference_j =
+        stats.energy_total_j / static_cast<double>(stats.served);
+  }
+
+  // Per-tenant accounting + SLO verdicts, in submission order so the
+  // kSloViolation probe stream is deterministic.
+  stats.tenants.resize(log.tenants.size());
+  std::vector<std::vector<double>> tenant_latencies(log.tenants.size());
+  for (std::size_t t = 0; t < log.tenants.size(); ++t) {
+    stats.tenants[t].name = log.tenants[t];
+  }
+  for (const obs::RequestTrace& trace : log.traces) {
+    TenantStats& tenant = stats.tenants[trace.tenant];
+    tenant.slo_s = trace.slo_s;
+    tenant.cache_hit = trace.cache_hit;
+    ++tenant.served;
+    tenant.energy_j += trace.energy_j;
+    tenant_latencies[trace.tenant].push_back(trace.Latency());
+    if (trace.SloViolated()) {
+      ++tenant.slo_violations;
+      ++stats.slo_violations;
+      obs::Count("serve.slo.violations");
+      if (obs::ProbesEnabled()) {
+        obs::Probe({.kind = obs::ProbeKind::kSloViolation,
+                    .site = "serve.slo",
+                    .values = {{"id", static_cast<double>(trace.id)},
+                               {"tenant", static_cast<double>(trace.tenant)},
+                               {"latency_s", trace.Latency()},
+                               {"slo_s", trace.slo_s}}});
+      }
+    } else {
+      ++tenant.slo_within;
+      ++stats.slo_within;
+      obs::Count("serve.slo.within");
+    }
+  }
+  for (std::size_t t = 0; t < stats.tenants.size(); ++t) {
+    const obs::TailDigest tails = obs::DigestTails(tenant_latencies[t]);
+    stats.tenants[t].latency_p50_s = tails.p50;
+    stats.tenants[t].latency_p99_s = tails.p99;
+    stats.tenants[t].latency_p999_s = tails.p999;
+  }
+  if (stats.virtual_duration_s > 0.0) {
+    stats.goodput_slo_rps = static_cast<double>(stats.slo_within) /
+                            stats.virtual_duration_s;
+  }
 
   static const obs::HistogramSpec kTimeBuckets =
       obs::HistogramSpec::Exponential(1e-5, 2.0, 24);
+  static const obs::HistogramSpec kEnergyBuckets =
+      obs::HistogramSpec::Exponential(1e-9, 2.0, 30);
   for (const double wait : waits) {
     obs::Observe("serve.queue_wait_s", wait, kTimeBuckets);
   }
   for (const double latency : latencies) {
     obs::Observe("serve.latency_s", latency, kTimeBuckets);
   }
+  for (const obs::RequestTrace& trace : log.traces) {
+    for (std::size_t s = 0; s < obs::kNumRequestStages; ++s) {
+      obs::Observe("serve.stage." +
+                       std::string(obs::RequestStageName(
+                           static_cast<obs::RequestStage>(s))) +
+                       "_s",
+                   trace.stage_s[s], kTimeBuckets);
+    }
+    obs::Observe("serve.energy_j", trace.energy_j, kEnergyBuckets);
+  }
   obs::Count("serve.served", stats.served);
   obs::SetGauge("serve.virtual_duration_s", stats.virtual_duration_s);
+  obs::SetGauge("serve.goodput_slo_rps", stats.goodput_slo_rps);
+  obs::SetGauge("serve.energy_per_inference_j", stats.energy_per_inference_j);
 }
 
 }  // namespace
 
 Runtime::Runtime(const mts::Metasurface& surface,
                  std::vector<ClientSpec> clients, RuntimeOptions options)
-    : surface_(surface), options_(std::move(options)) {
+    : surface_(surface), options_(std::move(options)),
+      energy_(options_.energy) {
   Check(!clients.empty(), "serving runtime needs at least one client");
   Check(options_.queue_capacity > 0, "queue capacity must be positive");
   Check(options_.frame_budget > 0, "frame budget must be positive");
   std::vector<core::DeviceSpec> devices;
   devices.reserve(clients.size());
   for (ClientSpec& client : clients) {
+    Check(client.slo_latency_s >= 0.0, "SLO latency must be non-negative");
     input_dims_.push_back(client.model.input_dim());
+    slo_targets_.push_back(client.slo_latency_s);
     core::DeploymentOptions deployment = client.deployment;
     deployment.mapping.cache = options_.cache;
     devices.push_back({.name = std::move(client.name),
@@ -115,6 +188,12 @@ Runtime::Runtime(const mts::Metasurface& surface,
   }
   scheduler_ = std::make_unique<core::SharedSurfaceScheduler>(
       surface_, std::move(devices), options_.scheduler);
+  // The scheduler builds deployments serially in client order, so the
+  // per-tenant cache provenance below is deterministic.
+  for (std::size_t c = 0; c < num_clients(); ++c) {
+    mapping_from_cache_.push_back(
+        scheduler_->deployment(c).schedules().from_cache);
+  }
 }
 
 ServeResult Runtime::Run(std::span<const ServeRequest> requests,
@@ -130,9 +209,17 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
   std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
 
   const double guard_s = options_.scheduler.guard_interval_s;
+  const double demod_s = energy_.DemodLatencyS();
   std::vector<std::deque<std::size_t>> queues(num_clients());
   std::size_t next = 0;
   double clock_s = 0.0;
+  // Lifecycle traces by submission index; only served entries end up in
+  // the request log. admit_clock_s remembers when admission picked each
+  // request up so queue_wait can be charged at dispatch.
+  std::vector<obs::RequestTrace> traces(requests.size());
+  std::vector<double> admit_clock_s(requests.size(), 0.0);
+  std::size_t admitted = 0;
+  std::size_t dispatched_total = 0;
 
   static const obs::HistogramSpec kBatchBuckets =
       obs::HistogramSpec::Linear(0.0, 32.0, 16);
@@ -161,6 +248,16 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
       if (reason == RejectReason::kNone) {
         queues[request.client].push_back(next);
         obs::Count("serve.admitted");
+        ++admitted;
+        obs::RequestTrace& trace = traces[next];
+        trace.id = request.id;
+        trace.tenant = static_cast<std::uint32_t>(request.client);
+        trace.cache_hit = mapping_from_cache_[request.client];
+        trace.arrival_s = request.arrival_s;
+        trace.slo_s = slo_targets_[request.client];
+        trace.stage(obs::RequestStage::kAdmission) =
+            clock_s - request.arrival_s;
+        admit_clock_s[next] = clock_s;
       } else {
         result.responses[next] = Rejected(request, reason);
         CountRejection(result.stats, reason);
@@ -189,11 +286,15 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
     std::vector<WorkItem> work;
     std::size_t slot_index = 0;
     std::size_t dispatched = 0;
+    std::size_t dispatched_cached = 0;
     for (std::size_t c = 0; c < num_clients(); ++c) {
       if (granted[c] == 0) continue;
       const core::ScheduledSlot& slot = frame[slot_index++];
       const double per_inference_s =
           slot.duration_s / static_cast<double>(slot.batch);
+      const sim::InferenceEnergy inference_energy = energy_.OtaInferenceEnergy(
+          per_inference_s, slot.rounds * slot.symbols_per_round,
+          scheduler_->deployment(c).link().config().budget.tx_power_dbm);
       for (std::size_t k = 0; k < granted[c]; ++k) {
         const std::size_t index = queues[c].front();
         queues[c].pop_front();
@@ -203,8 +304,16 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
                         .client = c,
                         .start_s = start_s,
                         .finish_s = start_s + per_inference_s});
+        obs::RequestTrace& trace = traces[index];
+        trace.stage(obs::RequestStage::kQueueWait) =
+            clock_s - admit_clock_s[index];
+        trace.stage(obs::RequestStage::kBatching) = start_s - clock_s;
+        trace.stage(obs::RequestStage::kAirtime) = per_inference_s;
+        trace.stage(obs::RequestStage::kDemod) = demod_s;
+        trace.energy_j = inference_energy.total_j();
       }
       dispatched += granted[c];
+      if (mapping_from_cache_[c]) dispatched_cached += granted[c];
     }
     obs::Count("serve.frames");
     obs::Count("serve.slots", frame.size());
@@ -217,6 +326,27 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
                              {"slots", static_cast<double>(frame.size())},
                              {"inferences", static_cast<double>(dispatched)}}});
     }
+    dispatched_total += dispatched;
+    std::size_t queue_depth = 0;
+    for (const std::deque<std::size_t>& queue : queues) {
+      queue_depth += queue.size();
+    }
+    result.timeseries.push_back(
+        {.t_s = clock_s,
+         .values = {
+             {"queue_depth", static_cast<double>(queue_depth)},
+             {"in_flight", static_cast<double>(dispatched)},
+             {"frame_slots", static_cast<double>(frame.size())},
+             {"frame_utilization",
+              static_cast<double>(dispatched) /
+                  static_cast<double>(options_.frame_budget)},
+             {"cache_hit_rate", dispatched > 0
+                                    ? static_cast<double>(dispatched_cached) /
+                                          static_cast<double>(dispatched)
+                                    : 0.0},
+             {"admitted", static_cast<double>(admitted)},
+             {"served", static_cast<double>(dispatched_total)},
+             {"rejected", static_cast<double>(result.stats.rejected())}}});
 
     // Every work item owns its request's pre-forked stream, so the
     // fan-out is bitwise identical for any thread count.
@@ -239,7 +369,12 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
     clock_s += frame.back().start_s + frame.back().duration_s + guard_s;
   }
 
-  FinalizeStats(result.stats, result.responses, requests);
+  std::vector<std::string> tenant_names;
+  for (std::size_t c = 0; c < num_clients(); ++c) {
+    tenant_names.push_back(scheduler_->device_name(c));
+  }
+  FinalizeStats(result.stats, result.responses, requests, traces,
+                std::move(tenant_names), result.request_log);
   return result;
 }
 
@@ -257,6 +392,9 @@ ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
   std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
 
   const double guard_s = options_.scheduler.guard_interval_s;
+  const double demod_s = energy_.DemodLatencyS();
+  std::vector<obs::RequestTrace> traces(requests.size());
+  std::size_t admitted = 0;
   double clock_s = 0.0;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const ServeRequest& request = requests[i];
@@ -271,14 +409,16 @@ ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
       continue;
     }
     obs::Count("serve.admitted");
+    ++admitted;
     // One single-inference frame per request: the guard interval and
     // the frame turnaround are paid every time.
     std::vector<std::size_t> unit(num_clients(), 0);
     unit[request.client] = 1;
     const std::vector<core::ScheduledSlot> frame =
         scheduler_->BuildFrame(unit);
+    const core::ScheduledSlot& slot = frame.front();
     const double start_s = std::max(clock_s, request.arrival_s);
-    const double finish_s = start_s + frame.front().duration_s;
+    const double finish_s = start_s + slot.duration_s;
     const double offset_us = sync.SampleOffsetUs(rngs[i]);
     const int predicted = scheduler_->Classify(request.client, request.pixels,
                                                offset_us, rngs[i]);
@@ -289,12 +429,49 @@ ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
                            .arrival_s = request.arrival_s,
                            .start_s = start_s,
                            .finish_s = finish_s};
+    obs::RequestTrace& trace = traces[i];
+    trace.id = request.id;
+    trace.tenant = static_cast<std::uint32_t>(request.client);
+    trace.cache_hit = mapping_from_cache_[request.client];
+    trace.arrival_s = request.arrival_s;
+    trace.slo_s = slo_targets_[request.client];
+    // No admission scan and no coalescing in the naive path: the whole
+    // arrival -> transmission gap is queueing behind earlier requests.
+    trace.stage(obs::RequestStage::kQueueWait) = start_s - request.arrival_s;
+    trace.stage(obs::RequestStage::kAirtime) = slot.duration_s;
+    trace.stage(obs::RequestStage::kDemod) = demod_s;
+    trace.energy_j =
+        energy_
+            .OtaInferenceEnergy(
+                slot.duration_s, slot.rounds * slot.symbols_per_round,
+                scheduler_->deployment(request.client)
+                    .link()
+                    .config()
+                    .budget.tx_power_dbm)
+            .total_j();
     ++result.stats.frames;
     obs::Count("serve.frames");
+    result.timeseries.push_back(
+        {.t_s = start_s,
+         .values = {
+             {"queue_depth", 0.0},
+             {"in_flight", 1.0},
+             {"frame_slots", 1.0},
+             {"frame_utilization",
+              1.0 / static_cast<double>(options_.frame_budget)},
+             {"cache_hit_rate", trace.cache_hit ? 1.0 : 0.0},
+             {"admitted", static_cast<double>(admitted)},
+             {"served", static_cast<double>(admitted)},
+             {"rejected", static_cast<double>(result.stats.rejected())}}});
     clock_s = finish_s + guard_s;
   }
 
-  FinalizeStats(result.stats, result.responses, requests);
+  std::vector<std::string> tenant_names;
+  for (std::size_t c = 0; c < num_clients(); ++c) {
+    tenant_names.push_back(scheduler_->device_name(c));
+  }
+  FinalizeStats(result.stats, result.responses, requests, traces,
+                std::move(tenant_names), result.request_log);
   return result;
 }
 

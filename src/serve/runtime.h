@@ -27,7 +27,10 @@
 
 #include "core/scheduler.h"
 #include "mts/config_cache.h"
+#include "obs/lifecycle.h"
+#include "obs/timeseries.h"
 #include "serve/request.h"
+#include "sim/energy_model.h"
 #include "sim/sync.h"
 
 namespace metaai::serve {
@@ -39,6 +42,10 @@ struct ClientSpec {
   /// Per-client link (geometry/environment may differ per client).
   sim::OtaLinkConfig link;
   core::DeploymentOptions deployment;
+  /// End-to-end (arrival -> readout) latency target for SLO
+  /// accounting; 0 = no target (every served request counts as
+  /// within).
+  double slo_latency_s = 0.0;
 };
 
 struct RuntimeOptions {
@@ -54,12 +61,23 @@ struct RuntimeOptions {
   /// runtime). Tenants deploying identical models hit instead of
   /// re-running coordinate descent. Null = always solve fresh.
   mts::ConfigCache* cache = nullptr;
+  /// Cost model behind the per-request energy estimates and the demod
+  /// stage of the lifecycle traces (Tables 2-3 constants by default).
+  sim::EnergyModelConfig energy;
 };
 
 struct ServeResult {
   /// One response per request, in submission order.
   std::vector<ServeResponse> responses;
   ServeStats stats;
+  /// One lifecycle trace per *served* request, in submission order,
+  /// with the tenant names the trace indices refer to. Byte-identical
+  /// across thread counts (see obs/lifecycle.h).
+  obs::RequestLog request_log;
+  /// One "metaai.timeseries.v1" tick per dispatched TDMA frame (queue
+  /// depth, in-flight, frame utilization, cache hit rate, cumulative
+  /// admission counters), appended by the serial control loop.
+  std::vector<obs::TimeSeriesPoint> timeseries;
 };
 
 class Runtime {
@@ -97,8 +115,14 @@ class Runtime {
   /// links hold references into it.
   mts::Metasurface surface_;
   std::vector<std::size_t> input_dims_;
+  /// Per-client latency targets (0 = no SLO), indexed like clients.
+  std::vector<double> slo_targets_;
   std::unique_ptr<core::SharedSurfaceScheduler> scheduler_;
+  /// Per-client mapping provenance: true when the client's
+  /// configuration came from options_.cache instead of a fresh solve.
+  std::vector<bool> mapping_from_cache_;
   RuntimeOptions options_;
+  sim::EnergyModel energy_;
 };
 
 }  // namespace metaai::serve

@@ -40,6 +40,20 @@ EnergyModel::EnergyModel(EnergyModelConfig config) : config_(config) {
   Check(config_.metaai_symbol_rate_hz > 0.0, "symbol rate must be positive");
 }
 
+InferenceEnergy EnergyModel::OtaInferenceEnergy(double airtime_s,
+                                                std::size_t symbols,
+                                                double tx_power_dbm) const {
+  Check(airtime_s >= 0.0, "airtime must be non-negative");
+  InferenceEnergy energy;
+  // dBm -> W: 10^((dBm - 30) / 10).
+  energy.tx_j = std::pow(10.0, (tx_power_dbm - 30.0) / 10.0) * airtime_s;
+  energy.mts_j = static_cast<double>(symbols) *
+                 config_.mts_patterns_per_symbol *
+                 config_.mts_energy_per_pattern_j;
+  energy.server_j = config_.metaai_server_power_w * DemodLatencyS();
+  return energy;
+}
+
 EnergyLatencyRow EnergyModel::DigitalRow(const std::string& device,
                                          const std::string& model,
                                          std::size_t pixels) const {

@@ -41,11 +41,34 @@ struct EnergyModelConfig {
   double metaai_server_power_w = 0.6;
 };
 
+/// Per-request energy split used by the serving runtime's lifecycle
+/// traces: radiated Tx power over the airtime, MTS pattern switching,
+/// and the fixed server-side accumulation step.
+struct InferenceEnergy {
+  double tx_j = 0.0;
+  double mts_j = 0.0;
+  double server_j = 0.0;
+
+  double total_j() const { return tx_j + mts_j + server_j; }
+};
+
 class EnergyModel {
  public:
   explicit EnergyModel(EnergyModelConfig config = {});
 
   const EnergyModelConfig& config() const { return config_; }
+
+  /// Energy of one OTA inference that transmitted `symbols` symbols
+  /// over `airtime_s` at `tx_power_dbm` radiated power (the serving
+  /// runtime reads both from the scheduled slot and the tenant's link
+  /// budget). Unlike MetaAiRow — which reconstructs the airtime from
+  /// the model shape — this charges the airtime actually scheduled.
+  InferenceEnergy OtaInferenceEnergy(double airtime_s, std::size_t symbols,
+                                     double tx_power_dbm) const;
+
+  /// Server-side accumulation/readout latency per inference, in
+  /// seconds (the lifecycle "demod" stage).
+  double DemodLatencyS() const { return config_.metaai_server_ms * 1e-3; }
 
   /// Digital baseline row: raw image (pixels bytes at 8bpp) shipped to
   /// the server, then inferred there. `device` is "CPU" or "4080 GPU",

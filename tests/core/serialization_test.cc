@@ -213,26 +213,5 @@ TEST_F(SerializationTest, EmptySchedulesAreInvalidArguments) {
   EXPECT_EQ(result.error().code, ErrorCode::kInvalidArgument);
 }
 
-// The deprecated shims stay one more PR: same behavior, failures
-// rethrown as CheckError.
-TEST_F(SerializationTest, DeprecatedShimsThrowOnFailure) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_THROW(LoadModel(dir_ / "missing.txt"), CheckError);
-  EXPECT_THROW(LoadPatterns(dir_ / "missing.txt", 256), CheckError);
-
-  const auto ds =
-      data::MakeMnistLike({.train_per_class = 6, .test_per_class = 2});
-  Rng rng(8);
-  TrainingOptions options;
-  options.epochs = 1;
-  const auto model = TrainModel(ds.train, options, rng);
-  const auto path = dir_ / "model.txt";
-  SaveModel(model, path);
-  const auto loaded = LoadModel(path);
-  EXPECT_TRUE(loaded.network.weights() == model.network.weights());
-#pragma GCC diagnostic pop
-}
-
 }  // namespace
 }  // namespace metaai::core

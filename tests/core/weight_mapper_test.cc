@@ -260,20 +260,5 @@ TEST(WeightMapperTest, CacheKeyDistinguishesEveryInput) {
   EXPECT_EQ(key, MappingCacheKey(weights, link, base));
 }
 
-// The deprecated one-PR shims still route through MapWeights.
-TEST(WeightMapperTest, DeprecatedShimsMatchMapWeights) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  sim::OtaLink link(surface, BaseConfig());
-  const auto weights = RandomWeights(2, 4, 11);
-  const auto via_shim = MapSequential(weights, link);
-  const auto direct =
-      MapWeights(weights, link, {.scheme = MappingScheme::kSequential});
-  EXPECT_EQ(via_shim.rounds, direct.rounds);
-  EXPECT_EQ(via_shim.scale, direct.scale);
-#pragma GCC diagnostic pop
-}
-
 }  // namespace
 }  // namespace metaai::core

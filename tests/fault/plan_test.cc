@@ -72,16 +72,5 @@ TEST(FaultPlanTest, OutOfRangeValuesAreInvalidArguments) {
   }
 }
 
-// The deprecated shim stays one more PR: same parse, failures as
-// CheckError.
-TEST(FaultPlanTest, DeprecatedShimThrowsOnMalformedSpecs) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_EQ(ParseFaultSpec("stuck=0.1,seed=3").seed, 3u);
-  EXPECT_THROW(ParseFaultSpec("stuck"), CheckError);
-  EXPECT_THROW(ParseFaultSpec("stuck=1.5"), CheckError);
-#pragma GCC diagnostic pop
-}
-
 }  // namespace
 }  // namespace metaai::fault

@@ -1,0 +1,72 @@
+#include "obs/quantiles.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace metaai::obs {
+namespace {
+
+TEST(NearestRankPercentileTest, EmptySampleReturnsZero) {
+  EXPECT_EQ(NearestRankPercentile({}, 0.5), 0.0);
+  const TailDigest digest = DigestTails({});
+  EXPECT_EQ(digest.p50, 0.0);
+  EXPECT_EQ(digest.p99, 0.0);
+  EXPECT_EQ(digest.p999, 0.0);
+}
+
+TEST(NearestRankPercentileTest, PicksObservedValuesNeverInterpolates) {
+  // Nearest rank over {1..100}: rank ceil(q*100), 1-indexed.
+  std::vector<double> values;
+  for (int i = 100; i >= 1; --i) {
+    values.push_back(static_cast<double>(i));
+  }
+  EXPECT_EQ(NearestRankPercentile(values, 0.50), 50.0);
+  EXPECT_EQ(NearestRankPercentile(values, 0.99), 99.0);
+  EXPECT_EQ(NearestRankPercentile(values, 0.999), 100.0);
+  EXPECT_EQ(NearestRankPercentile(values, 1.0), 100.0);
+  // An odd split still lands on a sample, never between two.
+  EXPECT_EQ(NearestRankPercentile(values, 0.505), 51.0);
+}
+
+TEST(NearestRankPercentileTest, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one = {7.25};
+  EXPECT_EQ(NearestRankPercentile(one, 0.001), 7.25);
+  EXPECT_EQ(NearestRankPercentile(one, 0.5), 7.25);
+  EXPECT_EQ(NearestRankPercentile(one, 1.0), 7.25);
+}
+
+TEST(NearestRankPercentileTest, RejectsOutOfRangeQuantiles) {
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_THROW(NearestRankPercentile(values, 0.0), CheckError);
+  EXPECT_THROW(NearestRankPercentile(values, -0.5), CheckError);
+  EXPECT_THROW(NearestRankPercentile(values, 1.5), CheckError);
+}
+
+TEST(NearestRankPercentilesTest, BatchMatchesSingleCalls) {
+  const std::vector<double> values = {3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0};
+  const std::vector<double> qs = {0.1, 0.5, 0.9, 0.99, 1.0};
+  const std::vector<double> batch = NearestRankPercentiles(values, qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(batch[i], NearestRankPercentile(values, qs[i])) << "q=" << qs[i];
+  }
+}
+
+TEST(DigestTailsTest, MatchesNearestRankAndIsMonotone) {
+  std::vector<double> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(static_cast<double>((i * 733) % 1999));
+  }
+  const TailDigest digest = DigestTails(values);
+  EXPECT_EQ(digest.p50, NearestRankPercentile(values, 0.50));
+  EXPECT_EQ(digest.p99, NearestRankPercentile(values, 0.99));
+  EXPECT_EQ(digest.p999, NearestRankPercentile(values, 0.999));
+  EXPECT_LE(digest.p50, digest.p99);
+  EXPECT_LE(digest.p99, digest.p999);
+}
+
+}  // namespace
+}  // namespace metaai::obs

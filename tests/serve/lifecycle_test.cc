@@ -1,0 +1,278 @@
+// Lifecycle-trace, SLO and telemetry-export contracts of the serving
+// runtime: every served request gets a trace whose stage sum is its
+// end-to-end latency, SLO accounting matches the traces, and the
+// "metaai.requests.v1" / "metaai.timeseries.v1" exports are
+// byte-identical across thread counts, cache states and batching modes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "data/datasets.h"
+#include "obs/lifecycle.h"
+#include "obs/obs.h"
+#include "obs/probe.h"
+#include "obs/timeseries.h"
+#include "rf/geometry.h"
+#include "serve/runtime.h"
+
+namespace metaai::serve {
+namespace {
+
+const data::Dataset& SmallDataset() {
+  static const data::Dataset ds =
+      data::MakeMnistLike({.train_per_class = 10, .test_per_class = 4});
+  return ds;
+}
+
+const core::TrainedModel& SmallModel() {
+  static const core::TrainedModel model = [] {
+    Rng rng(3);
+    core::TrainingOptions options;
+    options.epochs = 5;
+    return core::TrainModel(SmallDataset().train, options, rng);
+  }();
+  return model;
+}
+
+sim::OtaLinkConfig ClientLink() {
+  sim::OtaLinkConfig config;
+  config.geometry = {.tx_distance_m = 1.0,
+                     .tx_angle_rad = rf::DegToRad(30.0),
+                     .rx_distance_m = 3.0,
+                     .rx_angle_rad = rf::DegToRad(40.0),
+                     .frequency_hz = 5.25e9};
+  config.environment.profile = rf::OfficeProfile();
+  return config;
+}
+
+/// Two identical tenants (shared cache keys collide on purpose) with
+/// distinct SLO targets: "strict" violates on every request, "lax"
+/// never does.
+std::vector<ClientSpec> SloClients(double strict_slo_s, double lax_slo_s) {
+  std::vector<ClientSpec> clients;
+  clients.push_back({.name = "strict",
+                     .model = SmallModel(),
+                     .link = ClientLink(),
+                     .deployment = {},
+                     .slo_latency_s = strict_slo_s});
+  clients.push_back({.name = "lax",
+                     .model = SmallModel(),
+                     .link = ClientLink(),
+                     .deployment = {},
+                     .slo_latency_s = lax_slo_s});
+  return clients;
+}
+
+mts::ConfigCache& SharedCache() {
+  static mts::ConfigCache cache;
+  return cache;
+}
+
+const Runtime& SharedRuntime() {
+  static const Runtime runtime{
+      mts::Metasurface{mts::MetasurfaceSpec{}},
+      SloClients(/*strict_slo_s=*/1e-9, /*lax_slo_s=*/10.0),
+      RuntimeOptions{.cache = &SharedCache()}};
+  return runtime;
+}
+
+std::vector<ServeRequest> SmallTrace(std::size_t count) {
+  const auto& test = SmallDataset().test;
+  std::vector<ServeRequest> requests;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pick = i % test.size();
+    requests.push_back({.id = i,
+                        .client = i % 2,
+                        .arrival_s = static_cast<double>(i) * 1e-4,
+                        .pixels = test.features[pick],
+                        .label = test.labels[pick]});
+  }
+  return requests;
+}
+
+sim::SyncModel DefaultSync() {
+  sim::SyncModelConfig config;
+  config.latency_scale = 0.3;
+  return sim::SyncModel(sim::SyncMode::kCdfa, config);
+}
+
+TEST(ServeLifecycleTest, EveryServedRequestGetsAConsistentTrace) {
+  const auto requests = SmallTrace(12);
+  const sim::SyncModel sync = DefaultSync();
+  Rng rng(61);
+  const ServeResult result = SharedRuntime().Run(requests, sync, rng);
+  ASSERT_EQ(result.request_log.traces.size(), result.stats.served);
+  ASSERT_EQ(result.request_log.tenants,
+            (std::vector<std::string>{"strict", "lax"}));
+  double energy_sum = 0.0;
+  for (const obs::RequestTrace& trace : result.request_log.traces) {
+    // The end-to-end latency is exactly the stage sum, and the OTA
+    // pipeline always costs airtime and readout time.
+    EXPECT_GT(trace.stage(obs::RequestStage::kAirtime), 0.0);
+    EXPECT_GT(trace.stage(obs::RequestStage::kDemod), 0.0);
+    EXPECT_EQ(trace.stage(obs::RequestStage::kSolve), 0.0);
+    EXPECT_GT(trace.Latency(), 0.0);
+    EXPECT_GT(trace.energy_j, 0.0);
+    EXPECT_LT(trace.tenant, result.request_log.tenants.size());
+    energy_sum += trace.energy_j;
+  }
+  EXPECT_DOUBLE_EQ(result.stats.energy_total_j, energy_sum);
+  EXPECT_DOUBLE_EQ(
+      result.stats.energy_per_inference_j,
+      energy_sum / static_cast<double>(result.stats.served));
+  // The stats percentiles are the digest of exactly these traces.
+  std::vector<double> latencies;
+  for (const obs::RequestTrace& trace : result.request_log.traces) {
+    latencies.push_back(trace.Latency());
+  }
+  const obs::TailDigest digest = obs::DigestTails(latencies);
+  EXPECT_DOUBLE_EQ(result.stats.latency_p50_s, digest.p50);
+  EXPECT_DOUBLE_EQ(result.stats.latency_p99_s, digest.p99);
+  EXPECT_DOUBLE_EQ(result.stats.latency_p999_s, digest.p999);
+}
+
+TEST(ServeLifecycleTest, SloAccountingMatchesTracesAndEmitsProbes) {
+  const auto requests = SmallTrace(10);
+  const sim::SyncModel sync = DefaultSync();
+  obs::ProbeSink sink;
+  const obs::ScopedProbeSink scoped(&sink);
+  Rng rng(67);
+  const ServeResult result = SharedRuntime().Run(requests, sync, rng);
+  ASSERT_EQ(result.stats.served, 10u);
+  // Tenant 0's 1 ns target is impossible; tenant 1's 10 s target is
+  // unmissable.
+  EXPECT_EQ(result.stats.slo_violations, 5u);
+  EXPECT_EQ(result.stats.slo_within, 5u);
+  EXPECT_DOUBLE_EQ(result.stats.goodput_slo_rps,
+                   static_cast<double>(result.stats.slo_within) /
+                       result.stats.virtual_duration_s);
+  ASSERT_EQ(result.stats.tenants.size(), 2u);
+  const TenantStats& strict = result.stats.tenants[0];
+  const TenantStats& lax = result.stats.tenants[1];
+  EXPECT_EQ(strict.name, "strict");
+  EXPECT_EQ(strict.served, 5u);
+  EXPECT_EQ(strict.slo_violations, 5u);
+  EXPECT_EQ(strict.slo_within, 0u);
+  EXPECT_EQ(lax.name, "lax");
+  EXPECT_EQ(lax.slo_violations, 0u);
+  EXPECT_EQ(lax.slo_within, 5u);
+  EXPECT_DOUBLE_EQ(strict.energy_j + lax.energy_j,
+                   result.stats.energy_total_j);
+  // Every violation leaves a flight-recorder record at serve.slo
+  // (unless probes are compiled out with -DMETAAI_OBS=OFF).
+  if (obs::ProbesEnabled()) {
+    std::size_t probe_violations = 0;
+    for (const obs::ProbeRecord& record : sink.Snapshot()) {
+      if (record.kind == obs::ProbeKind::kSloViolation) {
+        EXPECT_EQ(record.site, "serve.slo");
+        ++probe_violations;
+      }
+    }
+    EXPECT_EQ(probe_violations, result.stats.slo_violations);
+  }
+}
+
+TEST(ServeLifecycleTest, ExportsAreByteIdenticalAcrossThreadCounts) {
+  const auto requests = SmallTrace(10);
+  const sim::SyncModel sync = DefaultSync();
+  auto exports = [&](int threads) {
+    const par::ScopedThreadCount scoped(threads);
+    Rng rng(71);
+    const ServeResult result = SharedRuntime().Run(requests, sync, rng);
+    return std::pair{obs::ToRequestsJsonl(result.request_log),
+                     obs::ToTimeSeriesJsonl(result.timeseries)};
+  };
+  const auto serial = exports(1);
+  for (const int threads : {1, 2, 4}) {
+    EXPECT_EQ(exports(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ServeLifecycleTest, CacheChangesOnlyTheProvenanceFlag) {
+  // Touching SharedRuntime() first warms SharedCache(), so `warm`
+  // restores every tenant's mapping while `uncached` solves both fresh.
+  SharedRuntime();
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const Runtime warm(surface, SloClients(1e-9, 10.0),
+                     {.cache = &SharedCache()});
+  const Runtime uncached(surface, SloClients(1e-9, 10.0), {});
+  const auto requests = SmallTrace(8);
+  const sim::SyncModel sync = DefaultSync();
+  Rng rng_a(73);
+  Rng rng_b(73);
+  ServeResult cached = warm.Run(requests, sync, rng_a);
+  ServeResult fresh = uncached.Run(requests, sync, rng_b);
+  for (const obs::RequestTrace& trace : cached.request_log.traces) {
+    EXPECT_TRUE(trace.cache_hit);
+  }
+  for (obs::RequestTrace& trace : fresh.request_log.traces) {
+    EXPECT_FALSE(trace.cache_hit);
+    trace.cache_hit = true;  // normalize provenance
+  }
+  EXPECT_EQ(fresh.request_log, cached.request_log);
+  // The time series differs only in the cache_hit_rate key.
+  ASSERT_EQ(fresh.timeseries.size(), cached.timeseries.size());
+  for (std::size_t i = 0; i < fresh.timeseries.size(); ++i) {
+    EXPECT_EQ(fresh.timeseries[i].t_s, cached.timeseries[i].t_s);
+    EXPECT_EQ(fresh.timeseries[i].Value("cache_hit_rate"), 0.0);
+    EXPECT_EQ(cached.timeseries[i].Value("cache_hit_rate"), 1.0);
+    for (const auto& [key, value] : fresh.timeseries[i].values) {
+      if (key == "cache_hit_rate") continue;
+      EXPECT_EQ(value, cached.timeseries[i].Value(key)) << key;
+    }
+  }
+}
+
+TEST(ServeLifecycleTest, UnbatchedTracesAreDeterministicAndComplete) {
+  const auto requests = SmallTrace(8);
+  const sim::SyncModel sync = DefaultSync();
+  Rng rng_a(79);
+  Rng rng_b(79);
+  const ServeResult first = SharedRuntime().RunUnbatched(requests, sync, rng_a);
+  const ServeResult second =
+      SharedRuntime().RunUnbatched(requests, sync, rng_b);
+  EXPECT_EQ(obs::ToRequestsJsonl(first.request_log),
+            obs::ToRequestsJsonl(second.request_log));
+  EXPECT_EQ(obs::ToTimeSeriesJsonl(first.timeseries),
+            obs::ToTimeSeriesJsonl(second.timeseries));
+  ASSERT_EQ(first.request_log.traces.size(), first.stats.served);
+  // No coalescing: nothing is ever held for batching, and the series
+  // ticks once per served request.
+  for (const obs::RequestTrace& trace : first.request_log.traces) {
+    EXPECT_EQ(trace.stage(obs::RequestStage::kAdmission), 0.0);
+    EXPECT_EQ(trace.stage(obs::RequestStage::kBatching), 0.0);
+    EXPECT_GT(trace.stage(obs::RequestStage::kAirtime), 0.0);
+  }
+  EXPECT_EQ(first.timeseries.size(), first.stats.served);
+}
+
+TEST(ServeLifecycleTest, TimeSeriesTicksOncePerFrameAndCounts) {
+  const auto requests = SmallTrace(12);
+  const sim::SyncModel sync = DefaultSync();
+  Rng rng(83);
+  const ServeResult result = SharedRuntime().Run(requests, sync, rng);
+  ASSERT_EQ(result.timeseries.size(), result.stats.frames);
+  double previous_admitted = 0.0;
+  double previous_t = -1.0;
+  for (const obs::TimeSeriesPoint& point : result.timeseries) {
+    EXPECT_GT(point.t_s, previous_t);
+    previous_t = point.t_s;
+    // Cumulative counters never decrease.
+    EXPECT_GE(point.Value("admitted"), previous_admitted);
+    previous_admitted = point.Value("admitted");
+    EXPECT_GT(point.Value("frame_slots"), 0.0);
+    EXPECT_GT(point.Value("frame_utilization"), 0.0);
+    EXPECT_LE(point.Value("frame_utilization"), 1.0);
+  }
+  const obs::TimeSeriesPoint& last = result.timeseries.back();
+  EXPECT_EQ(last.Value("served"), static_cast<double>(result.stats.served));
+  EXPECT_EQ(last.Value("rejected"),
+            static_cast<double>(result.stats.rejected()));
+}
+
+}  // namespace
+}  // namespace metaai::serve

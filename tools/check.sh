@@ -6,7 +6,8 @@
 #      deserve sanitizer coverage, not just the obs suites).
 #   3. TSan build (-DMETAAI_SANITIZE=thread) exercising the thread-pool,
 #      parallel-determinism, fault-injection/recovery and serving-runtime
-#      suites under real data race detection.
+#      suites under real data race detection, plus the metaai_obs_report
+#      golden-file test against the TSan-built tool.
 #   4. Bench suite with baseline regression gating (run_benches.sh,
 #      which invokes metaai_bench_diff when bench/baselines/ exists).
 #
@@ -32,9 +33,10 @@ echo "=== [3/4] TSan on thread-pool + determinism suites"
 cmake -B "${prefix}-tsan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=thread -DMETAAI_OBS=ON
 cmake --build "${prefix}-tsan" -j"$(nproc)" \
-  --target test_common test_obs test_fault test_integration test_serve
+  --target test_common test_obs test_fault test_integration test_serve \
+  metaai_obs_report
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
-  -R 'Parallel|Tracer|Telemetry|Fault|Serve'
+  -R 'Parallel|Tracer|Telemetry|Fault|Serve|ObsReport|obs_report'
 
 echo "=== [4/4] benches + baseline diff"
 "${repo_root}/tools/run_benches.sh" "${prefix}-bench"

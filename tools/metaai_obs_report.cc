@@ -1,0 +1,74 @@
+// Renders telemetry exports into one per-stage/per-tenant text report.
+//
+//   metaai_obs_report [--metrics metrics.json] [--probes probes.jsonl]
+//                     [--timeseries ts.jsonl] [--requests requests.jsonl]
+//
+// Each flag names a document in the matching schema (metaai.obs.v1,
+// metaai.probes.v1, metaai.timeseries.v1, metaai.requests.v1); any
+// subset may be given and sections render in a fixed order. The output
+// is deterministic — identical inputs print identical bytes, which the
+// golden-file ctest in tools/CMakeLists.txt pins.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "obs/report.h"
+
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  metaai::Check(in.good(), "cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int Usage() {
+  std::fputs(
+      "usage: metaai_obs_report [--metrics metrics.json]\n"
+      "                         [--probes probes.jsonl]\n"
+      "                         [--timeseries ts.jsonl]\n"
+      "                         [--requests requests.jsonl]\n"
+      "Renders the given telemetry documents as one text report.\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  metaai::obs::ObsReportInputs inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (i + 1 >= argc) return Usage();
+    const std::string path = argv[++i];
+    try {
+      if (flag == "--metrics") {
+        inputs.metrics_json = ReadFile(path);
+      } else if (flag == "--probes") {
+        inputs.probes_jsonl = ReadFile(path);
+      } else if (flag == "--timeseries") {
+        inputs.timeseries_jsonl = ReadFile(path);
+      } else if (flag == "--requests") {
+        inputs.requests_jsonl = ReadFile(path);
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+        return Usage();
+      }
+    } catch (const metaai::CheckError& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+  }
+  try {
+    std::cout << metaai::obs::RenderObsReport(inputs);
+  } catch (const metaai::CheckError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

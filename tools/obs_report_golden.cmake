@@ -1,0 +1,23 @@
+# Runs metaai_obs_report over the checked-in telemetry documents and
+# fails unless the rendered report is byte-identical to the golden file.
+# Invoked by the ObsReportGolden ctest (see CMakeLists.txt) with:
+#   -DTOOL=<metaai_obs_report binary> -DDATA=<testdata dir> -DOUT=<tmp file>
+execute_process(
+  COMMAND ${TOOL}
+          --metrics ${DATA}/metrics.json
+          --probes ${DATA}/probes.jsonl
+          --timeseries ${DATA}/timeseries.jsonl
+          --requests ${DATA}/requests.jsonl
+  OUTPUT_FILE ${OUT}
+  RESULT_VARIABLE status)
+if(NOT status EQUAL 0)
+  message(FATAL_ERROR "metaai_obs_report exited with ${status}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${DATA}/expected_report.txt
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "report output ${OUT} differs from golden "
+          "${DATA}/expected_report.txt")
+endif()
