@@ -5,7 +5,9 @@
 // 40-degree bearing and measures accuracy (a) with the stale mapping and
 // (b) after the beam-scan + re-solve recalibration pipeline, then reports
 // the recalibration latency and the maximum receiver angular speed the
-// loop can track — the "race" the paper describes.
+// loop can track — the "race" the paper describes. Headline metrics are
+// gated against bench/baselines/ablation_mobility.json by
+// tools/run_benches.sh (via metaai_bench_diff).
 #include "bench_util.h"
 
 #include "common/table.h"
@@ -15,7 +17,7 @@
 namespace metaai::bench {
 namespace {
 
-void Run() {
+void Run(BenchReport& report) {
   const data::Dataset ds = data::MakeMnistLike();
   Rng rng(84);
   const auto model = core::TrainModel(ds.train, RobustTrainingOptions(), rng);
@@ -29,6 +31,8 @@ void Run() {
               {"True Rx bearing (deg)", "Stale mapping",
                "After recalibration"});
   core::RecalibrationReport last_report;
+  double stale_at_25 = 0.0;
+  double recal_at_25 = 0.0;
   for (const double true_deg : {40.0, 35.0, 30.0, 25.0, 15.0}) {
     sim::OtaLinkConfig true_link = calibrated;
     true_link.geometry.rx_angle_rad = rf::DegToRad(true_deg);
@@ -70,10 +74,21 @@ void Run() {
     const double recal_acc = result.deployment.EvaluateAccuracy(
         ds.test, DeploymentSyncModel(), recal_rng, 100);
 
+    if (true_deg == 25.0) {
+      stale_at_25 = stale_acc;
+      recal_at_25 = recal_acc;
+    }
     table.AddRow({FormatDouble(true_deg, 0), FormatPercent(stale_acc),
                   FormatPercent(recal_acc)});
     std::fprintf(stderr, "[ablation_mobility] %.0f deg done\n", true_deg);
   }
+  report.Headline("stale_accuracy_at_25deg", stale_at_25);
+  report.Headline("recalibrated_accuracy_at_25deg", recal_at_25);
+  report.Headline("recalibration_latency_ms",
+                  last_report.total_latency_s * 1e3);
+  report.Headline(
+      "trackable_angular_speed_deg_s",
+      rf::RadToDeg(last_report.max_trackable_angular_speed_rad_s));
   table.Print(std::cout);
   std::cout << "Recalibration latency: "
             << FormatDouble(last_report.scan_latency_s * 1e3, 2)
@@ -98,6 +113,6 @@ void Run() {
 
 int main() {
   metaai::bench::BenchReport report("ablation_mobility");
-  metaai::bench::Run();
+  metaai::bench::Run(report);
   return 0;
 }

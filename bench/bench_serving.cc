@@ -22,14 +22,17 @@
 // gap through the batched frame fan-out. The bench also verifies the
 // determinism contract: predictions are byte-identical across thread
 // counts, frame budgets, cached/uncached mapping, and batched/naive
-// execution, and the lifecycle-trace + time-series exports are bitwise
-// identical at 1/2/4/8 threads.
+// execution, and the lifecycle-trace + time-series + alert exports are
+// bitwise identical at 1/2/4/8 threads. The per-tenant health engines
+// run on this workload too: a clean link must raise zero drift alerts
+// (hard gate), and the total alert count is pinned by the baseline.
 #include <chrono>
 
 #include "bench_util.h"
 
 #include "common/table.h"
 #include "mts/config_cache.h"
+#include "obs/alerts.h"
 #include "obs/lifecycle.h"
 #include "obs/timeseries.h"
 #include "serve/generator.h"
@@ -115,6 +118,7 @@ int Run(BenchReport& report) {
   std::vector<int> reference;
   std::string reference_requests_jsonl;
   std::string reference_timeseries_jsonl;
+  std::string reference_alerts_jsonl;
   double batched_8t_s = 0.0;
   for (const int threads : {1, 2, 4, 8}) {
     const par::ScopedThreadCount scoped(threads);
@@ -137,10 +141,29 @@ int Run(BenchReport& report) {
         obs::ToRequestsJsonl(result.request_log);
     const std::string timeseries_jsonl =
         obs::ToTimeSeriesJsonl(result.timeseries);
+    const std::string alerts_jsonl =
+        obs::health::ToAlertsJsonl(result.alerts);
     if (threads == 1) {
       reference = Predictions(result);
       reference_requests_jsonl = requests_jsonl;
       reference_timeseries_jsonl = timeseries_jsonl;
+      reference_alerts_jsonl = alerts_jsonl;
+      // Clean-run health gate: this workload has no injected faults and
+      // a healthy link, so the drift detectors must stay silent. (SLO
+      // magnitude alerts count separately — they reflect genuine
+      // backlog, not detector false positives — and are pinned by the
+      // alerts_total baseline.)
+      report.Headline("alerts_total",
+                      static_cast<double>(result.stats.alerts));
+      report.Headline("false_drift_alerts_clean",
+                      static_cast<double>(result.stats.drift_alerts));
+      report.Headline("margin_p50", result.stats.margin_p50);
+      if (result.stats.drift_alerts != 0) {
+        std::fprintf(stderr,
+                     "FAILED: clean serving run raised %zu drift alerts\n",
+                     result.stats.drift_alerts);
+        return 1;
+      }
       report.Headline("served", static_cast<double>(result.stats.served));
       report.Headline("latency_p50_us", result.stats.latency_p50_s * 1e6);
       report.Headline("latency_p99_us", result.stats.latency_p99_s * 1e6);
@@ -203,6 +226,8 @@ int Run(BenchReport& report) {
         obs::WriteTimeSeriesFile(
             result.timeseries,
             std::string(dir) + "/TIMESERIES_serving.jsonl");
+        obs::health::WriteAlertsFile(
+            result.alerts, std::string(dir) + "/ALERTS_serving.jsonl");
       }
     } else {
       if (Predictions(result) != reference) {
@@ -211,10 +236,11 @@ int Run(BenchReport& report) {
                      threads);
         return 1;
       }
-      // The acceptance gate: lifecycle-trace and time-series exports
-      // must be bitwise identical for any thread count.
+      // The acceptance gate: lifecycle-trace, time-series, and alert
+      // exports must be bitwise identical for any thread count.
       if (requests_jsonl != reference_requests_jsonl ||
-          timeseries_jsonl != reference_timeseries_jsonl) {
+          timeseries_jsonl != reference_timeseries_jsonl ||
+          alerts_jsonl != reference_alerts_jsonl) {
         std::fprintf(stderr,
                      "FAILED: telemetry exports at %d threads diverge from "
                      "serial\n",

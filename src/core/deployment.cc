@@ -75,6 +75,10 @@ Deployment::Deployment(const TrainedModel& model,
       link_(surface, [&] {
         link_config.observations =
             BuildObservations(link_config, model.num_classes(), options);
+        // Tell the link what constellation the data symbols come from so
+        // its EVM probe can report the demod soft-decision margin (the
+        // health layer's label-free accuracy proxy).
+        link_config.data_modulation = model.modulation;
         return link_config;
       }()),
       schedules_(MapWeights(model.network.weights(), link_, [&] {
@@ -145,9 +149,30 @@ std::vector<double> Deployment::ClassScores(const std::vector<double>& pixels,
 
 int Deployment::Classify(const std::vector<double>& pixels,
                          double mts_clock_offset_us, Rng& rng) const {
+  return ClassifyWithMargin(pixels, mts_clock_offset_us, rng).predicted;
+}
+
+SoftDecision Deployment::ClassifyWithMargin(const std::vector<double>& pixels,
+                                            double mts_clock_offset_us,
+                                            Rng& rng) const {
   const auto scores = ClassScores(pixels, mts_clock_offset_us, rng);
-  return static_cast<int>(std::distance(
-      scores.begin(), std::max_element(scores.begin(), scores.end())));
+  const auto top = std::max_element(scores.begin(), scores.end());
+  SoftDecision decision;
+  decision.predicted =
+      static_cast<int>(std::distance(scores.begin(), top));
+  if (scores.size() < 2) {
+    decision.margin = 1.0;
+    return decision;
+  }
+  double second = -1.0;
+  for (std::size_t c = 0; c < scores.size(); ++c) {
+    if (static_cast<int>(c) == decision.predicted) continue;
+    second = std::max(second, scores[c]);
+  }
+  if (*top > 0.0) {
+    decision.margin = std::max(0.0, (*top - second) / *top);
+  }
+  return decision;
 }
 
 std::vector<int> Deployment::ClassifyBatch(

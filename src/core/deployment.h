@@ -38,6 +38,18 @@ struct DeploymentOptions {
   MappingOptions mapping;
 };
 
+/// A soft classification: the argmax class plus a label-free confidence
+/// margin (top1 - top2) / top1 over the class scores, in [0, 1] (0 when
+/// the top score is not positive; 1 for single-class models). The
+/// margin is the serving runtime's per-request accuracy proxy: it needs
+/// no ground-truth label, and it collapses toward 0 as the link
+/// degrades, tracking accuracy closely enough to drive online drift
+/// detection (obs/health.h).
+struct SoftDecision {
+  int predicted = -1;
+  double margin = 0.0;
+};
+
 class Deployment {
  public:
   /// Maps `model`'s weights onto `surface` for the link described by
@@ -61,6 +73,12 @@ class Deployment {
   /// Argmax classification.
   int Classify(const std::vector<double>& pixels, double mts_clock_offset_us,
                Rng& rng) const;
+
+  /// Argmax classification plus the soft-decision margin. Consumes
+  /// exactly the same RNG draws as Classify, so swapping between the
+  /// two never perturbs a seeded run.
+  SoftDecision ClassifyWithMargin(const std::vector<double>& pixels,
+                                  double mts_clock_offset_us, Rng& rng) const;
 
   /// Batched classification for serving: one sample per entry with its
   /// own clock offset and pre-forked RNG stream (see par::ForkRngs).

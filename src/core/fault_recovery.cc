@@ -137,6 +137,44 @@ Deployment RecoverFromFaults(const TrainedModel& model,
   return Deployment(model, surface, std::move(link_config), options);
 }
 
+namespace {
+
+/// Shared diagnose -> re-solve -> evaluate tail of the two watchdog
+/// entries (polling and alert-driven); `site` labels the kFault probe.
+void DiagnoseAndRecover(const TrainedModel& model,
+                        const mts::Metasurface& surface,
+                        const sim::OtaLinkConfig& link_config,
+                        const DeploymentOptions& options,
+                        const Deployment& deployment,
+                        const nn::RealDataset& test, Rng& rng,
+                        const FaultWatchdogConfig& config, const char* site,
+                        FaultWatchdogResult& result) {
+  const FaultDiagnosis diagnosis =
+      DiagnoseDeployment(deployment, rng, config.diagnosis);
+  result.report.num_stuck_detected = diagnosis.num_stuck;
+  result.report.wdd_ratio = diagnosis.wdd_ratio;
+  // Re-solve even when nothing is stuck: the measured steering also
+  // repairs drift-induced miscalibration.
+  result.recovered.emplace(
+      RecoverFromFaults(model, surface, link_config, options, diagnosis));
+  result.report.recovered_accuracy =
+      result.recovered->EvaluateAccuracyAtOffset(test, 0.0, rng,
+                                                 config.check_samples);
+  obs::SetGauge("deploy.recovered_accuracy", result.report.recovered_accuracy);
+  if (obs::ProbesEnabled()) {
+    obs::Probe(
+        {.kind = obs::ProbeKind::kFault,
+         .site = site,
+         .values = {{"observed_accuracy", result.report.observed_accuracy},
+                    {"reference_accuracy", result.report.reference_accuracy},
+                    {"recovered_accuracy", result.report.recovered_accuracy},
+                    {"stuck", static_cast<double>(diagnosis.num_stuck)},
+                    {"wdd_ratio", diagnosis.wdd_ratio}}});
+  }
+}
+
+}  // namespace
+
 FaultWatchdogResult RunFaultWatchdog(const TrainedModel& model,
                                      const mts::Metasurface& surface,
                                      const sim::OtaLinkConfig& link_config,
@@ -156,28 +194,29 @@ FaultWatchdogResult RunFaultWatchdog(const TrainedModel& model,
   if (!result.report.tripped) return result;
 
   obs::Count("fault.watchdog_trips");
-  const FaultDiagnosis diagnosis =
-      DiagnoseDeployment(deployment, rng, config.diagnosis);
-  result.report.num_stuck_detected = diagnosis.num_stuck;
-  result.report.wdd_ratio = diagnosis.wdd_ratio;
-  // Re-solve even when nothing is stuck: the measured steering also
-  // repairs drift-induced miscalibration.
-  result.recovered.emplace(
-      RecoverFromFaults(model, surface, link_config, options, diagnosis));
-  result.report.recovered_accuracy =
-      result.recovered->EvaluateAccuracyAtOffset(test, 0.0, rng,
-                                                 config.check_samples);
-  obs::SetGauge("deploy.recovered_accuracy", result.report.recovered_accuracy);
-  if (obs::ProbesEnabled()) {
-    obs::Probe(
-        {.kind = obs::ProbeKind::kFault,
-         .site = "fault.watchdog",
-         .values = {{"observed_accuracy", result.report.observed_accuracy},
-                    {"reference_accuracy", reference_accuracy},
-                    {"recovered_accuracy", result.report.recovered_accuracy},
-                    {"stuck", static_cast<double>(diagnosis.num_stuck)},
-                    {"wdd_ratio", diagnosis.wdd_ratio}}});
-  }
+  DiagnoseAndRecover(model, surface, link_config, options, deployment, test,
+                     rng, config, "fault.watchdog", result);
+  return result;
+}
+
+FaultWatchdogResult RunFaultWatchdogOnAlert(
+    const TrainedModel& model, const mts::Metasurface& surface,
+    const sim::OtaLinkConfig& link_config, const DeploymentOptions& options,
+    const Deployment& deployment, const nn::RealDataset& test,
+    double reference_accuracy, const obs::health::Alert& alert, Rng& rng,
+    const FaultWatchdogConfig& config) {
+  Check(alert.kind == obs::health::AlertKind::kDriftDetected ||
+            alert.severity == obs::health::AlertSeverity::kCritical,
+        "alert-driven watchdog expects a drift or critical alert");
+  FaultWatchdogResult result;
+  result.report.reference_accuracy = reference_accuracy;
+  // The trip came from the online health layer, not a spot-check:
+  // record the alerting signal's observed value (an accuracy proxy).
+  result.report.observed_accuracy = alert.value;
+  result.report.tripped = true;
+  obs::Count("fault.watchdog_alert_trips");
+  DiagnoseAndRecover(model, surface, link_config, options, deployment, test,
+                     rng, config, "fault.watchdog_alert", result);
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/deployment.h"
+#include "obs/alerts.h"
 
 namespace metaai::core {
 
@@ -114,5 +115,23 @@ FaultWatchdogResult RunFaultWatchdog(const TrainedModel& model,
                                      const nn::RealDataset& test,
                                      double reference_accuracy, Rng& rng,
                                      const FaultWatchdogConfig& config = {});
+
+/// Alert-driven watchdog entry: a drift alert from the health layer
+/// (obs/alerts.h — AlertKind::kDriftDetected, or any critical alert)
+/// replaces the polling accuracy spot-check. The alert IS the trip:
+/// detection happened online from label-free signals, so no
+/// spot-check transmissions are spent deciding whether to diagnose —
+/// the pipeline goes straight to diagnose -> re-solve and evaluates
+/// the recovered deployment. The report's observed_accuracy holds the
+/// alert's observed signal value (an accuracy *proxy*, not an
+/// accuracy). Emits fault.watchdog_alert_trips alongside the shared
+/// fault.* recovery instruments. Throws CheckError for alerts that are
+/// neither drift-class nor critical.
+FaultWatchdogResult RunFaultWatchdogOnAlert(
+    const TrainedModel& model, const mts::Metasurface& surface,
+    const sim::OtaLinkConfig& link_config, const DeploymentOptions& options,
+    const Deployment& deployment, const nn::RealDataset& test,
+    double reference_accuracy, const obs::health::Alert& alert, Rng& rng,
+    const FaultWatchdogConfig& config = {});
 
 }  // namespace metaai::core

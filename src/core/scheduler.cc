@@ -132,6 +132,14 @@ int SharedSurfaceScheduler::Classify(std::size_t device,
   return deployments_[device]->Classify(pixels, mts_clock_offset_us, rng);
 }
 
+SoftDecision SharedSurfaceScheduler::ClassifyWithMargin(
+    std::size_t device, const std::vector<double>& pixels,
+    double mts_clock_offset_us, Rng& rng) const {
+  CheckIndex(device, deployments_.size(), "device");
+  return deployments_[device]->ClassifyWithMargin(pixels, mts_clock_offset_us,
+                                                  rng);
+}
+
 double SharedSurfaceScheduler::EvaluateDevice(std::size_t device,
                                               const nn::RealDataset& test,
                                               const sim::SyncModel& sync,

@@ -90,6 +90,13 @@ class SharedSurfaceScheduler {
   int Classify(std::size_t device, const std::vector<double>& pixels,
                double mts_clock_offset_us, Rng& rng) const;
 
+  /// Classification plus the soft-decision margin (see
+  /// Deployment::ClassifyWithMargin); consumes the same RNG draws as
+  /// Classify.
+  SoftDecision ClassifyWithMargin(std::size_t device,
+                                  const std::vector<double>& pixels,
+                                  double mts_clock_offset_us, Rng& rng) const;
+
   /// Per-device accuracy over its test set.
   double EvaluateDevice(std::size_t device, const nn::RealDataset& test,
                         const sim::SyncModel& sync, Rng& rng,

@@ -15,12 +15,23 @@ double SortedNearestRank(std::span<const double> sorted, double q) {
   return sorted[std::min(rank > 0 ? rank - 1 : 0, sorted.size() - 1)];
 }
 
+/// NaN has no place in a rank statistic: it breaks the strict weak
+/// ordering std::sort requires, so the sort itself would be UB. Reject
+/// loudly instead of silently producing an arbitrary percentile.
+std::vector<double> SortedCopy(std::span<const double> values) {
+  std::vector<double> sorted(values.begin(), values.end());
+  for (const double value : sorted) {
+    Check(!std::isnan(value), "nearest-rank percentile rejects NaN samples");
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
 }  // namespace
 
 double NearestRankPercentile(std::span<const double> values, double q) {
   if (values.empty()) return 0.0;
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double> sorted = SortedCopy(values);
   return SortedNearestRank(sorted, q);
 }
 
@@ -28,8 +39,7 @@ std::vector<double> NearestRankPercentiles(std::span<const double> values,
                                            std::span<const double> qs) {
   std::vector<double> results(qs.size(), 0.0);
   if (values.empty()) return results;
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
+  const std::vector<double> sorted = SortedCopy(values);
   for (std::size_t i = 0; i < qs.size(); ++i) {
     results[i] = SortedNearestRank(sorted, qs[i]);
   }

@@ -19,6 +19,7 @@
 namespace metaai::obs {
 
 /// Nearest-rank percentile, q in (0, 1]; returns 0 for an empty sample.
+/// Throws CheckError on NaN samples (a NaN breaks the sort ordering).
 double NearestRankPercentile(std::span<const double> values, double q);
 
 /// Batch of nearest-rank percentiles from one sort of `values`:

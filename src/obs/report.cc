@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "common/table.h"
+#include "obs/alerts.h"
 #include "obs/export.h"
 #include "obs/lifecycle.h"
 #include "obs/timeseries.h"
@@ -174,6 +175,31 @@ void RenderTimeSeries(const std::string& timeseries_jsonl, std::ostream& os) {
   os << series.ToString() << '\n';
 }
 
+void RenderAlerts(const std::string& alerts_jsonl, std::ostream& os) {
+  const std::vector<health::Alert> alerts =
+      health::AlertsFromJsonl(alerts_jsonl);
+  std::size_t critical = 0;
+  std::size_t drift = 0;
+  for (const health::Alert& alert : alerts) {
+    if (alert.severity == health::AlertSeverity::kCritical) ++critical;
+    if (alert.kind == health::AlertKind::kDriftDetected) ++drift;
+  }
+  Table table("Alerts (" + std::to_string(alerts.size()) + " total, " +
+                  std::to_string(critical) + " critical, " +
+                  std::to_string(drift) + " drift)",
+              {"seq", "t_s", "severity", "kind", "rule", "signal", "value",
+               "threshold", "tenant"});
+  for (const health::Alert& alert : alerts) {
+    table.AddRow({std::to_string(alert.seq), FormatDouble(alert.t_s, 4),
+                  std::string(health::AlertSeverityName(alert.severity)),
+                  std::string(health::AlertKindName(alert.kind)), alert.rule,
+                  alert.signal, FormatDouble(alert.value, 4),
+                  FormatDouble(alert.threshold, 4),
+                  std::to_string(alert.tenant)});
+  }
+  os << table.ToString() << '\n';
+}
+
 }  // namespace
 
 std::string RenderObsReport(const ObsReportInputs& inputs) {
@@ -183,6 +209,7 @@ std::string RenderObsReport(const ObsReportInputs& inputs) {
   if (!inputs.timeseries_jsonl.empty()) {
     RenderTimeSeries(inputs.timeseries_jsonl, os);
   }
+  if (!inputs.alerts_jsonl.empty()) RenderAlerts(inputs.alerts_jsonl, os);
   if (!inputs.metrics_json.empty()) {
     const RegistrySnapshot snapshot =
         SnapshotFromJson(ParseJson(inputs.metrics_json));

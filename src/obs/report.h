@@ -1,9 +1,10 @@
-// Text report over the four telemetry exports: renders any subset of a
+// Text report over the five telemetry exports: renders any subset of a
 // metrics document ("metaai.obs.v1"), a probe stream
-// ("metaai.probes.v1"), a time series ("metaai.timeseries.v1") and a
-// request log ("metaai.requests.v1") into one deterministic per-stage /
-// per-tenant console report. This is the library behind
-// tools/metaai_obs_report; the golden-file ctest pins the exact bytes.
+// ("metaai.probes.v1"), a time series ("metaai.timeseries.v1"), a
+// request log ("metaai.requests.v1") and an alert stream
+// ("metaai.alerts.v1") into one deterministic per-stage / per-tenant
+// console report. This is the library behind tools/metaai_obs_report;
+// the golden-file ctest pins the exact bytes.
 #pragma once
 
 #include <string>
@@ -17,6 +18,7 @@ struct ObsReportInputs {
   std::string probes_jsonl;
   std::string timeseries_jsonl;
   std::string requests_jsonl;
+  std::string alerts_jsonl;
 };
 
 /// Renders the report. Identical inputs render to identical bytes;

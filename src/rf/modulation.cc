@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -154,6 +155,29 @@ std::vector<std::uint8_t> DemodulateSymbols(std::span<const Complex> symbols,
     }
   }
   return bits;
+}
+
+double SoftDecisionMargin(std::span<const Complex> symbols,
+                          Modulation scheme) {
+  if (symbols.empty()) return 0.0;
+  const unsigned levels = 1u << BitsPerSymbol(scheme);
+  double total = 0.0;
+  for (const Complex& symbol : symbols) {
+    double nearest = std::numeric_limits<double>::infinity();
+    double second = std::numeric_limits<double>::infinity();
+    for (unsigned v = 0; v < levels; ++v) {
+      const double d = std::abs(symbol - MapBits(v, scheme));
+      if (d < nearest) {
+        second = nearest;
+        nearest = d;
+      } else if (d < second) {
+        second = d;
+      }
+    }
+    const double span = nearest + second;
+    total += span > 0.0 ? (second - nearest) / span : 0.0;
+  }
+  return total / static_cast<double>(symbols.size());
 }
 
 Complex SymbolForLevel(unsigned level, Modulation scheme) {

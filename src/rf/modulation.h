@@ -41,6 +41,15 @@ Signal ModulateBits(std::span<const std::uint8_t> bits, Modulation scheme);
 std::vector<std::uint8_t> DemodulateSymbols(std::span<const Complex> symbols,
                                             Modulation scheme);
 
+/// Label-free soft-decision margin of received symbols: per symbol,
+/// (d2 - d1) / (d1 + d2) with d1/d2 the distances to the nearest and
+/// second-nearest constellation points — 1 exactly on a point, 0 on a
+/// decision boundary. Returns the mean margin over `symbols` (0 for an
+/// empty span). Needs no ground truth, so it tracks demod confidence —
+/// and with it link quality — online; the health layer
+/// (obs/health.h) uses it as an accuracy proxy.
+double SoftDecisionMargin(std::span<const Complex> symbols, Modulation scheme);
+
 /// Maps an integer level in [0, 2^bits) directly onto its constellation
 /// point; used by the dataset encoder which quantizes a pixel to one symbol.
 Complex SymbolForLevel(unsigned level, Modulation scheme);

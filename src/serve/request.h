@@ -69,6 +69,13 @@ struct TenantStats {
   double latency_p99_s = 0.0;
   double latency_p999_s = 0.0;
   double energy_j = 0.0;
+  /// Online health (obs/health.h): alerts this tenant's engine raised
+  /// during the run (drift_alerts counts the kDriftDetected class) and
+  /// the median label-free accuracy proxy (soft-decision margin) over
+  /// its served requests.
+  std::size_t alerts = 0;
+  std::size_t drift_alerts = 0;
+  double margin_p50 = 0.0;
 };
 
 /// Aggregate virtual-time serving statistics for one Run.
@@ -108,6 +115,10 @@ struct ServeStats {
   /// carried one.
   std::size_t labeled = 0;
   std::size_t correct = 0;
+  /// Online health totals across all tenants (see TenantStats).
+  std::size_t alerts = 0;
+  std::size_t drift_alerts = 0;
+  double margin_p50 = 0.0;
 
   std::size_t rejected() const {
     return rejected_unknown_client + rejected_bad_input + rejected_queue_full;

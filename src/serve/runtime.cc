@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/health.h"
 #include "obs/obs.h"
 #include "obs/parallel.h"
 #include "obs/quantiles.h"
@@ -48,6 +49,27 @@ ServeResponse Rejected(const ServeRequest& request, RejectReason reason) {
           .arrival_s = request.arrival_s};
 }
 
+/// One AlertEngine per tenant (empty when health monitoring is off),
+/// all running the same rule set. Engines are fed exclusively from the
+/// serial control loop, so the merged alert stream is deterministic.
+std::vector<obs::health::AlertEngine> BuildHealthEngines(
+    const RuntimeOptions& options, std::size_t num_clients) {
+  std::vector<obs::health::AlertEngine> engines;
+  if (!options.health) return engines;
+  const std::vector<obs::health::AlertRule> rules =
+      options.health_rules.empty() ? obs::health::DefaultLinkHealthRules()
+                                   : options.health_rules;
+  engines.reserve(num_clients);
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    obs::health::AlertEngine engine(static_cast<std::int32_t>(c));
+    for (const obs::health::AlertRule& rule : rules) {
+      engine.AddRule(rule);
+    }
+    engines.push_back(std::move(engine));
+  }
+  return engines;
+}
+
 /// Fills the percentile/SLO/energy/accuracy fields of `stats` from the
 /// final response trace and the lifecycle traces (`traces` is indexed
 /// by submission order; only served entries are meaningful), compacts
@@ -57,13 +79,19 @@ ServeResponse Rejected(const ServeRequest& request, RejectReason reason) {
 void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
                    std::span<const ServeRequest> requests,
                    std::span<const obs::RequestTrace> traces,
+                   std::span<const double> margins,
+                   std::span<obs::health::AlertEngine> engines,
                    std::vector<std::string> tenant_names,
-                   obs::RequestLog& log) {
+                   obs::RequestLog& log,
+                   std::vector<obs::health::Alert>& alerts) {
   log.tenants = std::move(tenant_names);
   std::vector<double> waits;
   std::vector<double> latencies;
+  std::vector<double> served_margins;
+  std::vector<std::vector<double>> tenant_margins(log.tenants.size());
   waits.reserve(responses.size());
   latencies.reserve(responses.size());
+  served_margins.reserve(responses.size());
   for (std::size_t i = 0; i < responses.size(); ++i) {
     const ServeResponse& response = responses[i];
     if (response.rejected != RejectReason::kNone) continue;
@@ -79,6 +107,8 @@ void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
       ++stats.labeled;
       if (response.predicted == requests[i].label) ++stats.correct;
     }
+    served_margins.push_back(margins[i]);
+    tenant_margins[trace.tenant].push_back(margins[i]);
     log.traces.push_back(trace);
   }
 
@@ -113,6 +143,17 @@ void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
       ++tenant.slo_violations;
       ++stats.slo_violations;
       obs::Count("serve.slo.violations");
+      if (!engines.empty()) {
+        // Violation magnitude as the latency/target ratio, at the
+        // request's virtual readout time (matches the probe adapter in
+        // obs/health.h).
+        engines[trace.tenant].Observe(
+            obs::health::kSignalSloViolation,
+            trace.arrival_s + trace.Latency(),
+            trace.slo_s > 0.0 ? trace.Latency() / trace.slo_s
+                              : trace.Latency(),
+            alerts);
+      }
       if (obs::ProbesEnabled()) {
         obs::Probe({.kind = obs::ProbeKind::kSloViolation,
                     .site = "serve.slo",
@@ -132,11 +173,33 @@ void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
     stats.tenants[t].latency_p50_s = tails.p50;
     stats.tenants[t].latency_p99_s = tails.p99;
     stats.tenants[t].latency_p999_s = tails.p999;
+    stats.tenants[t].margin_p50 =
+        obs::NearestRankPercentile(tenant_margins[t], 0.50);
   }
   if (stats.virtual_duration_s > 0.0) {
     stats.goodput_slo_rps = static_cast<double>(stats.slo_within) /
                             stats.virtual_duration_s;
   }
+
+  // Health accounting: the engines have seen every signal by now (the
+  // SLO loop above was the last feed), so the alert stream is final.
+  stats.margin_p50 = obs::NearestRankPercentile(served_margins, 0.50);
+  for (const obs::health::Alert& alert : alerts) {
+    ++stats.alerts;
+    const bool drift = alert.kind == obs::health::AlertKind::kDriftDetected;
+    if (drift) ++stats.drift_alerts;
+    if (alert.tenant >= 0 &&
+        static_cast<std::size_t>(alert.tenant) < stats.tenants.size()) {
+      TenantStats& tenant = stats.tenants[static_cast<std::size_t>(
+          alert.tenant)];
+      ++tenant.alerts;
+      if (drift) ++tenant.drift_alerts;
+    }
+  }
+  obs::Count("health.alerts", stats.alerts);
+  obs::Count("health.drift_alerts", stats.drift_alerts);
+  obs::SetGauge("health.alerts_total", static_cast<double>(stats.alerts));
+  obs::SetGauge("health.margin_p50", stats.margin_p50);
 
   static const obs::HistogramSpec kTimeBuckets =
       obs::HistogramSpec::Exponential(1e-5, 2.0, 24);
@@ -207,6 +270,11 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
   result.stats.submitted = requests.size();
   result.responses.resize(requests.size());
   std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
+  // Per-request soft-decision margins (the label-free accuracy proxy),
+  // filled by the workers and consumed by the serial health loop.
+  std::vector<double> margins(requests.size(), 0.0);
+  std::vector<obs::health::AlertEngine> engines =
+      BuildHealthEngines(options_, num_clients());
 
   const double guard_s = options_.scheduler.guard_interval_s;
   const double demod_s = energy_.DemodLatencyS();
@@ -346,7 +414,8 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
                                     : 0.0},
              {"admitted", static_cast<double>(admitted)},
              {"served", static_cast<double>(dispatched_total)},
-             {"rejected", static_cast<double>(result.stats.rejected())}}});
+             {"rejected", static_cast<double>(result.stats.rejected())},
+             {"alerts", static_cast<double>(result.alerts.size())}}});
 
     // Every work item owns its request's pre-forked stream, so the
     // fan-out is bitwise identical for any thread count.
@@ -355,16 +424,27 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
       const ServeRequest& request = requests[item.index];
       Rng& request_rng = rngs[item.index];
       const double offset_us = sync.SampleOffsetUs(request_rng);
-      const int predicted = scheduler_->Classify(item.client, request.pixels,
-                                                 offset_us, request_rng);
+      const core::SoftDecision decision = scheduler_->ClassifyWithMargin(
+          item.client, request.pixels, offset_us, request_rng);
+      margins[item.index] = decision.margin;
       result.responses[item.index] = {.id = request.id,
                                       .client = request.client,
-                                      .predicted = predicted,
+                                      .predicted = decision.predicted,
                                       .rejected = RejectReason::kNone,
                                       .arrival_s = request.arrival_s,
                                       .start_s = item.start_s,
                                       .finish_s = item.finish_s};
     });
+    // Health evaluation stays in the serial control loop: feed each
+    // dispatched request's margin in slot order at its virtual readout
+    // time, so the alert stream is identical for any thread count.
+    if (!engines.empty()) {
+      for (const WorkItem& item : work) {
+        engines[item.client].Observe(obs::health::kSignalAccuracyProxy,
+                                     item.finish_s + demod_s,
+                                     margins[item.index], result.alerts);
+      }
+    }
     ++result.stats.frames;
     clock_s += frame.back().start_s + frame.back().duration_s + guard_s;
   }
@@ -373,8 +453,9 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
   for (std::size_t c = 0; c < num_clients(); ++c) {
     tenant_names.push_back(scheduler_->device_name(c));
   }
-  FinalizeStats(result.stats, result.responses, requests, traces,
-                std::move(tenant_names), result.request_log);
+  FinalizeStats(result.stats, result.responses, requests, traces, margins,
+                engines, std::move(tenant_names), result.request_log,
+                result.alerts);
   return result;
 }
 
@@ -390,6 +471,9 @@ ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
   result.stats.submitted = requests.size();
   result.responses.resize(requests.size());
   std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
+  std::vector<double> margins(requests.size(), 0.0);
+  std::vector<obs::health::AlertEngine> engines =
+      BuildHealthEngines(options_, num_clients());
 
   const double guard_s = options_.scheduler.guard_interval_s;
   const double demod_s = energy_.DemodLatencyS();
@@ -420,11 +504,17 @@ ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
     const double start_s = std::max(clock_s, request.arrival_s);
     const double finish_s = start_s + slot.duration_s;
     const double offset_us = sync.SampleOffsetUs(rngs[i]);
-    const int predicted = scheduler_->Classify(request.client, request.pixels,
-                                               offset_us, rngs[i]);
+    const core::SoftDecision decision = scheduler_->ClassifyWithMargin(
+        request.client, request.pixels, offset_us, rngs[i]);
+    margins[i] = decision.margin;
+    if (!engines.empty()) {
+      engines[request.client].Observe(obs::health::kSignalAccuracyProxy,
+                                      finish_s + demod_s, decision.margin,
+                                      result.alerts);
+    }
     result.responses[i] = {.id = request.id,
                            .client = request.client,
-                           .predicted = predicted,
+                           .predicted = decision.predicted,
                            .rejected = RejectReason::kNone,
                            .arrival_s = request.arrival_s,
                            .start_s = start_s,
@@ -462,7 +552,8 @@ ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
              {"cache_hit_rate", trace.cache_hit ? 1.0 : 0.0},
              {"admitted", static_cast<double>(admitted)},
              {"served", static_cast<double>(admitted)},
-             {"rejected", static_cast<double>(result.stats.rejected())}}});
+             {"rejected", static_cast<double>(result.stats.rejected())},
+             {"alerts", static_cast<double>(result.alerts.size())}}});
     clock_s = finish_s + guard_s;
   }
 
@@ -470,8 +561,9 @@ ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
   for (std::size_t c = 0; c < num_clients(); ++c) {
     tenant_names.push_back(scheduler_->device_name(c));
   }
-  FinalizeStats(result.stats, result.responses, requests, traces,
-                std::move(tenant_names), result.request_log);
+  FinalizeStats(result.stats, result.responses, requests, traces, margins,
+                engines, std::move(tenant_names), result.request_log,
+                result.alerts);
   return result;
 }
 

@@ -27,6 +27,7 @@
 
 #include "core/scheduler.h"
 #include "mts/config_cache.h"
+#include "obs/alerts.h"
 #include "obs/lifecycle.h"
 #include "obs/timeseries.h"
 #include "serve/request.h"
@@ -64,6 +65,16 @@ struct RuntimeOptions {
   /// Cost model behind the per-request energy estimates and the demod
   /// stage of the lifecycle traces (Tables 2-3 constants by default).
   sim::EnergyModelConfig energy;
+  /// Online health monitoring: when true (default), every served
+  /// request's soft-decision margin feeds a per-tenant AlertEngine, SLO
+  /// violations feed its slo_violation signal, and emitted alerts land
+  /// in ServeResult::alerts / TenantStats — all evaluated from the
+  /// serial control loop, so the alert stream is byte-identical across
+  /// thread counts.
+  bool health = true;
+  /// Rules installed in every tenant's engine;
+  /// obs::health::DefaultLinkHealthRules() when empty.
+  std::vector<obs::health::AlertRule> health_rules;
 };
 
 struct ServeResult {
@@ -78,6 +89,11 @@ struct ServeResult {
   /// depth, in-flight, frame utilization, cache hit rate, cumulative
   /// admission counters), appended by the serial control loop.
   std::vector<obs::TimeSeriesPoint> timeseries;
+  /// Typed alert stream from the per-tenant health engines, in emission
+  /// order (exports as "metaai.alerts.v1"). Empty when
+  /// RuntimeOptions::health is off, and for fault-free traces under the
+  /// default rules.
+  std::vector<obs::health::Alert> alerts;
 };
 
 class Runtime {

@@ -469,14 +469,33 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
           signal > 0.0 ? 10.0 * std::log10(signal / std::max(error, 1e-300))
                        : 0.0;
     }
+    std::vector<std::pair<std::string, double>> evm_values = {
+        {"evm_rms", total_signal > 0.0
+                        ? std::sqrt(total_error / total_signal)
+                        : 0.0},
+        {"symbols", static_cast<double>(num_symbols)},
+        {"clock_offset_us", mts_clock_offset_us}};
+    if (config_.data_modulation.has_value()) {
+      // Equalize back to data-symbol estimates zhat = z / (A * base) and
+      // measure the demod soft-decision margin: a label-free accuracy
+      // proxy the health layer consumes (obs/health.h).
+      std::vector<Complex> equalized;
+      equalized.reserve(num_obs * num_symbols);
+      for (std::size_t o = 0; o < num_obs; ++o) {
+        const double amplitude =
+            tx_amplitude_ * observations_[o].mts_amplitude;
+        for (std::size_t i = 0; i < num_symbols; ++i) {
+          const Complex denom = amplitude * base(o, i);
+          if (std::abs(denom) > 1e-12) equalized.push_back(z(o, i) / denom);
+        }
+      }
+      evm_values.emplace_back(
+          "soft_margin",
+          rf::SoftDecisionMargin(equalized, *config_.data_modulation));
+    }
     obs::Probe({.kind = obs::ProbeKind::kEvm,
                 .site = "link.transmit",
-                .values = {{"evm_rms",
-                            total_signal > 0.0
-                                ? std::sqrt(total_error / total_signal)
-                                : 0.0},
-                           {"symbols", static_cast<double>(num_symbols)},
-                           {"clock_offset_us", mts_clock_offset_us}},
+                .values = std::move(evm_values),
                 .series = per_obs_evm});
     obs::Probe({.kind = obs::ProbeKind::kSubcarrierSnr,
                 .site = "link.transmit",

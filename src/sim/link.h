@@ -32,6 +32,7 @@
 #include "fault/injector.h"
 #include "mts/metasurface.h"
 #include "rf/antenna.h"
+#include "rf/modulation.h"
 #include "rf/signal.h"
 #include "sim/environment.h"
 
@@ -85,6 +86,12 @@ struct OtaLinkConfig {
   double mts_phase_noise_std = 0.0;
   std::vector<Observation> observations = {Observation{}};
   std::uint64_t channel_seed = 1;  // environment realization seed
+  /// Modulation of the data symbols carried over this link, when known.
+  /// Enables the demod soft-decision margin ("soft_margin",
+  /// rf::SoftDecisionMargin over the equalized received symbols) on the
+  /// EVM probe — the label-free accuracy proxy the health layer
+  /// (obs/health.h) subscribes to. Deployments set it from their model.
+  std::optional<rf::Modulation> data_modulation;
   /// Optional hardware fault injection (metaai::fault). Static models
   /// (stuck atoms' pinned codes, aging drift on the steering) realize at
   /// link construction; dynamic ones (shift-chain corruption) perturb

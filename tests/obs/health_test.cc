@@ -1,0 +1,237 @@
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/probe.h"
+
+namespace metaai::obs::health {
+namespace {
+
+TEST(EwmaEstimatorTest, FirstSampleInitializesMean) {
+  EwmaEstimator ewma;
+  ewma.Observe(3.0);
+  EXPECT_EQ(ewma.count(), 1u);
+  EXPECT_EQ(ewma.mean(), 3.0);
+  EXPECT_EQ(ewma.variance(), 0.0);
+}
+
+TEST(EwmaEstimatorTest, ConstantStreamHasZeroVariance) {
+  EwmaEstimator ewma({.alpha = 0.2});
+  for (int i = 0; i < 50; ++i) ewma.Observe(1.25);
+  EXPECT_EQ(ewma.mean(), 1.25);
+  EXPECT_EQ(ewma.variance(), 0.0);
+}
+
+TEST(EwmaEstimatorTest, MeanTracksLevelShift) {
+  EwmaEstimator ewma({.alpha = 0.3});
+  for (int i = 0; i < 20; ++i) ewma.Observe(0.0);
+  for (int i = 0; i < 60; ++i) ewma.Observe(10.0);
+  EXPECT_GT(ewma.mean(), 9.9);
+  EXPECT_LT(ewma.mean(), 10.0 + 1e-12);
+}
+
+TEST(EwmaEstimatorTest, RejectsNonFiniteAndBadAlpha) {
+  EwmaEstimator ewma;
+  EXPECT_THROW(ewma.Observe(std::numeric_limits<double>::quiet_NaN()),
+               CheckError);
+  EXPECT_THROW(ewma.Observe(std::numeric_limits<double>::infinity()),
+               CheckError);
+  EXPECT_THROW(EwmaEstimator({.alpha = 0.0}), CheckError);
+  EXPECT_THROW(EwmaEstimator({.alpha = 1.5}), CheckError);
+}
+
+/// Noise-free alternating warmup stream: nonzero stddev, zero-mean, so
+/// the detectors have a meaningful normalization scale.
+void WarmupAlternating(CusumDetector& detector, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(detector.Observe(i % 2 == 0 ? 1.0 : -1.0));
+  }
+}
+
+TEST(CusumDetectorTest, StableStreamNeverFires) {
+  CusumDetector detector({.warmup = 16, .slack = 0.5, .threshold = 8.0});
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(detector.Observe(i % 2 == 0 ? 1.0 : -1.0));
+  }
+  EXPECT_TRUE(detector.warmed_up());
+  EXPECT_NEAR(detector.reference_mean(), 0.0, 1e-12);
+}
+
+TEST(CusumDetectorTest, DetectsLevelShiftAfterWarmup) {
+  CusumDetector detector({.warmup = 16, .slack = 0.5, .threshold = 8.0});
+  WarmupAlternating(detector, 16);
+  // Jump far above the reference: each sample adds ~(5 - slack) in
+  // stddev units, so the positive sum crosses 8 within a few samples.
+  int fired_at = -1;
+  for (int i = 0; i < 10; ++i) {
+    if (detector.Observe(5.0)) {
+      fired_at = i;
+      break;
+    }
+  }
+  EXPECT_GE(fired_at, 0);
+  EXPECT_LE(fired_at, 3);
+  // Detection resets the sums but keeps the reference.
+  EXPECT_EQ(detector.positive(), 0.0);
+  EXPECT_EQ(detector.negative(), 0.0);
+  EXPECT_NEAR(detector.reference_mean(), 0.0, 1e-12);
+}
+
+TEST(CusumDetectorTest, DetectsDownwardShiftToo) {
+  CusumDetector detector({.warmup = 16, .slack = 0.5, .threshold = 8.0});
+  WarmupAlternating(detector, 16);
+  bool fired = false;
+  for (int i = 0; i < 10 && !fired; ++i) fired = detector.Observe(-5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(CusumDetectorTest, ConstantWarmupFallsBackToAbsoluteUnits) {
+  // Zero warmup stddev would divide by ~0; the detector falls back to
+  // scale 1.0 so a unit shift still registers as a unit deviation.
+  CusumDetector detector({.warmup = 8, .slack = 0.5, .threshold = 4.0});
+  for (int i = 0; i < 8; ++i) EXPECT_FALSE(detector.Observe(2.0));
+  bool fired = false;
+  for (int i = 0; i < 5 && !fired; ++i) fired = detector.Observe(4.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(PageHinkleyDetectorTest, StableStreamNeverFires) {
+  PageHinkleyDetector detector({.warmup = 16, .delta = 0.05, .lambda = 10.0});
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(detector.Observe(i % 2 == 0 ? 1.0 : -1.0));
+  }
+  EXPECT_TRUE(detector.warmed_up());
+}
+
+TEST(PageHinkleyDetectorTest, DetectsDriftAfterWarmup) {
+  PageHinkleyDetector detector({.warmup = 16, .delta = 0.05, .lambda = 10.0});
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(detector.Observe(i % 2 == 0 ? 1.0 : -1.0));
+  }
+  bool fired = false;
+  int samples = 0;
+  for (int i = 0; i < 200 && !fired; ++i) {
+    fired = detector.Observe(6.0);
+    ++samples;
+  }
+  EXPECT_TRUE(fired) << "drift not detected in " << samples << " samples";
+}
+
+TEST(PageHinkleyDetectorTest, DetectsDownwardDriftToo) {
+  PageHinkleyDetector detector({.warmup = 16, .delta = 0.05, .lambda = 10.0});
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(detector.Observe(i % 2 == 0 ? 1.0 : -1.0));
+  }
+  bool fired = false;
+  for (int i = 0; i < 200 && !fired; ++i) fired = detector.Observe(-6.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(PageHinkleyDetectorTest, RejectsNonFiniteSamples) {
+  PageHinkleyDetector detector;
+  EXPECT_THROW(detector.Observe(std::numeric_limits<double>::infinity()),
+               CheckError);
+}
+
+TEST(WindowedQuantileTest, WindowEvictsOldestSamples) {
+  WindowedQuantile window(4);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 100.0, 101.0, 102.0, 103.0}) {
+    window.Observe(v);
+  }
+  EXPECT_EQ(window.size(), 4u);
+  // Only the last four samples remain.
+  EXPECT_EQ(window.Quantile(0.5), 101.0);
+  EXPECT_EQ(window.Tails().p99, 103.0);
+}
+
+TEST(WindowedQuantileTest, EmptyWindowAnswersZero) {
+  const WindowedQuantile window(8);
+  EXPECT_EQ(window.Quantile(0.5), 0.0);
+  EXPECT_EQ(window.Tails().p50, 0.0);
+}
+
+TEST(HealthMonitorTest, TracksSignalsInFirstObservationOrder) {
+  HealthMonitor monitor;
+  monitor.Observe("b", 2.0);
+  monitor.Observe("a", 1.0);
+  monitor.Observe("b", 4.0);
+  ASSERT_EQ(monitor.Signals().size(), 2u);
+  EXPECT_EQ(monitor.Signals()[0], "b");
+  EXPECT_EQ(monitor.Signals()[1], "a");
+  EXPECT_TRUE(monitor.Has("a"));
+  EXPECT_FALSE(monitor.Has("c"));
+  const SignalStats stats = monitor.Stats("b");
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_EQ(stats.last, 4.0);
+  EXPECT_EQ(stats.p50, 2.0);
+  EXPECT_EQ(monitor.Stats("missing"), SignalStats{});
+}
+
+TEST(HealthSignalsFromProbeTest, MapsEvmAndSoftMargin) {
+  const ProbeRecord record{.kind = ProbeKind::kEvm,
+                           .site = "link.transmit",
+                           .values = {{"evm_rms", 0.12},
+                                      {"symbols", 64.0},
+                                      {"soft_margin", 0.4}}};
+  const auto signals = HealthSignalsFromProbe(record);
+  ASSERT_EQ(signals.size(), 2u);
+  EXPECT_EQ(signals[0].first, kSignalEvm);
+  EXPECT_EQ(signals[0].second, 0.12);
+  EXPECT_EQ(signals[1].first, kSignalAccuracyProxy);
+  EXPECT_EQ(signals[1].second, 0.4);
+}
+
+TEST(HealthSignalsFromProbeTest, SnrUsesSeriesMeanWithNominalFallback) {
+  const ProbeRecord with_series{.kind = ProbeKind::kSubcarrierSnr,
+                                .site = "link.snr",
+                                .values = {{"nominal_snr_db", 20.0}},
+                                .series = {10.0, 20.0, 30.0}};
+  auto signals = HealthSignalsFromProbe(with_series);
+  ASSERT_EQ(signals.size(), 1u);
+  EXPECT_EQ(signals[0].first, kSignalSnrDb);
+  EXPECT_EQ(signals[0].second, 20.0);
+
+  const ProbeRecord nominal_only{.kind = ProbeKind::kSubcarrierSnr,
+                                 .site = "link.snr",
+                                 .values = {{"nominal_snr_db", 17.5}}};
+  signals = HealthSignalsFromProbe(nominal_only);
+  ASSERT_EQ(signals.size(), 1u);
+  EXPECT_EQ(signals[0].second, 17.5);
+}
+
+TEST(HealthSignalsFromProbeTest, SloViolationUsesLatencyTargetRatio) {
+  const ProbeRecord record{.kind = ProbeKind::kSloViolation,
+                           .site = "serve.slo",
+                           .values = {{"latency_s", 0.004},
+                                      {"slo_s", 0.002}}};
+  const auto signals = HealthSignalsFromProbe(record);
+  ASSERT_EQ(signals.size(), 1u);
+  EXPECT_EQ(signals[0].first, kSignalSloViolation);
+  EXPECT_NEAR(signals[0].second, 2.0, 1e-12);
+}
+
+TEST(HealthSignalsFromProbeTest, UnrelatedKindsMapToNothing) {
+  const ProbeRecord record{.kind = ProbeKind::kScalar,
+                           .site = "something.else",
+                           .values = {{"x", 1.0}}};
+  EXPECT_TRUE(HealthSignalsFromProbe(record).empty());
+}
+
+TEST(ObserveProbeTest, FeedsMonitorAndReportsCount) {
+  HealthMonitor monitor;
+  const ProbeRecord record{.kind = ProbeKind::kSyncOffset,
+                           .site = "sync.sample",
+                           .values = {{"offset_us", 1.5}}};
+  EXPECT_EQ(ObserveProbe(monitor, record), 1u);
+  EXPECT_TRUE(monitor.Has(kSignalSyncOffsetUs));
+  EXPECT_EQ(monitor.Stats(kSignalSyncOffsetUs).last, 1.5);
+}
+
+}  // namespace
+}  // namespace metaai::obs::health

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -53,6 +54,34 @@ TEST(NearestRankPercentilesTest, BatchMatchesSingleCalls) {
   for (std::size_t i = 0; i < qs.size(); ++i) {
     EXPECT_EQ(batch[i], NearestRankPercentile(values, qs[i])) << "q=" << qs[i];
   }
+}
+
+TEST(NearestRankPercentileTest, AllEqualSamplesReturnThatValue) {
+  const std::vector<double> values(17, 3.75);
+  EXPECT_EQ(NearestRankPercentile(values, 0.001), 3.75);
+  EXPECT_EQ(NearestRankPercentile(values, 0.5), 3.75);
+  EXPECT_EQ(NearestRankPercentile(values, 0.999), 3.75);
+  const TailDigest digest = DigestTails(values);
+  EXPECT_EQ(digest.p50, 3.75);
+  EXPECT_EQ(digest.p99, 3.75);
+  EXPECT_EQ(digest.p999, 3.75);
+}
+
+TEST(NearestRankPercentileTest, RejectsNanSamples) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> poisoned = {1.0, nan, 2.0};
+  const std::vector<double> qs = {0.5};
+  EXPECT_THROW(NearestRankPercentile(poisoned, 0.5), CheckError);
+  EXPECT_THROW(NearestRankPercentiles(poisoned, qs), CheckError);
+  EXPECT_THROW(DigestTails(poisoned), CheckError);
+}
+
+TEST(DigestTailsTest, SingleSampleDigestIsThatSample) {
+  const std::vector<double> one = {42.0};
+  const TailDigest digest = DigestTails(one);
+  EXPECT_EQ(digest.p50, 42.0);
+  EXPECT_EQ(digest.p99, 42.0);
+  EXPECT_EQ(digest.p999, 42.0);
 }
 
 TEST(DigestTailsTest, MatchesNearestRankAndIsMonotone) {

@@ -5,6 +5,7 @@
 // byte-identical across thread counts, cache states and batching modes.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -248,6 +249,75 @@ TEST(ServeLifecycleTest, UnbatchedTracesAreDeterministicAndComplete) {
     EXPECT_GT(trace.stage(obs::RequestStage::kAirtime), 0.0);
   }
   EXPECT_EQ(first.timeseries.size(), first.stats.served);
+}
+
+TEST(ServeLifecycleTest, AlertStreamIsByteIdenticalAcrossThreadCounts) {
+  const auto requests = SmallTrace(12);
+  const sim::SyncModel sync = DefaultSync();
+  auto alerts_jsonl = [&](int threads) {
+    const par::ScopedThreadCount scoped(threads);
+    Rng rng(89);
+    const ServeResult result = SharedRuntime().Run(requests, sync, rng);
+    return obs::health::ToAlertsJsonl(result.alerts);
+  };
+  const std::string serial = alerts_jsonl(1);
+  for (const int threads : {1, 2, 4, 8}) {
+    EXPECT_EQ(alerts_jsonl(threads), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ServeLifecycleTest, HealthAccountingMatchesAlertStream) {
+  const auto requests = SmallTrace(12);
+  const sim::SyncModel sync = DefaultSync();
+  Rng rng(97);
+  const ServeResult result = SharedRuntime().Run(requests, sync, rng);
+  // The strict tenant's impossible SLO drives its slo_violation signal
+  // past the magnitude ceiling, so the run raises at least one alert.
+  ASSERT_FALSE(result.alerts.empty());
+  EXPECT_EQ(result.stats.alerts, result.alerts.size());
+  std::size_t tenant_sum = 0;
+  std::size_t drift = 0;
+  for (const TenantStats& tenant : result.stats.tenants) {
+    tenant_sum += tenant.alerts;
+  }
+  for (const obs::health::Alert& alert : result.alerts) {
+    EXPECT_EQ(alert.seq, static_cast<std::uint64_t>(
+                             &alert - result.alerts.data()));
+    EXPECT_GE(alert.tenant, 0);
+    if (alert.kind == obs::health::AlertKind::kDriftDetected) ++drift;
+  }
+  EXPECT_EQ(tenant_sum, result.alerts.size());
+  EXPECT_EQ(result.stats.drift_alerts, drift);
+  // Served requests carry real soft-decision margins.
+  EXPECT_GT(result.stats.margin_p50, 0.0);
+  for (const TenantStats& tenant : result.stats.tenants) {
+    EXPECT_GT(tenant.margin_p50, 0.0);
+  }
+  // The per-frame time series tracks the cumulative alert count as of
+  // each dispatch; alerts raised in the epilogue (SLO accounting) only
+  // appear in the final stream, so the last tick is a lower bound.
+  ASSERT_FALSE(result.timeseries.empty());
+  double previous = 0.0;
+  for (const obs::TimeSeriesPoint& point : result.timeseries) {
+    EXPECT_GE(point.Value("alerts"), previous);
+    previous = point.Value("alerts");
+  }
+  EXPECT_LE(previous, static_cast<double>(result.alerts.size()));
+}
+
+TEST(ServeLifecycleTest, HealthOffDisablesAlerting) {
+  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const Runtime quiet(surface, SloClients(1e-9, 10.0),
+                      {.cache = &SharedCache(), .health = false});
+  const auto requests = SmallTrace(8);
+  const sim::SyncModel sync = DefaultSync();
+  Rng rng(101);
+  const ServeResult result = quiet.Run(requests, sync, rng);
+  EXPECT_TRUE(result.alerts.empty());
+  EXPECT_EQ(result.stats.alerts, 0u);
+  EXPECT_EQ(result.stats.drift_alerts, 0u);
+  // Margins are still measured (they ride the classification pass).
+  EXPECT_GT(result.stats.margin_p50, 0.0);
 }
 
 TEST(ServeLifecycleTest, TimeSeriesTicksOncePerFrameAndCounts) {

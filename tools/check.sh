@@ -8,7 +8,12 @@
 #      parallel-determinism, fault-injection/recovery and serving-runtime
 #      suites under real data race detection, plus the metaai_obs_report
 #      golden-file test against the TSan-built tool.
-#   4. Bench suite with baseline regression gating (run_benches.sh,
+#   4. UBSan-only build (-DMETAAI_SANITIZE=undefined, trap-on-error)
+#      running the obs + serve suites: the health estimators and alert
+#      engine do a lot of floating-point edge-case math (variance
+#      recursions, nearest-rank indexing) where UB hides behind ASan's
+#      noise floor.
+#   5. Bench suite with baseline regression gating (run_benches.sh,
 #      which invokes metaai_bench_diff when bench/baselines/ exists).
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build-check)
@@ -17,19 +22,19 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 prefix="${1:-${repo_root}/build-check}"
 
-echo "=== [1/4] strict build + ctest"
+echo "=== [1/5] strict build + ctest"
 cmake -B "${prefix}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release -DMETAAI_WERROR=ON -DMETAAI_OBS=ON
 cmake --build "${prefix}" -j"$(nproc)"
 ctest --test-dir "${prefix}" --output-on-failure
 
-echo "=== [2/4] ASan/UBSan full ctest"
+echo "=== [2/5] ASan/UBSan full ctest"
 cmake -B "${prefix}-asan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=ON -DMETAAI_OBS=ON
 cmake --build "${prefix}-asan" -j"$(nproc)"
 ctest --test-dir "${prefix}-asan" --output-on-failure
 
-echo "=== [3/4] TSan on thread-pool + determinism suites"
+echo "=== [3/5] TSan on thread-pool + determinism suites"
 cmake -B "${prefix}-tsan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=thread -DMETAAI_OBS=ON
 cmake --build "${prefix}-tsan" -j"$(nproc)" \
@@ -38,7 +43,14 @@ cmake --build "${prefix}-tsan" -j"$(nproc)" \
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
   -R 'Parallel|Tracer|Telemetry|Fault|Serve|ObsReport|obs_report'
 
-echo "=== [4/4] benches + baseline diff"
+echo "=== [4/5] UBSan on obs + serve suites"
+cmake -B "${prefix}-ubsan" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=undefined -DMETAAI_OBS=ON
+cmake --build "${prefix}-ubsan" -j"$(nproc)" --target test_obs test_serve
+ctest --test-dir "${prefix}-ubsan" --output-on-failure \
+  -R 'Ewma|Cusum|PageHinkley|WindowedQuantile|HealthMonitor|HealthSignals|ObserveProbe|Alert|Quantile|Percentile|Serve|Lifecycle|TimeSeries'
+
+echo "=== [5/5] benches + baseline diff"
 "${repo_root}/tools/run_benches.sh" "${prefix}-bench"
 
 echo "check.sh: all gates passed"

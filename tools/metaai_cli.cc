@@ -31,6 +31,10 @@
 //   --probes-out FILE    "metaai.probes.v1" JSONL flight-recorder dump
 //                        (EVM, per-subcarrier SNR, sync offsets, solver
 //                        curves, phase configs, constellation samples)
+// `serve` and `ota` additionally accept `--alerts-out FILE`, writing the
+// run's "metaai.alerts.v1" JSONL alert stream from the online health
+// monitor (obs/health.h, obs/alerts.h) — empty on healthy runs, drift/
+// threshold alerts under injected faults or SLO pressure.
 // See README.md "Telemetry".
 #include <array>
 #include <cstdio>
@@ -47,6 +51,7 @@
 #include "data/datasets.h"
 #include "fault/injector.h"
 #include "mts/config_cache.h"
+#include "obs/alerts.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 #include "rf/geometry.h"
@@ -236,6 +241,38 @@ int Ota(const Args& args) {
     std::printf("recovered over-the-air accuracy: %.2f%%\n",
                 100.0 * recovered_accuracy);
   }
+  if (args.Has("alerts-out")) {
+    // Online health pass: classify the same spot-check set with the
+    // soft-decision margin as a label-free accuracy proxy and run the
+    // default link-health rules over it. Healthy links emit nothing;
+    // injected faults collapse the margins and fire drift alerts.
+    obs::health::AlertEngine engine(0);
+    for (obs::health::AlertRule& rule : obs::health::DefaultLinkHealthRules()) {
+      engine.AddRule(std::move(rule));
+    }
+    std::vector<obs::health::Alert> alerts;
+    Rng health_rng(std::stoull(args.Get("seed", "7")));
+    const std::size_t checked = std::min(samples, dataset.test.size());
+    // Virtual time advances one OTA frame per inference.
+    const double frame_s =
+        static_cast<double>(deployment.RoundsPerInference()) *
+        static_cast<double>(deployment.schedules().rounds[0].size()) /
+        deployment.link().config().symbol_rate_hz;
+    for (std::size_t i = 0; i < checked; ++i) {
+      const core::SoftDecision decision = deployment.ClassifyWithMargin(
+          dataset.test.features[i], 0.0, health_rng);
+      engine.Observe(obs::health::kSignalAccuracyProxy,
+                     static_cast<double>(i + 1) * frame_s, decision.margin,
+                     alerts);
+    }
+    const std::string path = args.Get("alerts-out");
+    if (!obs::health::WriteAlertsFile(alerts, path)) {
+      std::fprintf(stderr, "error: cannot write alerts to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu alerts to %s (%zu inferences monitored)\n",
+                alerts.size(), path.c_str(), checked);
+  }
   return 0;
 }
 
@@ -353,6 +390,17 @@ int Serve(const Args& args) {
                     static_cast<double>(stats.labeled),
                 stats.labeled);
   }
+  std::printf("health: %zu alerts (%zu drift), margin p50 %.3f\n",
+              stats.alerts, stats.drift_alerts, stats.margin_p50);
+  if (args.Has("alerts-out")) {
+    const std::string path = args.Get("alerts-out");
+    if (!obs::health::WriteAlertsFile(result.alerts, path)) {
+      std::fprintf(stderr, "error: cannot write alerts to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu alerts to %s\n", result.alerts.size(),
+                path.c_str());
+  }
   const mts::ConfigCache::Stats cache_stats = cache.stats();
   std::printf("solver cache: %llu hits, %llu misses (hit rate %.0f%%)\n",
               static_cast<unsigned long long>(cache_stats.hits),
@@ -380,10 +428,10 @@ int Usage() {
       "  eval       --dataset NAME --model FILE\n"
       "  deploy     --model FILE --out FILE\n"
       "  ota        --dataset NAME --model FILE [--samples N] [--seed N]\n"
-      "             [--faults SPEC] [--recover]\n"
+      "             [--faults SPEC] [--recover] [--alerts-out FILE]\n"
       "  serve      --dataset NAME [--clients N] [--duration S] [--rate HZ]\n"
       "             [--queue-capacity N] [--frame-budget N] [--no-cache]\n"
-      "             [--unbatched] [--seed N]\n"
+      "             [--unbatched] [--seed N] [--alerts-out FILE]\n"
       "  quickstart --dataset NAME [--samples N] [--seed N]\n"
       "  datasets\n"
       "All dataset commands accept --train-per-class N / --test-per-class N\n"
@@ -403,7 +451,9 @@ int Usage() {
       "--metrics-out writes the run's telemetry (metaai.obs.v1 JSON),\n"
       "--trace-out a Chrome-trace JSON of the spans (chrome://tracing /\n"
       "Perfetto), --probes-out a metaai.probes.v1 JSONL flight-recorder\n"
-      "dump of the physical-layer probes.");
+      "dump of the physical-layer probes.\n"
+      "--alerts-out (serve, ota) writes the online health monitor's\n"
+      "metaai.alerts.v1 JSONL alert stream (empty on healthy runs).");
   return 2;
 }
 
@@ -421,13 +471,13 @@ int Dispatch(const Args& args) {
 /// Every flag any command accepts. A flag outside this list is a hard
 /// error — silently ignoring a typo ("--sample 10") would quietly run
 /// with defaults.
-constexpr std::array<std::string_view, 21> kKnownFlags = {
+constexpr std::array<std::string_view, 22> kKnownFlags = {
     "dataset",         "out",            "model",        "samples",
     "seed",            "robust",         "recover",      "faults",
     "threads",         "metrics-out",    "trace-out",    "probes-out",
     "train-per-class", "test-per-class", "clients",      "duration",
     "rate",            "queue-capacity", "frame-budget", "no-cache",
-    "unbatched",
+    "unbatched",       "alerts-out",
 };
 
 bool FlagKnown(const std::string& key) {

@@ -2,9 +2,11 @@
 //
 //   metaai_obs_report [--metrics metrics.json] [--probes probes.jsonl]
 //                     [--timeseries ts.jsonl] [--requests requests.jsonl]
+//                     [--alerts alerts.jsonl]
 //
 // Each flag names a document in the matching schema (metaai.obs.v1,
-// metaai.probes.v1, metaai.timeseries.v1, metaai.requests.v1); any
+// metaai.probes.v1, metaai.timeseries.v1, metaai.requests.v1,
+// metaai.alerts.v1); any
 // subset may be given and sections render in a fixed order. The output
 // is deterministic — identical inputs print identical bytes, which the
 // golden-file ctest in tools/CMakeLists.txt pins.
@@ -33,6 +35,7 @@ int Usage() {
       "                         [--probes probes.jsonl]\n"
       "                         [--timeseries ts.jsonl]\n"
       "                         [--requests requests.jsonl]\n"
+      "                         [--alerts alerts.jsonl]\n"
       "Renders the given telemetry documents as one text report.\n",
       stderr);
   return 2;
@@ -55,6 +58,8 @@ int main(int argc, char** argv) {
         inputs.timeseries_jsonl = ReadFile(path);
       } else if (flag == "--requests") {
         inputs.requests_jsonl = ReadFile(path);
+      } else if (flag == "--alerts") {
+        inputs.alerts_jsonl = ReadFile(path);
       } else {
         std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
         return Usage();

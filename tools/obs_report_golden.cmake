@@ -8,6 +8,7 @@ execute_process(
           --probes ${DATA}/probes.jsonl
           --timeseries ${DATA}/timeseries.jsonl
           --requests ${DATA}/requests.jsonl
+          --alerts ${DATA}/alerts.jsonl
   OUTPUT_FILE ${OUT}
   RESULT_VARIABLE status)
 if(NOT status EQUAL 0)
