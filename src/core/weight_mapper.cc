@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "obs/parallel.h"
 
 namespace metaai::core {
@@ -96,9 +97,26 @@ std::vector<sim::Complex> ResolveTargetOffsets(const sim::OtaLink& link,
   return offsets;
 }
 
+// Per-target solve options: a warm-started mapping seeds each
+// (round, symbol) solve with the corresponding codes of the nearest
+// cached schedule and lets it exit early once a sweep's relative
+// improvement drops under the warm-start threshold; cold mappings use
+// the caller's solver options untouched (exact legacy behaviour).
+mts::SolveOptions SolverFor(const MappingOptions& options,
+                            const mts::CachedConfig* warm_from,
+                            std::size_t round, std::size_t symbol) {
+  mts::SolveOptions solver = options.solver;
+  if (warm_from != nullptr) {
+    solver.initial_codes = warm_from->rounds[round][symbol];
+    solver.min_sweep_improvement = options.warm_start_min_improvement;
+  }
+  return solver;
+}
+
 MappedSchedules MapSequentialImpl(const ComplexMatrix& weights,
                                   const sim::OtaLink& link,
-                                  const MappingOptions& options) {
+                                  const MappingOptions& options,
+                                  const mts::CachedConfig* warm_from) {
   Check(link.num_observations() == 1,
         "sequential mapping expects a single-observation link");
   const ComplexMatrix resolved = ResolveSteering(weights, link, options);
@@ -124,7 +142,8 @@ MappedSchedules MapSequentialImpl(const ComplexMatrix& weights,
     const std::size_t r = k / cols;
     const std::size_t i = k % cols;
     const sim::Complex target = scale * weights(r, i) - env_offset;
-    solved[k] = mts::SolveSingleTarget(steering, target, options.solver);
+    solved[k] = mts::SolveSingleTarget(steering, target,
+                                       SolverFor(options, warm_from, r, i));
   });
   double residual_sum = 0.0;
   std::size_t residual_count = 0;
@@ -134,6 +153,7 @@ MappedSchedules MapSequentialImpl(const ComplexMatrix& weights,
     for (std::size_t i = 0; i < cols; ++i) {
       const sim::Complex target = scale * weights(r, i) - env_offset;
       mts::SolveResult& solve = solved[r * cols + i];
+      result.total_sweeps += solve.sweeps_used;
       schedule.push_back(std::move(solve.codes));
       if (std::abs(target) > 1e-12) {
         residual_sum += solve.residual / std::abs(target);
@@ -143,6 +163,7 @@ MappedSchedules MapSequentialImpl(const ComplexMatrix& weights,
     result.rounds.push_back(std::move(schedule));
     result.outputs.push_back({static_cast<int>(r)});
   }
+  result.warm_started = warm_from != nullptr;
   result.mean_relative_residual =
       residual_count > 0 ? residual_sum / static_cast<double>(residual_count)
                          : 0.0;
@@ -151,7 +172,8 @@ MappedSchedules MapSequentialImpl(const ComplexMatrix& weights,
 
 MappedSchedules MapParallelImpl(const ComplexMatrix& weights,
                                 const sim::OtaLink& link,
-                                const MappingOptions& options) {
+                                const MappingOptions& options,
+                                const mts::CachedConfig* warm_from) {
   const ComplexMatrix steering = ResolveSteering(weights, link, options);
   const std::size_t width = steering.rows();
   const std::size_t atoms = steering.cols();
@@ -212,7 +234,7 @@ MappedSchedules MapParallelImpl(const ComplexMatrix& weights,
     const std::size_t round = k / cols;
     const std::size_t i = k % cols;
     solved[k] = mts::SolveMultiTarget(steering, targets_for(round, i),
-                                      options.solver);
+                                      SolverFor(options, warm_from, round, i));
   });
 
   for (std::size_t round = 0; round < num_rounds; ++round) {
@@ -221,6 +243,7 @@ MappedSchedules MapParallelImpl(const ComplexMatrix& weights,
     for (std::size_t i = 0; i < cols; ++i) {
       mts::SolveResult& solve = solved[round * cols + i];
       const std::vector<sim::Complex> targets = targets_for(round, i);
+      result.total_sweeps += solve.sweeps_used;
       schedule.push_back(std::move(solve.codes));
       for (std::size_t o = 0; o < width; ++o) {
         if (round_outputs[round][o] >= 0 && std::abs(targets[o]) > 1e-12) {
@@ -236,6 +259,7 @@ MappedSchedules MapParallelImpl(const ComplexMatrix& weights,
   result.mean_relative_residual =
       residual_count > 0 ? residual_sum / static_cast<double>(residual_count)
                          : 0.0;
+  result.warm_started = warm_from != nullptr;
   return result;
 }
 
@@ -247,29 +271,33 @@ MappingScheme ResolveScheme(const MappingOptions& options,
 }
 
 MappedSchedules Solve(MappingScheme scheme, const ComplexMatrix& weights,
-                      const sim::OtaLink& link,
-                      const MappingOptions& options) {
+                      const sim::OtaLink& link, const MappingOptions& options,
+                      const mts::CachedConfig* warm_from) {
   return scheme == MappingScheme::kSequential
-             ? MapSequentialImpl(weights, link, options)
-             : MapParallelImpl(weights, link, options);
+             ? MapSequentialImpl(weights, link, options, warm_from)
+             : MapParallelImpl(weights, link, options, warm_from);
 }
 
-}  // namespace
-
-std::string MappingCacheKey(const ComplexMatrix& weights,
+// Field order is the contract: every input the solve depends on, as raw
+// bytes. The family form leaves out the weight *values* (their shape
+// stays) so nearest-neighbour warm starts only ever pair mappings that
+// differ in nothing but the weights. Bump the tag when the solve
+// algorithm itself changes.
+std::string BuildMappingKey(const ComplexMatrix& weights,
                             const sim::OtaLink& link,
-                            const MappingOptions& options) {
+                            const MappingOptions& options,
+                            bool include_weight_bytes) {
   const MappingScheme scheme = ResolveScheme(options, link);
   const ComplexMatrix steering = ResolveSteering(weights, link, options);
   const std::vector<sim::Complex> offsets = ResolveTargetOffsets(link, options);
-  // Field order is the contract: every input the solve depends on, as
-  // raw bytes. Bump the tag when the solve algorithm itself changes.
   mts::ConfigKey key;
   key.Tag("metaai.mapping.v1");
   key.Add(static_cast<std::uint64_t>(scheme));
   key.Add(static_cast<std::uint64_t>(weights.rows()));
   key.Add(static_cast<std::uint64_t>(weights.cols()));
-  key.AddBytes(weights.data(), weights.size() * sizeof(sim::Complex));
+  if (include_weight_bytes) {
+    key.AddBytes(weights.data(), weights.size() * sizeof(sim::Complex));
+  }
   key.Add(static_cast<std::uint64_t>(steering.rows()));
   key.Add(static_cast<std::uint64_t>(steering.cols()));
   key.AddBytes(steering.data(), steering.size() * sizeof(sim::Complex));
@@ -281,17 +309,77 @@ std::string MappingCacheKey(const ComplexMatrix& weights,
     key.AddBytes(options.solver.atom_mask.data(),
                  options.solver.atom_mask.size());
   }
+  // Warm-start parameters change which schedule a mapping produces (a
+  // warm solve is equivalent within tolerance, not bitwise), so warm
+  // and cold configurations must never share cache entries.
+  key.Add(options.warm_start_distance);
+  key.Add(options.warm_start_min_improvement);
   return std::move(key).Take();
+}
+
+// A nearest entry is only usable as a warm start if its schedule has
+// exactly the shape this mapping will produce. Same family implies same
+// shape; this guards against a caller inserting mismatched entries.
+bool WarmShapeMatches(const mts::CachedConfig& candidate,
+                      MappingScheme scheme, const ComplexMatrix& weights,
+                      const sim::OtaLink& link) {
+  const std::size_t width = link.num_observations();
+  const std::size_t atoms = link.SteeringVector(0).size();
+  const std::size_t expected_rounds =
+      scheme == MappingScheme::kSequential
+          ? weights.rows()
+          : (weights.rows() + width - 1) / width;
+  if (candidate.rounds.size() != expected_rounds) return false;
+  for (const sim::MtsSchedule& round : candidate.rounds) {
+    if (round.size() != weights.cols()) return false;
+    for (const std::vector<mts::PhaseCode>& codes : round) {
+      if (codes.size() != atoms) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string MappingCacheKey(const ComplexMatrix& weights,
+                            const sim::OtaLink& link,
+                            const MappingOptions& options) {
+  return BuildMappingKey(weights, link, options,
+                         /*include_weight_bytes=*/true);
+}
+
+std::string MappingFamilyKey(const ComplexMatrix& weights,
+                             const sim::OtaLink& link,
+                             const MappingOptions& options) {
+  return BuildMappingKey(weights, link, options,
+                         /*include_weight_bytes=*/false);
+}
+
+std::vector<double> MappingFeatures(const ComplexMatrix& weights) {
+  const double max_mag = MaxWeightMagnitude(weights);
+  Check(max_mag > 0.0, "all-zero weight matrix");
+  std::vector<double> features;
+  features.reserve(2 * weights.size());
+  for (std::size_t r = 0; r < weights.rows(); ++r) {
+    for (std::size_t c = 0; c < weights.cols(); ++c) {
+      features.push_back(weights(r, c).real() / max_mag);
+      features.push_back(weights(r, c).imag() / max_mag);
+    }
+  }
+  return features;
 }
 
 MappedSchedules MapWeights(const ComplexMatrix& weights,
                            const sim::OtaLink& link,
                            const MappingOptions& options) {
   const MappingScheme scheme = ResolveScheme(options, link);
-  if (options.cache == nullptr) return Solve(scheme, weights, link, options);
+  if (options.cache == nullptr) {
+    return Solve(scheme, weights, link, options, /*warm_from=*/nullptr);
+  }
 
   const std::string key = MappingCacheKey(weights, link, options);
-  if (std::optional<mts::CachedConfig> hit = options.cache->Lookup(key)) {
+  if (std::optional<mts::CachedConfig> hit =
+          options.cache->LookupOrBegin(key)) {
     MappedSchedules restored;
     restored.rounds = std::move(hit->rounds);
     restored.outputs = std::move(hit->outputs);
@@ -300,10 +388,37 @@ MappedSchedules MapWeights(const ComplexMatrix& weights,
     restored.from_cache = true;
     return restored;
   }
-  MappedSchedules mapped = Solve(scheme, weights, link, options);
-  options.cache->Insert(
-      key, mts::CachedConfig{mapped.rounds, mapped.outputs, mapped.scale,
-                             mapped.mean_relative_residual});
+
+  // This thread leads the solve for `key` (singleflight): concurrent
+  // mappers of the same key are blocked in LookupOrBegin until Publish,
+  // and a failed solve must Abandon so one of them can take over.
+  std::string family;
+  std::vector<double> features;
+  std::optional<mts::CachedConfig> warm;
+  MappedSchedules mapped;
+  try {
+    if (options.warm_start_distance > 0.0) {
+      family = MappingFamilyKey(weights, link, options);
+      features = MappingFeatures(weights);
+      warm = options.cache->LookupNearest(family, features,
+                                          options.warm_start_distance);
+      if (warm.has_value() &&
+          !WarmShapeMatches(*warm, scheme, weights, link)) {
+        warm.reset();
+      }
+      if (warm.has_value()) obs::Count("mapper.warm_starts");
+    }
+    mapped = Solve(scheme, weights, link, options,
+                   warm.has_value() ? &*warm : nullptr);
+  } catch (...) {
+    options.cache->Abandon(key);
+    throw;
+  }
+  options.cache->Publish(
+      key,
+      mts::CachedConfig{mapped.rounds, mapped.outputs, mapped.scale,
+                        mapped.mean_relative_residual},
+      std::move(family), std::move(features));
   return mapped;
 }
 

@@ -67,6 +67,18 @@ struct MappingOptions {
   /// Optional solver-result cache shared across deployments (not owned;
   /// must outlive the mapping call). Null = always solve fresh.
   mts::ConfigCache* cache = nullptr;
+  /// Incremental solving: when positive (and a cache is set), an exact
+  /// miss searches the cache for the nearest same-family entry within
+  /// this RMS distance over the normalized weight features and, on a
+  /// nearest hit, warm-starts every per-target solve from that entry's
+  /// codes with min_sweep_improvement set below. 0 = off (the default;
+  /// keeps cached-vs-uncached mappings bitwise identical). The value
+  /// participates in the cache key, so warm and cold configurations
+  /// never share entries.
+  double warm_start_distance = 0.0;
+  /// Early-exit threshold applied to warm-started solves only (see
+  /// mts::SolveOptions::min_sweep_improvement). Also part of the key.
+  double warm_start_min_improvement = 1e-3;
 };
 
 struct MappedSchedules {
@@ -86,6 +98,12 @@ struct MappedSchedules {
   /// runtime's lifecycle traces report it per tenant). Hits are
   /// bitwise identical to a fresh solve; only this flag differs.
   bool from_cache = false;
+  /// Total coordinate-descent sweeps spent across every per-target
+  /// solve of this mapping (0 when restored from cache). Benches use
+  /// this to quantify the work a warm start saves.
+  long total_sweeps = 0;
+  /// True when the solves were warm-started from a nearest cache entry.
+  bool warm_started = false;
 };
 
 /// Maps `weights` onto the link's metasurface with the scheme selected
@@ -99,5 +117,19 @@ MappedSchedules MapWeights(const ComplexMatrix& weights,
 std::string MappingCacheKey(const ComplexMatrix& weights,
                             const sim::OtaLink& link,
                             const MappingOptions& options);
+
+/// Family key for nearest-entry warm starts: MappingCacheKey minus the
+/// weight bytes. Two mappings share a family exactly when they differ
+/// only in weight values (same shape, link, offsets and options), which
+/// is what makes a neighbour's schedule a valid warm start.
+std::string MappingFamilyKey(const ComplexMatrix& weights,
+                             const sim::OtaLink& link,
+                             const MappingOptions& options);
+
+/// Scale-invariant feature vector for nearest-entry distance: the
+/// weight components normalized by the largest weight magnitude (the
+/// mapper's common scale divides out max |w|, so two weight matrices
+/// with equal features produce identical solver targets).
+std::vector<double> MappingFeatures(const ComplexMatrix& weights);
 
 }  // namespace metaai::core

@@ -1,6 +1,8 @@
 #include "mts/config_cache.h"
 
+#include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "common/check.h"
 #include "obs/obs.h"
@@ -55,13 +57,71 @@ std::optional<CachedConfig> ConfigCache::Lookup(const std::string& key) {
   return it->second->value;
 }
 
-void ConfigCache::Insert(const std::string& key, CachedConfig value) {
+std::optional<CachedConfig> ConfigCache::LookupOrBegin(const std::string& key) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.hits;
+      obs::Count("cache.hits");
+      obs::SetGauge("cache.hit_rate", stats_.HitRate());
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->value;
+    }
+    if (inflight_.insert(key).second) {
+      // Leadership claimed: this caller runs the (single) solve. The
+      // miss is counted here so N threads racing one cold key always
+      // score exactly 1 miss regardless of scheduling.
+      ++stats_.misses;
+      obs::Count("cache.misses");
+      obs::SetGauge("cache.hit_rate", stats_.HitRate());
+      return std::nullopt;
+    }
+    // Another thread owns the solve: block until it publishes (next
+    // iteration hits) or abandons (this thread may claim leadership).
+    ++stats_.singleflight_waits;
+    obs::Count("cache.singleflight_waits");
+    inflight_cv_.wait(lock, [&] { return inflight_.count(key) == 0; });
+  }
+}
+
+void ConfigCache::Publish(const std::string& key, CachedConfig value,
+                          std::string family, std::vector<double> features) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Check(inflight_.erase(key) == 1,
+          "Publish without a matching LookupOrBegin leadership");
+    InsertLocked(key, std::move(value), std::move(family),
+                 std::move(features));
+  }
+  inflight_cv_.notify_all();
+}
+
+void ConfigCache::Abandon(const std::string& key) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Check(inflight_.erase(key) == 1,
+          "Abandon without a matching LookupOrBegin leadership");
+  }
+  inflight_cv_.notify_all();
+}
+
+void ConfigCache::Insert(const std::string& key, CachedConfig value,
+                         std::string family, std::vector<double> features) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  InsertLocked(key, std::move(value), std::move(family), std::move(features));
+}
+
+void ConfigCache::InsertLocked(const std::string& key, CachedConfig value,
+                               std::string family,
+                               std::vector<double> features) {
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // Refresh (two workers raced on the same miss): keep the newer
     // value — both are bitwise identical by construction.
     it->second->value = std::move(value);
+    it->second->family = std::move(family);
+    it->second->features = std::move(features);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -71,10 +131,49 @@ void ConfigCache::Insert(const std::string& key, CachedConfig value) {
     ++stats_.evictions;
     obs::Count("cache.evictions");
   }
-  lru_.push_front(Entry{key, std::move(value)});
+  lru_.push_front(
+      Entry{key, std::move(value), std::move(family), std::move(features)});
   index_.emplace(lru_.front().key, lru_.begin());
   ++stats_.insertions;
   obs::Count("cache.insertions");
+}
+
+std::optional<CachedConfig> ConfigCache::LookupNearest(
+    const std::string& family, const std::vector<double>& features,
+    double max_distance) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const Entry* best = nullptr;
+  double best_distance = 0.0;
+  if (!family.empty() && !features.empty()) {
+    // Front-to-back walk = most-recent first; the strict < keeps the
+    // first (most recently used) entry on distance ties.
+    for (const Entry& entry : lru_) {
+      if (entry.family != family ||
+          entry.features.size() != features.size()) {
+        continue;
+      }
+      double sum = 0.0;
+      for (std::size_t i = 0; i < features.size(); ++i) {
+        const double d = entry.features[i] - features[i];
+        sum += d * d;
+      }
+      const double distance =
+          std::sqrt(sum / static_cast<double>(features.size()));
+      if (distance <= max_distance &&
+          (best == nullptr || distance < best_distance)) {
+        best = &entry;
+        best_distance = distance;
+      }
+    }
+  }
+  if (best == nullptr) {
+    ++stats_.nearest_misses;
+    obs::Count("cache.nearest_misses");
+    return std::nullopt;
+  }
+  ++stats_.nearest_hits;
+  obs::Count("cache.nearest_hits");
+  return best->value;
 }
 
 void ConfigCache::Clear() {

@@ -18,17 +18,28 @@
 // deliberately small.
 //
 // Thread safety: all methods are mutex-guarded; the weight mapper's
-// parallel fan-out may consult one shared cache from many workers. The
-// *contents* after a run are scheduling-independent (pure function of
-// the key set inserted); the hit/miss split can differ when two threads
-// race to solve the same key, which only costs a duplicate solve.
+// parallel fan-out may consult one shared cache from many workers.
+// Concurrent solves of the same key coordinate through the singleflight
+// pair LookupOrBegin/Publish: exactly one caller (the leader) sees the
+// miss and solves; the others block until the leader publishes and then
+// count as hits. That makes both the contents *and* the hit/miss split
+// scheduling-independent — N threads racing one cold key always score
+// 1 miss + (N-1) hits and run one solve.
+//
+// Incremental solving: entries may carry a feature vector (normalized
+// weight components) plus a family key (everything the solve depends on
+// except the weights). LookupNearest scans same-family entries for the
+// one closest in RMS feature distance; the weight mapper uses it to
+// warm-start coordinate descent from a similar tenant's schedule.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include <mutex>
@@ -80,11 +91,42 @@ class ConfigCache {
   /// cache.misses obs counters.
   std::optional<CachedConfig> Lookup(const std::string& key);
 
+  /// Singleflight lookup. On a hit, identical to Lookup. On a miss with
+  /// no solve of `key` underway, the caller becomes the leader: the miss
+  /// is counted and nullopt returned — the caller MUST later call
+  /// Publish (or Abandon on failure). On a miss while another thread is
+  /// already solving `key`, blocks until that leader publishes (then a
+  /// hit) or abandons (then this caller is promoted to leader and gets
+  /// the nullopt/miss). Waits are counted under cache.singleflight_waits.
+  std::optional<CachedConfig> LookupOrBegin(const std::string& key);
+
+  /// Completes a LookupOrBegin-led solve: inserts the value (with
+  /// optional nearest-lookup metadata) and wakes every waiter on `key`.
+  void Publish(const std::string& key, CachedConfig value,
+               std::string family = {}, std::vector<double> features = {});
+
+  /// Releases leadership of `key` without inserting (the solve failed).
+  /// One blocked waiter, if any, is promoted to leader.
+  void Abandon(const std::string& key);
+
   /// Inserts (or refreshes) `key`, evicting the least-recently-used
   /// entry when at capacity. Counts cache.insertions / cache.evictions.
-  void Insert(const std::string& key, CachedConfig value);
+  /// `family`/`features` make the entry a LookupNearest candidate.
+  void Insert(const std::string& key, CachedConfig value,
+              std::string family = {}, std::vector<double> features = {});
 
-  /// Drops every entry; statistics keep accumulating.
+  /// Nearest-key lookup for warm starts: among entries whose family key
+  /// equals `family` and whose feature vector has `features`'s length,
+  /// returns the one with the smallest RMS feature distance, provided it
+  /// is <= max_distance. Ties go to the most recently used entry. Does
+  /// not touch LRU order or the hit/miss counters (a nearest hit is not
+  /// an exact hit); counts cache.nearest_hits / cache.nearest_misses.
+  std::optional<CachedConfig> LookupNearest(const std::string& family,
+                                            const std::vector<double>& features,
+                                            double max_distance) const;
+
+  /// Drops every entry; statistics keep accumulating. In-flight
+  /// singleflight solves are unaffected.
   void Clear();
 
   std::size_t size() const;
@@ -95,6 +137,11 @@ class ConfigCache {
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
+    /// LookupOrBegin calls that blocked behind another thread's solve.
+    std::uint64_t singleflight_waits = 0;
+    /// LookupNearest outcomes.
+    std::uint64_t nearest_hits = 0;
+    std::uint64_t nearest_misses = 0;
 
     /// hits / (hits + misses); 0 when never queried.
     double HitRate() const;
@@ -105,14 +152,24 @@ class ConfigCache {
   struct Entry {
     std::string key;
     CachedConfig value;
+    /// Nearest-lookup metadata; empty entries never match LookupNearest.
+    std::string family;
+    std::vector<double> features;
   };
 
+  void InsertLocked(const std::string& key, CachedConfig value,
+                    std::string family, std::vector<double> features);
+
   mutable std::mutex mutex_;
+  std::condition_variable inflight_cv_;
+  /// Keys whose solve a LookupOrBegin leader currently owns.
+  std::unordered_set<std::string> inflight_;
   std::size_t capacity_;
   /// Front = most recently used.
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  Stats stats_;
+  /// Mutable so const query paths (LookupNearest) can count outcomes.
+  mutable Stats stats_;
 };
 
 }  // namespace metaai::mts

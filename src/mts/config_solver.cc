@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "simd/kernels.h"
 
 namespace metaai::mts {
 namespace {
@@ -48,6 +49,28 @@ Result<void> ValidateSolveOptions(const SolveOptions& options,
                    "atom_mask leaves no healthy atoms to solve over"};
     }
   }
+  if (!options.initial_codes.empty()) {
+    if (options.initial_codes.size() != num_atoms) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "initial_codes size " +
+                       std::to_string(options.initial_codes.size()) +
+                       " does not match the atom count " +
+                       std::to_string(num_atoms)};
+    }
+    for (const PhaseCode code : options.initial_codes) {
+      if (code >= kNumPhaseStates) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "initial_codes contains out-of-range code " +
+                         std::to_string(static_cast<int>(code))};
+      }
+    }
+  }
+  if (!(options.min_sweep_improvement >= 0.0) ||
+      options.min_sweep_improvement >= 1.0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "min_sweep_improvement must lie in [0, 1), got " +
+                     std::to_string(options.min_sweep_improvement)};
+  }
   return Ok();
 }
 
@@ -85,15 +108,33 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
   };
 
   SolveResult result;
-  // Initialization: align toward the first target (arbitrary but stable);
-  // for the single-target case this is the classic nearest-phase beam.
-  // Masked-out (faulty) atoms are pinned to code 0 and never touched.
-  {
+  // Initialization: warm-start codes when the caller supplies them
+  // (incremental solve from a similar cached schedule), otherwise align
+  // toward the first target (arbitrary but stable; for the single-target
+  // case this is the classic nearest-phase beam). Masked-out (faulty)
+  // atoms are pinned to code 0 and never touched either way.
+  if (!options.initial_codes.empty()) {
+    result.codes = options.initial_codes;
+  } else {
     std::vector<Complex> first_row(num_atoms);
     for (std::size_t m = 0; m < num_atoms; ++m) first_row[m] = steering(0, m);
     result.codes = InitializeToward(first_row, targets[0]);
+  }
+  for (std::size_t m = 0; m < num_atoms; ++m) {
+    if (masked_out(m)) result.codes[m] = 0;
+  }
+
+  // Structure-of-arrays steering planes, one K x M pair for the phased
+  // sums. Masked-out atoms hold 0.0 in both planes, which contributes
+  // additive identities to the running sums — bitwise equivalent to
+  // skipping them, and it keeps the kernel branch-free.
+  std::vector<double> steer_re(num_targets * num_atoms);
+  std::vector<double> steer_im(num_targets * num_atoms);
+  for (std::size_t k = 0; k < num_targets; ++k) {
     for (std::size_t m = 0; m < num_atoms; ++m) {
-      if (masked_out(m)) result.codes[m] = 0;
+      if (masked_out(m)) continue;
+      steer_re[k * num_atoms + m] = steering(k, m).real();
+      steer_im[k * num_atoms + m] = steering(k, m).imag();
     }
   }
 
@@ -103,11 +144,9 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
   // measured target offset).
   const auto recompute_sums = [&](std::vector<Complex>& sums) {
     for (std::size_t k = 0; k < num_targets; ++k) {
-      sums[k] = Complex{0.0, 0.0};
-      for (std::size_t m = 0; m < num_atoms; ++m) {
-        if (masked_out(m)) continue;
-        sums[k] += steering(k, m) * PhasorForCode(result.codes[m]);
-      }
+      sums[k] = simd::PhasedSum(steer_re.data() + k * num_atoms,
+                                steer_im.data() + k * num_atoms,
+                                result.codes.data(), num_atoms);
     }
   };
   std::vector<Complex> sums(num_targets);
@@ -163,15 +202,28 @@ SolveResult SolveMultiTarget(const ComplexMatrix& steering,
       }
     }
     result.sweeps_used = sweep + 1;
-    if (obs::ProbesEnabled()) sweep_errors.push_back(total_error());
+    const double sweep_end_error = total_error();
+    if (obs::ProbesEnabled()) sweep_errors.push_back(sweep_end_error);
     // Relative objective improvement of this coordinate-descent sweep.
+    const double relative_improvement =
+        sweep_start_error > 0.0
+            ? (sweep_start_error - sweep_end_error) / sweep_start_error
+            : 0.0;
     if (sweep_start_error > 0.0) {
-      obs::Observe("solver.sweep_improvement",
-                   (sweep_start_error - total_error()) / sweep_start_error,
+      obs::Observe("solver.sweep_improvement", relative_improvement,
                    kImprovementBuckets);
     }
     if (!changed) {
       converged = true;
+      break;
+    }
+    // Residual-delta early exit: a sweep that still flipped codes but
+    // barely moved the objective is polishing noise — warm starts reach
+    // this state after one or two repair sweeps.
+    if (options.min_sweep_improvement > 0.0 &&
+        relative_improvement < options.min_sweep_improvement) {
+      converged = true;
+      obs::Count("solver.early_exits");
       break;
     }
   }

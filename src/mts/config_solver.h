@@ -36,6 +36,19 @@ struct SolveOptions {
   /// §3.2 flip scheme or is folded into the target as a measured
   /// offset by the weight mapper).
   std::vector<std::uint8_t> atom_mask;
+  /// Warm start: when non-empty (size must equal the atom count), the
+  /// sweep loop starts from these codes instead of the nearest-phase
+  /// initialization. Masked-out atoms are still pinned to code 0. Used
+  /// by the incremental solver to seed from the nearest cached schedule
+  /// of a similar weight matrix; coordinate descent then only has to
+  /// repair the differences.
+  std::vector<PhaseCode> initial_codes;
+  /// Early exit: when positive, a sweep whose relative objective
+  /// improvement (start - end) / start falls below this threshold ends
+  /// the solve (counted under solver.early_exits and reported as
+  /// converged). 0 keeps the exact legacy behaviour of sweeping until
+  /// no code changes or max_sweeps.
+  double min_sweep_improvement = 0.0;
 };
 
 struct SolveResult {

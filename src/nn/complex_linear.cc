@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "obs/obs.h"
+#include "simd/kernels.h"
 
 namespace metaai::nn {
 
@@ -29,10 +30,7 @@ std::vector<Complex> ComplexLinearModel::PreActivations(
   Check(x.size() == input_dim(), "input dimension mismatch");
   std::vector<Complex> z(num_classes());
   for (std::size_t r = 0; r < num_classes(); ++r) {
-    const Complex* row = weights_.row(r);
-    Complex acc{0.0, 0.0};
-    for (std::size_t i = 0; i < x.size(); ++i) acc += row[i] * x[i];
-    z[r] = acc;
+    z[r] = simd::ComplexDot(weights_.row(r), x.data(), x.size());
   }
   return z;
 }

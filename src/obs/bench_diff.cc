@@ -20,11 +20,21 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
          s.substr(s.size() - suffix.size()) == suffix;
 }
 
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
 /// Time-like metrics get the loose wall-clock tolerance in
 /// DistillBaseline (machine-dependent, only catastrophic drift fails).
+/// Ratios of wall-clock measurements (speedup_*, throughput_*) are just
+/// as machine-dependent even though they don't carry a time suffix.
 bool IsTimeLike(std::string_view path) {
   if (path == "elapsed_s") return true;
-  if (path.substr(0, 10) != "headlines.") return false;
+  if (!StartsWith(path, "headlines.")) return false;
+  const std::string_view key = path.substr(10);
+  if (StartsWith(key, "speedup_") || StartsWith(key, "throughput_")) {
+    return true;
+  }
   return EndsWith(path, "_ns") || EndsWith(path, "_us") ||
          EndsWith(path, "_ms") || EndsWith(path, "_s");
 }

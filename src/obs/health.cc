@@ -117,7 +117,10 @@ void WindowedQuantile::Observe(double value) {
 
 double WindowedQuantile::Quantile(double q) const {
   const std::vector<double> values(samples_.begin(), samples_.end());
-  return NearestRankPercentile(values, q);
+  // An empty window answers 0.0 by contract (callers poll before the
+  // first observation); TailDigest::count carries emptiness for
+  // consumers that need to distinguish.
+  return TryNearestRankPercentile(values, q).value_or(0.0);
 }
 
 TailDigest WindowedQuantile::Tails() const {

@@ -29,27 +29,47 @@ std::vector<double> SortedCopy(std::span<const double> values) {
 
 }  // namespace
 
-double NearestRankPercentile(std::span<const double> values, double q) {
-  if (values.empty()) return 0.0;
+std::optional<double> TryNearestRankPercentile(std::span<const double> values,
+                                               double q) {
+  if (values.empty()) return std::nullopt;
   const std::vector<double> sorted = SortedCopy(values);
   return SortedNearestRank(sorted, q);
 }
 
-std::vector<double> NearestRankPercentiles(std::span<const double> values,
-                                           std::span<const double> qs) {
-  std::vector<double> results(qs.size(), 0.0);
-  if (values.empty()) return results;
+double NearestRankPercentile(std::span<const double> values, double q) {
+  Check(!values.empty(),
+        "nearest-rank percentile of an empty sample (use "
+        "TryNearestRankPercentile to handle emptiness explicitly)");
   const std::vector<double> sorted = SortedCopy(values);
+  return SortedNearestRank(sorted, q);
+}
+
+std::optional<std::vector<double>> TryNearestRankPercentiles(
+    std::span<const double> values, std::span<const double> qs) {
+  if (values.empty()) return std::nullopt;
+  const std::vector<double> sorted = SortedCopy(values);
+  std::vector<double> results(qs.size(), 0.0);
   for (std::size_t i = 0; i < qs.size(); ++i) {
     results[i] = SortedNearestRank(sorted, qs[i]);
   }
   return results;
 }
 
+std::vector<double> NearestRankPercentiles(std::span<const double> values,
+                                           std::span<const double> qs) {
+  Check(!values.empty(),
+        "nearest-rank percentiles of an empty sample (use "
+        "TryNearestRankPercentiles to handle emptiness explicitly)");
+  return *TryNearestRankPercentiles(values, qs);
+}
+
 TailDigest DigestTails(std::span<const double> values) {
   static constexpr double kQs[] = {0.50, 0.99, 0.999};
-  const std::vector<double> ps = NearestRankPercentiles(values, kQs);
-  return {.p50 = ps[0], .p99 = ps[1], .p999 = ps[2]};
+  const std::optional<std::vector<double>> ps =
+      TryNearestRankPercentiles(values, kQs);
+  if (!ps.has_value()) return {};  // count == 0 marks the empty sample
+  return {.p50 = (*ps)[0], .p99 = (*ps)[1], .p999 = (*ps)[2],
+          .count = values.size()};
 }
 
 }  // namespace metaai::obs

@@ -11,32 +11,54 @@
 //
 // All helpers sort once; TailDigest is the standard p50/p99/p999 readout
 // minted for SLO accounting.
+//
+// Empty samples: an empty sample has no percentile, and silently
+// reporting 0.0 is indistinguishable from a true zero (the historical
+// bug: an idle tenant's "p50 latency 0.0s" read as infinitely fast).
+// The Try variants make emptiness explicit (nullopt); the non-Try forms
+// treat an empty sample as a caller bug and throw CheckError. TailDigest
+// carries the sample count so renderers can count-gate ("n/a" instead
+// of a fabricated 0).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
 namespace metaai::obs {
 
-/// Nearest-rank percentile, q in (0, 1]; returns 0 for an empty sample.
+/// Nearest-rank percentile, q in (0, 1]; nullopt for an empty sample.
 /// Throws CheckError on NaN samples (a NaN breaks the sort ordering).
+std::optional<double> TryNearestRankPercentile(std::span<const double> values,
+                                               double q);
+
+/// As TryNearestRankPercentile, but an empty sample throws CheckError —
+/// use when the caller has already established the sample is non-empty.
 double NearestRankPercentile(std::span<const double> values, double q);
 
 /// Batch of nearest-rank percentiles from one sort of `values`:
-/// results[i] corresponds to qs[i]. Prefer this over repeated
-/// NearestRankPercentile calls (each re-copies and re-sorts).
+/// results[i] corresponds to qs[i]; nullopt for an empty sample. Prefer
+/// this over repeated single calls (each re-copies and re-sorts).
+std::optional<std::vector<double>> TryNearestRankPercentiles(
+    std::span<const double> values, std::span<const double> qs);
+
+/// As TryNearestRankPercentiles, but an empty sample throws CheckError.
 std::vector<double> NearestRankPercentiles(std::span<const double> values,
                                            std::span<const double> qs);
 
-/// The standard tail readout: p50/p99/p999 from one sort.
+/// The standard tail readout: p50/p99/p999 from one sort, plus the
+/// sample count. count == 0 means "no sample": the percentile fields
+/// are meaningless placeholders (0.0) and renderers must gate on count.
 struct TailDigest {
   double p50 = 0.0;
   double p99 = 0.0;
   double p999 = 0.0;
+  std::size_t count = 0;
 
   bool operator==(const TailDigest&) const = default;
 };
 
+/// Accepts an empty sample (returns a count == 0 digest).
 TailDigest DigestTails(std::span<const double> values);
 
 }  // namespace metaai::obs

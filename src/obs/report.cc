@@ -21,6 +21,13 @@ namespace {
 
 std::string Us(double seconds) { return FormatDouble(seconds * 1e6, 3); }
 
+/// Count-gated percentile cell: an empty digest has no percentile, so
+/// render "n/a" instead of a fabricated 0.000 (the historical bug made
+/// an idle tenant look infinitely fast).
+std::string UsCell(const TailDigest& digest, double seconds) {
+  return digest.count == 0 ? "n/a" : Us(seconds);
+}
+
 /// Per-tenant aggregation of a request log.
 struct TenantRow {
   std::size_t served = 0;
@@ -40,12 +47,13 @@ void RenderRequests(const std::string& requests_jsonl, std::ostream& os) {
                    " served requests",
                {"stage", "p50_us", "p99_us", "p999_us"});
   for (std::size_t s = 0; s < kNumRequestStages; ++s) {
+    const TailDigest& d = tails.stage[s];
     stages.AddRow({std::string(RequestStageName(static_cast<RequestStage>(s))),
-                   Us(tails.stage[s].p50), Us(tails.stage[s].p99),
-                   Us(tails.stage[s].p999)});
+                   UsCell(d, d.p50), UsCell(d, d.p99), UsCell(d, d.p999)});
   }
-  stages.AddRow({"end_to_end", Us(tails.latency.p50), Us(tails.latency.p99),
-                 Us(tails.latency.p999)});
+  stages.AddRow({"end_to_end", UsCell(tails.latency, tails.latency.p50),
+                 UsCell(tails.latency, tails.latency.p99),
+                 UsCell(tails.latency, tails.latency.p999)});
   os << stages.ToString() << '\n';
 
   std::vector<TenantRow> tenants(log.tenants.size());
@@ -79,8 +87,9 @@ void RenderRequests(const std::string& requests_jsonl, std::ostream& os) {
                        row.cache_hit ? "hit" : "solve",
                        FormatDouble(row.slo_s * 1e3, 3),
                        std::to_string(row.slo_within),
-                       std::to_string(row.slo_violations), Us(digest.p50),
-                       Us(digest.p99), Us(digest.p999),
+                       std::to_string(row.slo_violations),
+                       UsCell(digest, digest.p50), UsCell(digest, digest.p99),
+                       UsCell(digest, digest.p999),
                        FormatDouble(row.energy_j * 1e6, 3)});
   }
   os << per_tenant.ToString() << '\n';

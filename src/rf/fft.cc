@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "simd/kernels.h"
 
 namespace metaai::rf {
 namespace {
@@ -27,8 +28,8 @@ void BitReversePermute(std::span<Complex> data) {
 // Forward twiddles w_n^k = e^{-j 2 pi k / n} for k < n/2, each evaluated
 // directly with std::polar. The previous w *= step recurrence accumulated
 // one rounding error per butterfly across a stage, which at n = 4096 cost
-// ~2 digits of accuracy versus a naive DFT. Stage `len` indexes the table
-// with stride n / len. Cached per length; thread_local so concurrent
+// ~2 digits of accuracy versus a naive DFT. Each stage fetches its own
+// contiguous size-len table. Cached per length; thread_local so concurrent
 // transforms (the par fan-outs) need no locking and stay deterministic.
 const std::vector<Complex>& ForwardTwiddles(std::size_t n) {
   thread_local std::unordered_map<std::size_t, std::vector<Complex>> cache;
@@ -49,18 +50,17 @@ void Transform(std::span<Complex> data, bool inverse) {
   Check(IsPowerOfTwo(n), "FFT length must be a power of two");
   if (n == 1) return;
   BitReversePermute(data);
-  const std::vector<Complex>& twiddles = ForwardTwiddles(n);
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t stride = n / len;
+    // Stage `len` reads the size-n table at stride n/len, which is
+    // exactly the contiguous size-len table: w_n^{k*(n/len)} = w_len^k
+    // bitwise (the stride is a power of two, so the phase argument
+    // -2*pi*(k*stride)/n evaluates to the same double as -2*pi*k/len).
+    // Contiguous twiddles let the butterfly kernel run vectorized.
+    const std::vector<Complex>& twiddles = ForwardTwiddles(len);
+    const std::size_t half = len / 2;
     for (std::size_t block = 0; block < n; block += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex tw = twiddles[k * stride];
-        const Complex w = inverse ? std::conj(tw) : tw;
-        const Complex even = data[block + k];
-        const Complex odd = data[block + k + len / 2] * w;
-        data[block + k] = even + odd;
-        data[block + k + len / 2] = even - odd;
-      }
+      simd::ButterflyPass(&data[block], &data[block + half], twiddles.data(),
+                          half, inverse);
     }
   }
   if (inverse) {

@@ -2,9 +2,12 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "common/check.h"
+#include "simd/kernels.h"
 
 namespace metaai::rf {
 namespace {
@@ -41,10 +44,14 @@ double PamAmplitude(unsigned gray_bits, int levels) {
   return 2.0 * static_cast<double>(b) - static_cast<double>(levels - 1);
 }
 
-// Nearest PAM binary level for a received amplitude.
+// Nearest PAM binary level for a received amplitude. Uses the same
+// round-half-away formula as simd::HardDecideQam (trunc(x +
+// copysign(0.5, x))) so the per-symbol path and the batched kernel
+// path decide identically; it differs from std::round only at inputs
+// a half-ulp from a decision boundary, which noisy samples never hit.
 unsigned PamDecide(double amplitude, int levels) {
   double idx = (amplitude + static_cast<double>(levels - 1)) / 2.0;
-  idx = std::round(idx);
+  idx = std::trunc(idx + std::copysign(0.5, idx));
   if (idx < 0.0) idx = 0.0;
   if (idx > levels - 1) idx = levels - 1;
   return BinaryToGray(static_cast<unsigned>(idx));
@@ -148,6 +155,21 @@ std::vector<std::uint8_t> DemodulateSymbols(std::span<const Complex> symbols,
   const int bps = BitsPerSymbol(scheme);
   std::vector<std::uint8_t> bits;
   bits.reserve(symbols.size() * static_cast<std::size_t>(bps));
+  if (IsComplexScheme(scheme) && !symbols.empty()) {
+    // Batch the hard decisions through the vectorized kernel; it packs
+    // the same (gray_i << half) | gray_q values as UnmapSymbol.
+    const int levels = LevelsPerAxis(scheme);
+    const double norm = NormFactor(scheme);
+    std::vector<std::uint32_t> values(symbols.size());
+    simd::HardDecideQam(symbols.data(), symbols.size(), levels, norm, bps / 2,
+                        values.data());
+    for (const std::uint32_t value : values) {
+      for (int b = bps - 1; b >= 0; --b) {
+        bits.push_back(static_cast<std::uint8_t>((value >> b) & 1u));
+      }
+    }
+    return bits;
+  }
   for (const Complex& s : symbols) {
     const unsigned value = UnmapSymbol(s, scheme);
     for (int b = bps - 1; b >= 0; --b) {

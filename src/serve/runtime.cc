@@ -173,8 +173,11 @@ void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
     stats.tenants[t].latency_p50_s = tails.p50;
     stats.tenants[t].latency_p99_s = tails.p99;
     stats.tenants[t].latency_p999_s = tails.p999;
+    // A tenant with no served requests has no margin sample; 0.0 is the
+    // documented "no data" value for the stats field (count-gate on
+    // TenantStats::served to distinguish).
     stats.tenants[t].margin_p50 =
-        obs::NearestRankPercentile(tenant_margins[t], 0.50);
+        obs::TryNearestRankPercentile(tenant_margins[t], 0.50).value_or(0.0);
   }
   if (stats.virtual_duration_s > 0.0) {
     stats.goodput_slo_rps = static_cast<double>(stats.slo_within) /
@@ -183,7 +186,8 @@ void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
 
   // Health accounting: the engines have seen every signal by now (the
   // SLO loop above was the last feed), so the alert stream is final.
-  stats.margin_p50 = obs::NearestRankPercentile(served_margins, 0.50);
+  stats.margin_p50 =
+      obs::TryNearestRankPercentile(served_margins, 0.50).value_or(0.0);
   for (const obs::health::Alert& alert : alerts) {
     ++stats.alerts;
     const bool drift = alert.kind == obs::health::AlertKind::kDriftDetected;
@@ -244,6 +248,9 @@ Runtime::Runtime(const mts::Metasurface& surface,
     slo_targets_.push_back(client.slo_latency_s);
     core::DeploymentOptions deployment = client.deployment;
     deployment.mapping.cache = options_.cache;
+    if (options_.warm_start_distance > 0.0) {
+      deployment.mapping.warm_start_distance = options_.warm_start_distance;
+    }
     devices.push_back({.name = std::move(client.name),
                        .model = std::move(client.model),
                        .link = std::move(client.link),

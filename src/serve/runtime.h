@@ -62,6 +62,14 @@ struct RuntimeOptions {
   /// runtime). Tenants deploying identical models hit instead of
   /// re-running coordinate descent. Null = always solve fresh.
   mts::ConfigCache* cache = nullptr;
+  /// Incremental solving across near-duplicate tenants: when positive
+  /// (and `cache` is set), an exact cache miss warm-starts the solve
+  /// from the nearest cached schedule within this RMS weight-feature
+  /// distance (core::MappingOptions::warm_start_distance). 0 = off,
+  /// which preserves the bitwise cached-vs-uncached serving contract;
+  /// warm-started mappings are equivalent within the solver's residual
+  /// tolerance instead.
+  double warm_start_distance = 0.0;
   /// Cost model behind the per-request energy estimates and the demod
   /// stage of the lifecycle traces (Tables 2-3 constants by default).
   sim::EnergyModelConfig energy;

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "obs/obs.h"
 #include "rf/geometry.h"
+#include "simd/kernels.h"
 
 namespace metaai::sim {
 namespace {
@@ -141,6 +142,12 @@ OtaLink::OtaLink(const mts::Metasurface& surface, OtaLinkConfig config)
     state.mts_amplitude = surface_.PathAmplitude(geometry) *
                           std::sqrt(tx_ant.Gain(0.0) * rx_ant.Gain(0.0)) *
                           wall_amp;
+    state.tx_steer_re.resize(state.tx_steering.size());
+    state.tx_steer_im.resize(state.tx_steering.size());
+    for (std::size_t m = 0; m < state.tx_steering.size(); ++m) {
+      state.tx_steer_re[m] = state.tx_steering[m].real();
+      state.tx_steer_im[m] = state.tx_steering[m].imag();
+    }
     observations_.push_back(std::move(state));
   }
 }
@@ -218,14 +225,11 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
                           use_flip_matrix ? num_symbols : 0);
   if (!pattern_faults) {
     for (std::size_t o = 0; o < num_obs; ++o) {
-      const auto& steering = observations_[o].tx_steering;
+      const ObservationState& state = observations_[o];
       for (std::size_t i = 0; i < num_symbols; ++i) {
-        Complex acc{0.0, 0.0};
-        const auto& codes = schedule[i];
-        for (std::size_t m = 0; m < atoms; ++m) {
-          acc += steering[m] * mts::PhasorForCode(codes[m]);
-        }
-        base(o, i) = acc;
+        base(o, i) = simd::PhasedSum(state.tx_steer_re.data(),
+                                     state.tx_steer_im.data(),
+                                     schedule[i].data(), atoms);
       }
     }
   } else {
@@ -238,12 +242,10 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
       bit_flips += faults->CorruptLoad(loaded, rng);
       stuck_overrides += faults->ApplyStuck(loaded);
       for (std::size_t o = 0; o < num_obs; ++o) {
-        const auto& steering = observations_[o].tx_steering;
-        Complex acc{0.0, 0.0};
-        for (std::size_t m = 0; m < atoms; ++m) {
-          acc += steering[m] * mts::PhasorForCode(loaded[m]);
-        }
-        out(o, i) = acc;
+        const ObservationState& state = observations_[o];
+        out(o, i) = simd::PhasedSum(state.tx_steer_re.data(),
+                                    state.tx_steer_im.data(), loaded.data(),
+                                    atoms);
       }
     };
     for (std::size_t i = 0; i < num_symbols; ++i) {

@@ -150,6 +150,11 @@ class OtaLink {
     /// Steering of the physical hardware: idealized steering times the
     /// static per-atom device phase errors. Used for transmission.
     std::vector<Complex> tx_steering;
+    /// tx_steering split into component planes (structure-of-arrays) so
+    /// the per-symbol base responses run through the vectorized
+    /// simd::PhasedSum kernel.
+    std::vector<double> tx_steer_re;
+    std::vector<double> tx_steer_im;
     double mts_amplitude = 0.0;
     rf::MultipathChannel environment;
     double env_gain = 1.0;  // antenna + wall factors on the env path

@@ -1,0 +1,89 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+
+namespace metaai::simd {
+namespace {
+
+// -1 = no override; otherwise the forced Level value. A relaxed atomic
+// is enough: the override is a configuration knob, not a synchronization
+// point, and every kernel call re-reads it.
+std::atomic<int> g_forced{-1};
+
+Level DetectBest() {
+  return Avx2Supported() ? Level::kAvx2 : Level::kScalar;
+}
+
+Level FromEnvironment() {
+  const char* env = std::getenv("METAAI_SIMD");
+  if (env == nullptr || *env == '\0') return DetectBest();
+  Result<Level> parsed = ParseLevel(env);
+  if (!parsed.ok()) {
+    // Fail loudly: a typo'd METAAI_SIMD silently falling back to
+    // auto-detect would invalidate determinism comparisons.
+    Check(false, "METAAI_SIMD: " + parsed.error().message);
+  }
+  return parsed.value();
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool Avx2Supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+Result<Level> ParseLevel(std::string_view text) {
+  if (text == "off" || text == "scalar") return Level::kScalar;
+  if (text == "auto") return DetectBest();
+  if (text == "avx2") {
+    if (!Avx2Supported()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "simd level 'avx2' requested but this CPU does not "
+                   "support AVX2"};
+    }
+    return Level::kAvx2;
+  }
+  return Error{ErrorCode::kInvalidArgument,
+               "unknown simd level '" + std::string(text) +
+                   "' (expected off, scalar, auto or avx2)"};
+}
+
+Level ActiveLevel() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Level>(forced);
+  static const Level env_level = FromEnvironment();
+  return env_level;
+}
+
+void ForceLevel(std::optional<Level> level) {
+  g_forced.store(level.has_value() ? static_cast<int>(*level) : -1,
+                 std::memory_order_relaxed);
+}
+
+ScopedLevel::ScopedLevel(Level level) {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) previous_ = static_cast<Level>(forced);
+  ForceLevel(level);
+}
+
+ScopedLevel::~ScopedLevel() { ForceLevel(previous_); }
+
+}  // namespace metaai::simd

@@ -1,0 +1,69 @@
+// metaai::simd — runtime dispatch for the hand-vectorized hot-loop
+// kernels (simd/kernels.h).
+//
+// One process-wide dispatch level decides which implementation every
+// kernel front door runs: the portable scalar path or the AVX2 path
+// (compiled only on x86-64; the Level enum is NEON-ready — an aarch64
+// backend slots in as a new level plus a kernel table, nothing else
+// changes). Selection order:
+//   1. ForceLevel()/ScopedLevel — programmatic override (CLI --simd,
+//      tests, benches);
+//   2. METAAI_SIMD environment variable: off|scalar|auto|avx2
+//      (off and scalar are synonyms; invalid values fail loudly);
+//   3. auto-detection via __builtin_cpu_supports.
+//
+// Determinism contract: for a FIXED level, every kernel is bitwise
+// deterministic at any thread count. The scalar path reproduces the
+// original sequential loops exactly; the AVX2 path may differ from
+// scalar in the last ulp where a reduction is lane-parallelized (the
+// parity suite in tests/simd/ pins the tolerance per kernel).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace metaai::simd {
+
+enum class Level {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// Canonical lower-case name ("scalar", "avx2").
+const char* LevelName(Level level);
+
+/// True when the running CPU can execute the AVX2 kernel path.
+bool Avx2Supported();
+
+/// Parses a user-facing level string: "off"/"scalar" force the scalar
+/// path, "auto" resolves to the best supported level, "avx2" requires
+/// AVX2 hardware (typed error otherwise).
+Result<Level> ParseLevel(std::string_view text);
+
+/// The level every kernel front door dispatches on: the forced override
+/// when set, else METAAI_SIMD (parsed once per process), else
+/// auto-detection.
+Level ActiveLevel();
+
+/// Programmatic override of the dispatch level (nullopt restores the
+/// environment/auto-detected default). Takes effect for subsequent
+/// kernel calls in every thread.
+void ForceLevel(std::optional<Level> level);
+
+/// RAII override used by the parity tests and the scalar-vs-SIMD bench
+/// arms: forces `level` for the scope, then restores the previous
+/// override state.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level level);
+  ~ScopedLevel();
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  std::optional<Level> previous_;
+};
+
+}  // namespace metaai::simd

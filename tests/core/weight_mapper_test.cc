@@ -260,5 +260,104 @@ TEST(WeightMapperTest, CacheKeyDistinguishesEveryInput) {
   EXPECT_EQ(key, MappingCacheKey(weights, link, base));
 }
 
+// Incremental solving: a near-duplicate tenant's mapping warm-starts
+// from the nearest cached schedule — equivalent accuracy for fewer
+// coordinate-descent sweeps.
+TEST(WeightMapperTest, WarmStartFromNearDuplicateUsesFewerSweeps) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  const auto weights = RandomWeights(3, 16, 11);
+  auto near_duplicate = weights;
+  // A fine-tuning-sized perturbation: every weight nudged by ~0.3%.
+  Rng rng(12);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      near_duplicate(r, c) += rng.ComplexNormal(1e-5);
+    }
+  }
+
+  MappingOptions warm_options{.scheme = MappingScheme::kSequential};
+  warm_options.warm_start_distance = 0.1;
+  MappingOptions cold_options = warm_options;  // same key params, no cache
+
+  mts::ConfigCache cache;
+  warm_options.cache = &cache;
+  const auto seeded = MapWeights(weights, link, warm_options);
+  EXPECT_FALSE(seeded.warm_started);  // empty cache: nothing to warm from
+
+  const auto warm = MapWeights(near_duplicate, link, warm_options);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_GE(cache.stats().nearest_hits, 1u);
+
+  const auto cold = MapWeights(near_duplicate, link, cold_options);
+  EXPECT_FALSE(cold.warm_started);
+  EXPECT_LT(warm.total_sweeps, cold.total_sweeps);
+  // Equivalent accuracy: the early-exit threshold trades at most a
+  // sliver of residual for the saved sweeps.
+  EXPECT_NEAR(warm.mean_relative_residual, cold.mean_relative_residual, 0.01);
+}
+
+TEST(WeightMapperTest, WarmStartBeyondDistanceFallsBackToColdSolve) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  const auto weights = RandomWeights(2, 8, 13);
+  const auto unrelated = RandomWeights(2, 8, 14);
+
+  MappingOptions options{.scheme = MappingScheme::kSequential};
+  options.warm_start_distance = 1e-6;  // radius nothing unrelated can meet
+  mts::ConfigCache cache;
+  options.cache = &cache;
+  MapWeights(weights, link, options);
+  const auto mapped = MapWeights(unrelated, link, options);
+  EXPECT_FALSE(mapped.warm_started);
+  EXPECT_GE(cache.stats().nearest_misses, 1u);
+}
+
+TEST(WeightMapperTest, WarmStartParamsParticipateInCacheKey) {
+  // Warm-started and cold mappings are different computations; they must
+  // never share a cache entry.
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  const auto weights = RandomWeights(2, 4, 15);
+
+  const MappingOptions base{.scheme = MappingScheme::kSequential};
+  MappingOptions warm = base;
+  warm.warm_start_distance = 0.1;
+  EXPECT_NE(MappingCacheKey(weights, link, base),
+            MappingCacheKey(weights, link, warm));
+
+  MappingOptions tighter = warm;
+  tighter.warm_start_min_improvement = 1e-2;
+  EXPECT_NE(MappingCacheKey(weights, link, warm),
+            MappingCacheKey(weights, link, tighter));
+}
+
+TEST(WeightMapperTest, FamilyKeyIgnoresWeightsAndFeaturesAreScaleFree) {
+  mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  sim::OtaLink link(surface, BaseConfig());
+  const auto weights = RandomWeights(2, 4, 16);
+  const auto other = RandomWeights(2, 4, 17);
+
+  const MappingOptions options{.scheme = MappingScheme::kSequential};
+  // Same shape, different values: same family (the weights are the only
+  // excluded input)...
+  EXPECT_EQ(MappingFamilyKey(weights, link, options),
+            MappingFamilyKey(other, link, options));
+  // ...but full keys still differ.
+  EXPECT_NE(MappingCacheKey(weights, link, options),
+            MappingCacheKey(other, link, options));
+
+  // Features are normalized by the max magnitude, so a uniformly scaled
+  // model measures as distance zero from the original (the solver's
+  // targets divide out the scale too). A power-of-two factor keeps the
+  // check bitwise: scaling numerator and denominator by 2 leaves every
+  // rounded quotient unchanged.
+  auto scaled = weights;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) scaled(r, c) *= 2.0;
+  }
+  EXPECT_EQ(MappingFeatures(weights), MappingFeatures(scaled));
+}
+
 }  // namespace
 }  // namespace metaai::core

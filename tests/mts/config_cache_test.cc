@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace metaai::mts {
 namespace {
@@ -71,6 +75,116 @@ TEST(ConfigCacheTest, HitRateIsZeroWhenNeverQueried) {
   ConfigCache cache;
   EXPECT_EQ(cache.capacity(), ConfigCache::kDefaultCapacity);
   EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 0.0);
+}
+
+TEST(ConfigCacheSingleflightTest, LeaderMissThenPublishThenHits) {
+  ConfigCache cache(4);
+  // First caller becomes the leader: counted as the miss.
+  EXPECT_FALSE(cache.LookupOrBegin("k").has_value());
+  cache.Publish("k", MakeConfig(3));
+  const auto hit = cache.LookupOrBegin("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, MakeConfig(3));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.singleflight_waits, 0u);
+}
+
+TEST(ConfigCacheSingleflightTest, AbandonPromotesNextCallerToLeader) {
+  ConfigCache cache(4);
+  EXPECT_FALSE(cache.LookupOrBegin("k").has_value());
+  cache.Abandon("k");
+  // The failed solve inserted nothing; the next caller leads again.
+  EXPECT_FALSE(cache.LookupOrBegin("k").has_value());
+  cache.Publish("k", MakeConfig(1));
+  EXPECT_TRUE(cache.Lookup("k").has_value());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ConfigCacheSingleflightTest, RacingThreadsScoreOneMissRestHits) {
+  // The duplicate-solve race: N threads ask for the same cold key at
+  // once. Exactly one must lead (and solve); the rest must block and
+  // then hit — so the hit/miss split is scheduling-independent:
+  // 1 miss + (N-1) hits, and exactly one solve runs.
+  constexpr int kThreads = 8;
+  ConfigCache cache(4);
+  std::atomic<int> solves{0};
+  std::atomic<int> hits{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const std::optional<CachedConfig> found = cache.LookupOrBegin("cold");
+      if (found.has_value()) {
+        EXPECT_EQ(*found, MakeConfig(7));
+        ++hits;
+      } else {
+        ++solves;  // leader: "solve" and publish
+        cache.Publish("cold", MakeConfig(7));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(solves.load(), 1);
+  EXPECT_EQ(hits.load(), kThreads - 1);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+TEST(ConfigCacheNearestTest, ReturnsClosestSameFamilyEntry) {
+  ConfigCache cache(8);
+  cache.Insert("a", MakeConfig(1), "fam", {1.0, 0.0});
+  cache.Insert("b", MakeConfig(2), "fam", {0.0, 1.0});
+  cache.Insert("c", MakeConfig(3), "other", {0.9, 0.05});
+
+  // Query near "a"; "c" is closer but belongs to another family.
+  const auto nearest = cache.LookupNearest("fam", {0.9, 0.1}, 0.5);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(*nearest, MakeConfig(1));
+  EXPECT_EQ(cache.stats().nearest_hits, 1u);
+}
+
+TEST(ConfigCacheNearestTest, RespectsMaxDistanceAndDimension) {
+  ConfigCache cache(8);
+  cache.Insert("a", MakeConfig(1), "fam", {1.0, 0.0});
+  // Too far away for the requested radius.
+  EXPECT_FALSE(cache.LookupNearest("fam", {-1.0, 0.0}, 0.5).has_value());
+  // Dimension mismatch never matches.
+  EXPECT_FALSE(cache.LookupNearest("fam", {1.0, 0.0, 0.0}, 10.0).has_value());
+  // Entries without metadata are not candidates.
+  cache.Insert("plain", MakeConfig(2));
+  EXPECT_FALSE(cache.LookupNearest("", {}, 10.0).has_value());
+  EXPECT_EQ(cache.stats().nearest_misses, 3u);
+  EXPECT_EQ(cache.stats().nearest_hits, 0u);
+}
+
+TEST(ConfigCacheNearestTest, DoesNotPerturbLruOrExactCounters) {
+  ConfigCache cache(2);
+  cache.Insert("a", MakeConfig(1), "fam", {0.0});
+  cache.Insert("b", MakeConfig(2), "fam", {1.0});
+  // Nearest-matching "a" must NOT refresh it in LRU order...
+  ASSERT_TRUE(cache.LookupNearest("fam", {0.1}, 1.0).has_value());
+  cache.Insert("c", MakeConfig(3));
+  // ...so "a" (least recently used) is the eviction victim.
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("b").has_value());
+  const auto stats = cache.stats();
+  // The nearest hit counted under nearest_hits only.
+  EXPECT_EQ(stats.nearest_hits, 1u);
+  EXPECT_EQ(stats.hits, 1u);    // the "b" exact lookup
+  EXPECT_EQ(stats.misses, 1u);  // the "a" exact lookup
+}
+
+TEST(ConfigCacheNearestTest, TieGoesToMostRecentlyUsed) {
+  ConfigCache cache(4);
+  cache.Insert("old", MakeConfig(1), "fam", {1.0});
+  cache.Insert("new", MakeConfig(2), "fam", {1.0});
+  const auto nearest = cache.LookupNearest("fam", {1.0}, 1.0);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(*nearest, MakeConfig(2));
 }
 
 TEST(ConfigKeyTest, KeyIsOrderAndContentSensitive) {

@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "mts/metasurface.h"
 #include "rf/geometry.h"
+#include "simd/kernels.h"
 
 namespace metaai::mts {
 namespace {
@@ -189,6 +190,81 @@ TEST(ConfigSolverTest, TypedValidationErrors) {
   EXPECT_EQ(solved.value().residual, direct.residual);
 }
 
+TEST(ConfigSolverTest, ValidatesWarmStartOptions) {
+  // initial_codes must cover every atom and stay within the 2-bit
+  // alphabet; min_sweep_improvement is a relative threshold in [0, 1).
+  SolveOptions short_codes;
+  short_codes.initial_codes = {0, 1};
+  const auto wrong_size = ValidateSolveOptions(short_codes, 4);
+  ASSERT_FALSE(wrong_size.ok());
+  EXPECT_EQ(wrong_size.error().code, ErrorCode::kInvalidArgument);
+
+  SolveOptions bad_code;
+  bad_code.initial_codes = {0, 1, 2, kNumPhaseStates};
+  const auto out_of_range = ValidateSolveOptions(bad_code, 4);
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.error().code, ErrorCode::kInvalidArgument);
+
+  EXPECT_FALSE(ValidateSolveOptions({.min_sweep_improvement = -0.1}, 4).ok());
+  EXPECT_FALSE(ValidateSolveOptions({.min_sweep_improvement = 1.0}, 4).ok());
+  SolveOptions good;
+  good.initial_codes = {0, 1, 2, 3};
+  good.min_sweep_improvement = 0.5;
+  EXPECT_TRUE(ValidateSolveOptions(good, 4).ok());
+}
+
+TEST(ConfigSolverTest, WarmStartFromOwnSolutionConvergesImmediately) {
+  Rng rng(21);
+  const auto steering = RandomSteering(128, rng);
+  const Complex target{30.0, -20.0};
+  const auto cold = SolveSingleTarget(steering, target);
+
+  // Re-solving from the converged codes finds nothing to flip: one
+  // verification sweep, bitwise the same configuration.
+  SolveOptions warm;
+  warm.initial_codes = cold.codes;
+  const auto resolved = SolveSingleTarget(steering, target, warm);
+  EXPECT_EQ(resolved.codes, cold.codes);
+  EXPECT_EQ(resolved.sweeps_used, 1);
+  EXPECT_LE(resolved.sweeps_used, cold.sweeps_used);
+}
+
+TEST(ConfigSolverTest, WarmStartNearSolutionUsesFewerSweeps) {
+  Rng rng(22);
+  constexpr std::size_t kAtoms = 256;
+  const auto steering = RandomSteering(kAtoms, rng);
+  const Complex target{40.0, 25.0};
+  const auto cold = SolveSingleTarget(steering, target);
+
+  // Perturb a handful of atoms of the converged schedule — the warm
+  // solve only has to repair those, so it needs fewer sweeps than the
+  // cold solve and lands within the same residual ballpark.
+  SolveOptions warm;
+  warm.initial_codes = cold.codes;
+  for (std::size_t i = 0; i < kAtoms; i += 37) {
+    warm.initial_codes[i] = static_cast<PhaseCode>((cold.codes[i] + 1) % 4);
+  }
+  warm.min_sweep_improvement = 1e-3;
+  const auto warm_result = SolveSingleTarget(steering, target, warm);
+  EXPECT_LE(warm_result.sweeps_used, cold.sweeps_used);
+  EXPECT_LE(warm_result.residual, cold.residual * 1.5 + 1e-9);
+}
+
+TEST(ConfigSolverTest, EarlyExitStillRespectsAtomMask) {
+  Rng rng(23);
+  constexpr std::size_t kAtoms = 64;
+  const auto steering = RandomSteering(kAtoms, rng);
+  SolveOptions options;
+  options.atom_mask.assign(kAtoms, 1);
+  options.atom_mask[3] = 0;
+  options.atom_mask[40] = 0;
+  options.initial_codes.assign(kAtoms, 2);  // masked atoms must be re-pinned
+  options.min_sweep_improvement = 1e-2;
+  const auto result = SolveSingleTarget(steering, Complex{10.0, 5.0}, options);
+  EXPECT_EQ(result.codes[3], PhaseCode{0});
+  EXPECT_EQ(result.codes[40], PhaseCode{0});
+}
+
 // Regression for reporting achieved/residual from the incrementally
 // updated descent sums: each accepted code change adds one rounding
 // error, and with large steering magnitudes cancelling toward a small
@@ -212,12 +288,20 @@ TEST(ConfigSolverTest, ReportedSumsMatchFromScratchEvaluation) {
   for (auto& t : targets) t = 1e4 * rng.UnitPhasor();
   const auto result = SolveMultiTarget(steering, targets, {.max_sweeps = 64});
 
+  // From-scratch reference through the same phased-sum kernel the solver
+  // reports with, so the check is exact under any dispatch level (the
+  // AVX2 lane reassociation would otherwise read as ~1e-13 "drift" here
+  // because the construction amplifies summation-order differences).
   double fresh_error = 0.0;
   for (std::size_t k = 0; k < kTargets; ++k) {
-    Complex sum{0.0, 0.0};
+    std::vector<double> re(kAtoms);
+    std::vector<double> im(kAtoms);
     for (std::size_t m = 0; m < kAtoms; ++m) {
-      sum += steering(k, m) * PhasorForCode(result.codes[m]);
+      re[m] = steering(k, m).real();
+      im[m] = steering(k, m).imag();
     }
+    const Complex sum =
+        simd::PhasedSum(re.data(), im.data(), result.codes.data(), kAtoms);
     EXPECT_LT(std::abs(result.achieved[k] - sum) / std::abs(sum), 1e-14)
         << "target " << k;
     fresh_error += std::norm(sum - targets[k]);

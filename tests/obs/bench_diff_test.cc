@@ -15,7 +15,9 @@ constexpr const char* kBenchJson = R"({
   "schema": "metaai.bench.v1",
   "bench": "unit",
   "elapsed_s": 1.5,
-  "headlines": {"accuracy": 0.875, "solve_time_ms": 12.0},
+  "headlines": {"accuracy": 0.875, "solve_time_ms": 12.0,
+                "speedup_batched_vs_naive": 3.5,
+                "throughput_batched_8t_rps": 540.0},
   "metrics": {
     "schema": "metaai.obs.v1",
     "counters": {"solver.calls": 7},
@@ -111,7 +113,7 @@ TEST(DistillBaselineTest, UsesDefaultTolerancesAndSortsPaths) {
   const BenchBaseline baseline =
       DistillBaseline(ParseJson(kBenchJson));
   EXPECT_EQ(baseline.bench, "unit");
-  ASSERT_EQ(baseline.metrics.size(), 7u);
+  ASSERT_EQ(baseline.metrics.size(), 9u);
   for (std::size_t i = 1; i < baseline.metrics.size(); ++i) {
     EXPECT_LT(baseline.metrics[i - 1].path, baseline.metrics[i].path);
   }
@@ -127,9 +129,12 @@ TEST(DistillBaselineTest, UsesDefaultTolerancesAndSortsPaths) {
   // Deterministic values get the tight default.
   EXPECT_DOUBLE_EQ(find("gauges.ota.accuracy").rel_tol, 1e-6);
   EXPECT_DOUBLE_EQ(find("headlines.accuracy").rel_tol, 1e-6);
-  // Time-like metrics are loose (machine-dependent).
+  // Time-like metrics are loose (machine-dependent) — including
+  // wall-clock ratios, which carry no time-unit suffix.
   EXPECT_DOUBLE_EQ(find("elapsed_s").rel_tol, 9.0);
   EXPECT_DOUBLE_EQ(find("headlines.solve_time_ms").rel_tol, 9.0);
+  EXPECT_DOUBLE_EQ(find("headlines.speedup_batched_vs_naive").rel_tol, 9.0);
+  EXPECT_DOUBLE_EQ(find("headlines.throughput_batched_8t_rps").rel_tol, 9.0);
   // The distilled baseline passes against its own source document.
   EXPECT_TRUE(DiffBench(baseline, ParseJson(kBenchJson)).ok());
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "common/check.h"
@@ -10,12 +11,36 @@
 namespace metaai::obs {
 namespace {
 
-TEST(NearestRankPercentileTest, EmptySampleReturnsZero) {
-  EXPECT_EQ(NearestRankPercentile({}, 0.5), 0.0);
+TEST(NearestRankPercentileTest, EmptySampleIsExplicit) {
+  // An empty sample has no percentile: the Try forms say so with
+  // nullopt, the non-Try forms treat it as a caller bug. (The old
+  // behaviour — silently returning 0.0 — made idle tenants report a
+  // p50 latency of zero seconds.)
+  EXPECT_EQ(TryNearestRankPercentile({}, 0.5), std::nullopt);
+  EXPECT_THROW(NearestRankPercentile({}, 0.5), CheckError);
+  const std::vector<double> qs = {0.5, 0.99};
+  EXPECT_EQ(TryNearestRankPercentiles({}, qs), std::nullopt);
+  EXPECT_THROW(NearestRankPercentiles({}, qs), CheckError);
+}
+
+TEST(DigestTailsTest, EmptySampleYieldsZeroCountDigest) {
   const TailDigest digest = DigestTails({});
+  EXPECT_EQ(digest.count, 0u);
   EXPECT_EQ(digest.p50, 0.0);
   EXPECT_EQ(digest.p99, 0.0);
   EXPECT_EQ(digest.p999, 0.0);
+  // A count == 0 digest compares equal to a default one — the
+  // placeholder percentiles carry no information.
+  EXPECT_EQ(digest, TailDigest{});
+}
+
+TEST(NearestRankPercentileTest, TryMatchesNonTryOnNonEmptySamples) {
+  const std::vector<double> values = {3.0, 1.0, 4.0, 1.5, 9.0};
+  for (const double q : {0.001, 0.5, 0.99, 1.0}) {
+    const std::optional<double> got = TryNearestRankPercentile(values, q);
+    ASSERT_TRUE(got.has_value()) << "q=" << q;
+    EXPECT_EQ(*got, NearestRankPercentile(values, q)) << "q=" << q;
+  }
 }
 
 TEST(NearestRankPercentileTest, PicksObservedValuesNeverInterpolates) {
@@ -79,6 +104,7 @@ TEST(NearestRankPercentileTest, RejectsNanSamples) {
 TEST(DigestTailsTest, SingleSampleDigestIsThatSample) {
   const std::vector<double> one = {42.0};
   const TailDigest digest = DigestTails(one);
+  EXPECT_EQ(digest.count, 1u);
   EXPECT_EQ(digest.p50, 42.0);
   EXPECT_EQ(digest.p99, 42.0);
   EXPECT_EQ(digest.p999, 42.0);
@@ -90,6 +116,7 @@ TEST(DigestTailsTest, MatchesNearestRankAndIsMonotone) {
     values.push_back(static_cast<double>((i * 733) % 1999));
   }
   const TailDigest digest = DigestTails(values);
+  EXPECT_EQ(digest.count, values.size());
   EXPECT_EQ(digest.p50, NearestRankPercentile(values, 0.50));
   EXPECT_EQ(digest.p99, NearestRankPercentile(values, 0.99));
   EXPECT_EQ(digest.p999, NearestRankPercentile(values, 0.999));

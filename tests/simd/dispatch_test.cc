@@ -1,0 +1,74 @@
+#include "simd/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "common/check.h"
+
+namespace metaai::simd {
+namespace {
+
+TEST(ParseLevelTest, OffAndScalarForceScalar) {
+  for (const char* text : {"off", "scalar"}) {
+    const Result<Level> parsed = ParseLevel(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value(), Level::kScalar) << text;
+  }
+}
+
+TEST(ParseLevelTest, AutoResolvesToBestSupportedLevel) {
+  const Result<Level> parsed = ParseLevel("auto");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), Avx2Supported() ? Level::kAvx2 : Level::kScalar);
+}
+
+TEST(ParseLevelTest, Avx2RequiresHardware) {
+  const Result<Level> parsed = ParseLevel("avx2");
+  if (Avx2Supported()) {
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), Level::kAvx2);
+  } else {
+    EXPECT_FALSE(parsed.ok());
+  }
+}
+
+TEST(ParseLevelTest, RejectsUnknownLevels) {
+  for (const char* text : {"", "sse", "avx512", "ON", "Auto", "0"}) {
+    EXPECT_FALSE(ParseLevel(text).ok()) << "'" << text << "'";
+  }
+}
+
+TEST(LevelNameTest, NamesRoundTripThroughParse) {
+  EXPECT_EQ(std::string(LevelName(Level::kScalar)), "scalar");
+  EXPECT_EQ(std::string(LevelName(Level::kAvx2)), "avx2");
+  const Result<Level> scalar = ParseLevel(LevelName(Level::kScalar));
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(scalar.value(), Level::kScalar);
+}
+
+TEST(DispatchTest, ForceLevelOverridesAndRestores) {
+  const Level ambient = ActiveLevel();
+  ForceLevel(Level::kScalar);
+  EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  ForceLevel(std::nullopt);
+  EXPECT_EQ(ActiveLevel(), ambient);
+}
+
+TEST(DispatchTest, ScopedLevelNestsAndRestores) {
+  const Level ambient = ActiveLevel();
+  {
+    ScopedLevel outer(Level::kScalar);
+    EXPECT_EQ(ActiveLevel(), Level::kScalar);
+    if (Avx2Supported()) {
+      ScopedLevel inner(Level::kAvx2);
+      EXPECT_EQ(ActiveLevel(), Level::kAvx2);
+    }
+    EXPECT_EQ(ActiveLevel(), Level::kScalar);
+  }
+  EXPECT_EQ(ActiveLevel(), ambient);
+}
+
+}  // namespace
+}  // namespace metaai::simd

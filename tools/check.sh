@@ -13,7 +13,13 @@
 #      engine do a lot of floating-point edge-case math (variance
 #      recursions, nearest-rank indexing) where UB hides behind ASan's
 #      noise floor.
-#   5. Bench suite with baseline regression gating (run_benches.sh,
+#   5. SIMD parity + determinism under both dispatch paths: the kernel
+#      parity/determinism suites and the solver/mapper determinism
+#      suites run twice — METAAI_SIMD=off (forced scalar) and
+#      METAAI_SIMD=auto (AVX2 where the CPU has it) — against both the
+#      strict and the ASan/UBSan builds, so a lane-width bug or a
+#      dispatch-dependent result can't slip through on either path.
+#   6. Bench suite with baseline regression gating (run_benches.sh,
 #      which invokes metaai_bench_diff when bench/baselines/ exists).
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build-check)
@@ -22,19 +28,19 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 prefix="${1:-${repo_root}/build-check}"
 
-echo "=== [1/5] strict build + ctest"
+echo "=== [1/6] strict build + ctest"
 cmake -B "${prefix}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release -DMETAAI_WERROR=ON -DMETAAI_OBS=ON
 cmake --build "${prefix}" -j"$(nproc)"
 ctest --test-dir "${prefix}" --output-on-failure
 
-echo "=== [2/5] ASan/UBSan full ctest"
+echo "=== [2/6] ASan/UBSan full ctest"
 cmake -B "${prefix}-asan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=ON -DMETAAI_OBS=ON
 cmake --build "${prefix}-asan" -j"$(nproc)"
 ctest --test-dir "${prefix}-asan" --output-on-failure
 
-echo "=== [3/5] TSan on thread-pool + determinism suites"
+echo "=== [3/6] TSan on thread-pool + determinism suites"
 cmake -B "${prefix}-tsan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=thread -DMETAAI_OBS=ON
 cmake --build "${prefix}-tsan" -j"$(nproc)" \
@@ -43,14 +49,25 @@ cmake --build "${prefix}-tsan" -j"$(nproc)" \
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
   -R 'Parallel|Tracer|Telemetry|Fault|Serve|ObsReport|obs_report'
 
-echo "=== [4/5] UBSan on obs + serve suites"
+echo "=== [4/6] UBSan on obs + serve suites"
 cmake -B "${prefix}-ubsan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=undefined -DMETAAI_OBS=ON
 cmake --build "${prefix}-ubsan" -j"$(nproc)" --target test_obs test_serve
 ctest --test-dir "${prefix}-ubsan" --output-on-failure \
   -R 'Ewma|Cusum|PageHinkley|WindowedQuantile|HealthMonitor|HealthSignals|ObserveProbe|Alert|Quantile|Percentile|Serve|Lifecycle|TimeSeries'
 
-echo "=== [5/5] benches + baseline diff"
+echo "=== [5/6] SIMD parity + determinism under both dispatch paths"
+simd_filter='Parity|Determini|DispatchTest|ParseLevel|LevelName|SoaComplex'
+simd_filter+='|ConfigSolver|ConfigCache|WeightMapper'
+for simd_mode in off auto; do
+  for simd_dir in "${prefix}" "${prefix}-asan"; do
+    echo "--- METAAI_SIMD=${simd_mode} in ${simd_dir##*/}"
+    METAAI_SIMD="${simd_mode}" ctest --test-dir "${simd_dir}" \
+      --output-on-failure -R "${simd_filter}"
+  done
+done
+
+echo "=== [6/6] benches + baseline diff"
 "${repo_root}/tools/run_benches.sh" "${prefix}-bench"
 
 echo "check.sh: all gates passed"

@@ -57,6 +57,7 @@
 #include "rf/geometry.h"
 #include "serve/generator.h"
 #include "serve/runtime.h"
+#include "simd/dispatch.h"
 
 namespace {
 
@@ -421,7 +422,7 @@ int Datasets() {
 
 int Usage() {
   std::puts(
-      "usage: metaai_cli <command> [options] [--threads N]\n"
+      "usage: metaai_cli <command> [options] [--threads N] [--simd LEVEL]\n"
       "                  [--metrics-out FILE] [--trace-out FILE]\n"
       "                  [--probes-out FILE]\n"
       "  train      --dataset NAME --out FILE [--robust] [--seed N]\n"
@@ -448,6 +449,9 @@ int Usage() {
       "--threads sets the worker count for parallel fan-outs (overrides\n"
       "METAAI_THREADS; default: hardware concurrency; 1 = serial legacy\n"
       "path; results are identical for any value).\n"
+      "--simd pins the kernel dispatch level: off|scalar|auto|avx2\n"
+      "(overrides METAAI_SIMD; default auto-detects; off forces the\n"
+      "portable scalar path, bitwise identical to the pre-SIMD code).\n"
       "--metrics-out writes the run's telemetry (metaai.obs.v1 JSON),\n"
       "--trace-out a Chrome-trace JSON of the spans (chrome://tracing /\n"
       "Perfetto), --probes-out a metaai.probes.v1 JSONL flight-recorder\n"
@@ -471,13 +475,13 @@ int Dispatch(const Args& args) {
 /// Every flag any command accepts. A flag outside this list is a hard
 /// error — silently ignoring a typo ("--sample 10") would quietly run
 /// with defaults.
-constexpr std::array<std::string_view, 22> kKnownFlags = {
+constexpr std::array<std::string_view, 23> kKnownFlags = {
     "dataset",         "out",            "model",        "samples",
     "seed",            "robust",         "recover",      "faults",
     "threads",         "metrics-out",    "trace-out",    "probes-out",
     "train-per-class", "test-per-class", "clients",      "duration",
     "rate",            "queue-capacity", "frame-budget", "no-cache",
-    "unbatched",       "alerts-out",
+    "unbatched",       "alerts-out",     "simd",
 };
 
 bool FlagKnown(const std::string& key) {
@@ -506,6 +510,16 @@ int main(int argc, char** argv) {
       Check(threads >= 1 && threads <= par::kMaxThreads,
             "--threads must be in [1, 256]");
       par::SetDefaultThreadCount(threads);
+    }
+    if (args.Has("simd")) {
+      const Result<simd::Level> level = simd::ParseLevel(args.Get("simd"));
+      if (!level.ok()) {
+        std::fprintf(stderr, "error: --simd %s: %s\n",
+                     args.Get("simd").c_str(),
+                     level.error().ToString().c_str());
+        return 2;
+      }
+      simd::ForceLevel(level.value());
     }
     const std::string metrics_out = args.Get("metrics-out");
     const std::string trace_out = args.Get("trace-out");
