@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -65,6 +66,37 @@ std::vector<sim::Observation> BuildObservations(
   return observations;
 }
 
+namespace {
+
+// Shared constructor plumbing for the surface and graph overloads.
+sim::OtaLinkConfig DeployLinkConfig(sim::OtaLinkConfig link_config,
+                                    const TrainedModel& model,
+                                    const DeploymentOptions& options) {
+  link_config.observations =
+      BuildObservations(link_config, model.num_classes(), options);
+  // Tell the link what constellation the data symbols come from so
+  // its EVM probe can report the demod soft-decision margin (the
+  // health layer's label-free accuracy proxy).
+  link_config.data_modulation = model.modulation;
+  return link_config;
+}
+
+MappingOptions DeployMappingOptions(const DeploymentOptions& options) {
+  // Pin the scheme from the deployment mode rather than letting
+  // kAuto follow the link shape: a parallel deployment whose width
+  // collapses to one observation must still use the parallel
+  // solve/residual path so results match wider configurations.
+  MappingOptions mapping = options.mapping;
+  if (mapping.scheme == MappingScheme::kAuto) {
+    mapping.scheme = options.mode == ParallelismMode::kSequential
+                         ? MappingScheme::kSequential
+                         : MappingScheme::kParallel;
+  }
+  return mapping;
+}
+
+}  // namespace
+
 Deployment::Deployment(const TrainedModel& model,
                        const mts::Metasurface& surface,
                        sim::OtaLinkConfig link_config,
@@ -72,28 +104,25 @@ Deployment::Deployment(const TrainedModel& model,
     : modulation_(model.modulation),
       num_classes_(model.num_classes()),
       options_(options),
-      link_(surface, [&] {
-        link_config.observations =
-            BuildObservations(link_config, model.num_classes(), options);
-        // Tell the link what constellation the data symbols come from so
-        // its EVM probe can report the demod soft-decision margin (the
-        // health layer's label-free accuracy proxy).
-        link_config.data_modulation = model.modulation;
-        return link_config;
-      }()),
-      schedules_(MapWeights(model.network.weights(), link_, [&] {
-        // Pin the scheme from the deployment mode rather than letting
-        // kAuto follow the link shape: a parallel deployment whose width
-        // collapses to one observation must still use the parallel
-        // solve/residual path so results match wider configurations.
-        MappingOptions mapping = options.mapping;
-        if (mapping.scheme == MappingScheme::kAuto) {
-          mapping.scheme = options.mode == ParallelismMode::kSequential
-                               ? MappingScheme::kSequential
-                               : MappingScheme::kParallel;
-        }
-        return mapping;
-      }())) {
+      link_(surface, DeployLinkConfig(std::move(link_config), model, options)),
+      schedules_(MapWeights(model.network.weights(), link_,
+                            DeployMappingOptions(options))) {
+  EmitScheduleProbes();
+}
+
+Deployment::Deployment(const TrainedModel& model, const mts::LayerGraph& graph,
+                       sim::OtaLinkConfig link_config,
+                       DeploymentOptions options)
+    : modulation_(model.modulation),
+      num_classes_(model.num_classes()),
+      options_(options),
+      link_(graph, DeployLinkConfig(std::move(link_config), model, options)),
+      schedules_(MapWeights(model.network.weights(), link_,
+                            DeployMappingOptions(options))) {
+  EmitScheduleProbes();
+}
+
+void Deployment::EmitScheduleProbes() const {
   if (obs::ProbesEnabled()) {
     // Dump the leading phase configuration of every round so a
     // degraded deployment's realized metasurface state is inspectable
@@ -134,8 +163,16 @@ std::vector<double> Deployment::ClassScores(const std::vector<double>& pixels,
   for (std::size_t round = 0; round < schedules_.rounds.size(); ++round) {
     const obs::ScopedSpan round_span = obs::Span("ota.round");
     round_span.Arg("round", static_cast<double>(round));
-    const ComplexMatrix z = link_.TransmitSequence(
-        symbols, schedules_.rounds[round], mts_clock_offset_us, rng);
+    // Deep links carry a per-round upper-layer schedule solved jointly
+    // with the front panel; single-surface mappings keep the legacy call
+    // so depth-1 deployments stay on the exact pre-cascade code path.
+    const ComplexMatrix z =
+        schedules_.upper_rounds.empty()
+            ? link_.TransmitSequence(symbols, schedules_.rounds[round],
+                                     mts_clock_offset_us, rng)
+            : link_.TransmitSequence(symbols, schedules_.rounds[round],
+                                     schedules_.upper_rounds[round],
+                                     mts_clock_offset_us, rng);
     const auto& outputs = schedules_.outputs[round];
     for (std::size_t o = 0; o < outputs.size(); ++o) {
       if (outputs[o] < 0) continue;

@@ -15,6 +15,7 @@
 
 #include "core/training.h"
 #include "core/weight_mapper.h"
+#include "mts/layer_graph.h"
 #include "mts/metasurface.h"
 #include "nn/types.h"
 #include "sim/link.h"
@@ -56,6 +57,15 @@ class Deployment {
   /// `link_config` (its observation list is built internally from the
   /// parallelism mode).
   Deployment(const TrainedModel& model, const mts::Metasurface& surface,
+             sim::OtaLinkConfig link_config, DeploymentOptions options = {});
+
+  /// Cascade deployment over a multi-surface layer graph: the alternating
+  /// cascade solver maps weights jointly across the layers and every
+  /// inference round drives the upper-layer schedules alongside the front
+  /// panel. `graph` must outlive the deployment (same contract as the
+  /// surface overload). A depth-1 graph reproduces the single-surface
+  /// constructor bit for bit.
+  Deployment(const TrainedModel& model, const mts::LayerGraph& graph,
              sim::OtaLinkConfig link_config, DeploymentOptions options = {});
 
   const sim::OtaLink& link() const { return link_; }
@@ -101,6 +111,8 @@ class Deployment {
                                   std::size_t max_samples = 0) const;
 
  private:
+  void EmitScheduleProbes() const;
+
   rf::Modulation modulation_;
   std::size_t num_classes_;
   DeploymentOptions options_;

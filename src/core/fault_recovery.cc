@@ -1,6 +1,8 @@
 #include "core/fault_recovery.h"
 
 #include <cmath>
+#include <functional>
+#include <span>
 #include <utility>
 
 #include "common/check.h"
@@ -10,21 +12,54 @@
 namespace metaai::core {
 namespace {
 
+// Static focus configuration for each upper layer of a cascade link:
+// layer l solves its observation-0 steering toward the reachable
+// magnitude at zero phase (the cascade solver's own initialization), so
+// the composed factor U(o) is large and well-conditioned for division.
+// Deterministic — no RNG, fixed solver defaults. Empty for depth-1.
+std::vector<std::vector<mts::PhaseCode>> FocusUpperCodes(
+    const sim::OtaLink& link) {
+  std::vector<std::vector<mts::PhaseCode>> codes;
+  for (std::size_t l = 1; l < link.num_layers(); ++l) {
+    const std::vector<sim::Complex> row = link.UpperSteeringVector(l, 0);
+    const sim::Complex focus{mts::ReachableMagnitude(row), 0.0};
+    codes.push_back(mts::SolveSingleTarget(row, focus, {}).codes);
+  }
+  return codes;
+}
+
 // Mean measured link response for one repeated pattern, in solver units
 // (the steering-sum domain): z = tx * amp * B * x, probed with x = 1.
-std::vector<sim::Complex> MeasureResponse(const sim::OtaLink& link,
-                                          const std::vector<mts::PhaseCode>& pattern,
-                                          std::size_t probe_symbols, Rng& rng) {
+// On cascade links the upper layers hold `upper_codes` for the whole
+// probe and their known composed factor is divided back out, so the
+// caller's toggle algebra sees the front panel alone.
+std::vector<sim::Complex> MeasureResponse(
+    const sim::OtaLink& link, const std::vector<mts::PhaseCode>& pattern,
+    std::span<const std::vector<mts::PhaseCode>> upper_codes,
+    std::size_t probe_symbols, Rng& rng) {
   const std::vector<sim::Complex> data(probe_symbols,
                                        sim::Complex{1.0, 0.0});
   const sim::MtsSchedule schedule(probe_symbols, pattern);
-  const ComplexMatrix z = link.TransmitSequence(data, schedule, 0.0, rng);
+  sim::LayerSchedules upper;
+  for (const std::vector<mts::PhaseCode>& layer : upper_codes) {
+    upper.emplace_back(probe_symbols, layer);
+  }
+  const ComplexMatrix z =
+      upper.empty()
+          ? link.TransmitSequence(data, schedule, 0.0, rng)
+          : link.TransmitSequence(data, schedule, upper, 0.0, rng);
   std::vector<sim::Complex> response(link.num_observations());
   for (std::size_t o = 0; o < response.size(); ++o) {
     sim::Complex acc{0.0, 0.0};
     for (std::size_t i = 0; i < probe_symbols; ++i) acc += z(o, i);
     response[o] = acc / (static_cast<double>(probe_symbols) *
                          link.TxAmplitude() * link.MtsPathAmplitude(o));
+    if (!upper.empty()) {
+      const sim::Complex factor = link.UpperLayerFactor(o, upper_codes);
+      Check(std::abs(factor) > 0.0,
+            "degenerate upper-layer focus factor in diagnosis");
+      response[o] /= factor;
+    }
   }
   return response;
 }
@@ -44,10 +79,13 @@ FaultDiagnosis DiagnoseDeployment(const Deployment& deployment, Rng& rng,
   std::vector<std::vector<sim::Complex>> ideal(num_obs);
   for (std::size_t o = 0; o < num_obs; ++o) ideal[o] = link.SteeringVector(o);
 
-  // Baseline: the all-zero pattern.
+  // Baseline: the all-zero pattern (upper cascade layers, when present,
+  // hold one static focus configuration across the whole diagnosis).
+  const std::vector<std::vector<mts::PhaseCode>> upper_codes =
+      FocusUpperCodes(link);
   std::vector<mts::PhaseCode> pattern(atoms, 0);
   const std::vector<sim::Complex> baseline =
-      MeasureResponse(link, pattern, config.probe_symbols, rng);
+      MeasureResponse(link, pattern, upper_codes, config.probe_symbols, rng);
 
   FaultDiagnosis diagnosis;
   diagnosis.healthy_mask.assign(atoms, 1);
@@ -61,7 +99,7 @@ FaultDiagnosis DiagnoseDeployment(const Deployment& deployment, Rng& rng,
   for (std::size_t m = 0; m < atoms; ++m) {
     pattern[m] = 2;  // pi
     const std::vector<sim::Complex> toggled =
-        MeasureResponse(link, pattern, config.probe_symbols, rng);
+        MeasureResponse(link, pattern, upper_codes, config.probe_symbols, rng);
     pattern[m] = 0;
     double ratio_sum = 0.0;
     for (std::size_t o = 0; o < num_obs; ++o) {
@@ -120,11 +158,12 @@ FaultDiagnosis DiagnoseDeployment(const Deployment& deployment, Rng& rng,
   return diagnosis;
 }
 
-Deployment RecoverFromFaults(const TrainedModel& model,
-                             const mts::Metasurface& surface,
-                             sim::OtaLinkConfig link_config,
-                             DeploymentOptions options,
-                             const FaultDiagnosis& diagnosis) {
+namespace {
+
+// Folds a diagnosis into the mapping options shared by both recovery
+// overloads.
+DeploymentOptions ApplyDiagnosis(DeploymentOptions options,
+                                 const FaultDiagnosis& diagnosis) {
   Check(diagnosis.num_stuck < diagnosis.healthy_mask.size(),
         "no healthy atoms left to re-solve over");
   options.mapping.solver.atom_mask = diagnosis.healthy_mask;
@@ -133,30 +172,48 @@ Deployment RecoverFromFaults(const TrainedModel& model,
   // The measured offsets already contain any environment leak; do not
   // subtract the idealized environment a second time.
   options.mapping.subtract_environment = false;
+  return options;
+}
+
+}  // namespace
+
+Deployment RecoverFromFaults(const TrainedModel& model,
+                             const mts::Metasurface& surface,
+                             sim::OtaLinkConfig link_config,
+                             DeploymentOptions options,
+                             const FaultDiagnosis& diagnosis) {
   obs::Count("fault.resolves");
-  return Deployment(model, surface, std::move(link_config), options);
+  return Deployment(model, surface, std::move(link_config),
+                    ApplyDiagnosis(std::move(options), diagnosis));
+}
+
+Deployment RecoverFromFaults(const TrainedModel& model,
+                             const mts::LayerGraph& graph,
+                             sim::OtaLinkConfig link_config,
+                             DeploymentOptions options,
+                             const FaultDiagnosis& diagnosis) {
+  obs::Count("fault.resolves");
+  return Deployment(model, graph, std::move(link_config),
+                    ApplyDiagnosis(std::move(options), diagnosis));
 }
 
 namespace {
 
-/// Shared diagnose -> re-solve -> evaluate tail of the two watchdog
-/// entries (polling and alert-driven); `site` labels the kFault probe.
-void DiagnoseAndRecover(const TrainedModel& model,
-                        const mts::Metasurface& surface,
-                        const sim::OtaLinkConfig& link_config,
-                        const DeploymentOptions& options,
-                        const Deployment& deployment,
-                        const nn::RealDataset& test, Rng& rng,
-                        const FaultWatchdogConfig& config, const char* site,
-                        FaultWatchdogResult& result) {
+/// Shared diagnose -> re-solve -> evaluate tail of the watchdog entries
+/// (polling, alert-driven, graph); `recover` rebuilds the deployment
+/// from the diagnosis and `site` labels the kFault probe.
+void DiagnoseAndRecover(
+    const Deployment& deployment, const nn::RealDataset& test, Rng& rng,
+    const FaultWatchdogConfig& config,
+    const std::function<Deployment(const FaultDiagnosis&)>& recover,
+    const char* site, FaultWatchdogResult& result) {
   const FaultDiagnosis diagnosis =
       DiagnoseDeployment(deployment, rng, config.diagnosis);
   result.report.num_stuck_detected = diagnosis.num_stuck;
   result.report.wdd_ratio = diagnosis.wdd_ratio;
   // Re-solve even when nothing is stuck: the measured steering also
   // repairs drift-induced miscalibration.
-  result.recovered.emplace(
-      RecoverFromFaults(model, surface, link_config, options, diagnosis));
+  result.recovered.emplace(recover(diagnosis));
   result.report.recovered_accuracy =
       result.recovered->EvaluateAccuracyAtOffset(test, 0.0, rng,
                                                  config.check_samples);
@@ -194,8 +251,42 @@ FaultWatchdogResult RunFaultWatchdog(const TrainedModel& model,
   if (!result.report.tripped) return result;
 
   obs::Count("fault.watchdog_trips");
-  DiagnoseAndRecover(model, surface, link_config, options, deployment, test,
-                     rng, config, "fault.watchdog", result);
+  DiagnoseAndRecover(
+      deployment, test, rng, config,
+      [&](const FaultDiagnosis& diagnosis) {
+        return RecoverFromFaults(model, surface, link_config, options,
+                                 diagnosis);
+      },
+      "fault.watchdog", result);
+  return result;
+}
+
+FaultWatchdogResult RunFaultWatchdog(const TrainedModel& model,
+                                     const mts::LayerGraph& graph,
+                                     const sim::OtaLinkConfig& link_config,
+                                     const DeploymentOptions& options,
+                                     const Deployment& deployment,
+                                     const nn::RealDataset& test,
+                                     double reference_accuracy, Rng& rng,
+                                     const FaultWatchdogConfig& config) {
+  FaultWatchdogResult result;
+  result.report.reference_accuracy = reference_accuracy;
+  result.report.observed_accuracy = deployment.EvaluateAccuracyAtOffset(
+      test, 0.0, rng, config.check_samples);
+  result.report.tripped =
+      reference_accuracy - result.report.observed_accuracy >
+      config.accuracy_drop_threshold;
+  obs::Count("fault.watchdog_checks");
+  if (!result.report.tripped) return result;
+
+  obs::Count("fault.watchdog_trips");
+  DiagnoseAndRecover(
+      deployment, test, rng, config,
+      [&](const FaultDiagnosis& diagnosis) {
+        return RecoverFromFaults(model, graph, link_config, options,
+                                 diagnosis);
+      },
+      "fault.watchdog", result);
   return result;
 }
 
@@ -215,8 +306,13 @@ FaultWatchdogResult RunFaultWatchdogOnAlert(
   result.report.observed_accuracy = alert.value;
   result.report.tripped = true;
   obs::Count("fault.watchdog_alert_trips");
-  DiagnoseAndRecover(model, surface, link_config, options, deployment, test,
-                     rng, config, "fault.watchdog_alert", result);
+  DiagnoseAndRecover(
+      deployment, test, rng, config,
+      [&](const FaultDiagnosis& diagnosis) {
+        return RecoverFromFaults(model, surface, link_config, options,
+                                 diagnosis);
+      },
+      "fault.watchdog_alert", result);
   return result;
 }
 

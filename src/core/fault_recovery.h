@@ -63,7 +63,11 @@ struct FaultDiagnosis {
 };
 
 /// Toggle-probes every atom of `deployment`'s link over the air. Noise
-/// for the probe transmissions is drawn from `rng`.
+/// for the probe transmissions is drawn from `rng`. Cascade links are
+/// probed with the upper layers held at a deterministic focus
+/// configuration whose composed factor is divided back out of every
+/// measurement, so the toggle algebra sees the front panel alone (faults
+/// only act there).
 FaultDiagnosis DiagnoseDeployment(const Deployment& deployment, Rng& rng,
                                   const FaultDiagnosisConfig& config = {});
 
@@ -74,6 +78,15 @@ FaultDiagnosis DiagnoseDeployment(const Deployment& deployment, Rng& rng,
 /// fault fields are overwritten.
 Deployment RecoverFromFaults(const TrainedModel& model,
                              const mts::Metasurface& surface,
+                             sim::OtaLinkConfig link_config,
+                             DeploymentOptions options,
+                             const FaultDiagnosis& diagnosis);
+
+/// Cascade recovery: rebuilds the deployment over `graph` (front-panel
+/// faults masked and re-solved exactly as above; the upper layers are
+/// fault-free by model). `graph` must outlive the returned deployment.
+Deployment RecoverFromFaults(const TrainedModel& model,
+                             const mts::LayerGraph& graph,
                              sim::OtaLinkConfig link_config,
                              DeploymentOptions options,
                              const FaultDiagnosis& diagnosis);
@@ -109,6 +122,17 @@ struct FaultWatchdogResult {
 /// gauge.
 FaultWatchdogResult RunFaultWatchdog(const TrainedModel& model,
                                      const mts::Metasurface& surface,
+                                     const sim::OtaLinkConfig& link_config,
+                                     const DeploymentOptions& options,
+                                     const Deployment& deployment,
+                                     const nn::RealDataset& test,
+                                     double reference_accuracy, Rng& rng,
+                                     const FaultWatchdogConfig& config = {});
+
+/// Watchdog over a cascade deployment: identical pipeline, but the
+/// recovered deployment is rebuilt over `graph`.
+FaultWatchdogResult RunFaultWatchdog(const TrainedModel& model,
+                                     const mts::LayerGraph& graph,
                                      const sim::OtaLinkConfig& link_config,
                                      const DeploymentOptions& options,
                                      const Deployment& deployment,

@@ -1,5 +1,8 @@
 #include "core/scheduler.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
 #include "obs/obs.h"
 
@@ -24,10 +27,44 @@ std::vector<std::size_t> AllocateSlots(std::span<const std::size_t> pending,
   return granted;
 }
 
+namespace {
+
+// The controller config must describe the panel it drives: the zero
+// value carries the 256-atom/16-group prototype shape, which used to be
+// reused verbatim for every surface, silently mis-budgeting the pattern
+// load time on anything that was not 16x16. Re-derive the atom count
+// from the surface, rounding the group count down to the nearest
+// divisor (the Controller requires atoms % groups == 0). A 256-atom
+// surface with the default config is untouched.
+mts::ControllerConfig AlignedController(mts::ControllerConfig controller,
+                                        std::size_t num_atoms) {
+  if (controller.num_atoms == num_atoms) return controller;
+  controller.num_atoms = num_atoms;
+  std::size_t groups = std::min(controller.num_groups, num_atoms);
+  while (groups > 1 && num_atoms % groups != 0) --groups;
+  controller.num_groups = groups;
+  return controller;
+}
+
+}  // namespace
+
 SharedSurfaceScheduler::SharedSurfaceScheduler(
     const mts::Metasurface& surface, std::vector<DeviceSpec> devices,
     SchedulerConfig config)
     : config_(std::move(config)) {
+  Init(surface, /*graph=*/nullptr, std::move(devices));
+}
+
+SharedSurfaceScheduler::SharedSurfaceScheduler(const mts::LayerGraph& graph,
+                                               std::vector<DeviceSpec> devices,
+                                               SchedulerConfig config)
+    : config_(std::move(config)) {
+  Init(graph.front(), &graph, std::move(devices));
+}
+
+void SharedSurfaceScheduler::Init(const mts::Metasurface& surface,
+                                  const mts::LayerGraph* graph,
+                                  std::vector<DeviceSpec> devices) {
   Check(!devices.empty(), "scheduler needs at least one device");
   Check(config_.symbol_rate_hz > 0.0, "symbol rate must be positive");
   Check(config_.guard_interval_s >= 0.0, "negative guard interval");
@@ -37,6 +74,8 @@ SharedSurfaceScheduler::SharedSurfaceScheduler(
   // The controller streams 2 patterns per symbol (mid-symbol flip) for
   // every device in turn; the frame is feasible iff the controller can
   // sustain that rate at all (slots never overlap in TDMA).
+  config_.controller =
+      AlignedController(config_.controller, surface.num_atoms());
   const mts::Controller controller(config_.controller);
   const bool sustainable = controller.CanSustain(config_.symbol_rate_hz, 2);
   obs::SetGauge("scheduler.switch_utilization",
@@ -53,8 +92,12 @@ SharedSurfaceScheduler::SharedSurfaceScheduler(
   for (DeviceSpec& spec : devices) {
     names_.push_back(spec.name);
     spec.link.symbol_rate_hz = config_.symbol_rate_hz;
-    deployments_.push_back(std::make_unique<Deployment>(
-        spec.model, surface, spec.link, spec.options));
+    deployments_.push_back(
+        graph != nullptr
+            ? std::make_unique<Deployment>(spec.model, *graph, spec.link,
+                                           spec.options)
+            : std::make_unique<Deployment>(spec.model, surface, spec.link,
+                                           spec.options));
     const Deployment& deployment = *deployments_.back();
     const std::size_t rounds = deployment.RoundsPerInference();
     const std::size_t symbols =

@@ -34,6 +34,11 @@ struct SchedulerConfig {
   double symbol_rate_hz = 1e6;
   /// Guard between device slots (detector re-arm + MCU turnaround).
   double guard_interval_s = 20e-6;
+  /// Control-plane model for the shared (front) surface. The atom count
+  /// is re-derived from the actual panel at construction — the zero
+  /// value describes the 256-atom prototype and previously leaked onto
+  /// every surface shape, mis-budgeting the pattern load time. Group
+  /// count rounds down to the nearest divisor when the shape changes.
   mts::ControllerConfig controller;
 };
 
@@ -61,6 +66,16 @@ class SharedSurfaceScheduler {
   /// Builds one deployment per device on the shared `surface`. Throws if
   /// the combined schedule exceeds the controller's switching budget.
   SharedSurfaceScheduler(const mts::Metasurface& surface,
+                         std::vector<DeviceSpec> devices,
+                         SchedulerConfig config = {});
+
+  /// Shares a whole surface cascade across devices: every deployment is
+  /// built over `graph` (which must outlive the scheduler). The
+  /// controller budget still gates the schedule-driven front panel —
+  /// upper layers also switch per symbol and are assumed to have their
+  /// own controllers. A depth-1 graph reproduces the surface overload
+  /// bit for bit.
+  SharedSurfaceScheduler(const mts::LayerGraph& graph,
                          std::vector<DeviceSpec> devices,
                          SchedulerConfig config = {});
 
@@ -103,6 +118,10 @@ class SharedSurfaceScheduler {
                         std::size_t max_samples = 0) const;
 
  private:
+  /// Shared constructor body; `graph` is null for single-surface use.
+  void Init(const mts::Metasurface& surface, const mts::LayerGraph* graph,
+            std::vector<DeviceSpec> devices);
+
   std::vector<std::string> names_;
   std::vector<std::unique_ptr<Deployment>> deployments_;
   std::vector<ScheduledSlot> frame_;

@@ -58,6 +58,21 @@ Result<void> TrySaveModel(const TrainedModel& model,
       out << w(r, c).real() << ' ' << w(r, c).imag() << '\n';
     }
   }
+  // Optional cascade trailer: the loader stops at the exact weight count,
+  // so legacy readers ignore it and models without layers stay
+  // byte-identical to the pre-cascade format.
+  if (!model.layers.empty()) {
+    out << "layers " << model.layers.size() << '\n';
+    for (const mts::PhysicalLayerSpec& layer : model.layers) {
+      const mts::MetasurfaceSpec& s = layer.surface;
+      out << s.rows << ' ' << s.cols << ' ' << layer.coupling_gain << ' '
+          << s.design_frequency_hz << ' ' << s.fractional_bandwidth << ' '
+          << s.fov_deg << ' ' << s.atom_reflection_amplitude << ' '
+          << s.supported_bands_hz.size();
+      for (const double band : s.supported_bands_hz) out << ' ' << band;
+      out << '\n';
+    }
+  }
   out.flush();
   if (!out.good()) return IoError("failed writing model file", path);
   return Ok();
@@ -95,6 +110,42 @@ Result<TrainedModel> TryLoadModel(const std::filesystem::path& path) {
       in >> re >> im;
       if (in.fail()) return ParseError("truncated model file", path);
       w(r, c) = {re, im};
+    }
+  }
+
+  // Optional cascade trailer; EOF here means a legacy single-surface
+  // model (layers stays empty).
+  std::string trailer;
+  if (in >> trailer) {
+    if (trailer != "layers") {
+      return ParseError("unexpected trailer '" + trailer + "' in model file",
+                        path);
+    }
+    std::size_t num_layers = 0;
+    in >> num_layers;
+    if (in.fail() || num_layers == 0) {
+      return ParseError("malformed layer count in model file", path);
+    }
+    for (std::size_t l = 0; l < num_layers; ++l) {
+      mts::PhysicalLayerSpec layer;
+      std::size_t num_bands = 0;
+      in >> layer.surface.rows >> layer.surface.cols >> layer.coupling_gain >>
+          layer.surface.design_frequency_hz >>
+          layer.surface.fractional_bandwidth >> layer.surface.fov_deg >>
+          layer.surface.atom_reflection_amplitude >> num_bands;
+      if (in.fail()) return ParseError("truncated layer trailer in", path);
+      layer.surface.supported_bands_hz.assign(num_bands, 0.0);
+      for (double& band : layer.surface.supported_bands_hz) in >> band;
+      if (in.fail()) return ParseError("truncated layer bands in", path);
+      model.layers.push_back(std::move(layer));
+    }
+    // Reject geometrically invalid graphs at load time with a typed
+    // error instead of letting construction Check-abort downstream.
+    const Result<mts::LayerGraph> graph =
+        mts::LayerGraph::TryFromSpecs(model.layers);
+    if (!graph.ok()) {
+      return Error{ErrorCode::kParseError,
+                   "invalid layer trailer: " + graph.error().message};
     }
   }
   return model;
@@ -142,6 +193,57 @@ Result<void> TrySavePatterns(const MappedSchedules& schedules,
         line.push_back(HexDigit(nibble));
       }
       out << line << '\n';
+    }
+  }
+  // Optional cascade trailer: per-round upper-layer schedules, same
+  // hex packing. The legacy loader stops at the exact round count, so
+  // single-surface pattern files stay byte-identical.
+  if (!schedules.upper_rounds.empty()) {
+    if (schedules.upper_rounds.size() != schedules.rounds.size()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "upper schedules must cover every round"};
+    }
+    const std::size_t num_upper = schedules.upper_rounds[0].size();
+    std::vector<std::size_t> upper_atoms(num_upper);
+    for (std::size_t u = 0; u < num_upper; ++u) {
+      upper_atoms[u] = schedules.upper_rounds[0][u].at(0).size();
+      if (upper_atoms[u] == 0 || upper_atoms[u] % 2 != 0) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "upper layer atom count must be even for hex packing, "
+                     "got " +
+                         std::to_string(upper_atoms[u])};
+      }
+    }
+    out << "upper " << num_upper;
+    for (const std::size_t atoms : upper_atoms) out << ' ' << atoms;
+    out << '\n';
+    for (const sim::LayerSchedules& round_upper : schedules.upper_rounds) {
+      if (round_upper.size() != num_upper) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "inconsistent upper layer count across rounds"};
+      }
+      for (std::size_t u = 0; u < num_upper; ++u) {
+        if (round_upper[u].size() != schedules.rounds[0].size()) {
+          return Error{ErrorCode::kInvalidArgument,
+                       "upper schedule symbol count mismatch"};
+        }
+        for (const auto& codes : round_upper[u]) {
+          if (codes.size() != upper_atoms[u]) {
+            return Error{ErrorCode::kInvalidArgument,
+                         "inconsistent upper config size: expected " +
+                             std::to_string(upper_atoms[u]) + " atoms, got " +
+                             std::to_string(codes.size())};
+          }
+          std::string line;
+          line.reserve(upper_atoms[u] / 2);
+          for (std::size_t m = 0; m < upper_atoms[u]; m += 2) {
+            const unsigned nibble = (static_cast<unsigned>(codes[m]) << 2) |
+                                    static_cast<unsigned>(codes[m + 1]);
+            line.push_back(HexDigit(nibble));
+          }
+          out << line << '\n';
+        }
+      }
     }
   }
   out.flush();
@@ -208,6 +310,55 @@ Result<MappedSchedules> TryLoadPatterns(const std::filesystem::path& path,
     }
     schedules.rounds.push_back(std::move(schedule));
     schedules.outputs.push_back(std::move(outputs));
+  }
+
+  // Optional cascade trailer; EOF here means a legacy single-surface
+  // pattern file (upper_rounds stays empty).
+  std::string trailer;
+  if (in >> trailer) {
+    if (trailer != "upper") {
+      return ParseError("unexpected trailer '" + trailer + "' in pattern file",
+                        path);
+    }
+    std::size_t num_upper = 0;
+    in >> num_upper;
+    if (in.fail() || num_upper == 0) {
+      return ParseError("malformed upper layer count in", path);
+    }
+    std::vector<std::size_t> upper_atoms(num_upper);
+    for (std::size_t& count : upper_atoms) {
+      in >> count;
+      if (in.fail() || count == 0 || count % 2 != 0) {
+        return ParseError("malformed upper atom count in", path);
+      }
+    }
+    in >> std::ws;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      sim::LayerSchedules round_upper(num_upper);
+      for (std::size_t u = 0; u < num_upper; ++u) {
+        round_upper[u].reserve(symbols);
+        for (std::size_t i = 0; i < symbols; ++i) {
+          std::string line;
+          std::getline(in, line);
+          if (in.fail() || line.size() != upper_atoms[u] / 2) {
+            return ParseError("malformed upper pattern line in", path);
+          }
+          std::vector<mts::PhaseCode> codes(upper_atoms[u]);
+          for (std::size_t d = 0; d < line.size(); ++d) {
+            const int nibble = HexValue(line[d]);
+            if (nibble < 0) {
+              return ParseError("invalid hex digit in pattern file", path);
+            }
+            codes[2 * d] = static_cast<mts::PhaseCode>(
+                static_cast<unsigned>(nibble) >> 2);
+            codes[2 * d + 1] = static_cast<mts::PhaseCode>(
+                static_cast<unsigned>(nibble) & 0x3u);
+          }
+          round_upper[u].push_back(std::move(codes));
+        }
+      }
+      schedules.upper_rounds.push_back(std::move(round_upper));
+    }
   }
   return schedules;
 }

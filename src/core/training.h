@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
+#include "mts/layer_graph.h"
 #include "nn/complex_linear.h"
 #include "nn/types.h"
 #include "rf/modulation.h"
@@ -47,6 +49,12 @@ struct TrainingOptions {
 struct TrainedModel {
   nn::ComplexLinearModel network;
   rf::Modulation modulation = rf::Modulation::kQam256;
+  /// The physical cascade this model was trained to deploy on, when it
+  /// targets a multi-surface layer graph (serialized alongside the
+  /// weights so a controller host can rebuild the same mts::LayerGraph).
+  /// Empty = single surface chosen at deployment time (the legacy
+  /// contract; model files round-trip byte-identically).
+  std::vector<mts::PhysicalLayerSpec> layers;
 
   std::size_t input_dim() const { return network.input_dim(); }
   std::size_t num_classes() const { return network.num_classes(); }

@@ -79,6 +79,11 @@ struct MappingOptions {
   /// Early-exit threshold applied to warm-started solves only (see
   /// mts::SolveOptions::min_sweep_improvement). Also part of the key.
   double warm_start_min_improvement = 1e-3;
+  /// Cascade (multi-layer link) mappings only: alternating block-
+  /// coordinate sweeps per (round, symbol) cascade solve (see
+  /// mts::CascadeOptions). Ignored — and excluded from the cache key —
+  /// on depth-1 links, so single-surface keys stay byte-stable.
+  int cascade_outer_sweeps = 2;
 };
 
 struct MappedSchedules {
@@ -89,6 +94,11 @@ struct MappedSchedules {
   /// Output index computed by (round, observation); -1 if that
   /// observation is idle in that round (class count not divisible by K).
   std::vector<std::vector<int>> outputs;
+  /// Cascade (depth K > 1) links only: upper_rounds[r][l-1][i] is the
+  /// configuration upper layer l holds during symbol i of round r,
+  /// solved jointly with rounds[r][i] by the alternating cascade solver.
+  /// Empty for single-surface links (the legacy schedule shape).
+  std::vector<sim::LayerSchedules> upper_rounds;
   /// Common scale applied to all weights.
   double scale = 0.0;
   /// Mean solver residual relative to the scaled target magnitude.

@@ -13,6 +13,19 @@ FaultInjector::FaultInjector(FaultPlan plan, std::size_t num_atoms,
     : plan_(plan), num_atoms_(num_atoms), controller_(controller) {
   Check(num_atoms_ > 0, "fault injector requires at least one atom");
   Check(controller_.num_groups > 0, "controller needs at least one group");
+  // The controller config must describe the surface being driven: the
+  // zero value carries the 256-atom/16-group prototype shape, which
+  // previously leaked onto every surface and skewed the group-major
+  // corruption layout for non-16x16 panels. Reconcile the atom count
+  // and round the group count down to the nearest divisor (matching
+  // mts::Controller's divisibility contract); the 256-atom default is
+  // untouched.
+  if (controller_.num_atoms != num_atoms_) {
+    controller_.num_atoms = num_atoms_;
+    std::size_t groups = std::min(controller_.num_groups, num_atoms_);
+    while (groups > 1 && num_atoms_ % groups != 0) --groups;
+    controller_.num_groups = groups;
+  }
   atoms_per_group_ =
       (num_atoms_ + controller_.num_groups - 1) / controller_.num_groups;
 

@@ -23,7 +23,11 @@ namespace metaai::fault {
 class FaultInjector {
  public:
   /// Realizes `plan` for a surface of `num_atoms` atoms driven by
-  /// `controller`'s shift-register layout.
+  /// `controller`'s shift-register layout. A controller whose atom count
+  /// disagrees with `num_atoms` (the zero value describes the 256-atom
+  /// prototype) is reconciled to the surface: its atom count is replaced
+  /// and its group count rounds down to the nearest divisor, so the
+  /// group-major corruption layout always matches the panel it corrupts.
   explicit FaultInjector(FaultPlan plan, std::size_t num_atoms,
                          mts::ControllerConfig controller = {});
 

@@ -145,8 +145,11 @@ std::optional<CachedConfig> ConfigCache::LookupNearest(
   const Entry* best = nullptr;
   double best_distance = 0.0;
   if (!family.empty() && !features.empty()) {
-    // Front-to-back walk = most-recent first; the strict < keeps the
-    // first (most recently used) entry on distance ties.
+    // Distance ties break on the lexicographically smallest content key.
+    // The LRU walk order depends on the whole insertion/eviction/lookup
+    // history, so "first seen wins" would make the warm-start seed — and
+    // therefore the solved codes — depend on scheduling; keying the tie
+    // on entry content keeps replays bitwise identical.
     for (const Entry& entry : lru_) {
       if (entry.family != family ||
           entry.features.size() != features.size()) {
@@ -159,8 +162,9 @@ std::optional<CachedConfig> ConfigCache::LookupNearest(
       }
       const double distance =
           std::sqrt(sum / static_cast<double>(features.size()));
-      if (distance <= max_distance &&
-          (best == nullptr || distance < best_distance)) {
+      if (distance > max_distance) continue;
+      if (best == nullptr || distance < best_distance ||
+          (distance == best_distance && entry.key < best->key)) {
         best = &entry;
         best_distance = distance;
       }

@@ -55,6 +55,11 @@ namespace metaai::mts {
 struct CachedConfig {
   std::vector<std::vector<std::vector<PhaseCode>>> rounds;
   std::vector<std::vector<int>> outputs;
+  /// Cascade (depth K > 1) mappings only: upper_rounds[r][l-1][s] is the
+  /// configuration layer l holds during symbol s of round r. Empty for
+  /// single-surface mappings, which keeps their entries byte-compatible
+  /// with pre-cascade caches.
+  std::vector<std::vector<std::vector<std::vector<PhaseCode>>>> upper_rounds;
   double scale = 0.0;
   double mean_relative_residual = 0.0;
 
@@ -118,9 +123,12 @@ class ConfigCache {
   /// Nearest-key lookup for warm starts: among entries whose family key
   /// equals `family` and whose feature vector has `features`'s length,
   /// returns the one with the smallest RMS feature distance, provided it
-  /// is <= max_distance. Ties go to the most recently used entry. Does
-  /// not touch LRU order or the hit/miss counters (a nearest hit is not
-  /// an exact hit); counts cache.nearest_hits / cache.nearest_misses.
+  /// is <= max_distance. Ties go to the lexicographically smallest
+  /// content key, so the winner is a pure function of the cache contents
+  /// and warm-started solves replay identically regardless of
+  /// insertion/eviction history. Does not touch LRU order or the
+  /// hit/miss counters (a nearest hit is not an exact hit); counts
+  /// cache.nearest_hits / cache.nearest_misses.
   std::optional<CachedConfig> LookupNearest(const std::string& family,
                                             const std::vector<double>& features,
                                             double max_distance) const;

@@ -9,6 +9,10 @@
 namespace metaai::mts {
 namespace {
 
+// Mean projection of a uniformly distributed phase error in
+// [-pi/4, pi/4]: sin(pi/4) / (pi/4).
+constexpr double kQuantizationFactor = 0.9003163161571062;
+
 // Nearest-phase initialization for a single target: rotate each atom so
 // its contribution points toward the target.
 std::vector<PhaseCode> InitializeToward(std::span<const Complex> steering,
@@ -75,10 +79,13 @@ Result<void> ValidateSolveOptions(const SolveOptions& options,
 }
 
 double ReachableMagnitude(std::size_t num_atoms) {
-  // Mean projection of a uniformly distributed phase error in
-  // [-pi/4, pi/4]: sin(pi/4) / (pi/4).
-  constexpr double kQuantizationFactor = 0.9003163161571062;
   return static_cast<double>(num_atoms) * kQuantizationFactor;
+}
+
+double ReachableMagnitude(std::span<const Complex> steering) {
+  double sum = 0.0;
+  for (const Complex& s : steering) sum += std::abs(s);
+  return sum * kQuantizationFactor;
 }
 
 SolveResult SolveSingleTarget(std::span<const Complex> steering,
@@ -287,6 +294,178 @@ Result<SolveResult> TrySolveMultiTarget(const ComplexMatrix& steering,
     return valid.error();
   }
   return SolveMultiTarget(steering, targets, options);
+}
+
+namespace {
+
+// Phased sums of a layer's own (unscaled) steering rows under `codes`,
+// through the same SoA kernel the inner solver uses. Masked-out atoms
+// contribute nothing, matching the inner solver's zeroed planes.
+std::vector<Complex> LayerSums(const ComplexMatrix& steering,
+                               std::span<const PhaseCode> codes,
+                               std::span<const std::uint8_t> mask) {
+  const std::size_t num_targets = steering.rows();
+  const std::size_t num_atoms = steering.cols();
+  std::vector<double> re(num_atoms);
+  std::vector<double> im(num_atoms);
+  std::vector<Complex> sums(num_targets);
+  for (std::size_t k = 0; k < num_targets; ++k) {
+    for (std::size_t m = 0; m < num_atoms; ++m) {
+      const bool masked = !mask.empty() && mask[m] == 0;
+      re[m] = masked ? 0.0 : steering(k, m).real();
+      im[m] = masked ? 0.0 : steering(k, m).imag();
+    }
+    sums[k] = simd::PhasedSum(re.data(), im.data(), codes.data(), num_atoms);
+  }
+  return sums;
+}
+
+ComplexMatrix ScaleRows(const ComplexMatrix& steering,
+                        const std::vector<Complex>& factors) {
+  ComplexMatrix scaled(steering.rows(), steering.cols());
+  for (std::size_t k = 0; k < steering.rows(); ++k) {
+    for (std::size_t m = 0; m < steering.cols(); ++m) {
+      scaled(k, m) = steering(k, m) * factors[k];
+    }
+  }
+  return scaled;
+}
+
+}  // namespace
+
+CascadeResult SolveCascadeMultiTarget(std::span<const CascadeLayerInput> layers,
+                                      std::span<const Complex> targets,
+                                      const CascadeOptions& cascade) {
+  Check(!layers.empty(), "cascade solve requires at least one layer");
+  Check(cascade.outer_sweeps > 0, "cascade outer_sweeps must be positive");
+  const std::size_t num_targets = layers.front().steering.rows();
+  Check(targets.size() == num_targets, "target count mismatch");
+  for (const CascadeLayerInput& layer : layers) {
+    Check(layer.steering.rows() == num_targets,
+          "cascade layers must share one target set");
+  }
+
+  CascadeResult result;
+  // Depth 1 is the legacy single-surface solve, bit for bit: same inner
+  // call, same counters, no cascade bookkeeping.
+  if (layers.size() == 1) {
+    SolveResult inner =
+        SolveMultiTarget(layers[0].steering, targets, layers[0].options);
+    result.codes.push_back(std::move(inner.codes));
+    result.achieved = std::move(inner.achieved);
+    result.residual = inner.residual;
+    result.total_sweeps = inner.sweeps_used;
+    return result;
+  }
+
+  obs::Count("solver.cascade_solves");
+  const std::size_t depth = layers.size();
+  result.codes.resize(depth);
+  // sums[l][k]: layer l's own phased sum toward target k under its
+  // current codes; the composed response is the per-target product.
+  std::vector<std::vector<Complex>> sums(depth);
+
+  // Focus initialization for the upper layers: each solves toward its
+  // per-row reachable magnitude at zero phase — the configuration a
+  // transparent repeater would hold. Caller-supplied initial_codes (cache
+  // warm starts) seed this solve through the layer's own options.
+  for (std::size_t l = 1; l < depth; ++l) {
+    const ComplexMatrix& steering = layers[l].steering;
+    std::vector<Complex> row(steering.cols());
+    std::vector<Complex> focus(num_targets);
+    for (std::size_t k = 0; k < num_targets; ++k) {
+      for (std::size_t m = 0; m < steering.cols(); ++m) row[m] = steering(k, m);
+      focus[k] = Complex(ReachableMagnitude(std::span<const Complex>(row)), 0.0);
+    }
+    SolveResult inner = SolveMultiTarget(steering, focus, layers[l].options);
+    result.total_sweeps += inner.sweeps_used;
+    result.codes[l] = std::move(inner.codes);
+    sums[l] = std::move(inner.achieved);
+  }
+
+  // Product of every other layer's current sums, per target. Layers not
+  // yet solved (empty sums) contribute unity.
+  const auto other_factors = [&](std::size_t skip) {
+    std::vector<Complex> factors(num_targets, Complex(1.0, 0.0));
+    for (std::size_t l = 0; l < depth; ++l) {
+      if (l == skip || sums[l].empty()) continue;
+      for (std::size_t k = 0; k < num_targets; ++k) factors[k] *= sums[l][k];
+    }
+    return factors;
+  };
+
+  // One block re-solve: the layer sees its rows scaled by the composed
+  // factor of every other layer, so the inner solver's achieved values
+  // ARE the full cascade response and the true targets apply unchanged.
+  const auto solve_block = [&](std::size_t l) {
+    SolveOptions options = layers[l].options;
+    if (!result.codes[l].empty()) options.initial_codes = result.codes[l];
+    SolveResult inner = SolveMultiTarget(
+        ScaleRows(layers[l].steering, other_factors(l)), targets, options);
+    result.total_sweeps += inner.sweeps_used;
+    result.codes[l] = std::move(inner.codes);
+    sums[l] = LayerSums(layers[l].steering, result.codes[l],
+                        layers[l].options.atom_mask);
+  };
+
+  for (int sweep = 0; sweep < cascade.outer_sweeps; ++sweep) {
+    obs::Count("solver.cascade_outer_sweeps");
+    // The front layer solves last in every outer sweep so it absorbs the
+    // freshest upper-layer factor; upper layers only re-solve from sweep
+    // two on (sweep one runs against their focus initialization).
+    if (sweep > 0) {
+      for (std::size_t l = 1; l < depth; ++l) solve_block(l);
+    }
+    solve_block(0);
+  }
+
+  result.achieved.assign(num_targets, Complex(1.0, 0.0));
+  for (std::size_t l = 0; l < depth; ++l) {
+    for (std::size_t k = 0; k < num_targets; ++k) {
+      result.achieved[k] *= sums[l][k];
+    }
+  }
+  double err = 0.0;
+  for (std::size_t k = 0; k < num_targets; ++k) {
+    err += std::norm(result.achieved[k] - targets[k]);
+  }
+  result.residual = std::sqrt(err);
+  return result;
+}
+
+Result<CascadeResult> TrySolveCascadeMultiTarget(
+    std::span<const CascadeLayerInput> layers, std::span<const Complex> targets,
+    const CascadeOptions& cascade) {
+  if (layers.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "cascade solve requires at least one layer"};
+  }
+  if (cascade.outer_sweeps <= 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "cascade outer_sweeps must be positive, got " +
+                     std::to_string(cascade.outer_sweeps)};
+  }
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const CascadeLayerInput& layer = layers[l];
+    if (layer.steering.rows() == 0 || layer.steering.cols() == 0) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "cascade layer " + std::to_string(l) +
+                       " requires targets and atoms"};
+    }
+    if (layer.steering.rows() != targets.size()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "cascade layer " + std::to_string(l) + " has " +
+                       std::to_string(layer.steering.rows()) +
+                       " rows for " + std::to_string(targets.size()) +
+                       " targets"};
+    }
+    if (Result<void> valid =
+            ValidateSolveOptions(layer.options, layer.steering.cols());
+        !valid.ok()) {
+      return valid.error();
+    }
+  }
+  return SolveCascadeMultiTarget(layers, targets, cascade);
 }
 
 }  // namespace metaai::mts

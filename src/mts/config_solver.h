@@ -99,4 +99,54 @@ Result<SolveResult> TrySolveMultiTarget(const ComplexMatrix& steering,
 /// sinc-like quantization factor sin(pi/4)/(pi/4) ~= 0.9.
 double ReachableMagnitude(std::size_t num_atoms);
 
+/// Reachable magnitude for a concrete steering row: the quantization
+/// factor times the sum of per-atom magnitudes (the unit-phasor formula
+/// above is the special case |steering[m]| == 1 for all m).
+double ReachableMagnitude(std::span<const Complex> steering);
+
+/// One layer of a cascade solve: the steering matrix of that surface
+/// toward the shared target set (row k = target k, any coupling factors
+/// already folded in by the caller) plus that layer's inner-solver
+/// options. Layer 0 is the front panel.
+struct CascadeLayerInput {
+  ComplexMatrix steering;
+  SolveOptions options;
+};
+
+struct CascadeOptions {
+  /// Alternating block-coordinate sweeps over the layer blocks. Sweep 1
+  /// solves the front layer against the focus-initialized upper layers;
+  /// each further sweep re-solves every upper layer (warm-started from
+  /// its current codes) and then the front layer again.
+  int outer_sweeps = 2;
+};
+
+struct CascadeResult {
+  /// codes[l] is layer l's configuration (l = 0 is the front panel).
+  std::vector<std::vector<PhaseCode>> codes;
+  /// Composed response per target: prod_l sum_m steering_l(k, m) e^{j phi}.
+  std::vector<Complex> achieved;
+  /// Root summed squared error of `achieved` against the targets.
+  double residual = 0.0;
+  /// Inner coordinate-descent sweeps summed across all block solves.
+  long total_sweeps = 0;
+};
+
+/// Multi-layer (SIM cascade) solve: pick a configuration per layer so the
+/// product of the per-layer phased sums matches the targets. Upper layers
+/// (l >= 1) are initialized by focusing toward their per-row reachable
+/// magnitude, then the blocks are alternated: each block re-solve runs
+/// the standard coordinate-descent inner loop on rows scaled by the other
+/// layers' current sums, warm-started from that layer's current codes.
+/// A single-layer input delegates to SolveMultiTarget unchanged (same
+/// codes, sums and counters, bit for bit). Throws CheckError on invalid
+/// shapes/options; see TrySolveCascadeMultiTarget for typed errors.
+CascadeResult SolveCascadeMultiTarget(std::span<const CascadeLayerInput> layers,
+                                      std::span<const Complex> targets,
+                                      const CascadeOptions& cascade = {});
+
+Result<CascadeResult> TrySolveCascadeMultiTarget(
+    std::span<const CascadeLayerInput> layers, std::span<const Complex> targets,
+    const CascadeOptions& cascade = {});
+
 }  // namespace metaai::mts

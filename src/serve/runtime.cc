@@ -237,6 +237,17 @@ Runtime::Runtime(const mts::Metasurface& surface,
                  std::vector<ClientSpec> clients, RuntimeOptions options)
     : surface_(surface), options_(std::move(options)),
       energy_(options_.energy) {
+  Init(std::move(clients));
+}
+
+Runtime::Runtime(const mts::LayerGraph& graph, std::vector<ClientSpec> clients,
+                 RuntimeOptions options)
+    : surface_(graph.front()), graph_(graph), options_(std::move(options)),
+      energy_(options_.energy) {
+  Init(std::move(clients));
+}
+
+void Runtime::Init(std::vector<ClientSpec> clients) {
   Check(!clients.empty(), "serving runtime needs at least one client");
   Check(options_.queue_capacity > 0, "queue capacity must be positive");
   Check(options_.frame_budget > 0, "frame budget must be positive");
@@ -256,8 +267,11 @@ Runtime::Runtime(const mts::Metasurface& surface,
                        .link = std::move(client.link),
                        .options = std::move(deployment)});
   }
-  scheduler_ = std::make_unique<core::SharedSurfaceScheduler>(
-      surface_, std::move(devices), options_.scheduler);
+  scheduler_ = graph_.has_value()
+                   ? std::make_unique<core::SharedSurfaceScheduler>(
+                         *graph_, std::move(devices), options_.scheduler)
+                   : std::make_unique<core::SharedSurfaceScheduler>(
+                         surface_, std::move(devices), options_.scheduler);
   // The scheduler builds deployments serially in client order, so the
   // per-tenant cache provenance below is deterministic.
   for (std::size_t c = 0; c < num_clients(); ++c) {

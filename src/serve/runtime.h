@@ -21,6 +21,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -116,6 +117,13 @@ class Runtime {
   Runtime(const mts::Metasurface& surface, std::vector<ClientSpec> clients,
           RuntimeOptions options = {});
 
+  /// Multi-surface serving: every client deploys over the cascade
+  /// described by `graph`. The runtime keeps its own copy of the graph
+  /// (same dangling-safety contract as the surface overload). A depth-1
+  /// graph serves bit-for-bit like the single-surface constructor.
+  Runtime(const mts::LayerGraph& graph, std::vector<ClientSpec> clients,
+          RuntimeOptions options = {});
+
   std::size_t num_clients() const { return input_dims_.size(); }
   const core::SharedSurfaceScheduler& scheduler() const {
     return *scheduler_;
@@ -135,9 +143,15 @@ class Runtime {
                            const sim::SyncModel& sync, Rng& rng) const;
 
  private:
+  /// Shared constructor body (runs after surface_/graph_ are set).
+  void Init(std::vector<ClientSpec> clients);
+
   /// Owned copy; declared before scheduler_ because the deployments'
   /// links hold references into it.
   mts::Metasurface surface_;
+  /// Owned cascade copy for the graph constructor (deployments' links
+  /// hold pointers into it); nullopt for single-surface runtimes.
+  std::optional<mts::LayerGraph> graph_;
   std::vector<std::size_t> input_dims_;
   /// Per-client latency targets (0 = no SLO), indexed like clients.
   std::vector<double> slo_targets_;

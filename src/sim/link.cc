@@ -152,6 +152,99 @@ OtaLink::OtaLink(const mts::Metasurface& surface, OtaLinkConfig config)
   }
 }
 
+OtaLink::OtaLink(const mts::LayerGraph& graph, OtaLinkConfig config)
+    : OtaLink(graph.front(), std::move(config)) {
+  graph_ = &graph;
+  BuildUpperStates();
+}
+
+void OtaLink::BuildUpperStates() {
+  const std::size_t depth = graph_->depth();
+  if (depth <= 1) return;
+  upper_.resize(depth - 1);
+  for (std::size_t l = 1; l < depth; ++l) {
+    const mts::Metasurface& layer = graph_->layer(l);
+    std::vector<UpperLayerState>& states = upper_[l - 1];
+    states.reserve(config_.observations.size());
+    for (const Observation& obs : config_.observations) {
+      const mts::LinkGeometry& geometry =
+          obs.geometry.has_value() ? *obs.geometry : config_.geometry;
+      UpperLayerState state;
+      // Upper layers hold one configuration per symbol: no intra-symbol
+      // time coding (the harmonic ramp is the front panel's job) and no
+      // device-noise/fault model (both are modeled on layer 0 only).
+      state.steering = layer.SteeringVector(geometry, obs.freq_offset_hz);
+      double magnitude_sum = 0.0;
+      for (const Complex& s : state.steering) magnitude_sum += std::abs(s);
+      Check(magnitude_sum > 0.0,
+            "upper layer steering must be non-degenerate");
+      // Normalizing coupling: a fully focused layer at coupling_gain 1
+      // contributes ~unit magnitude (see mts/layer_graph.h).
+      state.coupling = graph_->coupling_gain(l) / (0.9 * magnitude_sum);
+      state.steer_re.resize(state.steering.size());
+      state.steer_im.resize(state.steering.size());
+      for (std::size_t m = 0; m < state.steering.size(); ++m) {
+        state.steer_re[m] = state.steering[m].real();
+        state.steer_im[m] = state.steering[m].imag();
+      }
+      states.push_back(std::move(state));
+    }
+  }
+}
+
+std::size_t OtaLink::num_layers() const {
+  return graph_ != nullptr ? graph_->depth() : 1;
+}
+
+std::vector<Complex> OtaLink::UpperSteeringVector(std::size_t layer,
+                                                  std::size_t o) const {
+  Check(layer >= 1 && layer < num_layers(), "upper layer index out of range");
+  CheckIndex(o, observations_.size(), "observation");
+  return upper_[layer - 1][o].steering;
+}
+
+double OtaLink::UpperCoupling(std::size_t layer, std::size_t o) const {
+  Check(layer >= 1 && layer < num_layers(), "upper layer index out of range");
+  CheckIndex(o, observations_.size(), "observation");
+  return upper_[layer - 1][o].coupling;
+}
+
+Complex OtaLink::UpperLayerFactor(
+    std::size_t o, std::span<const std::vector<mts::PhaseCode>> codes) const {
+  CheckIndex(o, observations_.size(), "observation");
+  Check(codes.size() == num_layers() - 1,
+        "upper code count must match num_layers() - 1");
+  Complex factor{1.0, 0.0};
+  for (std::size_t u = 0; u < codes.size(); ++u) {
+    const UpperLayerState& state = upper_[u][o];
+    Check(codes[u].size() == state.steering.size(),
+          "upper code size must match the layer's atom count");
+    factor *= state.coupling *
+              simd::PhasedSum(state.steer_re.data(), state.steer_im.data(),
+                              codes[u].data(), codes[u].size());
+  }
+  return factor;
+}
+
+ComplexMatrix OtaLink::UpperFactors(const LayerSchedules& upper,
+                                    std::size_t num_symbols) const {
+  const std::size_t num_obs = observations_.size();
+  ComplexMatrix factors(num_obs, num_symbols, Complex{1.0, 0.0});
+  for (std::size_t u = 0; u < upper.size(); ++u) {
+    for (std::size_t o = 0; o < num_obs; ++o) {
+      const UpperLayerState& state = upper_[u][o];
+      const std::size_t atoms = state.steering.size();
+      for (std::size_t i = 0; i < num_symbols; ++i) {
+        factors(o, i) *= state.coupling *
+                         simd::PhasedSum(state.steer_re.data(),
+                                         state.steer_im.data(),
+                                         upper[u][i].data(), atoms);
+      }
+    }
+  }
+  return factors;
+}
+
 std::vector<Complex> OtaLink::SteeringVector(std::size_t o) const {
   CheckIndex(o, observations_.size(), "observation");
   return observations_[o].steering;
@@ -185,6 +278,17 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
                                         const MtsSchedule& schedule,
                                         double mts_clock_offset_us,
                                         Rng& rng) const {
+  Check(num_layers() == 1,
+        "multi-layer link: use the upper-schedule TransmitSequence overload");
+  return TransmitSequence(data, schedule, LayerSchedules{}, mts_clock_offset_us,
+                          rng);
+}
+
+ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
+                                        const MtsSchedule& schedule,
+                                        const LayerSchedules& upper,
+                                        double mts_clock_offset_us,
+                                        Rng& rng) const {
   const std::size_t num_symbols = data.size();
   Check(num_symbols > 0, "empty transmission");
   Check(schedule.size() == num_symbols, "schedule length mismatch");
@@ -195,6 +299,16 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
       Check(false, "schedule config size mismatch: " +
                        std::to_string(codes.size()) + " codes vs " +
                        std::to_string(atoms) + " atoms");
+    }
+  }
+  Check(upper.size() == num_layers() - 1,
+        "upper schedule count must match num_layers() - 1");
+  for (std::size_t u = 0; u < upper.size(); ++u) {
+    Check(upper[u].size() == num_symbols, "upper schedule length mismatch");
+    const std::size_t layer_atoms = graph_->layer(u + 1).num_atoms();
+    for (const auto& codes : upper[u]) {
+      Check(codes.size() == layer_atoms,
+            "upper schedule config size mismatch");
     }
   }
 
@@ -261,6 +375,21 @@ ComplexMatrix OtaLink::TransmitSequence(std::span<const Complex> data,
     obs::Count("fault.chain_bitflips", bit_flips);
     obs::Count("fault.stuck_overrides", stuck_overrides);
     obs::Count("fault.injected", bit_flips + stuck_overrides);
+  }
+
+  // Cascade: fold the composed upper-layer factor into the front-panel
+  // responses. Doing it here — before the amplitude scaling, the probes
+  // and the equalizer — keeps the mid-symbol flip (-B * U == -(B * U)),
+  // the EVM reference and the soft-margin denominator consistent for
+  // free. Depth-1 links skip this entirely, bit for bit.
+  if (!upper.empty()) {
+    const ComplexMatrix factors = UpperFactors(upper, num_symbols);
+    for (std::size_t o = 0; o < num_obs; ++o) {
+      for (std::size_t i = 0; i < num_symbols; ++i) {
+        base(o, i) *= factors(o, i);
+        if (use_flip_matrix) base_flip(o, i) *= factors(o, i);
+      }
+    }
   }
 
   const std::size_t slots_per_symbol = config_.multipath_cancellation ? 2 : 1;

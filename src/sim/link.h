@@ -30,6 +30,7 @@
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "fault/injector.h"
+#include "mts/layer_graph.h"
 #include "mts/metasurface.h"
 #include "rf/antenna.h"
 #include "rf/modulation.h"
@@ -104,21 +105,67 @@ struct OtaLinkConfig {
 /// mid-symbol flip is applied internally when cancellation is on).
 using MtsSchedule = std::vector<std::vector<mts::PhaseCode>>;
 
+/// Per-symbol schedules for the upper layers of a cascade link:
+/// upper[l-1][i] holds the codes layer l loads for data symbol i.
+using LayerSchedules = std::vector<MtsSchedule>;
+
 class OtaLink {
  public:
   /// Draws the environment realization from config.channel_seed.
   OtaLink(const mts::Metasurface& surface, OtaLinkConfig config);
 
+  /// Cascade link over a layer graph; `graph` must outlive the link (the
+  /// same lifetime contract the single-surface constructor places on its
+  /// surface). Layer 0 is the schedule-driven front panel: device phase
+  /// errors, faults and the mid-symbol pi flip act on it alone. Layers
+  /// 1..K-1 multiply every observation's response by the composed factor
+  /// U(o, i) = prod_l c_l(o) * sum_m s_l(o, m) e^{j phi_l[m, i]} where
+  /// s_l is layer l's own steering toward the observation's geometry and
+  /// c_l(o) the normalizing coupling (see mts/layer_graph.h). A depth-1
+  /// graph behaves bit-for-bit like the single-surface constructor.
+  OtaLink(const mts::LayerGraph& graph, OtaLinkConfig config);
+
   const OtaLinkConfig& config() const { return config_; }
   std::size_t num_observations() const { return config_.observations.size(); }
+
+  /// Number of surfaces in the propagation path (1 for legacy links).
+  std::size_t num_layers() const;
 
   /// Plays `schedule` against `data` and returns the integrated per-symbol
   /// measurements z(o, i) for every observation o. `mts_clock_offset_us`
   /// slides the MTS schedule relative to the data clock (positive = MTS
-  /// late). Noise is drawn from `rng`.
+  /// late). Noise is drawn from `rng`. Requires num_layers() == 1; deep
+  /// links must supply the upper-layer schedules via the overload below.
   ComplexMatrix TransmitSequence(std::span<const Complex> data,
                                  const MtsSchedule& schedule,
                                  double mts_clock_offset_us, Rng& rng) const;
+
+  /// Cascade transmission: `upper[l-1][i]` is the configuration layer l
+  /// holds during data symbol i (upper layers switch per symbol like the
+  /// front panel but never flip at mid-symbol). `upper` must hold
+  /// num_layers() - 1 schedules; pass an empty LayerSchedules on a
+  /// depth-1 link for the legacy behavior.
+  ComplexMatrix TransmitSequence(std::span<const Complex> data,
+                                 const MtsSchedule& schedule,
+                                 const LayerSchedules& upper,
+                                 double mts_clock_offset_us, Rng& rng) const;
+
+  /// Idealized steering of upper layer `layer` (index in [1,
+  /// num_layers())) toward observation `o` — what the cascade solver
+  /// solves against, excluding the coupling scale.
+  std::vector<Complex> UpperSteeringVector(std::size_t layer,
+                                           std::size_t o) const;
+
+  /// Normalizing coupling c_l(o) of upper layer `layer` at observation
+  /// `o`: coupling_gain / (0.9 * sum_m |s_l(o, m)|).
+  double UpperCoupling(std::size_t layer, std::size_t o) const;
+
+  /// Idealized composed upper-layer factor U(o) under one static set of
+  /// per-layer codes (codes[l-1] configures layer l). Used by fault
+  /// diagnosis to divide the cascade factor back out of measurements.
+  Complex UpperLayerFactor(std::size_t o,
+                           std::span<const std::vector<mts::PhaseCode>> codes)
+      const;
 
   /// Steering vector the weight mapper should solve against for
   /// observation `o` (includes element pattern; excludes the path
@@ -160,9 +207,30 @@ class OtaLink {
     double env_gain = 1.0;  // antenna + wall factors on the env path
   };
 
+  /// One upper cascade layer as seen from one observation: its steering
+  /// split into SoA planes for the phased-sum kernel, plus the
+  /// normalizing coupling scale.
+  struct UpperLayerState {
+    std::vector<Complex> steering;
+    std::vector<double> steer_re;
+    std::vector<double> steer_im;
+    double coupling = 1.0;
+  };
+
+  void BuildUpperStates();
+  /// Composed upper factor U(o, i) for every observation/symbol; only
+  /// called when upper layers exist.
+  ComplexMatrix UpperFactors(const LayerSchedules& upper,
+                             std::size_t num_symbols) const;
+
   const mts::Metasurface& surface_;
+  /// Non-null for cascade links; the graph outlives the link.
+  const mts::LayerGraph* graph_ = nullptr;
   OtaLinkConfig config_;
   std::vector<ObservationState> observations_;
+  /// upper_[l-1][o]: layer l observed at observation o (empty when
+  /// num_layers() == 1).
+  std::vector<std::vector<UpperLayerState>> upper_;
   double tx_amplitude_ = 0.0;  // sqrt of Tx power (linear)
   double noise_power_ = 0.0;   // linear noise floor
 };

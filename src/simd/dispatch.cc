@@ -66,6 +66,16 @@ Result<Level> ParseLevel(std::string_view text) {
                    "' (expected off, scalar, auto or avx2)"};
 }
 
+Result<void> ValidateEnvironment() {
+  const char* env = std::getenv("METAAI_SIMD");
+  if (env == nullptr || *env == '\0') return Ok();
+  if (Result<Level> parsed = ParseLevel(env); !parsed.ok()) {
+    return Error{parsed.error().code,
+                 "METAAI_SIMD: " + parsed.error().message};
+  }
+  return Ok();
+}
+
 Level ActiveLevel() {
   const int forced = g_forced.load(std::memory_order_relaxed);
   if (forced >= 0) return static_cast<Level>(forced);

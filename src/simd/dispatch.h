@@ -47,6 +47,15 @@ Result<Level> ParseLevel(std::string_view text);
 /// auto-detection.
 Level ActiveLevel();
 
+/// Eagerly validates the METAAI_SIMD environment variable and returns
+/// the parse error instead of aborting. ActiveLevel() only parses the
+/// variable lazily on the first kernel call — deep inside a solve, where
+/// the resulting Check-abort surfaces as a crash with no usable context.
+/// Entry points (the CLI) call this at startup so a typo'd value becomes
+/// a clean typed error before any work runs. Unset/empty is valid
+/// (auto-detection).
+Result<void> ValidateEnvironment();
+
 /// Programmatic override of the dispatch level (nullopt restores the
 /// environment/auto-detected default). Takes effect for subsequent
 /// kernel calls in every thread.

@@ -1,0 +1,89 @@
+// Regression tests for the controller-shape reconciliation: the default
+// ControllerConfig describes the 256-atom/16-group prototype, and the
+// injector used to apply that group-major layout verbatim to any panel,
+// skewing the corruption geometry for non-16x16 shapes.
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "mts/controller.h"
+
+namespace metaai::fault {
+namespace {
+
+FaultPlan ChainPlan(double bit_flip_prob) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.chain.bit_flip_prob = bit_flip_prob;
+  return plan;
+}
+
+TEST(FaultInjectorShapeTest, DefaultControllerReconcilesToPanel) {
+  // 96 atoms with the default (256/16) controller: 16 does not divide 96,
+  // so the group count must round down to the nearest divisor instead of
+  // leaving a 256-atom stream layout over a 96-atom panel.
+  const FaultInjector injector(ChainPlan(0.01), 96);
+  EXPECT_EQ(injector.num_atoms(), 96u);
+  std::vector<mts::PhaseCode> codes(96, 0);
+  Rng rng(7);
+  // Every corrupted bit must land on a real atom; with the stale 256-atom
+  // layout most positions fell beyond the panel and were dropped.
+  std::size_t flipped = 0;
+  for (int load = 0; load < 200; ++load) {
+    std::vector<mts::PhaseCode> pattern = codes;
+    flipped += injector.CorruptLoad(pattern, rng);
+  }
+  EXPECT_GT(flipped, 0u);
+}
+
+TEST(FaultInjectorShapeTest, CorruptionRateMatchesPanelSize) {
+  // With the layout reconciled, the expected flip count is
+  // p * atoms * 2 bits regardless of the panel shape.
+  constexpr double kProb = 0.05;
+  constexpr std::size_t kAtoms = 96;
+  const FaultInjector injector(ChainPlan(kProb), kAtoms);
+  Rng rng(11);
+  std::size_t flipped = 0;
+  constexpr int kLoads = 4000;
+  for (int load = 0; load < kLoads; ++load) {
+    std::vector<mts::PhaseCode> pattern(kAtoms, 0);
+    flipped += injector.CorruptLoad(pattern, rng);
+  }
+  const double expected = kProb * static_cast<double>(kAtoms * 2 * kLoads);
+  EXPECT_NEAR(static_cast<double>(flipped) / expected, 1.0, 0.1);
+}
+
+TEST(FaultInjectorShapeTest, ExplicitMatchingControllerIsUntouched) {
+  // A caller-supplied controller that already matches the panel keeps its
+  // exact group structure (including non-default group counts).
+  mts::ControllerConfig controller;
+  controller.num_atoms = 96;
+  controller.num_groups = 8;
+  const FaultInjector injector(ChainPlan(1.0), 96, controller);
+  std::vector<mts::PhaseCode> codes(96, 0);
+  Rng rng(13);
+  // p = 1 flips every bit of every atom: full coverage proves the stream
+  // layout addresses all 96 atoms.
+  EXPECT_EQ(injector.CorruptLoad(codes, rng), 96u * 2u);
+  for (const auto code : codes) {
+    EXPECT_EQ(code, static_cast<mts::PhaseCode>(0b11));
+  }
+}
+
+TEST(FaultInjectorShapeTest, PrototypeShapeKeepsDefaultController) {
+  // The 256-atom prototype path is bit-compatible: same seed, same stuck
+  // realization as before the reconciliation change.
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.stuck.fraction = 0.1;
+  const FaultInjector injector(plan, 256);
+  EXPECT_EQ(injector.num_stuck(), 26u);  // llround(0.1 * 256)
+  const FaultInjector again(plan, 256);
+  EXPECT_EQ(injector.stuck_atoms(), again.stuck_atoms());
+}
+
+}  // namespace
+}  // namespace metaai::fault

@@ -178,13 +178,39 @@ TEST(ConfigCacheNearestTest, DoesNotPerturbLruOrExactCounters) {
   EXPECT_EQ(stats.misses, 1u);  // the "a" exact lookup
 }
 
-TEST(ConfigCacheNearestTest, TieGoesToMostRecentlyUsed) {
+TEST(ConfigCacheNearestTest, TieBreaksOnSmallestKey) {
+  // Equidistant candidates resolve by lexicographically smallest key —
+  // a content property — never by LRU position, which depends on the
+  // lookup history and made warm-start schedules (and thus downstream
+  // solves) irreproducible across runs with different traffic.
   ConfigCache cache(4);
-  cache.Insert("old", MakeConfig(1), "fam", {1.0});
-  cache.Insert("new", MakeConfig(2), "fam", {1.0});
+  cache.Insert("b-key", MakeConfig(1), "fam", {1.0});
+  cache.Insert("a-key", MakeConfig(2), "fam", {1.0});
   const auto nearest = cache.LookupNearest("fam", {1.0}, 1.0);
   ASSERT_TRUE(nearest.has_value());
   EXPECT_EQ(*nearest, MakeConfig(2));
+}
+
+TEST(ConfigCacheNearestTest, TieBreakIgnoresRecency) {
+  // Constructed tie where MRU order and key order disagree: "z-key" is
+  // the most recently inserted AND most recently hit entry, but "a-key"
+  // must still win the equidistant lookup.
+  ConfigCache cache(4);
+  cache.Insert("a-key", MakeConfig(1), "fam", {2.0});
+  cache.Insert("z-key", MakeConfig(2), "fam", {2.0});
+  EXPECT_TRUE(cache.Lookup("z-key").has_value());  // refresh z's recency
+  const auto nearest = cache.LookupNearest("fam", {2.0}, 1.0);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(*nearest, MakeConfig(1));
+
+  // A strictly closer entry still beats the smaller key: tie-breaking
+  // only applies at exactly equal distance.
+  ConfigCache closer(4);
+  closer.Insert("a-key", MakeConfig(1), "fam", {2.0});
+  closer.Insert("z-key", MakeConfig(2), "fam", {2.1});
+  const auto best = closer.LookupNearest("fam", {2.1}, 1.0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, MakeConfig(2));
 }
 
 TEST(ConfigKeyTest, KeyIsOrderAndContentSensitive) {

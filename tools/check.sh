@@ -5,14 +5,16 @@
 #      suite (the thread pool, solver fan-out and telemetry merges all
 #      deserve sanitizer coverage, not just the obs suites).
 #   3. TSan build (-DMETAAI_SANITIZE=thread) exercising the thread-pool,
-#      parallel-determinism, fault-injection/recovery and serving-runtime
-#      suites under real data race detection, plus the metaai_obs_report
-#      golden-file test against the TSan-built tool.
+#      parallel-determinism, fault-injection/recovery, serving-runtime
+#      and cascade-pipeline suites under real data race detection (the
+#      cascade mapper fans per-symbol solves across the pool), plus the
+#      metaai_obs_report golden-file test against the TSan-built tool.
 #   4. UBSan-only build (-DMETAAI_SANITIZE=undefined, trap-on-error)
-#      running the obs + serve suites: the health estimators and alert
-#      engine do a lot of floating-point edge-case math (variance
-#      recursions, nearest-rank indexing) where UB hides behind ASan's
-#      noise floor.
+#      running the obs + serve suites plus the layer-graph/cascade-solver
+#      suites: the health estimators, alert engine and the cascade's
+#      product-of-sums objective do a lot of floating-point edge-case
+#      math (variance recursions, nearest-rank indexing, per-layer row
+#      scaling) where UB hides behind ASan's noise floor.
 #   5. SIMD parity + determinism under both dispatch paths: the kernel
 #      parity/determinism suites and the solver/mapper determinism
 #      suites run twice — METAAI_SIMD=off (forced scalar) and
@@ -45,20 +47,21 @@ cmake -B "${prefix}-tsan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=thread -DMETAAI_OBS=ON
 cmake --build "${prefix}-tsan" -j"$(nproc)" \
   --target test_common test_obs test_fault test_integration test_serve \
-  metaai_obs_report
+  test_core metaai_obs_report
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
-  -R 'Parallel|Tracer|Telemetry|Fault|Serve|ObsReport|obs_report'
+  -R 'Parallel|Tracer|Telemetry|Fault|Serve|ObsReport|obs_report|Cascade'
 
 echo "=== [4/6] UBSan on obs + serve suites"
 cmake -B "${prefix}-ubsan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=undefined -DMETAAI_OBS=ON
-cmake --build "${prefix}-ubsan" -j"$(nproc)" --target test_obs test_serve
+cmake --build "${prefix}-ubsan" -j"$(nproc)" \
+  --target test_obs test_serve test_mts
 ctest --test-dir "${prefix}-ubsan" --output-on-failure \
-  -R 'Ewma|Cusum|PageHinkley|WindowedQuantile|HealthMonitor|HealthSignals|ObserveProbe|Alert|Quantile|Percentile|Serve|Lifecycle|TimeSeries'
+  -R 'Ewma|Cusum|PageHinkley|WindowedQuantile|HealthMonitor|HealthSignals|ObserveProbe|Alert|Quantile|Percentile|Serve|Lifecycle|TimeSeries|LayerGraph|CascadeSolver'
 
 echo "=== [5/6] SIMD parity + determinism under both dispatch paths"
 simd_filter='Parity|Determini|DispatchTest|ParseLevel|LevelName|SoaComplex'
-simd_filter+='|ConfigSolver|ConfigCache|WeightMapper'
+simd_filter+='|ConfigSolver|ConfigCache|WeightMapper|LayerGraph|Cascade'
 for simd_mode in off auto; do
   for simd_dir in "${prefix}" "${prefix}-asan"; do
     echo "--- METAAI_SIMD=${simd_mode} in ${simd_dir##*/}"

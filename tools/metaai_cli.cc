@@ -153,6 +153,21 @@ std::shared_ptr<const fault::FaultInjector> MakeFaults(const Args& args,
   return std::make_shared<const fault::FaultInjector>(plan, atoms);
 }
 
+// --depth K stacks K default panels into a SIM cascade (K-1 upstream
+// layers at --coupling gain each); depth 1 is the legacy single surface,
+// bit for bit.
+mts::LayerGraph MakeGraph(const Args& args) {
+  const auto depth =
+      static_cast<std::size_t>(std::stoull(args.Get("depth", "1")));
+  const double coupling = std::stod(args.Get("coupling", "1.3"));
+  Check(depth >= 1, "--depth must be >= 1");
+  std::vector<mts::PhysicalLayerSpec> specs(depth);
+  for (std::size_t l = 1; l < depth; ++l) {
+    specs[l].coupling_gain = coupling;
+  }
+  return mts::LayerGraph(std::move(specs));
+}
+
 int Train(const Args& args) {
   const auto dataset = LoadDataset(args);
   const std::string out = args.Get("out", "model.txt");
@@ -183,15 +198,15 @@ int Eval(const Args& args) {
 int Deploy(const Args& args) {
   const auto model = OrDie(core::TryLoadModel(args.Get("model", "model.txt")));
   const std::string out = args.Get("out", "patterns.txt");
-  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  const core::Deployment deployment(model, surface, DefaultLink());
-  OrDie(core::TrySavePatterns(deployment.schedules(), surface.num_atoms(),
-                              out));
+  const mts::LayerGraph graph = MakeGraph(args);
+  const std::size_t atoms = graph.front().num_atoms();
+  const core::Deployment deployment(model, graph, DefaultLink());
+  OrDie(core::TrySavePatterns(deployment.schedules(), atoms, out));
   std::printf(
-      "solved %zu rounds x %zu symbols (%zu atoms), mean residual %.4f -> "
-      "%s\n",
+      "solved %zu rounds x %zu symbols (%zu atoms, depth %zu), mean "
+      "residual %.4f -> %s\n",
       deployment.schedules().rounds.size(),
-      deployment.schedules().rounds[0].size(), surface.num_atoms(),
+      deployment.schedules().rounds[0].size(), atoms, graph.depth(),
       deployment.schedules().mean_relative_residual, out.c_str());
   return 0;
 }
@@ -201,11 +216,12 @@ int Ota(const Args& args) {
   const auto model = OrDie(core::TryLoadModel(args.Get("model", "model.txt")));
   const auto samples =
       static_cast<std::size_t>(std::stoull(args.Get("samples", "200")));
-  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const mts::LayerGraph graph = MakeGraph(args);
   sim::OtaLinkConfig link_config = DefaultLink();
-  const auto faults = MakeFaults(args, surface.num_atoms());
+  // Faults act on the schedule-driven front panel only.
+  const auto faults = MakeFaults(args, graph.front().num_atoms());
   link_config.faults = faults;
-  const core::Deployment deployment(model, surface, link_config);
+  const core::Deployment deployment(model, graph, link_config);
   sim::SyncModelConfig sync_config;
   sync_config.latency_scale =
       sim::PaperEquivalentLatencyScale(dataset.train.dim);
@@ -235,7 +251,7 @@ int Ota(const Args& args) {
                 diagnosis.num_stuck, diagnosis.wdd_ratio,
                 diagnosis.probe_transmissions);
     const core::Deployment recovered =
-        core::RecoverFromFaults(model, surface, link_config, {}, diagnosis);
+        core::RecoverFromFaults(model, graph, link_config, {}, diagnosis);
     Rng rec_rng(std::stoull(args.Get("seed", "7")));
     const double recovered_accuracy =
         recovered.EvaluateAccuracy(dataset.test, sync, rec_rng, samples);
@@ -427,9 +443,10 @@ int Usage() {
       "                  [--probes-out FILE]\n"
       "  train      --dataset NAME --out FILE [--robust] [--seed N]\n"
       "  eval       --dataset NAME --model FILE\n"
-      "  deploy     --model FILE --out FILE\n"
+      "  deploy     --model FILE --out FILE [--depth K] [--coupling G]\n"
       "  ota        --dataset NAME --model FILE [--samples N] [--seed N]\n"
       "             [--faults SPEC] [--recover] [--alerts-out FILE]\n"
+      "             [--depth K] [--coupling G]\n"
       "  serve      --dataset NAME [--clients N] [--duration S] [--rate HZ]\n"
       "             [--queue-capacity N] [--frame-budget N] [--no-cache]\n"
       "             [--unbatched] [--seed N] [--alerts-out FILE]\n"
@@ -451,7 +468,11 @@ int Usage() {
       "path; results are identical for any value).\n"
       "--simd pins the kernel dispatch level: off|scalar|auto|avx2\n"
       "(overrides METAAI_SIMD; default auto-detects; off forces the\n"
-      "portable scalar path, bitwise identical to the pre-SIMD code).\n"
+      "portable scalar path, bitwise identical to the pre-SIMD code;\n"
+      "invalid --simd or METAAI_SIMD values are hard errors).\n"
+      "--depth stacks K programmable surfaces as a SIM cascade (deploy,\n"
+      "ota); the K-1 upstream layers each contribute --coupling focus\n"
+      "gain (default 1.3). --depth 1 is the single-panel legacy path.\n"
       "--metrics-out writes the run's telemetry (metaai.obs.v1 JSON),\n"
       "--trace-out a Chrome-trace JSON of the spans (chrome://tracing /\n"
       "Perfetto), --probes-out a metaai.probes.v1 JSONL flight-recorder\n"
@@ -475,13 +496,14 @@ int Dispatch(const Args& args) {
 /// Every flag any command accepts. A flag outside this list is a hard
 /// error — silently ignoring a typo ("--sample 10") would quietly run
 /// with defaults.
-constexpr std::array<std::string_view, 23> kKnownFlags = {
+constexpr std::array<std::string_view, 25> kKnownFlags = {
     "dataset",         "out",            "model",        "samples",
     "seed",            "robust",         "recover",      "faults",
     "threads",         "metrics-out",    "trace-out",    "probes-out",
     "train-per-class", "test-per-class", "clients",      "duration",
     "rate",            "queue-capacity", "frame-budget", "no-cache",
-    "unbatched",       "alerts-out",     "simd",
+    "unbatched",       "alerts-out",     "simd",         "depth",
+    "coupling",
 };
 
 bool FlagKnown(const std::string& key) {
@@ -510,6 +532,13 @@ int main(int argc, char** argv) {
       Check(threads >= 1 && threads <= par::kMaxThreads,
             "--threads must be in [1, 256]");
       par::SetDefaultThreadCount(threads);
+    }
+    // Eager METAAI_SIMD validation: a typo'd value must fail here with a
+    // clean diagnostic instead of Check-aborting at the first kernel
+    // call deep inside a solve (--simd, when given, overrides it below).
+    if (const Result<void> env = simd::ValidateEnvironment(); !env.ok()) {
+      std::fprintf(stderr, "error: %s\n", env.error().ToString().c_str());
+      return 2;
     }
     if (args.Has("simd")) {
       const Result<simd::Level> level = simd::ParseLevel(args.Get("simd"));
