@@ -27,11 +27,13 @@
 // run on this workload too: a clean link must raise zero drift alerts
 // (hard gate), and the total alert count is pinned by the baseline.
 #include <chrono>
+#include <memory>
 
 #include "bench_util.h"
 
 #include "common/table.h"
 #include "mts/config_cache.h"
+#include "mts/layer_graph.h"
 #include "obs/alerts.h"
 #include "obs/lifecycle.h"
 #include "obs/timeseries.h"
@@ -79,7 +81,8 @@ int Run(BenchReport& report) {
   const data::Dataset ds = data::MakeMnistLike();
   Rng rng(91);
   const auto model = core::TrainModel(ds.train, RobustTrainingOptions(), rng);
-  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
+  const mts::LayerGraph graph = mts::LayerGraph::FromSurface(
+      mts::Metasurface{mts::MetasurfaceSpec{}});
   const sim::SyncModel sync = DeploymentSyncModel();
 
   // Workload: 8 clients x 400 Hz Poisson arrivals over 0.02 s of
@@ -95,19 +98,18 @@ int Run(BenchReport& report) {
   report.Headline("requests", static_cast<double>(requests.size()));
 
   // Batched arm: identical tenants share one solve through the cache.
-  mts::ConfigCache cache;
+  const auto cache = std::make_shared<mts::ConfigCache>();
   const auto cached_start = std::chrono::steady_clock::now();
-  const serve::Runtime batched(surface, MakeClients(model),
-                               {.cache = &cache});
+  const serve::Runtime batched(graph, MakeClients(model), {.cache = cache});
   const double cached_construct_s = Seconds(cached_start);
 
   // Naive arm: no cache (every tenant re-solves), serial per-request
   // serving.
   const auto naive_start = std::chrono::steady_clock::now();
-  const serve::Runtime naive(surface, MakeClients(model), {});
+  const serve::Runtime naive(graph, MakeClients(model), {});
   const double naive_construct_s = Seconds(naive_start);
 
-  const auto stats = cache.stats();
+  const auto stats = cache->stats();
   report.Headline("cache_hit_rate", stats.HitRate());
   report.Headline("mapping_cached_construct_s", cached_construct_s);
   report.Headline("mapping_uncached_construct_s", naive_construct_s);
@@ -298,8 +300,8 @@ int Run(BenchReport& report) {
   // Determinism across frame budgets and cached/uncached mapping: the
   // per-request Rng streams make every composition byte-identical.
   {
-    const serve::Runtime drip(surface, MakeClients(model),
-                              {.frame_budget = 1, .cache = &cache});
+    const serve::Runtime drip(graph, MakeClients(model),
+                              {.frame_budget = 1, .cache = cache});
     Rng drip_rng(92);
     Rng uncached_rng(92);
     serve::ServeResult uncached = naive.Run(requests, sync, uncached_rng);
@@ -361,23 +363,23 @@ int Run(BenchReport& report) {
     // the serving counters leak into the bench report (the committed
     // serving baseline pins the main arms only).
     obs::Registry cold_registry;
-    mts::ConfigCache cold_cache;
+    auto cold_cache = std::make_shared<mts::ConfigCache>();
     serve::ServeResult cold_result;
     {
       const obs::ScopedRegistry scoped(&cold_registry);
-      serve::Runtime cold(surface, tuned,
-                          serve::RuntimeOptions{.cache = &cold_cache});
+      serve::Runtime cold(graph, tuned,
+                          serve::RuntimeOptions{.cache = cold_cache});
       Rng cold_rng(92);
       cold_result = cold.Run(requests, sync, cold_rng);
     }
     obs::Registry warm_registry;
-    mts::ConfigCache warm_cache;
+    auto warm_cache = std::make_shared<mts::ConfigCache>();
     serve::ServeResult warm_result;
     {
       const obs::ScopedRegistry scoped(&warm_registry);
-      serve::RuntimeOptions options{.cache = &warm_cache};
+      serve::RuntimeOptions options{.cache = warm_cache};
       options.warm_start_distance = 0.1;
-      serve::Runtime warm(surface, tuned, options);
+      serve::Runtime warm(graph, tuned, options);
       Rng warm_rng(92);
       warm_result = warm.Run(requests, sync, warm_rng);
     }

@@ -27,7 +27,9 @@
 #include "core/scheduler.h"     // multi-device TDMA over one surface
 #include "core/serialization.h" // model + MTS pattern files
 #include "core/training.h"      // digital training + robustness schemes
+#include "core/placement.h"     // deterministic bin-packing placement
 #include "core/weight_mapper.h" // weights -> MTS configurations
+#include "fleet/fleet.h"        // sharded surface cluster + front door
 #include "mts/config_cache.h"   // solver-result cache shared by tenants
 #include "serve/generator.h"    // seeded multi-client request traces
 #include "serve/runtime.h"      // batched multi-tenant serving runtime

@@ -1,0 +1,77 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+namespace metaai::core {
+
+Result<PlacementResult> PackBins(const PlacementProblem& problem) {
+  const std::size_t items = problem.demand.size();
+  const std::size_t bins = problem.capacity.size();
+  if (bins == 0) {
+    return Error{ErrorCode::kInvalidArgument, "placement needs at least one bin"};
+  }
+  for (std::size_t i = 0; i < items; ++i) {
+    if (!(problem.demand[i] >= 0.0)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "item " + std::to_string(i) + ": demand must be >= 0"};
+    }
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (!(problem.capacity[b] >= 0.0)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "bin " + std::to_string(b) + ": capacity must be >= 0"};
+    }
+  }
+  if (!problem.compatible.empty()) {
+    if (problem.compatible.size() != items) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "compatibility mask must have one row per item"};
+    }
+    for (std::size_t i = 0; i < items; ++i) {
+      if (problem.compatible[i].size() != bins) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "item " + std::to_string(i) +
+                         ": compatibility row must have one entry per bin"};
+      }
+    }
+  }
+
+  // First-fit-decreasing over a deterministic order: demand descending,
+  // ties broken by original index ascending.
+  std::vector<std::size_t> order(items);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return problem.demand[a] > problem.demand[b];
+                   });
+
+  PlacementResult result;
+  result.bin_of_item.resize(items, 0);
+  result.load.resize(bins, 0.0);
+  for (const std::size_t item : order) {
+    bool placed = false;
+    for (std::size_t b = 0; b < bins; ++b) {
+      const bool ok_bin =
+          problem.compatible.empty() || problem.compatible[item][b];
+      if (!ok_bin) continue;
+      if (result.load[b] + problem.demand[item] > problem.capacity[b]) {
+        continue;
+      }
+      result.bin_of_item[item] = b;
+      result.load[b] += problem.demand[item];
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      return Error{ErrorCode::kUnavailable,
+                   "item " + std::to_string(item) +
+                       " (demand " + std::to_string(problem.demand[item]) +
+                       ") does not fit on any compatible bin"};
+    }
+  }
+  return result;
+}
+
+}  // namespace metaai::core

@@ -1,0 +1,47 @@
+// Deterministic capacity-aware placement (bin packing) for cluster
+// serving: assign tenants (items, each with a demand and a per-bin
+// compatibility mask) to shards (bins, each with a capacity) so every
+// bin's load stays within its capacity.
+//
+// The solver is first-fit-decreasing: items sorted by demand descending
+// (ties broken by original index ascending, so the order — and hence
+// the whole placement — is a pure function of the problem), each placed
+// on the first compatible bin with room. FFD is the classic 11/9·OPT+1
+// heuristic; determinism matters more here than optimality, because
+// metaai::fleet replays placements bit for bit across runs and thread
+// counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace metaai::core {
+
+/// One placement instance: `demand[i]` is item i's load, `capacity[b]`
+/// is bin b's budget, and `compatible[i][b]` (when non-empty) gates
+/// which bins item i may use. An empty `compatible` means every item
+/// fits every bin; when present it must be demand.size() rows of
+/// capacity.size() columns.
+struct PlacementProblem {
+  std::vector<double> demand;
+  std::vector<double> capacity;
+  std::vector<std::vector<bool>> compatible;
+};
+
+struct PlacementResult {
+  /// bin_of_item[i] = the bin item i landed on.
+  std::vector<std::size_t> bin_of_item;
+  /// load[b] = sum of demands placed on bin b.
+  std::vector<double> load;
+};
+
+/// First-fit-decreasing packing. Typed errors: kInvalidArgument for
+/// malformed problems (no bins, negative demands/capacities, wrongly
+/// shaped compatibility mask), kUnavailable when some item cannot be
+/// placed on any compatible bin within capacity (the message names the
+/// first unplaceable item).
+Result<PlacementResult> PackBins(const PlacementProblem& problem);
+
+}  // namespace metaai::core

@@ -1,0 +1,439 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "mts/controller.h"
+#include "obs/quantiles.h"
+
+namespace metaai::fleet {
+namespace {
+
+/// Mirrors the scheduler's controller reconciliation (scheduler.cc):
+/// the config must describe the panel it drives, with the group count
+/// rounded down to the nearest divisor of the atom count.
+mts::ControllerConfig AlignedController(mts::ControllerConfig controller,
+                                        std::size_t num_atoms) {
+  if (controller.num_atoms == num_atoms) return controller;
+  controller.num_atoms = num_atoms;
+  std::size_t groups = std::min(controller.num_groups, num_atoms);
+  while (groups > 1 && num_atoms % groups != 0) --groups;
+  controller.num_groups = groups;
+  return controller;
+}
+
+/// Patterns/second a tenant commits on a shard's controller: every
+/// symbol carries 2 patterns (mid-symbol flip) and one inference
+/// transmits ~input_dim symbols per output class. A declared-demand
+/// proxy — the runtime's own admission control is the hard gate.
+double DemandPatternsHz(const TenantSpec& tenant) {
+  return tenant.arrival_rate_hz * 2.0 *
+         static_cast<double>(tenant.client.model.input_dim()) *
+         static_cast<double>(tenant.client.model.num_classes());
+}
+
+/// Whether `tenant` can be served by `shard`: link frequency inside the
+/// shard band (front panel's fractional bandwidth) and both link angles
+/// inside the front panel's field of view.
+bool Compatible(const TenantSpec& tenant, const ShardSpec& shard) {
+  const mts::MetasurfaceSpec& front = shard.graph.front().spec();
+  const double freq = tenant.client.link.geometry.frequency_hz;
+  if (std::abs(freq / shard.band_hz - 1.0) > front.fractional_bandwidth) {
+    return false;
+  }
+  const double fov_rad = front.fov_deg * std::numbers::pi / 180.0;
+  return std::abs(tenant.client.link.geometry.tx_angle_rad) <= fov_rad &&
+         std::abs(tenant.client.link.geometry.rx_angle_rad) <= fov_rad;
+}
+
+Result<void> ValidateFleetConfig(const std::vector<ShardSpec>& shards,
+                                 const std::vector<TenantSpec>& tenants,
+                                 const FleetOptions& options) {
+  if (shards.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "fleet needs at least one shard"};
+  }
+  if (tenants.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "fleet needs at least one tenant"};
+  }
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const ShardSpec& shard = shards[s];
+    const std::string prefix = "shard " + std::to_string(s) + ": ";
+    if (!(shard.band_hz > 0.0)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   prefix + "band must be positive"};
+    }
+    if (!(shard.budget_cap > 0.0) || shard.budget_cap > 1.0) {
+      return Error{ErrorCode::kInvalidArgument,
+                   prefix + "budget cap must be in (0, 1]"};
+    }
+    const mts::MetasurfaceSpec& front = shard.graph.front().spec();
+    const bool supported = std::any_of(
+        front.supported_bands_hz.begin(), front.supported_bands_hz.end(),
+        [&](double band) {
+          return std::abs(shard.band_hz / band - 1.0) <=
+                 front.fractional_bandwidth;
+        });
+    if (!supported) {
+      return Error{ErrorCode::kInvalidArgument,
+                   prefix + "front panel does not support the shard band"};
+    }
+  }
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    if (!(tenants[t].arrival_rate_hz > 0.0)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "tenant " + std::to_string(t) +
+                       ": arrival rate must be positive"};
+    }
+  }
+  std::vector<bool> migrated(tenants.size(), false);
+  for (const Migration& migration : options.migrations) {
+    if (migration.tenant >= tenants.size()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "migration names unknown tenant " +
+                       std::to_string(migration.tenant)};
+    }
+    if (migration.to_shard >= shards.size()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "migration names unknown shard " +
+                       std::to_string(migration.to_shard)};
+    }
+    if (!(migration.cutover_s >= 0.0)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "migration cutover must be non-negative"};
+    }
+    if (migrated[migration.tenant]) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "tenant " + std::to_string(migration.tenant) +
+                       " has more than one scheduled migration"};
+    }
+    migrated[migration.tenant] = true;
+    if (!Compatible(tenants[migration.tenant], shards[migration.to_shard])) {
+      return Error{ErrorCode::kUnavailable,
+                   "tenant " + std::to_string(migration.tenant) +
+                       " is not compatible with migration destination shard " +
+                       std::to_string(migration.to_shard)};
+    }
+  }
+  return Ok();
+}
+
+void CheckTraceOrdered(std::span<const serve::ServeRequest> requests) {
+  for (std::size_t i = 1; i < requests.size(); ++i) {
+    Check(requests[i].arrival_s >= requests[i - 1].arrival_s,
+          "request trace must have non-decreasing arrival times");
+  }
+}
+
+}  // namespace
+
+Result<Fleet> Fleet::TryCreate(std::vector<ShardSpec> shards,
+                               std::vector<TenantSpec> tenants,
+                               FleetOptions options) {
+  if (Result<void> ok = ValidateFleetConfig(shards, tenants, options); !ok) {
+    return ok.error();
+  }
+
+  // Shard capacities (patterns/second) and per-shard symbol-rate
+  // feasibility — checked here with a typed error instead of the
+  // scheduler's CheckError deep inside runtime construction.
+  std::vector<double> capacity(shards.size(), 0.0);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const mts::Controller controller(AlignedController(
+        shards[s].scheduler.controller, shards[s].graph.front().num_atoms()));
+    if (!controller.CanSustain(shards[s].scheduler.symbol_rate_hz, 2)) {
+      return Error{ErrorCode::kUnavailable,
+                   "shard " + std::to_string(s) +
+                       ": controller cannot sustain the mid-symbol flip at "
+                       "this symbol rate"};
+    }
+    capacity[s] = controller.MaxSwitchRate() * shards[s].budget_cap;
+  }
+
+  // Bin-pack tenants onto compatible shards by declared switch-rate
+  // demand (first-fit-decreasing, deterministic).
+  core::PlacementProblem problem;
+  problem.capacity = capacity;
+  problem.demand.reserve(tenants.size());
+  problem.compatible.reserve(tenants.size());
+  for (const TenantSpec& tenant : tenants) {
+    problem.demand.push_back(DemandPatternsHz(tenant));
+    std::vector<bool> row(shards.size(), false);
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      row[s] = Compatible(tenant, shards[s]);
+    }
+    problem.compatible.push_back(std::move(row));
+  }
+  Result<core::PlacementResult> packed = core::PackBins(problem);
+  if (!packed) return packed.error();
+
+  Fleet fleet;
+  fleet.cache_ = options.cache ? options.cache
+                               : std::make_shared<mts::ConfigCache>();
+  fleet.placements_.resize(tenants.size());
+  fleet.local_to_global_.resize(shards.size());
+  std::vector<std::vector<serve::ClientSpec>> shard_clients(shards.size());
+
+  // Home placements, in global tenant order so local indices are a pure
+  // function of the spec.
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    const std::size_t s = packed->bin_of_item[t];
+    TenantPlacement& placement = fleet.placements_[t];
+    placement.shard = s;
+    placement.local_index = shard_clients[s].size();
+    placement.demand_patterns_hz = problem.demand[t];
+    shard_clients[s].push_back(tenants[t].client);
+    fleet.local_to_global_[s].push_back(t);
+    fleet.tenant_names_.push_back(tenants[t].client.name);
+  }
+
+  // Migration destinations: the destination shard deploys the tenant at
+  // construction (through the shared cache, so an identical shard hits
+  // exactly and a near one warm-starts), making cutover a pure routing
+  // flip. Destination load is charged against the bin capacity too.
+  std::vector<double> load = packed->load;
+  for (const Migration& migration : options.migrations) {
+    TenantPlacement& placement = fleet.placements_[migration.tenant];
+    if (migration.to_shard == placement.shard) continue;  // no-op move
+    if (load[migration.to_shard] + placement.demand_patterns_hz >
+        capacity[migration.to_shard]) {
+      return Error{ErrorCode::kUnavailable,
+                   "migration destination shard " +
+                       std::to_string(migration.to_shard) +
+                       " lacks capacity for tenant " +
+                       std::to_string(migration.tenant)};
+    }
+    load[migration.to_shard] += placement.demand_patterns_hz;
+    placement.migrates = true;
+    placement.to_shard = migration.to_shard;
+    placement.to_local_index = shard_clients[migration.to_shard].size();
+    placement.cutover_s = migration.cutover_s;
+    shard_clients[migration.to_shard].push_back(
+        tenants[migration.tenant].client);
+    fleet.local_to_global_[migration.to_shard].push_back(migration.tenant);
+  }
+
+  // Build the shard runtimes serially in shard order (deployment order
+  // — and hence cache fill order — is deterministic).
+  serve::RuntimeOptions runtime_options = options.runtime;
+  runtime_options.cache = fleet.cache_;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    fleet.shard_names_.push_back(shards[s].name);
+    if (shard_clients[s].empty()) {
+      // A shard the packing left empty is legal headroom; it runs no
+      // runtime and serves no requests.
+      fleet.runtimes_.emplace_back(std::nullopt);
+      continue;
+    }
+    Result<serve::Runtime> runtime = serve::Runtime::TryCreate(
+        std::move(shards[s].graph), std::move(shard_clients[s]),
+        runtime_options);
+    if (!runtime) {
+      Error error = runtime.error();
+      error.message = "shard " + std::to_string(s) + ": " + error.message;
+      return error;
+    }
+    fleet.runtimes_.emplace_back(std::move(runtime).value());
+  }
+  return fleet;
+}
+
+const serve::Runtime& Fleet::shard(std::size_t s) const {
+  Check(runtimes_[s].has_value(), "shard hosts no tenants");
+  return *runtimes_[s];
+}
+
+std::pair<std::size_t, std::size_t> Fleet::Route(std::size_t tenant,
+                                                 double arrival_s) const {
+  const TenantPlacement& placement = placements_[tenant];
+  if (placement.migrates && arrival_s >= placement.cutover_s) {
+    return {placement.to_shard, placement.to_local_index};
+  }
+  return {placement.shard, placement.local_index};
+}
+
+FleetResult Fleet::Run(std::span<const serve::ServeRequest> requests,
+                       const sim::SyncModel& sync, Rng& rng) const {
+  CheckTraceOrdered(requests);
+
+  // Fork one stream per request of the GLOBAL trace: a request's draws
+  // depend only on its submission index, never on the routing.
+  std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
+
+  FleetResult result;
+  result.stats.submitted = requests.size();
+  result.responses.resize(requests.size());
+
+  // Front door + routing: split the trace per shard, remapping tenants
+  // to shard-local client indices and carrying each request's stream.
+  std::vector<std::vector<serve::ServeRequest>> shard_requests(num_shards());
+  std::vector<std::vector<Rng>> shard_rngs(num_shards());
+  std::vector<std::vector<std::size_t>> shard_globals(num_shards());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const serve::ServeRequest& request = requests[i];
+    if (request.client >= num_tenants()) {
+      result.responses[i] = {.id = request.id,
+                             .client = request.client,
+                             .predicted = -1,
+                             .rejected = serve::RejectReason::kUnknownClient,
+                             .arrival_s = request.arrival_s};
+      ++result.stats.rejected_unknown_tenant;
+      continue;
+    }
+    const auto [s, local] = Route(request.client, request.arrival_s);
+    serve::ServeRequest routed = request;
+    routed.client = local;
+    shard_requests[s].push_back(std::move(routed));
+    shard_rngs[s].push_back(rngs[i]);
+    shard_globals[s].push_back(i);
+  }
+
+  // Run the shards in shard order (each internally parallel; exports
+  // stay byte-identical for any thread count).
+  result.shard_results.resize(num_shards());
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    if (!runtimes_[s].has_value() || shard_requests[s].empty()) continue;
+    result.shard_results[s] = runtimes_[s]->Run(
+        shard_requests[s], sync, std::span<Rng>(shard_rngs[s]));
+  }
+
+  // Merge responses and lifecycle traces back into global submission
+  // order, remapping tenants to their global indices.
+  std::vector<obs::RequestTrace> traces(requests.size());
+  std::vector<char> has_trace(requests.size(), 0);
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    const serve::ServeResult& shard = result.shard_results[s];
+    std::size_t trace_cursor = 0;
+    for (std::size_t j = 0; j < shard.responses.size(); ++j) {
+      const std::size_t g = shard_globals[s][j];
+      serve::ServeResponse response = shard.responses[j];
+      response.client = local_to_global_[s][response.client];
+      result.responses[g] = response;
+      if (response.rejected == serve::RejectReason::kNone) {
+        obs::RequestTrace trace = shard.request_log.traces[trace_cursor++];
+        trace.tenant = static_cast<std::uint32_t>(
+            local_to_global_[s][trace.tenant]);
+        traces[g] = trace;
+        has_trace[g] = 1;
+      }
+    }
+  }
+  result.request_log.tenants = tenant_names_;
+  for (std::size_t g = 0; g < requests.size(); ++g) {
+    if (has_trace[g]) result.request_log.traces.push_back(traces[g]);
+  }
+
+  // Shard-tagged merged timeline.
+  std::vector<std::vector<obs::TimeSeriesPoint>> series;
+  series.reserve(num_shards());
+  for (const serve::ServeResult& shard : result.shard_results) {
+    series.push_back(shard.timeseries);
+  }
+  result.timeseries = obs::MergeTimeSeries(series, "shard");
+
+  // Alert stream: k-way merge across shards by virtual time (ties in
+  // shard order), remap tenants, renumber sequence. A merge — not a
+  // sort — so each shard's own emission order is preserved verbatim
+  // and a single shard's stream passes through untouched (the runtime
+  // emits per-frame, which is only approximately t_s-ordered).
+  std::vector<std::size_t> cursor(num_shards(), 0);
+  for (;;) {
+    std::size_t best = num_shards();
+    for (std::size_t s = 0; s < num_shards(); ++s) {
+      const auto& alerts = result.shard_results[s].alerts;
+      if (cursor[s] >= alerts.size()) continue;
+      if (best == num_shards() ||
+          alerts[cursor[s]].t_s <
+              result.shard_results[best].alerts[cursor[best]].t_s) {
+        best = s;
+      }
+    }
+    if (best == num_shards()) break;
+    obs::health::Alert alert =
+        result.shard_results[best].alerts[cursor[best]++];
+    if (alert.tenant >= 0) {
+      alert.tenant = static_cast<std::int32_t>(
+          local_to_global_[best][static_cast<std::size_t>(alert.tenant)]);
+    }
+    alert.seq = result.alerts.size();
+    result.alerts.push_back(std::move(alert));
+  }
+
+  // Fleet rollups.
+  FleetStats& stats = result.stats;
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    const serve::ServeStats& shard = result.shard_results[s].stats;
+    stats.served += shard.served;
+    stats.rejected_bad_input += shard.rejected_bad_input;
+    stats.rejected_queue_full += shard.rejected_queue_full;
+    stats.rejected_unknown_tenant += shard.rejected_unknown_client;
+    stats.frames += shard.frames;
+    stats.virtual_duration_s =
+        std::max(stats.virtual_duration_s, shard.virtual_duration_s);
+    stats.slo_within += shard.slo_within;
+    stats.slo_violations += shard.slo_violations;
+    stats.energy_total_j += shard.energy_total_j;
+    stats.alerts += shard.alerts;
+    stats.drift_alerts += shard.drift_alerts;
+    stats.shards.push_back({.name = shard_names_[s], .stats = shard});
+  }
+  if (stats.virtual_duration_s > 0.0) {
+    stats.goodput_slo_rps =
+        static_cast<double>(stats.slo_within) / stats.virtual_duration_s;
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(result.request_log.traces.size());
+  std::vector<std::vector<double>> tenant_latencies(num_tenants());
+  stats.tenants.resize(num_tenants());
+  for (std::size_t t = 0; t < num_tenants(); ++t) {
+    stats.tenants[t].name = tenant_names_[t];
+  }
+  for (const obs::RequestTrace& trace : result.request_log.traces) {
+    const double latency = trace.Latency();
+    latencies.push_back(latency);
+    serve::TenantStats& tenant = stats.tenants[trace.tenant];
+    tenant.slo_s = trace.slo_s;
+    tenant.cache_hit = trace.cache_hit;
+    ++tenant.served;
+    tenant.energy_j += trace.energy_j;
+    if (trace.SloViolated()) {
+      ++tenant.slo_violations;
+    } else {
+      ++tenant.slo_within;
+    }
+    tenant_latencies[trace.tenant].push_back(latency);
+  }
+  const obs::TailDigest tails = obs::DigestTails(latencies);
+  stats.latency_p50_s = tails.p50;
+  stats.latency_p99_s = tails.p99;
+  stats.latency_p999_s = tails.p999;
+  for (std::size_t t = 0; t < num_tenants(); ++t) {
+    const obs::TailDigest tenant_tails =
+        obs::DigestTails(tenant_latencies[t]);
+    stats.tenants[t].latency_p50_s = tenant_tails.p50;
+    stats.tenants[t].latency_p99_s = tenant_tails.p99;
+    stats.tenants[t].latency_p999_s = tenant_tails.p999;
+  }
+  for (const obs::health::Alert& alert : result.alerts) {
+    if (alert.tenant >= 0 &&
+        static_cast<std::size_t>(alert.tenant) < stats.tenants.size()) {
+      serve::TenantStats& tenant =
+          stats.tenants[static_cast<std::size_t>(alert.tenant)];
+      ++tenant.alerts;
+      if (alert.kind == obs::health::AlertKind::kDriftDetected) {
+        ++tenant.drift_alerts;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace metaai::fleet

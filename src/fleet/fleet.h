@@ -1,0 +1,230 @@
+// metaai::fleet — a sharded surface cluster behind one front door.
+//
+// One metasurface's TDMA budget caps how many tenants it can serve; the
+// ROADMAP's cluster-scale item (and the SIM survey's multi-surface
+// framing) scales out instead: N independent shards — each a
+// serve::Runtime over its own mts::LayerGraph and band — behind a
+// deterministic front door that
+//
+//   (a) ADMITS AND PLACES tenants onto shards at construction by
+//       first-fit-decreasing bin packing (core::PackBins) of each
+//       tenant's declared switch-rate demand against each shard's
+//       controller budget, gated by compatibility: the tenant's link
+//       frequency must sit inside the shard's band and its Tx/Rx angles
+//       inside the shard front panel's field of view;
+//   (b) ROUTES request traces to shards on the shared virtual clock —
+//       every shard replays its sub-trace on the same t=0 origin, so
+//       fleet-level rollups line up without clock translation;
+//   (c) MIGRATES tenants between shards at a virtual cutover time: the
+//       destination shard deploys the tenant at construction through
+//       the shared mts::ConfigCache (an exact hit when the shards are
+//       identical, a nearest-entry warm start otherwise), so cutover is
+//       a pure routing flip — requests arriving at or after cutover_s
+//       go to the destination, earlier ones to the home shard;
+//   (d) AGGREGATES per-shard ServeStats / request logs / timeseries /
+//       alerts into fleet-level rollups (shard-tagged merged timeline,
+//       globally renumbered alert stream, per-tenant totals).
+//
+// Determinism contract: the front door forks one Rng stream per request
+// of the GLOBAL trace (fork order = submission order) and hands each
+// shard the streams of its sub-trace, so a request's draws — and hence
+// its prediction — do not depend on which shard serves it or on how the
+// trace was split. Shards run in shard order and every merge is
+// shard-ordered, so all fleet exports are byte-identical across thread
+// counts, and a single-shard fleet reproduces a bare serve::Runtime's
+// output bit for bit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/placement.h"
+#include "mts/config_cache.h"
+#include "mts/layer_graph.h"
+#include "serve/runtime.h"
+
+namespace metaai::fleet {
+
+/// One shard: a surface cascade on its own band with its own controller
+/// budget.
+struct ShardSpec {
+  std::string name;
+  mts::LayerGraph graph;
+  /// Center frequency the shard serves on; tenants are compatible when
+  /// their link frequency is within the front panel's fractional
+  /// bandwidth of this band.
+  double band_hz = 5.25e9;
+  core::SchedulerConfig scheduler;
+  /// Fraction of the controller's maximum switch rate the placement may
+  /// commit (headroom for guard intervals and bursts).
+  double budget_cap = 0.9;
+};
+
+/// One tenant: the serve-level client spec plus its declared demand.
+struct TenantSpec {
+  serve::ClientSpec client;
+  /// Declared mean request rate, used for placement only (the runtime
+  /// itself applies per-request admission control).
+  double arrival_rate_hz = 100.0;
+};
+
+/// A scheduled hot migration: `tenant` moves to `to_shard`; requests
+/// with arrival_s >= cutover_s route to the destination.
+struct Migration {
+  std::size_t tenant = 0;
+  std::size_t to_shard = 0;
+  double cutover_s = 0.0;
+};
+
+struct FleetOptions {
+  /// Per-shard runtime knobs (queue capacity, frame budget, health,
+  /// warm_start_distance). The cache field is overridden by the
+  /// fleet-wide `cache` below.
+  serve::RuntimeOptions runtime;
+  /// Solver-result cache shared by every shard (created internally when
+  /// null): identical tenants across shards deduplicate their solves,
+  /// and migration destinations warm from the home shard's entries.
+  std::shared_ptr<mts::ConfigCache> cache;
+  std::vector<Migration> migrations;
+};
+
+/// Where one tenant landed.
+struct TenantPlacement {
+  /// Home shard index and the tenant's client index on that shard.
+  std::size_t shard = 0;
+  std::size_t local_index = 0;
+  /// Declared demand in controller patterns/second (the bin-packed
+  /// quantity).
+  double demand_patterns_hz = 0.0;
+  /// Migration routing, when scheduled.
+  bool migrates = false;
+  std::size_t to_shard = 0;
+  std::size_t to_local_index = 0;
+  double cutover_s = 0.0;
+};
+
+/// One shard's slice of a fleet run.
+struct ShardRollup {
+  std::string name;
+  serve::ServeStats stats;
+};
+
+/// Fleet-level aggregate of one Run.
+struct FleetStats {
+  std::size_t submitted = 0;
+  std::size_t served = 0;
+  /// Front-door rejections: tenant index outside the fleet's list.
+  std::size_t rejected_unknown_tenant = 0;
+  /// Shard-level rejections summed across shards (bad input, queue
+  /// backpressure).
+  std::size_t rejected_bad_input = 0;
+  std::size_t rejected_queue_full = 0;
+  std::size_t frames = 0;
+  /// Max over shards (shards share the virtual t=0 origin).
+  double virtual_duration_s = 0.0;
+  /// End-to-end latency percentiles over all served requests.
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+  double latency_p999_s = 0.0;
+  std::size_t slo_within = 0;
+  std::size_t slo_violations = 0;
+  /// SLO-compliant requests per second of fleet virtual time.
+  double goodput_slo_rps = 0.0;
+  double energy_total_j = 0.0;
+  /// One entry per tenant (global order): counts summed across the
+  /// tenant's shard deployments, latency percentiles recomputed over
+  /// its merged traces. margin_p50 is per-shard state and stays 0 here;
+  /// read it from the shard rollups.
+  std::vector<serve::TenantStats> tenants;
+  /// One entry per shard, in shard order.
+  std::vector<ShardRollup> shards;
+  std::size_t alerts = 0;
+  std::size_t drift_alerts = 0;
+
+  std::size_t rejected() const {
+    return rejected_unknown_tenant + rejected_bad_input + rejected_queue_full;
+  }
+};
+
+struct FleetResult {
+  /// One response per request, in submission order, with `client`
+  /// remapped back to the global tenant index.
+  std::vector<serve::ServeResponse> responses;
+  FleetStats stats;
+  /// Served-request traces in global submission order; tenants[] holds
+  /// the global tenant names.
+  obs::RequestLog request_log;
+  /// Shard-tagged merged timeline: every per-shard tick prefixed with
+  /// {"shard": k} and stable-sorted by t_s (obs::MergeTimeSeries).
+  std::vector<obs::TimeSeriesPoint> timeseries;
+  /// Alert stream k-way merged across shards by t_s (ties in shard
+  /// order, each shard's own emission order preserved), tenant
+  /// remapped to the global index, seq renumbered.
+  std::vector<obs::health::Alert> alerts;
+  /// Raw per-shard results, in shard order — untouched, so a
+  /// single-shard fleet's shard_results[0] is bit-identical to the
+  /// equivalent bare serve::Runtime run.
+  std::vector<serve::ServeResult> shard_results;
+};
+
+class Fleet {
+ public:
+  /// Places tenants, then builds one serve::Runtime per shard (serially,
+  /// in shard order, through the shared cache). Typed errors:
+  /// kInvalidArgument for malformed specs/migrations,
+  /// kUnavailable when a tenant fits no compatible shard within budget
+  /// or a shard's controller cannot sustain its symbol rate.
+  static Result<Fleet> TryCreate(std::vector<ShardSpec> shards,
+                                 std::vector<TenantSpec> tenants,
+                                 FleetOptions options = {});
+
+  Fleet(Fleet&&) = default;
+  Fleet& operator=(Fleet&&) = default;
+
+  std::size_t num_shards() const { return runtimes_.size(); }
+  std::size_t num_tenants() const { return placements_.size(); }
+  /// Whether shard s hosts any tenants (an empty shard runs no runtime).
+  bool shard_active(std::size_t s) const { return runtimes_[s].has_value(); }
+  /// The shard's runtime; requires shard_active(s).
+  const serve::Runtime& shard(std::size_t s) const;
+  const std::string& shard_name(std::size_t s) const {
+    return shard_names_[s];
+  }
+  const std::string& tenant_name(std::size_t t) const {
+    return tenant_names_[t];
+  }
+  std::span<const TenantPlacement> placement() const { return placements_; }
+  const std::shared_ptr<mts::ConfigCache>& cache() const { return cache_; }
+
+  /// Serves a global request trace (request.client = global tenant
+  /// index, non-decreasing arrival_s). Forks one stream per request,
+  /// routes sub-traces, runs shards in shard order, merges.
+  FleetResult Run(std::span<const serve::ServeRequest> requests,
+                  const sim::SyncModel& sync, Rng& rng) const;
+
+  /// The shard a request for `tenant` at `arrival_s` routes to, and the
+  /// tenant's client index there.
+  std::pair<std::size_t, std::size_t> Route(std::size_t tenant,
+                                            double arrival_s) const;
+
+ private:
+  Fleet() = default;
+
+  std::vector<std::string> shard_names_;
+  std::vector<std::string> tenant_names_;
+  /// nullopt = shard the packing left empty (legal headroom).
+  std::vector<std::optional<serve::Runtime>> runtimes_;
+  std::vector<TenantPlacement> placements_;
+  /// local_to_global_[s][l] = global tenant index of shard s's client l.
+  std::vector<std::vector<std::size_t>> local_to_global_;
+  std::shared_ptr<mts::ConfigCache> cache_;
+};
+
+}  // namespace metaai::fleet

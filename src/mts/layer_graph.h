@@ -47,6 +47,13 @@ class LayerGraph {
   /// Wraps a single surface as a depth-1 graph (the legacy pipeline).
   explicit LayerGraph(const Metasurface& front);
 
+  /// Named adapter for the same wrap: the canonical way to hand a bare
+  /// panel to graph-first APIs (serve::Runtime, fleet::Fleet). A
+  /// FromSurface graph serves bit-for-bit like the panel it wraps.
+  static LayerGraph FromSurface(const Metasurface& front) {
+    return LayerGraph(front);
+  }
+
   /// Builds a K-layer graph; Check-aborts on invalid specs (see
   /// TryFromSpecs for the typed-error form).
   explicit LayerGraph(std::vector<PhysicalLayerSpec> specs);

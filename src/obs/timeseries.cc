@@ -1,5 +1,6 @@
 #include "obs/timeseries.h"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -80,6 +81,38 @@ std::vector<TimeSeriesPoint> ParseTimeSeriesJsonl(std::string_view text) {
     points.push_back(std::move(point));
   }
   return points;
+}
+
+std::vector<TimeSeriesPoint> MergeTimeSeries(
+    std::span<const std::vector<TimeSeriesPoint>> sources,
+    std::string_view tag_key) {
+  std::vector<TimeSeriesPoint> merged;
+  std::size_t total = 0;
+  for (const std::vector<TimeSeriesPoint>& source : sources) {
+    total += source.size();
+  }
+  merged.reserve(total);
+  // Concatenation order = source order, so the stable sort's tie-break
+  // is (source index, original position within the source).
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    for (const TimeSeriesPoint& point : sources[s]) {
+      TimeSeriesPoint tagged;
+      tagged.t_s = point.t_s;
+      tagged.values.reserve(point.values.size() + (tag_key.empty() ? 0 : 1));
+      if (!tag_key.empty()) {
+        tagged.values.emplace_back(std::string(tag_key),
+                                   static_cast<double>(s));
+      }
+      tagged.values.insert(tagged.values.end(), point.values.begin(),
+                           point.values.end());
+      merged.push_back(std::move(tagged));
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TimeSeriesPoint& a, const TimeSeriesPoint& b) {
+                     return a.t_s < b.t_s;
+                   });
+  return merged;
 }
 
 }  // namespace metaai::obs

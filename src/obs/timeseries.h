@@ -47,4 +47,14 @@ bool WriteTimeSeriesFile(std::span<const TimeSeriesPoint> points,
 /// schema mismatch or malformed lines.
 std::vector<TimeSeriesPoint> ParseTimeSeriesJsonl(std::string_view text);
 
+/// Deterministically merges per-source series into one timeline:
+/// every point is prefixed with a {tag_key, source index} value, then
+/// all points are stable-sorted by t_s with ties broken by source
+/// index (and original order within a source). The merge is a pure
+/// function of the inputs, so fleet-level rollups stay byte-identical
+/// across thread counts. An empty tag_key skips the tagging.
+std::vector<TimeSeriesPoint> MergeTimeSeries(
+    std::span<const std::vector<TimeSeriesPoint>> sources,
+    std::string_view tag_key);
+
 }  // namespace metaai::obs

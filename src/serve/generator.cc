@@ -1,43 +1,113 @@
 #include "serve/generator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <numbers>
 #include <string>
 
 #include "common/parallel.h"
 
 namespace metaai::serve {
+namespace {
 
-Result<std::vector<ServeRequest>> GenerateWorkload(
-    std::span<const ClientWorkload> clients, double duration_s, Rng& rng) {
-  if (clients.empty()) {
+Result<void> ValidateSpec(const WorkloadSpec& spec) {
+  if (spec.tenants.empty()) {
     return Error{ErrorCode::kInvalidArgument,
                  "workload needs at least one client"};
   }
-  if (!(duration_s > 0.0)) {
+  if (!(spec.duration_s > 0.0)) {
     return Error{ErrorCode::kInvalidArgument,
                  "workload duration must be positive"};
   }
-  for (std::size_t c = 0; c < clients.size(); ++c) {
-    if (!(clients[c].arrival_rate_hz > 0.0)) {
+  for (std::size_t c = 0; c < spec.tenants.size(); ++c) {
+    const TenantWorkload& tenant = spec.tenants[c];
+    const std::string prefix = "client " + std::to_string(c) + ": ";
+    if (!(tenant.arrival_rate_hz > 0.0)) {
       return Error{ErrorCode::kInvalidArgument,
-                   "client " + std::to_string(c) +
-                       ": arrival rate must be positive"};
+                   prefix + "arrival rate must be positive"};
     }
-    if (clients[c].samples == nullptr || clients[c].samples->size() == 0) {
+    if (tenant.samples == nullptr || tenant.samples->size() == 0) {
       return Error{ErrorCode::kInvalidArgument,
-                   "client " + std::to_string(c) +
-                       ": sample dataset must be non-empty"};
+                   prefix + "sample dataset must be non-empty"};
+    }
+    if (tenant.pareto_shape != 0.0 && !(tenant.pareto_shape > 1.0)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   prefix +
+                       "Pareto shape must be 0 (Poisson) or > 1 "
+                       "(finite-mean heavy tail)"};
+    }
+    if (!(tenant.diurnal_amplitude >= 0.0) || tenant.diurnal_amplitude >= 1.0) {
+      return Error{ErrorCode::kInvalidArgument,
+                   prefix + "diurnal amplitude must be in [0, 1)"};
+    }
+    if (tenant.diurnal_amplitude > 0.0 && !(tenant.diurnal_period_s > 0.0)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   prefix + "diurnal period must be positive"};
+    }
+    for (const FlashCrowd& crowd : tenant.flash_crowds) {
+      if (!(crowd.start_s >= 0.0) || !(crowd.duration_s > 0.0) ||
+          !(crowd.multiplier > 0.0)) {
+        return Error{ErrorCode::kInvalidArgument,
+                     prefix +
+                         "flash crowd needs start >= 0, duration > 0 and "
+                         "multiplier > 0"};
+      }
     }
   }
+  return Ok();
+}
 
-  std::vector<Rng> rngs = par::ForkRngs(rng, clients.size());
+}  // namespace
+
+double RateMultiplier(const TenantWorkload& tenant, double t_s) {
+  // Unmodulated tenants short-circuit to exactly 1.0, which keeps the
+  // pure-Poisson time warp (dt / 1.0) a bitwise no-op.
+  double multiplier = 1.0;
+  if (tenant.diurnal_amplitude > 0.0) {
+    multiplier *= 1.0 + tenant.diurnal_amplitude *
+                            std::sin(2.0 * std::numbers::pi * t_s /
+                                     tenant.diurnal_period_s);
+  }
+  for (const FlashCrowd& crowd : tenant.flash_crowds) {
+    if (t_s >= crowd.start_s && t_s < crowd.start_s + crowd.duration_s) {
+      multiplier *= crowd.multiplier;
+    }
+  }
+  return multiplier;
+}
+
+Result<std::vector<ServeRequest>> GenerateWorkload(const WorkloadSpec& spec,
+                                                   Rng& rng) {
+  if (Result<void> ok = ValidateSpec(spec); !ok) return ok.error();
+
+  std::vector<Rng> rngs = par::ForkRngs(rng, spec.tenants.size());
   std::vector<ServeRequest> requests;
-  for (std::size_t c = 0; c < clients.size(); ++c) {
-    const nn::RealDataset& samples = *clients[c].samples;
+  for (std::size_t c = 0; c < spec.tenants.size(); ++c) {
+    const TenantWorkload& tenant = spec.tenants[c];
+    const nn::RealDataset& samples = *tenant.samples;
+    // Pareto scale mean-matched to the Poisson rate: with shape alpha
+    // and scale x_m the mean inter-arrival is alpha*x_m/(alpha-1), so
+    // x_m = (alpha-1)/(alpha*rate) keeps the long-run average rate.
+    const double pareto_scale =
+        tenant.pareto_shape > 1.0
+            ? (tenant.pareto_shape - 1.0) /
+                  (tenant.pareto_shape * tenant.arrival_rate_hz)
+            : 0.0;
     double clock_s = 0.0;
     while (true) {
-      clock_s += rngs[c].Exponential(clients[c].arrival_rate_hz);
-      if (clock_s >= duration_s) break;
+      double dt;
+      if (tenant.pareto_shape > 1.0) {
+        // Inverse-CDF Pareto: u in (0, 1], dt = x_m * u^(-1/alpha).
+        const double u = 1.0 - rngs[c].Uniform();
+        dt = pareto_scale * std::pow(u, -1.0 / tenant.pareto_shape);
+      } else {
+        dt = rngs[c].Exponential(tenant.arrival_rate_hz);
+      }
+      // Rate modulation by time warp: a multiplier m compresses the
+      // base draw to dt/m without spending extra Rng draws, so the
+      // unmodulated trace (m == 1.0) is bitwise the legacy one.
+      clock_s += dt / RateMultiplier(tenant, clock_s);
+      if (clock_s >= spec.duration_s) break;
       const std::size_t pick = rngs[c].UniformInt(
           static_cast<std::uint64_t>(samples.size()));
       requests.push_back({.client = c,
@@ -56,6 +126,18 @@ Result<std::vector<ServeRequest>> GenerateWorkload(
     requests[i].id = static_cast<std::uint64_t>(i);
   }
   return requests;
+}
+
+Result<std::vector<ServeRequest>> GenerateWorkload(
+    std::span<const ClientWorkload> clients, double duration_s, Rng& rng) {
+  WorkloadSpec spec;
+  spec.duration_s = duration_s;
+  spec.tenants.reserve(clients.size());
+  for (const ClientWorkload& client : clients) {
+    spec.tenants.push_back({.arrival_rate_hz = client.arrival_rate_hz,
+                            .samples = client.samples});
+  }
+  return GenerateWorkload(spec, rng);
 }
 
 }  // namespace metaai::serve

@@ -1,11 +1,30 @@
-// Seeded workload generation for the serving runtime: N edge clients
-// with Poisson arrivals (exponential inter-arrival times), each drawing
-// sample pixel vectors uniformly from its dataset.
+// Seeded workload generation for the serving runtime: N tenants with
+// composable arrival processes, each drawing sample pixel vectors
+// uniformly from its dataset.
 //
-// Determinism contract: each client's arrival process and sample draws
-// come from its own pre-forked Rng stream (fork order = client order),
+// The baseline is Poisson (exponential inter-arrival times). A
+// WorkloadSpec composes three open-loop stressors on top:
+//
+//  - heavy-tailed arrivals: Pareto inter-arrival times mean-matched to
+//    arrival_rate_hz (shape alpha > 1, scale x_m = (alpha-1)/(alpha*rate)),
+//    so the *average* load is unchanged but bursts cluster and gaps
+//    stretch — the classic self-similar edge-traffic shape;
+//  - diurnal waves: a sinusoidal rate modulation
+//    rate(t) = rate * (1 + A*sin(2*pi*t/period)) with A in [0, 1);
+//  - flash crowds: windows [start_s, start_s + duration_s) where the
+//    instantaneous rate is multiplied by `multiplier` (overlapping
+//    windows compound).
+//
+// Rate modulation is applied by *time-warping* the base draw
+// (dt = dt_base / m(t)), never by extra Rng draws, so a spec with no
+// modulation reproduces the pure-Poisson trace bit for bit — the legacy
+// GenerateWorkload overload delegates here and its committed bench
+// baselines do not move.
+//
+// Determinism contract: each tenant's arrival process and sample draws
+// come from its own pre-forked Rng stream (fork order = tenant order),
 // so the generated trace is bitwise identical regardless of how the
-// per-client streams are later interleaved, and adding a client never
+// per-tenant streams are later interleaved, and adding a tenant never
 // perturbs the others' traces.
 #pragma once
 
@@ -19,7 +38,7 @@
 
 namespace metaai::serve {
 
-/// One client's demand model.
+/// One client's demand model (legacy pure-Poisson form).
 struct ClientWorkload {
   /// Mean request rate (Poisson arrivals).
   double arrival_rate_hz = 100.0;
@@ -28,11 +47,58 @@ struct ClientWorkload {
   const nn::RealDataset* samples = nullptr;
 };
 
-/// Generates the merged request trace of all clients over
-/// [0, duration_s), sorted by arrival time (ties broken by client
+/// A transient rate spike: while t is in [start_s, start_s + duration_s)
+/// the tenant's instantaneous arrival rate is multiplied by
+/// `multiplier`. Overlapping crowds compound multiplicatively.
+struct FlashCrowd {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double multiplier = 1.0;
+};
+
+/// One tenant's composable demand model. Defaults reproduce
+/// ClientWorkload's pure Poisson process bit for bit.
+struct TenantWorkload {
+  /// Mean request rate of the *unmodulated* process.
+  double arrival_rate_hz = 100.0;
+  /// Sample source; pixels (and labels) are drawn uniformly from it.
+  /// Must be non-null and non-empty.
+  const nn::RealDataset* samples = nullptr;
+  /// 0 = exponential inter-arrivals (Poisson). > 1 = Pareto
+  /// inter-arrivals with this shape, mean-matched to arrival_rate_hz
+  /// (smaller shape = heavier tail; 1.5-2.5 is the interesting range).
+  /// Values in (0, 1] are invalid (infinite-mean Pareto).
+  double pareto_shape = 0.0;
+  /// Relative amplitude A in [0, 1) of the diurnal sine wave; 0 = flat.
+  double diurnal_amplitude = 0.0;
+  /// Period of the diurnal wave (must be positive when amplitude > 0).
+  double diurnal_period_s = 86400.0;
+  /// Transient rate spikes layered on top.
+  std::vector<FlashCrowd> flash_crowds;
+};
+
+/// A full open-loop trace description: N tenants over [0, duration_s).
+struct WorkloadSpec {
+  std::vector<TenantWorkload> tenants;
+  double duration_s = 1.0;
+};
+
+/// The instantaneous rate multiplier m(t) >= 0 for a tenant (diurnal
+/// wave x active flash crowds); exactly 1.0 for an unmodulated tenant.
+/// Exposed for tests and for capacity planning in metaai::fleet.
+double RateMultiplier(const TenantWorkload& tenant, double t_s);
+
+/// Generates the merged request trace of all tenants over
+/// [0, spec.duration_s), sorted by arrival time (ties broken by tenant
 /// index), with ids assigned in sorted order. Typed errors
-/// (ErrorCode::kInvalidArgument) for non-positive durations/rates or
-/// missing sample sets.
+/// (ErrorCode::kInvalidArgument) for non-positive durations/rates,
+/// missing sample sets, Pareto shapes in (0, 1], diurnal amplitudes
+/// outside [0, 1) and malformed flash-crowd windows.
+Result<std::vector<ServeRequest>> GenerateWorkload(const WorkloadSpec& spec,
+                                                   Rng& rng);
+
+/// Legacy pure-Poisson form; delegates to the WorkloadSpec overload
+/// (bitwise-identical traces for the same clients/duration/rng).
 Result<std::vector<ServeRequest>> GenerateWorkload(
     std::span<const ClientWorkload> clients, double duration_s, Rng& rng);
 

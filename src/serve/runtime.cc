@@ -22,6 +22,35 @@ void CheckTraceOrdered(std::span<const ServeRequest> requests) {
   }
 }
 
+/// Operator-input validation shared by the throwing constructor and
+/// TryCreate, so both paths reject exactly the same configurations.
+Result<void> ValidateRuntimeConfig(const std::vector<ClientSpec>& clients,
+                                   const RuntimeOptions& options) {
+  if (clients.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "serving runtime needs at least one client"};
+  }
+  if (options.queue_capacity == 0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "queue capacity must be positive"};
+  }
+  if (options.frame_budget == 0) {
+    return Error{ErrorCode::kInvalidArgument, "frame budget must be positive"};
+  }
+  if (options.warm_start_distance < 0.0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "warm-start distance must be non-negative"};
+  }
+  for (const ClientSpec& client : clients) {
+    if (client.slo_latency_s < 0.0) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "SLO latency must be non-negative (client '" + client.name +
+                       "')"};
+    }
+  }
+  return Ok();
+}
+
 void CountRejection(ServeStats& stats, RejectReason reason) {
   switch (reason) {
     case RejectReason::kNone:
@@ -233,32 +262,38 @@ void FinalizeStats(ServeStats& stats, std::span<const ServeResponse> responses,
 
 }  // namespace
 
-Runtime::Runtime(const mts::Metasurface& surface,
-                 std::vector<ClientSpec> clients, RuntimeOptions options)
-    : surface_(surface), options_(std::move(options)),
-      energy_(options_.energy) {
+Runtime::Runtime(mts::LayerGraph graph, std::vector<ClientSpec> clients,
+                 RuntimeOptions options)
+    : graph_(std::make_unique<const mts::LayerGraph>(std::move(graph))),
+      options_(std::move(options)), energy_(options_.energy) {
+  ValidateRuntimeConfig(clients, options_).value();
   Init(std::move(clients));
 }
 
-Runtime::Runtime(const mts::LayerGraph& graph, std::vector<ClientSpec> clients,
-                 RuntimeOptions options)
-    : surface_(graph.front()), graph_(graph), options_(std::move(options)),
-      energy_(options_.energy) {
-  Init(std::move(clients));
+// The deprecated shim may be defined (and may delegate) without
+// tripping -Wdeprecated-declarations; only *callers* see the warning.
+Runtime::Runtime(const mts::Metasurface& surface,
+                 std::vector<ClientSpec> clients, RuntimeOptions options)
+    : Runtime(mts::LayerGraph::FromSurface(surface), std::move(clients),
+              std::move(options)) {}
+
+Result<Runtime> Runtime::TryCreate(mts::LayerGraph graph,
+                                   std::vector<ClientSpec> clients,
+                                   RuntimeOptions options) {
+  if (Result<void> ok = ValidateRuntimeConfig(clients, options); !ok) {
+    return ok.error();
+  }
+  return Runtime(std::move(graph), std::move(clients), std::move(options));
 }
 
 void Runtime::Init(std::vector<ClientSpec> clients) {
-  Check(!clients.empty(), "serving runtime needs at least one client");
-  Check(options_.queue_capacity > 0, "queue capacity must be positive");
-  Check(options_.frame_budget > 0, "frame budget must be positive");
   std::vector<core::DeviceSpec> devices;
   devices.reserve(clients.size());
   for (ClientSpec& client : clients) {
-    Check(client.slo_latency_s >= 0.0, "SLO latency must be non-negative");
     input_dims_.push_back(client.model.input_dim());
     slo_targets_.push_back(client.slo_latency_s);
     core::DeploymentOptions deployment = client.deployment;
-    deployment.mapping.cache = options_.cache;
+    deployment.mapping.cache = options_.cache.get();
     if (options_.warm_start_distance > 0.0) {
       deployment.mapping.warm_start_distance = options_.warm_start_distance;
     }
@@ -267,11 +302,8 @@ void Runtime::Init(std::vector<ClientSpec> clients) {
                        .link = std::move(client.link),
                        .options = std::move(deployment)});
   }
-  scheduler_ = graph_.has_value()
-                   ? std::make_unique<core::SharedSurfaceScheduler>(
-                         *graph_, std::move(devices), options_.scheduler)
-                   : std::make_unique<core::SharedSurfaceScheduler>(
-                         surface_, std::move(devices), options_.scheduler);
+  scheduler_ = std::make_unique<core::SharedSurfaceScheduler>(
+      *graph_, std::move(devices), options_.scheduler);
   // The scheduler builds deployments serially in client order, so the
   // per-tenant cache provenance below is deterministic.
   for (std::size_t c = 0; c < num_clients(); ++c) {
@@ -282,7 +314,16 @@ void Runtime::Init(std::vector<ClientSpec> clients) {
 
 ServeResult Runtime::Run(std::span<const ServeRequest> requests,
                          const sim::SyncModel& sync, Rng& rng) const {
+  std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
+  return Run(requests, sync, std::span<Rng>(rngs));
+}
+
+ServeResult Runtime::Run(std::span<const ServeRequest> requests,
+                         const sim::SyncModel& sync,
+                         std::span<Rng> request_rngs) const {
   CheckTraceOrdered(requests);
+  Check(request_rngs.size() == requests.size(),
+        "Run needs one Rng stream per request");
   const obs::ScopedSpan span = obs::Span("serve.run");
   span.Arg("requests", static_cast<double>(requests.size()));
   obs::Count("serve.requests", requests.size());
@@ -290,7 +331,7 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
   ServeResult result;
   result.stats.submitted = requests.size();
   result.responses.resize(requests.size());
-  std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
+  std::span<Rng> rngs = request_rngs;
   // Per-request soft-decision margins (the label-free accuracy proxy),
   // filled by the workers and consumed by the serial health loop.
   std::vector<double> margins(requests.size(), 0.0);
@@ -483,7 +524,16 @@ ServeResult Runtime::Run(std::span<const ServeRequest> requests,
 ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
                                   const sim::SyncModel& sync,
                                   Rng& rng) const {
+  std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
+  return RunUnbatched(requests, sync, std::span<Rng>(rngs));
+}
+
+ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
+                                  const sim::SyncModel& sync,
+                                  std::span<Rng> request_rngs) const {
   CheckTraceOrdered(requests);
+  Check(request_rngs.size() == requests.size(),
+        "RunUnbatched needs one Rng stream per request");
   const obs::ScopedSpan span = obs::Span("serve.run_unbatched");
   span.Arg("requests", static_cast<double>(requests.size()));
   obs::Count("serve.requests", requests.size());
@@ -491,7 +541,7 @@ ServeResult Runtime::RunUnbatched(std::span<const ServeRequest> requests,
   ServeResult result;
   result.stats.submitted = requests.size();
   result.responses.resize(requests.size());
-  std::vector<Rng> rngs = par::ForkRngs(rng, requests.size());
+  std::span<Rng> rngs = request_rngs;
   std::vector<double> margins(requests.size(), 0.0);
   std::vector<obs::health::AlertEngine> engines =
       BuildHealthEngines(options_, num_clients());

@@ -1,7 +1,7 @@
 // metaai::serve — deterministic batched multi-tenant OTA serving
 // runtime (§6's "shared across multiple IoT devices", made operational).
 //
-// One shared metasurface serves N edge clients. Requests arrive on a
+// One shared surface stack serves N edge clients. Requests arrive on a
 // virtual clock; admission control rejects malformed or over-quota
 // demand with typed reasons; admitted requests wait in bounded
 // per-client FIFO queues and are coalesced into TDMA frames built by
@@ -11,23 +11,34 @@
 // Slot allocation is fair round-robin (core::AllocateSlots), so a
 // backlogged client cannot starve the others.
 //
+// Construction is graph-first: the runtime deploys every client over an
+// mts::LayerGraph (use mts::LayerGraph::FromSurface for a bare panel —
+// a depth-1 graph serves bit-for-bit like the single-surface pipeline).
+// Operator misconfiguration (empty client list, non-positive queue or
+// frame budgets) is a typed kInvalidArgument error through TryCreate;
+// the plain constructor keeps the legacy CheckError-throwing behavior.
+//
 // Determinism contract: request i's sync-offset draw and channel noise
 // come from the i-th pre-forked Rng stream (fork order = submission
 // order), so every prediction is bitwise identical for any thread
 // count, any frame-budget/batching composition, and with or without
-// the solver-result cache. Run and RunUnbatched produce byte-identical
+// the solver-result cache. The span-of-streams Run overload lets a
+// cluster front door (metaai::fleet) fork one stream per request of a
+// *global* trace and route sub-traces to shards without perturbing any
+// request's draws. Run and RunUnbatched produce byte-identical
 // predictions; they differ only in virtual-time accounting and
 // wall-clock cost.
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "core/scheduler.h"
 #include "mts/config_cache.h"
+#include "mts/layer_graph.h"
 #include "obs/alerts.h"
 #include "obs/lifecycle.h"
 #include "obs/timeseries.h"
@@ -59,10 +70,12 @@ struct RuntimeOptions {
   /// across clients by core::AllocateSlots.
   std::size_t frame_budget = 8;
   /// Optional shared solver-result cache consulted when mapping each
-  /// client's weights at construction (not owned; must outlive the
-  /// runtime). Tenants deploying identical models hit instead of
+  /// client's weights at construction. Shared ownership: fleet shards
+  /// (and any other runtimes) may hold the same cache and it outlives
+  /// every holder — the raw-pointer lifetime footgun of the PR 5 API
+  /// is gone. Tenants deploying identical models hit instead of
   /// re-running coordinate descent. Null = always solve fresh.
-  mts::ConfigCache* cache = nullptr;
+  std::shared_ptr<mts::ConfigCache> cache;
   /// Incremental solving across near-duplicate tenants: when positive
   /// (and `cache` is set), an exact cache miss warm-starts the solve
   /// from the nearest cached schedule within this RMS weight-feature
@@ -107,33 +120,58 @@ struct ServeResult {
 
 class Runtime {
  public:
-  /// Builds one deployment per client on the shared `surface` (through
-  /// `options.cache` when set). The runtime keeps its own copy of the
-  /// surface — the deployments' links borrow the metasurface, and a
-  /// long-lived server must not dangle if the caller's panel goes out
-  /// of scope (temporaries are fine). Throws CheckError on empty client
-  /// lists or non-positive queue/budget options — runtime configuration
-  /// is operator input, not tenant input.
+  /// Builds one deployment per client over the surface cascade
+  /// described by `graph` (through `options.cache` when set). The
+  /// runtime owns the graph — the deployments' links borrow it, and a
+  /// long-lived server must not dangle if the caller's copy goes out of
+  /// scope. A depth-1 graph (mts::LayerGraph::FromSurface) serves
+  /// bit-for-bit like the pre-cascade single-surface pipeline. Throws
+  /// CheckError on empty client lists or non-positive queue/budget
+  /// options — use TryCreate for the typed-error form.
+  Runtime(mts::LayerGraph graph, std::vector<ClientSpec> clients,
+          RuntimeOptions options = {});
+
+  /// Deprecated single-surface shim (one PR): wraps the panel with
+  /// mts::LayerGraph::FromSurface and delegates to the graph entry
+  /// point, bit for bit.
+  [[deprecated(
+      "construct from mts::LayerGraph::FromSurface(surface) instead")]]
   Runtime(const mts::Metasurface& surface, std::vector<ClientSpec> clients,
           RuntimeOptions options = {});
 
-  /// Multi-surface serving: every client deploys over the cascade
-  /// described by `graph`. The runtime keeps its own copy of the graph
-  /// (same dangling-safety contract as the surface overload). A depth-1
-  /// graph serves bit-for-bit like the single-surface constructor.
-  Runtime(const mts::LayerGraph& graph, std::vector<ClientSpec> clients,
-          RuntimeOptions options = {});
+  /// Typed-error construction: rejects empty client lists, non-positive
+  /// queue/budget options, negative SLO targets and negative warm-start
+  /// distances with ErrorCode::kInvalidArgument instead of throwing.
+  /// The CLI maps these to exit 2 like every other typed error.
+  static Result<Runtime> TryCreate(mts::LayerGraph graph,
+                                   std::vector<ClientSpec> clients,
+                                   RuntimeOptions options = {});
+
+  Runtime(Runtime&&) = default;
+  Runtime& operator=(Runtime&&) = default;
 
   std::size_t num_clients() const { return input_dims_.size(); }
   const core::SharedSurfaceScheduler& scheduler() const {
     return *scheduler_;
   }
+  const mts::LayerGraph& graph() const { return *graph_; }
   const RuntimeOptions& options() const { return options_; }
 
   /// Serves a request trace (non-decreasing arrival_s) on the virtual
-  /// clock with frame batching. `rng` seeds the per-request streams.
+  /// clock with frame batching. `rng` seeds the per-request streams
+  /// (fork order = submission order).
   ServeResult Run(std::span<const ServeRequest> requests,
                   const sim::SyncModel& sync, Rng& rng) const;
+
+  /// Same, with caller-owned per-request streams: request_rngs[i] is
+  /// request i's stream (request_rngs.size() must equal
+  /// requests.size()). This is the fleet routing hook — a front door
+  /// forks one stream per request of the global trace, so a request's
+  /// draws do not depend on which shard (or sub-trace composition)
+  /// serves it.
+  ServeResult Run(std::span<const ServeRequest> requests,
+                  const sim::SyncModel& sync,
+                  std::span<Rng> request_rngs) const;
 
   /// Naive baseline: no coalescing — each request is processed strictly
   /// in order in its own single-slot frame (guard interval per request)
@@ -141,17 +179,18 @@ class Runtime {
   /// the virtual-time accounting and wall-clock cost differ.
   ServeResult RunUnbatched(std::span<const ServeRequest> requests,
                            const sim::SyncModel& sync, Rng& rng) const;
+  ServeResult RunUnbatched(std::span<const ServeRequest> requests,
+                           const sim::SyncModel& sync,
+                           std::span<Rng> request_rngs) const;
 
  private:
-  /// Shared constructor body (runs after surface_/graph_ are set).
+  /// Shared constructor body (runs after graph_ is set).
   void Init(std::vector<ClientSpec> clients);
 
-  /// Owned copy; declared before scheduler_ because the deployments'
-  /// links hold references into it.
-  mts::Metasurface surface_;
-  /// Owned cascade copy for the graph constructor (deployments' links
-  /// hold pointers into it); nullopt for single-surface runtimes.
-  std::optional<mts::LayerGraph> graph_;
+  /// Owned, heap-allocated so the address is stable under moves; the
+  /// deployments' links hold pointers into it. Declared before
+  /// scheduler_.
+  std::unique_ptr<const mts::LayerGraph> graph_;
   std::vector<std::size_t> input_dims_;
   /// Per-client latency targets (0 = no SLO), indexed like clients.
   std::vector<double> slo_targets_;

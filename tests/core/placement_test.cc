@@ -1,0 +1,107 @@
+#include "core/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace metaai::core {
+namespace {
+
+TEST(PlacementTest, FirstFitDecreasingKnownAnswer) {
+  // Demands sorted descending: 5, 4, 3, 2. Capacity 7 bins: FFD packs
+  // 5+2 on bin 0 and 4+3 on bin 1.
+  const PlacementProblem problem{.demand = {3.0, 5.0, 2.0, 4.0},
+                                 .capacity = {7.0, 7.0}};
+  const PlacementResult result = PackBins(problem).value();
+  EXPECT_EQ(result.bin_of_item, (std::vector<std::size_t>{1, 0, 0, 1}));
+  EXPECT_DOUBLE_EQ(result.load[0], 7.0);
+  EXPECT_DOUBLE_EQ(result.load[1], 7.0);
+}
+
+TEST(PlacementTest, TiesBreakByOriginalIndex) {
+  // Equal demands keep submission order: item 0 before item 1 before
+  // item 2, so the first two fill bin 0 and the third spills to bin 1.
+  const PlacementProblem problem{.demand = {1.0, 1.0, 1.0},
+                                 .capacity = {2.0, 2.0}};
+  const PlacementResult result = PackBins(problem).value();
+  EXPECT_EQ(result.bin_of_item, (std::vector<std::size_t>{0, 0, 1}));
+}
+
+TEST(PlacementTest, DeterministicAcrossRepeatedCalls) {
+  PlacementProblem problem;
+  for (int i = 0; i < 40; ++i) {
+    problem.demand.push_back(0.25 * static_cast<double>((i * 7) % 11) + 0.5);
+  }
+  problem.capacity = {16.0, 16.0, 16.0, 16.0, 16.0, 16.0};
+  const PlacementResult first = PackBins(problem).value();
+  const PlacementResult second = PackBins(problem).value();
+  EXPECT_EQ(first.bin_of_item, second.bin_of_item);
+  EXPECT_EQ(first.load, second.load);
+  double total = 0.0;
+  for (const double demand : problem.demand) total += demand;
+  double placed = 0.0;
+  for (std::size_t b = 0; b < first.load.size(); ++b) {
+    EXPECT_LE(first.load[b], problem.capacity[b]);
+    placed += first.load[b];
+  }
+  EXPECT_DOUBLE_EQ(placed, total);
+}
+
+TEST(PlacementTest, CompatibilityMaskGatesBins) {
+  // Item 1 may only use bin 1 even though bin 0 has room.
+  const PlacementProblem problem{
+      .demand = {1.0, 1.0},
+      .capacity = {4.0, 4.0},
+      .compatible = {{true, true}, {false, true}}};
+  const PlacementResult result = PackBins(problem).value();
+  EXPECT_EQ(result.bin_of_item, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(PlacementTest, UnplaceableItemIsUnavailable) {
+  const PlacementProblem over{.demand = {3.0, 3.0, 3.0},
+                              .capacity = {4.0, 4.0}};
+  const auto result = PackBins(over);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kUnavailable);
+
+  // A compatible=false row can starve an item with plenty of capacity.
+  const PlacementProblem masked{.demand = {1.0},
+                                .capacity = {4.0},
+                                .compatible = {{false}}};
+  const auto starved = PackBins(masked);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.error().code, ErrorCode::kUnavailable);
+  EXPECT_NE(starved.error().message.find("item 0"), std::string::npos);
+}
+
+TEST(PlacementTest, MalformedProblemsAreInvalidArgument) {
+  const auto no_bins = PackBins({.demand = {1.0}, .capacity = {}});
+  ASSERT_FALSE(no_bins.ok());
+  EXPECT_EQ(no_bins.error().code, ErrorCode::kInvalidArgument);
+
+  const auto negative_demand =
+      PackBins({.demand = {-1.0}, .capacity = {4.0}});
+  ASSERT_FALSE(negative_demand.ok());
+  EXPECT_EQ(negative_demand.error().code, ErrorCode::kInvalidArgument);
+
+  const auto negative_capacity =
+      PackBins({.demand = {1.0}, .capacity = {-4.0}});
+  ASSERT_FALSE(negative_capacity.ok());
+  EXPECT_EQ(negative_capacity.error().code, ErrorCode::kInvalidArgument);
+
+  const auto bad_mask = PackBins(
+      {.demand = {1.0, 1.0}, .capacity = {4.0}, .compatible = {{true}}});
+  ASSERT_FALSE(bad_mask.ok());
+  EXPECT_EQ(bad_mask.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(PlacementTest, EmptyProblemPlacesNothing) {
+  const PlacementResult result =
+      PackBins({.demand = {}, .capacity = {4.0}}).value();
+  EXPECT_TRUE(result.bin_of_item.empty());
+  EXPECT_EQ(result.load, (std::vector<double>{0.0}));
+}
+
+}  // namespace
+}  // namespace metaai::core

@@ -1,0 +1,442 @@
+#include "fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "data/datasets.h"
+#include "obs/alerts.h"
+#include "obs/lifecycle.h"
+#include "obs/timeseries.h"
+#include "rf/geometry.h"
+#include "serve/runtime.h"
+
+namespace metaai::fleet {
+namespace {
+
+const data::Dataset& SmallDataset() {
+  static const data::Dataset ds =
+      data::MakeMnistLike({.train_per_class = 10, .test_per_class = 4});
+  return ds;
+}
+
+const core::TrainedModel& SmallModel() {
+  static const core::TrainedModel model = [] {
+    Rng rng(3);
+    core::TrainingOptions options;
+    options.epochs = 5;
+    return core::TrainModel(SmallDataset().train, options, rng);
+  }();
+  return model;
+}
+
+sim::OtaLinkConfig ClientLink() {
+  sim::OtaLinkConfig config;
+  config.geometry = {.tx_distance_m = 1.0,
+                     .tx_angle_rad = rf::DegToRad(30.0),
+                     .rx_distance_m = 3.0,
+                     .rx_angle_rad = rf::DegToRad(40.0),
+                     .frequency_hz = 5.25e9};
+  config.environment.profile = rf::OfficeProfile();
+  return config;
+}
+
+mts::LayerGraph DefaultGraph() {
+  return mts::LayerGraph::FromSurface(
+      mts::Metasurface{mts::MetasurfaceSpec{}});
+}
+
+ShardSpec MakeShard(const std::string& name) {
+  return {.name = name, .graph = DefaultGraph()};
+}
+
+TenantSpec MakeTenant(const std::string& name, double rate_hz = 50.0) {
+  return {.client = {.name = name,
+                     .model = SmallModel(),
+                     .link = ClientLink(),
+                     .deployment = {}},
+          .arrival_rate_hz = rate_hz};
+}
+
+/// Shared solver-result cache across every fleet in this binary: the
+/// tenants all deploy the same model on the same panel, so only the
+/// very first construction solves.
+FleetOptions SharedOptions() {
+  static const std::shared_ptr<mts::ConfigCache> cache =
+      std::make_shared<mts::ConfigCache>();
+  FleetOptions options;
+  options.cache = cache;
+  return options;
+}
+
+std::vector<serve::ServeRequest> SmallTrace(std::size_t count,
+                                            std::size_t num_tenants) {
+  const auto& test = SmallDataset().test;
+  std::vector<serve::ServeRequest> requests;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pick = i % test.size();
+    requests.push_back({.id = i,
+                        .client = i % num_tenants,
+                        .arrival_s = static_cast<double>(i) * 1e-4,
+                        .pixels = test.features[pick],
+                        .label = test.labels[pick]});
+  }
+  return requests;
+}
+
+sim::SyncModel DefaultSync() {
+  sim::SyncModelConfig config;
+  config.latency_scale = 0.3;
+  return sim::SyncModel(sim::SyncMode::kCdfa, config);
+}
+
+std::vector<int> Predictions(std::span<const serve::ServeResponse> responses) {
+  std::vector<int> predicted;
+  predicted.reserve(responses.size());
+  for (const serve::ServeResponse& response : responses) {
+    predicted.push_back(response.predicted);
+  }
+  return predicted;
+}
+
+TEST(FleetTest, TryCreateReportsTypedErrors) {
+  std::vector<TenantSpec> one_tenant;
+  one_tenant.push_back(MakeTenant("t0"));
+
+  const auto no_shards = Fleet::TryCreate({}, std::move(one_tenant));
+  ASSERT_FALSE(no_shards.ok());
+  EXPECT_EQ(no_shards.error().code, ErrorCode::kInvalidArgument);
+
+  std::vector<ShardSpec> one_shard;
+  one_shard.push_back(MakeShard("s0"));
+  const auto no_tenants = Fleet::TryCreate(std::move(one_shard), {});
+  ASSERT_FALSE(no_tenants.ok());
+  EXPECT_EQ(no_tenants.error().code, ErrorCode::kInvalidArgument);
+
+  {
+    std::vector<ShardSpec> shards;
+    shards.push_back(MakeShard("s0"));
+    shards[0].budget_cap = 1.5;
+    std::vector<TenantSpec> tenants;
+    tenants.push_back(MakeTenant("t0"));
+    const auto bad_cap =
+        Fleet::TryCreate(std::move(shards), std::move(tenants));
+    ASSERT_FALSE(bad_cap.ok());
+    EXPECT_EQ(bad_cap.error().code, ErrorCode::kInvalidArgument);
+  }
+  {
+    // The default panel only responds around 5.25 GHz.
+    std::vector<ShardSpec> shards;
+    shards.push_back(MakeShard("s0"));
+    shards[0].band_hz = 2.4e9;
+    std::vector<TenantSpec> tenants;
+    tenants.push_back(MakeTenant("t0"));
+    const auto bad_band =
+        Fleet::TryCreate(std::move(shards), std::move(tenants));
+    ASSERT_FALSE(bad_band.ok());
+    EXPECT_EQ(bad_band.error().code, ErrorCode::kInvalidArgument);
+  }
+  {
+    std::vector<ShardSpec> shards;
+    shards.push_back(MakeShard("s0"));
+    std::vector<TenantSpec> tenants;
+    tenants.push_back(MakeTenant("t0"));
+    FleetOptions options;
+    options.migrations = {{.tenant = 5, .to_shard = 0, .cutover_s = 0.1}};
+    const auto unknown = Fleet::TryCreate(std::move(shards),
+                                          std::move(tenants), options);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.error().code, ErrorCode::kInvalidArgument);
+  }
+}
+
+TEST(FleetTest, IncompatibleOrOversubscribedTenantsAreUnavailable) {
+  {
+    // A 2.4 GHz tenant cannot ride a 5.25 GHz shard.
+    std::vector<ShardSpec> shards;
+    shards.push_back(MakeShard("s0"));
+    std::vector<TenantSpec> tenants;
+    tenants.push_back(MakeTenant("t0"));
+    tenants[0].client.link.geometry.frequency_hz = 2.4e9;
+    const auto off_band =
+        Fleet::TryCreate(std::move(shards), std::move(tenants));
+    ASSERT_FALSE(off_band.ok());
+    EXPECT_EQ(off_band.error().code, ErrorCode::kUnavailable);
+  }
+  {
+    // A link outside the panel's field of view is unplaceable too.
+    std::vector<ShardSpec> shards;
+    shards.push_back(MakeShard("s0"));
+    std::vector<TenantSpec> tenants;
+    tenants.push_back(MakeTenant("t0"));
+    tenants[0].client.link.geometry.tx_angle_rad = rf::DegToRad(75.0);
+    const auto off_fov =
+        Fleet::TryCreate(std::move(shards), std::move(tenants));
+    ASSERT_FALSE(off_fov.ok());
+    EXPECT_EQ(off_fov.error().code, ErrorCode::kUnavailable);
+  }
+  {
+    // Demand beyond every shard's switch-rate budget.
+    std::vector<ShardSpec> shards;
+    shards.push_back(MakeShard("s0"));
+    shards.push_back(MakeShard("s1"));
+    std::vector<TenantSpec> tenants;
+    tenants.push_back(MakeTenant("t0", /*rate_hz=*/1e6));
+    const auto oversubscribed =
+        Fleet::TryCreate(std::move(shards), std::move(tenants));
+    ASSERT_FALSE(oversubscribed.ok());
+    EXPECT_EQ(oversubscribed.error().code, ErrorCode::kUnavailable);
+  }
+  {
+    // Migration destination the tenant cannot use (narrow-FoV panel).
+    std::vector<ShardSpec> shards;
+    shards.push_back(MakeShard("s0"));
+    mts::MetasurfaceSpec narrow;
+    narrow.fov_deg = 20.0;
+    shards.push_back({.name = "s1",
+                      .graph = mts::LayerGraph::FromSurface(
+                          mts::Metasurface{narrow})});
+    std::vector<TenantSpec> tenants;
+    tenants.push_back(MakeTenant("t0"));
+    FleetOptions options;
+    options.migrations = {{.tenant = 0, .to_shard = 1, .cutover_s = 0.1}};
+    const auto bad_dest = Fleet::TryCreate(std::move(shards),
+                                           std::move(tenants), options);
+    ASSERT_FALSE(bad_dest.ok());
+    EXPECT_EQ(bad_dest.error().code, ErrorCode::kUnavailable);
+  }
+}
+
+TEST(FleetTest, PlacementIsDeterministic) {
+  const auto build = [] {
+    std::vector<ShardSpec> shards;
+    shards.push_back(MakeShard("s0"));
+    shards.push_back(MakeShard("s1"));
+    std::vector<TenantSpec> tenants;
+    tenants.push_back(MakeTenant("t0", 120.0));
+    tenants.push_back(MakeTenant("t1", 40.0));
+    tenants.push_back(MakeTenant("t2", 80.0));
+    tenants.push_back(MakeTenant("t3", 40.0));
+    return Fleet::TryCreate(std::move(shards), std::move(tenants),
+                            SharedOptions())
+        .value();
+  };
+  const Fleet first = build();
+  const Fleet second = build();
+  ASSERT_EQ(first.num_tenants(), 4u);
+  for (std::size_t t = 0; t < first.num_tenants(); ++t) {
+    EXPECT_EQ(first.placement()[t].shard, second.placement()[t].shard);
+    EXPECT_EQ(first.placement()[t].local_index,
+              second.placement()[t].local_index);
+    EXPECT_EQ(first.placement()[t].demand_patterns_hz,
+              second.placement()[t].demand_patterns_hz);
+  }
+  // Everything fits the first shard's budget, so FFD never opens s1.
+  for (std::size_t t = 0; t < first.num_tenants(); ++t) {
+    EXPECT_EQ(first.placement()[t].shard, 0u);
+  }
+  EXPECT_TRUE(first.shard_active(0));
+  EXPECT_FALSE(first.shard_active(1));
+}
+
+TEST(FleetTest, SingleShardFleetMatchesBareRuntimeBitwise) {
+  // Warm the shared cache first: both the fleet and the bare runtime
+  // then restore the mapping as cache hits, so the request logs carry
+  // identical provenance even when this test runs in its own process.
+  {
+    std::vector<serve::ClientSpec> warm;
+    warm.push_back(MakeTenant("warmup").client);
+    serve::RuntimeOptions warm_options;
+    warm_options.cache = SharedOptions().cache;
+    const serve::Runtime warmup =
+        serve::Runtime::TryCreate(DefaultGraph(), std::move(warm),
+                                  std::move(warm_options))
+            .value();
+  }
+  std::vector<ShardSpec> shards;
+  shards.push_back(MakeShard("solo"));
+  std::vector<TenantSpec> tenants;
+  tenants.push_back(MakeTenant("alpha"));
+  tenants.push_back(MakeTenant("beta"));
+  const Fleet fleet = Fleet::TryCreate(std::move(shards), std::move(tenants),
+                                       SharedOptions())
+                          .value();
+
+  serve::RuntimeOptions runtime_options;
+  runtime_options.cache = SharedOptions().cache;
+  std::vector<serve::ClientSpec> clients;
+  clients.push_back(MakeTenant("alpha").client);
+  clients.push_back(MakeTenant("beta").client);
+  const serve::Runtime bare(DefaultGraph(), std::move(clients),
+                            runtime_options);
+
+  const auto requests = SmallTrace(24, 2);
+  const sim::SyncModel sync = DefaultSync();
+  Rng fleet_rng(99);
+  Rng bare_rng(99);
+  const FleetResult via_fleet = fleet.Run(requests, sync, fleet_rng);
+  const serve::ServeResult direct = bare.Run(requests, sync, bare_rng);
+
+  ASSERT_EQ(via_fleet.responses.size(), direct.responses.size());
+  for (std::size_t i = 0; i < direct.responses.size(); ++i) {
+    EXPECT_EQ(via_fleet.responses[i].predicted, direct.responses[i].predicted);
+    EXPECT_EQ(via_fleet.responses[i].client, direct.responses[i].client);
+    EXPECT_EQ(via_fleet.responses[i].rejected, direct.responses[i].rejected);
+    EXPECT_EQ(via_fleet.responses[i].start_s, direct.responses[i].start_s);
+    EXPECT_EQ(via_fleet.responses[i].finish_s, direct.responses[i].finish_s);
+  }
+  // The untouched shard slice and the merged exports are both
+  // byte-identical to the bare run (single shard: local == global).
+  EXPECT_EQ(obs::ToRequestsJsonl(via_fleet.shard_results[0].request_log),
+            obs::ToRequestsJsonl(direct.request_log));
+  EXPECT_EQ(obs::ToRequestsJsonl(via_fleet.request_log),
+            obs::ToRequestsJsonl(direct.request_log));
+  EXPECT_EQ(obs::health::ToAlertsJsonl(via_fleet.alerts),
+            obs::health::ToAlertsJsonl(direct.alerts));
+  EXPECT_EQ(via_fleet.stats.served, direct.stats.served);
+  EXPECT_EQ(via_fleet.stats.frames, direct.stats.frames);
+  EXPECT_EQ(via_fleet.stats.latency_p99_s, direct.stats.latency_p99_s);
+}
+
+TEST(FleetTest, MigrationFlipsRoutingButPreservesPredictionsBitwise) {
+  const auto build = [](std::vector<Migration> migrations) {
+    std::vector<ShardSpec> shards;
+    shards.push_back(MakeShard("home"));
+    shards.push_back(MakeShard("dest"));
+    std::vector<TenantSpec> tenants;
+    tenants.push_back(MakeTenant("stay"));
+    tenants.push_back(MakeTenant("mover"));
+    FleetOptions options = SharedOptions();
+    options.migrations = std::move(migrations);
+    return Fleet::TryCreate(std::move(shards), std::move(tenants),
+                            std::move(options))
+        .value();
+  };
+  const auto requests = SmallTrace(30, 2);
+  const double cutover_s = requests[requests.size() / 2].arrival_s;
+  const Fleet stay = build({});
+  const Fleet move = build({{.tenant = 1, .to_shard = 1,
+                             .cutover_s = cutover_s}});
+
+  // Both tenants pack onto the home shard; the migrated fleet routes
+  // tenant 1 to the destination from the cutover onward.
+  EXPECT_EQ(move.Route(1, cutover_s - 1e-6).first, 0u);
+  EXPECT_EQ(move.Route(1, cutover_s).first, 1u);
+  EXPECT_EQ(move.Route(0, cutover_s).first, 0u);
+
+  const sim::SyncModel sync = DefaultSync();
+  Rng stay_rng(7);
+  Rng move_rng(7);
+  const FleetResult before = stay.Run(requests, sync, stay_rng);
+  const FleetResult after = move.Run(requests, sync, move_rng);
+
+  // The destination actually served the post-cutover slice...
+  EXPECT_GT(after.shard_results[1].stats.served, 0u);
+  EXPECT_LT(after.shard_results[0].stats.served, before.stats.served);
+  // ...and per-request predictions survived the cutover bit for bit:
+  // streams are forked per global request and the identical destination
+  // shard warmed from the shared cache.
+  ASSERT_EQ(before.responses.size(), after.responses.size());
+  for (std::size_t i = 0; i < before.responses.size(); ++i) {
+    if (before.responses[i].rejected != serve::RejectReason::kNone ||
+        after.responses[i].rejected != serve::RejectReason::kNone) {
+      continue;
+    }
+    EXPECT_EQ(before.responses[i].predicted, after.responses[i].predicted);
+    EXPECT_EQ(before.responses[i].client, after.responses[i].client);
+  }
+  EXPECT_EQ(Predictions(before.responses), Predictions(after.responses));
+}
+
+TEST(FleetTest, ExportsAreByteIdenticalAcrossThreadCounts) {
+  std::vector<ShardSpec> shards;
+  shards.push_back(MakeShard("s0"));
+  shards.push_back(MakeShard("s1"));
+  std::vector<TenantSpec> tenants;
+  tenants.push_back(MakeTenant("t0"));
+  tenants.push_back(MakeTenant("t1"));
+  tenants.push_back(MakeTenant("t2"));
+  FleetOptions options = SharedOptions();
+  options.migrations = {{.tenant = 2, .to_shard = 1, .cutover_s = 1e-3}};
+  const Fleet fleet = Fleet::TryCreate(std::move(shards), std::move(tenants),
+                                       std::move(options))
+                          .value();
+  const auto requests = SmallTrace(24, 3);
+  const sim::SyncModel sync = DefaultSync();
+
+  std::string reference_log, reference_series, reference_alerts;
+  std::vector<int> reference_predictions;
+  for (const int threads : {1, 2, 4, 8}) {
+    par::ScopedThreadCount scoped(threads);
+    Rng rng(17);
+    const FleetResult result = fleet.Run(requests, sync, rng);
+    const std::string log = obs::ToRequestsJsonl(result.request_log);
+    const std::string series = obs::ToTimeSeriesJsonl(result.timeseries);
+    const std::string alerts = obs::health::ToAlertsJsonl(result.alerts);
+    if (threads == 1) {
+      reference_log = log;
+      reference_series = series;
+      reference_alerts = alerts;
+      reference_predictions = Predictions(result.responses);
+      EXPECT_FALSE(reference_log.empty());
+      EXPECT_FALSE(reference_series.empty());
+      continue;
+    }
+    EXPECT_EQ(log, reference_log) << "threads=" << threads;
+    EXPECT_EQ(series, reference_series) << "threads=" << threads;
+    EXPECT_EQ(alerts, reference_alerts) << "threads=" << threads;
+    EXPECT_EQ(Predictions(result.responses), reference_predictions)
+        << "threads=" << threads;
+  }
+}
+
+TEST(FleetTest, FrontDoorRejectsUnknownTenants) {
+  std::vector<ShardSpec> shards;
+  shards.push_back(MakeShard("s0"));
+  std::vector<TenantSpec> tenants;
+  tenants.push_back(MakeTenant("t0"));
+  const Fleet fleet = Fleet::TryCreate(std::move(shards), std::move(tenants),
+                                       SharedOptions())
+                          .value();
+  auto requests = SmallTrace(6, 1);
+  requests[2].client = 9;  // no such tenant
+  Rng rng(21);
+  const FleetResult result = fleet.Run(requests, DefaultSync(), rng);
+  EXPECT_EQ(result.stats.rejected_unknown_tenant, 1u);
+  EXPECT_EQ(result.responses[2].rejected,
+            serve::RejectReason::kUnknownClient);
+  EXPECT_EQ(result.responses[2].predicted, -1);
+  EXPECT_EQ(result.stats.served, 5u);
+  EXPECT_EQ(result.stats.submitted, 6u);
+}
+
+TEST(FleetTest, SharedCacheDeduplicatesAcrossShardsAndMigration) {
+  FleetOptions options;
+  options.cache = std::make_shared<mts::ConfigCache>();
+  options.migrations = {{.tenant = 1, .to_shard = 1, .cutover_s = 1e-3}};
+  std::vector<ShardSpec> shards;
+  shards.push_back(MakeShard("s0"));
+  shards.push_back(MakeShard("s1"));
+  std::vector<TenantSpec> tenants;
+  tenants.push_back(MakeTenant("t0"));
+  tenants.push_back(MakeTenant("t1"));
+  const Fleet fleet = Fleet::TryCreate(std::move(shards), std::move(tenants),
+                                       options)
+                          .value();
+  // Three deployments (two home + one migration copy) of one identical
+  // model: exactly one miss, the rest hit.
+  const mts::ConfigCache::Stats stats = fleet.cache()->stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(fleet.cache().get(), options.cache.get());
+}
+
+}  // namespace
+}  // namespace metaai::fleet

@@ -97,5 +97,134 @@ TEST(GeneratorTest, TypedErrorsForInvalidWorkloads) {
   EXPECT_EQ(samples.error().code, ErrorCode::kInvalidArgument);
 }
 
+TEST(WorkloadSpecTest, UnmodulatedSpecMatchesLegacyPoissonBitwise) {
+  // The WorkloadSpec path with every stressor off must reproduce the
+  // legacy ClientWorkload trace bit for bit (time-warping by a
+  // multiplier of exactly 1.0 draws nothing extra and divides by 1.0).
+  WorkloadSpec spec;
+  spec.tenants = {{.arrival_rate_hz = 200.0, .samples = &SmallDataset().test},
+                  {.arrival_rate_hz = 100.0, .samples = &SmallDataset().test}};
+  spec.duration_s = 0.5;
+  Rng a(11);
+  Rng b(11);
+  const auto modern = GenerateWorkload(spec, a).value();
+  const auto legacy = GenerateWorkload(TwoClients(), 0.5, b).value();
+  ASSERT_EQ(modern.size(), legacy.size());
+  for (std::size_t i = 0; i < modern.size(); ++i) {
+    EXPECT_EQ(modern[i].id, legacy[i].id);
+    EXPECT_EQ(modern[i].client, legacy[i].client);
+    EXPECT_EQ(modern[i].arrival_s, legacy[i].arrival_s);
+    EXPECT_EQ(modern[i].pixels, legacy[i].pixels);
+    EXPECT_EQ(modern[i].label, legacy[i].label);
+  }
+}
+
+TEST(WorkloadSpecTest, RateMultiplierComposesDiurnalAndFlash) {
+  TenantWorkload tenant{.arrival_rate_hz = 100.0,
+                        .samples = &SmallDataset().test};
+  EXPECT_EQ(RateMultiplier(tenant, 0.3), 1.0);
+
+  tenant.diurnal_amplitude = 0.5;
+  tenant.diurnal_period_s = 4.0;
+  // Peak of the sine at t = period/4.
+  EXPECT_NEAR(RateMultiplier(tenant, 1.0), 1.5, 1e-12);
+
+  tenant.flash_crowds = {{.start_s = 0.5, .duration_s = 1.0,
+                          .multiplier = 4.0}};
+  EXPECT_NEAR(RateMultiplier(tenant, 1.0), 6.0, 1e-12);  // in the window
+  EXPECT_NEAR(RateMultiplier(tenant, 2.0), 1.0, 1e-12);  // past it (sin=0)
+
+  // Overlapping crowds compound multiplicatively.
+  tenant.diurnal_amplitude = 0.0;
+  tenant.flash_crowds.push_back(
+      {.start_s = 0.8, .duration_s = 0.4, .multiplier = 3.0});
+  EXPECT_NEAR(RateMultiplier(tenant, 1.0), 12.0, 1e-12);
+}
+
+TEST(WorkloadSpecTest, StressorsAreDeterministicAndBounded) {
+  WorkloadSpec spec;
+  spec.tenants = {{.arrival_rate_hz = 300.0,
+                   .samples = &SmallDataset().test,
+                   .pareto_shape = 1.8},
+                  {.arrival_rate_hz = 150.0,
+                   .samples = &SmallDataset().test,
+                   .diurnal_amplitude = 0.6,
+                   .diurnal_period_s = 0.4,
+                   .flash_crowds = {{.start_s = 0.2, .duration_s = 0.2,
+                                     .multiplier = 5.0}}}};
+  spec.duration_s = 0.8;
+  Rng a(23);
+  Rng b(23);
+  const auto first = GenerateWorkload(spec, a).value();
+  const auto second = GenerateWorkload(spec, b).value();
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].client, second[i].client);
+    EXPECT_EQ(first[i].arrival_s, second[i].arrival_s);
+    EXPECT_EQ(first[i].pixels, second[i].pixels);
+    EXPECT_LT(first[i].arrival_s, spec.duration_s);
+    if (i > 0) {
+      EXPECT_GE(first[i].arrival_s, first[i - 1].arrival_s);
+    }
+  }
+}
+
+TEST(WorkloadSpecTest, FlashCrowdRaisesWindowDensity) {
+  // A 10x crowd over the middle fifth should concentrate arrivals there
+  // well beyond the uniform share.
+  WorkloadSpec spec;
+  spec.tenants = {{.arrival_rate_hz = 400.0,
+                   .samples = &SmallDataset().test,
+                   .flash_crowds = {{.start_s = 0.4, .duration_s = 0.2,
+                                     .multiplier = 10.0}}}};
+  spec.duration_s = 1.0;
+  Rng rng(5);
+  const auto requests = GenerateWorkload(spec, rng).value();
+  ASSERT_FALSE(requests.empty());
+  std::size_t in_window = 0;
+  for (const ServeRequest& request : requests) {
+    if (request.arrival_s >= 0.4 && request.arrival_s < 0.6) ++in_window;
+  }
+  EXPECT_GT(static_cast<double>(in_window),
+            0.5 * static_cast<double>(requests.size()));
+}
+
+TEST(WorkloadSpecTest, TypedErrorsForInvalidSpecs) {
+  Rng rng(1);
+  const TenantWorkload good{.arrival_rate_hz = 100.0,
+                            .samples = &SmallDataset().test};
+
+  WorkloadSpec infinite_mean;
+  infinite_mean.tenants = {good};
+  infinite_mean.tenants[0].pareto_shape = 1.0;  // mean diverges
+  const auto pareto = GenerateWorkload(infinite_mean, rng);
+  ASSERT_FALSE(pareto.ok());
+  EXPECT_EQ(pareto.error().code, ErrorCode::kInvalidArgument);
+
+  WorkloadSpec amplitude;
+  amplitude.tenants = {good};
+  amplitude.tenants[0].diurnal_amplitude = 1.0;  // rate would hit zero
+  const auto diurnal = GenerateWorkload(amplitude, rng);
+  ASSERT_FALSE(diurnal.ok());
+  EXPECT_EQ(diurnal.error().code, ErrorCode::kInvalidArgument);
+
+  WorkloadSpec period;
+  period.tenants = {good};
+  period.tenants[0].diurnal_amplitude = 0.5;
+  period.tenants[0].diurnal_period_s = 0.0;
+  const auto bad_period = GenerateWorkload(period, rng);
+  ASSERT_FALSE(bad_period.ok());
+  EXPECT_EQ(bad_period.error().code, ErrorCode::kInvalidArgument);
+
+  WorkloadSpec flash;
+  flash.tenants = {good};
+  flash.tenants[0].flash_crowds = {
+      {.start_s = 0.0, .duration_s = -1.0, .multiplier = 2.0}};
+  const auto bad_flash = GenerateWorkload(flash, rng);
+  ASSERT_FALSE(bad_flash.ok());
+  EXPECT_EQ(bad_flash.error().code, ErrorCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace metaai::serve

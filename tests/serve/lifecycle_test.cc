@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,16 +69,22 @@ std::vector<ClientSpec> SloClients(double strict_slo_s, double lax_slo_s) {
   return clients;
 }
 
-mts::ConfigCache& SharedCache() {
-  static mts::ConfigCache cache;
+const std::shared_ptr<mts::ConfigCache>& SharedCache() {
+  static const std::shared_ptr<mts::ConfigCache> cache =
+      std::make_shared<mts::ConfigCache>();
   return cache;
+}
+
+mts::LayerGraph DefaultGraph() {
+  return mts::LayerGraph::FromSurface(
+      mts::Metasurface{mts::MetasurfaceSpec{}});
 }
 
 const Runtime& SharedRuntime() {
   static const Runtime runtime{
-      mts::Metasurface{mts::MetasurfaceSpec{}},
+      DefaultGraph(),
       SloClients(/*strict_slo_s=*/1e-9, /*lax_slo_s=*/10.0),
-      RuntimeOptions{.cache = &SharedCache()}};
+      RuntimeOptions{.cache = SharedCache()}};
   return runtime;
 }
 
@@ -197,10 +204,9 @@ TEST(ServeLifecycleTest, CacheChangesOnlyTheProvenanceFlag) {
   // Touching SharedRuntime() first warms SharedCache(), so `warm`
   // restores every tenant's mapping while `uncached` solves both fresh.
   SharedRuntime();
-  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  const Runtime warm(surface, SloClients(1e-9, 10.0),
-                     {.cache = &SharedCache()});
-  const Runtime uncached(surface, SloClients(1e-9, 10.0), {});
+  const Runtime warm(DefaultGraph(), SloClients(1e-9, 10.0),
+                     {.cache = SharedCache()});
+  const Runtime uncached(DefaultGraph(), SloClients(1e-9, 10.0), {});
   const auto requests = SmallTrace(8);
   const sim::SyncModel sync = DefaultSync();
   Rng rng_a(73);
@@ -306,9 +312,8 @@ TEST(ServeLifecycleTest, HealthAccountingMatchesAlertStream) {
 }
 
 TEST(ServeLifecycleTest, HealthOffDisablesAlerting) {
-  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  const Runtime quiet(surface, SloClients(1e-9, 10.0),
-                      {.cache = &SharedCache(), .health = false});
+  const Runtime quiet(DefaultGraph(), SloClients(1e-9, 10.0),
+                      {.cache = SharedCache(), .health = false});
   const auto requests = SmallTrace(8);
   const sim::SyncModel sync = DefaultSync();
   Rng rng(101);

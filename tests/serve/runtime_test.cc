@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -57,15 +60,20 @@ std::vector<ClientSpec> TwoClients() {
 
 /// Shared solver-result cache: after the first runtime construction,
 /// every later one in this binary restores the mapping from cache.
-mts::ConfigCache& SharedCache() {
-  static mts::ConfigCache cache;
+const std::shared_ptr<mts::ConfigCache>& SharedCache() {
+  static const std::shared_ptr<mts::ConfigCache> cache =
+      std::make_shared<mts::ConfigCache>();
   return cache;
 }
 
+mts::LayerGraph DefaultGraph() {
+  return mts::LayerGraph::FromSurface(
+      mts::Metasurface{mts::MetasurfaceSpec{}});
+}
+
 const Runtime& SharedRuntime() {
-  static const Runtime runtime{mts::Metasurface{mts::MetasurfaceSpec{}},
-                               TwoClients(),
-                               RuntimeOptions{.cache = &SharedCache()}};
+  static const Runtime runtime{DefaultGraph(), TwoClients(),
+                               RuntimeOptions{.cache = SharedCache()}};
   return runtime;
 }
 
@@ -99,12 +107,71 @@ std::vector<int> Predictions(const ServeResult& result) {
 }
 
 TEST(ServeRuntimeTest, ConstructorValidatesOperatorInput) {
+  EXPECT_THROW(Runtime(DefaultGraph(), {}), CheckError);
+  EXPECT_THROW(Runtime(DefaultGraph(), TwoClients(), {.queue_capacity = 0}),
+               CheckError);
+  EXPECT_THROW(Runtime(DefaultGraph(), TwoClients(), {.frame_budget = 0}),
+               CheckError);
+}
+
+TEST(ServeRuntimeTest, TryCreateReportsTypedErrors) {
+  const Result<Runtime> no_clients = Runtime::TryCreate(DefaultGraph(), {});
+  ASSERT_FALSE(no_clients.ok());
+  EXPECT_EQ(no_clients.error().code, ErrorCode::kInvalidArgument);
+
+  const Result<Runtime> zero_queue =
+      Runtime::TryCreate(DefaultGraph(), TwoClients(), {.queue_capacity = 0});
+  ASSERT_FALSE(zero_queue.ok());
+  EXPECT_EQ(zero_queue.error().code, ErrorCode::kInvalidArgument);
+
+  const Result<Runtime> zero_budget =
+      Runtime::TryCreate(DefaultGraph(), TwoClients(), {.frame_budget = 0});
+  ASSERT_FALSE(zero_budget.ok());
+  EXPECT_EQ(zero_budget.error().code, ErrorCode::kInvalidArgument);
+
+  std::vector<ClientSpec> bad_slo = TwoClients();
+  bad_slo[0].slo_latency_s = -1.0;
+  const Result<Runtime> negative_slo =
+      Runtime::TryCreate(DefaultGraph(), std::move(bad_slo));
+  ASSERT_FALSE(negative_slo.ok());
+  EXPECT_EQ(negative_slo.error().code, ErrorCode::kInvalidArgument);
+
+  Result<Runtime> good = Runtime::TryCreate(
+      DefaultGraph(), TwoClients(), {.cache = SharedCache()});
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().num_clients(), 2u);
+}
+
+TEST(ServeRuntimeTest, DeprecatedSurfaceConstructorMatchesGraphEntry) {
+  // The one-PR compatibility shim must serve bit-for-bit like the
+  // graph-first entry point it wraps.
   const mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  EXPECT_THROW(Runtime(surface, {}), CheckError);
-  EXPECT_THROW(Runtime(surface, TwoClients(), {.queue_capacity = 0}),
-               CheckError);
-  EXPECT_THROW(Runtime(surface, TwoClients(), {.frame_budget = 0}),
-               CheckError);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const Runtime legacy(surface, TwoClients(),
+                       RuntimeOptions{.cache = SharedCache()});
+#pragma GCC diagnostic pop
+  const auto requests = SmallTrace(8);
+  const sim::SyncModel sync = DefaultSync();
+  Rng rng_a(61);
+  Rng rng_b(61);
+  EXPECT_EQ(Predictions(legacy.Run(requests, sync, rng_a)),
+            Predictions(SharedRuntime().Run(requests, sync, rng_b)));
+}
+
+TEST(ServeRuntimeTest, CallerOwnedStreamsMatchInternalForking) {
+  // The span-of-streams overload (the fleet routing hook) must replay
+  // the internally-forked run exactly when handed the same fork.
+  const auto requests = SmallTrace(10);
+  const sim::SyncModel sync = DefaultSync();
+  Rng rng_a(67);
+  const ServeResult internal = SharedRuntime().Run(requests, sync, rng_a);
+  Rng rng_b(67);
+  std::vector<Rng> streams = par::ForkRngs(rng_b, requests.size());
+  const ServeResult external =
+      SharedRuntime().Run(requests, sync, std::span<Rng>(streams));
+  EXPECT_EQ(Predictions(internal), Predictions(external));
+  EXPECT_EQ(internal.request_log, external.request_log);
 }
 
 TEST(ServeRuntimeTest, ServesEveryAdmittedRequest) {
@@ -146,9 +213,8 @@ TEST(ServeRuntimeTest, PredictionsAreFrameBudgetInvariant) {
   // Different batching compositions reorder the work items across
   // frames; the per-request Rng streams make the predictions identical
   // anyway.
-  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  const Runtime drip(surface, TwoClients(),
-                     {.frame_budget = 1, .cache = &SharedCache()});
+  const Runtime drip(DefaultGraph(), TwoClients(),
+                     {.frame_budget = 1, .cache = SharedCache()});
   const auto requests = SmallTrace(10);
   const sim::SyncModel sync = DefaultSync();
   Rng rng_a(29);
@@ -172,8 +238,7 @@ TEST(ServeRuntimeTest, BatchedAndUnbatchedPredictionsMatch) {
 }
 
 TEST(ServeRuntimeTest, CacheDoesNotChangePredictions) {
-  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  const Runtime uncached(surface, TwoClients(), {});
+  const Runtime uncached(DefaultGraph(), TwoClients(), {});
   const auto requests = SmallTrace(8);
   const sim::SyncModel sync = DefaultSync();
   Rng rng_a(37);
@@ -181,7 +246,7 @@ TEST(ServeRuntimeTest, CacheDoesNotChangePredictions) {
   EXPECT_EQ(Predictions(SharedRuntime().Run(requests, sync, rng_a)),
             Predictions(uncached.Run(requests, sync, rng_b)));
   // Identical tenants share one solve through the cache.
-  EXPECT_GT(SharedCache().stats().hits, 0u);
+  EXPECT_GT(SharedCache()->stats().hits, 0u);
 }
 
 TEST(ServeRuntimeTest, RejectsUnknownClientAndBadInput) {
@@ -222,9 +287,8 @@ TEST(ServeRuntimeTest, RejectsUnknownClientAndBadInput) {
 }
 
 TEST(ServeRuntimeTest, BoundedQueueRejectsBurstsWithBackpressure) {
-  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  const Runtime tight(surface, TwoClients(),
-                      {.queue_capacity = 1, .cache = &SharedCache()});
+  const Runtime tight(DefaultGraph(), TwoClients(),
+                      {.queue_capacity = 1, .cache = SharedCache()});
   const auto& test = SmallDataset().test;
   // Four simultaneous arrivals for one client against a depth-1 queue:
   // the first is admitted, the rest bounce with kQueueFull.

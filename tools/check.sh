@@ -47,17 +47,17 @@ cmake -B "${prefix}-tsan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=thread -DMETAAI_OBS=ON
 cmake --build "${prefix}-tsan" -j"$(nproc)" \
   --target test_common test_obs test_fault test_integration test_serve \
-  test_core metaai_obs_report
+  test_core test_fleet metaai_obs_report
 ctest --test-dir "${prefix}-tsan" --output-on-failure \
-  -R 'Parallel|Tracer|Telemetry|Fault|Serve|ObsReport|obs_report|Cascade'
+  -R 'Parallel|Tracer|Telemetry|Fault|Serve|ObsReport|obs_report|Cascade|Fleet|Workload|Placement'
 
 echo "=== [4/6] UBSan on obs + serve suites"
 cmake -B "${prefix}-ubsan" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Debug -DMETAAI_SANITIZE=undefined -DMETAAI_OBS=ON
 cmake --build "${prefix}-ubsan" -j"$(nproc)" \
-  --target test_obs test_serve test_mts
+  --target test_obs test_serve test_mts test_fleet
 ctest --test-dir "${prefix}-ubsan" --output-on-failure \
-  -R 'Ewma|Cusum|PageHinkley|WindowedQuantile|HealthMonitor|HealthSignals|ObserveProbe|Alert|Quantile|Percentile|Serve|Lifecycle|TimeSeries|LayerGraph|CascadeSolver'
+  -R 'Ewma|Cusum|PageHinkley|WindowedQuantile|HealthMonitor|HealthSignals|ObserveProbe|Alert|Quantile|Percentile|Serve|Lifecycle|TimeSeries|LayerGraph|CascadeSolver|Fleet|Workload'
 
 echo "=== [5/6] SIMD parity + determinism under both dispatch paths"
 simd_filter='Parity|Determini|DispatchTest|ParseLevel|LevelName|SoaComplex'

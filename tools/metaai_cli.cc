@@ -42,8 +42,10 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/parallel.h"
 #include "common/result.h"
@@ -80,6 +82,19 @@ void OrDie(Result<void> result) {
     std::fprintf(stderr, "error: %s\n", result.error().ToString().c_str());
     std::exit(1);
   }
+}
+
+/// Unwraps a Result or exits 2 — the usage-error status. Construction-
+/// time rejections (serve::Runtime::TryCreate, fleet::Fleet::TryCreate,
+/// workload validation) are misconfigurations on par with an unknown
+/// flag, not runtime failures.
+template <typename T>
+T OrUsageDie(Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.error().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(result).value();
 }
 
 struct Args {
@@ -356,8 +371,9 @@ int Serve(const Args& args) {
   training.input_noise_variance = 0.02;
   const auto model = core::TrainModel(dataset.train, training, rng);
 
-  const mts::Metasurface surface{mts::MetasurfaceSpec{}};
-  mts::ConfigCache cache;
+  const mts::LayerGraph graph =
+      mts::LayerGraph::FromSurface(mts::Metasurface{mts::MetasurfaceSpec{}});
+  const auto cache = std::make_shared<mts::ConfigCache>();
   std::vector<serve::ClientSpec> clients;
   for (std::size_t c = 0; c < num_clients; ++c) {
     clients.push_back({.name = "client" + std::to_string(c),
@@ -370,8 +386,9 @@ int Serve(const Args& args) {
       std::stoull(args.Get("queue-capacity", "64")));
   options.frame_budget =
       static_cast<std::size_t>(std::stoull(args.Get("frame-budget", "8")));
-  if (!args.Has("no-cache")) options.cache = &cache;
-  const serve::Runtime runtime(surface, std::move(clients), options);
+  if (!args.Has("no-cache")) options.cache = cache;
+  const serve::Runtime runtime = OrUsageDie(
+      serve::Runtime::TryCreate(graph, std::move(clients), options));
 
   const std::vector<serve::ClientWorkload> workload(
       num_clients, {.arrival_rate_hz = rate_hz, .samples = &dataset.test});
@@ -418,7 +435,160 @@ int Serve(const Args& args) {
     std::printf("wrote %zu alerts to %s\n", result.alerts.size(),
                 path.c_str());
   }
-  const mts::ConfigCache::Stats cache_stats = cache.stats();
+  const mts::ConfigCache::Stats cache_stats = cache->stats();
+  std::printf("solver cache: %llu hits, %llu misses (hit rate %.0f%%)\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses),
+              100.0 * cache_stats.HitRate());
+  return 0;
+}
+
+// Sharded fleet demo: K shards behind the fleet front door, T tenants
+// bin-packed onto them by switch-rate demand, served against a
+// composable WorkloadSpec trace (--pareto/--diurnal/--flash stressors),
+// with optional hot migration (--migrate T:S:C).
+int FleetCmd(const Args& args) {
+  const auto dataset = LoadDataset(args);
+  const auto num_shards =
+      static_cast<std::size_t>(std::stoull(args.Get("shards", "2")));
+  const auto num_tenants =
+      static_cast<std::size_t>(std::stoull(args.Get("tenants", "4")));
+  const double duration_s = std::stod(args.Get("duration", "0.2"));
+  const double rate_hz = std::stod(args.Get("rate", "50"));
+  Check(num_shards >= 1, "--shards must be >= 1");
+  Check(num_tenants >= 1, "--tenants must be >= 1");
+  Rng rng(std::stoull(args.Get("seed", "42")));
+
+  core::TrainingOptions training;
+  training.sync_error_injection = true;
+  training.sync_gamma_scale_us =
+      1.85 * sim::PaperEquivalentLatencyScale(dataset.train.dim);
+  training.input_noise_variance = 0.02;
+  const auto model = core::TrainModel(dataset.train, training, rng);
+
+  // Identical shards on the default band (--depth/--coupling shape each
+  // shard's cascade); identical tenants, so the shared fleet cache
+  // deduplicates every solve after the first.
+  std::vector<fleet::ShardSpec> shards;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    shards.push_back(
+        {.name = "shard" + std::to_string(s), .graph = MakeGraph(args)});
+  }
+  std::vector<fleet::TenantSpec> tenants;
+  for (std::size_t t = 0; t < num_tenants; ++t) {
+    serve::ClientSpec client{.name = "tenant" + std::to_string(t),
+                             .model = model,
+                             .link = DefaultLink(),
+                             .deployment = {}};
+    client.slo_latency_s = std::stod(args.Get("slo", "0"));
+    tenants.push_back(
+        {.client = std::move(client), .arrival_rate_hz = rate_hz});
+  }
+
+  fleet::FleetOptions options;
+  options.runtime.queue_capacity = static_cast<std::size_t>(
+      std::stoull(args.Get("queue-capacity", "64")));
+  options.runtime.frame_budget =
+      static_cast<std::size_t>(std::stoull(args.Get("frame-budget", "8")));
+  if (args.Has("migrate")) {
+    // --migrate TENANT:SHARD:CUTOVER_S schedules one hot migration.
+    std::size_t tenant = 0, to_shard = 0;
+    double cutover_s = 0.0;
+    if (std::sscanf(args.Get("migrate").c_str(), "%zu:%zu:%lf", &tenant,
+                    &to_shard, &cutover_s) != 3) {
+      std::fprintf(stderr,
+                   "error: --migrate wants TENANT:SHARD:CUTOVER_S, got %s\n",
+                   args.Get("migrate").c_str());
+      return 2;
+    }
+    options.migrations.push_back(
+        {.tenant = tenant, .to_shard = to_shard, .cutover_s = cutover_s});
+  }
+  const fleet::Fleet cluster = OrUsageDie(fleet::Fleet::TryCreate(
+      std::move(shards), std::move(tenants), std::move(options)));
+  for (std::size_t t = 0; t < cluster.num_tenants(); ++t) {
+    const fleet::TenantPlacement& p = cluster.placement()[t];
+    std::printf("placed %s on %s (%.0f patterns/s)%s\n",
+                cluster.tenant_name(t).c_str(),
+                cluster.shard_name(p.shard).c_str(), p.demand_patterns_hz,
+                p.migrates
+                    ? (" -> " + cluster.shard_name(p.to_shard) + " at t=" +
+                       std::to_string(p.cutover_s) + "s")
+                          .c_str()
+                    : "");
+  }
+
+  // Composable open-loop trace: every tenant gets the same stressors.
+  serve::TenantWorkload base{.arrival_rate_hz = rate_hz,
+                             .samples = &dataset.test};
+  if (args.Has("pareto")) base.pareto_shape = std::stod(args.Get("pareto"));
+  if (args.Has("diurnal")) {
+    // --diurnal AMPLITUDE:PERIOD_S
+    if (std::sscanf(args.Get("diurnal").c_str(), "%lf:%lf",
+                    &base.diurnal_amplitude, &base.diurnal_period_s) != 2) {
+      std::fprintf(stderr,
+                   "error: --diurnal wants AMPLITUDE:PERIOD_S, got %s\n",
+                   args.Get("diurnal").c_str());
+      return 2;
+    }
+  }
+  if (args.Has("flash")) {
+    // --flash START_S:DURATION_S:MULTIPLIER
+    serve::FlashCrowd crowd;
+    if (std::sscanf(args.Get("flash").c_str(), "%lf:%lf:%lf", &crowd.start_s,
+                    &crowd.duration_s, &crowd.multiplier) != 3) {
+      std::fprintf(
+          stderr,
+          "error: --flash wants START_S:DURATION_S:MULTIPLIER, got %s\n",
+          args.Get("flash").c_str());
+      return 2;
+    }
+    base.flash_crowds.push_back(crowd);
+  }
+  serve::WorkloadSpec spec;
+  spec.tenants.assign(num_tenants, base);
+  spec.duration_s = duration_s;
+  const auto requests = OrUsageDie(serve::GenerateWorkload(spec, rng));
+
+  sim::SyncModelConfig sync_config;
+  sync_config.latency_scale =
+      sim::PaperEquivalentLatencyScale(dataset.train.dim);
+  const sim::SyncModel sync(sim::SyncMode::kCdfa, sync_config);
+  const fleet::FleetResult result = cluster.Run(requests, sync, rng);
+  const fleet::FleetStats& stats = result.stats;
+  std::printf(
+      "fleet served %zu/%zu requests from %zu tenants on %zu shards in "
+      "%.4f s virtual (%zu frames)\n",
+      stats.served, stats.submitted, cluster.num_tenants(), cluster.num_shards(),
+      stats.virtual_duration_s, stats.frames);
+  std::printf("latency p50/p99/p999: %.1f/%.1f/%.1f us, goodput %.1f rps "
+              "under SLO (%zu within, %zu violations)\n",
+              1e6 * stats.latency_p50_s, 1e6 * stats.latency_p99_s,
+              1e6 * stats.latency_p999_s, stats.goodput_slo_rps,
+              stats.slo_within, stats.slo_violations);
+  if (stats.rejected() > 0) {
+    std::printf("rejected %zu (queue_full %zu, bad_input %zu, "
+                "unknown_tenant %zu)\n",
+                stats.rejected(), stats.rejected_queue_full,
+                stats.rejected_bad_input, stats.rejected_unknown_tenant);
+  }
+  for (const fleet::ShardRollup& shard : stats.shards) {
+    std::printf("  %s: served %zu, frames %zu, latency p99 %.1f us\n",
+                shard.name.c_str(), shard.stats.served, shard.stats.frames,
+                1e6 * shard.stats.latency_p99_s);
+  }
+  std::printf("health: %zu alerts (%zu drift)\n", stats.alerts,
+              stats.drift_alerts);
+  if (args.Has("alerts-out")) {
+    const std::string path = args.Get("alerts-out");
+    if (!obs::health::WriteAlertsFile(result.alerts, path)) {
+      std::fprintf(stderr, "error: cannot write alerts to %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu alerts to %s\n", result.alerts.size(),
+                path.c_str());
+  }
+  const mts::ConfigCache::Stats cache_stats = cluster.cache()->stats();
   std::printf("solver cache: %llu hits, %llu misses (hit rate %.0f%%)\n",
               static_cast<unsigned long long>(cache_stats.hits),
               static_cast<unsigned long long>(cache_stats.misses),
@@ -450,6 +620,11 @@ int Usage() {
       "  serve      --dataset NAME [--clients N] [--duration S] [--rate HZ]\n"
       "             [--queue-capacity N] [--frame-budget N] [--no-cache]\n"
       "             [--unbatched] [--seed N] [--alerts-out FILE]\n"
+      "  fleet      --dataset NAME [--shards K] [--tenants N] [--duration S]\n"
+      "             [--rate HZ] [--slo S] [--pareto ALPHA] [--diurnal A:P]\n"
+      "             [--flash S:D:M] [--migrate T:S:C] [--depth K]\n"
+      "             [--queue-capacity N] [--frame-budget N] [--seed N]\n"
+      "             [--alerts-out FILE]\n"
       "  quickstart --dataset NAME [--samples N] [--seed N]\n"
       "  datasets\n"
       "All dataset commands accept --train-per-class N / --test-per-class N\n"
@@ -477,8 +652,16 @@ int Usage() {
       "--trace-out a Chrome-trace JSON of the spans (chrome://tracing /\n"
       "Perfetto), --probes-out a metaai.probes.v1 JSONL flight-recorder\n"
       "dump of the physical-layer probes.\n"
-      "--alerts-out (serve, ota) writes the online health monitor's\n"
-      "metaai.alerts.v1 JSONL alert stream (empty on healthy runs).");
+      "--alerts-out (serve, ota, fleet) writes the online health monitor's\n"
+      "metaai.alerts.v1 JSONL alert stream (empty on healthy runs).\n"
+      "`fleet` runs K serve runtimes behind one front door: tenants are\n"
+      "bin-packed onto shards by switch-rate demand, requests route on the\n"
+      "shared virtual clock, and --migrate TENANT:SHARD:CUTOVER_S flips a\n"
+      "tenant to another shard mid-trace (warmed via the shared solver\n"
+      "cache). --pareto ALPHA draws heavy-tailed inter-arrivals, --diurnal\n"
+      "AMPLITUDE:PERIOD_S adds a sinusoidal rate wave and --flash\n"
+      "START_S:DURATION_S:MULTIPLIER a transient crowd; misconfigured\n"
+      "fleets and workloads exit with status 2.");
   return 2;
 }
 
@@ -488,6 +671,7 @@ int Dispatch(const Args& args) {
   if (args.command == "deploy") return Deploy(args);
   if (args.command == "ota") return Ota(args);
   if (args.command == "serve") return Serve(args);
+  if (args.command == "fleet") return FleetCmd(args);
   if (args.command == "quickstart") return Quickstart(args);
   if (args.command == "datasets") return Datasets();
   return Usage();
@@ -496,14 +680,15 @@ int Dispatch(const Args& args) {
 /// Every flag any command accepts. A flag outside this list is a hard
 /// error — silently ignoring a typo ("--sample 10") would quietly run
 /// with defaults.
-constexpr std::array<std::string_view, 25> kKnownFlags = {
+constexpr std::array<std::string_view, 32> kKnownFlags = {
     "dataset",         "out",            "model",        "samples",
     "seed",            "robust",         "recover",      "faults",
     "threads",         "metrics-out",    "trace-out",    "probes-out",
     "train-per-class", "test-per-class", "clients",      "duration",
     "rate",            "queue-capacity", "frame-budget", "no-cache",
     "unbatched",       "alerts-out",     "simd",         "depth",
-    "coupling",
+    "coupling",        "shards",         "tenants",      "pareto",
+    "diurnal",         "flash",          "migrate",      "slo",
 };
 
 bool FlagKnown(const std::string& key) {
